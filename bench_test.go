@@ -1,0 +1,222 @@
+package stashflash
+
+// The benchmark suite regenerates every table and figure of the paper's
+// evaluation (one benchmark per artifact, backed by internal/experiments)
+// and measures the library's own hot paths. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Figure/table benches execute the full experiment per iteration and
+// print the headline tables on the first iteration; wall-clock time per
+// iteration is the cost of regenerating that artifact at CI scale. Use
+// cmd/experiments -scale paper for paper-sized sample counts.
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"sync"
+	"testing"
+
+	"stashflash/internal/experiments"
+)
+
+var printOnce sync.Map
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.Lookup(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := experiments.CIScale()
+	for i := 0; i < b.N; i++ {
+		r, err := e.Run(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, dup := printOnce.LoadOrStore(id, true); !dup {
+			fmt.Fprintln(os.Stderr)
+			r.WriteSummary(os.Stderr)
+		}
+	}
+}
+
+// --- one benchmark per paper artifact (see DESIGN.md §4) ---
+
+func BenchmarkFig1SLCvsMLC(b *testing.B)          { runExperiment(b, "fig1") }
+func BenchmarkFig2Variability(b *testing.B)       { runExperiment(b, "fig2") }
+func BenchmarkFig3Wear(b *testing.B)              { runExperiment(b, "fig3") }
+func BenchmarkFig5HiddenEncoding(b *testing.B)    { runExperiment(b, "fig5") }
+func BenchmarkFig6BERvsPPSteps(b *testing.B)      { runExperiment(b, "fig6") }
+func BenchmarkFig7BERvsInterval(b *testing.B)     { runExperiment(b, "fig7") }
+func BenchmarkFig8DistributionShift(b *testing.B) { runExperiment(b, "fig8") }
+func BenchmarkFig9Indistinguishable(b *testing.B) { runExperiment(b, "fig9") }
+func BenchmarkFig10SVM(b *testing.B)              { runExperiment(b, "fig10") }
+func BenchmarkFig11Retention(b *testing.B)        { runExperiment(b, "fig11") }
+func BenchmarkFig12SVMEnhanced(b *testing.B)      { runExperiment(b, "fig12") }
+func BenchmarkTable1Comparison(b *testing.B)      { runExperiment(b, "tbl1") }
+func BenchmarkThroughput(b *testing.B)            { runExperiment(b, "thru") }
+func BenchmarkEnergy(b *testing.B)                { runExperiment(b, "energy") }
+func BenchmarkWearAmplification(b *testing.B)     { runExperiment(b, "wear") }
+func BenchmarkCapacity(b *testing.B)              { runExperiment(b, "cap") }
+func BenchmarkReliabilityVsPEC(b *testing.B)      { runExperiment(b, "relia") }
+func BenchmarkSecondVendor(b *testing.B)          { runExperiment(b, "vendor2") }
+func BenchmarkPublicInterference(b *testing.B)    { runExperiment(b, "pubber") }
+func BenchmarkSnapshotAdversary(b *testing.B)     { runExperiment(b, "snapshot") }
+func BenchmarkSummaryStatSVM(b *testing.B)        { runExperiment(b, "sumstat") }
+func BenchmarkPageLevelSVM(b *testing.B)          { runExperiment(b, "fig10page") }
+
+// --- library hot paths ---
+
+func benchDevice(b *testing.B) (*Device, *Hider) {
+	b.Helper()
+	dev := OpenVendorA(12345)
+	h, err := dev.NewHider([]byte("bench key"), Robust)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return dev, h
+}
+
+func benchPublic(h *Hider, seed uint64) []byte {
+	rng := rand.New(rand.NewPCG(seed, 0))
+	p := make([]byte, h.PublicDataBytes())
+	for i := range p {
+		p[i] = byte(rng.IntN(256))
+	}
+	return p
+}
+
+// BenchmarkWritePage measures public page writes through the VT-HI public
+// ECC layout (RS encode + simulated program).
+func BenchmarkWritePage(b *testing.B) {
+	dev, h := benchDevice(b)
+	pub := benchPublic(h, 1)
+	g := dev.Geometry()
+	b.SetBytes(int64(len(pub)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		block := (i / g.PagesPerBlock) % g.Blocks
+		page := i % g.PagesPerBlock
+		if page == 0 {
+			dev.EraseBlock(block)
+		}
+		if err := h.WritePage(PageAddr{Block: block, Page: page}, pub); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReadPublic measures public reads with RS correction.
+func BenchmarkReadPublic(b *testing.B) {
+	dev, h := benchDevice(b)
+	pub := benchPublic(h, 2)
+	addr := PageAddr{Block: 0, Page: 0}
+	if err := h.WritePage(addr, pub); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(pub)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := h.ReadPublic(addr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = dev
+}
+
+// BenchmarkHide measures the full Algorithm 1 encode on one page
+// (selection, encryption, BCH, PP loop) per hidden payload.
+func BenchmarkHide(b *testing.B) {
+	dev, h := benchDevice(b)
+	pub := benchPublic(h, 3)
+	secret := make([]byte, h.HiddenPayloadBytes())
+	g := dev.Geometry()
+	b.SetBytes(int64(len(secret)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		block := (i / g.PagesPerBlock) % g.Blocks
+		page := i % g.PagesPerBlock
+		if page == 0 {
+			b.StopTimer()
+			dev.EraseBlock(block)
+			b.StartTimer()
+		}
+		if _, err := h.WriteAndHide(PageAddr{Block: block, Page: page}, pub, secret, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReveal measures the single-read decode path (read-ref shift,
+// BCH correction, decryption).
+func BenchmarkReveal(b *testing.B) {
+	dev, h := benchDevice(b)
+	pub := benchPublic(h, 4)
+	secret := make([]byte, h.HiddenPayloadBytes())
+	addr := PageAddr{Block: 0, Page: 0}
+	if _, err := h.WriteAndHide(addr, pub, secret, 0); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(secret)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := h.Reveal(addr, len(secret), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = dev
+}
+
+// BenchmarkProbePage measures the adversary's per-cell voltage probe.
+func BenchmarkProbePage(b *testing.B) {
+	dev, h := benchDevice(b)
+	addr := PageAddr{Block: 0, Page: 0}
+	if err := h.WritePage(addr, benchPublic(h, 5)); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(dev.Geometry().CellsPerPage()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dev.Chip().ProbePage(addr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFTLWriteThroughVolume measures public sector writes through the
+// full stack: encryption, RS layout, FTL mapping, GC when needed.
+func BenchmarkFTLWriteThroughVolume(b *testing.B) {
+	dev := OpenVendorA(777)
+	vol, err := dev.CreateVolume([]byte("hk"), []byte("pk"), 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sector := make([]byte, vol.PublicSectorBytes())
+	b.SetBytes(int64(len(sector)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := vol.PublicWrite(i%vol.PublicCapacity(), sector); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHiddenVolumeWrite measures hidden sector writes (cover rewrite
+// plus voltage-level embed).
+func BenchmarkHiddenVolumeWrite(b *testing.B) {
+	dev := OpenVendorA(778)
+	vol, err := dev.CreateVolume([]byte("hk"), []byte("pk"), 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, vol.HiddenSectorBytes())
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := vol.HiddenWrite(1+i%vol.HiddenCapacity(), payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+// Command chipchar characterises simulated NAND chips the way §4 of the
+// paper characterises its hardware: program pseudorandom data, probe every
+// cell, and report the per-state voltage distributions across samples and
+// wear levels.
+//
+// Usage:
+//
+//	chipchar [-model a|b] [-samples 4] [-pec 0,1000,2000,3000] [-pagebytes 4512] [-pages 8] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"stashflash/internal/nand"
+	"stashflash/internal/stats"
+	"stashflash/internal/tester"
+)
+
+func main() {
+	model := flag.String("model", "a", "chip model: a or b")
+	samples := flag.Int("samples", 4, "number of chip samples")
+	pecList := flag.String("pec", "0,1000,2000,3000", "comma-separated PEC levels")
+	pageBytes := flag.Int("pagebytes", 4512, "bytes per page")
+	pages := flag.Int("pages", 8, "pages per block")
+	seed := flag.Uint64("seed", 1, "base seed")
+	csv := flag.Bool("csv", false, "dump full histograms as CSV to stdout")
+	flag.Parse()
+
+	var base nand.Model
+	switch *model {
+	case "a":
+		base = nand.ModelA()
+	case "b":
+		base = nand.ModelB()
+	default:
+		fmt.Fprintf(os.Stderr, "chipchar: unknown model %q\n", *model)
+		os.Exit(2)
+	}
+	pecs, err := parseInts(*pecList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chipchar:", err)
+		os.Exit(2)
+	}
+	m := base.ScaleGeometry(len(pecs)+1, *pages, *pageBytes)
+
+	fmt.Printf("# chip characterisation: %s, %d samples, %d pages x %d bytes per block\n",
+		base.Name, *samples, *pages, *pageBytes)
+	fmt.Printf("%-8s %-6s %-12s %-12s %-12s %-12s %-10s\n",
+		"sample", "PEC", "erased mean", "erased p99", "prog mean", "prog p01", "tail>=34")
+
+	var curves []curve
+	for sm := 0; sm < *samples; sm++ {
+		ts := tester.New(nand.NewChip(m, *seed+uint64(sm)*1009), *seed+uint64(sm))
+		for bi, pec := range pecs {
+			ts.CycleTo(bi, pec)
+			if _, err := ts.ProgramRandomBlock(bi); err != nil {
+				fmt.Fprintln(os.Stderr, "chipchar:", err)
+				os.Exit(1)
+			}
+			erased, programmed, err := ts.BlockDistribution(bi)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "chipchar:", err)
+				os.Exit(1)
+			}
+			tail := 0
+			for lvl := 34; lvl < erased.Bins(); lvl++ {
+				tail += erased.Count(lvl)
+			}
+			fmt.Printf("%-8d %-6d %-12.2f %-12.2f %-12.2f %-12.2f %-10s\n",
+				sm+1, pec,
+				erased.Mean(), erased.Quantile(0.99),
+				programmed.Mean(), programmed.Quantile(0.01),
+				fmt.Sprintf("%.2f%%", 100*float64(tail)/float64(erased.Total())))
+			if *csv {
+				curves = append(curves,
+					curve{fmt.Sprintf("s%d-pec%d-erased", sm+1, pec), erased},
+					curve{fmt.Sprintf("s%d-pec%d-programmed", sm+1, pec), programmed})
+			}
+			ts.Chip().DropBlockState(bi)
+		}
+	}
+	if *csv {
+		fmt.Println("\nlevel," + joinLabels(curves))
+		for lvl := 0; lvl < 256; lvl++ {
+			row := []string{strconv.Itoa(lvl)}
+			for _, c := range curves {
+				row = append(row, fmt.Sprintf("%.6f", c.hist.Fraction(lvl)*100))
+			}
+			fmt.Println(strings.Join(row, ","))
+		}
+	}
+}
+
+// curve pairs a label with a distribution for CSV output.
+type curve struct {
+	label string
+	hist  *stats.Histogram
+}
+
+func joinLabels(cs []curve) string {
+	var labels []string
+	for _, c := range cs {
+		labels = append(labels, c.label)
+	}
+	return strings.Join(labels, ",")
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad PEC value %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no PEC levels given")
+	}
+	return out, nil
+}

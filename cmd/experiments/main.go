@@ -1,0 +1,82 @@
+// Command experiments regenerates the paper's tables and figures from the
+// simulated substrate. Each experiment prints its headline tables and (in
+// full mode) the figure series as aligned (x, y) columns.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments [-scale ci|paper] [-summary] [-seed N] all
+//	experiments [-scale ci|paper] fig6 fig10 tbl1 ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"stashflash/internal/experiments"
+)
+
+func main() {
+	scaleName := flag.String("scale", "ci", "run scale: ci (seconds) or paper (minutes)")
+	summary := flag.Bool("summary", false, "print tables and notes only, suppress series points")
+	list := flag.Bool("list", false, "list experiments and exit")
+	seed := flag.Uint64("seed", 0, "override the scale's seed (0 keeps default)")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Paper)
+		}
+		return
+	}
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "ci":
+		scale = experiments.CIScale()
+	case "paper":
+		scale = experiments.PaperScale()
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown scale %q (ci, paper)\n", *scaleName)
+		os.Exit(2)
+	}
+	if *seed != 0 {
+		scale.Seed = *seed
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		fmt.Fprintln(os.Stderr, "experiments: name experiments to run, or \"all\" (see -list)")
+		os.Exit(2)
+	}
+	var entries []experiments.Entry
+	if len(ids) == 1 && ids[0] == "all" {
+		entries = experiments.All()
+	} else {
+		for _, id := range ids {
+			e, err := experiments.Lookup(id)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(2)
+			}
+			entries = append(entries, e)
+		}
+	}
+
+	for _, e := range entries {
+		start := time.Now()
+		r, err := e.Run(scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		r.AddNote("regenerates %s; ran in %v at scale %q", e.Paper, time.Since(start).Round(time.Millisecond), *scaleName)
+		if *summary {
+			r.WriteSummary(os.Stdout)
+		} else {
+			r.WriteText(os.Stdout)
+		}
+	}
+}

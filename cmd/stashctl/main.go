@@ -1,0 +1,408 @@
+// Command stashctl operates a simulated VT-HI-capable flash device stored
+// as an image file: create a device, store public data, hide and reveal
+// secret payloads, and inspect the device — the host-software role of the
+// paper's prototype.
+//
+// Usage:
+//
+//	stashctl init   -image dev.img [-model a|b] [-blocks 64 -pages 16 -pagebytes 4512] [-seed 1]
+//	stashctl write  -image dev.img -block B -page P (-msg "text" | -rand)
+//	stashctl read   -image dev.img -block B -page P [-n len]
+//	stashctl hide   -image dev.img -key SECRET -block B -page P -msg "text" [-config robust|standard|enhanced]
+//	stashctl reveal -image dev.img -key SECRET -block B -page P -n len [-config robust|standard|enhanced]
+//	stashctl erase  -image dev.img -block B
+//	stashctl probe  -image dev.img -block B -page P
+//	stashctl stats  -image dev.img
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+
+	"stashflash/internal/core"
+	"stashflash/internal/nand"
+	"stashflash/internal/stats"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "init":
+		err = cmdInit(args)
+	case "write":
+		err = cmdWrite(args)
+	case "read":
+		err = cmdRead(args)
+	case "hide":
+		err = cmdHide(args)
+	case "reveal":
+		err = cmdReveal(args)
+	case "erase":
+		err = cmdErase(args)
+	case "probe":
+		err = cmdProbe(args)
+	case "stats":
+		err = cmdStats(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "stashctl: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stashctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `stashctl — operate a simulated VT-HI flash device image
+commands: init, write, read, hide, reveal, erase, probe, stats
+run "stashctl <cmd> -h" for per-command flags`)
+}
+
+func loadChip(path string) (*nand.Chip, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return nand.Load(f)
+}
+
+func saveChip(path string, c *nand.Chip) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := c.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func configByName(name string) (core.Config, error) {
+	switch name {
+	case "standard":
+		return core.StandardConfig(), nil
+	case "enhanced":
+		return core.EnhancedConfig(), nil
+	case "robust", "":
+		return core.RobustConfig(), nil
+	}
+	return core.Config{}, fmt.Errorf("unknown config %q (standard, enhanced, robust)", name)
+}
+
+func cmdInit(args []string) error {
+	fs := flag.NewFlagSet("init", flag.ExitOnError)
+	image := fs.String("image", "", "device image path (required)")
+	model := fs.String("model", "a", "chip model: a or b")
+	blocks := fs.Int("blocks", 64, "number of blocks")
+	pages := fs.Int("pages", 16, "pages per block")
+	pageBytes := fs.Int("pagebytes", 4512, "bytes per page")
+	seed := fs.Uint64("seed", 1, "physical sample seed")
+	fs.Parse(args)
+	if *image == "" {
+		return fmt.Errorf("init: -image is required")
+	}
+	var m nand.Model
+	switch *model {
+	case "a":
+		m = nand.ModelA()
+	case "b":
+		m = nand.ModelB()
+	default:
+		return fmt.Errorf("init: unknown model %q", *model)
+	}
+	m = m.ScaleGeometry(*blocks, *pages, *pageBytes)
+	chip := nand.NewChip(m, *seed)
+	if err := saveChip(*image, chip); err != nil {
+		return err
+	}
+	fmt.Printf("initialised %s: %s, %d blocks x %d pages x %d bytes (%.1f MiB)\n",
+		*image, m.Name, *blocks, *pages, *pageBytes,
+		float64(m.TotalBytes())/(1<<20))
+	return nil
+}
+
+// pageIOFlags holds the flags shared by page-level commands.
+type pageIOFlags struct {
+	image  *string
+	block  *int
+	page   *int
+	key    *string
+	config *string
+}
+
+func pageFlags(fs *flag.FlagSet, withKey bool) pageIOFlags {
+	p := pageIOFlags{
+		image: fs.String("image", "", "device image path (required)"),
+		block: fs.Int("block", 0, "block number"),
+		page:  fs.Int("page", 0, "page number"),
+	}
+	if withKey {
+		p.key = fs.String("key", "", "hiding master secret (required)")
+		p.config = fs.String("config", "robust", "VT-HI config: standard, enhanced, robust")
+	}
+	return p
+}
+
+func (p pageIOFlags) validate(withKey bool) error {
+	if *p.image == "" {
+		return fmt.Errorf("-image is required")
+	}
+	if withKey && *p.key == "" {
+		return fmt.Errorf("-key is required")
+	}
+	return nil
+}
+
+func (p pageIOFlags) addr() nand.PageAddr {
+	return nand.PageAddr{Block: *p.block, Page: *p.page}
+}
+
+// publicHider builds the layout-only pipeline for public I/O. The master
+// key is irrelevant for public operations; any value yields the same
+// public layout.
+func publicHider(chip *nand.Chip, cfgName string) (*core.Hider, error) {
+	cfg, err := configByName(cfgName)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewHider(chip, []byte("public"), cfg)
+}
+
+func cmdWrite(args []string) error {
+	fs := flag.NewFlagSet("write", flag.ExitOnError)
+	p := pageFlags(fs, false)
+	msg := fs.String("msg", "", "public data (zero-padded to the page)")
+	random := fs.Bool("rand", false, "fill the page with random data")
+	seed := fs.Uint64("seed", 0, "seed for -rand")
+	fs.Parse(args)
+	if err := p.validate(false); err != nil {
+		return err
+	}
+	chip, err := loadChip(*p.image)
+	if err != nil {
+		return err
+	}
+	h, err := publicHider(chip, "robust")
+	if err != nil {
+		return err
+	}
+	data := make([]byte, h.PublicDataBytes())
+	if *random {
+		rng := rand.New(rand.NewPCG(*seed, 0xdead))
+		for i := range data {
+			data[i] = byte(rng.IntN(256))
+		}
+	} else {
+		copy(data, *msg)
+	}
+	if err := h.WritePage(p.addr(), data); err != nil {
+		return err
+	}
+	if err := saveChip(*p.image, chip); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d public bytes to %v\n", len(data), p.addr())
+	return nil
+}
+
+func cmdRead(args []string) error {
+	fs := flag.NewFlagSet("read", flag.ExitOnError)
+	p := pageFlags(fs, false)
+	n := fs.Int("n", 64, "bytes to print")
+	fs.Parse(args)
+	if err := p.validate(false); err != nil {
+		return err
+	}
+	chip, err := loadChip(*p.image)
+	if err != nil {
+		return err
+	}
+	h, err := publicHider(chip, "robust")
+	if err != nil {
+		return err
+	}
+	data, corrected, err := h.ReadPublic(p.addr())
+	if err != nil {
+		return err
+	}
+	if *n > len(data) {
+		*n = len(data)
+	}
+	fmt.Printf("public data at %v (ECC corrected %d symbols):\n%q\n", p.addr(), corrected, data[:*n])
+	return nil
+}
+
+func cmdHide(args []string) error {
+	fs := flag.NewFlagSet("hide", flag.ExitOnError)
+	p := pageFlags(fs, true)
+	msg := fs.String("msg", "", "hidden payload (required)")
+	epoch := fs.Uint64("epoch", 0, "embedding epoch")
+	fs.Parse(args)
+	if err := p.validate(true); err != nil {
+		return err
+	}
+	if *msg == "" {
+		return fmt.Errorf("hide: -msg is required")
+	}
+	chip, err := loadChip(*p.image)
+	if err != nil {
+		return err
+	}
+	cfg, err := configByName(*p.config)
+	if err != nil {
+		return err
+	}
+	h, err := core.NewHider(chip, []byte(*p.key), cfg)
+	if err != nil {
+		return err
+	}
+	if len(*msg) > h.HiddenPayloadBytes() {
+		return fmt.Errorf("hide: payload %d bytes exceeds page capacity %d", len(*msg), h.HiddenPayloadBytes())
+	}
+	st, err := h.Hide(p.addr(), []byte(*msg), *epoch)
+	if err != nil {
+		return err
+	}
+	if err := saveChip(*p.image, chip); err != nil {
+		return err
+	}
+	fmt.Printf("hid %d bytes in %v (%d cells, %d PP steps)\n", len(*msg), p.addr(), st.Cells, st.Steps)
+	return nil
+}
+
+func cmdReveal(args []string) error {
+	fs := flag.NewFlagSet("reveal", flag.ExitOnError)
+	p := pageFlags(fs, true)
+	n := fs.Int("n", 0, "hidden payload length (required)")
+	epoch := fs.Uint64("epoch", 0, "embedding epoch")
+	fs.Parse(args)
+	if err := p.validate(true); err != nil {
+		return err
+	}
+	if *n <= 0 {
+		return fmt.Errorf("reveal: -n is required")
+	}
+	chip, err := loadChip(*p.image)
+	if err != nil {
+		return err
+	}
+	cfg, err := configByName(*p.config)
+	if err != nil {
+		return err
+	}
+	h, err := core.NewHider(chip, []byte(*p.key), cfg)
+	if err != nil {
+		return err
+	}
+	data, st, err := h.Reveal(p.addr(), *n, *epoch)
+	if err != nil {
+		return err
+	}
+	// Reveal is non-destructive; no save needed, but the ledger moved.
+	if err := saveChip(*p.image, chip); err != nil {
+		return err
+	}
+	fmt.Printf("revealed %q (hidden ECC corrected %d bits)\n", data, st.CorrectedHidden)
+	return nil
+}
+
+func cmdErase(args []string) error {
+	fs := flag.NewFlagSet("erase", flag.ExitOnError)
+	image := fs.String("image", "", "device image path (required)")
+	block := fs.Int("block", 0, "block to erase")
+	fs.Parse(args)
+	if *image == "" {
+		return fmt.Errorf("erase: -image is required")
+	}
+	chip, err := loadChip(*image)
+	if err != nil {
+		return err
+	}
+	chip.EraseBlock(*block)
+	if err := saveChip(*image, chip); err != nil {
+		return err
+	}
+	fmt.Printf("erased block %d (PEC now %d); any hidden payloads in it are gone\n", *block, chip.PEC(*block))
+	return nil
+}
+
+func cmdProbe(args []string) error {
+	fs := flag.NewFlagSet("probe", flag.ExitOnError)
+	p := pageFlags(fs, false)
+	fs.Parse(args)
+	if err := p.validate(false); err != nil {
+		return err
+	}
+	chip, err := loadChip(*p.image)
+	if err != nil {
+		return err
+	}
+	levels, err := chip.ProbePage(p.addr())
+	if err != nil {
+		return err
+	}
+	erased := stats.NewHistogram(0, 256, 256)
+	programmed := stats.NewHistogram(0, 256, 256)
+	ref := chip.Model().ReadRef
+	for _, v := range levels {
+		if float64(v) < ref {
+			erased.Add(float64(v))
+		} else {
+			programmed.Add(float64(v))
+		}
+	}
+	fmt.Printf("voltage probe of %v (%d cells):\n", p.addr(), len(levels))
+	fmt.Printf("  erased     : %6d cells, mean %6.2f, p99 %6.2f\n",
+		erased.Total(), erased.Mean(), erased.Quantile(0.99))
+	fmt.Printf("  programmed : %6d cells, mean %6.2f, p01 %6.2f\n",
+		programmed.Total(), programmed.Mean(), programmed.Quantile(0.01))
+	return nil
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	image := fs.String("image", "", "device image path (required)")
+	fs.Parse(args)
+	if *image == "" {
+		return fmt.Errorf("stats: -image is required")
+	}
+	chip, err := loadChip(*image)
+	if err != nil {
+		return err
+	}
+	m := chip.Model()
+	l := chip.Ledger()
+	fmt.Printf("model      : %s\n", m.Name)
+	fmt.Printf("geometry   : %d blocks x %d pages x %d bytes (%.1f MiB)\n",
+		m.Blocks, m.PagesPerBlock, m.PageBytes, float64(m.TotalBytes())/(1<<20))
+	maxPEC := 0
+	for b := 0; b < m.Blocks; b++ {
+		if p := chip.PEC(b); p > maxPEC {
+			maxPEC = p
+		}
+	}
+	fmt.Printf("max PEC    : %d (rated %d)\n", maxPEC, m.RatedPEC)
+	fmt.Printf("ops        : %d reads, %d programs, %d erases, %d partial programs, %d probes\n",
+		l.Reads, l.Programs, l.Erases, l.PartialPrograms, l.Probes)
+	fmt.Printf("bus time   : %v   energy: %.1f mJ\n", l.Time, l.EnergyUJ/1000)
+	return nil
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLIEndToEnd builds the binary and drives a full hide/reveal session
+// against a device image file, the way a user would.
+func TestCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "stashctl")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	img := filepath.Join(dir, "dev.img")
+
+	run := func(wantOK bool, args ...string) string {
+		t.Helper()
+		out, err := exec.Command(bin, args...).CombinedOutput()
+		if (err == nil) != wantOK {
+			t.Fatalf("stashctl %v: err=%v\n%s", args, err, out)
+		}
+		return string(out)
+	}
+
+	run(true, "init", "-image", img, "-blocks", "8", "-pages", "8", "-pagebytes", "2040")
+	if _, err := os.Stat(img); err != nil {
+		t.Fatalf("image not created: %v", err)
+	}
+
+	run(true, "write", "-image", img, "-block", "0", "-page", "0", "-rand", "-seed", "7")
+	run(true, "hide", "-image", img, "-key", "hunter2", "-block", "0", "-page", "0", "-msg", "attack at dawn")
+
+	out := run(true, "reveal", "-image", img, "-key", "hunter2", "-block", "0", "-page", "0", "-n", "14")
+	if !strings.Contains(out, "attack at dawn") {
+		t.Fatalf("reveal output missing payload: %s", out)
+	}
+
+	// The wrong key must not recover the message.
+	wrong, err := exec.Command(bin, "reveal", "-image", img, "-key", "nope", "-block", "0", "-page", "0", "-n", "14").CombinedOutput()
+	if err == nil && strings.Contains(string(wrong), "attack at dawn") {
+		t.Fatalf("wrong key revealed the message: %s", wrong)
+	}
+
+	out = run(true, "probe", "-image", img, "-block", "0", "-page", "0")
+	if !strings.Contains(out, "erased") || !strings.Contains(out, "programmed") {
+		t.Fatalf("probe output malformed: %s", out)
+	}
+
+	out = run(true, "stats", "-image", img)
+	if !strings.Contains(out, "geometry") {
+		t.Fatalf("stats output malformed: %s", out)
+	}
+
+	run(true, "erase", "-image", img, "-block", "0")
+	run(true, "write", "-image", img, "-block", "0", "-page", "0", "-rand", "-seed", "8")
+	gone, err := exec.Command(bin, "reveal", "-image", img, "-key", "hunter2", "-block", "0", "-page", "0", "-n", "14").CombinedOutput()
+	if err == nil && strings.Contains(string(gone), "attack at dawn") {
+		t.Fatalf("message survived an erase: %s", gone)
+	}
+
+	// Bad invocations fail cleanly.
+	run(false, "init")
+	run(false, "frobnicate")
+	run(false, "hide", "-image", img, "-block", "0", "-page", "0", "-msg", "x") // missing key
+	run(false, "reveal", "-image", img, "-key", "k", "-block", "0", "-page", "0")
+}

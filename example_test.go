@@ -1,0 +1,78 @@
+package stashflash_test
+
+import (
+	"fmt"
+
+	"stashflash"
+)
+
+// ExampleDevice_NewHider demonstrates the basic hide/reveal round trip.
+func ExampleDevice_NewHider() {
+	dev := stashflash.OpenVendorA(42)
+	hider, err := dev.NewHider([]byte("secret"), stashflash.Robust)
+	if err != nil {
+		panic(err)
+	}
+	addr := stashflash.PageAddr{Block: 0, Page: 0}
+	// Public data is assumed encrypted (uniformly random bits); an
+	// all-zeros page would leave no non-programmed cells to hide in.
+	public := make([]byte, hider.PublicDataBytes())
+	for i := range public {
+		public[i] = byte(i * 151)
+	}
+	if err := hider.WritePage(addr, public); err != nil {
+		panic(err)
+	}
+	if _, err := hider.Hide(addr, []byte("hidden"), 0); err != nil {
+		panic(err)
+	}
+	msg, _, err := hider.Reveal(addr, 6, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s\n", msg)
+	// Output: hidden
+}
+
+// ExamplePlanCapacity shows the §6.3 capacity arithmetic on the full part.
+func ExamplePlanCapacity() {
+	std, err := stashflash.PlanCapacity(stashflash.VendorA(), stashflash.Standard)
+	if err != nil {
+		panic(err)
+	}
+	enh, err := stashflash.PlanCapacity(stashflash.VendorA(), stashflash.Enhanced)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("standard: %d hidden payload bits/page\n", std.PayloadBitsPerPage)
+	fmt.Printf("enhanced: %d hidden payload bits/page (%.1fx)\n",
+		enh.PayloadBitsPerPage, float64(enh.PayloadBitsPerPage)/float64(std.PayloadBitsPerPage))
+	// Output:
+	// standard: 184 hidden payload bits/page
+	// enhanced: 1792 hidden payload bits/page (9.7x)
+}
+
+// ExampleDevice_CreateVolume mounts a hidden volume, stores a secret
+// sector, and recovers all hidden state from the key alone.
+func ExampleDevice_CreateVolume() {
+	dev := stashflash.OpenVendorA(7)
+	vol, err := dev.CreateVolume([]byte("hidden key"), []byte("public key"), 8)
+	if err != nil {
+		panic(err)
+	}
+	if err := vol.HiddenWrite(1, []byte("vault")); err != nil {
+		panic(err)
+	}
+	if err := vol.Sync(); err != nil {
+		panic(err)
+	}
+	if err := vol.Remount([]byte("hidden key")); err != nil {
+		panic(err)
+	}
+	got, err := vol.HiddenRead(1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s\n", got[:5])
+	// Output: vault
+}

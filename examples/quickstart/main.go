@@ -1,0 +1,90 @@
+// Quickstart: hide a message in the voltage levels of a simulated flash
+// device, show that the public data is untouched and the wrong key gets
+// nothing, then destroy the hidden payload with one erase.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"stashflash"
+)
+
+func main() {
+	// A simulated vendor-A chip; the seed selects a physical sample.
+	dev := stashflash.OpenVendorA(2026)
+	fmt.Printf("device: %d blocks x %d pages x %d bytes\n",
+		dev.Geometry().Blocks, dev.Geometry().PagesPerBlock, dev.Geometry().PageBytes)
+
+	// The hiding user's pipeline, keyed by a master secret.
+	hider, err := dev.NewHider([]byte("correct horse battery staple"), stashflash.Robust)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hidden capacity: %d bytes per page (of %d public bytes)\n\n",
+		hider.HiddenPayloadBytes(), hider.PublicDataBytes())
+
+	// 1. Store ordinary public data (any application data; here random
+	// bytes standing in for an encrypted filesystem's blocks).
+	addr := stashflash.PageAddr{Block: 3, Page: 0}
+	public := make([]byte, hider.PublicDataBytes())
+	rng := rand.New(rand.NewPCG(7, 7))
+	for i := range public {
+		public[i] = byte(rng.IntN(256))
+	}
+	if err := hider.WritePage(addr, public); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("1. public data written to", addr)
+
+	// 2. Hide a secret in the same page's cell voltages.
+	secret := []byte("stash in a flash")
+	st, err := hider.Hide(addr, secret, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("2. hid %d bytes using %d cells and %d partial-program steps\n",
+		len(secret), st.Cells, st.Steps)
+
+	// 3. The public data is unchanged — a normal user sees nothing odd.
+	got, corrected, err := hider.ReadPublic(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("3. public data intact: %v (ECC corrected %d symbols)\n",
+		bytes.Equal(got, public), corrected)
+
+	// 4. The right key recovers the secret with a single read.
+	revealed, _, err := hider.Reveal(addr, len(secret), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("4. revealed: %q\n", revealed)
+
+	// 5. The wrong key finds nothing (and cannot tell whether anything
+	// is there).
+	impostor, err := dev.NewHider([]byte("wrong key"), stashflash.Robust)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if leak, _, err := impostor.Reveal(addr, len(secret), 0); err != nil {
+		fmt.Printf("5. wrong key: %v\n", err)
+	} else {
+		fmt.Printf("5. wrong key read garbage: %q\n", leak)
+	}
+
+	// 6. One block erase destroys the hidden payload instantly.
+	dev.EraseBlock(addr.Block)
+	if err := hider.WritePage(addr, public); err != nil {
+		log.Fatal(err)
+	}
+	if gone, _, err := hider.Reveal(addr, len(secret), 0); err != nil {
+		fmt.Printf("6. after erase: %v\n", err)
+	} else {
+		fmt.Printf("6. after erase the secret is gone: %q\n", gone)
+	}
+}

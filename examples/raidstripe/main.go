@@ -1,0 +1,81 @@
+// RAID-like striped hiding (paper §8: "data can be further encoded using
+// RAID-like schemes, similarly to normal data"). A payload is spread over
+// several blocks with Reed–Solomon parity shards; whole blocks can then
+// die — bad blocks, or a normal user unknowingly recycling a cover page —
+// and the payload still reconstructs.
+//
+// Run with: go run ./examples/raidstripe
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"stashflash"
+)
+
+func main() {
+	dev := stashflash.OpenVendorA(21)
+	hider, err := dev.NewHider([]byte("stripe key"), stashflash.Robust)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 6 data shards + 4 parity shards, one per block: any 4 block losses
+	// are survivable.
+	geo := stashflash.StripeGeometry{Data: 6, Parity: 4}
+	var addrs []stashflash.PageAddr
+	rng := rand.New(rand.NewPCG(1, 1))
+	for b := 0; b < geo.Data+geo.Parity; b++ {
+		a := stashflash.PageAddr{Block: b, Page: 0}
+		cover := make([]byte, hider.PublicDataBytes())
+		for i := range cover {
+			cover[i] = byte(rng.IntN(256))
+		}
+		if err := hider.WritePage(a, cover); err != nil {
+			log.Fatal(err)
+		}
+		addrs = append(addrs, a)
+	}
+
+	payload := make([]byte, hider.StripeCapacity(geo))
+	copy(payload, "the full key material, spread across ten flash blocks")
+	if err := hider.HideStriped(geo, addrs, payload, 0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hid %d bytes across %d blocks (%d data + %d parity shards)\n",
+		len(payload), len(addrs), geo.Data, geo.Parity)
+
+	// Disaster: four blocks are erased and recycled with new public data.
+	for _, i := range []int{0, 3, 7, 9} {
+		dev.EraseBlock(addrs[i].Block)
+		cover := make([]byte, hider.PublicDataBytes())
+		for j := range cover {
+			cover[j] = byte(rng.IntN(256))
+		}
+		if err := hider.WritePage(addrs[i], cover); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("destroyed shards 0, 3, 7, 9 (blocks erased and recycled)")
+
+	got, rep, err := hider.RevealStriped(geo, addrs, len(payload), 0)
+	if err != nil {
+		log.Fatalf("reveal: %v", err)
+	}
+	fmt.Printf("reveal detected failed shards %v and reconstructed from parity\n", rep.FailedShards)
+	fmt.Printf("payload intact: %v\n", bytes.Equal(got, payload))
+	fmt.Printf("recovered: %q\n", bytes.TrimRight(got, "\x00"))
+
+	// A fifth loss exceeds the parity budget.
+	dev.EraseBlock(addrs[5].Block)
+	cover := make([]byte, hider.PublicDataBytes())
+	if err := hider.WritePage(addrs[5], cover); err != nil {
+		log.Fatal(err)
+	}
+	if _, rep, err := hider.RevealStriped(geo, addrs, len(payload), 0); err != nil {
+		fmt.Printf("with a 5th loss (%d failed shards): %v\n", len(rep.FailedShards), err)
+	}
+}

@@ -1,0 +1,115 @@
+// Retention: how long does hidden data last (paper Fig 11), and how does
+// refreshing help (§8: "re-writing (refreshing) hidden data every several
+// months ... can significantly improve retention")?
+//
+// The example hides payloads on a fresh and on a worn device, ages both
+// by months of retention, and compares raw recovery — then demonstrates a
+// refresh cycle restoring full margin.
+//
+// Run with: go run ./examples/retention
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"time"
+
+	"stashflash"
+)
+
+const month = 30 * 24 * time.Hour
+
+func payload(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(rng.IntN(256))
+	}
+	return b
+}
+
+func main() {
+	rng := rand.New(rand.NewPCG(5, 5))
+
+	for _, tc := range []struct {
+		name string
+		pec  int
+	}{
+		{"fresh device (PEC 0)", 0},
+		{"worn device (PEC 2000)", 2000},
+	} {
+		dev := stashflash.OpenVendorA(11)
+		hider, err := dev.NewHider([]byte("key"), stashflash.Robust)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Pre-age the block, then store public + hidden data.
+		elapsed = 0
+		if tc.pec > 0 {
+			dev.Chip().CycleBlock(0, tc.pec)
+		}
+		addr := stashflash.PageAddr{Block: 0, Page: 0}
+		secret := payload(rng, hider.HiddenPayloadBytes())
+		if _, err := hider.WriteAndHide(addr, payload(rng, hider.PublicDataBytes()), secret, 0); err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("%s:\n", tc.name)
+		for _, months := range []int{0, 1, 4, 8, 12} {
+			cp := monthsElapsed(dev, months)
+			got, st, err := hider.Reveal(addr, len(secret), 0)
+			switch {
+			case err != nil:
+				fmt.Printf("  after %2d months: UNRECOVERABLE (%v)\n", cp, err)
+			case !bytes.Equal(got, secret):
+				fmt.Printf("  after %2d months: corrupted\n", cp)
+			default:
+				fmt.Printf("  after %2d months: intact (ECC corrected %d bits)\n", cp, st.CorrectedHidden)
+			}
+		}
+		fmt.Println()
+	}
+
+	// Refresh: reveal and re-embed periodically on a worn device.
+	fmt.Println("worn device (PEC 2000) with a 4-month refresh cycle:")
+	dev := stashflash.OpenVendorA(13)
+	hider, err := dev.NewHider([]byte("key"), stashflash.Robust)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dev.Chip().CycleBlock(0, 2000)
+	addr := stashflash.PageAddr{Block: 0, Page: 0}
+	secret := payload(rng, hider.HiddenPayloadBytes())
+	cover := payload(rng, hider.PublicDataBytes())
+	if _, err := hider.WriteAndHide(addr, cover, secret, 0); err != nil {
+		log.Fatal(err)
+	}
+	epoch := uint64(0)
+	for cycle := 1; cycle <= 3; cycle++ {
+		dev.Chip().AdvanceRetention(4 * month)
+		got, _, err := hider.Reveal(addr, len(secret), epoch)
+		if err != nil {
+			fmt.Printf("  cycle %d: lost before refresh: %v\n", cycle, err)
+			return
+		}
+		// Refresh: rewrite the cover page (fresh cells) and re-embed.
+		dev.EraseBlock(addr.Block)
+		epoch++
+		if _, err := hider.WriteAndHide(addr, cover, got, epoch); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  cycle %d (month %2d): revealed and re-embedded, payload intact: %v\n",
+			cycle, cycle*4, bytes.Equal(got, secret))
+	}
+}
+
+var elapsed int
+
+func monthsElapsed(dev *stashflash.Device, target int) int {
+	if target > elapsed {
+		dev.Chip().AdvanceRetention(time.Duration(target-elapsed) * month)
+		elapsed = target
+	}
+	return target
+}

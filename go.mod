@@ -1,0 +1,3 @@
+module stashflash
+
+go 1.22

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+
+	"stashflash/internal/nand"
+)
+
+// Ablation: the paper-faithful plain threshold (StandardConfig) versus the
+// compensated robust mode, across block fill states. The paper only ever
+// hides into fully programmed blocks; these tests document why a live
+// system needs the compensated mode (DESIGN.md §6).
+
+// hideAtFillState programs `fill` pages of a block, hides into the last
+// programmed page, then programs the remaining pages (post-hide
+// interference), and finally reveals.
+func hideAtFillState(t *testing.T, cfg Config, fill int, seed uint64) error {
+	t.Helper()
+	chip := nand.NewChip(nand.ModelA().ScaleGeometry(8, 8, 4096), seed)
+	h, err := NewHider(chip, []byte("ablation"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(seed, 17))
+	g := chip.Geometry()
+	for p := 0; p < fill; p++ {
+		if err := h.WritePage(nand.PageAddr{Block: 0, Page: p}, randBytes(rng, h.PublicDataBytes())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	target := nand.PageAddr{Block: 0, Page: fill - 1}
+	secret := randBytes(rng, h.HiddenPayloadBytes())
+	if _, err := h.Hide(target, secret, 0); err != nil {
+		return err
+	}
+	for p := fill; p < g.PagesPerBlock; p++ {
+		if err := h.WritePage(nand.PageAddr{Block: 0, Page: p}, randBytes(rng, h.PublicDataBytes())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, _, err := h.Reveal(target, len(secret), 0)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(got, secret) {
+		t.Fatal("reveal returned wrong bytes without error")
+	}
+	return nil
+}
+
+func TestRobustSurvivesAnyFillState(t *testing.T) {
+	for _, fill := range []int{1, 2, 4, 8} {
+		for seed := uint64(0); seed < 3; seed++ {
+			if err := hideAtFillState(t, RobustConfig(), fill, 100+seed); err != nil {
+				t.Errorf("robust config, fill %d, seed %d: %v", fill, seed, err)
+			}
+		}
+	}
+}
+
+func TestPlainWorksOnlyInFilledBlocks(t *testing.T) {
+	// Fully programmed blocks: the paper's operating condition — the
+	// plain absolute threshold works there.
+	okFull := 0
+	for seed := uint64(0); seed < 3; seed++ {
+		if err := hideAtFillState(t, StandardConfig(), 8, 200+seed); err == nil {
+			okFull++
+		}
+	}
+	if okFull < 2 {
+		t.Errorf("plain config failed in filled blocks %d/3 times; it must work in the paper's conditions", 3-okFull)
+	}
+	// Hiding early in a filling block: post-hide interference shifts the
+	// '1' population across the absolute threshold — the plain config is
+	// expected to fail here, which is exactly the robust mode's reason
+	// to exist. (Documenting behaviour, not asserting failure on every
+	// seed: the margin is statistical.)
+	failEarly := 0
+	for seed := uint64(0); seed < 3; seed++ {
+		if err := hideAtFillState(t, StandardConfig(), 1, 300+seed); err != nil {
+			failEarly++
+		}
+	}
+	t.Logf("plain config at fill state 1 failed %d/3 reveals (robust: 0/3)", failEarly)
+	if failEarly == 0 {
+		t.Error("plain absolute threshold unexpectedly survived early-fill hiding; the robust mode ablation is vacuous")
+	}
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"fmt"
+
+	"stashflash/internal/nand"
+	"stashflash/internal/prng"
+)
+
+// Embedder is the bit-level half of VT-HI: keyed cell selection plus the
+// voltage manipulation loop, with no cryptography or ECC. The experiment
+// harness drives it directly to measure raw hidden BER (paper Figs 6/7);
+// Hider wraps it with the full Algorithm 1 pipeline.
+type Embedder struct {
+	chip      *nand.Chip
+	cfg       Config
+	locateKey []byte
+}
+
+// NewEmbedder builds an embedder for chip under cfg, selecting cells with
+// locateKey. It returns an error for configurations the chip cannot host.
+func NewEmbedder(chip *nand.Chip, locateKey []byte, cfg Config) (*Embedder, error) {
+	if err := cfg.Validate(chip.Model()); err != nil {
+		return nil, err
+	}
+	return &Embedder{
+		chip:      chip,
+		cfg:       cfg,
+		locateKey: append([]byte(nil), locateKey...),
+	}, nil
+}
+
+// Config returns the embedder's configuration.
+func (e *Embedder) Config() Config { return e.cfg }
+
+// PagePlan is the resolved cell selection for one page: cells[j] is the
+// absolute cell index holding hidden bit j. It is recomputed from
+// (key, page, public image) on demand and never persisted — the paper's
+// "the HU does not explicitly persist the location of cells" (§5.3).
+type PagePlan struct {
+	Addr  nand.PageAddr
+	Cells []int
+}
+
+// pageIndex flattens a page address into the PRNG's page number.
+func (e *Embedder) pageIndex(a nand.PageAddr) uint64 {
+	return uint64(a.Block)*uint64(e.chip.Geometry().PagesPerBlock) + uint64(a.Page)
+}
+
+// Plan selects nBits cells for page a given its exact public image
+// (the as-programmed bytes including any public parity). Only
+// non-programmed ('1') public bits are candidates: PP "is too coarse to
+// reliably make fine-grained changes to programmed cells" (§6.2).
+func (e *Embedder) Plan(a nand.PageAddr, image []byte, nBits int) (*PagePlan, error) {
+	g := e.chip.Geometry()
+	if len(image) != g.PageBytes {
+		return nil, fmt.Errorf("core: image is %d bytes, page holds %d", len(image), g.PageBytes)
+	}
+	if nBits > e.cfg.HiddenCellsPerPage {
+		return nil, fmt.Errorf("core: %d bits exceed configured budget %d", nBits, e.cfg.HiddenCellsPerPage)
+	}
+	candidates := make([]int, 0, g.CellsPerPage()/2+g.CellsPerPage()/16)
+	for i := 0; i < g.CellsPerPage(); i++ {
+		if imageBit(image, i) == 1 {
+			candidates = append(candidates, i)
+		}
+	}
+	if len(candidates) < nBits {
+		return nil, fmt.Errorf("core: page %v has only %d non-programmed bits, need %d", a, len(candidates), nBits)
+	}
+	stream := prng.PageStream(e.locateKey, e.pageIndex(a), "vt-hi/select")
+	sel := stream.SelectKSparse(len(candidates), nBits)
+	cells := make([]int, nBits)
+	for j, s := range sel {
+		cells[j] = candidates[s]
+	}
+	return &PagePlan{Addr: a, Cells: cells}, nil
+}
+
+// encodeTarget returns the voltage level hidden-'0' cells must reach on
+// page a, before the guard band. Plain (paper-faithful) mode uses the
+// absolute VthHidden; compensated mode re-centers it for the page's
+// current neighbour-program count and block wear, making the threshold
+// meaningful at any block fill state.
+func (e *Embedder) encodeTarget(a nand.PageAddr) (float64, error) {
+	t := e.cfg.VthHidden
+	if !e.cfg.InterferenceComp {
+		return t, nil
+	}
+	k, err := e.chip.NeighborPrograms(a)
+	if err != nil {
+		return 0, err
+	}
+	m := e.chip.Model()
+	return t - float64(2-k)*m.InterfMean + e.wearComp(a), nil
+}
+
+// ProgramStep performs one iteration of Algorithm 1's main loop: read the
+// page at the embed threshold, then partial-program every hidden-'0' cell
+// still below it. It returns how many cells were pulsed; zero means the
+// encode converged and no command was issued beyond the verify read.
+func (e *Embedder) ProgramStep(p *PagePlan, bits []uint8) (pulsed int, err error) {
+	if len(bits) != len(p.Cells) {
+		return 0, fmt.Errorf("core: %d bits for %d planned cells", len(bits), len(p.Cells))
+	}
+	target, err := e.encodeTarget(p.Addr)
+	if err != nil {
+		return 0, err
+	}
+	raw, err := e.chip.ReadPageRef(p.Addr, target+e.cfg.EmbedGuard)
+	if err != nil {
+		return 0, err
+	}
+	var pending []int
+	for j, cell := range p.Cells {
+		if bits[j] == 0 && imageBit(raw, cell) == 1 { // still below Vth
+			pending = append(pending, cell)
+		}
+	}
+	if len(pending) == 0 {
+		return 0, nil
+	}
+	if err := e.chip.PartialProgram(p.Addr, pending); err != nil {
+		return 0, err
+	}
+	return len(pending), nil
+}
+
+// Embed runs the full encode loop, up to maxSteps iterations (m in
+// Algorithm 1), and returns the number of PP passes actually issued.
+func (e *Embedder) Embed(p *PagePlan, bits []uint8, maxSteps int) (steps int, err error) {
+	for s := 0; s < maxSteps; s++ {
+		pulsed, err := e.ProgramStep(p, bits)
+		if err != nil {
+			return steps, err
+		}
+		if pulsed == 0 {
+			break
+		}
+		steps++
+	}
+	return steps, nil
+}
+
+// FineEmbed is the vendor-supported single-pass encode (§6.2): hidden '0'
+// cells are parked just above Vth by one controller-grade fine programming
+// operation. It must run at page-program time, before neighbour pages are
+// programmed, so the natural levels are still below Vth.
+func (e *Embedder) FineEmbed(p *PagePlan, bits []uint8) error {
+	if !e.cfg.Vendor {
+		return fmt.Errorf("core: FineEmbed requires a vendor-mode configuration")
+	}
+	if len(bits) != len(p.Cells) {
+		return fmt.Errorf("core: %d bits for %d planned cells", len(bits), len(p.Cells))
+	}
+	var zeros []int
+	for j, cell := range p.Cells {
+		if bits[j] == 0 {
+			zeros = append(zeros, cell)
+		}
+	}
+	if len(zeros) == 0 {
+		return nil
+	}
+	// Compensate the park target for interference already accumulated
+	// from neighbour programs before this hide; DecodeRef applies the
+	// matching compensation with the neighbour count at read time, so
+	// interference added after the hide cancels out of the margin.
+	k, err := e.chip.NeighborPrograms(p.Addr)
+	if err != nil {
+		return err
+	}
+	m := e.chip.Model()
+	target := e.cfg.VthHidden + e.cfg.FinePark +
+		float64(k)*m.InterfMean + e.wearComp(p.Addr)
+	return e.chip.FineProgram(p.Addr, zeros, target)
+}
+
+// wearComp is the mean wear-induced distribution shift of the page's
+// block; vendor firmware tracks PEC and can fold it into both the park
+// target and the decode reference ("the ability to dynamically adjust
+// voltage thresholds and targets ... is generally available to the
+// controller internally", §6.2).
+func (e *Embedder) wearComp(a nand.PageAddr) float64 {
+	m := e.chip.Model()
+	return m.WearShiftPerK * float64(e.chip.PEC(a.Block)) / 1000
+}
+
+// DecodeRef returns the reference threshold for reading hidden bits from
+// page a. Standard mode reads at Vth directly. Vendor mode positions the
+// reference between the natural and parked populations and adds the mean
+// interference accumulated from neighbour programs since the hide — the
+// firmware knows the neighbour program count, so this needs no key.
+func (e *Embedder) DecodeRef(a nand.PageAddr) (float64, error) {
+	if !e.cfg.Vendor {
+		target, err := e.encodeTarget(a)
+		if err != nil {
+			return 0, err
+		}
+		return target + e.cfg.EmbedGuard/2, nil
+	}
+	n, err := e.chip.NeighborPrograms(a)
+	if err != nil {
+		return 0, err
+	}
+	m := e.chip.Model()
+	return e.cfg.VthHidden + e.cfg.DecodeRefOffset +
+		float64(n)*m.InterfMean + e.wearComp(a), nil
+}
+
+// ReadBits extracts the hidden bits of a plan with a single read at the
+// shifted reference threshold: below the reference reads '1', at or above
+// reads '0' (Fig 5). Non-destructive and repeatable.
+func (e *Embedder) ReadBits(p *PagePlan) ([]uint8, error) {
+	ref, err := e.DecodeRef(p.Addr)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := e.chip.ReadPageRef(p.Addr, ref)
+	if err != nil {
+		return nil, err
+	}
+	bits := make([]uint8, len(p.Cells))
+	for j, cell := range p.Cells {
+		bits[j] = imageBit(raw, cell)
+	}
+	return bits, nil
+}
+
+// imageBit extracts cell i's bit from page bytes (MSB first).
+func imageBit(image []byte, i int) uint8 {
+	return (image[i/8] >> uint(7-i%8)) & 1
+}

@@ -1,0 +1,285 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"stashflash/internal/nand"
+)
+
+func newEmbedderForTest(t *testing.T, seed uint64, cfg Config) (*Embedder, *nand.Chip) {
+	t.Helper()
+	chip := nand.NewChip(coreTestModel(), seed)
+	e, err := NewEmbedder(chip, []byte("embed-key"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, chip
+}
+
+func programRandom(t *testing.T, chip *nand.Chip, a nand.PageAddr, seed uint64) []byte {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, 0))
+	img := make([]byte, chip.Geometry().PageBytes)
+	for i := range img {
+		img[i] = byte(rng.IntN(256))
+	}
+	if err := chip.ProgramPage(a, img); err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func TestPlanDeterministicAndKeyed(t *testing.T) {
+	e, chip := newEmbedderForTest(t, 1, StandardConfig())
+	a := nand.PageAddr{Block: 0, Page: 0}
+	img := programRandom(t, chip, a, 5)
+
+	p1, err := e.Plan(a, img, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := e.Plan(a, img, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p1.Cells {
+		if p1.Cells[i] != p2.Cells[i] {
+			t.Fatal("plan is not deterministic")
+		}
+	}
+
+	// A different key must select different cells.
+	other, err := NewEmbedder(chip, []byte("other-key"), StandardConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3, err := other.Plan(a, img, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range p1.Cells {
+		if p1.Cells[i] == p3.Cells[i] {
+			same++
+		}
+	}
+	if same == len(p1.Cells) {
+		t.Fatal("different keys selected identical cells")
+	}
+}
+
+func TestPlanSelectsOnlyOneBits(t *testing.T) {
+	e, chip := newEmbedderForTest(t, 2, StandardConfig())
+	a := nand.PageAddr{Block: 0, Page: 1}
+	img := programRandom(t, chip, a, 6)
+	plan, err := e.Plan(a, img, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cell := range plan.Cells {
+		if (img[cell/8]>>(7-uint(cell%8)))&1 != 1 {
+			t.Fatalf("cell %d holds a programmed ('0') public bit", cell)
+		}
+	}
+	// Cells must be unique and sorted.
+	for i := 1; i < len(plan.Cells); i++ {
+		if plan.Cells[i] <= plan.Cells[i-1] {
+			t.Fatal("plan cells not strictly ascending")
+		}
+	}
+}
+
+func TestPlanPageSeparation(t *testing.T) {
+	e, chip := newEmbedderForTest(t, 3, StandardConfig())
+	a := nand.PageAddr{Block: 0, Page: 0}
+	b := nand.PageAddr{Block: 0, Page: 2}
+	// Same image content on both pages: selection must still differ
+	// (the PRNG mixes the page number).
+	rng := rand.New(rand.NewPCG(7, 0))
+	img := make([]byte, chip.Geometry().PageBytes)
+	for i := range img {
+		img[i] = byte(rng.IntN(256))
+	}
+	if err := chip.ProgramPage(a, img); err != nil {
+		t.Fatal(err)
+	}
+	if err := chip.ProgramPage(b, img); err != nil {
+		t.Fatal(err)
+	}
+	pa, err := e.Plan(a, img, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := e.Plan(b, img, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range pa.Cells {
+		if pa.Cells[i] == pb.Cells[i] {
+			same++
+		}
+	}
+	if same == len(pa.Cells) {
+		t.Fatal("identical selection on different pages")
+	}
+}
+
+func TestPlanRejections(t *testing.T) {
+	e, chip := newEmbedderForTest(t, 4, StandardConfig())
+	a := nand.PageAddr{Block: 0, Page: 0}
+	img := programRandom(t, chip, a, 8)
+	if _, err := e.Plan(a, img[:10], 64); err == nil {
+		t.Error("short image accepted")
+	}
+	if _, err := e.Plan(a, img, e.Config().HiddenCellsPerPage+1); err == nil {
+		t.Error("over-budget bit count accepted")
+	}
+	// An all-zero image has no '1' candidates.
+	zero := make([]byte, chip.Geometry().PageBytes)
+	if _, err := e.Plan(a, zero, 64); err == nil {
+		t.Error("page without candidates accepted")
+	}
+}
+
+func TestEmbedConvergesAndStops(t *testing.T) {
+	e, chip := newEmbedderForTest(t, 5, StandardConfig())
+	// Hide in a page with both neighbours programmed — the standard
+	// config's operating point (Vth 34 assumes full interference; on an
+	// isolated page the 22-level gap can keep a slow cell pulsing).
+	programRandom(t, chip, nand.PageAddr{Block: 0, Page: 0}, 19)
+	a := nand.PageAddr{Block: 0, Page: 1}
+	img := programRandom(t, chip, a, 9)
+	programRandom(t, chip, nand.PageAddr{Block: 0, Page: 2}, 29)
+	plan, err := e.Plan(a, img, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(10, 0))
+	bits := make([]uint8, 256)
+	for i := range bits {
+		bits[i] = uint8(rng.IntN(2))
+	}
+	steps, err := e.Embed(plan, bits, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps < 1 || steps >= 20 {
+		t.Fatalf("embed used %d steps; expect convergence well before 20", steps)
+	}
+	// After convergence another step must pulse nothing.
+	pulsed, err := e.ProgramStep(plan, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pulsed != 0 {
+		t.Fatalf("post-convergence step pulsed %d cells", pulsed)
+	}
+}
+
+func TestEmbedAllOnesIsFree(t *testing.T) {
+	e, chip := newEmbedderForTest(t, 6, StandardConfig())
+	a := nand.PageAddr{Block: 0, Page: 0}
+	img := programRandom(t, chip, a, 11)
+	plan, err := e.Plan(a, img, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := chip.Ledger()
+	steps, err := e.Embed(plan, make([]uint8, 64), 10) // wait: all zeros
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = steps
+	// All-ones payload: no cell needs pulsing beyond verify reads.
+	ones := make([]uint8, 64)
+	for i := range ones {
+		ones[i] = 1
+	}
+	plan2, err := e.Plan(nand.PageAddr{Block: 0, Page: 2}, programRandom(t, chip, nand.PageAddr{Block: 0, Page: 2}, 12), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before = chip.Ledger()
+	if _, err := e.Embed(plan2, ones, 10); err != nil {
+		t.Fatal(err)
+	}
+	cost := chip.Ledger().Sub(before)
+	if cost.PartialPrograms != 0 {
+		t.Fatalf("all-ones payload issued %d PP ops", cost.PartialPrograms)
+	}
+	if cost.Reads == 0 {
+		t.Fatal("embedding must at least verify-read")
+	}
+}
+
+func TestBitLengthMismatchRejected(t *testing.T) {
+	e, chip := newEmbedderForTest(t, 7, StandardConfig())
+	a := nand.PageAddr{Block: 0, Page: 0}
+	img := programRandom(t, chip, a, 13)
+	plan, err := e.Plan(a, img, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.ProgramStep(plan, make([]uint8, 63)); err == nil {
+		t.Error("mismatched bits accepted by ProgramStep")
+	}
+	if err := e.FineEmbed(plan, make([]uint8, 63)); err == nil {
+		t.Error("mismatched bits accepted by FineEmbed")
+	}
+}
+
+func TestFineEmbedRequiresVendorConfig(t *testing.T) {
+	e, chip := newEmbedderForTest(t, 8, StandardConfig())
+	a := nand.PageAddr{Block: 0, Page: 0}
+	img := programRandom(t, chip, a, 14)
+	plan, err := e.Plan(a, img, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.FineEmbed(plan, make([]uint8, 64)); err == nil {
+		t.Error("FineEmbed ran under a non-vendor configuration")
+	}
+}
+
+func TestDecodeRefModes(t *testing.T) {
+	chip := nand.NewChip(coreTestModel(), 9)
+	std, err := NewEmbedder(chip, []byte("k"), StandardConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := nand.PageAddr{Block: 0, Page: 1}
+	ref, err := std.DecodeRef(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref != StandardConfig().VthHidden {
+		t.Errorf("standard decode ref = %v, want absolute Vth", ref)
+	}
+
+	rob, err := NewEmbedder(chip, []byte("k"), RobustConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No neighbours programmed: compensated ref sits 2 interference
+	// units below the nominal threshold (plus half the guard).
+	ref0, err := rob.DecodeRef(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := chip.Model()
+	want := RobustConfig().VthHidden - 2*m.InterfMean + RobustConfig().EmbedGuard/2
+	if diff := ref0 - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("uninterfered robust ref = %v, want %v", ref0, want)
+	}
+	// Program a neighbour: the ref must rise by one interference unit.
+	programRandom(t, chip, nand.PageAddr{Block: 0, Page: 0}, 15)
+	ref1, err := rob.DecodeRef(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := ref1 - ref0 - m.InterfMean; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("ref moved by %v per neighbour, want %v", ref1-ref0, m.InterfMean)
+	}
+}

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"stashflash/internal/ecc"
+	"stashflash/internal/nand"
+	"stashflash/internal/seal"
+)
+
+// Hider is the full VT-HI pipeline of paper Fig 4: public data flows
+// through the public ECC layout onto flash; hidden data is encrypted,
+// BCH-expanded, and embedded into keyed cell selections of the same pages.
+// One Hider serves both roles of §5.1 — the normal user path (WritePage /
+// ReadPublic, no key material needed to read) and the hiding user path
+// (Hide / Reveal, driven by the master secret).
+type Hider struct {
+	chip *nand.Chip
+	emb  *Embedder
+	cfg  Config
+	keys seal.Keys
+	pub  *PublicLayout
+	bch  *ecc.BCH
+
+	codewordBits int
+	payloadBytes int
+}
+
+// ErrHiddenUnrecoverable reports that a hidden payload exceeded the hidden
+// ECC's correction capability.
+var ErrHiddenUnrecoverable = errors.New("core: hidden payload unrecoverable")
+
+// NewHider builds a VT-HI pipeline on chip with the given master secret
+// and configuration.
+func NewHider(chip *nand.Chip, master []byte, cfg Config) (*Hider, error) {
+	if err := cfg.Validate(chip.Model()); err != nil {
+		return nil, err
+	}
+	keys := seal.DeriveKeys(master)
+	emb, err := NewEmbedder(chip, keys.Locate, cfg)
+	if err != nil {
+		return nil, err
+	}
+	pub, err := NewPublicLayout(chip.Geometry().PageBytes, cfg.PublicRST)
+	if err != nil {
+		return nil, err
+	}
+	m := bchDegree(cfg.HiddenCellsPerPage)
+	bch := ecc.NewBCH(m, cfg.BCHT)
+	parity := bch.ParityBits()
+	if parity >= cfg.HiddenCellsPerPage {
+		return nil, fmt.Errorf("core: hidden ECC parity (%d bits) consumes the whole %d-cell budget", parity, cfg.HiddenCellsPerPage)
+	}
+	payloadBytes := (cfg.HiddenCellsPerPage - parity) / 8
+	if payloadBytes < 1 {
+		return nil, fmt.Errorf("core: configuration leaves no hidden payload capacity")
+	}
+	return &Hider{
+		chip:         chip,
+		emb:          emb,
+		cfg:          cfg,
+		keys:         keys,
+		pub:          pub,
+		bch:          bch,
+		codewordBits: payloadBytes*8 + parity,
+		payloadBytes: payloadBytes,
+	}, nil
+}
+
+// Config returns the hider's configuration.
+func (h *Hider) Config() Config { return h.cfg }
+
+// PublicDataBytes returns the public capacity of one page under the
+// hider's layout.
+func (h *Hider) PublicDataBytes() int { return h.pub.DataBytes() }
+
+// HiddenPayloadBytes returns the hidden capacity of one page: the cell
+// budget minus BCH parity, floored to whole bytes.
+func (h *Hider) HiddenPayloadBytes() int { return h.payloadBytes }
+
+// Embedder exposes the low-level embedding machinery (used by experiments
+// that measure raw BER below the ECC layer).
+func (h *Hider) Embedder() *Embedder { return h.emb }
+
+// WritePage stores public data (exactly PublicDataBytes long) to an erased
+// page through the public ECC layout.
+func (h *Hider) WritePage(a nand.PageAddr, public []byte) error {
+	image, err := h.pub.Encode(public)
+	if err != nil {
+		return err
+	}
+	return h.chip.ProgramPage(a, image)
+}
+
+// ReadPublic reads a page's public data, correcting raw bit errors through
+// the public ECC. No key material is involved: hidden data leaves public
+// reads untouched (§5.3, "public data can be read with no awareness of
+// hidden data or private key").
+func (h *Hider) ReadPublic(a nand.PageAddr) (data []byte, corrected int, err error) {
+	raw, err := h.chip.ReadPage(a)
+	if err != nil {
+		return nil, 0, err
+	}
+	return h.pub.Decode(raw)
+}
+
+// recoverImage reads a page and reconstructs its exact as-programmed image
+// via the public ECC, which makes hidden cell selection reproducible.
+func (h *Hider) recoverImage(a nand.PageAddr) ([]byte, error) {
+	raw, err := h.chip.ReadPage(a)
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := h.pub.Decode(raw); err != nil {
+		return nil, err
+	}
+	return raw, nil // Decode corrected the image in place
+}
+
+// HideStats reports what an embedding cost.
+type HideStats struct {
+	// Steps is the number of PP passes Algorithm 1's loop used.
+	Steps int
+	// Cells is the number of cells selected (payload + hidden ECC bits).
+	Cells int
+}
+
+// buildCodeword encrypts and ECC-expands a hidden payload for a page.
+func (h *Hider) buildCodeword(a nand.PageAddr, hidden []byte, epoch uint64) ([]uint8, error) {
+	if len(hidden) > h.payloadBytes {
+		return nil, fmt.Errorf("core: hidden payload %d bytes exceeds page capacity %d", len(hidden), h.payloadBytes)
+	}
+	padded := make([]byte, h.payloadBytes)
+	copy(padded, hidden)
+	ct := seal.EncryptPage(h.keys.Encrypt, h.emb.pageIndex(a), epoch, padded)
+	return h.bch.Encode(ecc.BytesToBits(ct)), nil
+}
+
+// Hide embeds a hidden payload (up to HiddenPayloadBytes) into an
+// already-programmed page, per Algorithm 1. epoch distinguishes successive
+// embeddings of the same page across data migrations (see seal.EncryptPage).
+func (h *Hider) Hide(a nand.PageAddr, hidden []byte, epoch uint64) (HideStats, error) {
+	cw, err := h.buildCodeword(a, hidden, epoch)
+	if err != nil {
+		return HideStats{}, err
+	}
+	image, err := h.recoverImage(a)
+	if err != nil {
+		return HideStats{}, err
+	}
+	plan, err := h.emb.Plan(a, image, len(cw))
+	if err != nil {
+		return HideStats{}, err
+	}
+	if h.cfg.Vendor {
+		if err := h.emb.FineEmbed(plan, cw); err != nil {
+			return HideStats{}, err
+		}
+		return HideStats{Steps: 1, Cells: len(plan.Cells)}, nil
+	}
+	steps, err := h.emb.Embed(plan, cw, h.cfg.MaxPPSteps)
+	if err != nil {
+		return HideStats{}, err
+	}
+	return HideStats{Steps: steps, Cells: len(plan.Cells)}, nil
+}
+
+// WriteAndHide programs public data and immediately embeds hidden data in
+// the same page. Vendor-mode configurations require this path: fine
+// placement must happen before neighbour interference accumulates.
+func (h *Hider) WriteAndHide(a nand.PageAddr, public, hidden []byte, epoch uint64) (HideStats, error) {
+	if err := h.WritePage(a, public); err != nil {
+		return HideStats{}, err
+	}
+	return h.Hide(a, hidden, epoch)
+}
+
+// RevealStats reports what a decode observed.
+type RevealStats struct {
+	// CorrectedHidden is the number of hidden bit errors the BCH code
+	// repaired.
+	CorrectedHidden int
+	// CorrectedPublic is the number of public symbols repaired while
+	// reconstructing the page image for cell selection.
+	CorrectedPublic int
+}
+
+// Reveal extracts n hidden bytes from a page: one read at the shifted
+// reference threshold, BCH correction, then decryption. It does not alter
+// any cell ("decoding ... requires a single, non-destructive read", §1).
+func (h *Hider) Reveal(a nand.PageAddr, n int, epoch uint64) ([]byte, RevealStats, error) {
+	var st RevealStats
+	if n > h.payloadBytes {
+		return nil, st, fmt.Errorf("core: requested %d bytes, page capacity is %d", n, h.payloadBytes)
+	}
+	raw, err := h.chip.ReadPage(a)
+	if err != nil {
+		return nil, st, err
+	}
+	if _, st.CorrectedPublic, err = h.pub.Decode(raw); err != nil {
+		return nil, st, err
+	}
+	plan, err := h.emb.Plan(a, raw, h.codewordBits)
+	if err != nil {
+		return nil, st, err
+	}
+	bits, err := h.emb.ReadBits(plan)
+	if err != nil {
+		return nil, st, err
+	}
+	st.CorrectedHidden, err = h.bch.Decode(bits)
+	if err != nil {
+		return nil, st, fmt.Errorf("%w: %v", ErrHiddenUnrecoverable, err)
+	}
+	ct := ecc.BitsToBytes(bits[:h.payloadBytes*8])
+	pt := seal.EncryptPage(h.keys.Encrypt, h.emb.pageIndex(a), epoch, ct)
+	return pt[:n], st, nil
+}
+
+// HiddenPageStride returns the stride between consecutive pages holding
+// hidden data under the configured page interval: interval 1 means every
+// second page carries hidden bits (§6.3).
+func (h *Hider) HiddenPageStride() int { return h.cfg.PageInterval + 1 }
+
+// HiddenBlockCapacity returns the hidden payload capacity of one block in
+// bytes, honouring the page interval.
+func (h *Hider) HiddenBlockCapacity() int {
+	pages := (h.chip.Geometry().PagesPerBlock + h.cfg.PageInterval) / h.HiddenPageStride()
+	return pages * h.payloadBytes
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"stashflash/internal/ecc"
+)
+
+// PublicLayout maps user data onto a flash page with interleaved
+// Reed–Solomon protection, chunked into RS(255) codewords like a real
+// controller's per-sector ECC. It exists for a load-bearing reason: cell
+// selection is defined over the exact as-programmed public image (the
+// "non-programmed public bit offsets" of Algorithm 1), and raw NAND reads
+// are not error-free — a single uncorrected public bit flip would shift
+// the candidate list and garble the whole hidden payload. Decoding the
+// public image through ECC makes selection reproducible.
+type PublicLayout struct {
+	pageBytes int
+	t         int
+	rs        *ecc.RS
+	chunks    []chunkSpec // data sizes per chunk, in order
+	dataBytes int
+}
+
+type chunkSpec struct{ data int }
+
+// ErrPublicUncorrectable reports that a page's public data exceeded the RS
+// correction capability; the hidden payload on such a page is unreachable
+// through the normal path.
+var ErrPublicUncorrectable = errors.New("core: public page data uncorrectable")
+
+// NewPublicLayout builds the layout for a page of pageBytes with per-chunk
+// symbol correction strength t. t = 0 yields a pass-through layout (no
+// parity, raw image).
+func NewPublicLayout(pageBytes, t int) (*PublicLayout, error) {
+	if pageBytes < 1 {
+		return nil, fmt.Errorf("core: invalid page size %d", pageBytes)
+	}
+	pl := &PublicLayout{pageBytes: pageBytes, t: t}
+	if t == 0 {
+		pl.dataBytes = pageBytes
+		return pl, nil
+	}
+	pl.rs = ecc.NewRS(t)
+	parity := pl.rs.ParitySymbols()
+	if pageBytes <= parity {
+		return nil, fmt.Errorf("core: page of %d bytes cannot host %d parity symbols", pageBytes, parity)
+	}
+	remaining := pageBytes
+	for remaining > 0 {
+		cw := remaining
+		if cw > 255 {
+			cw = 255
+		}
+		if cw <= parity {
+			// Fold a runt tail into the previous chunk's budget by
+			// shrinking that chunk's data; simplest is to reject —
+			// page sizes in practice never leave a <=parity runt.
+			return nil, fmt.Errorf("core: page size %d leaves a %d-byte runt chunk", pageBytes, cw)
+		}
+		pl.chunks = append(pl.chunks, chunkSpec{data: cw - parity})
+		remaining -= cw
+	}
+	for _, ch := range pl.chunks {
+		pl.dataBytes += ch.data
+	}
+	return pl, nil
+}
+
+// DataBytes returns the user-visible capacity of the page under this
+// layout.
+func (pl *PublicLayout) DataBytes() int { return pl.dataBytes }
+
+// PageBytes returns the raw page size the layout targets.
+func (pl *PublicLayout) PageBytes() int { return pl.pageBytes }
+
+// Encode expands user data (exactly DataBytes long) into the page image.
+func (pl *PublicLayout) Encode(data []byte) ([]byte, error) {
+	if len(data) != pl.dataBytes {
+		return nil, fmt.Errorf("core: public data is %d bytes, layout holds %d", len(data), pl.dataBytes)
+	}
+	if pl.t == 0 {
+		return append([]byte(nil), data...), nil
+	}
+	image := make([]byte, 0, pl.pageBytes)
+	off := 0
+	for _, ch := range pl.chunks {
+		image = append(image, pl.rs.Encode(data[off:off+ch.data])...)
+		off += ch.data
+	}
+	return image, nil
+}
+
+// Decode corrects a raw page image in place and returns the user data
+// view, the number of corrected symbols, and an error if any chunk was
+// uncorrectable. The corrected image slice aliases the input, which after
+// a successful decode equals the exact as-programmed image.
+func (pl *PublicLayout) Decode(image []byte) (data []byte, corrected int, err error) {
+	if len(image) != pl.pageBytes {
+		return nil, 0, fmt.Errorf("core: image is %d bytes, want %d", len(image), pl.pageBytes)
+	}
+	if pl.t == 0 {
+		return image, 0, nil
+	}
+	parity := pl.rs.ParitySymbols()
+	data = make([]byte, 0, pl.dataBytes)
+	off := 0
+	for i, ch := range pl.chunks {
+		cw := image[off : off+ch.data+parity]
+		n, err := pl.rs.Decode(cw)
+		if err != nil {
+			return nil, corrected, fmt.Errorf("%w: chunk %d: %v", ErrPublicUncorrectable, i, err)
+		}
+		corrected += n
+		data = append(data, cw[:ch.data]...)
+		off += ch.data + parity
+	}
+	return data, corrected, nil
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestPublicLayoutSizes(t *testing.T) {
+	// 18048-byte page at t=4: chunks of 255 with 8 parity symbols each.
+	pl, err := NewPublicLayout(18048, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.PageBytes() != 18048 {
+		t.Errorf("page bytes %d", pl.PageBytes())
+	}
+	// 70 full chunks of 247 data + a final chunk of 198-8=190 data.
+	want := 70*247 + (18048 - 70*255 - 8)
+	if pl.DataBytes() != want {
+		t.Errorf("data bytes %d, want %d", pl.DataBytes(), want)
+	}
+}
+
+func TestPublicLayoutPassThrough(t *testing.T) {
+	pl, err := NewPublicLayout(512, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.DataBytes() != 512 {
+		t.Fatal("t=0 layout must be identity-sized")
+	}
+	data := make([]byte, 512)
+	data[3] = 7
+	img, err := pl.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, n, err := pl.Decode(img)
+	if err != nil || n != 0 {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("pass-through mismatch")
+	}
+}
+
+func TestPublicLayoutRoundTripWithErrors(t *testing.T) {
+	pl, err := NewPublicLayout(2040, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(1, 1))
+	data := make([]byte, pl.DataBytes())
+	for i := range data {
+		data[i] = byte(rng.IntN(256))
+	}
+	img, err := pl.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img) != 2040 {
+		t.Fatalf("image %d bytes", len(img))
+	}
+	// Corrupt up to t symbols in each of two chunks.
+	img[3] ^= 0x55
+	img[257] ^= 0xAA
+	img[300] ^= 0x11
+	got, corrected, err := pl.Decode(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrected != 3 {
+		t.Errorf("corrected %d, want 3", corrected)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("data wrong after correction")
+	}
+	// The corrected image must equal the original encode (selection
+	// reproducibility depends on it).
+	img2, _ := pl.Encode(data)
+	if !bytes.Equal(img, img2) {
+		t.Fatal("Decode did not restore the exact as-programmed image")
+	}
+}
+
+func TestPublicLayoutOverloadNotSilentlyClean(t *testing.T) {
+	// Three symbol errors in a t=1 chunk exceed the distance-3 code's
+	// capability: the decoder must either report failure or mis-correct
+	// to a DIFFERENT codeword — it may never return the original data
+	// while claiming zero corrections.
+	pl, err := NewPublicLayout(1020, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, pl.DataBytes())
+	img, _ := pl.Encode(data)
+	img[0] ^= 1
+	img[1] ^= 2
+	img[2] ^= 3
+	got, corrected, err := pl.Decode(img)
+	if err == nil && corrected == 0 && bytes.Equal(got, data) {
+		t.Fatal("overloaded chunk decoded as clean")
+	}
+}
+
+func TestPublicLayoutValidation(t *testing.T) {
+	if _, err := NewPublicLayout(0, 2); err == nil {
+		t.Error("zero page accepted")
+	}
+	if _, err := NewPublicLayout(4, 2); err == nil {
+		t.Error("page smaller than parity accepted")
+	}
+	// 2048 = 8*255 + 8: the 8-byte runt equals the parity size at t=4.
+	if _, err := NewPublicLayout(2048, 4); err == nil {
+		t.Error("runt-chunk page accepted")
+	}
+	pl, _ := NewPublicLayout(510, 2)
+	if _, err := pl.Encode(make([]byte, 1)); err == nil {
+		t.Error("short data accepted")
+	}
+	if _, _, err := pl.Decode(make([]byte, 7)); err == nil {
+		t.Error("short image accepted")
+	}
+}
+
+func TestPublicLayoutProperty(t *testing.T) {
+	pl, err := NewPublicLayout(1275, 2) // exactly five 255-byte chunks
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed uint64, errSel uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 9))
+		data := make([]byte, pl.DataBytes())
+		for i := range data {
+			data[i] = byte(rng.IntN(256))
+		}
+		img, err := pl.Encode(data)
+		if err != nil {
+			return false
+		}
+		// Up to 2 random corruptions per chunk.
+		for c := 0; c < 5; c++ {
+			for e := 0; e < int(errSel)%3; e++ {
+				img[c*255+rng.IntN(255)] ^= byte(1 + rng.IntN(255))
+			}
+		}
+		got, _, err := pl.Decode(img)
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

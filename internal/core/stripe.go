@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+
+	"stashflash/internal/ecc"
+	"stashflash/internal/nand"
+)
+
+// Striped hiding: the paper's §8 "RAID-like schemes" for hidden data.
+// A payload is split into data shards, extended with Reed–Solomon parity
+// shards (column-wise across the stripe), and each shard is hidden in its
+// own page. Any subset of up to `parity` pages may be lost outright —
+// a bad block, an erased cover page, a shard whose own BCH failed — and
+// the payload still reconstructs, because a failed shard is an erasure at
+// a known stripe position (recoverable at twice the unknown-error rate).
+
+// StripeGeometry describes a striped embedding.
+type StripeGeometry struct {
+	// Data is the number of payload-carrying shards.
+	Data int
+	// Parity is the number of RS parity shards (pages that may be lost).
+	Parity int
+}
+
+// Validate checks the stripe shape.
+func (g StripeGeometry) Validate() error {
+	if g.Data < 1 || g.Parity < 1 {
+		return fmt.Errorf("core: stripe needs at least 1 data and 1 parity shard, got %d+%d", g.Data, g.Parity)
+	}
+	if g.Data+g.Parity > 255 {
+		return fmt.Errorf("core: stripe of %d shards exceeds the RS symbol space", g.Data+g.Parity)
+	}
+	if g.Parity%2 != 0 {
+		// RS(t) provides 2t parity symbols; keep shapes realisable.
+		return fmt.Errorf("core: parity shard count must be even, got %d", g.Parity)
+	}
+	return nil
+}
+
+// StripeCapacity returns the payload bytes a stripe carries.
+func (h *Hider) StripeCapacity(g StripeGeometry) int {
+	return g.Data * h.HiddenPayloadBytes()
+}
+
+// HideStriped hides payload across addrs with the given stripe geometry;
+// len(addrs) must equal Data+Parity and every page must already hold
+// public data (or be written via WriteAndHide-style flows beforehand).
+// The same epoch convention as Hide applies to every shard.
+func (h *Hider) HideStriped(g StripeGeometry, addrs []nand.PageAddr, payload []byte, epoch uint64) error {
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	if len(addrs) != g.Data+g.Parity {
+		return fmt.Errorf("core: stripe wants %d pages, got %d", g.Data+g.Parity, len(addrs))
+	}
+	shardLen := h.HiddenPayloadBytes()
+	if len(payload) > g.Data*shardLen {
+		return fmt.Errorf("core: payload %d bytes exceeds stripe capacity %d", len(payload), g.Data*shardLen)
+	}
+	// Build shards: zero-padded data shards, then column-wise RS parity.
+	shards := make([][]byte, g.Data+g.Parity)
+	for i := 0; i < g.Data; i++ {
+		shards[i] = make([]byte, shardLen)
+		lo := i * shardLen
+		if lo < len(payload) {
+			hi := lo + shardLen
+			if hi > len(payload) {
+				hi = len(payload)
+			}
+			copy(shards[i], payload[lo:hi])
+		}
+	}
+	for i := 0; i < g.Parity; i++ {
+		shards[g.Data+i] = make([]byte, shardLen)
+	}
+	rs := ecc.NewRS(g.Parity / 2)
+	col := make([]byte, g.Data)
+	for j := 0; j < shardLen; j++ {
+		for i := 0; i < g.Data; i++ {
+			col[i] = shards[i][j]
+		}
+		cw := rs.Encode(col)
+		for i := 0; i < g.Parity; i++ {
+			shards[g.Data+i][j] = cw[g.Data+i]
+		}
+	}
+	for i, a := range addrs {
+		if _, err := h.Hide(a, shards[i], epoch); err != nil {
+			return fmt.Errorf("core: hiding stripe shard %d at %v: %w", i, a, err)
+		}
+	}
+	return nil
+}
+
+// StripeReport describes a striped reveal.
+type StripeReport struct {
+	// FailedShards lists stripe positions whose page-level reveal failed
+	// and were reconstructed from parity.
+	FailedShards []int
+}
+
+// RevealStriped reconstructs n payload bytes from a stripe, tolerating up
+// to Parity failed pages.
+func (h *Hider) RevealStriped(g StripeGeometry, addrs []nand.PageAddr, n int, epoch uint64) ([]byte, StripeReport, error) {
+	var rep StripeReport
+	if err := g.Validate(); err != nil {
+		return nil, rep, err
+	}
+	if len(addrs) != g.Data+g.Parity {
+		return nil, rep, fmt.Errorf("core: stripe wants %d pages, got %d", g.Data+g.Parity, len(addrs))
+	}
+	shardLen := h.HiddenPayloadBytes()
+	if n > g.Data*shardLen {
+		return nil, rep, fmt.Errorf("core: requested %d bytes, stripe carries %d", n, g.Data*shardLen)
+	}
+	shards := make([][]byte, len(addrs))
+	for i, a := range addrs {
+		shard, _, err := h.Reveal(a, shardLen, epoch)
+		if err != nil {
+			rep.FailedShards = append(rep.FailedShards, i)
+			continue
+		}
+		shards[i] = shard
+	}
+	if len(rep.FailedShards) > g.Parity {
+		return nil, rep, fmt.Errorf("core: %d stripe shards failed, parity covers %d: %w",
+			len(rep.FailedShards), g.Parity, ErrHiddenUnrecoverable)
+	}
+	if len(rep.FailedShards) > 0 {
+		rs := ecc.NewRS(g.Parity / 2)
+		for _, i := range rep.FailedShards {
+			shards[i] = make([]byte, shardLen)
+		}
+		cw := make([]byte, g.Data+g.Parity)
+		for j := 0; j < shardLen; j++ {
+			for i := range shards {
+				cw[i] = shards[i][j]
+			}
+			if err := rs.DecodeErasures(cw, rep.FailedShards); err != nil {
+				return nil, rep, fmt.Errorf("core: stripe column %d: %w", j, err)
+			}
+			for _, i := range rep.FailedShards {
+				shards[i][j] = cw[i]
+			}
+		}
+	}
+	out := make([]byte, 0, n)
+	for i := 0; i < g.Data && len(out) < n; i++ {
+		take := n - len(out)
+		if take > shardLen {
+			take = shardLen
+		}
+		out = append(out, shards[i][:take]...)
+	}
+	return out, rep, nil
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+
+	"stashflash/internal/nand"
+)
+
+func stripeSetup(t *testing.T, seed uint64, pages int) (*Hider, []nand.PageAddr) {
+	t.Helper()
+	chip := nand.NewChip(nand.ModelA().ScaleGeometry(16, 8, 4096), seed)
+	h, err := NewHider(chip, []byte("stripe-key"), RobustConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(seed, 1))
+	// One shard per block: the point of striping is surviving the loss
+	// of whole blocks, so shards must not share failure domains.
+	var addrs []nand.PageAddr
+	for i := 0; i < pages; i++ {
+		a := nand.PageAddr{Block: i, Page: 0}
+		if err := h.WritePage(a, randBytes(rng, h.PublicDataBytes())); err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, a)
+	}
+	return h, addrs
+}
+
+func TestStripeRoundTripClean(t *testing.T) {
+	g := StripeGeometry{Data: 4, Parity: 2}
+	h, addrs := stripeSetup(t, 1, 6)
+	rng := rand.New(rand.NewPCG(2, 2))
+	payload := randBytes(rng, h.StripeCapacity(g))
+	if err := h.HideStriped(g, addrs, payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, rep, err := h.RevealStriped(g, addrs, len(payload), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.FailedShards) != 0 {
+		t.Errorf("clean reveal reported failed shards %v", rep.FailedShards)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload mismatch")
+	}
+}
+
+func TestStripeSurvivesLostPages(t *testing.T) {
+	g := StripeGeometry{Data: 4, Parity: 2}
+	h, addrs := stripeSetup(t, 3, 6)
+	rng := rand.New(rand.NewPCG(4, 4))
+	payload := randBytes(rng, h.StripeCapacity(g))
+	if err := h.HideStriped(g, addrs, payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Destroy two shards outright: erase their blocks and rewrite public
+	// covers (the bad-block / lost-cover scenario of §8).
+	chip := h.chip
+	for _, i := range []int{1, 4} {
+		chip.EraseBlock(addrs[i].Block)
+		for p := 0; p < chip.Geometry().PagesPerBlock; p++ {
+			a := nand.PageAddr{Block: addrs[i].Block, Page: p}
+			if err := h.WritePage(a, randBytes(rng, h.PublicDataBytes())); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	got, rep, err := h.RevealStriped(g, addrs, len(payload), 0)
+	if err != nil {
+		t.Fatalf("reveal with 2 lost pages: %v (failed %v)", err, rep.FailedShards)
+	}
+	if len(rep.FailedShards) != 2 {
+		t.Errorf("failed shards = %v, want the 2 destroyed pages", rep.FailedShards)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload not reconstructed from parity")
+	}
+}
+
+func TestStripeTooManyLosses(t *testing.T) {
+	g := StripeGeometry{Data: 3, Parity: 2}
+	h, addrs := stripeSetup(t, 5, 5)
+	rng := rand.New(rand.NewPCG(6, 6))
+	payload := randBytes(rng, h.StripeCapacity(g))
+	if err := h.HideStriped(g, addrs, payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	chip := h.chip
+	for _, i := range []int{0, 2, 4} { // three losses > parity 2
+		chip.EraseBlock(addrs[i].Block)
+		for p := 0; p < chip.Geometry().PagesPerBlock; p++ {
+			a := nand.PageAddr{Block: addrs[i].Block, Page: p}
+			if err := h.WritePage(a, randBytes(rng, h.PublicDataBytes())); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, _, err := h.RevealStriped(g, addrs, len(payload), 0); err == nil {
+		t.Fatal("stripe with losses beyond parity revealed successfully")
+	}
+}
+
+func TestStripeShortPayloadPadding(t *testing.T) {
+	g := StripeGeometry{Data: 4, Parity: 2}
+	h, addrs := stripeSetup(t, 7, 6)
+	payload := []byte("short")
+	if err := h.HideStriped(g, addrs, payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := h.RevealStriped(g, addrs, len(payload), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestStripeValidation(t *testing.T) {
+	h, addrs := stripeSetup(t, 8, 6)
+	bad := []StripeGeometry{
+		{Data: 0, Parity: 2},
+		{Data: 4, Parity: 0},
+		{Data: 4, Parity: 3},   // odd parity
+		{Data: 254, Parity: 2}, // exceeds RS symbol space
+	}
+	for i, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("bad geometry %d accepted", i)
+		}
+	}
+	g := StripeGeometry{Data: 4, Parity: 2}
+	if err := h.HideStriped(g, addrs[:5], []byte("x"), 0); err == nil {
+		t.Error("wrong address count accepted")
+	}
+	big := make([]byte, h.StripeCapacity(g)+1)
+	if err := h.HideStriped(g, addrs, big, 0); err == nil {
+		t.Error("oversized payload accepted")
+	}
+	if _, _, err := h.RevealStriped(g, addrs, h.StripeCapacity(g)+1, 0); err == nil {
+		t.Error("oversized reveal accepted")
+	}
+}

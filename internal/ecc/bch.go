@@ -1,0 +1,263 @@
+package ecc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// BCH is a binary, systematic, t-error-correcting BCH code of natural
+// length n = 2^m - 1. Shortened use (fewer than k data bits) is supported
+// directly by Encode/Decode: missing leading data bits are treated as
+// zeros, which is how NAND controllers fit BCH to page and spare sizes.
+//
+// Bits are represented one-per-byte (values 0 or 1); hidden payloads are a
+// few hundred bits per page, so clarity beats packing here.
+type BCH struct {
+	f   *Field
+	t   int     // design error-correction capability
+	n   int     // natural codeword length
+	k   int     // natural data length
+	gen []uint8 // generator polynomial coefficients, gen[i] = coeff of x^i
+}
+
+// ErrUncorrectable is returned when a received word holds more errors than
+// the code can correct (or the decoder cannot locate them consistently).
+var ErrUncorrectable = errors.New("ecc: uncorrectable error pattern")
+
+// NewBCH constructs a BCH code over GF(2^m) correcting up to t bit errors.
+// It panics if the requested code is impossible (parity would exceed the
+// codeword) — code parameters are design-time constants.
+func NewBCH(m, t int) *BCH {
+	f := NewField(m)
+	gen := bchGenerator(f, t)
+	r := len(gen) - 1 // parity bits
+	n := f.N()
+	if r >= n {
+		panic(fmt.Sprintf("ecc: BCH(m=%d, t=%d) has no data bits", m, t))
+	}
+	return &BCH{f: f, t: t, n: n, k: n - r, gen: gen}
+}
+
+// bchGenerator computes g(x) = lcm of minimal polynomials of alpha^1..alpha^2t.
+func bchGenerator(f *Field, t int) []uint8 {
+	if t < 1 {
+		panic("ecc: BCH t must be >= 1")
+	}
+	seen := map[uint64]bool{}
+	gen := []uint8{1}
+	for i := 1; i <= 2*t; i++ {
+		mp := f.minimalPolynomial(i)
+		if seen[mp] {
+			continue
+		}
+		seen[mp] = true
+		gen = gf2SliceMulBits(gen, mp)
+	}
+	return gen
+}
+
+// gf2SliceMulBits multiplies a coefficient-slice GF(2) polynomial by a
+// bit-encoded one.
+func gf2SliceMulBits(a []uint8, b uint64) []uint8 {
+	db := bitLen(b) - 1
+	out := make([]uint8, len(a)+db)
+	for i, ai := range a {
+		if ai == 0 {
+			continue
+		}
+		for j := 0; j <= db; j++ {
+			if b&(1<<uint(j)) != 0 {
+				out[i+j] ^= 1
+			}
+		}
+	}
+	return out
+}
+
+// N returns the natural codeword length 2^m - 1.
+func (c *BCH) N() int { return c.n }
+
+// K returns the natural number of data bits.
+func (c *BCH) K() int { return c.k }
+
+// T returns the number of correctable bit errors.
+func (c *BCH) T() int { return c.t }
+
+// ParityBits returns the number of parity bits appended by Encode.
+func (c *BCH) ParityBits() int { return c.n - c.k }
+
+// Encode systematically encodes data (one bit per byte, each 0 or 1) and
+// returns data followed by ParityBits() parity bits. len(data) may be any
+// value up to K() (shortened code). It panics if data is too long or holds
+// non-bit values.
+func (c *BCH) Encode(data []uint8) []uint8 {
+	if len(data) > c.k {
+		panic(fmt.Sprintf("ecc: BCH data length %d exceeds k=%d", len(data), c.k))
+	}
+	r := c.n - c.k
+	// LFSR division: feed data bits in, remainder accumulates in reg.
+	// reg[i] corresponds to coefficient of x^i.
+	reg := make([]uint8, r)
+	for _, bit := range data {
+		if bit > 1 {
+			panic("ecc: BCH data must be 0/1 bits")
+		}
+		fb := bit ^ reg[r-1]
+		copy(reg[1:], reg[:r-1])
+		reg[0] = 0
+		if fb != 0 {
+			for i := 0; i < r; i++ {
+				if c.gen[i] != 0 {
+					reg[i] ^= fb
+				}
+			}
+		}
+	}
+	out := make([]uint8, len(data)+r)
+	copy(out, data)
+	// Parity out in high-to-low coefficient order to match the codeword
+	// polynomial layout used by Decode.
+	for i := 0; i < r; i++ {
+		out[len(data)+i] = reg[r-1-i]
+	}
+	return out
+}
+
+// Decode corrects up to T() bit errors in recv (a word produced by Encode,
+// possibly with bit flips) in place, and returns the number of corrected
+// bits. It returns ErrUncorrectable if the pattern exceeds the code's
+// capability. recv = dataBits || parityBits with the same shortening as at
+// encode time.
+func (c *BCH) Decode(recv []uint8) (int, error) {
+	r := c.n - c.k
+	if len(recv) < r {
+		return 0, fmt.Errorf("ecc: BCH received word too short: %d < %d parity bits", len(recv), r)
+	}
+	// Position i in recv corresponds to codeword polynomial exponent
+	// n-1-s-i where s is the shortening amount.
+	s := c.n - len(recv)
+	synd := make([]int, 2*c.t)
+	allZero := true
+	for j := 1; j <= 2*c.t; j++ {
+		v := 0
+		for i, bit := range recv {
+			if bit != 0 {
+				e := c.n - 1 - s - i
+				v ^= c.f.Exp(j * e % c.f.N())
+			}
+		}
+		synd[j-1] = v
+		if v != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		return 0, nil
+	}
+
+	lambda, errCount := berlekampMassey(c.f, synd)
+	if lambda == nil || errCount > c.t {
+		return 0, ErrUncorrectable
+	}
+
+	// Chien search over the real (non-shortened) positions.
+	corrected := 0
+	for i := range recv {
+		e := c.n - 1 - s - i
+		// Candidate error locator root: x = alpha^{-e}.
+		x := c.f.Exp((c.f.N() - e%c.f.N()) % c.f.N())
+		if c.f.PolyEval(lambda, x) == 0 {
+			recv[i] ^= 1
+			corrected++
+		}
+	}
+	if corrected != errCount {
+		// Some roots fell in the shortened region or the locator was
+		// inconsistent: more errors than t.
+		// Roll back our speculative flips to leave recv as received.
+		for i := range recv {
+			e := c.n - 1 - s - i
+			x := c.f.Exp((c.f.N() - e%c.f.N()) % c.f.N())
+			if c.f.PolyEval(lambda, x) == 0 {
+				recv[i] ^= 1
+			}
+		}
+		return 0, ErrUncorrectable
+	}
+	// Verify: recompute a couple of syndromes to catch miscorrection.
+	for j := 1; j <= 2*c.t; j++ {
+		v := 0
+		for i, bit := range recv {
+			if bit != 0 {
+				e := c.n - 1 - s - i
+				v ^= c.f.Exp(j * e % c.f.N())
+			}
+		}
+		if v != 0 {
+			return 0, ErrUncorrectable
+		}
+	}
+	return corrected, nil
+}
+
+// berlekampMassey runs the Berlekamp–Massey algorithm over field f on the
+// syndrome sequence and returns the error-locator polynomial (lambda[i] =
+// coeff of x^i, lambda[0] = 1) and its degree L. It returns (nil, 0) when
+// the locator degree disagrees with the polynomial (detected failure).
+func berlekampMassey(f *Field, synd []int) ([]int, int) {
+	lambda := []int{1}
+	b := []int{1}
+	L := 0
+	mShift := 1
+	bDelta := 1
+	for n := 0; n < len(synd); n++ {
+		// Discrepancy.
+		d := synd[n]
+		for i := 1; i <= L && i < len(lambda); i++ {
+			d ^= f.Mul(lambda[i], synd[n-i])
+		}
+		if d == 0 {
+			mShift++
+			continue
+		}
+		if 2*L <= n {
+			tPoly := append([]int(nil), lambda...)
+			lambda = polySubScaledShift(f, lambda, b, f.Div(d, bDelta), mShift)
+			L = n + 1 - L
+			b = tPoly
+			bDelta = d
+			mShift = 1
+		} else {
+			lambda = polySubScaledShift(f, lambda, b, f.Div(d, bDelta), mShift)
+			mShift++
+		}
+	}
+	// Trim and validate degree.
+	for len(lambda) > 1 && lambda[len(lambda)-1] == 0 {
+		lambda = lambda[:len(lambda)-1]
+	}
+	if len(lambda)-1 != L {
+		return nil, 0
+	}
+	return lambda, L
+}
+
+// polySubScaledShift returns a(x) - scale * x^shift * b(x) (characteristic
+// 2, so subtraction is XOR).
+func polySubScaledShift(f *Field, a, b []int, scale, shift int) []int {
+	out := make([]int, max(len(a), len(b)+shift))
+	copy(out, a)
+	for i, bi := range b {
+		if bi != 0 {
+			out[i+shift] ^= f.Mul(scale, bi)
+		}
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,162 @@
+package ecc
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestBCHParams(t *testing.T) {
+	cases := []struct {
+		m, t      int
+		wantN     int
+		maxParity int
+	}{
+		{5, 1, 31, 5},
+		{9, 4, 511, 36},
+		{10, 8, 1023, 80},
+	}
+	for _, c := range cases {
+		code := NewBCH(c.m, c.t)
+		if code.N() != c.wantN {
+			t.Errorf("BCH(m=%d,t=%d): N=%d, want %d", c.m, c.t, code.N(), c.wantN)
+		}
+		if got := code.ParityBits(); got > c.maxParity {
+			t.Errorf("BCH(m=%d,t=%d): parity=%d, want <= %d", c.m, c.t, got, c.maxParity)
+		}
+		if code.K()+code.ParityBits() != code.N() {
+			t.Errorf("BCH(m=%d,t=%d): k+r != n", c.m, c.t)
+		}
+	}
+}
+
+func randomBits(rng *rand.Rand, n int) []uint8 {
+	out := make([]uint8, n)
+	for i := range out {
+		out[i] = uint8(rng.IntN(2))
+	}
+	return out
+}
+
+func TestBCHRoundTripClean(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for _, cfg := range []struct{ m, t, dataLen int }{
+		{5, 1, 10}, {9, 4, 256}, {9, 8, 300}, {10, 12, 512},
+	} {
+		code := NewBCH(cfg.m, cfg.t)
+		data := randomBits(rng, cfg.dataLen)
+		cw := code.Encode(data)
+		if len(cw) != cfg.dataLen+code.ParityBits() {
+			t.Fatalf("codeword length %d, want %d", len(cw), cfg.dataLen+code.ParityBits())
+		}
+		n, err := code.Decode(cw)
+		if err != nil || n != 0 {
+			t.Fatalf("clean decode: corrected=%d err=%v", n, err)
+		}
+		for i := range data {
+			if cw[i] != data[i] {
+				t.Fatalf("data corrupted at %d", i)
+			}
+		}
+	}
+}
+
+func TestBCHCorrectsUpToT(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for _, cfg := range []struct{ m, t, dataLen int }{
+		{9, 4, 256}, {9, 8, 400}, {10, 16, 800},
+	} {
+		code := NewBCH(cfg.m, cfg.t)
+		for trial := 0; trial < 20; trial++ {
+			data := randomBits(rng, cfg.dataLen)
+			cw := code.Encode(data)
+			nErr := 1 + rng.IntN(cfg.t)
+			flipped := map[int]bool{}
+			for len(flipped) < nErr {
+				flipped[rng.IntN(len(cw))] = true
+			}
+			recv := append([]uint8(nil), cw...)
+			for i := range flipped {
+				recv[i] ^= 1
+			}
+			n, err := code.Decode(recv)
+			if err != nil {
+				t.Fatalf("BCH(m=%d,t=%d) failed on %d errors: %v", cfg.m, cfg.t, nErr, err)
+			}
+			if n != nErr {
+				t.Fatalf("corrected %d, want %d", n, nErr)
+			}
+			for i := range data {
+				if recv[i] != data[i] {
+					t.Fatalf("data bit %d wrong after correction", i)
+				}
+			}
+		}
+	}
+}
+
+func TestBCHDetectsOverload(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	code := NewBCH(9, 4)
+	detected := 0
+	const trials = 50
+	for trial := 0; trial < trials; trial++ {
+		data := randomBits(rng, 256)
+		cw := code.Encode(data)
+		// Inject far more errors than t.
+		recv := append([]uint8(nil), cw...)
+		flipped := map[int]bool{}
+		for len(flipped) < 4*code.T() {
+			flipped[rng.IntN(len(recv))] = true
+		}
+		for i := range flipped {
+			recv[i] ^= 1
+		}
+		if _, err := code.Decode(recv); err != nil {
+			detected++
+		}
+	}
+	// Miscorrection is possible but must be rare.
+	if detected < trials*9/10 {
+		t.Errorf("only %d/%d overload patterns detected", detected, trials)
+	}
+}
+
+func TestBCHPropertyRoundTrip(t *testing.T) {
+	code := NewBCH(9, 4)
+	rng := rand.New(rand.NewPCG(7, 8))
+	f := func(seed uint64, lenSel uint16, errSel uint8) bool {
+		dataLen := 1 + int(lenSel)%code.K()
+		r := rand.New(rand.NewPCG(seed, 99))
+		data := randomBits(r, dataLen)
+		cw := code.Encode(data)
+		nErr := int(errSel) % (code.T() + 1)
+		flipped := map[int]bool{}
+		for len(flipped) < nErr {
+			flipped[rng.IntN(len(cw))] = true
+		}
+		for i := range flipped {
+			cw[i] ^= 1
+		}
+		n, err := code.Decode(cw)
+		if err != nil || n != nErr {
+			return false
+		}
+		for i := range data {
+			if cw[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBCHRejectsShortWord(t *testing.T) {
+	code := NewBCH(9, 4)
+	if _, err := code.Decode(make([]uint8, 3)); err == nil {
+		t.Error("want error for word shorter than parity")
+	}
+}

@@ -1,0 +1,102 @@
+package ecc
+
+// Bit-level helpers shared by the codes and their callers. Hidden payloads
+// move between byte buffers (what users hand the API) and bit slices (what
+// the per-cell encoder programs), so these conversions are on the hot path
+// of every hide/reveal operation.
+
+// BytesToBits expands b into one bit per output byte, MSB first within each
+// input byte.
+func BytesToBits(b []byte) []uint8 {
+	out := make([]uint8, len(b)*8)
+	for i, x := range b {
+		for j := 0; j < 8; j++ {
+			out[i*8+j] = (x >> uint(7-j)) & 1
+		}
+	}
+	return out
+}
+
+// BitsToBytes packs bits (one per byte, MSB first) into bytes. Trailing
+// bits that do not fill a byte are packed into the final byte's high bits.
+func BitsToBytes(bits []uint8) []byte {
+	out := make([]byte, (len(bits)+7)/8)
+	for i, b := range bits {
+		if b != 0 {
+			out[i/8] |= 1 << uint(7-i%8)
+		}
+	}
+	return out
+}
+
+// CountDiffBits returns the Hamming distance between equal-length bit
+// slices; it is the raw-BER numerator used throughout the experiments. It
+// panics on length mismatch (always a harness bug).
+func CountDiffBits(a, b []uint8) int {
+	if len(a) != len(b) {
+		panic("ecc: CountDiffBits length mismatch")
+	}
+	n := 0
+	for i := range a {
+		if a[i] != b[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// Interleaver performs block interleaving of bit slices: bits are written
+// row-wise into a depth×width matrix and read column-wise. A burst of up
+// to `depth` adjacent bit errors (e.g. from program interference hitting
+// neighbouring cells) lands in distinct codewords after deinterleaving.
+type Interleaver struct {
+	depth int
+}
+
+// NewInterleaver creates an interleaver with the given depth (>= 1).
+func NewInterleaver(depth int) *Interleaver {
+	if depth < 1 {
+		panic("ecc: interleaver depth must be >= 1")
+	}
+	return &Interleaver{depth: depth}
+}
+
+// Interleave reorders bits; the result has the same length.
+func (il *Interleaver) Interleave(bits []uint8) []uint8 {
+	if il.depth == 1 || len(bits) == 0 {
+		return append([]uint8(nil), bits...)
+	}
+	n := len(bits)
+	width := (n + il.depth - 1) / il.depth
+	out := make([]uint8, 0, n)
+	for c := 0; c < width; c++ {
+		for r := 0; r < il.depth; r++ {
+			i := r*width + c
+			if i < n {
+				out = append(out, bits[i])
+			}
+		}
+	}
+	return out
+}
+
+// Deinterleave inverts Interleave.
+func (il *Interleaver) Deinterleave(bits []uint8) []uint8 {
+	if il.depth == 1 || len(bits) == 0 {
+		return append([]uint8(nil), bits...)
+	}
+	n := len(bits)
+	width := (n + il.depth - 1) / il.depth
+	out := make([]uint8, n)
+	j := 0
+	for c := 0; c < width; c++ {
+		for r := 0; r < il.depth; r++ {
+			i := r*width + c
+			if i < n {
+				out[i] = bits[j]
+				j++
+			}
+		}
+	}
+	return out
+}

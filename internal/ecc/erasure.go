@@ -1,0 +1,131 @@
+package ecc
+
+import "fmt"
+
+// DecodeErasures corrects symbols at KNOWN positions (erasures) in recv in
+// place. With 2t parity symbols the code recovers up to 2t erasures —
+// twice its unknown-position error capability — because the error
+// locations need not be solved for: the syndrome equations become a
+// linear system in the magnitudes alone.
+//
+// This is the decoding mode behind VT-HI's RAID-like cross-page
+// protection (§8 Reliability): a page whose hidden shard failed its own
+// BCH is a known-bad position in the stripe.
+func (c *RS) DecodeErasures(recv []byte, erasures []int) error {
+	r := 2 * c.t
+	if len(recv) < r {
+		return fmt.Errorf("ecc: RS received word too short: %d < %d parity symbols", len(recv), r)
+	}
+	if len(erasures) == 0 {
+		return nil
+	}
+	if len(erasures) > r {
+		return fmt.Errorf("ecc: %d erasures exceed %d parity symbols", len(erasures), r)
+	}
+	s := c.n - len(recv)
+	seen := map[int]bool{}
+	for _, pos := range erasures {
+		if pos < 0 || pos >= len(recv) {
+			return fmt.Errorf("ecc: erasure position %d out of range", pos)
+		}
+		if seen[pos] {
+			return fmt.Errorf("ecc: duplicate erasure position %d", pos)
+		}
+		seen[pos] = true
+		// Zero the erased symbol so it contributes nothing; the solved
+		// magnitude then replaces it outright.
+		recv[pos] = 0
+	}
+
+	// Syndromes of the zeroed word.
+	synd := make([]int, r)
+	for j := 1; j <= r; j++ {
+		v := 0
+		for i, sym := range recv {
+			if sym != 0 {
+				e := c.n - 1 - s - i
+				v ^= c.f.Mul(int(sym), c.f.Exp(j*e%c.f.N()))
+			}
+		}
+		synd[j-1] = v
+	}
+
+	// Solve sum_i Y_i * X_i^j = S_j for the magnitudes Y_i, where
+	// X_i = alpha^(position exponent). Vandermonde system, Gaussian
+	// elimination over GF(256).
+	e := len(erasures)
+	locs := make([]int, e)
+	for i, pos := range erasures {
+		locs[i] = c.f.Exp((c.n - 1 - s - pos) % c.f.N())
+	}
+	// Build augmented matrix: e equations suffice (take the first e
+	// syndromes); using more would over-determine consistently, but e
+	// keeps elimination minimal.
+	mat := make([][]int, e)
+	for j := 0; j < e; j++ {
+		row := make([]int, e+1)
+		for i := 0; i < e; i++ {
+			row[i] = c.f.Pow(locs[i], j+1)
+		}
+		row[e] = synd[j]
+		mat[j] = row
+	}
+	mags, err := c.solve(mat, e)
+	if err != nil {
+		return err
+	}
+	for i, pos := range erasures {
+		recv[pos] = byte(mags[i])
+	}
+	// Verify against the full syndrome set.
+	for j := 1; j <= r; j++ {
+		v := 0
+		for i, sym := range recv {
+			if sym != 0 {
+				ex := c.n - 1 - s - i
+				v ^= c.f.Mul(int(sym), c.f.Exp(j*ex%c.f.N()))
+			}
+		}
+		if v != 0 {
+			return ErrUncorrectable
+		}
+	}
+	return nil
+}
+
+// solve runs Gaussian elimination on an e x (e+1) augmented matrix over
+// the field and returns the solution vector.
+func (c *RS) solve(mat [][]int, e int) ([]int, error) {
+	for col := 0; col < e; col++ {
+		// Find a pivot.
+		pivot := -1
+		for row := col; row < e; row++ {
+			if mat[row][col] != 0 {
+				pivot = row
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, ErrUncorrectable
+		}
+		mat[col], mat[pivot] = mat[pivot], mat[col]
+		inv := c.f.Inv(mat[col][col])
+		for k := col; k <= e; k++ {
+			mat[col][k] = c.f.Mul(mat[col][k], inv)
+		}
+		for row := 0; row < e; row++ {
+			if row == col || mat[row][col] == 0 {
+				continue
+			}
+			factor := mat[row][col]
+			for k := col; k <= e; k++ {
+				mat[row][k] ^= c.f.Mul(factor, mat[col][k])
+			}
+		}
+	}
+	out := make([]int, e)
+	for i := 0; i < e; i++ {
+		out[i] = mat[i][e]
+	}
+	return out, nil
+}

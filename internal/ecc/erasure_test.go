@@ -1,0 +1,112 @@
+package ecc
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestErasureRecoversUpTo2T(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	for _, tt := range []int{1, 2, 4, 8} {
+		code := NewRS(tt)
+		for trial := 0; trial < 20; trial++ {
+			dl := 1 + rng.IntN(code.K())
+			data := randomBytes(rng, dl)
+			cw := code.Encode(data)
+			nErase := 1 + rng.IntN(2*tt)
+			pos := map[int]bool{}
+			for len(pos) < nErase {
+				pos[rng.IntN(len(cw))] = true
+			}
+			recv := append([]byte(nil), cw...)
+			var erasures []int
+			for p := range pos {
+				recv[p] = byte(rng.IntN(256)) // garbage; decoder zeroes it
+				erasures = append(erasures, p)
+			}
+			if err := code.DecodeErasures(recv, erasures); err != nil {
+				t.Fatalf("RS(t=%d), %d erasures: %v", tt, nErase, err)
+			}
+			if !bytes.Equal(recv, cw) {
+				t.Fatalf("RS(t=%d): codeword not restored", tt)
+			}
+		}
+	}
+}
+
+func TestErasureBeyondCapacityRejected(t *testing.T) {
+	code := NewRS(2)
+	cw := code.Encode(make([]byte, 10))
+	var erasures []int
+	for i := 0; i < 5; i++ { // 5 > 2t = 4
+		erasures = append(erasures, i)
+	}
+	if err := code.DecodeErasures(cw, erasures); err == nil {
+		t.Fatal("over-capacity erasure set accepted")
+	}
+}
+
+func TestErasureValidation(t *testing.T) {
+	code := NewRS(2)
+	cw := code.Encode(make([]byte, 10))
+	if err := code.DecodeErasures(cw, []int{-1}); err == nil {
+		t.Error("negative position accepted")
+	}
+	if err := code.DecodeErasures(cw, []int{len(cw)}); err == nil {
+		t.Error("out-of-range position accepted")
+	}
+	if err := code.DecodeErasures(cw, []int{1, 1}); err == nil {
+		t.Error("duplicate position accepted")
+	}
+	if err := code.DecodeErasures(make([]byte, 2), []int{0}); err == nil {
+		t.Error("short word accepted")
+	}
+	if err := code.DecodeErasures(cw, nil); err != nil {
+		t.Errorf("empty erasure set should be a no-op: %v", err)
+	}
+}
+
+func TestErasureDetectsResidualErrors(t *testing.T) {
+	// An unknown-position error alongside erasures must fail the final
+	// syndrome verification (this decoder is erasure-only).
+	code := NewRS(2)
+	rng := rand.New(rand.NewPCG(2, 2))
+	data := randomBytes(rng, 40)
+	cw := code.Encode(data)
+	recv := append([]byte(nil), cw...)
+	recv[0] = 0      // erasure
+	recv[20] ^= 0x5A // hidden error
+	if err := code.DecodeErasures(recv, []int{0}); err == nil {
+		t.Fatal("residual unknown error not detected")
+	}
+}
+
+func TestErasureProperty(t *testing.T) {
+	code := NewRS(4)
+	f := func(seed uint64, lenSel uint16, nSel uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 3))
+		dl := 1 + int(lenSel)%code.K()
+		data := randomBytes(rng, dl)
+		cw := code.Encode(data)
+		n := int(nSel) % (2*code.T() + 1)
+		pos := map[int]bool{}
+		for len(pos) < n {
+			pos[rng.IntN(len(cw))] = true
+		}
+		recv := append([]byte(nil), cw...)
+		var erasures []int
+		for p := range pos {
+			recv[p] ^= byte(1 + rng.IntN(255))
+			erasures = append(erasures, p)
+		}
+		if err := code.DecodeErasures(recv, erasures); err != nil {
+			return false
+		}
+		return bytes.Equal(recv, cw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

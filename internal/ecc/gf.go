@@ -1,0 +1,225 @@
+// Package ecc implements the error-correcting codes the paper relies on:
+// binary BCH codes (the standard choice for NAND flash pages and what we
+// use for VT-HI hidden payloads), Reed–Solomon over GF(2^8) (for the
+// RAID-like cross-page redundancy §8 suggests for bad-block protection),
+// and an extended Hamming SEC-DED code for small metadata. All codes are
+// systematic. Everything is implemented from scratch on stdlib only.
+package ecc
+
+import "fmt"
+
+// Field is a finite field GF(2^m) represented with log/antilog tables.
+// Elements are integers in [0, 2^m). Addition is XOR.
+type Field struct {
+	m    int      // extension degree
+	n    int      // multiplicative group order, 2^m - 1
+	poly uint32   // primitive polynomial (including x^m term)
+	exp  []uint16 // exp[i] = alpha^i, doubled length to skip mod n
+	log  []uint16 // log[x] = i such that alpha^i = x; log[0] unused
+}
+
+// primitivePolys[m] is a primitive polynomial of degree m over GF(2),
+// encoded with bit i = coefficient of x^i. Standard choices.
+var primitivePolys = map[int]uint32{
+	3:  0b1011,              // x^3 + x + 1
+	4:  0b10011,             // x^4 + x + 1
+	5:  0b100101,            // x^5 + x^2 + 1
+	6:  0b1000011,           // x^6 + x + 1
+	7:  0b10001001,          // x^7 + x^3 + 1
+	8:  0b100011101,         // x^8 + x^4 + x^3 + x^2 + 1
+	9:  0b1000010001,        // x^9 + x^4 + 1
+	10: 0b10000001001,       // x^10 + x^3 + 1
+	11: 0b100000000101,      // x^11 + x^2 + 1
+	12: 0b1000001010011,     // x^12 + x^6 + x^4 + x + 1
+	13: 0b10000000011011,    // x^13 + x^4 + x^3 + x + 1
+	14: 0b100010001000011,   // x^14 + x^10 + x^6 + x + 1
+	15: 0b1000000000000011,  // x^15 + x + 1
+	16: 0b10001000000001011, // x^16 + x^12 + x^3 + x + 1
+}
+
+// NewField constructs GF(2^m) for 3 <= m <= 16. It panics on unsupported m:
+// field degree is a compile-time design choice, never data.
+func NewField(m int) *Field {
+	poly, ok := primitivePolys[m]
+	if !ok {
+		panic(fmt.Sprintf("ecc: unsupported field degree %d", m))
+	}
+	n := (1 << m) - 1
+	f := &Field{
+		m:    m,
+		n:    n,
+		poly: poly,
+		exp:  make([]uint16, 2*n),
+		log:  make([]uint16, n+1),
+	}
+	x := uint32(1)
+	for i := 0; i < n; i++ {
+		f.exp[i] = uint16(x)
+		f.exp[i+n] = uint16(x)
+		f.log[x] = uint16(i)
+		x <<= 1
+		if x&(1<<m) != 0 {
+			x ^= poly
+		}
+	}
+	return f
+}
+
+// M returns the extension degree m.
+func (f *Field) M() int { return f.m }
+
+// N returns the multiplicative group order 2^m - 1 (the natural BCH/RS
+// codeword length over this field).
+func (f *Field) N() int { return f.n }
+
+// Exp returns alpha^i for any non-negative i.
+func (f *Field) Exp(i int) int { return int(f.exp[i%f.n]) }
+
+// Log returns the discrete log of x. It panics on x == 0, which has no log;
+// callers must guard, as every zero-divide here is an algorithm bug.
+func (f *Field) Log(x int) int {
+	if x == 0 {
+		panic("ecc: log of zero")
+	}
+	return int(f.log[x])
+}
+
+// Mul multiplies two field elements.
+func (f *Field) Mul(a, b int) int {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return int(f.exp[int(f.log[a])+int(f.log[b])])
+}
+
+// Div divides a by b. It panics if b == 0.
+func (f *Field) Div(a, b int) int {
+	if b == 0 {
+		panic("ecc: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	d := int(f.log[a]) - int(f.log[b])
+	if d < 0 {
+		d += f.n
+	}
+	return int(f.exp[d])
+}
+
+// Inv returns the multiplicative inverse of a. It panics if a == 0.
+func (f *Field) Inv(a int) int {
+	if a == 0 {
+		panic("ecc: inverse of zero")
+	}
+	return int(f.exp[f.n-int(f.log[a])])
+}
+
+// Pow returns a^e for e >= 0.
+func (f *Field) Pow(a, e int) int {
+	if a == 0 {
+		if e == 0 {
+			return 1
+		}
+		return 0
+	}
+	return int(f.exp[(int(f.log[a])*e)%f.n])
+}
+
+// PolyEval evaluates the polynomial p (p[i] = coefficient of x^i) at x
+// using Horner's rule.
+func (f *Field) PolyEval(p []int, x int) int {
+	v := 0
+	for i := len(p) - 1; i >= 0; i-- {
+		v = f.Mul(v, x) ^ p[i]
+	}
+	return v
+}
+
+// PolyMul multiplies two polynomials over the field.
+func (f *Field) PolyMul(a, b []int) []int {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	out := make([]int, len(a)+len(b)-1)
+	for i, ai := range a {
+		if ai == 0 {
+			continue
+		}
+		for j, bj := range b {
+			out[i+j] ^= f.Mul(ai, bj)
+		}
+	}
+	return out
+}
+
+// minimalPolynomial returns the minimal polynomial over GF(2) of alpha^i,
+// as a GF(2) polynomial encoded with bit j = coefficient of x^j. It works
+// by multiplying (x - alpha^(i*2^k)) over the cyclotomic coset of i.
+func (f *Field) minimalPolynomial(i int) uint64 {
+	// Collect the cyclotomic coset {i, 2i, 4i, ...} mod n.
+	coset := []int{}
+	seen := map[int]bool{}
+	for c := i % f.n; !seen[c]; c = (c * 2) % f.n {
+		seen[c] = true
+		coset = append(coset, c)
+	}
+	// Product of (x + alpha^c) computed over GF(2^m); the result has
+	// coefficients in GF(2) by construction.
+	p := []int{1} // constant polynomial 1
+	for _, c := range coset {
+		root := f.Exp(c)
+		// p = p * (x + root)
+		np := make([]int, len(p)+1)
+		for d, pd := range p {
+			np[d+1] ^= pd
+			np[d] ^= f.Mul(pd, root)
+		}
+		p = np
+	}
+	var bits uint64
+	for d, pd := range p {
+		switch pd {
+		case 0:
+		case 1:
+			bits |= 1 << uint(d)
+		default:
+			panic("ecc: minimal polynomial has non-binary coefficient")
+		}
+	}
+	return bits
+}
+
+// gf2PolyMul multiplies two GF(2) polynomials in bit representation.
+func gf2PolyMul(a, b uint64) uint64 {
+	var out uint64
+	for b != 0 {
+		if b&1 != 0 {
+			out ^= a
+		}
+		a <<= 1
+		b >>= 1
+	}
+	return out
+}
+
+// gf2PolyMod reduces a modulo m over GF(2); both in bit representation.
+func gf2PolyMod(a, m uint64) uint64 {
+	dm := bitLen(m)
+	for {
+		da := bitLen(a)
+		if da < dm {
+			return a
+		}
+		a ^= m << uint(da-dm)
+	}
+}
+
+func bitLen(x uint64) int {
+	n := 0
+	for x != 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}

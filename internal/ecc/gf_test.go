@@ -1,0 +1,317 @@
+package ecc
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestFieldConstruction(t *testing.T) {
+	for m := 3; m <= 16; m++ {
+		f := NewField(m)
+		if f.M() != m {
+			t.Errorf("m=%d: M()=%d", m, f.M())
+		}
+		if f.N() != (1<<m)-1 {
+			t.Errorf("m=%d: N()=%d", m, f.N())
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unsupported degree accepted")
+		}
+	}()
+	NewField(2)
+}
+
+func TestFieldExpLogInverse(t *testing.T) {
+	f := NewField(8)
+	for x := 1; x <= f.N(); x++ {
+		if got := f.Exp(f.Log(x)); got != x {
+			t.Fatalf("exp(log(%d)) = %d", x, got)
+		}
+		if got := f.Mul(x, f.Inv(x)); got != 1 {
+			t.Fatalf("%d * inv = %d", x, got)
+		}
+	}
+}
+
+func TestFieldAxioms(t *testing.T) {
+	f := NewField(9)
+	rng := rand.New(rand.NewPCG(1, 1))
+	pick := func() int { return rng.IntN(f.N() + 1) }
+	for i := 0; i < 2000; i++ {
+		a, b, c := pick(), pick(), pick()
+		if f.Mul(a, b) != f.Mul(b, a) {
+			t.Fatal("multiplication not commutative")
+		}
+		if f.Mul(a, f.Mul(b, c)) != f.Mul(f.Mul(a, b), c) {
+			t.Fatal("multiplication not associative")
+		}
+		// Distributivity over XOR (field addition).
+		if f.Mul(a, b^c) != f.Mul(a, b)^f.Mul(a, c) {
+			t.Fatal("multiplication not distributive")
+		}
+		if b != 0 && f.Mul(f.Div(a, b), b) != a {
+			t.Fatal("div/mul inconsistent")
+		}
+	}
+}
+
+func TestFieldPow(t *testing.T) {
+	f := NewField(8)
+	if f.Pow(0, 0) != 1 {
+		t.Error("0^0 should be 1 by convention")
+	}
+	if f.Pow(0, 5) != 0 {
+		t.Error("0^5 should be 0")
+	}
+	for _, a := range []int{1, 2, 7, 133} {
+		want := 1
+		for e := 0; e < 10; e++ {
+			if got := f.Pow(a, e); got != want {
+				t.Fatalf("%d^%d = %d, want %d", a, e, got, want)
+			}
+			want = f.Mul(want, a)
+		}
+	}
+}
+
+func TestFieldZeroGuards(t *testing.T) {
+	f := NewField(8)
+	for _, fn := range []func(){
+		func() { f.Log(0) },
+		func() { f.Inv(0) },
+		func() { f.Div(1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("want panic on zero operand")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPolyEvalMul(t *testing.T) {
+	f := NewField(8)
+	// p(x) = 3x^2 + x + 5 at x=2, over GF(256): 3*4 ^ 2 ^ 5.
+	p := []int{5, 1, 3}
+	want := f.Mul(3, f.Mul(2, 2)) ^ 2 ^ 5
+	if got := f.PolyEval(p, 2); got != want {
+		t.Fatalf("eval = %d, want %d", got, want)
+	}
+	// (x+1)(x+1) = x^2 + 1 in characteristic 2 (with root 1 doubled).
+	sq := f.PolyMul([]int{1, 1}, []int{1, 1})
+	if len(sq) != 3 || sq[0] != 1 || sq[1] != 0 || sq[2] != 1 {
+		t.Fatalf("(x+1)^2 = %v", sq)
+	}
+	if f.PolyMul(nil, []int{1}) != nil {
+		t.Error("empty polynomial product should be nil")
+	}
+}
+
+func TestMinimalPolynomialDividesField(t *testing.T) {
+	// Every minimal polynomial of alpha^i must divide x^(2^m - 1) - 1,
+	// i.e. alpha^i must be a root.
+	f := NewField(6)
+	for i := 1; i < f.N(); i++ {
+		mp := f.minimalPolynomial(i)
+		// Evaluate the GF(2) polynomial at alpha^i over GF(2^m).
+		v := 0
+		for d := 0; d < 64; d++ {
+			if mp&(1<<uint(d)) != 0 {
+				v ^= f.Pow(f.Exp(i%f.N()), d)
+			}
+		}
+		if v != 0 {
+			t.Fatalf("alpha^%d is not a root of its minimal polynomial", i)
+		}
+	}
+}
+
+func TestGF2PolyHelpers(t *testing.T) {
+	// (x+1)(x+1) = x^2+1 over GF(2).
+	if got := gf2PolyMul(0b11, 0b11); got != 0b101 {
+		t.Errorf("gf2PolyMul = %b", got)
+	}
+	// x^3 mod (x^2+1) = x.
+	if got := gf2PolyMod(0b1000, 0b101); got != 0b10 {
+		t.Errorf("gf2PolyMod = %b", got)
+	}
+	if bitLen(0) != 0 || bitLen(1) != 1 || bitLen(0b1000) != 4 {
+		t.Error("bitLen wrong")
+	}
+}
+
+func TestBitsRoundTrip(t *testing.T) {
+	f := func(b []byte) bool {
+		bits := BytesToBits(b)
+		if len(bits) != len(b)*8 {
+			return false
+		}
+		back := BitsToBytes(bits)
+		if len(back) != len(b) {
+			return false
+		}
+		for i := range b {
+			if back[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitsToBytesPartial(t *testing.T) {
+	// 3 bits 1,0,1 -> one byte 0b1010_0000.
+	got := BitsToBytes([]uint8{1, 0, 1})
+	if len(got) != 1 || got[0] != 0xA0 {
+		t.Fatalf("got %x", got)
+	}
+}
+
+func TestCountDiffBits(t *testing.T) {
+	if CountDiffBits([]uint8{1, 0, 1}, []uint8{1, 1, 0}) != 2 {
+		t.Error("wrong distance")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch must panic")
+		}
+	}()
+	CountDiffBits([]uint8{1}, []uint8{1, 0})
+}
+
+func TestInterleaverRoundTrip(t *testing.T) {
+	f := func(depthSel uint8, bits []uint8) bool {
+		depth := 1 + int(depthSel)%8
+		for i := range bits {
+			bits[i] &= 1
+		}
+		il := NewInterleaver(depth)
+		out := il.Deinterleave(il.Interleave(bits))
+		if len(out) != len(bits) {
+			return false
+		}
+		for i := range bits {
+			if out[i] != bits[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInterleaverSpreadsBursts(t *testing.T) {
+	il := NewInterleaver(4)
+	bits := make([]uint8, 32)
+	inter := il.Interleave(bits)
+	// Corrupt a burst of 4 adjacent interleaved positions.
+	for i := 8; i < 12; i++ {
+		inter[i] ^= 1
+	}
+	back := il.Deinterleave(inter)
+	// The 4 errors must land in 4 distinct rows (stride = width).
+	width := (len(bits) + 3) / 4
+	rows := map[int]bool{}
+	for i, b := range back {
+		if b != 0 {
+			rows[i/width] = true
+		}
+	}
+	if len(rows) != 4 {
+		t.Fatalf("burst hit %d rows, want 4", len(rows))
+	}
+}
+
+func TestInterleaverDepthOne(t *testing.T) {
+	il := NewInterleaver(1)
+	in := []uint8{1, 0, 1, 1}
+	out := il.Interleave(in)
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatal("depth-1 interleave must be identity")
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("zero depth must panic")
+		}
+	}()
+	NewInterleaver(0)
+}
+
+func TestHammingRoundTrip(t *testing.T) {
+	var h Hamming7264
+	f := func(data uint64) bool {
+		lo, hi := h.Encode(data)
+		got, corrected, err := h.Decode(lo, hi)
+		return err == nil && !corrected && got == data
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHammingCorrectsSingleBit(t *testing.T) {
+	var h Hamming7264
+	data := uint64(0xDEADBEEFCAFEF00D)
+	lo, hi := h.Encode(data)
+	for bit := 0; bit < 72; bit++ {
+		l, hb := lo, hi
+		if bit < 64 {
+			l ^= 1 << uint(bit)
+		} else {
+			hb ^= 1 << uint(bit-64)
+		}
+		got, corrected, err := h.Decode(l, hb)
+		if err != nil {
+			t.Fatalf("bit %d: %v", bit, err)
+		}
+		if !corrected {
+			t.Fatalf("bit %d: correction not reported", bit)
+		}
+		if got != data {
+			t.Fatalf("bit %d: wrong data", bit)
+		}
+	}
+}
+
+func TestHammingDetectsDoubleBit(t *testing.T) {
+	var h Hamming7264
+	rng := rand.New(rand.NewPCG(3, 3))
+	data := uint64(0x0123456789ABCDEF)
+	lo, hi := h.Encode(data)
+	detected := 0
+	const trials = 100
+	for i := 0; i < trials; i++ {
+		b1 := rng.IntN(72)
+		b2 := rng.IntN(72)
+		for b2 == b1 {
+			b2 = rng.IntN(72)
+		}
+		l, hb := lo, hi
+		for _, b := range []int{b1, b2} {
+			if b < 64 {
+				l ^= 1 << uint(b)
+			} else {
+				hb ^= 1 << uint(b-64)
+			}
+		}
+		if _, _, err := h.Decode(l, hb); err == ErrDoubleError {
+			detected++
+		}
+	}
+	if detected != trials {
+		t.Fatalf("detected %d/%d double errors; SEC-DED must catch all", detected, trials)
+	}
+}

@@ -1,0 +1,124 @@
+package ecc
+
+import "errors"
+
+// Hamming7264 is the classic extended Hamming SEC-DED code on 64-bit words:
+// 64 data bits, 7 Hamming parity bits, 1 overall parity bit. VT-HI uses it
+// for the small configuration-metadata records (§9.2 "Metadata Persistence")
+// that must survive single bit flips but are too small to justify BCH.
+type Hamming7264 struct{}
+
+// ErrDoubleError reports a detected-but-uncorrectable double bit error.
+var ErrDoubleError = errors.New("ecc: double bit error detected")
+
+// hammingPositions maps data bit i (0..63) to its position in the 72-bit
+// codeword, skipping power-of-two positions (1,2,4,...,64) which hold
+// parity. Position 0 holds the overall parity bit. Positions are 1-based
+// within the Hamming layout, stored at codeword bit (position) with bit 0
+// reserved for overall parity.
+var hammingDataPos [64]int
+
+func init() {
+	i := 0
+	for pos := 1; pos <= 71 && i < 64; pos++ {
+		if pos&(pos-1) == 0 { // power of two: parity position
+			continue
+		}
+		hammingDataPos[i] = pos
+		i++
+	}
+	if i != 64 {
+		panic("ecc: hamming layout construction failed")
+	}
+}
+
+// Encode encodes a 64-bit word into a 72-bit codeword packed into a uint64
+// pair: the return is (low 64 bits, high 8 bits).
+func (Hamming7264) Encode(data uint64) (lo uint64, hi uint8) {
+	var cw [72]uint8
+	for i := 0; i < 64; i++ {
+		cw[hammingDataPos[i]] = uint8(data>>uint(i)) & 1
+	}
+	// Hamming parity bits at positions 1,2,4,...,64.
+	for p := 1; p <= 64; p <<= 1 {
+		x := uint8(0)
+		for pos := 1; pos < 72; pos++ {
+			if pos&p != 0 && pos != p {
+				x ^= cw[pos]
+			}
+		}
+		cw[p] = x
+	}
+	// Overall parity at position 0.
+	x := uint8(0)
+	for pos := 1; pos < 72; pos++ {
+		x ^= cw[pos]
+	}
+	cw[0] = x
+	return packCW(cw)
+}
+
+// Decode corrects a single bit error and detects double errors in the
+// 72-bit codeword (lo, hi). It returns the decoded data word and whether a
+// single-bit correction was applied.
+func (Hamming7264) Decode(lo uint64, hi uint8) (data uint64, corrected bool, err error) {
+	cw := unpackCW(lo, hi)
+	syndrome := 0
+	for p := 1; p <= 64; p <<= 1 {
+		x := uint8(0)
+		for pos := 1; pos < 72; pos++ {
+			if pos&p != 0 {
+				x ^= cw[pos]
+			}
+		}
+		if x != 0 {
+			syndrome |= p
+		}
+	}
+	overall := uint8(0)
+	for pos := 0; pos < 72; pos++ {
+		overall ^= cw[pos]
+	}
+	switch {
+	case syndrome == 0 && overall == 0:
+		// Clean.
+	case syndrome != 0 && overall != 0:
+		// Single error at position syndrome; correct it.
+		if syndrome < 72 {
+			cw[syndrome] ^= 1
+			corrected = true
+		} else {
+			return 0, false, ErrDoubleError
+		}
+	case syndrome == 0 && overall != 0:
+		// Error in the overall parity bit itself; data is fine.
+		corrected = true
+	default: // syndrome != 0, overall == 0
+		return 0, false, ErrDoubleError
+	}
+	for i := 0; i < 64; i++ {
+		data |= uint64(cw[hammingDataPos[i]]) << uint(i)
+	}
+	return data, corrected, nil
+}
+
+func packCW(cw [72]uint8) (lo uint64, hi uint8) {
+	for i := 0; i < 64; i++ {
+		lo |= uint64(cw[i]) << uint(i)
+	}
+	for i := 64; i < 72; i++ {
+		hi |= cw[i] << uint(i-64)
+	}
+	return lo, hi
+}
+
+func unpackCW(lo uint64, hi uint8) [72]uint8 {
+	var cw [72]uint8
+	for i := 0; i < 64; i++ {
+		cw[i] = uint8(lo>>uint(i)) & 1
+	}
+	for i := 64; i < 72; i++ {
+		cw[i] = (hi >> uint(i-64)) & 1
+	}
+	return cw
+}

@@ -1,0 +1,185 @@
+package ecc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// RS is a systematic Reed–Solomon code over GF(2^8) with natural length
+// 255 symbols. It corrects up to t symbol errors using 2t parity symbols.
+// The paper suggests "RAID-like schemes" across pages/blocks to protect
+// hidden data from bad blocks (§8 Reliability); RS is the standard
+// construction for that, and symbol-oriented correction also handles the
+// bursty errors that program interference induces in adjacent cells.
+//
+// Shortened use (messages shorter than K symbols) is supported directly.
+type RS struct {
+	f   *Field
+	t   int   // correctable symbol errors
+	n   int   // natural codeword length, 255
+	k   int   // natural data length, 255 - 2t
+	gen []int // generator polynomial, gen[i] = coeff of x^i, monic
+}
+
+// ErrRSTooLong is returned/panicked when a message exceeds code capacity.
+var ErrRSTooLong = errors.New("ecc: RS message exceeds code capacity")
+
+// NewRS constructs an RS(255, 255-2t) code correcting t symbol errors.
+func NewRS(t int) *RS {
+	if t < 1 || 2*t >= 255 {
+		panic(fmt.Sprintf("ecc: invalid RS t=%d", t))
+	}
+	f := NewField(8)
+	// g(x) = prod_{i=1..2t} (x - alpha^i)
+	gen := []int{1}
+	for i := 1; i <= 2*t; i++ {
+		root := f.Exp(i)
+		ng := make([]int, len(gen)+1)
+		for d, gd := range gen {
+			ng[d+1] ^= gd
+			ng[d] ^= f.Mul(gd, root)
+		}
+		gen = ng
+	}
+	return &RS{f: f, t: t, n: 255, k: 255 - 2*t, gen: gen}
+}
+
+// N returns the natural codeword length in symbols (255).
+func (c *RS) N() int { return c.n }
+
+// K returns the natural data length in symbols.
+func (c *RS) K() int { return c.k }
+
+// T returns the number of correctable symbol errors.
+func (c *RS) T() int { return c.t }
+
+// ParitySymbols returns the number of parity symbols appended by Encode.
+func (c *RS) ParitySymbols() int { return 2 * c.t }
+
+// Encode returns data followed by 2t parity symbols. len(data) may be at
+// most K() (shortened code). It panics if the message is too long.
+func (c *RS) Encode(data []byte) []byte {
+	if len(data) > c.k {
+		panic(ErrRSTooLong)
+	}
+	r := 2 * c.t
+	reg := make([]int, r)
+	for _, d := range data {
+		fb := int(d) ^ reg[r-1]
+		copy(reg[1:], reg[:r-1])
+		reg[0] = 0
+		if fb != 0 {
+			for i := 0; i < r; i++ {
+				reg[i] ^= c.f.Mul(fb, c.gen[i])
+			}
+		}
+	}
+	out := make([]byte, len(data)+r)
+	copy(out, data)
+	for i := 0; i < r; i++ {
+		out[len(data)+i] = byte(reg[r-1-i])
+	}
+	return out
+}
+
+// Decode corrects up to T() symbol errors in recv in place and returns the
+// number of corrected symbols, or ErrUncorrectable.
+func (c *RS) Decode(recv []byte) (int, error) {
+	r := 2 * c.t
+	if len(recv) < r {
+		return 0, fmt.Errorf("ecc: RS received word too short: %d < %d parity symbols", len(recv), r)
+	}
+	s := c.n - len(recv) // shortening amount
+	synd := make([]int, r)
+	allZero := true
+	for j := 1; j <= r; j++ {
+		v := 0
+		for i, sym := range recv {
+			if sym != 0 {
+				e := c.n - 1 - s - i
+				v ^= c.f.Mul(int(sym), c.f.Exp(j*e%c.f.N()))
+			}
+		}
+		synd[j-1] = v
+		if v != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		return 0, nil
+	}
+
+	lambda, errCount := berlekampMassey(c.f, synd)
+	if lambda == nil || errCount > c.t {
+		return 0, ErrUncorrectable
+	}
+
+	// Error evaluator Omega(x) = [S(x) * Lambda(x)] mod x^2t.
+	sPoly := make([]int, r)
+	copy(sPoly, synd)
+	omega := c.f.PolyMul(sPoly, lambda)
+	if len(omega) > r {
+		omega = omega[:r]
+	}
+
+	// Chien search + Forney on real positions.
+	type fix struct {
+		idx int
+		val int
+	}
+	var fixes []fix
+	for i := range recv {
+		e := c.n - 1 - s - i
+		xInv := c.f.Exp((c.f.N() - e%c.f.N()) % c.f.N()) // alpha^{-e}
+		if c.f.PolyEval(lambda, xInv) != 0 {
+			continue
+		}
+		// Forney with S(x) = sum_j S_{j+1} x^j and narrow-sense roots
+		// (b=1): Y_k = Omega(X_k^{-1}) / Lambda'(X_k^{-1}) — in
+		// characteristic 2 the minus sign vanishes and no extra X_k
+		// factor appears.
+		num := c.f.PolyEval(omega, xInv)
+		den := c.f.PolyEval(polyFormalDeriv(lambda), xInv)
+		if den == 0 {
+			return 0, ErrUncorrectable
+		}
+		fixes = append(fixes, fix{i, c.f.Div(num, den)})
+	}
+	if len(fixes) != errCount {
+		return 0, ErrUncorrectable
+	}
+	for _, fx := range fixes {
+		recv[fx.idx] ^= byte(fx.val)
+	}
+	// Verify.
+	for j := 1; j <= r; j++ {
+		v := 0
+		for i, sym := range recv {
+			if sym != 0 {
+				e := c.n - 1 - s - i
+				v ^= c.f.Mul(int(sym), c.f.Exp(j*e%c.f.N()))
+			}
+		}
+		if v != 0 {
+			// Roll back.
+			for _, fx := range fixes {
+				recv[fx.idx] ^= byte(fx.val)
+			}
+			return 0, ErrUncorrectable
+		}
+	}
+	return len(fixes), nil
+}
+
+// polyFormalDeriv returns the formal derivative of p over characteristic-2
+// fields: odd-degree terms drop a degree, even-degree terms vanish.
+func polyFormalDeriv(p []int) []int {
+	if len(p) <= 1 {
+		return []int{0}
+	}
+	out := make([]int, len(p)-1)
+	for i := 1; i < len(p); i += 2 {
+		out[i-1] = p[i]
+	}
+	return out
+}

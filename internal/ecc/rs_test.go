@@ -1,0 +1,132 @@
+package ecc
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func randomBytes(rng *rand.Rand, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(rng.IntN(256))
+	}
+	return out
+}
+
+func TestRSRoundTripClean(t *testing.T) {
+	rng := rand.New(rand.NewPCG(10, 11))
+	for _, tt := range []int{1, 4, 8, 16} {
+		code := NewRS(tt)
+		for _, dl := range []int{1, 32, code.K()} {
+			data := randomBytes(rng, dl)
+			cw := code.Encode(data)
+			if len(cw) != dl+2*tt {
+				t.Fatalf("RS(t=%d) len=%d want %d", tt, len(cw), dl+2*tt)
+			}
+			n, err := code.Decode(cw)
+			if err != nil || n != 0 {
+				t.Fatalf("RS(t=%d) clean decode: n=%d err=%v", tt, n, err)
+			}
+			if !bytes.Equal(cw[:dl], data) {
+				t.Fatalf("RS(t=%d) data mutated", tt)
+			}
+		}
+	}
+}
+
+func TestRSCorrectsUpToT(t *testing.T) {
+	rng := rand.New(rand.NewPCG(12, 13))
+	for _, tt := range []int{2, 8, 16} {
+		code := NewRS(tt)
+		for trial := 0; trial < 25; trial++ {
+			dl := 1 + rng.IntN(code.K())
+			data := randomBytes(rng, dl)
+			cw := code.Encode(data)
+			nErr := 1 + rng.IntN(tt)
+			pos := map[int]bool{}
+			for len(pos) < nErr {
+				pos[rng.IntN(len(cw))] = true
+			}
+			recv := append([]byte(nil), cw...)
+			for i := range pos {
+				recv[i] ^= byte(1 + rng.IntN(255))
+			}
+			n, err := code.Decode(recv)
+			if err != nil {
+				t.Fatalf("RS(t=%d) failed on %d errors (dl=%d): %v", tt, nErr, dl, err)
+			}
+			if n != nErr {
+				t.Fatalf("RS(t=%d): corrected %d want %d", tt, n, nErr)
+			}
+			if !bytes.Equal(recv[:dl], data) {
+				t.Fatalf("RS(t=%d): data wrong after correction", tt)
+			}
+		}
+	}
+}
+
+func TestRSDetectsOverload(t *testing.T) {
+	rng := rand.New(rand.NewPCG(14, 15))
+	code := NewRS(4)
+	detected := 0
+	const trials = 50
+	for trial := 0; trial < trials; trial++ {
+		data := randomBytes(rng, 64)
+		cw := code.Encode(data)
+		recv := append([]byte(nil), cw...)
+		pos := map[int]bool{}
+		for len(pos) < 4*code.T() {
+			pos[rng.IntN(len(recv))] = true
+		}
+		for i := range pos {
+			recv[i] ^= byte(1 + rng.IntN(255))
+		}
+		if _, err := code.Decode(recv); err != nil {
+			detected++
+		}
+	}
+	if detected < trials*9/10 {
+		t.Errorf("only %d/%d overload patterns detected", detected, trials)
+	}
+}
+
+func TestRSPropertyRoundTrip(t *testing.T) {
+	code := NewRS(8)
+	f := func(seed uint64, lenSel uint16, errSel uint8) bool {
+		r := rand.New(rand.NewPCG(seed, 1))
+		dl := 1 + int(lenSel)%code.K()
+		data := randomBytes(r, dl)
+		cw := code.Encode(data)
+		nErr := int(errSel) % (code.T() + 1)
+		pos := map[int]bool{}
+		for len(pos) < nErr {
+			pos[r.IntN(len(cw))] = true
+		}
+		for i := range pos {
+			cw[i] ^= byte(1 + r.IntN(255))
+		}
+		n, err := code.Decode(cw)
+		if err != nil || n != nErr {
+			return false
+		}
+		return bytes.Equal(cw[:dl], data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRSInvalidParams(t *testing.T) {
+	for _, bad := range []int{0, -1, 128} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewRS(%d): want panic", bad)
+				}
+			}()
+			NewRS(bad)
+		}()
+	}
+}

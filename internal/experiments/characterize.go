@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"stashflash/internal/nand"
+	"stashflash/internal/stats"
+	"stashflash/internal/tester"
+)
+
+// Fig1 regenerates paper Figure 1: typical voltage level distributions of
+// cells in SLC mode versus MLC mode. The MLC curves must be visibly
+// narrower and sit at four levels instead of two.
+func Fig1(s Scale) (*Result, error) {
+	r := &Result{ID: "fig1", Title: "SLC vs MLC voltage level distributions"}
+	ts := newTester(s.modelA(), s.Seed, s.Seed)
+	chip := ts.Chip()
+
+	// Block 0: SLC-style programming with random data.
+	if _, err := ts.ProgramRandomBlock(0); err != nil {
+		return nil, err
+	}
+	slc := tester.NewVoltageHistogram()
+	for p := 0; p < chip.Geometry().PagesPerBlock; p++ {
+		lv, err := chip.ProbePage(nand.PageAddr{Block: 0, Page: p})
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range lv {
+			slc.Add(float64(v))
+		}
+	}
+
+	// Block 1: MLC programming (two random logical pages per wordline).
+	mlc := tester.NewVoltageHistogram()
+	for p := 0; p < chip.Geometry().PagesPerBlock; p++ {
+		a := nand.PageAddr{Block: 1, Page: p}
+		if err := chip.ProgramPageMLC(a, ts.RandomPage(), ts.RandomPage()); err != nil {
+			return nil, err
+		}
+	}
+	for p := 0; p < chip.Geometry().PagesPerBlock; p++ {
+		lv, err := chip.ProbePage(nand.PageAddr{Block: 1, Page: p})
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range lv {
+			mlc.Add(float64(v))
+		}
+	}
+
+	r.Series = append(r.Series,
+		histSeries("SLC", slc, 0, 230),
+		histSeries("MLC", mlc, 0, 230),
+	)
+
+	// Quantify the "MLC distributions are typically narrower" caption:
+	// spread of the topmost programmed state in each mode.
+	slcSpread := slc.Quantile(0.995) - slc.Quantile(0.505) // '0' state: upper half of mass
+	mlcTop := spreadAbove(mlc, 160)
+	r.Tables = append(r.Tables, Table{
+		Title:   "state widths (normalized levels)",
+		Columns: []string{"mode", "states", "top-state spread"},
+		Rows: [][]string{
+			{"SLC", "2", f3(slcSpread)},
+			{"MLC", "4", f3(mlcTop)},
+		},
+	})
+	if mlcTop < slcSpread {
+		r.AddNote("MLC top state is narrower than SLC programmed state (%.1f < %.1f), as in Fig 1", mlcTop, slcSpread)
+	} else {
+		r.AddNote("WARNING: MLC state not narrower than SLC (%.1f >= %.1f)", mlcTop, slcSpread)
+	}
+	return r, nil
+}
+
+// spreadAbove measures the 1%-99% spread of histogram mass above a level.
+func spreadAbove(h *stats.Histogram, lvl int) float64 {
+	sub := stats.NewHistogram(0, 256, 256)
+	for i := lvl; i < h.Bins(); i++ {
+		for k := 0; k < h.Count(i); k++ {
+			sub.Add(h.BinCenter(i))
+		}
+	}
+	if sub.Total() == 0 {
+		return 0
+	}
+	return sub.Quantile(0.99) - sub.Quantile(0.01)
+}
+
+// Fig2 regenerates paper Figure 2: voltage distributions of four chip
+// samples of the same model, at block level (a, b) and page level (c, d),
+// split into non-programmed (erased) and programmed states.
+func Fig2(s Scale) (*Result, error) {
+	r := &Result{ID: "fig2", Title: "voltage distribution variability across chip samples"}
+	summary := Table{
+		Title:   "per-sample state statistics (block level)",
+		Columns: []string{"sample", "erased mean", "erased std", "prog mean", "prog std", "erased>34"},
+	}
+	for sample := 0; sample < 4; sample++ {
+		ts := newTester(s.modelA(), s.Seed+uint64(sample)*101, s.Seed+uint64(sample))
+		if _, err := ts.ProgramRandomBlock(0); err != nil {
+			return nil, err
+		}
+		be, bp, err := ts.BlockDistribution(0)
+		if err != nil {
+			return nil, err
+		}
+		pe, pp, err := ts.PageDistribution(nand.PageAddr{Block: 0, Page: s.PagesPerBlock / 2})
+		if err != nil {
+			return nil, err
+		}
+		label := fmt.Sprintf("sample %d", sample+1)
+		r.Series = append(r.Series,
+			histSeries(label+" block erased", be, 0, 80),
+			histSeries(label+" block programmed", bp, 120, 210),
+			histSeries(label+" page erased", pe, 0, 80),
+			histSeries(label+" page programmed", pp, 120, 210),
+		)
+		tailAbove34 := fractionAbove(be, 34)
+		summary.Rows = append(summary.Rows, []string{
+			label,
+			f3(be.Mean()), f3(histStd(be)),
+			f3(bp.Mean()), f3(histStd(bp)),
+			pct(tailAbove34),
+		})
+	}
+	r.Tables = append(r.Tables, summary)
+	r.AddNote("paper: 99.99%% of cells in [0,70] (erased) and [120,210] (programmed); samples differ visibly")
+	return r, nil
+}
+
+func fractionAbove(h *stats.Histogram, lvl int) float64 {
+	if h.Total() == 0 {
+		return 0
+	}
+	n := 0
+	for i := lvl; i < h.Bins(); i++ {
+		n += h.Count(i)
+	}
+	return float64(n) / float64(h.Total())
+}
+
+func histStd(h *stats.Histogram) float64 {
+	mean := h.Mean()
+	var ss float64
+	for i := 0; i < h.Bins(); i++ {
+		d := h.BinCenter(i) - mean
+		ss += float64(h.Count(i)) * d * d
+	}
+	if h.Total() < 2 {
+		return 0
+	}
+	return math.Sqrt(ss / float64(h.Total()-1))
+}
+
+// Fig3 regenerates paper Figure 3: distributions shift right as blocks
+// accumulate program/erase cycles.
+func Fig3(s Scale) (*Result, error) {
+	r := &Result{ID: "fig3", Title: "voltage distribution shift with wear (PEC 0..3000)"}
+	ts := newTester(s.modelA(), s.Seed+7, s.Seed+7)
+	pecs := []int{0, 1000, 2000, 3000}
+	shift := Table{
+		Title:   "state means by PEC",
+		Columns: []string{"PEC", "erased mean", "programmed mean"},
+	}
+	var base [2]float64
+	for i, pec := range pecs {
+		block := i
+		ts.CycleTo(block, pec)
+		if _, err := ts.ProgramRandomBlock(block); err != nil {
+			return nil, err
+		}
+		e, p, err := ts.BlockDistribution(block)
+		if err != nil {
+			return nil, err
+		}
+		r.Series = append(r.Series,
+			histSeries(fmt.Sprintf("PEC %d erased", pec), e, 0, 80),
+			histSeries(fmt.Sprintf("PEC %d programmed", pec), p, 120, 210),
+		)
+		if i == 0 {
+			base = [2]float64{e.Mean(), p.Mean()}
+		}
+		shift.Rows = append(shift.Rows, []string{
+			fmt.Sprint(pec), f3(e.Mean()), f3(p.Mean()),
+		})
+		ts.Chip().DropBlockState(block)
+		if i == len(pecs)-1 {
+			r.AddNote("shift over 3000 PEC: erased %+0.2f, programmed %+0.2f (paper: right shift for both states)",
+				e.Mean()-base[0], p.Mean()-base[1])
+		}
+	}
+	r.Tables = append(r.Tables, shift)
+	return r, nil
+}

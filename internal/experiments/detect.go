@@ -1,0 +1,339 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"stashflash/internal/core"
+	"stashflash/internal/nand"
+	"stashflash/internal/stats"
+	"stashflash/internal/svm"
+	"stashflash/internal/tester"
+)
+
+// featLevels bounds the histogram features handed to the SVM: erased-state
+// bins 0..95 and programmed-state bins 110..229, concatenated. This is the
+// "voltage levels for all cells in the block" representation of §7, binned
+// the way the probe quantises.
+const (
+	erasedFeatLo, erasedFeatHi = 0, 95
+	progFeatLo, progFeatHi     = 110, 229
+)
+
+// paperDensityBits converts a per-page hidden-bit budget defined on the
+// paper's 18048-byte page to the equivalent budget on a scaled page, so
+// detectability experiments at reduced scale keep the paper's hidden-cell
+// DENSITY (what the adversary's statistics actually see) rather than its
+// absolute count.
+func paperDensityBits(m nand.Model, paperBits int) int {
+	const paperCells = 18048 * 8
+	b := paperBits * m.CellsPerPage() / paperCells
+	b = b / 8 * 8
+	if b < 16 {
+		b = 16
+	}
+	return b
+}
+
+func featuresFrom(erased, programmed *stats.Histogram) []float64 {
+	var out []float64
+	for l := erasedFeatLo; l <= erasedFeatHi; l++ {
+		out = append(out, erased.Fraction(l))
+	}
+	for l := progFeatLo; l <= progFeatHi; l++ {
+		out = append(out, programmed.Fraction(l))
+	}
+	return out
+}
+
+// blockFeatures programs one block (cycled to pec) and returns its
+// feature vector; when hide is non-nil, hidden data is embedded first.
+type hideFn func(ts *tester.Tester, block int, rng *rand.Rand) error
+
+func blockFeatures(ts *tester.Tester, block, pec int, rng *rand.Rand, hide hideFn) ([]float64, error) {
+	ts.CycleTo(block, pec)
+	if hide == nil {
+		if _, err := ts.ProgramRandomBlock(block); err != nil {
+			return nil, err
+		}
+	} else if err := hide(ts, block, rng); err != nil {
+		return nil, err
+	}
+	e, p, err := ts.BlockDistribution(block)
+	if err != nil {
+		return nil, err
+	}
+	ts.Chip().DropBlockState(block)
+	return featuresFrom(e, p), nil
+}
+
+// standardHide embeds random raw bits with the paper's standard
+// configuration on every hidden page of a freshly programmed block.
+func standardHide(key []byte) hideFn {
+	cfg := core.StandardConfig()
+	return func(ts *tester.Tester, block int, rng *rand.Rand) error {
+		bits := paperDensityBits(ts.Chip().Model(), cfg.HiddenCellsPerPage)
+		emb, err := core.NewEmbedder(ts.Chip(), key, rawConfig(bits, cfg.PageInterval, cfg.MaxPPSteps))
+		if err != nil {
+			return err
+		}
+		embs, err := embedBlockRaw(ts, emb, block, rng, bits, cfg.PageInterval)
+		if err != nil {
+			return err
+		}
+		for _, pe := range embs {
+			if _, err := emb.Embed(pe.plan, pe.bits, cfg.MaxPPSteps); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// enhancedConfigFor clamps the enhanced configuration's 2560-cell budget
+// to what a (possibly scaled-down) page can host.
+func enhancedConfigFor(m nand.Model) core.Config {
+	cfg := core.EnhancedConfig()
+	cfg.HiddenCellsPerPage = paperDensityBits(m, cfg.HiddenCellsPerPage)
+	// Scale the hidden ECC with the cell budget: strength covers the ~2%
+	// operating BER plus slack, as the full-size configuration does.
+	cfg.BCHT = cfg.HiddenCellsPerPage/32 + 8
+	return cfg
+}
+
+// enhancedHide embeds with the vendor-supported enhanced configuration:
+// pages are written and hidden-into in one pass while the block fills.
+func enhancedHide(key []byte) hideFn {
+	return func(ts *tester.Tester, block int, rng *rand.Rand) error {
+		h, err := core.NewHider(ts.Chip(), key, enhancedConfigFor(ts.Chip().Model()))
+		if err != nil {
+			return err
+		}
+		g := ts.Chip().Geometry()
+		stride := h.HiddenPageStride()
+		for p := 0; p < g.PagesPerBlock; p++ {
+			a := nand.PageAddr{Block: block, Page: p}
+			pub := make([]byte, h.PublicDataBytes())
+			for i := range pub {
+				pub[i] = byte(rng.IntN(256))
+			}
+			if p%stride == 0 {
+				payload := make([]byte, h.HiddenPayloadBytes())
+				for i := range payload {
+					payload[i] = byte(rng.IntN(256))
+				}
+				if _, err := h.WriteAndHide(a, pub, payload, 0); err != nil {
+					return err
+				}
+			} else if err := h.WritePage(a, pub); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// enhancedNormal writes a block through the same public pipeline as
+// enhancedHide but embeds nothing, so the two classes differ only in the
+// hidden bits.
+func enhancedNormal(key []byte) hideFn {
+	return func(ts *tester.Tester, block int, rng *rand.Rand) error {
+		h, err := core.NewHider(ts.Chip(), key, enhancedConfigFor(ts.Chip().Model()))
+		if err != nil {
+			return err
+		}
+		g := ts.Chip().Geometry()
+		for p := 0; p < g.PagesPerBlock; p++ {
+			pub := make([]byte, h.PublicDataBytes())
+			for i := range pub {
+				pub[i] = byte(rng.IntN(256))
+			}
+			if err := h.WritePage(nand.PageAddr{Block: block, Page: p}, pub); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// svmSweep runs the paper's §7 methodology: per (hiddenPEC, normalPEC)
+// pair, train on ChipSamples-1 chips with grid search + 3-fold CV and
+// score on the held-out chip.
+func svmSweep(s Scale, id, title string, hide, normal hideFn, hiddenPECs, normalPECs []int) (*Result, error) {
+	r := &Result{ID: id, Title: title}
+
+	type classKey struct {
+		chip, pec int
+		hidden    bool
+	}
+	feats := map[classKey][][]float64{}
+	nextBlock := make([]int, s.ChipSamples)
+	testers := make([]*tester.Tester, s.ChipSamples)
+	for c := 0; c < s.ChipSamples; c++ {
+		testers[c] = newTester(s.modelA(), s.Seed+uint64(c)*389+5, s.Seed+uint64(c)+5)
+	}
+	collect := func(c, pec int, hidden bool) ([][]float64, error) {
+		k := classKey{c, pec, hidden}
+		if f, ok := feats[k]; ok {
+			return f, nil
+		}
+		rng := rand.New(rand.NewPCG(s.Seed+uint64(pec), uint64(c)<<1|boolBit(hidden)))
+		var out [][]float64
+		for i := 0; i < s.BlocksPerClass; i++ {
+			fn := normal
+			if hidden {
+				fn = hide
+			}
+			block := nextBlock[c]
+			if block >= testers[c].Chip().Geometry().Blocks {
+				// Reusing a cycled block would contaminate the PEC
+				// class with leftover wear.
+				return nil, fmt.Errorf("experiments: scale provides %d blocks/chip, sweep needs more", testers[c].Chip().Geometry().Blocks)
+			}
+			nextBlock[c]++
+			f, err := blockFeatures(testers[c], block, pec, rng, fn)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, f)
+		}
+		feats[k] = out
+		return out, nil
+	}
+
+	grid := svm.DefaultGrid()
+	tbl := Table{
+		Title:   "held-out-chip classification accuracy (%)",
+		Columns: append([]string{"hidden PEC \\ normal PEC"}, intsToStrings(normalPECs)...),
+	}
+	for _, hp := range hiddenPECs {
+		series := Series{Name: fmt.Sprintf("PEC %d", hp)}
+		row := []string{fmt.Sprint(hp)}
+		for _, np := range normalPECs {
+			var trX [][]float64
+			var trY []int
+			for c := 0; c < s.ChipSamples-1; c++ {
+				hf, err := collect(c, hp, true)
+				if err != nil {
+					return nil, err
+				}
+				nf, err := collect(c, np, false)
+				if err != nil {
+					return nil, err
+				}
+				for _, f := range hf {
+					trX = append(trX, f)
+					trY = append(trY, 1)
+				}
+				for _, f := range nf {
+					trX = append(trX, f)
+					trY = append(trY, -1)
+				}
+			}
+			var teX [][]float64
+			var teY []int
+			hf, err := collect(s.ChipSamples-1, hp, true)
+			if err != nil {
+				return nil, err
+			}
+			nf, err := collect(s.ChipSamples-1, np, false)
+			if err != nil {
+				return nil, err
+			}
+			for _, f := range hf {
+				teX = append(teX, f)
+				teY = append(teY, 1)
+			}
+			for _, f := range nf {
+				teX = append(teX, f)
+				teY = append(teY, -1)
+			}
+
+			best := svm.GridSearch(trX, trY, grid, 3, s.Seed)
+			sc := svm.FitScaler(trX)
+			model := svm.Train(sc.Apply(trX), trY, best.Params)
+			acc := model.Accuracy(sc.Apply(teX), teY)
+
+			series.X = append(series.X, float64(np))
+			series.Y = append(series.Y, acc*100)
+			row = append(row, fmt.Sprintf("%.0f", acc*100))
+		}
+		r.Series = append(r.Series, series)
+		tbl.Rows = append(tbl.Rows, row)
+	}
+	r.Tables = append(r.Tables, tbl)
+	return r, nil
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func intsToStrings(xs []int) []string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = fmt.Sprint(x)
+	}
+	return out
+}
+
+// Fig10 regenerates paper Figure 10: SVM accuracy classifying hidden vs
+// normal blocks (standard configuration) across wear levels. Matched-PEC
+// cells should sit near 50%; mismatched wear dominates classification.
+func Fig10(s Scale) (*Result, error) {
+	r, err := svmSweep(s, "fig10",
+		"SVM detectability, standard configuration",
+		standardHide([]byte("fig10-key")), nil,
+		[]int{0, 1000, 2000},
+		[]int{0, 500, 1000, 1500, 2000, 2500, 3000},
+	)
+	if err != nil {
+		return nil, err
+	}
+	r.AddNote("paper: ~50-53%% when hidden and normal PEC match within a few hundred cycles; accuracy rises with PEC mismatch")
+	annotateMatchedPEC(r)
+	return r, nil
+}
+
+// Fig12 regenerates paper Figure 12: the same sweep for the enhanced
+// (vendor-supported, 10x bits) configuration; accuracy in the matched-PEC
+// band is slightly higher than the standard configuration but still low.
+func Fig12(s Scale) (*Result, error) {
+	key := []byte("fig12-key")
+	r, err := svmSweep(s, "fig12",
+		"SVM detectability, enhanced (9x capacity) configuration",
+		enhancedHide(key), enhancedNormal(key),
+		[]int{0, 1000, 2000},
+		[]int{0, 500, 1000, 1500, 2000, 2500, 3000},
+	)
+	if err != nil {
+		return nil, err
+	}
+	r.AddNote("paper: matched-PEC accuracy 50-60%%, slightly above the standard configuration")
+	r.AddNote("this reproduction's enhanced mode is MORE detectable than the paper's: the 10x payload cannot hide in our model's thin natural tail; see EXPERIMENTS.md on the paper's underspecified threshold-15 placement")
+	annotateMatchedPEC(r)
+	return r, nil
+}
+
+// annotateMatchedPEC summarises the diagonal (matched wear) accuracy,
+// which is the paper's headline security number.
+func annotateMatchedPEC(r *Result) {
+	var sum float64
+	var n int
+	for _, s := range r.Series {
+		var hp int
+		fmt.Sscanf(s.Name, "PEC %d", &hp)
+		for i := range s.X {
+			if int(s.X[i]) == hp {
+				sum += s.Y[i]
+				n++
+			}
+		}
+	}
+	if n > 0 {
+		r.AddNote("matched-PEC mean accuracy: %.1f%% (50%% = random guess)", sum/float64(n))
+	}
+}

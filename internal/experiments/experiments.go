@@ -1,0 +1,236 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation on the simulated substrate. Each experiment is a function
+// returning a Result — named series (the figure's curves) and printable
+// tables (the headline numbers) — so the cmd/experiments tool, the root
+// benchmark suite and EXPERIMENTS.md all draw from one implementation.
+//
+// Experiments accept a Scale: the paper-sized runs (full 18048-byte pages,
+// 31 blocks per SVM class, five replicate blocks) take minutes; the CI
+// scale keeps every experiment in seconds while preserving the per-cell
+// statistics, since all distribution shapes are per-cell properties and
+// scaling only trades sample count for speed.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"strings"
+
+	"stashflash/internal/nand"
+	"stashflash/internal/stats"
+	"stashflash/internal/tester"
+)
+
+// Scale sizes an experiment run.
+type Scale struct {
+	// PageBytes is the simulated page size. Paper chips use 18048.
+	PageBytes int
+	// PagesPerBlock is the block height. The paper's §8 arithmetic uses
+	// 64 pages per block.
+	PagesPerBlock int
+	// Blocks is the number of blocks materialisable per chip sample.
+	Blocks int
+	// BlocksPerClass is the number of blocks per SVM class (paper: 31).
+	BlocksPerClass int
+	// ChipSamples is the number of distinct chip samples (paper: 3-4).
+	ChipSamples int
+	// ReplicateBlocks is the number of blocks averaged per BER point
+	// (paper: 5).
+	ReplicateBlocks int
+	// Seed drives all pseudo-randomness for reproducibility.
+	Seed uint64
+}
+
+// CIScale keeps every experiment under a few tens of seconds.
+func CIScale() Scale {
+	return Scale{
+		PageBytes:       4512, // quarter of the real page
+		PagesPerBlock:   8,
+		Blocks:          128,
+		BlocksPerClass:  8,
+		ChipSamples:     3,
+		ReplicateBlocks: 3,
+		Seed:            1,
+	}
+}
+
+// PaperScale reproduces the paper's sample sizes; expect minutes per
+// experiment.
+func PaperScale() Scale {
+	return Scale{
+		PageBytes:       18048,
+		PagesPerBlock:   64,
+		Blocks:          384,
+		BlocksPerClass:  31,
+		ChipSamples:     3,
+		ReplicateBlocks: 5,
+		Seed:            1,
+	}
+}
+
+// modelA returns the vendor-A model at this scale.
+func (s Scale) modelA() nand.Model {
+	return nand.ModelA().ScaleGeometry(s.Blocks, s.PagesPerBlock, s.PageBytes)
+}
+
+// modelB returns the vendor-B model at this scale.
+func (s Scale) modelB() nand.Model {
+	return nand.ModelB().ScaleGeometry(s.Blocks, s.PagesPerBlock, s.PageBytes)
+}
+
+// Series is one curve of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Table is a printable block of results.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// Result is one regenerated figure or table.
+type Result struct {
+	ID     string
+	Title  string
+	Notes  []string
+	Tables []Table
+	Series []Series
+}
+
+// AddNote appends a context note shown with the result.
+func (r *Result) AddNote(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// WriteText renders the result for a terminal.
+func (r *Result) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "   note: %s\n", n)
+	}
+	for _, t := range r.Tables {
+		fmt.Fprintf(w, "\n-- %s --\n", t.Title)
+		writeAligned(w, t.Columns, t.Rows)
+	}
+	for _, s := range r.Series {
+		fmt.Fprintf(w, "\nseries %q (%d points)\n", s.Name, len(s.X))
+		cols := []string{"x", "y"}
+		rows := make([][]string, len(s.X))
+		for i := range s.X {
+			rows[i] = []string{trimFloat(s.X[i]), trimFloat(s.Y[i])}
+		}
+		writeAligned(w, cols, rows)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteSummary renders only notes and tables (series suppressed), which is
+// what the benchmark harness prints.
+func (r *Result) WriteSummary(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "   note: %s\n", n)
+	}
+	for _, t := range r.Tables {
+		fmt.Fprintf(w, "\n-- %s --\n", t.Title)
+		writeAligned(w, t.Columns, t.Rows)
+	}
+	for _, s := range r.Series {
+		fmt.Fprintf(w, "series %q: %d points, y: %s .. %s\n",
+			s.Name, len(s.X), trimFloat(minOf(s.Y)), trimFloat(maxOf(s.Y)))
+	}
+	fmt.Fprintln(w)
+}
+
+func writeAligned(w io.Writer, cols []string, rows [][]string) {
+	width := make([]int, len(cols))
+	for i, c := range cols {
+		width[i] = len(c)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	for i, c := range cols {
+		fmt.Fprintf(&b, "%-*s  ", width[i], c)
+	}
+	fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	for _, r := range rows {
+		b.Reset()
+		for i, c := range r {
+			fmt.Fprintf(&b, "%-*s  ", width[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.6g", v)
+	return s
+}
+
+func minOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func maxOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// histSeries converts a voltage histogram into a (level, % of cells)
+// series over the given level range, matching the paper's plot axes.
+func histSeries(name string, h *stats.Histogram, lo, hi int) Series {
+	s := Series{Name: name}
+	for lvl := lo; lvl <= hi && lvl < h.Bins(); lvl++ {
+		s.X = append(s.X, float64(lvl))
+		s.Y = append(s.Y, h.Fraction(lvl)*100)
+	}
+	return s
+}
+
+// newTester builds a chip sample and its host tester.
+func newTester(m nand.Model, chipSeed, hostSeed uint64) *tester.Tester {
+	return tester.New(nand.NewChip(m, chipSeed), hostSeed)
+}
+
+// randBits draws n uniform bits.
+func randBits(rng *rand.Rand, n int) []uint8 {
+	b := make([]uint8, n)
+	for i := range b {
+		b[i] = uint8(rng.IntN(2))
+	}
+	return b
+}
+
+// pct formats a ratio as a percentage string.
+func pct(v float64) string { return fmt.Sprintf("%.2f%%", v*100) }
+
+// f3 formats a float at three significant decimals.
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }

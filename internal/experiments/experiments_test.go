@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tinyScale keeps per-experiment smoke tests fast; shape assertions use
+// CIScale selectively where the statistics need the sample size.
+func tinyScale() Scale {
+	return Scale{
+		PageBytes:       1128,
+		PagesPerBlock:   8,
+		Blocks:          128,
+		BlocksPerClass:  4,
+		ChipSamples:     3,
+		ReplicateBlocks: 2,
+		Seed:            3,
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	// Every table and figure of the evaluation must have an entry.
+	want := []string{
+		"fig1", "fig2", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9",
+		"fig10", "fig11", "fig12", "tbl1",
+		"thru", "energy", "wear", "cap", "relia", "vendor2", "pubber",
+		"snapshot", "sumstat", "fig10page",
+	}
+	for _, id := range want {
+		if _, err := Lookup(id); err != nil {
+			t.Errorf("missing experiment %q", id)
+		}
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+// TestAllExperimentsRun smoke-tests every experiment end to end at tiny
+// scale: each must complete and produce at least one table or series.
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep in -short mode")
+	}
+	s := tinyScale()
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			r, err := e.Run(s)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if r.ID != e.ID {
+				t.Errorf("result ID %q != %q", r.ID, e.ID)
+			}
+			if len(r.Tables) == 0 && len(r.Series) == 0 {
+				t.Error("experiment produced no output")
+			}
+			var sb strings.Builder
+			r.WriteText(&sb)
+			r.WriteSummary(&sb)
+			if !strings.Contains(sb.String(), e.ID) {
+				t.Error("rendered output missing experiment ID")
+			}
+		})
+	}
+}
+
+// Shape assertions against the paper's headline claims, at CI scale.
+
+func TestFig6ConvergesBelowOnePercent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CI-scale experiment in -short mode")
+	}
+	s := CIScale()
+	s.ReplicateBlocks = 2
+	r, err := Fig6(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, series := range r.Series {
+		first := series.Y[0]
+		at10 := series.Y[9]
+		if first < 0.08 {
+			t.Errorf("%s: step-1 BER %.3f suspiciously low (paper ~0.2)", series.Name, first)
+		}
+		if at10 > 0.035 {
+			t.Errorf("%s: step-10 BER %.3f, paper converges below ~0.01", series.Name, at10)
+		}
+		if at10 >= first {
+			t.Errorf("%s: BER did not decrease across steps", series.Name)
+		}
+	}
+}
+
+func TestThroughputRatios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CI-scale experiment in -short mode")
+	}
+	r, err := Throughput(CIScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The advantage table holds "NNx" strings; parse the leading float.
+	var enc, dec float64
+	for _, row := range r.Tables[1].Rows {
+		v, err := leadingFloat(row[1])
+		if err != nil {
+			t.Fatalf("bad ratio cell %q: %v", row[1], err)
+		}
+		switch row[0] {
+		case "encode throughput ratio":
+			enc = v
+		case "decode throughput ratio":
+			dec = v
+		}
+	}
+	// Paper: 24x and 50x. Shape: both VT-HI advantages are an order of
+	// magnitude or more. (Our encode loop exits as soon as Algorithm 1
+	// converges rather than billing the fixed ten steps of the paper's
+	// arithmetic, so the encode ratio lands above the paper's.)
+	if enc < 8 {
+		t.Errorf("encode advantage %.1fx, want >> 1 (paper 24x)", enc)
+	}
+	if dec < 20 {
+		t.Errorf("decode advantage %.1fx, want large (paper 50x)", dec)
+	}
+}
+
+// leadingFloat parses the numeric prefix of strings like "37x" or "1.15".
+func leadingFloat(s string) (float64, error) {
+	end := len(s)
+	for i, c := range s {
+		if (c < '0' || c > '9') && c != '.' && c != '-' && c != '+' && c != 'e' {
+			end = i
+			break
+		}
+	}
+	return strconv.ParseFloat(s[:end], 64)
+}
+
+func TestEnergyRatio(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CI-scale experiment in -short mode")
+	}
+	r, err := Energy(CIScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vt, pt float64
+	for _, row := range r.Tables[0].Rows {
+		v, err := leadingFloat(row[1])
+		if err != nil {
+			continue
+		}
+		switch row[0] {
+		case "VT-HI":
+			vt = v
+		case "PT-HI":
+			pt = v
+		}
+	}
+	if vt <= 0 || pt <= 0 {
+		t.Fatalf("bad energies: vt=%v pt=%v", vt, pt)
+	}
+	if pt/vt < 10 {
+		t.Errorf("PT-HI/VT-HI energy ratio %.1f, paper 37x — want >> 1", pt/vt)
+	}
+}
+
+func TestCapacityGain(t *testing.T) {
+	r, err := Capacity(CIScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range r.Notes {
+		if strings.Contains(n, "gain") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("capacity result missing gain note")
+	}
+}

@@ -1,0 +1,601 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"stashflash/internal/core"
+	"stashflash/internal/nand"
+	"stashflash/internal/pthi"
+	"stashflash/internal/tester"
+)
+
+// hideFullBlock programs a block with random data and embeds raw bits on
+// every hidden page; it returns the embeddings for later BER measurement.
+func hideFullBlock(ts *tester.Tester, rng *rand.Rand, block int, cfg core.Config) (*core.Embedder, []pageEmbedding, error) {
+	emb, err := core.NewEmbedder(ts.Chip(), []byte("perf-key"), cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	embs, err := embedBlockRaw(ts, emb, block, rng, cfg.HiddenCellsPerPage, cfg.PageInterval)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, pe := range embs {
+		if _, err := emb.Embed(pe.plan, pe.bits, cfg.MaxPPSteps); err != nil {
+			return nil, nil, err
+		}
+	}
+	return emb, embs, nil
+}
+
+// Fig11 regenerates paper Figure 11: hidden vs normal data BER after 1
+// day, 1 month and 4 months of retention, normalized to the BER right
+// after storing, for blocks at PEC 0/1000/2000.
+func Fig11(s Scale) (*Result, error) {
+	r := &Result{ID: "fig11", Title: "normalized retention BER (VT-HI vs normal data)"}
+	tbl := Table{
+		Title:   "normalized BER (x t0)",
+		Columns: []string{"data", "PEC", "1 day", "1 month", "4 months", "raw BER t0"},
+	}
+	durations := []time.Duration{24 * time.Hour, nand.RetentionMonth, 4 * nand.RetentionMonth}
+	cfg := core.StandardConfig()
+	for _, pec := range []int{0, 1000, 2000} {
+		ts := newTester(s.modelA(), s.Seed+uint64(pec)+77, s.Seed+uint64(pec))
+		rng := rand.New(rand.NewPCG(s.Seed+uint64(pec), 11))
+		// Hidden blocks.
+		var embss [][]pageEmbedding
+		var embes []*core.Embedder
+		for b := 0; b < s.ReplicateBlocks; b++ {
+			ts.CycleTo(b, pec)
+			emb, embs, err := hideFullBlock(ts, rng, b, rawConfig(cfg.HiddenCellsPerPage, cfg.PageInterval, cfg.MaxPPSteps))
+			if err != nil {
+				return nil, err
+			}
+			embss = append(embss, embs)
+			embes = append(embes, emb)
+		}
+		// Normal reference blocks (larger sample for the tiny public BER).
+		normBase := s.ReplicateBlocks
+		normBlocks := 8
+		var normImages [][][]byte
+		for b := 0; b < normBlocks; b++ {
+			ts.CycleTo(normBase+b, pec)
+			img, err := ts.ProgramRandomBlock(normBase + b)
+			if err != nil {
+				return nil, err
+			}
+			normImages = append(normImages, img)
+		}
+
+		hiddenBER := func() (float64, error) {
+			var sum float64
+			for i := range embss {
+				b, err := measureRawBER(embes[i], embss[i])
+				if err != nil {
+					return 0, err
+				}
+				sum += b
+			}
+			return sum / float64(len(embss)), nil
+		}
+		normalBER := func() (float64, error) {
+			errs, bits := 0, 0
+			for b := 0; b < normBlocks; b++ {
+				res, err := ts.MeasureBlockBER(normBase+b, normImages[b])
+				if err != nil {
+					return 0, err
+				}
+				errs += res.Errors
+				bits += res.Bits
+			}
+			return float64(errs) / float64(bits), nil
+		}
+
+		h0, err := hiddenBER()
+		if err != nil {
+			return nil, err
+		}
+		n0, err := normalBER()
+		if err != nil {
+			return nil, err
+		}
+		hRow := []string{"VT-HI", fmt.Sprint(pec)}
+		nRow := []string{"normal", fmt.Sprint(pec)}
+		hs := Series{Name: fmt.Sprintf("VT-HI PEC %d", pec)}
+		ns := Series{Name: fmt.Sprintf("normal PEC %d", pec)}
+		elapsed := time.Duration(0)
+		for di, d := range durations {
+			ts.Bake(d - elapsed)
+			elapsed = d
+			ht, err := hiddenBER()
+			if err != nil {
+				return nil, err
+			}
+			nt, err := normalBER()
+			if err != nil {
+				return nil, err
+			}
+			hNorm := ratioOr1(ht, h0)
+			nNorm := ratioOr1(nt, n0)
+			hRow = append(hRow, f3(hNorm))
+			nRow = append(nRow, f3(nNorm))
+			hs.X = append(hs.X, float64(di))
+			hs.Y = append(hs.Y, hNorm)
+			ns.X = append(ns.X, float64(di))
+			ns.Y = append(ns.Y, nNorm)
+		}
+		hRow = append(hRow, fmt.Sprintf("%.4f", h0))
+		nRow = append(nRow, fmt.Sprintf("%.2e", n0))
+		tbl.Rows = append(tbl.Rows, hRow, nRow)
+		r.Series = append(r.Series, hs, ns)
+	}
+	r.Tables = append(r.Tables, tbl)
+	r.AddNote("paper: PEC 2000 hidden BER rises 6.3x over 4 months while normal rises 2.3x; PEC 0 hidden BER is flat")
+	return r, nil
+}
+
+func ratioOr1(num, den float64) float64 {
+	if den == 0 {
+		if num == 0 {
+			return 1
+		}
+		return num * 1e9 // effectively infinite growth from a zero base
+	}
+	return num / den
+}
+
+// Reliability regenerates the §8 "Reliability" paragraph: hidden BER as a
+// function of the PEC of the cells at encode time (paper: 0.013 at PEC 0,
+// ~0.011 at other PEC — low and not wear-bound).
+func Reliability(s Scale) (*Result, error) {
+	r := &Result{ID: "relia", Title: "hidden BER vs encode-time PEC"}
+	cfg := core.StandardConfig()
+	tbl := Table{Title: "hidden BER by PEC", Columns: []string{"PEC", "hidden BER"}}
+	series := Series{Name: "hidden BER"}
+	for _, pec := range []int{0, 1000, 2000, 3000} {
+		var sum float64
+		for rep := 0; rep < s.ReplicateBlocks; rep++ {
+			ts := newTester(s.modelA(), s.Seed+uint64(pec+rep*7)+301, s.Seed+uint64(pec+rep))
+			rng := rand.New(rand.NewPCG(s.Seed+uint64(pec), uint64(rep)))
+			ts.CycleTo(0, pec)
+			emb, embs, err := hideFullBlock(ts, rng, 0, rawConfig(cfg.HiddenCellsPerPage, cfg.PageInterval, cfg.MaxPPSteps))
+			if err != nil {
+				return nil, err
+			}
+			ber, err := measureRawBER(emb, embs)
+			if err != nil {
+				return nil, err
+			}
+			sum += ber / float64(s.ReplicateBlocks)
+		}
+		tbl.Rows = append(tbl.Rows, []string{fmt.Sprint(pec), fmt.Sprintf("%.4f", sum)})
+		series.X = append(series.X, float64(pec))
+		series.Y = append(series.Y, sum)
+	}
+	r.Tables = append(r.Tables, tbl)
+	r.Series = append(r.Series, series)
+	r.AddNote("paper: BER ~0.013 at PEC 0 and ~0.011 at higher PEC; ours must stay ~0.005-0.03 across all PEC")
+	return r, nil
+}
+
+// Throughput regenerates the §8 throughput analysis: encode/decode time
+// per block and resulting hidden-data throughput for VT-HI and PT-HI, from
+// the operation ledger — the same per-command arithmetic the paper does by
+// hand.
+func Throughput(s Scale) (*Result, error) {
+	r := &Result{ID: "thru", Title: "hidden data encode/decode throughput, VT-HI vs PT-HI"}
+	rng := rand.New(rand.NewPCG(s.Seed, 42))
+
+	// --- VT-HI ---
+	ts := newTester(s.modelA(), s.Seed+501, s.Seed+501)
+	cfg := core.StandardConfig()
+	rcfg := rawConfig(cfg.HiddenCellsPerPage, cfg.PageInterval, cfg.MaxPPSteps)
+	images, err := ts.ProgramRandomBlock(0)
+	if err != nil {
+		return nil, err
+	}
+	emb, err := core.NewEmbedder(ts.Chip(), []byte("thru"), rcfg)
+	if err != nil {
+		return nil, err
+	}
+	g := ts.Chip().Geometry()
+	var embs []pageEmbedding
+	before := ts.Ledger()
+	for _, p := range hiddenPages(g.PagesPerBlock, cfg.PageInterval) {
+		plan, err := emb.Plan(nand.PageAddr{Block: 0, Page: p}, images[p], cfg.HiddenCellsPerPage)
+		if err != nil {
+			return nil, err
+		}
+		pe := pageEmbedding{plan: plan, bits: randBits(rng, cfg.HiddenCellsPerPage)}
+		if _, err := emb.Embed(pe.plan, pe.bits, cfg.MaxPPSteps); err != nil {
+			return nil, err
+		}
+		embs = append(embs, pe)
+	}
+	encCost := ts.Ledger().Sub(before)
+	vtBits := len(embs) * cfg.HiddenCellsPerPage
+
+	before = ts.Ledger()
+	for _, pe := range embs {
+		if _, err := emb.ReadBits(pe.plan); err != nil {
+			return nil, err
+		}
+	}
+	decCost := ts.Ledger().Sub(before)
+
+	// --- PT-HI (scaled to this geometry) ---
+	ptCfg := pthi.OptimalConfig()
+	if need := ptCfg.BitsPerPage * 2 * ptCfg.CellsPerHalfGroup; need > g.CellsPerPage() {
+		ptCfg.BitsPerPage = g.CellsPerPage() / (2 * ptCfg.CellsPerHalfGroup)
+	}
+	pt, err := pthi.NewHider(ts.Chip(), []byte("thru-pt"), ptCfg)
+	if err != nil {
+		return nil, err
+	}
+	ptBits := pt.BlockCapacityBits()
+	before = ts.Ledger()
+	if err := pt.EncodeBlock(1, randBits(rng, ptBits)); err != nil {
+		return nil, err
+	}
+	ptEnc := ts.Ledger().Sub(before)
+	before = ts.Ledger()
+	if _, err := pt.DecodeBlock(1); err != nil {
+		return nil, err
+	}
+	ptDec := ts.Ledger().Sub(before)
+
+	row := func(scheme, dir string, bits int, c nand.Ledger) []string {
+		kbps := float64(bits) / c.Time.Seconds() / 1000
+		return []string{scheme, dir, fmt.Sprint(bits), c.Time.Round(time.Millisecond).String(), fmt.Sprintf("%.1f", kbps)}
+	}
+	tbl := Table{
+		Title:   "per-block hidden data cost (ledger of nominal command latencies)",
+		Columns: []string{"scheme", "direction", "bits/block", "time/block", "throughput Kb/s"},
+		Rows: [][]string{
+			row("VT-HI", "encode", vtBits, encCost),
+			row("VT-HI", "decode", vtBits, decCost),
+			row("PT-HI", "encode", ptBits, ptEnc),
+			row("PT-HI", "decode", ptBits, ptDec),
+		},
+	}
+	r.Tables = append(r.Tables, tbl)
+
+	encRatio := (float64(vtBits) / encCost.Time.Seconds()) / (float64(ptBits) / ptEnc.Time.Seconds())
+	decRatio := (float64(vtBits) / decCost.Time.Seconds()) / (float64(ptBits) / ptDec.Time.Seconds())
+	r.Tables = append(r.Tables, Table{
+		Title:   "VT-HI advantage",
+		Columns: []string{"metric", "measured", "paper"},
+		Rows: [][]string{
+			{"encode throughput ratio", fmt.Sprintf("%.1fx", encRatio), "24x (35 vs 1.4 Kb/s)"},
+			{"decode throughput ratio", fmt.Sprintf("%.1fx", decRatio), "50x (2700 vs 54 Kb/s)"},
+		},
+	})
+	r.AddNote("paper nominal figures: VT-HI 0.44 s/block encode (35 Kb/s), 0.006 s/block decode (2.7 Mb/s); PT-HI 51.1 s (1.4 Kb/s), 1.32 s (54 Kb/s)")
+	return r, nil
+}
+
+// Energy regenerates the §8 energy comparison: energy to hide one page of
+// data (paper: 1.1 mJ for VT-HI vs 43 mJ for PT-HI, 37x).
+func Energy(s Scale) (*Result, error) {
+	r := &Result{ID: "energy", Title: "energy per hidden page, VT-HI vs PT-HI"}
+	rng := rand.New(rand.NewPCG(s.Seed, 43))
+	ts := newTester(s.modelA(), s.Seed+601, s.Seed+601)
+	cfg := core.StandardConfig()
+	g := ts.Chip().Geometry()
+
+	before := ts.Ledger()
+	_, embs, err := hideFullBlock(ts, rng, 0, rawConfig(cfg.HiddenCellsPerPage, cfg.PageInterval, cfg.MaxPPSteps))
+	if err != nil {
+		return nil, err
+	}
+	vtCost := ts.Ledger().Sub(before)
+	// Exclude the public programming (it happens with or without hiding).
+	vtHideEnergy := vtCost.EnergyUJ - float64(vtCost.Programs)*ts.Chip().Model().ProgEnergy
+	vtPerPage := vtHideEnergy / float64(len(embs)) / 1000 // mJ
+
+	ptCfg := pthi.OptimalConfig()
+	if need := ptCfg.BitsPerPage * 2 * ptCfg.CellsPerHalfGroup; need > g.CellsPerPage() {
+		ptCfg.BitsPerPage = g.CellsPerPage() / (2 * ptCfg.CellsPerHalfGroup)
+	}
+	pt, err := pthi.NewHider(ts.Chip(), []byte("energy-pt"), ptCfg)
+	if err != nil {
+		return nil, err
+	}
+	before = ts.Ledger()
+	if err := pt.EncodeBlock(1, randBits(rng, pt.BlockCapacityBits())); err != nil {
+		return nil, err
+	}
+	ptCost := ts.Ledger().Sub(before)
+	ptPerPage := ptCost.EnergyUJ / float64(g.PagesPerBlock) / 1000 // mJ
+
+	r.Tables = append(r.Tables, Table{
+		Title:   "hide energy per page (mJ)",
+		Columns: []string{"scheme", "mJ/page", "paper"},
+		Rows: [][]string{
+			{"VT-HI", f3(vtPerPage), "1.1"},
+			{"PT-HI", f3(ptPerPage), "43"},
+			{"ratio", fmt.Sprintf("%.0fx", ptPerPage/vtPerPage), "37x"},
+		},
+	})
+	return r, nil
+}
+
+// Wear regenerates the §1/§8 wear-amplification comparison: programming
+// operations applied per hidden cell (paper: ~10 for VT-HI vs 625 for
+// PT-HI) and PEC consumed per block encode.
+func Wear(s Scale) (*Result, error) {
+	r := &Result{ID: "wear", Title: "wear amplification of hiding, VT-HI vs PT-HI"}
+	rng := rand.New(rand.NewPCG(s.Seed, 44))
+	ts := newTester(s.modelA(), s.Seed+701, s.Seed+701)
+	cfg := core.StandardConfig()
+	rcfg := rawConfig(cfg.HiddenCellsPerPage, cfg.PageInterval, cfg.MaxPPSteps)
+	images, err := ts.ProgramRandomBlock(0)
+	if err != nil {
+		return nil, err
+	}
+	emb, err := core.NewEmbedder(ts.Chip(), []byte("wear"), rcfg)
+	if err != nil {
+		return nil, err
+	}
+	g := ts.Chip().Geometry()
+	pulses, zeros := 0, 0
+	for _, p := range hiddenPages(g.PagesPerBlock, cfg.PageInterval) {
+		plan, err := emb.Plan(nand.PageAddr{Block: 0, Page: p}, images[p], cfg.HiddenCellsPerPage)
+		if err != nil {
+			return nil, err
+		}
+		bits := randBits(rng, cfg.HiddenCellsPerPage)
+		for _, b := range bits {
+			if b == 0 {
+				zeros++
+			}
+		}
+		for st := 0; st < cfg.MaxPPSteps; st++ {
+			n, err := emb.ProgramStep(plan, bits)
+			if err != nil {
+				return nil, err
+			}
+			pulses += n
+			if n == 0 {
+				break
+			}
+		}
+	}
+	vtPerCell := float64(pulses) / float64(zeros)
+	ptCfg := pthi.OptimalConfig()
+
+	r.Tables = append(r.Tables, Table{
+		Title:   "program pulses per hidden cell",
+		Columns: []string{"scheme", "pulses/cell", "PEC per block encode", "paper"},
+		Rows: [][]string{
+			{"VT-HI", f3(vtPerCell), "0", "~10 pulses, no P/E cycles"},
+			{"PT-HI", fmt.Sprint(ptCfg.StressCycles), fmt.Sprint(ptCfg.StressCycles), "625 cycles"},
+		},
+	})
+	r.AddNote("VT-HI wear touches only the ~%.2f%% of cells holding hidden data; PT-HI consumes full block lifetime", 100*float64(cfg.HiddenCellsPerPage)/float64(g.CellsPerPage()))
+	return r, nil
+}
+
+// Capacity regenerates the §6.3/§8 capacity accounting for the standard
+// and enhanced configurations, plus the PT-HI baseline.
+func Capacity(s Scale) (*Result, error) {
+	r := &Result{ID: "cap", Title: "hidden capacity accounting"}
+	m := nand.ModelA()
+	tbl := Table{
+		Title: "per-configuration capacity on the full vendor-A part",
+		Columns: []string{"config", "cells/page", "ECC parity", "payload bits/page",
+			"bits/block", "device bytes", "% of device bits"},
+	}
+	var stdBits int
+	for _, cfg := range []core.Config{core.StandardConfig(), core.EnhancedConfig()} {
+		rep, err := core.PlanCapacity(m, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Name == "standard" {
+			stdBits = rep.PayloadBitsPerPage
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			rep.Config, fmt.Sprint(rep.CellsPerPage), fmt.Sprint(rep.ECCParityBits),
+			fmt.Sprint(rep.PayloadBitsPerPage), fmt.Sprint(rep.PayloadBitsPerBlock),
+			fmt.Sprint(rep.DevicePayloadBytes), pct(rep.FractionOfDeviceBits),
+		})
+	}
+	// PT-HI reference: 72 Kb/block at the paper's 64-page accounting.
+	ptPerPage := 1125
+	tbl.Rows = append(tbl.Rows, []string{
+		"pt-hi (paper)", "-", "-", fmt.Sprint(ptPerPage), fmt.Sprint(ptPerPage * 64 / 5), "-", "-",
+	})
+	r.Tables = append(r.Tables, tbl)
+	enh, err := core.PlanCapacity(m, core.EnhancedConfig())
+	if err != nil {
+		return nil, err
+	}
+	r.AddNote("enhanced/standard usable-capacity gain: %.1fx (paper: ~9x, and 2x the PT-HI capacity)",
+		float64(enh.PayloadBitsPerPage)/float64(stdBits))
+	r.AddNote("paper accounting counts MLC device bits at a 4-page interval, yielding 0.02%%/0.2%%; same order as ours")
+	return r, nil
+}
+
+// Vendor2 regenerates the §8 "Applicability" check: the same VT-HI
+// standard configuration on the second vendor's chip model achieves ~1%
+// hidden BER.
+func Vendor2(s Scale) (*Result, error) {
+	r := &Result{ID: "vendor2", Title: "applicability on a second vendor model"}
+	cfg := core.StandardConfig()
+	tbl := Table{Title: "hidden BER per chip model (fresh chips)", Columns: []string{"model", "hidden BER"}}
+	for _, mk := range []struct {
+		name  string
+		model nand.Model
+	}{
+		{"vendor A", s.modelA()},
+		{"vendor B", s.modelB()},
+	} {
+		var sum float64
+		for rep := 0; rep < s.ReplicateBlocks; rep++ {
+			ts := newTester(mk.model, s.Seed+uint64(rep)*53+801, s.Seed+uint64(rep)+801)
+			rng := rand.New(rand.NewPCG(s.Seed+801, uint64(rep)))
+			emb, embs, err := hideFullBlock(ts, rng, 0, rawConfig(cfg.HiddenCellsPerPage, cfg.PageInterval, cfg.MaxPPSteps))
+			if err != nil {
+				return nil, err
+			}
+			ber, err := measureRawBER(emb, embs)
+			if err != nil {
+				return nil, err
+			}
+			sum += ber / float64(s.ReplicateBlocks)
+		}
+		tbl.Rows = append(tbl.Rows, []string{mk.name, fmt.Sprintf("%.4f", sum)})
+	}
+	r.Tables = append(r.Tables, tbl)
+	r.AddNote("paper: 1%% BER on the second model, similar to the first — the method is not chip-specific")
+	return r, nil
+}
+
+// PublicInterference regenerates the §6.3 public-BER measurement: hiding
+// with no page interval raises public BER ~20%; one page of spacing halves
+// the damage.
+func PublicInterference(s Scale) (*Result, error) {
+	r := &Result{ID: "pubber", Title: "public data BER vs hidden page interval"}
+	cfg := core.StandardConfig()
+	blocks := 4 * s.ReplicateBlocks // public BER is tiny; widen the sample
+	measure := func(interval int, hide bool) (float64, error) {
+		errsTotal, bitsTotal := 0, 0
+		for rep := 0; rep < blocks; rep++ {
+			ts := newTester(s.modelA(), s.Seed+uint64(rep)*29+901, s.Seed+uint64(rep)+901)
+			rng := rand.New(rand.NewPCG(s.Seed+901, uint64(rep)))
+			images, err := ts.ProgramRandomBlock(0)
+			if err != nil {
+				return 0, err
+			}
+			if hide {
+				emb, err := core.NewEmbedder(ts.Chip(), []byte("pubber"), rawConfig(cfg.HiddenCellsPerPage, interval, cfg.MaxPPSteps))
+				if err != nil {
+					return 0, err
+				}
+				g := ts.Chip().Geometry()
+				for _, p := range hiddenPages(g.PagesPerBlock, interval) {
+					plan, err := emb.Plan(nand.PageAddr{Block: 0, Page: p}, images[p], cfg.HiddenCellsPerPage)
+					if err != nil {
+						return 0, err
+					}
+					if _, err := emb.Embed(plan, randBits(rng, cfg.HiddenCellsPerPage), cfg.MaxPPSteps); err != nil {
+						return 0, err
+					}
+				}
+			}
+			res, err := ts.MeasureBlockBER(0, images)
+			if err != nil {
+				return 0, err
+			}
+			// Hidden '0' cells legitimately read as public '1' still; they
+			// were selected from '1' bits and stay below the public
+			// reference, so no masking is needed.
+			errsTotal += res.Errors
+			bitsTotal += res.Bits
+		}
+		return float64(errsTotal) / float64(bitsTotal), nil
+	}
+	base, err := measure(0, false)
+	if err != nil {
+		return nil, err
+	}
+	tbl := Table{
+		Title:   "public BER",
+		Columns: []string{"condition", "BER", "vs baseline"},
+		Rows:    [][]string{{"no hidden data", fmt.Sprintf("%.2e", base), "-"}},
+	}
+	series := Series{Name: "public BER increase %"}
+	for _, iv := range []int{0, 1, 2, 4} {
+		b, err := measure(iv, true)
+		if err != nil {
+			return nil, err
+		}
+		incr := (b - base) / base * 100
+		tbl.Rows = append(tbl.Rows, []string{
+			fmt.Sprintf("hidden, interval %d", iv), fmt.Sprintf("%.2e", b), fmt.Sprintf("%+.0f%%", incr),
+		})
+		series.X = append(series.X, float64(iv))
+		series.Y = append(series.Y, incr)
+	}
+	r.Tables = append(r.Tables, tbl)
+	r.Series = append(r.Series, series)
+	r.AddNote("paper: +20%% at interval 0, +10%% at interval 1; subsequent experiments use interval 1")
+	return r, nil
+}
+
+// Table1 regenerates the paper's Table 1: the qualitative VT-HI vs PT-HI
+// comparison, backed by the quantitative sub-experiments.
+func Table1(s Scale) (*Result, error) {
+	r := &Result{ID: "tbl1", Title: "VT-HI vs PT-HI comparison (paper Table 1)"}
+	rng := rand.New(rand.NewPCG(s.Seed, 45))
+	ts := newTester(s.modelA(), s.Seed+1001, s.Seed+1001)
+	g := ts.Chip().Geometry()
+	cfg := core.StandardConfig()
+
+	// VT-HI numbers.
+	before := ts.Ledger()
+	emb, embs, err := hideFullBlock(ts, rng, 0, rawConfig(cfg.HiddenCellsPerPage, cfg.PageInterval, cfg.MaxPPSteps))
+	if err != nil {
+		return nil, err
+	}
+	vtEnc := ts.Ledger().Sub(before)
+	vtBER, err := measureRawBER(emb, embs)
+	if err != nil {
+		return nil, err
+	}
+	vtBits := len(embs) * cfg.HiddenCellsPerPage
+	// Repeated-read check: ten decodes, BER must not drift.
+	var vtBER10 float64
+	for i := 0; i < 10; i++ {
+		vtBER10, err = measureRawBER(emb, embs)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// PT-HI numbers.
+	ptCfg := pthi.OptimalConfig()
+	if need := ptCfg.BitsPerPage * 2 * ptCfg.CellsPerHalfGroup; need > g.CellsPerPage() {
+		ptCfg.BitsPerPage = g.CellsPerPage() / (2 * ptCfg.CellsPerHalfGroup)
+	}
+	pt, err := pthi.NewHider(ts.Chip(), []byte("tbl1"), ptCfg)
+	if err != nil {
+		return nil, err
+	}
+	ptBitsIn := randBits(rng, pt.BlockCapacityBits())
+	before = ts.Ledger()
+	if err := pt.EncodeBlock(1, ptBitsIn); err != nil {
+		return nil, err
+	}
+	ptEnc := ts.Ledger().Sub(before)
+	got, err := pt.DecodeBlock(1)
+	if err != nil {
+		return nil, err
+	}
+	ptErrs := 0
+	for i := range got {
+		if got[i] != ptBitsIn[i] {
+			ptErrs++
+		}
+	}
+	ptBER := float64(ptErrs) / float64(len(got))
+
+	r.Tables = append(r.Tables, Table{
+		Title:   "measured comparison",
+		Columns: []string{"criterion", "VT-HI", "PT-HI"},
+		Rows: [][]string{
+			{"hidden BER (fresh)", fmt.Sprintf("%.4f", vtBER), fmt.Sprintf("%.4f", ptBER)},
+			{"encode Kb/s", fmt.Sprintf("%.1f", float64(vtBits)/vtEnc.Time.Seconds()/1000), fmt.Sprintf("%.2f", float64(len(got))/ptEnc.Time.Seconds()/1000)},
+			{"energy/page (mJ)", f3((vtEnc.EnergyUJ - float64(vtEnc.Programs)*ts.Chip().Model().ProgEnergy) / float64(len(embs)) / 1000), f3(ptEnc.EnergyUJ / float64(g.PagesPerBlock) / 1000)},
+			{"public data integrity on decode", "preserved (read-only)", "destroyed (erase + program)"},
+			{"repeated reads", fmt.Sprintf("yes (BER stable at %.4f)", vtBER10), "no (decode is destructive)"},
+			{"block PEC consumed by encode", "0", fmt.Sprint(ptCfg.StressCycles)},
+			{"survives public rewrite w/o re-embed", "no", "yes"},
+		},
+	})
+	r.AddNote("paper Table 1: VT-HI wins reliability, performance, power, repeated reads; PT-HI wins public-data-independence")
+	return r, nil
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner is one experiment entry point.
+type Runner func(Scale) (*Result, error)
+
+// Entry describes a registered experiment.
+type Entry struct {
+	ID    string
+	Paper string // which paper artifact it regenerates
+	Run   Runner
+}
+
+var registry = []Entry{
+	{"fig1", "Figure 1 (SLC vs MLC distributions)", Fig1},
+	{"fig2", "Figure 2 (sample variability)", Fig2},
+	{"fig3", "Figure 3 (wear shift)", Fig3},
+	{"fig5", "Figure 5 (hidden encoding placement)", Fig5},
+	{"fig6", "Figure 6 (BER vs PP steps)", Fig6},
+	{"fig7", "Figure 7 (BER vs page interval)", Fig7},
+	{"fig8", "Figure 8 (distribution shift vs hidden bits)", Fig8},
+	{"fig9", "Figure 9 (indistinguishability + KS)", Fig9},
+	{"fig10", "Figure 10 (SVM, standard config)", Fig10},
+	{"fig11", "Figure 11 (retention)", Fig11},
+	{"fig12", "Figure 12 (SVM, enhanced config)", Fig12},
+	{"tbl1", "Table 1 (VT-HI vs PT-HI)", Table1},
+	{"thru", "§8 throughput analysis", Throughput},
+	{"energy", "§8 energy analysis", Energy},
+	{"wear", "§1/§8 wear amplification", Wear},
+	{"cap", "§6.3/§8 capacity accounting", Capacity},
+	{"relia", "§8 reliability vs PEC", Reliability},
+	{"vendor2", "§8 second-vendor applicability", Vendor2},
+	{"pubber", "§6.3 public-data interference", PublicInterference},
+	{"snapshot", "§9.2 multiple-snapshot adversary (discussion)", Snapshot},
+	{"sumstat", "§7 closing analysis (SVM on BER/mean/std)", SummaryStats},
+	{"fig10page", "§7 page-level SVM", PageLevel},
+}
+
+// All returns every registered experiment, ordered by ID registration.
+func All() []Entry {
+	out := make([]Entry, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// IDs lists the registered experiment identifiers, sorted.
+func IDs() []string {
+	var ids []string
+	for _, e := range registry {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Entry, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Entry{}, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+}

@@ -1,0 +1,458 @@
+// Package ftl implements a page-mapped flash translation layer over the
+// simulated chip: logical block addresses map to physical pages, writes
+// append to an active block, garbage collection reclaims invalidated
+// pages, and erase counts are balanced across blocks.
+//
+// The FTL matters to VT-HI for one specific reason the paper calls out in
+// §5.1: firmware moves data around (GC, wear leveling, cold-data
+// migration), and any move of a page that carries a hidden payload
+// destroys that payload unless the hiding layer re-embeds it into the new
+// location first. The MigrationHook interface is that re-embedding seam;
+// internal/stegfs plugs into it.
+package ftl
+
+import (
+	"errors"
+	"fmt"
+
+	"stashflash/internal/nand"
+)
+
+// PageStore abstracts how page-sized data reaches the chip, so the FTL
+// works both raw (tests, plain SSD behaviour) and through VT-HI's public
+// ECC layout (internal/core.Hider satisfies the same shape via an adapter).
+type PageStore interface {
+	// DataBytes is the usable payload per page.
+	DataBytes() int
+	// WritePage stores data (exactly DataBytes) to an erased page.
+	WritePage(a nand.PageAddr, data []byte) error
+	// ReadPage retrieves a page's payload.
+	ReadPage(a nand.PageAddr) ([]byte, error)
+}
+
+// RawStore is the trivial PageStore writing full raw pages.
+type RawStore struct{ Chip *nand.Chip }
+
+// DataBytes returns the raw page size.
+func (s RawStore) DataBytes() int { return s.Chip.Geometry().PageBytes }
+
+// WritePage programs the page directly.
+func (s RawStore) WritePage(a nand.PageAddr, data []byte) error {
+	return s.Chip.ProgramPage(a, data)
+}
+
+// ReadPage reads the page directly.
+func (s RawStore) ReadPage(a nand.PageAddr) ([]byte, error) {
+	return s.Chip.ReadPage(a)
+}
+
+// MigrationHook observes valid-data relocations. PageMoved runs after the
+// payload is written to dst and before src's block is erased — the only
+// window in which hidden data riding on src can be re-embedded onto dst.
+type MigrationHook interface {
+	PageMoved(lba int, src, dst nand.PageAddr) error
+}
+
+// Config tunes the FTL.
+type Config struct {
+	// OverProvisionBlocks is the number of physical blocks withheld from
+	// the logical capacity for GC headroom; minimum 2 (one active, one
+	// GC spare).
+	OverProvisionBlocks int
+	// GCThreshold triggers garbage collection when the free-block pool
+	// drops to this size; minimum 1.
+	GCThreshold int
+	// WearDelta is the PEC spread beyond which victim selection starts
+	// preferring colder blocks even at some extra copy cost.
+	WearDelta int
+}
+
+// DefaultConfig sizes over-provisioning at roughly 7% of blocks.
+func DefaultConfig(g nand.Geometry) Config {
+	op := g.Blocks / 14
+	if op < 2 {
+		op = 2
+	}
+	return Config{OverProvisionBlocks: op, GCThreshold: 1, WearDelta: 200}
+}
+
+const unmapped = -1
+
+// FTL is a page-mapped translation layer. Not safe for concurrent use.
+type FTL struct {
+	chip  *nand.Chip
+	store PageStore
+	cfg   Config
+	hook  MigrationHook
+
+	l2p []nand.PageAddr // lba -> physical page
+	p2l [][]int         // block -> page -> lba (or unmapped)
+
+	valid []int // per-block valid page count
+	free  []int // erased blocks available
+
+	// Host and GC writes use separate frontiers: mixing relocated (cold)
+	// data into the host (hot) stream inflates future GC work, and a
+	// separate GC frontier also makes reclamation non-recursive.
+	active   int // block accepting host writes; -1 before first write
+	nextPg   int
+	gcActive int // block accepting GC relocations; -1 until first GC
+	gcNextPg int
+
+	mapped []bool
+	writes int64 // host sectors written
+	copies int64 // GC relocations
+	gcRuns int64
+	erases int64
+}
+
+// Errors surfaced by FTL operations.
+var (
+	ErrLBARange   = errors.New("ftl: logical address out of range")
+	ErrUnwritten  = errors.New("ftl: logical address never written")
+	ErrDeviceFull = errors.New("ftl: no free blocks (device full)")
+)
+
+// New builds an FTL on chip, writing through store. A nil hook is valid.
+func New(chip *nand.Chip, store PageStore, cfg Config, hook MigrationHook) (*FTL, error) {
+	g := chip.Geometry()
+	if cfg.OverProvisionBlocks < 2 {
+		return nil, fmt.Errorf("ftl: need at least 2 over-provisioned blocks, got %d", cfg.OverProvisionBlocks)
+	}
+	if cfg.OverProvisionBlocks >= g.Blocks {
+		return nil, fmt.Errorf("ftl: over-provisioning %d exceeds %d blocks", cfg.OverProvisionBlocks, g.Blocks)
+	}
+	if cfg.GCThreshold < 1 {
+		cfg.GCThreshold = 1
+	}
+	lbas := (g.Blocks - cfg.OverProvisionBlocks) * g.PagesPerBlock
+	f := &FTL{
+		chip:     chip,
+		store:    store,
+		cfg:      cfg,
+		hook:     hook,
+		l2p:      make([]nand.PageAddr, lbas),
+		p2l:      make([][]int, g.Blocks),
+		valid:    make([]int, g.Blocks),
+		mapped:   make([]bool, lbas),
+		active:   -1,
+		nextPg:   g.PagesPerBlock, // force allocation on first write
+		gcActive: -1,
+		gcNextPg: g.PagesPerBlock,
+	}
+	for b := range f.p2l {
+		f.p2l[b] = make([]int, g.PagesPerBlock)
+		for p := range f.p2l[b] {
+			f.p2l[b][p] = unmapped
+		}
+		f.free = append(f.free, b)
+	}
+	return f, nil
+}
+
+// Capacity returns the number of logical sectors the device exposes.
+func (f *FTL) Capacity() int { return len(f.l2p) }
+
+// SectorBytes returns the logical sector size.
+func (f *FTL) SectorBytes() int { return f.store.DataBytes() }
+
+// Stats reports FTL internals.
+type Stats struct {
+	HostWrites int64
+	GCCopies   int64
+	GCRuns     int64
+	Erases     int64
+	FreeBlocks int
+	// WriteAmplification is (host + GC copies) / host writes.
+	WriteAmplification float64
+	MinPEC, MaxPEC     int
+}
+
+// Stats snapshots the counters.
+func (f *FTL) Stats() Stats {
+	s := Stats{
+		HostWrites: f.writes,
+		GCCopies:   f.copies,
+		GCRuns:     f.gcRuns,
+		Erases:     f.erases,
+		FreeBlocks: len(f.free),
+	}
+	if f.writes > 0 {
+		s.WriteAmplification = float64(f.writes+f.copies) / float64(f.writes)
+	}
+	s.MinPEC, s.MaxPEC = f.wearSpread()
+	return s
+}
+
+func (f *FTL) wearSpread() (min, max int) {
+	g := f.chip.Geometry()
+	min, max = int(^uint(0)>>1), 0
+	for b := 0; b < g.Blocks; b++ {
+		pec := f.chip.PEC(b)
+		if pec < min {
+			min = pec
+		}
+		if pec > max {
+			max = pec
+		}
+	}
+	return min, max
+}
+
+// Lookup returns the physical page currently backing lba.
+func (f *FTL) Lookup(lba int) (nand.PageAddr, error) {
+	if lba < 0 || lba >= len(f.l2p) {
+		return nand.PageAddr{}, ErrLBARange
+	}
+	if !f.mapped[lba] {
+		return nand.PageAddr{}, ErrUnwritten
+	}
+	return f.l2p[lba], nil
+}
+
+// Read returns the payload of a logical sector.
+func (f *FTL) Read(lba int) ([]byte, error) {
+	a, err := f.Lookup(lba)
+	if err != nil {
+		return nil, err
+	}
+	return f.store.ReadPage(a)
+}
+
+// Write stores a logical sector (exactly SectorBytes long), remapping it
+// to a fresh physical page; the old copy is invalidated for GC.
+func (f *FTL) Write(lba int, data []byte) error {
+	if lba < 0 || lba >= len(f.l2p) {
+		return ErrLBARange
+	}
+	if len(data) != f.store.DataBytes() {
+		return fmt.Errorf("ftl: sector is %d bytes, want %d", len(data), f.store.DataBytes())
+	}
+	a, err := f.allocPage()
+	if err != nil {
+		return err
+	}
+	if err := f.store.WritePage(a, data); err != nil {
+		return err
+	}
+	f.commitMapping(lba, a)
+	f.writes++
+	return nil
+}
+
+// Trim invalidates a logical sector without writing.
+func (f *FTL) Trim(lba int) error {
+	if lba < 0 || lba >= len(f.l2p) {
+		return ErrLBARange
+	}
+	if f.mapped[lba] {
+		f.invalidate(f.l2p[lba])
+		f.mapped[lba] = false
+	}
+	return nil
+}
+
+func (f *FTL) invalidate(a nand.PageAddr) {
+	if f.p2l[a.Block][a.Page] != unmapped {
+		f.p2l[a.Block][a.Page] = unmapped
+		f.valid[a.Block]--
+	}
+}
+
+func (f *FTL) commitMapping(lba int, a nand.PageAddr) {
+	if f.mapped[lba] {
+		f.invalidate(f.l2p[lba])
+	}
+	f.l2p[lba] = a
+	f.p2l[a.Block][a.Page] = lba
+	f.valid[a.Block]++
+	f.mapped[lba] = true
+}
+
+// allocPage returns the next writable host page, rotating blocks and
+// triggering GC as needed.
+func (f *FTL) allocPage() (nand.PageAddr, error) {
+	g := f.chip.Geometry()
+	if f.nextPg >= g.PagesPerBlock {
+		// Reclaim until the free pool is above threshold plus the GC
+		// reserve (or nothing more can be reclaimed).
+		allowCold := true
+		for len(f.free) <= f.cfg.GCThreshold+1 {
+			if err := f.collect(allowCold); err != nil {
+				break
+			}
+			// Static wear leveling may relocate one fully valid cold
+			// block per allocation; letting it repeat would let GC
+			// spin on net-zero reclaims.
+			allowCold = false
+		}
+		// The host may never take GC's last reserve block while invalid
+		// pages remain reclaimable: doing so deadlocks reclamation (GC
+		// needs a free block to rotate its relocation frontier into).
+		if len(f.free) <= 1 && f.hasReclaimable() {
+			return nand.PageAddr{}, ErrDeviceFull
+		}
+		b, ok := f.popColdestFree()
+		if !ok {
+			return nand.PageAddr{}, ErrDeviceFull
+		}
+		f.active = b
+		f.nextPg = 0
+	}
+	a := nand.PageAddr{Block: f.active, Page: f.nextPg}
+	f.nextPg++
+	return a, nil
+}
+
+// gcAllocPage returns the next writable relocation page. It draws from the
+// free pool without triggering GC (the caller IS the GC).
+func (f *FTL) gcAllocPage() (nand.PageAddr, error) {
+	g := f.chip.Geometry()
+	if f.gcNextPg >= g.PagesPerBlock {
+		b, ok := f.popColdestFree()
+		if !ok {
+			return nand.PageAddr{}, ErrDeviceFull
+		}
+		f.gcActive = b
+		f.gcNextPg = 0
+	}
+	a := nand.PageAddr{Block: f.gcActive, Page: f.gcNextPg}
+	f.gcNextPg++
+	return a, nil
+}
+
+// popColdestFree removes and returns the free block with the lowest PEC
+// (wear-aware allocation).
+func (f *FTL) popColdestFree() (int, bool) {
+	if len(f.free) == 0 {
+		return 0, false
+	}
+	best := 0
+	for i := range f.free {
+		if f.chip.PEC(f.free[i]) < f.chip.PEC(f.free[best]) {
+			best = i
+		}
+	}
+	b := f.free[best]
+	f.free = append(f.free[:best], f.free[best+1:]...)
+	return b, true
+}
+
+// collect runs one round of garbage collection: pick a victim, relocate
+// its valid pages (running the migration hook for each), erase it.
+// allowCold permits static wear leveling to choose a cold, fully valid
+// victim (a net-zero reclaim, so callers must bound how often).
+func (f *FTL) collect(allowCold bool) error {
+	victim := f.pickVictim(allowCold)
+	if victim < 0 {
+		return ErrDeviceFull
+	}
+	f.gcRuns++
+	g := f.chip.Geometry()
+	for p := 0; p < g.PagesPerBlock; p++ {
+		lba := f.p2l[victim][p]
+		if lba == unmapped {
+			continue
+		}
+		src := nand.PageAddr{Block: victim, Page: p}
+		data, err := f.store.ReadPage(src)
+		if err != nil {
+			return err
+		}
+		dst, err := f.gcAllocPage()
+		if err != nil {
+			return err
+		}
+		if err := f.store.WritePage(dst, data); err != nil {
+			return err
+		}
+		f.commitMapping(lba, dst)
+		f.copies++
+		if f.hook != nil {
+			if err := f.hook.PageMoved(lba, src, dst); err != nil {
+				return err
+			}
+		}
+	}
+	f.chip.EraseBlock(victim)
+	f.erases++
+	f.p2lReset(victim)
+	f.free = append(f.free, victim)
+	return nil
+}
+
+func (f *FTL) p2lReset(b int) {
+	for p := range f.p2l[b] {
+		f.p2l[b][p] = unmapped
+	}
+	f.valid[b] = 0
+}
+
+// pickVictim chooses the GC victim: fewest valid pages wins (greedy), with
+// the colder block preferred on ties so reclamation rotates across the
+// device. Once the wear spread exceeds WearDelta, the coldest candidate
+// wins outright even at a higher copy cost — static wear leveling that
+// unsticks cold, fully-valid blocks.
+func (f *FTL) pickVictim(allowCold bool) int {
+	g := f.chip.Geometry()
+	minPEC, maxPEC := f.wearSpread()
+	forceCold := allowCold && maxPEC-minPEC > f.cfg.WearDelta && f.cfg.WearDelta > 0
+	best := -1
+	for b := 0; b < g.Blocks; b++ {
+		if b == f.active || b == f.gcActive || f.isFree(b) {
+			continue
+		}
+		if best < 0 {
+			best = b
+			continue
+		}
+		if forceCold {
+			if f.chip.PEC(b) < f.chip.PEC(best) {
+				best = b
+			}
+			continue
+		}
+		vb, vbest := f.valid[b], f.valid[best]
+		if vb < vbest || (vb == vbest && f.chip.PEC(b) < f.chip.PEC(best)) {
+			best = b
+		}
+	}
+	if best >= 0 && f.valid[best] == g.PagesPerBlock && !forceCold {
+		// Every candidate is fully valid: nothing reclaimable.
+		return -1
+	}
+	return best
+}
+
+// hasReclaimable reports whether any non-frontier block holds at least one
+// invalid page (i.e. GC could make progress given a free block).
+func (f *FTL) hasReclaimable() bool {
+	g := f.chip.Geometry()
+	for b := 0; b < g.Blocks; b++ {
+		if b == f.active || b == f.gcActive || f.isFree(b) {
+			continue
+		}
+		if f.valid[b] < g.PagesPerBlock {
+			return true
+		}
+	}
+	return false
+}
+
+func (f *FTL) isFree(b int) bool {
+	for _, fb := range f.free {
+		if fb == b {
+			return true
+		}
+	}
+	return false
+}
+
+// ValidCount reports the number of valid pages in a block (diagnostics).
+func (f *FTL) ValidCount(b int) int { return f.valid[b] }
+
+// IsFreeBlock reports whether a block is in the free pool (diagnostics).
+func (f *FTL) IsFreeBlock(b int) bool { return f.isFree(b) }
+
+// ActiveBlocks returns the host and GC frontier blocks (diagnostics).
+func (f *FTL) ActiveBlocks() (host, gc int) { return f.active, f.gcActive }

@@ -1,0 +1,571 @@
+package nand
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Chip is one simulated NAND flash package. All methods are deterministic
+// given the construction seed and the operation sequence; two chips built
+// with different seeds model distinct physical samples of the same model
+// (manufacturing variation), which is how the paper's "four sample chips"
+// experiments are reproduced.
+//
+// Chip is not safe for concurrent use; real packages serialise commands on
+// the bus as well. Wrap with external locking if needed.
+type Chip struct {
+	model      Model
+	seed       uint64
+	chipOffset float64 // per-chip process corner offset
+	tailMult   float64 // per-chip heavy-tail mass multiplier
+	heavyMean  float64 // per-chip heavy-tail decay scale
+	progMult   float64 // per-chip programmed-state width multiplier
+	src        *rand.PCG
+	rng        *rand.Rand
+	blocks     []*blockState
+	ledger     Ledger
+}
+
+type blockState struct {
+	pec         int
+	epoch       uint64 // increments on every erase; seeds regeneration
+	blockOffset float64
+	tailMult    float64 // per-block heavy-tail mass multiplier
+	pages       []*pageState
+	// pendingInterf counts neighbour program events that occurred while
+	// a page was not materialised; applied statistically on demand.
+	pendingInterf []int
+	// stress holds per-cell accumulated program-stress counts (the PT-HI
+	// channel). Unlike voltages it models permanent oxide damage, so it
+	// survives erases. Allocated lazily per page.
+	stress [][]uint16
+}
+
+type pageState struct {
+	v          []float32 // per-cell voltage, normalized units
+	gain       []float32 // per-cell charge gain (programming speed)
+	pageOffset float64
+	programmed bool
+}
+
+// Errors returned by chip operations. Program-before-erase is the classic
+// NAND constraint: once a cell is charged its level can only be increased,
+// so a full-page PROGRAM requires an erased page (§3).
+var (
+	ErrPageProgrammed = errors.New("nand: page already programmed (erase block first)")
+	ErrBadDataLength  = errors.New("nand: data length does not match page size")
+)
+
+// NewChip builds a chip sample of the given model. Distinct seeds yield
+// distinct physical samples with their own process variation.
+func NewChip(model Model, seed uint64) *Chip {
+	if err := model.Geometry.Validate(); err != nil {
+		panic(err)
+	}
+	src := rand.NewPCG(seed, 0x5afe5afe)
+	c := &Chip{
+		model: model,
+		seed:  seed,
+		src:   src,
+		rng:   rand.New(src),
+	}
+	c.chipOffset = c.rng.NormFloat64() * model.ChipSigma
+	c.tailMult = math.Exp(c.rng.NormFloat64() * model.TailFracJitterChip)
+	c.heavyMean = model.ErasedHeavyMean * math.Exp(c.rng.NormFloat64()*model.HeavyMeanJitterChip)
+	c.progMult = math.Exp(c.rng.NormFloat64() * model.ProgSigmaJitterChip)
+	c.blocks = make([]*blockState, model.Blocks)
+	return c
+}
+
+// Model returns the chip's parameter set.
+func (c *Chip) Model() Model { return c.model }
+
+// Geometry returns the chip's layout.
+func (c *Chip) Geometry() Geometry { return c.model.Geometry }
+
+// Ledger returns a snapshot of the accumulated operation costs.
+func (c *Chip) Ledger() Ledger { return c.ledger }
+
+// ResetLedger zeroes the operation cost accounting.
+func (c *Chip) ResetLedger() { c.ledger = Ledger{} }
+
+// PEC returns the program/erase cycle count of a block.
+func (c *Chip) PEC(block int) int {
+	return c.blockRef(block).pec
+}
+
+// --- internal state management -------------------------------------------
+
+func (c *Chip) blockRef(b int) *blockState {
+	if b < 0 || b >= len(c.blocks) {
+		panic(fmt.Sprintf("nand: block %d out of range", b))
+	}
+	if c.blocks[b] == nil {
+		bs := &blockState{
+			pages:         make([]*pageState, c.model.PagesPerBlock),
+			pendingInterf: make([]int, c.model.PagesPerBlock),
+			stress:        make([][]uint16, c.model.PagesPerBlock),
+		}
+		// Block process offsets are fixed physical properties: derive
+		// them from the chip seed and block number, not the op sequence.
+		br := rand.New(rand.NewPCG(c.seed, 0xb10c<<16|uint64(b)))
+		bs.blockOffset = br.NormFloat64() * c.model.BlockSigma
+		bs.tailMult = math.Exp(br.NormFloat64() * c.model.TailFracJitterBlock)
+		c.blocks[b] = bs
+	}
+	return c.blocks[b]
+}
+
+// pageRef materialises a page's analog state on first touch. Erased-state
+// voltages are a pure function of (chip seed, block, page, erase epoch), so
+// an untouched page costs nothing and regenerates identically.
+func (c *Chip) pageRef(a PageAddr) *pageState {
+	bs := c.blockRef(a.Block)
+	if ps := bs.pages[a.Page]; ps != nil {
+		return ps
+	}
+	m := &c.model
+	cells := m.CellsPerPage()
+	ps := &pageState{
+		v:    make([]float32, cells),
+		gain: make([]float32, cells),
+	}
+
+	// Fixed physical per-page properties: offset, tail mass, per-cell gain.
+	pr := rand.New(rand.NewPCG(c.seed, 0x9a9e<<32|uint64(a.Block)<<16|uint64(a.Page)))
+	ps.pageOffset = pr.NormFloat64() * m.PageSigma
+	heavyFrac := m.ErasedHeavyFrac * c.tailMult * bs.tailMult * math.Exp(pr.NormFloat64()*m.TailFracJitterPage)
+	for i := range ps.gain {
+		ps.gain[i] = float32(math.Exp(pr.NormFloat64() * m.GainSigma))
+	}
+
+	// Erased-state voltages for the current erase epoch.
+	er := rand.New(rand.NewPCG(c.seed^bs.epoch*0x9e3779b97f4a7c15,
+		0xe7a5ed<<24|uint64(a.Block)<<12|uint64(a.Page)))
+	base := m.ErasedMean + c.chipOffset + bs.blockOffset + ps.pageOffset + c.wearShift(bs)
+	sigma := m.ErasedSigma + m.WearSigmaErasedPerK*float64(bs.pec)/1000
+	for i := range ps.v {
+		tail := m.ErasedTailMean
+		if heavyFrac > 0 && er.Float64() < heavyFrac {
+			tail = c.heavyMean
+		}
+		v := base + er.NormFloat64()*sigma + er.ExpFloat64()*tail
+		if v < 0 {
+			v = 0
+		}
+		ps.v[i] = float32(v)
+	}
+
+	// Apply interference from neighbour programs that happened while this
+	// page was unmaterialised: k events approximate to one Gaussian with
+	// k-scaled moments.
+	if k := bs.pendingInterf[a.Page]; k > 0 {
+		mean := float64(k) * m.InterfMean
+		sd := math.Sqrt(float64(k)) * m.InterfSigma
+		for i := range ps.v {
+			d := mean + er.NormFloat64()*sd
+			if d > 0 {
+				ps.v[i] += float32(d)
+			}
+		}
+		bs.pendingInterf[a.Page] = 0
+	}
+
+	bs.pages[a.Page] = ps
+	return ps
+}
+
+// wearShift is the mean erased-state right-shift for a block's PEC.
+func (c *Chip) wearShift(bs *blockState) float64 {
+	return c.model.WearShiftPerK * float64(bs.pec) / 1000
+}
+
+// progWearShift is the mean programmed-state right-shift for a block's PEC.
+func (c *Chip) progWearShift(bs *blockState) float64 {
+	return c.model.WearShiftProgPerK * float64(bs.pec) / 1000
+}
+
+// --- command surface -------------------------------------------------------
+
+// EraseBlock erases a block: all cells return to the erased distribution,
+// the block's PEC increments, and any hidden payload co-located with the
+// data is physically destroyed (the paper's "almost instantaneous" hidden
+// data destruction, §1).
+func (c *Chip) EraseBlock(block int) {
+	bs := c.blockRef(block)
+	bs.pec++
+	bs.epoch++
+	for i := range bs.pages {
+		bs.pages[i] = nil
+		bs.pendingInterf[i] = 0
+	}
+	c.recordErase()
+}
+
+// CycleBlock fast-forwards wear on a block by n program/erase cycles of
+// random data, leaving the block erased. It is the simulator's stand-in
+// for the paper's pre-conditioning runs ("we repeated this process for 0
+// to 3000 PEC") without paying for n full-block programs; the wear model
+// applies identically. The ledger records only the final erase.
+func (c *Chip) CycleBlock(block, n int) {
+	if n < 0 {
+		panic("nand: negative cycle count")
+	}
+	bs := c.blockRef(block)
+	bs.pec += n
+	bs.epoch++
+	for i := range bs.pages {
+		bs.pages[i] = nil
+		bs.pendingInterf[i] = 0
+	}
+	c.recordErase()
+}
+
+// DropBlockState releases the materialised analog state of a block without
+// touching PEC or logical content semantics. This is a simulator-only
+// affordance for long experiment sweeps that probe a block once and never
+// revisit it; the next access regenerates the block as freshly erased.
+// Production code must use EraseBlock.
+func (c *Chip) DropBlockState(block int) {
+	bs := c.blockRef(block)
+	bs.epoch++
+	for i := range bs.pages {
+		bs.pages[i] = nil
+		bs.pendingInterf[i] = 0
+	}
+}
+
+// ProgramPage programs a full page: cells with data bit 0 are charged to
+// the programmed state; bit-1 cells stay erased (low voltage means logical
+// '1' on NAND, §5.3). Data is MSB-first: cell i holds bit 7-(i%8) of
+// data[i/8]. Programming interferes with adjacent pages (Fig 2a).
+func (c *Chip) ProgramPage(a PageAddr, data []byte) error {
+	if err := c.model.check(a); err != nil {
+		return err
+	}
+	if len(data) != c.model.PageBytes {
+		return fmt.Errorf("%w: got %d bytes, page holds %d", ErrBadDataLength, len(data), c.model.PageBytes)
+	}
+	ps := c.pageRef(a)
+	if ps.programmed {
+		return fmt.Errorf("%w: %v", ErrPageProgrammed, a)
+	}
+	bs := c.blockRef(a.Block)
+	m := &c.model
+	base := m.ProgramTarget + c.chipOffset + bs.blockOffset + ps.pageOffset + c.progWearShift(bs)
+	sigma := (m.ProgramSigma + m.WearSigmaProgPerK*float64(bs.pec)/1000) * c.progMult
+	for i := range ps.v {
+		if dataBit(data, i) == 0 {
+			v := base + c.rng.NormFloat64()*sigma
+			if float32(v) > ps.v[i] { // charge only ever increases
+				ps.v[i] = float32(v)
+			}
+		}
+	}
+	ps.programmed = true
+	c.interfereNeighbors(a)
+	c.recordProgram()
+	return nil
+}
+
+// interfereNeighbors applies program interference from programming page a
+// to the physically adjacent pages: erased cells of materialised
+// neighbours gain a little charge; unmaterialised neighbours accumulate a
+// pending event folded in at materialisation.
+func (c *Chip) interfereNeighbors(a PageAddr) {
+	bs := c.blockRef(a.Block)
+	m := &c.model
+	for _, np := range []int{a.Page - 1, a.Page + 1} {
+		if np < 0 || np >= m.PagesPerBlock {
+			continue
+		}
+		ns := bs.pages[np]
+		if ns == nil {
+			bs.pendingInterf[np]++
+			continue
+		}
+		for i := range ns.v {
+			if ns.v[i] < float32(m.InterfCutoff) { // low-charge cells couple
+				d := m.InterfMean + c.rng.NormFloat64()*m.InterfSigma
+				if d > 0 {
+					ns.v[i] += float32(d)
+				}
+			}
+		}
+	}
+}
+
+// ReadPage reads the page at the default public reference threshold. This
+// is the only operation a normal user needs; it requires no key material
+// and is unaffected by hidden data (§5.3).
+func (c *Chip) ReadPage(a PageAddr) ([]byte, error) {
+	return c.ReadPageRef(a, c.model.ReadRef)
+}
+
+// ReadPageRef reads the page comparing each cell against an arbitrary
+// reference threshold voltage. This models the vendor-specific command
+// that "shifts the reference threshold voltage for reading" which VT-HI
+// uses to extract hidden bits with a single, non-destructive read (§1, §5.3).
+func (c *Chip) ReadPageRef(a PageAddr, ref float64) ([]byte, error) {
+	if err := c.model.check(a); err != nil {
+		return nil, err
+	}
+	out := make([]byte, c.model.PageBytes)
+	bs := c.blockRef(a.Block)
+	if bs.pages[a.Page] == nil && bs.pendingInterf[a.Page] == 0 && ref > c.maxErasedLikely() {
+		// Fast path: untouched erased page reads as all '1' at any
+		// reference comfortably above the erased distribution.
+		for i := range out {
+			out[i] = 0xFF
+		}
+		c.recordRead()
+		return out, nil
+	}
+	ps := c.pageRef(a)
+	rf := float32(ref)
+	for i, v := range ps.v {
+		if v < rf {
+			out[i/8] |= 1 << uint(7-i%8)
+		}
+	}
+	c.recordRead()
+	return out, nil
+}
+
+// maxErasedLikely bounds the erased distribution for the fast read path.
+func (c *Chip) maxErasedLikely() float64 {
+	m := &c.model
+	return m.ErasedMean + 2*m.InterfMean + 8*m.ErasedSigma + 12*m.ErasedTailMean +
+		6*m.InterfSigma + 3*(m.ChipSigma+m.BlockSigma+m.PageSigma) +
+		m.WearShiftPerK*float64(m.RatedPEC)/1000
+}
+
+// NeighborPrograms returns how many program operations have hit the pages
+// physically adjacent to a since the block was last erased. Firmware knows
+// this trivially (it issued the programs); VT-HI's vendor-supported mode
+// uses it to compensate the hidden read reference for accumulated program
+// interference.
+func (c *Chip) NeighborPrograms(a PageAddr) (int, error) {
+	if err := c.model.check(a); err != nil {
+		return 0, err
+	}
+	bs := c.blockRef(a.Block)
+	n := 0
+	for _, np := range []int{a.Page - 1, a.Page + 1} {
+		if np < 0 || np >= c.model.PagesPerBlock {
+			continue
+		}
+		if ps := bs.pages[np]; ps != nil && ps.programmed {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// FineProgram charges each listed cell to at least the target level with
+// controller-grade precision, in a single internal ISPP sequence. This is
+// the vendor-support operation §6.2 argues for ("an in-controller
+// implementation ... could likely program hidden data in fewer programming
+// steps"); it is not reachable through the public ONFI command set, which
+// is why the paper's unmodified-device prototype falls back to iterated
+// coarse PartialProgram pulses. Ledger cost: one program operation.
+func (c *Chip) FineProgram(a PageAddr, cells []int, target float64) error {
+	if err := c.model.check(a); err != nil {
+		return err
+	}
+	ps := c.pageRef(a)
+	m := &c.model
+	for _, i := range cells {
+		if i < 0 || i >= len(ps.v) {
+			return fmt.Errorf("nand: cell %d out of range [0,%d)", i, len(ps.v))
+		}
+		v := target + math.Abs(c.rng.NormFloat64())*m.FineSigma
+		if float32(v) > ps.v[i] {
+			ps.v[i] = float32(v)
+		}
+	}
+	c.recordProgram()
+	return nil
+}
+
+// ProbePage measures the per-cell voltage of a page, quantised to the
+// normalized integer levels 0..255 the real characterisation interface
+// exposes (negative voltage is not measurable; paper §4 footnote). This is
+// the adversary's strongest tool and the basis of chip characterisation.
+func (c *Chip) ProbePage(a PageAddr) ([]uint8, error) {
+	if err := c.model.check(a); err != nil {
+		return nil, err
+	}
+	ps := c.pageRef(a)
+	out := make([]uint8, len(ps.v))
+	for i, v := range ps.v {
+		q := int(v + 0.5)
+		if q < 0 {
+			q = 0
+		} else if q > 255 {
+			q = 255
+		}
+		out[i] = uint8(q)
+	}
+	c.recordProbe()
+	return out, nil
+}
+
+// PartialProgram applies one partial-programming pulse — a PROGRAM command
+// aborted midway (§1) — to the listed cells of a page. Each pulse adds a
+// coarse, noisy charge increment scaled by the cell's intrinsic gain and
+// slowed by accumulated stress. Pulses disturb a small fraction of cells
+// in adjacent pages (the interference §6.3 measures via page intervals).
+func (c *Chip) PartialProgram(a PageAddr, cells []int) error {
+	if err := c.model.check(a); err != nil {
+		return err
+	}
+	ps := c.pageRef(a)
+	bs := c.blockRef(a.Block)
+	m := &c.model
+	stress := bs.stress[a.Page]
+	stepSigma := m.PPStepSigma * (1 + m.PPNoisePerK*float64(bs.pec)/1000)
+	maxStep := 3 * m.PPStepMean // one aborted program moves bounded charge
+	for _, i := range cells {
+		if i < 0 || i >= len(ps.v) {
+			return fmt.Errorf("nand: cell %d out of range [0,%d)", i, len(ps.v))
+		}
+		step := m.PPStepMean + c.rng.NormFloat64()*stepSigma
+		if step <= 0 {
+			continue
+		}
+		g := float64(ps.gain[i])
+		if stress != nil {
+			g /= 1 + m.StressSlowdown*float64(stress[i])
+		}
+		eff := step * g
+		if eff > maxStep {
+			eff = maxStep
+		}
+		ps.v[i] += float32(eff)
+	}
+	c.disturbNeighbors(a)
+	c.recordPP()
+	return nil
+}
+
+// disturbNeighbors models the collateral damage of one PP pulse: a sparse
+// random set of victim cells in each adjacent materialised page receives
+// signed jitter (programmed victims) or a small positive charge bump
+// (erased victims).
+func (c *Chip) disturbNeighbors(a PageAddr) {
+	bs := c.blockRef(a.Block)
+	m := &c.model
+	cells := m.CellsPerPage()
+	nVictims := int(m.PPDisturbVictims * float64(cells))
+	if nVictims < 1 {
+		nVictims = 1
+	}
+	for _, np := range []int{a.Page - 1, a.Page + 1} {
+		if np < 0 || np >= m.PagesPerBlock {
+			continue
+		}
+		ns := bs.pages[np]
+		if ns == nil {
+			continue // erased, unmaterialised: regenerates fresh anyway
+		}
+		for k := 0; k < nVictims; k++ {
+			i := c.rng.IntN(cells)
+			if ns.v[i] >= float32(m.InterfCutoff) {
+				ns.v[i] += float32(c.rng.NormFloat64() * m.PPDisturbSigma)
+			} else {
+				d := math.Abs(c.rng.NormFloat64()) * m.PPDisturbErasedMean
+				ns.v[i] += float32(d)
+			}
+		}
+	}
+}
+
+// StressCycleBlock performs one full program/erase cycle over a block
+// whose only purpose is accumulating program stress on chosen cells: each
+// page is programmed with a pattern charging the listed cells, then the
+// block is erased. Every listed cell gains one stress count; the block
+// gains one PEC. This is the unit operation of the PT-HI baseline's
+// encode, which repeats it hundreds of times ("several
+// hundreds-to-thousands of normal programming cycles", §2) — and is why
+// PT-HI burns device lifetime two orders of magnitude faster than VT-HI.
+// The ledger is billed PagesPerBlock programs plus one erase, exactly the
+// cost model behind the paper's §8 PT-HI throughput arithmetic.
+func (c *Chip) StressCycleBlock(block int, cellsPerPage [][]int) error {
+	if block < 0 || block >= len(c.blocks) {
+		return fmt.Errorf("nand: block %d out of range", block)
+	}
+	if len(cellsPerPage) > c.model.PagesPerBlock {
+		return fmt.Errorf("nand: %d page patterns for %d pages", len(cellsPerPage), c.model.PagesPerBlock)
+	}
+	bs := c.blockRef(block)
+	cells := c.model.CellsPerPage()
+	for p := 0; p < c.model.PagesPerBlock; p++ {
+		if p < len(cellsPerPage) && len(cellsPerPage[p]) > 0 {
+			if bs.stress[p] == nil {
+				bs.stress[p] = make([]uint16, cells)
+			}
+			st := bs.stress[p]
+			for _, i := range cellsPerPage[p] {
+				if i < 0 || i >= cells {
+					return fmt.Errorf("nand: cell %d out of range [0,%d)", i, cells)
+				}
+				if st[i] < math.MaxUint16 {
+					st[i]++
+				}
+			}
+		}
+		// The full block is programmed on every stress cycle, pattern
+		// or not — the cost model charges every page.
+		c.recordProgram()
+	}
+	// The erase that completes the cycle: voltages reset, wear advances.
+	bs.pec++
+	bs.epoch++
+	for i := range bs.pages {
+		bs.pages[i] = nil
+		bs.pendingInterf[i] = 0
+	}
+	c.recordErase()
+	return nil
+}
+
+// StressCells applies n program-stress cycles to the listed cells without
+// changing their logical content; this is the bulk equivalent of the
+// repeated program pulses the PT-HI baseline uses to permanently slow
+// cells. Stress survives erases (it models oxide damage). The ledger is
+// charged n partial programs.
+func (c *Chip) StressCells(a PageAddr, cells []int, n int) error {
+	if err := c.model.check(a); err != nil {
+		return err
+	}
+	if n < 0 {
+		panic("nand: negative stress count")
+	}
+	bs := c.blockRef(a.Block)
+	if bs.stress[a.Page] == nil {
+		bs.stress[a.Page] = make([]uint16, c.model.CellsPerPage())
+	}
+	st := bs.stress[a.Page]
+	for _, i := range cells {
+		if i < 0 || i >= len(st) {
+			return fmt.Errorf("nand: cell %d out of range [0,%d)", i, len(st))
+		}
+		v := int(st[i]) + n
+		if v > math.MaxUint16 {
+			v = math.MaxUint16
+		}
+		st[i] = uint16(v)
+	}
+	for k := 0; k < n; k++ {
+		c.recordPP()
+	}
+	return nil
+}
+
+// dataBit extracts cell i's logical bit from page data (MSB first).
+func dataBit(data []byte, i int) byte {
+	return (data[i/8] >> uint(7-i%8)) & 1
+}

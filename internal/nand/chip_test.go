@@ -1,0 +1,341 @@
+package nand
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func randPageData(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(rng.IntN(256))
+	}
+	return b
+}
+
+func TestGeometryValidate(t *testing.T) {
+	good := Geometry{Blocks: 4, PagesPerBlock: 2, PageBytes: 16}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid geometry rejected: %v", err)
+	}
+	for _, bad := range []Geometry{
+		{Blocks: 0, PagesPerBlock: 2, PageBytes: 16},
+		{Blocks: 4, PagesPerBlock: 0, PageBytes: 16},
+		{Blocks: 4, PagesPerBlock: 2, PageBytes: 0},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("invalid geometry %+v accepted", bad)
+		}
+	}
+}
+
+func TestModelAMatchesPaperSpecs(t *testing.T) {
+	m := ModelA()
+	if got := m.TotalBytes(); got != int64(2048)*256*18048 {
+		t.Errorf("ModelA capacity = %d", got)
+	}
+	// Paper §6.1: 90us/1200us/5ms latencies; 50/68/190 uJ energies.
+	if m.ReadLatency.Microseconds() != 90 || m.ProgramLatency.Microseconds() != 1200 ||
+		m.EraseLatency.Milliseconds() != 5 {
+		t.Error("ModelA latencies do not match §6.1")
+	}
+	if m.ReadEnergy != 50 || m.ProgEnergy != 68 || m.EraseEnergy != 190 {
+		t.Error("ModelA energies do not match §6.1")
+	}
+	if m.RatedPEC != 3000 {
+		t.Error("ModelA rated PEC should be 3000")
+	}
+}
+
+func TestProgramReadRoundTrip(t *testing.T) {
+	c := NewChip(TestModel(), 1)
+	rng := rand.New(rand.NewPCG(2, 3))
+	data := randPageData(rng, c.Geometry().PageBytes)
+	a := PageAddr{Block: 3, Page: 2}
+	if err := c.ProgramPage(a, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.ReadPage(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Raw NAND is not error-free: the model's fresh-chip BER is ~3e-5,
+	// so a 4096-bit page may legitimately show the odd flipped bit.
+	diffBits := 0
+	for i := range got {
+		diffBits += popcount(got[i] ^ data[i])
+	}
+	if diffBits > 3 {
+		t.Fatalf("read-back differs in %d bits; far above the raw BER budget", diffBits)
+	}
+}
+
+func TestErasedPageReadsAllOnes(t *testing.T) {
+	c := NewChip(TestModel(), 4)
+	got, err := c.ReadPage(PageAddr{Block: 0, Page: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range got {
+		if b != 0xFF {
+			t.Fatalf("erased page byte %d = %#x, want 0xFF", i, b)
+		}
+	}
+}
+
+func TestDoubleProgramRejected(t *testing.T) {
+	c := NewChip(TestModel(), 5)
+	data := make([]byte, c.Geometry().PageBytes)
+	a := PageAddr{Block: 1, Page: 1}
+	if err := c.ProgramPage(a, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ProgramPage(a, data); err == nil {
+		t.Fatal("second program of same page must fail")
+	}
+}
+
+func TestEraseResetsPage(t *testing.T) {
+	c := NewChip(TestModel(), 6)
+	a := PageAddr{Block: 2, Page: 0}
+	if err := c.ProgramPage(a, make([]byte, c.Geometry().PageBytes)); err != nil { // all zero bits -> all programmed
+		t.Fatal(err)
+	}
+	c.EraseBlock(2)
+	got, err := c.ReadPage(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range got {
+		if b != 0xFF {
+			t.Fatal("block not erased")
+		}
+	}
+	if c.PEC(2) != 1 {
+		t.Fatalf("PEC = %d, want 1", c.PEC(2))
+	}
+	// Reprogramming must now succeed.
+	if err := c.ProgramPage(a, make([]byte, c.Geometry().PageBytes)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadAddressesRejected(t *testing.T) {
+	c := NewChip(TestModel(), 7)
+	data := make([]byte, c.Geometry().PageBytes)
+	for _, a := range []PageAddr{{Block: -1}, {Block: 1 << 20}, {Block: 0, Page: -1}, {Block: 0, Page: 1 << 20}} {
+		if err := c.ProgramPage(a, data); err == nil {
+			t.Errorf("program at %v accepted", a)
+		}
+		if _, err := c.ReadPage(a); err == nil {
+			t.Errorf("read at %v accepted", a)
+		}
+		if _, err := c.ProbePage(a); err == nil {
+			t.Errorf("probe at %v accepted", a)
+		}
+	}
+	if err := c.ProgramPage(PageAddr{}, make([]byte, 3)); err == nil {
+		t.Error("short data accepted")
+	}
+}
+
+func TestDeterministicAcrossChipInstances(t *testing.T) {
+	run := func() []uint8 {
+		c := NewChip(TestModel(), 42)
+		rng := rand.New(rand.NewPCG(8, 9))
+		data := randPageData(rng, c.Geometry().PageBytes)
+		a := PageAddr{Block: 1, Page: 3}
+		if err := c.ProgramPage(a, data); err != nil {
+			t.Fatal(err)
+		}
+		p, err := c.ProbePage(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if !bytes.Equal(run(), run()) {
+		t.Fatal("identical seed and op sequence produced different voltages")
+	}
+}
+
+func TestDifferentSeedsDifferentSamples(t *testing.T) {
+	probe := func(seed uint64) []uint8 {
+		c := NewChip(TestModel(), seed)
+		p, err := c.ProbePage(PageAddr{Block: 0, Page: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if bytes.Equal(probe(1), probe(2)) {
+		t.Fatal("distinct chip samples produced identical voltages")
+	}
+}
+
+// Voltage can only increase between erases: the fundamental NAND constraint
+// VT-HI relies on (§3). Property-checked across random PP pulse sequences.
+func TestVoltageMonotoneUnderPP(t *testing.T) {
+	c := NewChip(TestModel(), 10)
+	a := PageAddr{Block: 0, Page: 0}
+	if err := c.ProgramPage(a, randPageData(rand.New(rand.NewPCG(1, 1)), c.Geometry().PageBytes)); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := c.ProbePage(a)
+	f := func(rawCells []uint8) bool {
+		cells := make([]int, 0, len(rawCells))
+		for _, rc := range rawCells {
+			cells = append(cells, int(rc)%c.Geometry().CellsPerPage())
+		}
+		if err := c.PartialProgram(a, cells); err != nil {
+			return false
+		}
+		after, _ := c.ProbePage(a)
+		for _, i := range cells {
+			if after[i] < before[i] {
+				return false
+			}
+		}
+		before = after
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProbeIsSideEffectFree(t *testing.T) {
+	c := NewChip(TestModel(), 11)
+	a := PageAddr{Block: 0, Page: 0}
+	if err := c.ProgramPage(a, randPageData(rand.New(rand.NewPCG(4, 4)), c.Geometry().PageBytes)); err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := c.ProbePage(a)
+	p2, _ := c.ProbePage(a)
+	if !bytes.Equal(p1, p2) {
+		t.Fatal("probe changed cell state")
+	}
+}
+
+func TestLedgerAccounting(t *testing.T) {
+	c := NewChip(TestModel(), 12)
+	a := PageAddr{Block: 0, Page: 0}
+	if err := c.ProgramPage(a, make([]byte, c.Geometry().PageBytes)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ReadPage(a); err != nil {
+		t.Fatal(err)
+	}
+	c.EraseBlock(0)
+	l := c.Ledger()
+	if l.Programs != 1 || l.Reads != 1 || l.Erases != 1 {
+		t.Fatalf("ledger = %+v", l)
+	}
+	m := c.Model()
+	wantTime := m.ProgramLatency + m.ReadLatency + m.EraseLatency
+	if l.Time != wantTime {
+		t.Fatalf("ledger time = %v, want %v", l.Time, wantTime)
+	}
+	wantEnergy := m.ProgEnergy + m.ReadEnergy + m.EraseEnergy
+	if l.EnergyUJ != wantEnergy {
+		t.Fatalf("ledger energy = %v, want %v", l.EnergyUJ, wantEnergy)
+	}
+	c.ResetLedger()
+	if c.Ledger() != (Ledger{}) {
+		t.Fatal("ResetLedger did not zero the ledger")
+	}
+}
+
+func TestLedgerSubAdd(t *testing.T) {
+	a := Ledger{Reads: 5, Programs: 3, Time: 10, EnergyUJ: 2}
+	b := Ledger{Reads: 2, Programs: 1, Time: 4, EnergyUJ: 1}
+	d := a.Sub(b)
+	if d.Reads != 3 || d.Programs != 2 || d.Time != 6 || d.EnergyUJ != 1 {
+		t.Fatalf("Sub = %+v", d)
+	}
+	var s Ledger
+	s.Add(a)
+	s.Add(b)
+	if s.Reads != 7 || s.Programs != 4 {
+		t.Fatalf("Add = %+v", s)
+	}
+}
+
+func TestCycleBlockAdvancesPEC(t *testing.T) {
+	c := NewChip(TestModel(), 13)
+	c.CycleBlock(5, 1000)
+	if c.PEC(5) != 1000 {
+		t.Fatalf("PEC = %d", c.PEC(5))
+	}
+}
+
+func TestStressSlowsCells(t *testing.T) {
+	c := NewChip(TestModel(), 14)
+	a := PageAddr{Block: 0, Page: 0}
+	cells := c.Geometry().CellsPerPage()
+	stressed := make([]int, 0, cells/2)
+	fresh := make([]int, 0, cells/2)
+	for i := 0; i < cells; i++ {
+		if i%2 == 0 {
+			stressed = append(stressed, i)
+		} else {
+			fresh = append(fresh, i)
+		}
+	}
+	if err := c.StressCells(a, stressed, 625); err != nil {
+		t.Fatal(err)
+	}
+	// Apply the same PP pulses to everything; stressed cells must lag.
+	all := make([]int, cells)
+	for i := range all {
+		all[i] = i
+	}
+	for k := 0; k < 10; k++ {
+		if err := c.PartialProgram(a, all); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, _ := c.ProbePage(a)
+	var ms, mf float64
+	for _, i := range stressed {
+		ms += float64(p[i])
+	}
+	for _, i := range fresh {
+		mf += float64(p[i])
+	}
+	ms /= float64(len(stressed))
+	mf /= float64(len(fresh))
+	if ms >= mf {
+		t.Fatalf("stressed cells charged faster: stressed mean %.2f vs fresh %.2f", ms, mf)
+	}
+}
+
+func TestMLCRoundTrip(t *testing.T) {
+	c := NewChip(TestModel(), 15)
+	rng := rand.New(rand.NewPCG(5, 5))
+	lo := randPageData(rng, c.Geometry().PageBytes)
+	hi := randPageData(rng, c.Geometry().PageBytes)
+	a := PageAddr{Block: 0, Page: 0}
+	if err := c.ProgramPageMLC(a, lo, hi); err != nil {
+		t.Fatal(err)
+	}
+	gl, gh, err := c.ReadPageMLC(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	badLo, badHi := 0, 0
+	for i := range lo {
+		if gl[i] != lo[i] {
+			badLo++
+		}
+		if gh[i] != hi[i] {
+			badHi++
+		}
+	}
+	// MLC margins are tighter; allow a small error count on 512 bytes.
+	if badLo > 4 || badHi > 4 {
+		t.Fatalf("MLC round trip: %d/%d bad lower/upper bytes", badLo, badHi)
+	}
+}

@@ -1,0 +1,77 @@
+// Package nand implements a voltage-level simulator of NAND flash memory.
+//
+// It is the substitute for the paper's hardware testbed (1x-nm MLC chips
+// from two vendors driven by a commercial tester; see DESIGN.md §2). The
+// simulator models each flash cell as an analog voltage in the normalized
+// units the paper reports (probes quantise to 0..255), and reproduces the
+// statistical structure VT-HI depends on:
+//
+//   - wide, noisy per-state voltage distributions with chip-, block- and
+//     page-level process variation (paper Fig 2);
+//   - partial charging of erased cells by program interference (Fig 2a/2c);
+//   - right-shift of distributions with program/erase wear (Fig 3);
+//   - an imprecise partial-program (PP) operation — a normal PROGRAM
+//     aborted midway — whose per-cell response varies (Fig 6);
+//   - charge leakage over retention time, accelerated on worn cells
+//     (Fig 11);
+//   - per-cell programming-time variation that shifts under repeated
+//     program stress (the covert channel used by the PT-HI baseline).
+//
+// The command surface mirrors what the paper uses on real chips: ERASE,
+// PROGRAM, READ, READ with a shifted reference voltage (the vendor command
+// "used in modern flash chips by all vendors"), partial program, and a
+// per-cell voltage probe (the NDA'd characterisation command).
+package nand
+
+import "fmt"
+
+// Geometry describes the physical layout of a simulated flash package.
+type Geometry struct {
+	// Blocks is the number of erase blocks in the package.
+	Blocks int
+	// PagesPerBlock is the number of pages in each block.
+	PagesPerBlock int
+	// PageBytes is the number of data bytes per page; the page holds
+	// 8*PageBytes cells (one public bit per cell, SLC-style, as in the
+	// paper's hiding experiments).
+	PageBytes int
+}
+
+// CellsPerPage returns the number of flash cells in one page.
+func (g Geometry) CellsPerPage() int { return g.PageBytes * 8 }
+
+// CellsPerBlock returns the number of flash cells in one block.
+func (g Geometry) CellsPerBlock() int { return g.CellsPerPage() * g.PagesPerBlock }
+
+// TotalBytes returns the raw data capacity of the package in bytes.
+func (g Geometry) TotalBytes() int64 {
+	return int64(g.Blocks) * int64(g.PagesPerBlock) * int64(g.PageBytes)
+}
+
+// Validate reports whether the geometry is usable.
+func (g Geometry) Validate() error {
+	if g.Blocks < 1 || g.PagesPerBlock < 1 || g.PageBytes < 1 {
+		return fmt.Errorf("nand: invalid geometry %+v", g)
+	}
+	return nil
+}
+
+// PageAddr identifies a page within a package.
+type PageAddr struct {
+	Block int
+	Page  int
+}
+
+// String renders the address for diagnostics.
+func (a PageAddr) String() string { return fmt.Sprintf("block %d page %d", a.Block, a.Page) }
+
+// check validates a page address against the geometry.
+func (g Geometry) check(a PageAddr) error {
+	if a.Block < 0 || a.Block >= g.Blocks {
+		return fmt.Errorf("nand: block %d out of range [0,%d)", a.Block, g.Blocks)
+	}
+	if a.Page < 0 || a.Page >= g.PagesPerBlock {
+		return fmt.Errorf("nand: page %d out of range [0,%d)", a.Page, g.PagesPerBlock)
+	}
+	return nil
+}

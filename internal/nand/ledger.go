@@ -1,0 +1,80 @@
+package nand
+
+import "time"
+
+// Ledger accounts every command issued to a chip: operation counts, the
+// simulated bus-level time they would take on the real part, and the energy
+// they would draw. The paper's throughput and energy results (§8) are
+// exactly this arithmetic — "our calculations do not take into account data
+// transfer and hardware overheads" — so the ledger reproduces them from the
+// same per-operation constants.
+type Ledger struct {
+	Reads           int64
+	Programs        int64
+	Erases          int64
+	PartialPrograms int64
+	Probes          int64
+
+	// Time is the summed nominal latency of all operations.
+	Time time.Duration
+	// EnergyUJ is the summed nominal energy in microjoules.
+	EnergyUJ float64
+}
+
+// Add accumulates another ledger into this one.
+func (l *Ledger) Add(o Ledger) {
+	l.Reads += o.Reads
+	l.Programs += o.Programs
+	l.Erases += o.Erases
+	l.PartialPrograms += o.PartialPrograms
+	l.Probes += o.Probes
+	l.Time += o.Time
+	l.EnergyUJ += o.EnergyUJ
+}
+
+// Sub returns the difference l - o; use to meter a region of work:
+//
+//	before := chip.Ledger()
+//	... operations ...
+//	cost := chip.Ledger().Sub(before)
+func (l Ledger) Sub(o Ledger) Ledger {
+	return Ledger{
+		Reads:           l.Reads - o.Reads,
+		Programs:        l.Programs - o.Programs,
+		Erases:          l.Erases - o.Erases,
+		PartialPrograms: l.PartialPrograms - o.PartialPrograms,
+		Probes:          l.Probes - o.Probes,
+		Time:            l.Time - o.Time,
+		EnergyUJ:        l.EnergyUJ - o.EnergyUJ,
+	}
+}
+
+func (c *Chip) recordRead() {
+	c.ledger.Reads++
+	c.ledger.Time += c.model.ReadLatency
+	c.ledger.EnergyUJ += c.model.ReadEnergy
+}
+
+func (c *Chip) recordProgram() {
+	c.ledger.Programs++
+	c.ledger.Time += c.model.ProgramLatency
+	c.ledger.EnergyUJ += c.model.ProgEnergy
+}
+
+func (c *Chip) recordErase() {
+	c.ledger.Erases++
+	c.ledger.Time += c.model.EraseLatency
+	c.ledger.EnergyUJ += c.model.EraseEnergy
+}
+
+func (c *Chip) recordPP() {
+	c.ledger.PartialPrograms++
+	c.ledger.Time += c.model.PPLatency
+	c.ledger.EnergyUJ += c.model.PPEnergy
+}
+
+func (c *Chip) recordProbe() {
+	c.ledger.Probes++
+	c.ledger.Time += c.model.ProbeLatency
+	c.ledger.EnergyUJ += c.model.ProbeEnergy
+}

@@ -1,0 +1,98 @@
+package nand
+
+import "fmt"
+
+// MLC-mode operations. The paper's chips are MLC parts operated SLC-style
+// for hiding (its Fig 2 distributions "are essentially SLC distributions");
+// full MLC programming is modelled for the Fig 1 characterisation and for
+// the §6.2 discussion of hiding at higher densities with vendor support.
+
+// ProgramPageMLC programs a page in MLC mode: each cell stores two bits
+// (lower, upper), mapped Gray-style to the four voltage states
+// 11 (erased) < 10 < 00 < 01 from low to high, each a narrow distribution
+// (Fig 1b: "MLC distributions are typically narrower"). lower and upper
+// must each be PageBytes long.
+func (c *Chip) ProgramPageMLC(a PageAddr, lower, upper []byte) error {
+	if err := c.model.check(a); err != nil {
+		return err
+	}
+	if len(lower) != c.model.PageBytes || len(upper) != c.model.PageBytes {
+		return fmt.Errorf("%w: MLC needs two %d-byte vectors", ErrBadDataLength, c.model.PageBytes)
+	}
+	ps := c.pageRef(a)
+	if ps.programmed {
+		return fmt.Errorf("%w: %v", ErrPageProgrammed, a)
+	}
+	bs := c.blockRef(a.Block)
+	m := &c.model
+	off := c.chipOffset + bs.blockOffset + ps.pageOffset + c.wearShift(bs)
+	for i := range ps.v {
+		lo := dataBit(lower, i)
+		hi := dataBit(upper, i)
+		var target float64
+		switch {
+		case lo == 1 && hi == 1:
+			continue // erased state
+		case lo == 0 && hi == 1:
+			target = m.MLCTargets[0]
+		case lo == 0 && hi == 0:
+			target = m.MLCTargets[1]
+		default: // lo == 1 && hi == 0
+			target = m.MLCTargets[2]
+		}
+		v := target + off + c.rng.NormFloat64()*m.MLCSigma
+		if float32(v) > ps.v[i] {
+			ps.v[i] = float32(v)
+		}
+	}
+	ps.programmed = true
+	c.interfereNeighbors(a)
+	c.recordProgram()
+	return nil
+}
+
+// MLCRefs returns the three read reference voltages separating the four
+// MLC states, placed midway between adjacent state centers.
+func (m Model) MLCRefs() [3]float64 {
+	erasedCenter := m.ErasedMean + 2*m.InterfMean
+	return [3]float64{
+		(erasedCenter + m.MLCTargets[0]) / 2,
+		(m.MLCTargets[0] + m.MLCTargets[1]) / 2,
+		(m.MLCTargets[1] + m.MLCTargets[2]) / 2,
+	}
+}
+
+// ReadPageMLC reads a page programmed in MLC mode, returning the lower and
+// upper bit vectors recovered with the three inter-state references.
+func (c *Chip) ReadPageMLC(a PageAddr) (lower, upper []byte, err error) {
+	if err := c.model.check(a); err != nil {
+		return nil, nil, err
+	}
+	ps := c.pageRef(a)
+	refs := c.model.MLCRefs()
+	lower = make([]byte, c.model.PageBytes)
+	upper = make([]byte, c.model.PageBytes)
+	for i, vf := range ps.v {
+		v := float64(vf)
+		var lo, hi byte
+		switch {
+		case v < refs[0]:
+			lo, hi = 1, 1
+		case v < refs[1]:
+			lo, hi = 0, 1
+		case v < refs[2]:
+			lo, hi = 0, 0
+		default:
+			lo, hi = 1, 0
+		}
+		if lo != 0 {
+			lower[i/8] |= 1 << uint(7-i%8)
+		}
+		if hi != 0 {
+			upper[i/8] |= 1 << uint(7-i%8)
+		}
+	}
+	c.recordRead()
+	c.recordRead() // two logical page reads on real parts
+	return lower, upper, nil
+}

@@ -1,0 +1,303 @@
+package nand
+
+import "time"
+
+// Model parameterises the generative voltage model of one flash chip
+// family. Two presets mirror the paper's two NDA'd vendor chips (ModelA,
+// ModelB); reduced geometries for tests and experiments derive from them.
+//
+// All voltages are in the paper's normalized units: probes quantise to
+// integer levels 0..255, the default public read reference sits at 127,
+// erased ('1') cells concentrate in [0, 70] and programmed ('0') cells in
+// [120, 210] (paper §4).
+type Model struct {
+	Name string
+	Geometry
+
+	// --- Command timing and energy (paper §6.1) ---
+
+	ReadLatency    time.Duration // READ page
+	ProgramLatency time.Duration // PROGRAM page
+	EraseLatency   time.Duration // ERASE block
+	PPLatency      time.Duration // partial program (aborted PROGRAM)
+	ProbeLatency   time.Duration // per-cell voltage characterisation read
+
+	ReadEnergy  float64 // uJ per READ
+	ProgEnergy  float64 // uJ per PROGRAM
+	EraseEnergy float64 // uJ per ERASE
+	PPEnergy    float64 // uJ per partial program
+	ProbeEnergy float64 // uJ per probe
+
+	// RatedPEC is the specified block endurance in program/erase cycles.
+	RatedPEC int
+
+	// --- Erased ('1') state ---
+
+	// ErasedMean/ErasedSigma describe the post-erase cell level BEFORE
+	// program interference from neighbouring pages charges it further; a
+	// cell in the middle of a fully programmed block ends near
+	// ErasedMean + 2*InterfMean (both neighbours programmed once), which
+	// is the distribution the paper's Fig 2a shows.
+	ErasedMean  float64
+	ErasedSigma float64
+	// ErasedTailMean is the mean of an additive exponential component
+	// producing the long right tail visible in paper Fig 2a.
+	ErasedTailMean float64
+	// ErasedHeavyFrac/ErasedHeavyMean add a second, heavier exponential
+	// tail component to a small fraction of cells: Fig 2a shows visible
+	// erased-state mass all the way to level 70, and it is exactly this
+	// natural high tail that gives hidden '0' cells cover.
+	ErasedHeavyFrac float64
+	ErasedHeavyMean float64
+	// TailFracJitterChip/Block/Page vary the heavy-tail mass
+	// multiplicatively (log-normal) per chip, block and page, and
+	// HeavyMeanJitterChip varies the tail's decay scale per chip. This is
+	// the "naturally-occurring variability ... creates enough noise to
+	// form a useful substrate" of the paper's conclusion: the SVM is
+	// trained on other chip samples (§7), so chip-level differences in
+	// tail mass and shape are what break the attack's transfer.
+	TailFracJitterChip  float64
+	TailFracJitterBlock float64
+	TailFracJitterPage  float64
+	HeavyMeanJitterChip float64
+
+	// --- Programmed ('0') state ---
+
+	// ProgramTarget/ProgramSigma describe the ISPP result for the
+	// programmed state; ProgSigmaJitterChip varies the achieved width
+	// per chip sample (log-normal multiplier) — programmed-state shape
+	// is a manufacturing property too.
+	ProgramTarget       float64
+	ProgramSigma        float64
+	ProgSigmaJitterChip float64
+
+	// --- Process variation hierarchy (paper §4) ---
+
+	ChipSigma  float64 // per-chip offset spread
+	BlockSigma float64 // per-block offset spread
+	PageSigma  float64 // per-page offset spread
+
+	// --- Wear (paper Fig 3) ---
+
+	// WearShiftPerK is the mean right-shift of the ERASED state per 1000
+	// PEC; kept gentle so hidden BER stays wear-insensitive (§8
+	// Reliability). WearShiftProgPerK shifts the PROGRAMMED state, which
+	// carries the bulk of the first-order PEC signature the SVM sees
+	// (Fig 3b, Fig 10) without touching the hiding threshold region.
+	WearShiftPerK     float64
+	WearShiftProgPerK float64
+	// WearSigmaErasedPerK / WearSigmaProgPerK widen the two states per
+	// 1000 PEC.
+	WearSigmaErasedPerK float64
+	WearSigmaProgPerK   float64
+
+	// --- Program interference (paper Fig 2a discussion, §6.3) ---
+
+	// InterfMean/InterfSigma: charge added to each erased cell of a page
+	// adjacent to a page being programmed. Only cells below InterfCutoff
+	// couple appreciably; cells already charged to the programmed state
+	// are barely moved by neighbour fields.
+	InterfMean   float64
+	InterfSigma  float64
+	InterfCutoff float64
+
+	// --- Partial programming (paper §1, §6.2) ---
+
+	// PPStepMean/PPStepSigma describe the voltage increment of one PP
+	// pulse before the per-cell gain factor. Deliberately coarse and
+	// noisy: PP "is less precise than a program command issued by the
+	// controller" (§6.2).
+	PPStepMean  float64
+	PPStepSigma float64
+	// PPNoisePerK grows the per-pulse noise with wear: programming
+	// becomes less repeatable on cycled cells, which is what erodes the
+	// PT-HI timing channel "after only a few hundred public data
+	// Program/Erase Cycles" (§2).
+	PPNoisePerK float64
+	// FineSigma is the placement precision of the vendor-internal
+	// FineProgram operation ("an in-controller implementation of voltage
+	// hiding could likely program hidden data in fewer programming
+	// steps", §6.2). Much tighter than PP.
+	FineSigma float64
+	// GainSigma is the log-scale spread of the per-cell charge gain
+	// (cell-to-cell programming speed variation). Higher values produce
+	// slower BER convergence across PP steps (Fig 6's long tail).
+	GainSigma float64
+
+	// PPDisturbVictims is the fraction of cells in each adjacent page
+	// disturbed by one PP pulse; PPDisturbSigma is the (signed) jitter
+	// applied to a programmed victim, and PPDisturbErasedMean the charge
+	// bump applied to an erased victim. These drive the public-data BER
+	// increase the paper measures at page interval 0 vs 1 (§6.3).
+	PPDisturbVictims    float64
+	PPDisturbSigma      float64
+	PPDisturbErasedMean float64
+
+	// --- Read reference voltages ---
+
+	// ReadRef is the default public (SLC-style) read threshold.
+	ReadRef float64
+
+	// --- Retention (paper Fig 11) ---
+
+	// Retention loss is modelled as a charge drop of roughly constant
+	// magnitude (dominated by detrapping of a fixed damaged-charge
+	// population, so nearly independent of the stored level):
+	//
+	//	drop = LeakScale * (1 - exp(-(LeakRateBase + LeakRatePEC2*(PEC/1000)^2) * months))
+	//
+	// The quadratic PEC term is the "cells with higher PEC accumulate
+	// trapped charge and become more sensitive to leakage" of §8; the
+	// constant magnitude is what makes hidden data (parked just above
+	// its threshold) degrade much faster than public data (38+ levels of
+	// margin), reproducing Fig 11's 6.3x vs 2.3x split.
+	LeakRateBase float64
+	LeakRatePEC2 float64
+	LeakScale    float64
+	LeakFloor    float64
+	LeakJitter   float64 // per-cell multiplicative spread of the drop
+
+	// --- Programming time channel (PT-HI substrate) ---
+
+	// ProgTimeMean/ProgTimeSigma: per-cell time (us) to program, before
+	// stress effects. StressSlowdown is the fractional programming-time
+	// increase per accumulated stress cycle.
+	ProgTimeMean   float64
+	ProgTimeSigma  float64
+	StressSlowdown float64
+
+	// --- MLC mode (paper Fig 1b) ---
+
+	// MLCTargets are the three programmed-state centers used when a
+	// wordline operates in MLC mode (the erased state is the fourth).
+	MLCTargets [3]float64
+	MLCSigma   float64
+}
+
+// ModelA mirrors the paper's primary chip: a 1x-nm MLC package, 8 GB, 2048
+// blocks, 18048-byte pages, 128 lower + 128 upper pages per block, rated
+// 3000 PEC, with 90 us / 1200 us / 5 ms read/program/erase latencies and
+// 50 / 68 / 190 uJ energies (paper §6.1). PP latency is 600 us, the value
+// the paper uses in its §8 throughput arithmetic.
+func ModelA() Model {
+	return Model{
+		Name: "vendor-A-1xnm-mlc-8gb",
+		Geometry: Geometry{
+			Blocks:        2048,
+			PagesPerBlock: 256,
+			PageBytes:     18048,
+		},
+		ReadLatency:    90 * time.Microsecond,
+		ProgramLatency: 1200 * time.Microsecond,
+		EraseLatency:   5 * time.Millisecond,
+		PPLatency:      600 * time.Microsecond,
+		ProbeLatency:   90 * time.Microsecond,
+		ReadEnergy:     50,
+		ProgEnergy:     68,
+		EraseEnergy:    190,
+		PPEnergy:       34, // half a program: aborted midway
+		ProbeEnergy:    50,
+		RatedPEC:       3000,
+
+		ErasedMean:      10.5,
+		ErasedSigma:     2.3,
+		ErasedTailMean:  1.2,
+		ErasedHeavyFrac: 0.035,
+		ErasedHeavyMean: 7.0,
+
+		TailFracJitterChip:  0.40,
+		TailFracJitterBlock: 0.30,
+		TailFracJitterPage:  0.45,
+		HeavyMeanJitterChip: 0.20,
+		ProgramTarget:       165,
+		ProgramSigma:        9.5,
+		ProgSigmaJitterChip: 0.08,
+
+		ChipSigma:  0.9,
+		BlockSigma: 0.8,
+		PageSigma:  1.0,
+
+		WearShiftPerK:       0.8,
+		WearShiftProgPerK:   4.2,
+		WearSigmaErasedPerK: 0.15,
+		WearSigmaProgPerK:   1.1,
+
+		InterfMean:   6.5,
+		InterfSigma:  1.5,
+		InterfCutoff: 95,
+
+		PPStepMean:  10,
+		PPStepSigma: 3.0,
+		PPNoisePerK: 1.2,
+		FineSigma:   0.6,
+		GainSigma:   0.9,
+
+		PPDisturbVictims:    0.004,
+		PPDisturbSigma:      5.0,
+		PPDisturbErasedMean: 0.8,
+
+		ReadRef: 127,
+
+		LeakRateBase: 0.0010,
+		LeakRatePEC2: 0.0050,
+		LeakScale:    30,
+		LeakFloor:    4,
+		LeakJitter:   0.35,
+
+		ProgTimeMean:   1200,
+		ProgTimeSigma:  140,
+		StressSlowdown: 0.002,
+
+		MLCTargets: [3]float64{95, 140, 185},
+		MLCSigma:   6.0,
+	}
+}
+
+// ModelB mirrors the paper's second-vendor chip used for the §8
+// applicability experiment: 16 GB, 2096 blocks, 18256-byte pages. Its
+// voltage model differs slightly (different process corner), which is the
+// point of the experiment: the same VT-HI configuration still achieves
+// ~1% hidden BER.
+func ModelB() Model {
+	m := ModelA()
+	m.Name = "vendor-B-1xnm-mlc-16gb"
+	m.Geometry = Geometry{
+		Blocks:        2096,
+		PagesPerBlock: 512,
+		PageBytes:     18256,
+	}
+	m.ErasedMean = 11.4
+	m.ErasedSigma = 2.5
+	m.ErasedTailMean = 1.3
+	m.ErasedHeavyFrac = 0.033
+	m.ErasedHeavyMean = 6.6
+	m.TailFracJitterChip = 0.45
+	m.TailFracJitterBlock = 0.33
+	m.TailFracJitterPage = 0.48
+	m.HeavyMeanJitterChip = 0.22
+	m.InterfMean = 6.8
+	m.InterfSigma = 1.7
+	m.ProgramTarget = 168
+	m.ProgramSigma = 10.1
+	m.PPStepMean = 9
+	m.PPStepSigma = 3.2
+	m.GainSigma = 0.95
+	m.WearShiftPerK = 1.0
+	m.WearShiftProgPerK = 4.6
+	return m
+}
+
+// ScaleGeometry returns a copy of m with the given geometry; every voltage
+// and timing parameter is unchanged. Experiments use this to bound memory:
+// distribution statistics are per-cell, so fewer pages/blocks change only
+// sample counts, not shapes.
+func (m Model) ScaleGeometry(blocks, pagesPerBlock, pageBytes int) Model {
+	m.Geometry = Geometry{Blocks: blocks, PagesPerBlock: pagesPerBlock, PageBytes: pageBytes}
+	return m
+}
+
+// TestModel is ModelA shrunk to a size unit tests can churn through
+// quickly: 64 blocks of 8 pages, 512-byte pages (4096 cells each).
+func TestModel() Model {
+	return ModelA().ScaleGeometry(64, 8, 512)
+}

@@ -1,0 +1,303 @@
+package nand
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+)
+
+func TestNeighborPrograms(t *testing.T) {
+	c := NewChip(TestModel(), 30)
+	rng := rand.New(rand.NewPCG(1, 1))
+	a := PageAddr{Block: 0, Page: 2}
+	n, err := c.NeighborPrograms(a)
+	if err != nil || n != 0 {
+		t.Fatalf("fresh page: n=%d err=%v", n, err)
+	}
+	if err := c.ProgramPage(PageAddr{Block: 0, Page: 1}, randPageData(rng, c.Geometry().PageBytes)); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ = c.NeighborPrograms(a); n != 1 {
+		t.Fatalf("one neighbour programmed: n=%d", n)
+	}
+	if err := c.ProgramPage(PageAddr{Block: 0, Page: 3}, randPageData(rng, c.Geometry().PageBytes)); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ = c.NeighborPrograms(a); n != 2 {
+		t.Fatalf("both neighbours programmed: n=%d", n)
+	}
+	// Edge page has only one physical neighbour.
+	edge := PageAddr{Block: 0, Page: 0}
+	if n, _ = c.NeighborPrograms(edge); n != 1 {
+		t.Fatalf("edge page: n=%d, want 1", n)
+	}
+	if _, err := c.NeighborPrograms(PageAddr{Block: -1}); err == nil {
+		t.Error("bad address accepted")
+	}
+}
+
+func TestFineProgramPlacesPrecisely(t *testing.T) {
+	c := NewChip(TestModel(), 31)
+	a := PageAddr{Block: 0, Page: 0}
+	cells := []int{5, 100, 2000}
+	const target = 40.0
+	if err := c.FineProgram(a, cells, target); err != nil {
+		t.Fatal(err)
+	}
+	lv, _ := c.ProbePage(a)
+	for _, i := range cells {
+		v := float64(lv[i])
+		if v < target-1 || v > target+5 {
+			t.Errorf("cell %d at %.0f, want tightly above %.0f", i, v, target)
+		}
+	}
+	// Cells already above the target must not move down.
+	if err := c.FineProgram(a, cells, 20); err != nil {
+		t.Fatal(err)
+	}
+	lv2, _ := c.ProbePage(a)
+	for _, i := range cells {
+		if lv2[i] < lv[i] {
+			t.Errorf("cell %d moved down: %d -> %d", i, lv[i], lv2[i])
+		}
+	}
+	if err := c.FineProgram(a, []int{-1}, 40); err == nil {
+		t.Error("bad cell index accepted")
+	}
+	if err := c.FineProgram(PageAddr{Block: 1 << 20}, []int{0}, 40); err == nil {
+		t.Error("bad address accepted")
+	}
+}
+
+func TestFineProgramLedger(t *testing.T) {
+	c := NewChip(TestModel(), 32)
+	before := c.Ledger()
+	if err := c.FineProgram(PageAddr{Block: 0, Page: 0}, []int{1, 2}, 40); err != nil {
+		t.Fatal(err)
+	}
+	cost := c.Ledger().Sub(before)
+	if cost.Programs != 1 {
+		t.Fatalf("fine program billed %d programs, want 1", cost.Programs)
+	}
+}
+
+func TestStressCycleBlockSemantics(t *testing.T) {
+	c := NewChip(TestModel(), 33)
+	g := c.Geometry()
+	patterns := make([][]int, g.PagesPerBlock)
+	patterns[0] = []int{1, 2, 3}
+	before := c.Ledger()
+	if err := c.StressCycleBlock(0, patterns); err != nil {
+		t.Fatal(err)
+	}
+	cost := c.Ledger().Sub(before)
+	if cost.Programs != int64(g.PagesPerBlock) {
+		t.Errorf("billed %d programs, want %d (whole block per cycle)", cost.Programs, g.PagesPerBlock)
+	}
+	if cost.Erases != 1 {
+		t.Errorf("billed %d erases, want 1", cost.Erases)
+	}
+	if c.PEC(0) != 1 {
+		t.Errorf("PEC = %d, want 1", c.PEC(0))
+	}
+	// Errors.
+	if err := c.StressCycleBlock(-1, patterns); err == nil {
+		t.Error("bad block accepted")
+	}
+	badPattern := make([][]int, g.PagesPerBlock)
+	badPattern[0] = []int{-1}
+	if err := c.StressCycleBlock(0, badPattern); err == nil {
+		t.Error("bad cell accepted")
+	}
+	tooMany := make([][]int, g.PagesPerBlock+1)
+	if err := c.StressCycleBlock(0, tooMany); err == nil {
+		t.Error("oversized pattern list accepted")
+	}
+}
+
+func TestStressSurvivesErase(t *testing.T) {
+	c := NewChip(TestModel(), 34)
+	a := PageAddr{Block: 0, Page: 0}
+	if err := c.StressCells(a, []int{7}, 500); err != nil {
+		t.Fatal(err)
+	}
+	c.EraseBlock(0)
+	// Stress is oxide damage: the stressed cell must still charge slower
+	// than an unstressed one after the erase.
+	const pulses = 8
+	for k := 0; k < pulses; k++ {
+		if err := c.PartialProgram(a, []int{7, 8}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lv, _ := c.ProbePage(a)
+	if lv[7] >= lv[8] {
+		// Gains differ per cell; compare against the page average of
+		// unstressed cells instead of a single neighbour when close.
+		t.Logf("single-cell comparison inconclusive (%d vs %d); widening", lv[7], lv[8])
+		cells := make([]int, 64)
+		for i := range cells {
+			cells[i] = 100 + i
+		}
+		for k := 0; k < pulses; k++ {
+			if err := c.PartialProgram(a, cells); err != nil {
+				t.Fatal(err)
+			}
+		}
+		lv, _ = c.ProbePage(a)
+		sum := 0
+		for _, i := range cells {
+			sum += int(lv[i])
+		}
+		if int(lv[7]) >= sum/len(cells) {
+			t.Errorf("stressed cell (%d) charged as fast as unstressed average (%d)", lv[7], sum/len(cells))
+		}
+	}
+}
+
+func TestDropBlockStateRegeneratesErased(t *testing.T) {
+	c := NewChip(TestModel(), 35)
+	rng := rand.New(rand.NewPCG(2, 2))
+	a := PageAddr{Block: 0, Page: 0}
+	if err := c.ProgramPage(a, randPageData(rng, c.Geometry().PageBytes)); err != nil {
+		t.Fatal(err)
+	}
+	pec := c.PEC(0)
+	c.DropBlockState(0)
+	if c.PEC(0) != pec {
+		t.Error("DropBlockState changed PEC")
+	}
+	got, err := c.ReadPage(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range got {
+		if b != 0xFF {
+			t.Fatal("dropped block did not regenerate as erased")
+		}
+	}
+}
+
+func TestMLCStatesAreFour(t *testing.T) {
+	c := NewChip(TestModel(), 36)
+	a := PageAddr{Block: 0, Page: 0}
+	g := c.Geometry()
+	// Force each of the four (lower, upper) combinations into known cells
+	// by crafting bit patterns: byte 0b00110101... simpler: all four
+	// combos via two bytes.
+	lower := make([]byte, g.PageBytes)
+	upper := make([]byte, g.PageBytes)
+	// cell0: l=1,u=1 erased; cell1: l=0,u=1; cell2: l=0,u=0; cell3: l=1,u=0
+	lower[0] = 0b10010000
+	upper[0] = 0b11000000
+	if err := c.ProgramPageMLC(a, lower, upper); err != nil {
+		t.Fatal(err)
+	}
+	lv, _ := c.ProbePage(a)
+	m := c.Model()
+	refs := m.MLCRefs()
+	if !(float64(lv[0]) < refs[0]) {
+		t.Errorf("cell 0 (11) at %d, want below %f", lv[0], refs[0])
+	}
+	if !(float64(lv[1]) >= refs[0] && float64(lv[1]) < refs[1]) {
+		t.Errorf("cell 1 (01) at %d, want in [%f,%f)", lv[1], refs[0], refs[1])
+	}
+	if !(float64(lv[2]) >= refs[1] && float64(lv[2]) < refs[2]) {
+		t.Errorf("cell 2 (00) at %d, want in [%f,%f)", lv[2], refs[1], refs[2])
+	}
+	if !(float64(lv[3]) >= refs[2]) {
+		t.Errorf("cell 3 (10) at %d, want above %f", lv[3], refs[2])
+	}
+}
+
+func TestMLCValidation(t *testing.T) {
+	c := NewChip(TestModel(), 37)
+	g := c.Geometry()
+	ok := make([]byte, g.PageBytes)
+	if err := c.ProgramPageMLC(PageAddr{Block: 0, Page: 0}, ok[:3], ok); err == nil {
+		t.Error("short lower vector accepted")
+	}
+	if err := c.ProgramPageMLC(PageAddr{Block: -1}, ok, ok); err == nil {
+		t.Error("bad address accepted")
+	}
+	a := PageAddr{Block: 0, Page: 0}
+	if err := c.ProgramPageMLC(a, ok, ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ProgramPageMLC(a, ok, ok); err == nil {
+		t.Error("double MLC program accepted")
+	}
+	if _, _, err := c.ReadPageMLC(PageAddr{Block: 1 << 20}); err == nil {
+		t.Error("bad MLC read address accepted")
+	}
+}
+
+func TestRetentionOnlyLowersVoltage(t *testing.T) {
+	c := NewChip(TestModel(), 38)
+	rng := rand.New(rand.NewPCG(3, 3))
+	a := PageAddr{Block: 0, Page: 0}
+	c.CycleBlock(0, 2000)
+	if err := c.ProgramPage(a, randPageData(rng, c.Geometry().PageBytes)); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := c.ProbePage(a)
+	c.AdvanceRetention(12 * RetentionMonth)
+	after, _ := c.ProbePage(a)
+	floor := c.Model().LeakFloor
+	for i := range before {
+		if float64(after[i]) > float64(before[i])+0.51 { // probe rounding slack
+			t.Fatalf("cell %d rose during retention: %d -> %d", i, before[i], after[i])
+		}
+		if float64(before[i]) > floor && float64(after[i]) < floor-0.51 {
+			t.Fatalf("cell %d leaked below the floor: %d", i, after[i])
+		}
+	}
+}
+
+func TestGeometryHelpers(t *testing.T) {
+	g := Geometry{Blocks: 4, PagesPerBlock: 8, PageBytes: 512}
+	if g.CellsPerPage() != 4096 {
+		t.Error("CellsPerPage")
+	}
+	if g.CellsPerBlock() != 32768 {
+		t.Error("CellsPerBlock")
+	}
+	if g.TotalBytes() != 4*8*512 {
+		t.Error("TotalBytes")
+	}
+	a := PageAddr{Block: 2, Page: 3}
+	if a.String() == "" {
+		t.Error("PageAddr.String empty")
+	}
+}
+
+func TestScaleGeometryPreservesModel(t *testing.T) {
+	m := ModelA()
+	s := m.ScaleGeometry(10, 4, 1024)
+	if s.Blocks != 10 || s.PagesPerBlock != 4 || s.PageBytes != 1024 {
+		t.Error("geometry not applied")
+	}
+	if s.ProgramTarget != m.ProgramTarget || s.ReadLatency != m.ReadLatency {
+		t.Error("scaling mutated voltage/timing parameters")
+	}
+}
+
+func TestLedgerTimeEnergyMonotone(t *testing.T) {
+	c := NewChip(TestModel(), 39)
+	var lastTime time.Duration
+	var lastEnergy float64
+	ops := []func(){
+		func() { c.ReadPage(PageAddr{Block: 0, Page: 0}) },
+		func() { c.ProbePage(PageAddr{Block: 0, Page: 0}) },
+		func() { c.PartialProgram(PageAddr{Block: 0, Page: 0}, []int{0}) },
+		func() { c.EraseBlock(0) },
+	}
+	for i, op := range ops {
+		op()
+		l := c.Ledger()
+		if l.Time <= lastTime || l.EnergyUJ <= lastEnergy {
+			t.Fatalf("op %d did not advance the ledger", i)
+		}
+		lastTime, lastEnergy = l.Time, l.EnergyUJ
+	}
+}

@@ -1,0 +1,162 @@
+package nand
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Chip persistence: a device image captures the full analog state
+// (voltages, gains, stress, wear, RNG position) so tools like cmd/stashctl
+// can operate on a device across invocations, the way the paper's host
+// software drives one physical chip across sessions. The format is
+// self-describing gob; it is a simulator artifact, not a wire format.
+
+const imageFormatVersion = 1
+
+type chipImage struct {
+	Version    int
+	Model      Model
+	Seed       uint64
+	ChipOffset float64
+	TailMult   float64
+	HeavyMean  float64
+	ProgMult   float64
+	RNGState   []byte
+	Blocks     []blockImage
+	Ledger     Ledger
+}
+
+type blockImage struct {
+	Index       int
+	PEC         int
+	Epoch       uint64
+	BlockOffset float64
+	TailMult    float64
+	Pending     []int
+	Pages       []pageImage
+	Stress      map[int][]uint16
+}
+
+type pageImage struct {
+	Index      int
+	V          []float32
+	Gain       []float32
+	PageOffset float64
+	Programmed bool
+}
+
+// Save serialises the chip's full state to w.
+func (c *Chip) Save(w io.Writer) error {
+	img := chipImage{
+		Version:    imageFormatVersion,
+		Model:      c.model,
+		Seed:       c.seed,
+		ChipOffset: c.chipOffset,
+		TailMult:   c.tailMult,
+		HeavyMean:  c.heavyMean,
+		ProgMult:   c.progMult,
+		Ledger:     c.ledger,
+	}
+	st, err := c.src.MarshalBinary()
+	if err != nil {
+		return fmt.Errorf("nand: marshaling RNG: %w", err)
+	}
+	img.RNGState = st
+	for b, bs := range c.blocks {
+		if bs == nil {
+			continue
+		}
+		bi := blockImage{
+			Index:       b,
+			PEC:         bs.pec,
+			Epoch:       bs.epoch,
+			BlockOffset: bs.blockOffset,
+			TailMult:    bs.tailMult,
+			Pending:     append([]int(nil), bs.pendingInterf...),
+			Stress:      map[int][]uint16{},
+		}
+		for p, ps := range bs.pages {
+			if ps == nil {
+				continue
+			}
+			bi.Pages = append(bi.Pages, pageImage{
+				Index:      p,
+				V:          ps.v,
+				Gain:       ps.gain,
+				PageOffset: ps.pageOffset,
+				Programmed: ps.programmed,
+			})
+		}
+		for p, st := range bs.stress {
+			if st != nil {
+				bi.Stress[p] = st
+			}
+		}
+		img.Blocks = append(img.Blocks, bi)
+	}
+	return gob.NewEncoder(w).Encode(&img)
+}
+
+// Load reconstructs a chip from an image produced by Save.
+func Load(r io.Reader) (*Chip, error) {
+	var img chipImage
+	if err := gob.NewDecoder(r).Decode(&img); err != nil {
+		return nil, fmt.Errorf("nand: decoding chip image: %w", err)
+	}
+	if img.Version != imageFormatVersion {
+		return nil, fmt.Errorf("nand: chip image version %d, want %d", img.Version, imageFormatVersion)
+	}
+	if err := img.Model.Geometry.Validate(); err != nil {
+		return nil, err
+	}
+	c := NewChip(img.Model, img.Seed)
+	c.chipOffset = img.ChipOffset
+	if img.TailMult != 0 {
+		c.tailMult = img.TailMult
+	}
+	if img.HeavyMean != 0 {
+		c.heavyMean = img.HeavyMean
+	}
+	if img.ProgMult != 0 {
+		c.progMult = img.ProgMult
+	}
+	c.ledger = img.Ledger
+	if err := c.src.UnmarshalBinary(img.RNGState); err != nil {
+		return nil, fmt.Errorf("nand: restoring RNG: %w", err)
+	}
+	for _, bi := range img.Blocks {
+		if bi.Index < 0 || bi.Index >= img.Model.Blocks {
+			return nil, fmt.Errorf("nand: image block %d out of range", bi.Index)
+		}
+		bs := c.blockRef(bi.Index)
+		bs.pec = bi.PEC
+		bs.epoch = bi.Epoch
+		bs.blockOffset = bi.BlockOffset
+		if bi.TailMult != 0 {
+			bs.tailMult = bi.TailMult
+		}
+		copy(bs.pendingInterf, bi.Pending)
+		for _, pi := range bi.Pages {
+			if pi.Index < 0 || pi.Index >= img.Model.PagesPerBlock {
+				return nil, fmt.Errorf("nand: image page %d out of range", pi.Index)
+			}
+			cells := img.Model.CellsPerPage()
+			if len(pi.V) != cells || len(pi.Gain) != cells {
+				return nil, fmt.Errorf("nand: image page %d has %d cells, geometry says %d", pi.Index, len(pi.V), cells)
+			}
+			bs.pages[pi.Index] = &pageState{
+				v:          pi.V,
+				gain:       pi.Gain,
+				pageOffset: pi.PageOffset,
+				programmed: pi.Programmed,
+			}
+		}
+		for p, st := range bi.Stress {
+			if p >= 0 && p < img.Model.PagesPerBlock {
+				bs.stress[p] = st
+			}
+		}
+	}
+	return c, nil
+}

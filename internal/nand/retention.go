@@ -1,0 +1,58 @@
+package nand
+
+import (
+	"math"
+	"time"
+)
+
+// RetentionMonth is the nominal month the retention model is calibrated in.
+const RetentionMonth = 30 * 24 * time.Hour
+
+// AdvanceRetention ages the chip by d of power-off retention time: charge
+// stored in every materialised cell relaxes toward the leak floor. The
+// leak rate grows quadratically with block wear — "cells with higher PEC
+// accumulate trapped charge and become more sensitive to leakage" (§8) —
+// which is what makes hidden data, parked just above its reference
+// threshold with no engineered guard band, degrade faster than public
+// data (Fig 11).
+//
+// The paper emulates months of retention by baking chips in an oven; this
+// method is the simulator's equivalent of that accelerated-aging step.
+func (c *Chip) AdvanceRetention(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	months := float64(d) / float64(RetentionMonth)
+	m := &c.model
+	for _, bs := range c.blocks {
+		if bs == nil {
+			continue
+		}
+		pecK := float64(bs.pec) / 1000
+		rate := m.LeakRateBase + m.LeakRatePEC2*pecK*pecK
+		drop := m.LeakScale * (1 - math.Exp(-rate*months))
+		for _, ps := range bs.pages {
+			if ps == nil {
+				continue
+			}
+			floor := float32(m.LeakFloor)
+			for i, v := range ps.v {
+				if v <= floor {
+					continue
+				}
+				// Per-cell jitter: leakage is itself a noisy process;
+				// without it retention loss would be a clean
+				// deterministic shift, which real chips do not show.
+				d := drop * (1 + c.rng.NormFloat64()*m.LeakJitter)
+				if d < 0 {
+					d = 0
+				}
+				nv := v - float32(d)
+				if nv < floor {
+					nv = floor
+				}
+				ps.v[i] = nv
+			}
+		}
+	}
+}

@@ -1,0 +1,492 @@
+// Package onfi models the standard NAND flash command interface (ONFI,
+// the paper's [31]) as a bus-level state machine over the simulated chip:
+// command cycles, address cycles, data cycles, and a status register.
+//
+// It exists to demonstrate the paper's §1 claim mechanically: partial
+// programming "requires only standard flash interface commands (i.e.,
+// PROGRAM and RESET)". Issuing CmdProgram + address + data and then
+// aborting with CmdReset — instead of confirming with CmdProgramConfirm —
+// delivers one coarse partial-programming pulse to the cells the data
+// pattern targets. That RESET-mid-PROGRAM idiom is exactly how the
+// paper's prototype drives VT-HI on unmodified devices; the vendor-only
+// operations (read-reference shift, per-cell probe) are exposed as
+// SET-FEATURE / vendor commands, matching §6.2's description of what the
+// NDA unlocked.
+package onfi
+
+import (
+	"errors"
+	"fmt"
+
+	"stashflash/internal/nand"
+)
+
+// Command opcodes. The core set follows the ONFI convention; the vendor
+// opcodes stand in for the NDA'd commands of §6.2.
+const (
+	CmdRead           = 0x00 // begin read: address cycles follow
+	CmdReadConfirm    = 0x30 // execute read into the data register
+	CmdProgram        = 0x80 // begin program: address + data cycles follow
+	CmdProgramConfirm = 0x10 // execute the program
+	CmdErase          = 0x60 // begin erase: row address follows
+	CmdEraseConfirm   = 0xD0 // execute the erase
+	CmdStatus         = 0x70 // latch the status register for reading
+	CmdReset          = 0xFF // abort the in-flight operation
+	CmdSetFeature     = 0xEF // set a feature register (vendor: read ref)
+	CmdVendorProbe    = 0xCA // vendor: per-cell voltage characterisation
+)
+
+// Feature addresses for CmdSetFeature.
+const (
+	// FeatReadRef sets the read reference threshold for subsequent reads
+	// (the vendor command VT-HI decodes with; §5.3). The 2-byte payload
+	// is the threshold in tenths of a normalized level, little-endian.
+	FeatReadRef = 0x91
+)
+
+// Status register bits.
+const (
+	StatusFail  = 0x01 // last operation failed
+	StatusReady = 0x40 // device ready for a new command
+)
+
+// busState tracks the interface state machine.
+type busState int
+
+const (
+	stateIdle busState = iota
+	stateReadAddr
+	stateReadData
+	stateProgramAddr
+	stateProgramData
+	stateEraseAddr
+	stateStatus
+	stateFeatureAddr
+	stateFeatureData
+	stateProbeAddr
+	stateProbeData
+)
+
+// Errors surfaced by the bus.
+var (
+	ErrProtocol = errors.New("onfi: command sequence violates the protocol")
+	ErrAddress  = errors.New("onfi: malformed or out-of-range address")
+)
+
+// Bus is one chip's command interface. Not safe for concurrent use (the
+// physical bus is inherently serial).
+type Bus struct {
+	chip *nand.Chip
+
+	state   busState
+	rowSet  bool
+	row     int // block*pagesPerBlock + page
+	colSet  bool
+	col     int
+	dataBuf []byte
+	dataOff int
+	status  byte
+	readRef float64
+	featBuf []byte
+	feat    byte
+}
+
+// New attaches a bus to a chip. The read reference starts at the model's
+// public default.
+func New(chip *nand.Chip) *Bus {
+	return &Bus{
+		chip:    chip,
+		status:  StatusReady,
+		readRef: chip.Model().ReadRef,
+	}
+}
+
+// rowToAddr converts a row address to a page address, validating range.
+func (b *Bus) rowToAddr() (nand.PageAddr, error) {
+	g := b.chip.Geometry()
+	if !b.rowSet || b.row < 0 || b.row >= g.Blocks*g.PagesPerBlock {
+		return nand.PageAddr{}, ErrAddress
+	}
+	return nand.PageAddr{Block: b.row / g.PagesPerBlock, Page: b.row % g.PagesPerBlock}, nil
+}
+
+func (b *Bus) fail() {
+	b.status = StatusReady | StatusFail
+	b.state = stateIdle
+}
+
+func (b *Bus) ok() {
+	b.status = StatusReady
+	b.state = stateIdle
+}
+
+// Cmd latches a command byte.
+func (b *Bus) Cmd(op byte) error {
+	switch op {
+	case CmdReset:
+		return b.reset()
+	case CmdStatus:
+		b.state = stateStatus
+		return nil
+	}
+	switch op {
+	case CmdRead:
+		b.beginAddr(stateReadAddr)
+	case CmdReadConfirm:
+		return b.execRead()
+	case CmdProgram:
+		b.beginAddr(stateProgramAddr)
+	case CmdProgramConfirm:
+		return b.execProgram()
+	case CmdErase:
+		b.beginAddr(stateEraseAddr)
+	case CmdEraseConfirm:
+		return b.execErase()
+	case CmdSetFeature:
+		b.state = stateFeatureAddr
+		b.featBuf = b.featBuf[:0]
+	case CmdVendorProbe:
+		b.beginAddr(stateProbeAddr)
+	default:
+		b.fail()
+		return fmt.Errorf("%w: unknown opcode %#02x", ErrProtocol, op)
+	}
+	return nil
+}
+
+func (b *Bus) beginAddr(s busState) {
+	b.state = s
+	b.rowSet = false
+	b.colSet = false
+	b.dataBuf = nil
+	b.dataOff = 0
+}
+
+// Addr sends address cycles: two column bytes then three row bytes,
+// little-endian, the classic 5-cycle NAND addressing.
+func (b *Bus) Addr(bytes ...byte) error {
+	switch b.state {
+	case stateReadAddr, stateProgramAddr, stateEraseAddr, stateProbeAddr:
+	case stateFeatureAddr:
+		if len(bytes) != 1 {
+			b.fail()
+			return fmt.Errorf("%w: feature address is one cycle", ErrProtocol)
+		}
+		b.feat = bytes[0]
+		b.state = stateFeatureData
+		b.featBuf = b.featBuf[:0]
+		return nil
+	default:
+		b.fail()
+		return fmt.Errorf("%w: address cycle outside an addressed command", ErrProtocol)
+	}
+	// Erase takes only row cycles (3); page ops take 2 column + 3 row.
+	want := 5
+	if b.state == stateEraseAddr {
+		want = 3
+	}
+	if len(bytes) != want {
+		b.fail()
+		return fmt.Errorf("%w: got %d address cycles, want %d", ErrAddress, len(bytes), want)
+	}
+	if want == 5 {
+		b.col = int(bytes[0]) | int(bytes[1])<<8
+		b.colSet = true
+		bytes = bytes[2:]
+	} else {
+		b.col = 0
+		b.colSet = true
+	}
+	b.row = int(bytes[0]) | int(bytes[1])<<8 | int(bytes[2])<<16
+	b.rowSet = true
+	switch b.state {
+	case stateReadAddr:
+		b.state = stateReadData // awaiting CmdReadConfirm
+	case stateProgramAddr:
+		b.state = stateProgramData
+		b.dataBuf = b.dataBuf[:0]
+	case stateProbeAddr:
+		b.state = stateProbeData // awaiting data out
+		return b.execProbe()
+	}
+	return nil
+}
+
+// WriteData clocks data cycles into the page register (program path or
+// feature payload).
+func (b *Bus) WriteData(p []byte) error {
+	switch b.state {
+	case stateProgramData:
+		b.dataBuf = append(b.dataBuf, p...)
+		if len(b.dataBuf) > b.chip.Geometry().PageBytes {
+			b.fail()
+			return fmt.Errorf("%w: page register overflow", ErrProtocol)
+		}
+		return nil
+	case stateFeatureData:
+		b.featBuf = append(b.featBuf, p...)
+		if len(b.featBuf) >= 2 {
+			return b.execFeature()
+		}
+		return nil
+	default:
+		b.fail()
+		return fmt.Errorf("%w: data cycle outside a data phase", ErrProtocol)
+	}
+}
+
+// ReadData clocks n bytes out of the data register (after a read or probe
+// confirm, or a status latch).
+func (b *Bus) ReadData(n int) ([]byte, error) {
+	if b.state == stateStatus {
+		out := make([]byte, n)
+		for i := range out {
+			out[i] = b.status
+		}
+		return out, nil
+	}
+	if b.dataBuf == nil {
+		return nil, fmt.Errorf("%w: no data latched", ErrProtocol)
+	}
+	if b.dataOff+n > len(b.dataBuf) {
+		n = len(b.dataBuf) - b.dataOff
+	}
+	out := b.dataBuf[b.dataOff : b.dataOff+n]
+	b.dataOff += n
+	return out, nil
+}
+
+// Status returns the status register directly (sugar over Cmd(CmdStatus)).
+func (b *Bus) Status() byte { return b.status }
+
+func (b *Bus) execRead() error {
+	if b.state != stateReadData {
+		b.fail()
+		return fmt.Errorf("%w: read confirm without read setup", ErrProtocol)
+	}
+	a, err := b.rowToAddr()
+	if err != nil {
+		b.fail()
+		return err
+	}
+	data, err := b.chip.ReadPageRef(a, b.readRef)
+	if err != nil {
+		b.fail()
+		return err
+	}
+	if b.col > len(data) {
+		b.fail()
+		return ErrAddress
+	}
+	b.dataBuf = data[b.col:]
+	b.dataOff = 0
+	b.status = StatusReady
+	b.state = stateIdle
+	return nil
+}
+
+func (b *Bus) execProgram() error {
+	if b.state != stateProgramData {
+		b.fail()
+		return fmt.Errorf("%w: program confirm without program setup", ErrProtocol)
+	}
+	a, err := b.rowToAddr()
+	if err != nil {
+		b.fail()
+		return err
+	}
+	g := b.chip.Geometry()
+	if b.col != 0 || len(b.dataBuf) != g.PageBytes {
+		b.fail()
+		return fmt.Errorf("%w: full-page program requires column 0 and %d data bytes", ErrProtocol, g.PageBytes)
+	}
+	if err := b.chip.ProgramPage(a, b.dataBuf); err != nil {
+		b.fail()
+		return err
+	}
+	b.ok()
+	return nil
+}
+
+func (b *Bus) execErase() error {
+	if b.state != stateEraseAddr || !b.rowSet {
+		b.fail()
+		return fmt.Errorf("%w: erase confirm without erase setup", ErrProtocol)
+	}
+	a, err := b.rowToAddr()
+	if err != nil {
+		b.fail()
+		return err
+	}
+	b.chip.EraseBlock(a.Block)
+	b.ok()
+	return nil
+}
+
+// reset implements CmdReset. An idle reset only clears the interface
+// state. A reset that lands while a program is staged — address and a
+// full page register latched — models aborting the array operation
+// mid-flight, the paper's partial-programming trick: the cells the
+// pattern drives toward '0' receive exactly one coarse charge pulse
+// instead of the full incremental-step sequence.
+func (b *Bus) reset() error {
+	if b.state == stateProgramData && b.rowSet && len(b.dataBuf) == b.chip.Geometry().PageBytes {
+		a, err := b.rowToAddr()
+		if err != nil {
+			b.fail()
+			return err
+		}
+		var cells []int
+		for i := 0; i < b.chip.Geometry().CellsPerPage(); i++ {
+			if (b.dataBuf[i/8]>>(7-uint(i%8)))&1 == 0 {
+				cells = append(cells, i)
+			}
+		}
+		if len(cells) > 0 {
+			if err := b.chip.PartialProgram(a, cells); err != nil {
+				b.fail()
+				return err
+			}
+		}
+	}
+	b.dataBuf = nil
+	b.dataOff = 0
+	b.ok()
+	return nil
+}
+
+func (b *Bus) execFeature() error {
+	switch b.feat {
+	case FeatReadRef:
+		tenths := int(b.featBuf[0]) | int(b.featBuf[1])<<8
+		b.readRef = float64(tenths) / 10
+		b.ok()
+		return nil
+	default:
+		b.fail()
+		return fmt.Errorf("%w: unknown feature %#02x", ErrProtocol, b.feat)
+	}
+}
+
+func (b *Bus) execProbe() error {
+	a, err := b.rowToAddr()
+	if err != nil {
+		b.fail()
+		return err
+	}
+	levels, err := b.chip.ProbePage(a)
+	if err != nil {
+		b.fail()
+		return err
+	}
+	b.dataBuf = levels
+	b.dataOff = 0
+	b.status = StatusReady
+	return nil
+}
+
+// --- convenience wrappers (what host software builds over the raw bus) ---
+
+// rowOf packs a page address into a row number.
+func rowOf(g nand.Geometry, a nand.PageAddr) int {
+	return a.Block*g.PagesPerBlock + a.Page
+}
+
+// addrCycles builds the 5-cycle address for a page operation.
+func addrCycles(g nand.Geometry, a nand.PageAddr) []byte {
+	row := rowOf(g, a)
+	return []byte{0, 0, byte(row), byte(row >> 8), byte(row >> 16)}
+}
+
+// ReadPage performs a full read transaction at the current read reference.
+func (b *Bus) ReadPage(a nand.PageAddr) ([]byte, error) {
+	if err := b.Cmd(CmdRead); err != nil {
+		return nil, err
+	}
+	if err := b.Addr(addrCycles(b.chip.Geometry(), a)...); err != nil {
+		return nil, err
+	}
+	if err := b.Cmd(CmdReadConfirm); err != nil {
+		return nil, err
+	}
+	return b.ReadData(b.chip.Geometry().PageBytes)
+}
+
+// ProgramPage performs a full program transaction.
+func (b *Bus) ProgramPage(a nand.PageAddr, data []byte) error {
+	if err := b.Cmd(CmdProgram); err != nil {
+		return err
+	}
+	if err := b.Addr(addrCycles(b.chip.Geometry(), a)...); err != nil {
+		return err
+	}
+	if err := b.WriteData(data); err != nil {
+		return err
+	}
+	return b.Cmd(CmdProgramConfirm)
+}
+
+// EraseBlock performs a full erase transaction.
+func (b *Bus) EraseBlock(block int) error {
+	if err := b.Cmd(CmdErase); err != nil {
+		return err
+	}
+	row := block * b.chip.Geometry().PagesPerBlock
+	if err := b.Addr(byte(row), byte(row>>8), byte(row>>16)); err != nil {
+		return err
+	}
+	return b.Cmd(CmdEraseConfirm)
+}
+
+// PartialProgram delivers one PP pulse to the listed cells using ONLY the
+// standard PROGRAM + RESET idiom (§1): the data pattern drives the chosen
+// cells toward '0' and the reset aborts the operation after a single
+// charge step.
+func (b *Bus) PartialProgram(a nand.PageAddr, cells []int) error {
+	g := b.chip.Geometry()
+	pattern := make([]byte, g.PageBytes)
+	for i := range pattern {
+		pattern[i] = 0xFF
+	}
+	for _, c := range cells {
+		if c < 0 || c >= g.CellsPerPage() {
+			return fmt.Errorf("%w: cell %d", ErrAddress, c)
+		}
+		pattern[c/8] &^= 1 << (7 - uint(c%8))
+	}
+	if err := b.Cmd(CmdProgram); err != nil {
+		return err
+	}
+	if err := b.Addr(addrCycles(g, a)...); err != nil {
+		return err
+	}
+	if err := b.WriteData(pattern); err != nil {
+		return err
+	}
+	return b.Cmd(CmdReset)
+}
+
+// SetReadRef moves the read reference threshold (vendor feature; §5.3's
+// decode read).
+func (b *Bus) SetReadRef(level float64) error {
+	if err := b.Cmd(CmdSetFeature); err != nil {
+		return err
+	}
+	if err := b.Addr(FeatReadRef); err != nil {
+		return err
+	}
+	tenths := int(level * 10)
+	return b.WriteData([]byte{byte(tenths), byte(tenths >> 8)})
+}
+
+// ProbePage reads per-cell voltage levels via the vendor characterisation
+// command.
+func (b *Bus) ProbePage(a nand.PageAddr) ([]byte, error) {
+	if err := b.Cmd(CmdVendorProbe); err != nil {
+		return nil, err
+	}
+	if err := b.Addr(addrCycles(b.chip.Geometry(), a)...); err != nil {
+		return nil, err
+	}
+	return b.ReadData(b.chip.Geometry().CellsPerPage())
+}

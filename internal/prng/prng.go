@@ -1,0 +1,168 @@
+// Package prng implements the keyed pseudo-random machinery VT-HI uses to
+// select which flash cells hold hidden bits (paper §5.3, Algorithm 1 line 2).
+//
+// The paper specifies "a pseudo-random number generator (PRNG), such as
+// SHA-256, that produces a set of random numbers based on a key", combined
+// with the page number so every page gets an independent selection. The
+// hiding user never persists the cell map; it is recomputed from (key, page)
+// on demand, so the stream here must be fully deterministic.
+package prng
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// Stream is a deterministic byte stream derived from a secret key and a
+// domain string via HMAC-SHA256 in counter mode. Distinct domains (for
+// example "select/page/42" vs "scramble/page/42") yield independent
+// streams under the same key.
+type Stream struct {
+	counter uint64
+	key     []byte
+	domain  []byte
+	buf     []byte
+	off     int
+}
+
+// NewStream creates a stream bound to key and domain. The key is copied.
+func NewStream(key []byte, domain string) *Stream {
+	s := &Stream{
+		key:    append([]byte(nil), key...),
+		domain: []byte(domain),
+	}
+	return s
+}
+
+// PageStream derives the canonical per-page selection stream used by
+// Algorithm 1: the key combined with the flash page number.
+func PageStream(key []byte, page uint64, purpose string) *Stream {
+	var pb [8]byte
+	binary.BigEndian.PutUint64(pb[:], page)
+	return NewStream(key, purpose+"/"+string(pb[:]))
+}
+
+func (s *Stream) refill() {
+	h := hmac.New(sha256.New, s.key)
+	h.Write(s.domain)
+	var cb [8]byte
+	binary.BigEndian.PutUint64(cb[:], s.counter)
+	h.Write(cb[:])
+	s.counter++
+	s.buf = h.Sum(s.buf[:0])
+	s.off = 0
+}
+
+// Bytes fills p with stream bytes.
+func (s *Stream) Bytes(p []byte) {
+	for len(p) > 0 {
+		if s.off >= len(s.buf) {
+			s.refill()
+		}
+		n := copy(p, s.buf[s.off:])
+		s.off += n
+		p = p[n:]
+	}
+}
+
+// Uint64 returns the next 8 stream bytes as a big-endian uint64.
+func (s *Stream) Uint64() uint64 {
+	var b [8]byte
+	s.Bytes(b[:])
+	return binary.BigEndian.Uint64(b[:])
+}
+
+// Uint32 returns the next 4 stream bytes as a big-endian uint32.
+func (s *Stream) Uint32() uint32 {
+	var b [4]byte
+	s.Bytes(b[:])
+	return binary.BigEndian.Uint32(b[:])
+}
+
+// Intn returns a uniform integer in [0, n) using rejection sampling, so the
+// result is exactly uniform (no modulo bias — bias in cell selection would
+// itself be a statistical fingerprint). It panics if n <= 0.
+func (s *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("prng: Intn with non-positive bound")
+	}
+	bound := uint64(n)
+	// Largest multiple of bound that fits in a uint64.
+	limit := (^uint64(0) / bound) * bound
+	for {
+		v := s.Uint64()
+		if v < limit {
+			return int(v % bound)
+		}
+	}
+}
+
+// SelectK deterministically selects k distinct integers from [0, n) using a
+// partial Fisher–Yates shuffle driven by the stream. The result is sorted
+// ascending so encoder and decoder walk cells in the same physical order.
+// It panics if k > n or either is negative; callers size k from the page's
+// available non-programmed bits, so exceeding n is a logic error.
+func (s *Stream) SelectK(n, k int) []int {
+	if k < 0 || n < 0 || k > n {
+		panic("prng: SelectK bounds")
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + s.Intn(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	out := idx[:k]
+	insertionSort(out)
+	return out
+}
+
+// SelectKSparse is SelectK for large n with small k: it draws indices by
+// rejection instead of materialising a length-n permutation, so selecting
+// 256 offsets out of ~70k candidate bits costs O(k) memory. The output is
+// identical in distribution (uniform k-subsets) but not bit-identical to
+// SelectK; encoder and decoder must agree on which variant they use.
+func (s *Stream) SelectKSparse(n, k int) []int {
+	if k < 0 || n < 0 || k > n {
+		panic("prng: SelectKSparse bounds")
+	}
+	seen := make(map[int]struct{}, k)
+	out := make([]int, 0, k)
+	for len(out) < k {
+		v := s.Intn(n)
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+	insertionSort(out)
+	return out
+}
+
+func insertionSort(a []int) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+// XORStream XORs p in place with the stream; used to scramble/descramble
+// hidden payloads so stored bit values are uniformly distributed (the paper
+// notes VT-HI "encrypts hidden data, not unlike standard SSD controller
+// data scrambling").
+func (s *Stream) XORStream(p []byte) {
+	tmp := make([]byte, len(p))
+	s.Bytes(tmp)
+	for i := range p {
+		p[i] ^= tmp[i]
+	}
+}

@@ -1,0 +1,187 @@
+package prng
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestStreamDeterministic(t *testing.T) {
+	k := []byte("secret-key")
+	a := make([]byte, 64)
+	b := make([]byte, 64)
+	NewStream(k, "d").Bytes(a)
+	NewStream(k, "d").Bytes(b)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same key+domain produced different streams")
+	}
+}
+
+func TestStreamKeySeparation(t *testing.T) {
+	a := make([]byte, 64)
+	b := make([]byte, 64)
+	NewStream([]byte("key-one"), "d").Bytes(a)
+	NewStream([]byte("key-two"), "d").Bytes(b)
+	if bytes.Equal(a, b) {
+		t.Fatal("different keys produced identical streams")
+	}
+}
+
+func TestStreamDomainSeparation(t *testing.T) {
+	k := []byte("key")
+	a := make([]byte, 64)
+	b := make([]byte, 64)
+	NewStream(k, "select").Bytes(a)
+	NewStream(k, "scramble").Bytes(b)
+	if bytes.Equal(a, b) {
+		t.Fatal("different domains produced identical streams")
+	}
+}
+
+func TestPageStreamPageSeparation(t *testing.T) {
+	k := []byte("key")
+	a := make([]byte, 32)
+	b := make([]byte, 32)
+	PageStream(k, 7, "select").Bytes(a)
+	PageStream(k, 8, "select").Bytes(b)
+	if bytes.Equal(a, b) {
+		t.Fatal("different pages produced identical streams")
+	}
+}
+
+func TestStreamChunkingInvariance(t *testing.T) {
+	k := []byte("key")
+	whole := make([]byte, 100)
+	NewStream(k, "d").Bytes(whole)
+	s := NewStream(k, "d")
+	pieces := make([]byte, 0, 100)
+	for _, n := range []int{1, 7, 31, 61} {
+		p := make([]byte, n)
+		s.Bytes(p)
+		pieces = append(pieces, p...)
+	}
+	if !bytes.Equal(whole, pieces) {
+		t.Fatal("chunked reads differ from one-shot read")
+	}
+}
+
+func TestIntnUniformish(t *testing.T) {
+	s := NewStream([]byte("k"), "intn")
+	const n, draws = 10, 20000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[s.Intn(n)]++
+	}
+	for v, c := range counts {
+		f := float64(c) / draws
+		if f < 0.08 || f > 0.12 {
+			t.Errorf("value %d frequency %.4f, want ~0.1", v, f)
+		}
+	}
+}
+
+func TestIntnPanicsOnBadBound(t *testing.T) {
+	s := NewStream([]byte("k"), "d")
+	for _, n := range []int{0, -3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Intn(%d): want panic", n)
+				}
+			}()
+			s.Intn(n)
+		}()
+	}
+}
+
+func TestSelectKProperties(t *testing.T) {
+	f := func(seedByte uint8, nSel, kSel uint16) bool {
+		n := 1 + int(nSel)%500
+		k := int(kSel) % (n + 1)
+		s := NewStream([]byte{seedByte}, "sel")
+		got := s.SelectK(n, k)
+		if len(got) != k {
+			return false
+		}
+		seen := map[int]bool{}
+		prev := -1
+		for _, v := range got {
+			if v < 0 || v >= n || seen[v] || v <= prev {
+				return false
+			}
+			seen[v] = true
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelectKDeterministic(t *testing.T) {
+	a := NewStream([]byte("k"), "sel").SelectK(100, 10)
+	b := NewStream([]byte("k"), "sel").SelectK(100, 10)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("SelectK not deterministic")
+		}
+	}
+}
+
+func TestSelectKSparseProperties(t *testing.T) {
+	f := func(seedByte uint8, kSel uint8) bool {
+		n := 100000
+		k := int(kSel) % 64
+		s := NewStream([]byte{seedByte}, "sparse")
+		got := s.SelectKSparse(n, k)
+		if len(got) != k {
+			return false
+		}
+		seen := map[int]bool{}
+		prev := -1
+		for _, v := range got {
+			if v < 0 || v >= n || seen[v] || v <= prev {
+				return false
+			}
+			seen[v] = true
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelectBoundsPanic(t *testing.T) {
+	s := NewStream([]byte("k"), "d")
+	for _, fn := range []func(){
+		func() { s.SelectK(5, 6) },
+		func() { s.SelectK(-1, 0) },
+		func() { s.SelectKSparse(5, 6) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("want panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestXORStreamRoundTrip(t *testing.T) {
+	k := []byte("key")
+	msg := []byte("attack at dawn, hidden in the voltage levels")
+	buf := append([]byte(nil), msg...)
+	NewStream(k, "x").XORStream(buf)
+	if bytes.Equal(buf, msg) {
+		t.Fatal("XORStream left plaintext unchanged")
+	}
+	NewStream(k, "x").XORStream(buf)
+	if !bytes.Equal(buf, msg) {
+		t.Fatal("XORStream round trip failed")
+	}
+}

@@ -1,0 +1,236 @@
+// Package pthi implements PT-HI, the prior-art baseline VT-HI is compared
+// against throughout the paper (Wang et al., "Hiding Information in Flash
+// Memory", IEEE S&P 2013, the paper's [38]).
+//
+// PT-HI creates a covert channel out of programming TIME rather than
+// voltage: repeatedly program-stressing chosen cells permanently slows
+// them, and a hidden bit is encoded in which half of a cell-group pair is
+// slower. The properties the paper's Table 1 contrasts fall directly out
+// of the construction:
+//
+//   - Encode is hundreds of full block program/erase cycles (625 in the
+//     optimal configuration), so it is slow (~51 s/block), energy-hungry
+//     (~43 mJ/page) and burns device lifetime (the paper's 625x wear
+//     figure is literally the encode cycle count).
+//   - Decode measures programming speed, which requires programming: it
+//     destroys any public data in the block and cannot be repeated
+//     without re-running the destructive measurement.
+//   - The stress differential survives public-data rewrites (its one
+//     advantage over VT-HI — stress is permanent oxide damage).
+package pthi
+
+import (
+	"fmt"
+
+	"stashflash/internal/nand"
+	"stashflash/internal/prng"
+)
+
+// Config parameterises the PT-HI channel.
+type Config struct {
+	// StressCycles is the number of program/erase stress cycles applied
+	// during encode; the paper's optimal setup uses 625.
+	StressCycles int
+	// CellsPerHalfGroup is the number of cells in each half of a bit's
+	// group pair; larger groups average out per-cell noise.
+	CellsPerHalfGroup int
+	// BitsPerPage is the hidden bit count per page (the paper credits
+	// PT-HI's optimal setup with 72 Kb/block = 1125 bits/page at 64
+	// pages/block).
+	BitsPerPage int
+	// PageInterval is the physical spacing between encoded pages (the
+	// optimal setup uses 4).
+	PageInterval int
+	// DecodePulses is the number of partial-program+read iterations the
+	// destructive decode uses (30 in the paper's cost model).
+	DecodePulses int
+	// DecodeRef is the read reference that separates fast (unstressed)
+	// from slow (stressed) cells after DecodePulses pulses.
+	DecodeRef float64
+}
+
+// OptimalConfig is the paper's "ideal setup" for PT-HI (§8 Throughput):
+// 625 per-page stress cycles, 4-page interval, 30-step decode.
+func OptimalConfig() Config {
+	return Config{
+		StressCycles:      625,
+		CellsPerHalfGroup: 16,
+		BitsPerPage:       1125,
+		PageInterval:      4,
+		DecodePulses:      30,
+		DecodeRef:         215,
+	}
+}
+
+// Validate checks the configuration against a chip model.
+func (c Config) Validate(m nand.Model) error {
+	if c.StressCycles < 1 {
+		return fmt.Errorf("pthi: StressCycles must be >= 1")
+	}
+	if c.CellsPerHalfGroup < 1 {
+		return fmt.Errorf("pthi: CellsPerHalfGroup must be >= 1")
+	}
+	need := c.BitsPerPage * 2 * c.CellsPerHalfGroup
+	if c.BitsPerPage < 1 || need > m.CellsPerPage() {
+		return fmt.Errorf("pthi: %d bits x %d cells needs %d cells, page has %d",
+			c.BitsPerPage, 2*c.CellsPerHalfGroup, need, m.CellsPerPage())
+	}
+	if c.DecodePulses < 1 {
+		return fmt.Errorf("pthi: DecodePulses must be >= 1")
+	}
+	if c.DecodeRef <= 0 || c.DecodeRef >= 255 {
+		// Any probe-able level works: the decode read uses the vendor
+		// reference-shift command, not the public threshold.
+		return fmt.Errorf("pthi: DecodeRef %.1f outside (0, 255)", c.DecodeRef)
+	}
+	return nil
+}
+
+// Hider embeds and extracts PT-HI payloads on one chip.
+type Hider struct {
+	chip *nand.Chip
+	cfg  Config
+	key  []byte
+}
+
+// NewHider builds a PT-HI codec for chip under cfg with the given secret
+// key (group locations derive from it, mirroring VT-HI's keyed selection).
+func NewHider(chip *nand.Chip, key []byte, cfg Config) (*Hider, error) {
+	if err := cfg.Validate(chip.Model()); err != nil {
+		return nil, err
+	}
+	return &Hider{chip: chip, cfg: cfg, key: append([]byte(nil), key...)}, nil
+}
+
+// Config returns the hider's configuration.
+func (h *Hider) Config() Config { return h.cfg }
+
+// groups returns, for a page, the cell-group pair for every bit:
+// groups[j][0] and groups[j][1] are the A/B halves of bit j.
+func (h *Hider) groups(a nand.PageAddr) [][2][]int {
+	g := h.chip.Geometry()
+	pageIdx := uint64(a.Block)*uint64(g.PagesPerBlock) + uint64(a.Page)
+	stream := prng.PageStream(h.key, pageIdx, "pt-hi/groups")
+	per := 2 * h.cfg.CellsPerHalfGroup
+	cells := stream.SelectKSparse(g.CellsPerPage(), h.cfg.BitsPerPage*per)
+	out := make([][2][]int, h.cfg.BitsPerPage)
+	for j := range out {
+		base := j * per
+		out[j][0] = cells[base : base+h.cfg.CellsPerHalfGroup]
+		out[j][1] = cells[base+h.cfg.CellsPerHalfGroup : base+per]
+	}
+	return out
+}
+
+// hiddenPages lists the page numbers of a block that carry hidden bits
+// under the configured interval.
+func (h *Hider) hiddenPages() []int {
+	var pages []int
+	stride := h.cfg.PageInterval + 1
+	for p := 0; p < h.chip.Geometry().PagesPerBlock; p += stride {
+		pages = append(pages, p)
+	}
+	return pages
+}
+
+// BlockCapacityBits returns how many hidden bits one block carries.
+func (h *Hider) BlockCapacityBits() int {
+	return len(h.hiddenPages()) * h.cfg.BitsPerPage
+}
+
+// EncodeBlock embeds bits into a block by running StressCycles full
+// program/erase stress cycles. The block must be expendable: encode wears
+// it by StressCycles PEC and leaves it erased. bits must hold exactly
+// BlockCapacityBits entries (0/1), consumed page by page.
+func (h *Hider) EncodeBlock(block int, bits []uint8) error {
+	want := h.BlockCapacityBits()
+	if len(bits) != want {
+		return fmt.Errorf("pthi: got %d bits, block carries %d", len(bits), want)
+	}
+	g := h.chip.Geometry()
+	// Build the per-page stress patterns once: bit 1 stresses half A,
+	// bit 0 stresses half B, so total stress is data-independent (no
+	// aggregate wear signature reveals the payload).
+	patterns := make([][]int, g.PagesPerBlock)
+	off := 0
+	for _, p := range h.hiddenPages() {
+		grp := h.groups(nand.PageAddr{Block: block, Page: p})
+		var cells []int
+		for j := 0; j < h.cfg.BitsPerPage; j++ {
+			half := 1
+			if bits[off] == 1 {
+				half = 0
+			}
+			cells = append(cells, grp[j][half]...)
+			off++
+		}
+		patterns[p] = cells
+	}
+	for cyc := 0; cyc < h.cfg.StressCycles; cyc++ {
+		if err := h.chip.StressCycleBlock(block, patterns); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DecodeBlock extracts the hidden bits of a block. The measurement is
+// DESTRUCTIVE: the block is erased first (any public data is lost) and the
+// pages are left partially programmed with measurement garbage. Each page
+// costs DecodePulses partial programs plus reads — the (600+90)us x 30
+// arithmetic behind the paper's 54 Kb/s PT-HI decode throughput.
+func (h *Hider) DecodeBlock(block int) ([]uint8, error) {
+	h.chip.EraseBlock(block)
+	out := make([]uint8, 0, h.BlockCapacityBits())
+	for _, p := range h.hiddenPages() {
+		bits, err := h.decodePage(nand.PageAddr{Block: block, Page: p})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, bits...)
+	}
+	return out, nil
+}
+
+func (h *Hider) decodePage(a nand.PageAddr) ([]uint8, error) {
+	grp := h.groups(a)
+	var all []int
+	for j := range grp {
+		all = append(all, grp[j][0]...)
+		all = append(all, grp[j][1]...)
+	}
+	var raw []byte
+	for k := 0; k < h.cfg.DecodePulses; k++ {
+		if err := h.chip.PartialProgram(a, all); err != nil {
+			return nil, err
+		}
+		var err error
+		raw, err = h.chip.ReadPageRef(a, h.cfg.DecodeRef)
+		if err != nil {
+			return nil, err
+		}
+	}
+	bits := make([]uint8, len(grp))
+	for j := range grp {
+		// Count cells still below the reference (slow cells) per half;
+		// the stressed half lags. Ties break toward 0, matching the
+		// encode convention of stressing half A for bit 1.
+		slowA := countBelow(raw, grp[j][0])
+		slowB := countBelow(raw, grp[j][1])
+		if slowA > slowB {
+			bits[j] = 1
+		}
+	}
+	return bits, nil
+}
+
+// countBelow counts listed cells whose read bit is '1' (below reference).
+func countBelow(raw []byte, cells []int) int {
+	n := 0
+	for _, c := range cells {
+		if (raw[c/8]>>(7-uint(c%8)))&1 == 1 {
+			n++
+		}
+	}
+	return n
+}

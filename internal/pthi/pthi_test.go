@@ -1,0 +1,237 @@
+package pthi
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"stashflash/internal/nand"
+)
+
+// testConfig shrinks the optimal configuration to unit-test scale while
+// keeping the stress/decode physics identical.
+func testConfig() Config {
+	c := OptimalConfig()
+	c.BitsPerPage = 32
+	c.StressCycles = 625
+	return c
+}
+
+func testModel() nand.Model {
+	return nand.ModelA().ScaleGeometry(8, 8, 512) // 4096 cells/page
+}
+
+func randBits(rng *rand.Rand, n int) []uint8 {
+	b := make([]uint8, n)
+	for i := range b {
+		b[i] = uint8(rng.IntN(2))
+	}
+	return b
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	chip := nand.NewChip(testModel(), 1)
+	h, err := NewHider(chip, []byte("pt-key"), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(1, 1))
+	bits := randBits(rng, h.BlockCapacityBits())
+	if err := h.EncodeBlock(0, bits); err != nil {
+		t.Fatal(err)
+	}
+	got, err := h.DecodeBlock(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := 0
+	for i := range bits {
+		if got[i] != bits[i] {
+			errs++
+		}
+	}
+	// The paper's optimal fresh-chip setup has "negligible" error rate;
+	// allow ~3%.
+	if frac := float64(errs) / float64(len(bits)); frac > 0.03 {
+		t.Fatalf("PT-HI BER %.3f on fresh chip, want near zero (%d/%d)", frac, errs, len(bits))
+	}
+}
+
+func TestEncodeWearsBlockByStressCycles(t *testing.T) {
+	chip := nand.NewChip(testModel(), 2)
+	h, err := NewHider(chip, []byte("k"), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(2, 2))
+	if err := h.EncodeBlock(1, randBits(rng, h.BlockCapacityBits())); err != nil {
+		t.Fatal(err)
+	}
+	// The paper's wear-amplification claim: encode costs one PEC per
+	// stress cycle (625 in the optimal configuration).
+	if pec := chip.PEC(1); pec != h.Config().StressCycles {
+		t.Fatalf("encode consumed %d PEC, want %d", pec, h.Config().StressCycles)
+	}
+}
+
+func TestDecodeDestroysPublicData(t *testing.T) {
+	chip := nand.NewChip(testModel(), 3)
+	h, err := NewHider(chip, []byte("k"), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(3, 3))
+	bits := randBits(rng, h.BlockCapacityBits())
+	if err := h.EncodeBlock(0, bits); err != nil {
+		t.Fatal(err)
+	}
+	// Store public data over the encoded block (PT-HI survives this).
+	public := make([]byte, chip.Geometry().PageBytes)
+	for i := range public {
+		public[i] = byte(rng.IntN(256))
+	}
+	if err := chip.ProgramPage(nand.PageAddr{Block: 0, Page: 0}, public); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.DecodeBlock(0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := chip.ReadPage(nand.PageAddr{Block: 0, Page: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range got {
+		if got[i] == public[i] {
+			same++
+		}
+	}
+	if same == len(got) {
+		t.Fatal("public data survived a PT-HI decode; decode must be destructive")
+	}
+}
+
+func TestHiddenDataSurvivesPublicRewrites(t *testing.T) {
+	chip := nand.NewChip(testModel(), 4)
+	h, err := NewHider(chip, []byte("k"), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(4, 4))
+	bits := randBits(rng, h.BlockCapacityBits())
+	if err := h.EncodeBlock(0, bits); err != nil {
+		t.Fatal(err)
+	}
+	// Several public data generations over the stressed block: PT-HI's
+	// distinguishing advantage (§2) is that stress survives them.
+	for gen := 0; gen < 3; gen++ {
+		for p := 0; p < chip.Geometry().PagesPerBlock; p++ {
+			data := make([]byte, chip.Geometry().PageBytes)
+			for i := range data {
+				data[i] = byte(rng.IntN(256))
+			}
+			if err := chip.ProgramPage(nand.PageAddr{Block: 0, Page: p}, data); err != nil {
+				t.Fatal(err)
+			}
+		}
+		chip.EraseBlock(0)
+	}
+	got, err := h.DecodeBlock(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := 0
+	for i := range bits {
+		if got[i] != bits[i] {
+			errs++
+		}
+	}
+	if frac := float64(errs) / float64(len(bits)); frac > 0.05 {
+		t.Fatalf("PT-HI BER %.3f after public rewrites", frac)
+	}
+}
+
+func TestBERDegradesWithWear(t *testing.T) {
+	ber := func(precycles int) float64 {
+		chip := nand.NewChip(testModel(), 5)
+		h, err := NewHider(chip, []byte("k"), testConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		chip.CycleBlock(0, precycles)
+		rng := rand.New(rand.NewPCG(5, 5))
+		bits := randBits(rng, h.BlockCapacityBits())
+		if err := h.EncodeBlock(0, bits); err != nil {
+			t.Fatal(err)
+		}
+		got, err := h.DecodeBlock(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs := 0
+		for i := range bits {
+			if got[i] != bits[i] {
+				errs++
+			}
+		}
+		return float64(errs) / float64(len(bits))
+	}
+	fresh := ber(0)
+	worn := ber(2500)
+	if worn < fresh {
+		t.Errorf("PT-HI BER improved with wear: fresh %.4f vs worn %.4f", fresh, worn)
+	}
+}
+
+func TestLedgerMatchesPaperCostModel(t *testing.T) {
+	chip := nand.NewChip(testModel(), 6)
+	cfg := testConfig()
+	h, err := NewHider(chip, []byte("k"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(6, 6))
+	before := chip.Ledger()
+	if err := h.EncodeBlock(0, randBits(rng, h.BlockCapacityBits())); err != nil {
+		t.Fatal(err)
+	}
+	cost := chip.Ledger().Sub(before)
+	g := chip.Geometry()
+	wantProgs := int64(cfg.StressCycles * g.PagesPerBlock)
+	if cost.Programs != wantProgs {
+		t.Errorf("encode programs = %d, want %d", cost.Programs, wantProgs)
+	}
+	if cost.Erases != int64(cfg.StressCycles) {
+		t.Errorf("encode erases = %d, want %d", cost.Erases, cfg.StressCycles)
+	}
+
+	before = chip.Ledger()
+	if _, err := h.DecodeBlock(0); err != nil {
+		t.Fatal(err)
+	}
+	cost = chip.Ledger().Sub(before)
+	pages := int64(len(h.hiddenPages()))
+	if cost.PartialPrograms != pages*int64(cfg.DecodePulses) {
+		t.Errorf("decode PPs = %d, want %d", cost.PartialPrograms, pages*int64(cfg.DecodePulses))
+	}
+	if cost.Reads != pages*int64(cfg.DecodePulses) {
+		t.Errorf("decode reads = %d, want %d", cost.Reads, pages*int64(cfg.DecodePulses))
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	m := testModel()
+	bad := []Config{
+		func() Config { c := OptimalConfig(); c.StressCycles = 0; return c }(),
+		func() Config { c := OptimalConfig(); c.CellsPerHalfGroup = 0; return c }(),
+		func() Config { c := OptimalConfig(); c.BitsPerPage = 0; return c }(),
+		func() Config { c := testConfig(); c.BitsPerPage = 1 << 20; return c }(),
+		func() Config { c := testConfig(); c.DecodePulses = 0; return c }(),
+		func() Config { c := testConfig(); c.DecodeRef = 300; return c }(),
+		func() Config { c := testConfig(); c.DecodeRef = -1; return c }(),
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(m); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}

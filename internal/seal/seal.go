@@ -1,0 +1,104 @@
+// Package seal provides the cryptographic wrapping for hidden payloads.
+//
+// The paper's data flow (Fig 4) encrypts hidden data before embedding so
+// that stored bit values are uniformly distributed ("VT-HI encrypts hidden
+// data, not unlike standard SSD controller data scrambling", §5.3) and so
+// an adversary who somehow extracted the raw cells would still face
+// ciphertext. One master secret drives everything; independent subkeys for
+// cell location, encryption, and integrity are derived with HKDF-SHA256
+// (RFC 5869, implemented here on stdlib HMAC).
+package seal
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// KeySize is the size in bytes of every derived subkey.
+const KeySize = 32
+
+// Keys holds the independent subkeys derived from one master secret.
+type Keys struct {
+	// Locate seeds the PRNG that picks which cells hold hidden bits.
+	Locate []byte
+	// Encrypt is the AES-256-CTR key for hidden payload confidentiality.
+	Encrypt []byte
+	// MAC authenticates volume-level metadata (per-page MACs would burn
+	// scarce hidden capacity; integrity is applied at coarser grain).
+	MAC []byte
+}
+
+// DeriveKeys expands a master secret of any length into the three subkeys.
+func DeriveKeys(master []byte) Keys {
+	prk := hkdfExtract(nil, master)
+	return Keys{
+		Locate:  hkdfExpand(prk, []byte("vt-hi/locate"), KeySize),
+		Encrypt: hkdfExpand(prk, []byte("vt-hi/encrypt"), KeySize),
+		MAC:     hkdfExpand(prk, []byte("vt-hi/mac"), KeySize),
+	}
+}
+
+// hkdfExtract implements HKDF-Extract with SHA-256.
+func hkdfExtract(salt, ikm []byte) []byte {
+	if salt == nil {
+		salt = make([]byte, sha256.Size)
+	}
+	h := hmac.New(sha256.New, salt)
+	h.Write(ikm)
+	return h.Sum(nil)
+}
+
+// hkdfExpand implements HKDF-Expand with SHA-256 for n <= 255*32 bytes.
+func hkdfExpand(prk, info []byte, n int) []byte {
+	var out, t []byte
+	var ctr byte
+	for len(out) < n {
+		ctr++
+		h := hmac.New(sha256.New, prk)
+		h.Write(t)
+		h.Write(info)
+		h.Write([]byte{ctr})
+		t = h.Sum(nil)
+		out = append(out, t...)
+	}
+	return out[:n]
+}
+
+// EncryptPage encrypts (or, being CTR, decrypts) a hidden payload bound to
+// a specific flash page and embedding epoch. The IV is derived from
+// (page, epoch): hidden data never stores a nonce — every hidden bit is
+// precious — so uniqueness comes from never re-embedding a different
+// payload at the same (page, epoch). The FTL layer bumps the epoch each
+// time a payload migrates (§5.1's re-embedding on data movement).
+func EncryptPage(key []byte, page, epoch uint64, data []byte) []byte {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		// Only possible with a wrong key length: a programming error.
+		panic("seal: " + err.Error())
+	}
+	var iv [aes.BlockSize]byte
+	binary.BigEndian.PutUint64(iv[0:8], page)
+	binary.BigEndian.PutUint64(iv[8:16], epoch)
+	out := make([]byte, len(data))
+	cipher.NewCTR(block, iv[:]).XORKeyStream(out, data)
+	return out
+}
+
+// Sum computes the HMAC-SHA256 tag of data under key.
+func Sum(key, data []byte) [32]byte {
+	h := hmac.New(sha256.New, key)
+	h.Write(data)
+	var tag [32]byte
+	copy(tag[:], h.Sum(nil))
+	return tag
+}
+
+// Verify reports whether tag authenticates data under key, in constant
+// time.
+func Verify(key, data []byte, tag [32]byte) bool {
+	want := Sum(key, data)
+	return hmac.Equal(want[:], tag[:])
+}

@@ -1,0 +1,313 @@
+// Package stats provides the statistical primitives used throughout the
+// VT-HI reproduction: streaming moments, histograms over normalized flash
+// voltage levels, percentiles, and two-sample distribution tests.
+//
+// The package is deliberately small and dependency-free; it exists so that
+// the chip characterisation code (internal/tester), the detectability
+// analysis (internal/svm feature extraction) and the experiment harness all
+// agree on one histogram definition — the paper reports every distribution
+// as "% of cells in block/page" over normalized voltage units, and that is
+// exactly what Histogram produces.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Moments accumulates streaming mean/variance using Welford's algorithm.
+// The zero value is ready to use.
+type Moments struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds one observation into the accumulator.
+func (m *Moments) Add(x float64) {
+	if m.n == 0 {
+		m.min, m.max = x, x
+	} else {
+		if x < m.min {
+			m.min = x
+		}
+		if x > m.max {
+			m.max = x
+		}
+	}
+	m.n++
+	d := x - m.mean
+	m.mean += d / float64(m.n)
+	m.m2 += d * (x - m.mean)
+}
+
+// AddAll folds a slice of observations into the accumulator.
+func (m *Moments) AddAll(xs []float64) {
+	for _, x := range xs {
+		m.Add(x)
+	}
+}
+
+// N returns the number of observations seen so far.
+func (m *Moments) N() int { return m.n }
+
+// Mean returns the running mean, or 0 if no observations were added.
+func (m *Moments) Mean() float64 { return m.mean }
+
+// Var returns the unbiased sample variance (n-1 denominator).
+func (m *Moments) Var() float64 {
+	if m.n < 2 {
+		return 0
+	}
+	return m.m2 / float64(m.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (m *Moments) Std() float64 { return math.Sqrt(m.Var()) }
+
+// Min returns the smallest observation, or 0 if none were added.
+func (m *Moments) Min() float64 { return m.min }
+
+// Max returns the largest observation, or 0 if none were added.
+func (m *Moments) Max() float64 { return m.max }
+
+// Summary is a point-in-time snapshot of a Moments accumulator. It is the
+// feature vector the paper's final SVM experiment uses ("BER, mean voltage,
+// and its standard deviation").
+type Summary struct {
+	N    int
+	Mean float64
+	Std  float64
+	Min  float64
+	Max  float64
+}
+
+// Summarize snapshots the accumulator.
+func (m *Moments) Summarize() Summary {
+	return Summary{N: m.n, Mean: m.Mean(), Std: m.Std(), Min: m.min, Max: m.max}
+}
+
+// Histogram is a fixed-bin histogram over a closed value range. Flash
+// voltage probes quantise to normalized units 0..255, so the canonical
+// instantiation is NewHistogram(0, 256, 256): one bin per probe level.
+type Histogram struct {
+	lo, hi  float64
+	binW    float64
+	counts  []int
+	total   int
+	clipped int
+}
+
+// NewHistogram creates a histogram with bins splitting [lo, hi) evenly.
+// It panics if hi <= lo or bins < 1; both indicate a programming error.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if hi <= lo {
+		panic(fmt.Sprintf("stats: invalid histogram range [%v, %v)", lo, hi))
+	}
+	if bins < 1 {
+		panic(fmt.Sprintf("stats: invalid bin count %d", bins))
+	}
+	return &Histogram{
+		lo:     lo,
+		hi:     hi,
+		binW:   (hi - lo) / float64(bins),
+		counts: make([]int, bins),
+	}
+}
+
+// Add records one observation. Values outside [lo, hi) are clamped into the
+// first/last bin and counted as clipped; flash probes saturate the same way.
+func (h *Histogram) Add(x float64) {
+	i := int((x - h.lo) / h.binW)
+	if i < 0 {
+		i = 0
+		h.clipped++
+	} else if i >= len(h.counts) {
+		i = len(h.counts) - 1
+		h.clipped++
+	}
+	h.counts[i]++
+	h.total++
+}
+
+// AddAll records a slice of observations.
+func (h *Histogram) AddAll(xs []float64) {
+	for _, x := range xs {
+		h.Add(x)
+	}
+}
+
+// Bins returns the number of bins.
+func (h *Histogram) Bins() int { return len(h.counts) }
+
+// Count returns the raw count in bin i.
+func (h *Histogram) Count(i int) int { return h.counts[i] }
+
+// Total returns the number of observations recorded.
+func (h *Histogram) Total() int { return h.total }
+
+// Clipped returns how many observations fell outside [lo, hi).
+func (h *Histogram) Clipped() int { return h.clipped }
+
+// BinCenter returns the midpoint value of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.lo + (float64(i)+0.5)*h.binW
+}
+
+// Fraction returns the fraction of observations in bin i, in [0,1].
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.counts[i]) / float64(h.total)
+}
+
+// Fractions returns the normalized bin heights ("% of cells" divided by
+// 100). The returned slice is freshly allocated.
+func (h *Histogram) Fractions() []float64 {
+	out := make([]float64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.Fraction(i)
+	}
+	return out
+}
+
+// CDF returns the empirical cumulative distribution evaluated at the upper
+// edge of each bin.
+func (h *Histogram) CDF() []float64 {
+	out := make([]float64, len(h.counts))
+	cum := 0
+	for i, c := range h.counts {
+		cum += c
+		if h.total > 0 {
+			out[i] = float64(cum) / float64(h.total)
+		}
+	}
+	return out
+}
+
+// Mean returns the histogram mean estimated from bin centers.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var s float64
+	for i, c := range h.counts {
+		s += float64(c) * h.BinCenter(i)
+	}
+	return s / float64(h.total)
+}
+
+// Mode returns the center of the fullest bin.
+func (h *Histogram) Mode() float64 {
+	best := 0
+	for i, c := range h.counts {
+		if c > h.counts[best] {
+			best = i
+		}
+	}
+	return h.BinCenter(best)
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) estimated from the
+// histogram by linear interpolation within the containing bin.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return h.lo
+	}
+	if q <= 0 {
+		return h.lo
+	}
+	if q >= 1 {
+		return h.hi
+	}
+	target := q * float64(h.total)
+	cum := 0.0
+	for i, c := range h.counts {
+		next := cum + float64(c)
+		if next >= target && c > 0 {
+			frac := (target - cum) / float64(c)
+			return h.lo + (float64(i)+frac)*h.binW
+		}
+		cum = next
+	}
+	return h.hi
+}
+
+// KSStatistic computes the two-sample Kolmogorov–Smirnov statistic between
+// two histograms with identical binning. The paper argues hidden and normal
+// distributions are visually indistinguishable (Fig 9); KS gives that claim
+// a number. It panics on mismatched binning — comparing histograms with
+// different bins is a programming error, not a data condition.
+func KSStatistic(a, b *Histogram) float64 {
+	if a.Bins() != b.Bins() || a.lo != b.lo || a.hi != b.hi {
+		panic("stats: KSStatistic requires identically binned histograms")
+	}
+	ca, cb := a.CDF(), b.CDF()
+	d := 0.0
+	for i := range ca {
+		if diff := math.Abs(ca[i] - cb[i]); diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+// KSPValue approximates the two-sided p-value of the two-sample KS test
+// with sample sizes n and m via the asymptotic Kolmogorov distribution.
+func KSPValue(d float64, n, m int) float64 {
+	if n == 0 || m == 0 {
+		return 1
+	}
+	ne := float64(n) * float64(m) / float64(n+m)
+	lambda := (math.Sqrt(ne) + 0.12 + 0.11/math.Sqrt(ne)) * d
+	// Kolmogorov series; converges fast for lambda > 0.3.
+	sum := 0.0
+	for j := 1; j <= 100; j++ {
+		term := 2 * math.Pow(-1, float64(j-1)) * math.Exp(-2*lambda*lambda*float64(j*j))
+		sum += term
+		if math.Abs(term) < 1e-12 {
+			break
+		}
+	}
+	if sum < 0 {
+		return 0
+	}
+	if sum > 1 {
+		return 1
+	}
+	return sum
+}
+
+// Percentile returns the p-th percentile (0..100) of xs by sorting a copy.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	c := make([]float64, len(xs))
+	copy(c, xs)
+	sort.Float64s(c)
+	if p <= 0 {
+		return c[0]
+	}
+	if p >= 100 {
+		return c[len(c)-1]
+	}
+	rank := p / 100 * float64(len(c)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(c) {
+		return c[len(c)-1]
+	}
+	return c[lo]*(1-frac) + c[lo+1]*frac
+}
+
+// MeanStd returns the mean and sample standard deviation of xs.
+func MeanStd(xs []float64) (mean, std float64) {
+	var m Moments
+	m.AddAll(xs)
+	return m.Mean(), m.Std()
+}

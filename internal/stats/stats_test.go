@@ -1,0 +1,211 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestMomentsBasics(t *testing.T) {
+	var m Moments
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		m.Add(x)
+	}
+	if m.N() != 8 {
+		t.Fatalf("N = %d", m.N())
+	}
+	if got := m.Mean(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("mean = %v, want 5", got)
+	}
+	// Sample variance of this classic set is 32/7.
+	if got := m.Var(); math.Abs(got-32.0/7) > 1e-12 {
+		t.Errorf("var = %v, want %v", got, 32.0/7)
+	}
+	if m.Min() != 2 || m.Max() != 9 {
+		t.Errorf("min/max = %v/%v", m.Min(), m.Max())
+	}
+	s := m.Summarize()
+	if s.N != 8 || s.Mean != m.Mean() {
+		t.Errorf("summary mismatch: %+v", s)
+	}
+}
+
+func TestMomentsEmpty(t *testing.T) {
+	var m Moments
+	if m.Mean() != 0 || m.Var() != 0 || m.Std() != 0 {
+		t.Error("empty moments must be zero")
+	}
+}
+
+func TestMomentsMatchesDirectComputation(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 1))
+		n := 2 + rng.IntN(100)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+		}
+		var m Moments
+		m.AddAll(xs)
+		mean := 0.0
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(n)
+		v := 0.0
+		for _, x := range xs {
+			v += (x - mean) * (x - mean)
+		}
+		v /= float64(n - 1)
+		return math.Abs(m.Mean()-mean) < 1e-9 && math.Abs(m.Var()-v) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(0, 256, 256)
+	h.Add(0)
+	h.Add(255.4)
+	h.Add(127)
+	if h.Count(0) != 1 || h.Count(255) != 1 || h.Count(127) != 1 {
+		t.Fatalf("counts wrong: %v %v %v", h.Count(0), h.Count(255), h.Count(127))
+	}
+	if h.Total() != 3 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if h.Clipped() != 0 {
+		t.Fatalf("clipped = %d", h.Clipped())
+	}
+	h.Add(-5)
+	h.Add(400)
+	if h.Clipped() != 2 {
+		t.Fatalf("clipped = %d, want 2", h.Clipped())
+	}
+	if h.Count(0) != 2 || h.Count(255) != 2 {
+		t.Fatal("clipped values not clamped into edge bins")
+	}
+}
+
+func TestHistogramFractionsSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	h := NewHistogram(0, 100, 50)
+	for i := 0; i < 1000; i++ {
+		h.Add(rng.Float64() * 100)
+	}
+	s := 0.0
+	for _, f := range h.Fractions() {
+		s += f
+	}
+	if math.Abs(s-1) > 1e-9 {
+		t.Fatalf("fractions sum to %v", s)
+	}
+}
+
+func TestHistogramMeanModeQuantile(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 100; i++ {
+		h.Add(4.5) // everything in bin 4
+	}
+	if got := h.Mean(); math.Abs(got-4.5) > 1e-9 {
+		t.Errorf("mean = %v", got)
+	}
+	if got := h.Mode(); math.Abs(got-4.5) > 1e-9 {
+		t.Errorf("mode = %v", got)
+	}
+	q := h.Quantile(0.5)
+	if q < 4 || q > 5 {
+		t.Errorf("median = %v, want within bin [4,5)", q)
+	}
+	if h.Quantile(0) != 0 || h.Quantile(1) != 10 {
+		t.Error("extreme quantiles must hit range edges")
+	}
+}
+
+func TestHistogramPanicsOnBadArgs(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(5, 5, 10) },
+		func() { NewHistogram(0, 10, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("want panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestKSIdenticalDistributions(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	a := NewHistogram(0, 100, 100)
+	b := NewHistogram(0, 100, 100)
+	for i := 0; i < 20000; i++ {
+		a.Add(rng.NormFloat64()*10 + 50)
+		b.Add(rng.NormFloat64()*10 + 50)
+	}
+	d := KSStatistic(a, b)
+	if d > 0.03 {
+		t.Errorf("KS of identical distributions = %v", d)
+	}
+	p := KSPValue(d, a.Total(), b.Total())
+	if p < 0.01 {
+		t.Errorf("p-value %v rejects identical distributions", p)
+	}
+}
+
+func TestKSDifferentDistributions(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	a := NewHistogram(0, 100, 100)
+	b := NewHistogram(0, 100, 100)
+	for i := 0; i < 5000; i++ {
+		a.Add(rng.NormFloat64()*10 + 40)
+		b.Add(rng.NormFloat64()*10 + 60)
+	}
+	d := KSStatistic(a, b)
+	if d < 0.3 {
+		t.Errorf("KS of shifted distributions = %v, want large", d)
+	}
+	if p := KSPValue(d, a.Total(), b.Total()); p > 1e-6 {
+		t.Errorf("p-value %v fails to reject shifted distributions", p)
+	}
+}
+
+func TestKSPanicsOnMismatchedBins(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	KSStatistic(NewHistogram(0, 10, 10), NewHistogram(0, 10, 20))
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := Percentile(xs, 50); got != 3 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 5 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("empty percentile = %v", got)
+	}
+	if got := Percentile(xs, 25); got != 2 {
+		t.Errorf("p25 = %v", got)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	m, s := MeanStd([]float64{1, 1, 1})
+	if m != 1 || s != 0 {
+		t.Errorf("MeanStd = %v, %v", m, s)
+	}
+}

@@ -1,0 +1,428 @@
+// Package stegfs implements the paper's §9.2 "Basic Design": a publicly
+// visible, encrypted volume within which a keyed user can mount a hidden
+// volume whose sectors live in the voltage levels of the public sectors'
+// cells.
+//
+// Layout and lifecycle:
+//
+//   - The public volume is an FTL-backed block device whose sectors are
+//     encrypted (the paper assumes public data behind Bitlocker/FileVault;
+//     uniformly random cover bits are also what makes cell selection
+//     statistics uniform).
+//   - Hidden sector h is anchored to a pseudo-randomly chosen public LBA;
+//     the payload physically rides whatever flash page currently backs
+//     that LBA. The anchor map derives from the secret key alone — no
+//     plaintext metadata ever touches the device.
+//   - When the FTL migrates an anchored page (garbage collection, wear
+//     leveling), the volume's migration hook re-embeds the payload into
+//     the new location before the old block is erased — the §5.1
+//     requirement.
+//   - Hidden sector 0 is reserved for a superblock carrying the validity
+//     bitmap under a truncated MAC, so a remount with only the key
+//     recovers which hidden sectors hold data.
+//   - Without the key the device is indistinguishable from a plain
+//     encrypted SSD, and operating it keyless will eventually overwrite
+//     hidden payloads — the paper's "inherent limitation of almost all
+//     existing steganographic systems" (§9.2).
+//
+// FTL mapping-table persistence across power cycles is orthogonal
+// (real SSDs journal it out-of-band) and out of scope, as is a full POSIX
+// filesystem — the paper defers the same (§9.2).
+package stegfs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"stashflash/internal/core"
+	"stashflash/internal/ftl"
+	"stashflash/internal/nand"
+	"stashflash/internal/prng"
+	"stashflash/internal/seal"
+)
+
+// Config sizes the hidden volume.
+type Config struct {
+	// HiddenSectors is the number of hidden sectors (including the
+	// superblock at sector 0).
+	HiddenSectors int
+	// Hiding is the VT-HI configuration for the payload embeddings.
+	Hiding core.Config
+	// FTL tunes the public volume's translation layer.
+	FTL ftl.Config
+}
+
+// DefaultConfig sizes a small hidden volume on the given geometry.
+func DefaultConfig(g nand.Geometry) Config {
+	return Config{
+		HiddenSectors: 16,
+		Hiding:        core.RobustConfig(),
+		FTL:           ftl.DefaultConfig(g),
+	}
+}
+
+// Errors surfaced by volume operations.
+var (
+	ErrHiddenRange    = errors.New("stegfs: hidden sector out of range")
+	ErrHiddenInvalid  = errors.New("stegfs: hidden sector holds no data")
+	ErrBadSuperblock  = errors.New("stegfs: superblock MAC mismatch (wrong key or lost hidden state)")
+	ErrSectorReserved = errors.New("stegfs: hidden sector 0 is the superblock")
+)
+
+const (
+	superMagic   = 0x5A5F
+	superHdrLen  = 2 + 4 // magic + truncated MAC
+	superSector  = 0
+	firstUserSec = 1
+)
+
+// Volume is a mounted steganographic device. Not safe for concurrent use.
+type Volume struct {
+	chip    *nand.Chip
+	ftl     *ftl.FTL
+	hider   *core.Hider
+	keys    seal.Keys
+	cfg     Config
+	anchors []int       // hidden sector -> public LBA
+	anchorH map[int]int // public LBA -> hidden sector
+	valid   []bool
+	dirty   bool // superblock needs Sync
+}
+
+// hiderStore adapts the VT-HI pipeline as the FTL's PageStore, encrypting
+// sector payloads bound to their physical location so cover bits are
+// uniformly random and GC rewrites re-encrypt naturally.
+type hiderStore struct {
+	chip  *nand.Chip
+	hider *core.Hider
+	key   []byte // public-volume (NU) encryption key
+}
+
+func (s hiderStore) DataBytes() int { return s.hider.PublicDataBytes() }
+
+func (s hiderStore) pageIndex(a nand.PageAddr) uint64 {
+	return uint64(a.Block)*uint64(s.chip.Geometry().PagesPerBlock) + uint64(a.Page)
+}
+
+func (s hiderStore) WritePage(a nand.PageAddr, data []byte) error {
+	ct := seal.EncryptPage(s.key, s.pageIndex(a), uint64(s.chip.PEC(a.Block)), data)
+	return s.hider.WritePage(a, ct)
+}
+
+func (s hiderStore) ReadPage(a nand.PageAddr) ([]byte, error) {
+	ct, _, err := s.hider.ReadPublic(a)
+	if err != nil {
+		return nil, err
+	}
+	return seal.EncryptPage(s.key, s.pageIndex(a), uint64(s.chip.PEC(a.Block)), ct), nil
+}
+
+// migrationHook re-embeds hidden payloads when the FTL moves their cover
+// page (§5.1: "re-embed the hidden data in a new location ... before the
+// old NU page ... is permanently erased").
+type migrationHook struct{ v *Volume }
+
+func (m migrationHook) PageMoved(lba int, src, dst nand.PageAddr) error {
+	v := m.v
+	h, ok := v.anchorH[lba]
+	if !ok || !v.valid[h] {
+		return nil
+	}
+	payload, _, err := v.hider.Reveal(src, v.HiddenSectorBytes(), v.epoch(src))
+	if err != nil {
+		return fmt.Errorf("stegfs: rescuing hidden sector %d during GC: %w", h, err)
+	}
+	if _, err := v.hider.Hide(dst, payload, v.epoch(dst)); err != nil {
+		return fmt.Errorf("stegfs: re-embedding hidden sector %d: %w", h, err)
+	}
+	return nil
+}
+
+// Create formats a fresh chip as a steganographic volume. masterKey
+// protects the hidden volume; publicKey encrypts the public volume (the
+// NU's ordinary disk-encryption credential).
+func Create(chip *nand.Chip, masterKey, publicKey []byte, cfg Config) (*Volume, error) {
+	if cfg.HiddenSectors < 2 {
+		return nil, fmt.Errorf("stegfs: need at least 2 hidden sectors (superblock + data), got %d", cfg.HiddenSectors)
+	}
+	hider, err := core.NewHider(chip, masterKey, cfg.Hiding)
+	if err != nil {
+		return nil, err
+	}
+	keys := seal.DeriveKeys(masterKey)
+	v := &Volume{
+		chip:  chip,
+		hider: hider,
+		keys:  keys,
+		cfg:   cfg,
+		valid: make([]bool, cfg.HiddenSectors),
+	}
+	if max := v.maxHiddenSectors(); cfg.HiddenSectors > max {
+		return nil, fmt.Errorf("stegfs: %d hidden sectors exceed superblock bitmap capacity %d", cfg.HiddenSectors, max)
+	}
+	store := hiderStore{chip: chip, hider: hider, key: seal.DeriveKeys(publicKey).Encrypt}
+	hook := migrationHook{v: v}
+	f, err := ftl.New(chip, store, cfg.FTL, hook)
+	if err != nil {
+		return nil, err
+	}
+	v.ftl = f
+	if cfg.HiddenSectors > f.Capacity() {
+		return nil, fmt.Errorf("stegfs: %d hidden sectors exceed %d public LBAs", cfg.HiddenSectors, f.Capacity())
+	}
+	v.deriveAnchors()
+	return v, nil
+}
+
+// maxHiddenSectors bounds the bitmap the superblock payload can hold.
+func (v *Volume) maxHiddenSectors() int {
+	return (v.hider.HiddenPayloadBytes() - superHdrLen) * 8
+}
+
+// deriveAnchors computes the hidden-sector -> public-LBA map from the key.
+func (v *Volume) deriveAnchors() {
+	stream := prng.NewStream(v.keys.Locate, "stegfs/anchors")
+	v.anchors = stream.SelectKSparse(v.ftl.Capacity(), v.cfg.HiddenSectors)
+	v.anchorH = make(map[int]int, len(v.anchors))
+	for h, lba := range v.anchors {
+		v.anchorH[lba] = h
+	}
+}
+
+// PublicCapacity returns the number of public sectors.
+func (v *Volume) PublicCapacity() int { return v.ftl.Capacity() }
+
+// PublicSectorBytes returns the public sector size.
+func (v *Volume) PublicSectorBytes() int { return v.ftl.SectorBytes() }
+
+// HiddenCapacity returns the number of user hidden sectors (excluding the
+// superblock).
+func (v *Volume) HiddenCapacity() int { return v.cfg.HiddenSectors - 1 }
+
+// HiddenSectorBytes returns the hidden sector size.
+func (v *Volume) HiddenSectorBytes() int { return v.hider.HiddenPayloadBytes() }
+
+// epoch binds an embedding to its physical page generation: the block's
+// current PEC. It is derivable at read time with no stored state and can
+// never repeat for the same page without an intervening erase (which
+// destroys the payload anyway), so the seal's CTR IV is never reused.
+func (v *Volume) epoch(a nand.PageAddr) uint64 {
+	return uint64(v.chip.PEC(a.Block))
+}
+
+// PublicRead reads a public sector; no hidden-volume state is involved.
+func (v *Volume) PublicRead(lba int) ([]byte, error) { return v.ftl.Read(lba) }
+
+// PublicWrite writes a public sector. If the sector anchors a live hidden
+// payload, the payload is carried over to the fresh physical page — this
+// is how "modifications simply require the user to repeat the hiding
+// process ... on newly written normal data" (§9.1) plays out in firmware.
+func (v *Volume) PublicWrite(lba int, data []byte) error {
+	var carry []byte
+	if h, ok := v.anchorH[lba]; ok && v.valid[h] {
+		payload, err := v.hiddenReadAt(lba)
+		if err != nil {
+			return fmt.Errorf("stegfs: preserving hidden sector %d across public write: %w", h, err)
+		}
+		carry = payload
+	}
+	if err := v.ftl.Write(lba, data); err != nil {
+		return err
+	}
+	if carry != nil {
+		addr, err := v.ftl.Lookup(lba)
+		if err != nil {
+			return err
+		}
+		if _, err := v.hider.Hide(addr, carry, v.epoch(addr)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PublicTrim discards a public sector. Any hidden payload anchored to it
+// is lost (its cover is gone); the validity bitmap is updated.
+func (v *Volume) PublicTrim(lba int) error {
+	if h, ok := v.anchorH[lba]; ok && v.valid[h] {
+		v.valid[h] = false
+		v.dirty = true
+	}
+	return v.ftl.Trim(lba)
+}
+
+// hiddenReadAt reveals the payload riding the page currently backing lba.
+func (v *Volume) hiddenReadAt(lba int) ([]byte, error) {
+	addr, err := v.ftl.Lookup(lba)
+	if err != nil {
+		return nil, err
+	}
+	payload, _, err := v.hider.Reveal(addr, v.HiddenSectorBytes(), v.epoch(addr))
+	return payload, err
+}
+
+// hiddenWriteAt embeds a payload for hidden sector h anchored at lba,
+// rewriting the cover sector first so the embedding lands on fresh cells.
+func (v *Volume) hiddenWriteAt(h, lba int, payload []byte) error {
+	cover, err := v.ftl.Read(lba)
+	if err == ftl.ErrUnwritten {
+		// No cover yet: initialise the public sector with zeros (it
+		// encrypts to uniform bits on flash).
+		cover = make([]byte, v.ftl.SectorBytes())
+		err = nil
+	}
+	if err != nil {
+		return err
+	}
+	if err := v.ftl.Write(lba, cover); err != nil {
+		return err
+	}
+	addr, err := v.ftl.Lookup(lba)
+	if err != nil {
+		return err
+	}
+	if _, err := v.hider.Hide(addr, payload, v.epoch(addr)); err != nil {
+		return err
+	}
+	v.valid[h] = true
+	v.dirty = true
+	return nil
+}
+
+// HiddenWrite stores a hidden sector (1 <= h <= HiddenCapacity), up to
+// HiddenSectorBytes long.
+func (v *Volume) HiddenWrite(h int, data []byte) error {
+	if h == superSector {
+		return ErrSectorReserved
+	}
+	if h < firstUserSec || h >= v.cfg.HiddenSectors {
+		return ErrHiddenRange
+	}
+	if len(data) > v.HiddenSectorBytes() {
+		return fmt.Errorf("stegfs: hidden sector payload %d bytes exceeds %d", len(data), v.HiddenSectorBytes())
+	}
+	padded := make([]byte, v.HiddenSectorBytes())
+	copy(padded, data)
+	return v.hiddenWriteAt(h, v.anchors[h], padded)
+}
+
+// HiddenRead returns a hidden sector's payload.
+func (v *Volume) HiddenRead(h int) ([]byte, error) {
+	if h == superSector {
+		return nil, ErrSectorReserved
+	}
+	if h < firstUserSec || h >= v.cfg.HiddenSectors {
+		return nil, ErrHiddenRange
+	}
+	if !v.valid[h] {
+		return nil, ErrHiddenInvalid
+	}
+	return v.hiddenReadAt(v.anchors[h])
+}
+
+// HiddenRefresh re-embeds a hidden sector onto fresh cells by rewriting
+// its cover sector in place. §8 recommends refreshing hidden data every
+// few months on worn devices: retention decay erodes the margin between a
+// parked cell and its threshold, and a refresh restores it in full.
+func (v *Volume) HiddenRefresh(h int) error {
+	if h == superSector {
+		return ErrSectorReserved
+	}
+	if h < firstUserSec || h >= v.cfg.HiddenSectors {
+		return ErrHiddenRange
+	}
+	if !v.valid[h] {
+		return ErrHiddenInvalid
+	}
+	payload, err := v.hiddenReadAt(v.anchors[h])
+	if err != nil {
+		return fmt.Errorf("stegfs: refreshing hidden sector %d: %w", h, err)
+	}
+	return v.hiddenWriteAt(h, v.anchors[h], payload)
+}
+
+// HiddenErase invalidates a hidden sector (its bits remain until the cover
+// migrates; use PublicWrite on the anchor to scrub immediately).
+func (v *Volume) HiddenErase(h int) error {
+	if h == superSector {
+		return ErrSectorReserved
+	}
+	if h < firstUserSec || h >= v.cfg.HiddenSectors {
+		return ErrHiddenRange
+	}
+	if v.valid[h] {
+		v.valid[h] = false
+		v.dirty = true
+	}
+	return nil
+}
+
+// Sync persists the validity bitmap into the hidden superblock.
+func (v *Volume) Sync() error {
+	payload := v.encodeSuperblock()
+	if err := v.hiddenWriteAt(superSector, v.anchors[superSector], payload); err != nil {
+		return err
+	}
+	v.dirty = false
+	return nil
+}
+
+// Dirty reports whether hidden state awaits a Sync.
+func (v *Volume) Dirty() bool { return v.dirty }
+
+func (v *Volume) encodeSuperblock() []byte {
+	payload := make([]byte, v.HiddenSectorBytes())
+	binary.BigEndian.PutUint16(payload[0:2], superMagic)
+	bits := payload[superHdrLen:]
+	for h, ok := range v.valid {
+		if ok && h != superSector {
+			bits[h/8] |= 1 << uint(7-h%8)
+		}
+	}
+	tag := seal.Sum(v.keys.MAC, payload[superHdrLen:])
+	copy(payload[2:superHdrLen], tag[:4])
+	return payload
+}
+
+// Remount re-derives all hidden-volume state (hider, anchors, validity)
+// from the master key and the superblock — demonstrating that the hidden
+// volume needs no plaintext metadata. It fails with ErrBadSuperblock if
+// the key is wrong or the superblock was never synced, leaving the volume
+// unchanged.
+func (v *Volume) Remount(masterKey []byte) error {
+	hider, err := core.NewHider(v.chip, masterKey, v.cfg.Hiding)
+	if err != nil {
+		return err
+	}
+	probe := *v
+	probe.hider = hider
+	probe.keys = seal.DeriveKeys(masterKey)
+	probe.deriveAnchors()
+	payload, err := probe.hiddenReadAt(probe.anchors[superSector])
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadSuperblock, err)
+	}
+	if binary.BigEndian.Uint16(payload[0:2]) != superMagic {
+		return ErrBadSuperblock
+	}
+	tag := seal.Sum(probe.keys.MAC, payload[superHdrLen:])
+	for i := 0; i < 4; i++ {
+		if payload[2+i] != tag[i] {
+			return ErrBadSuperblock
+		}
+	}
+	bits := payload[superHdrLen:]
+	for h := range v.valid {
+		v.valid[h] = h != superSector && (bits[h/8]>>(7-uint(h%8)))&1 == 1
+	}
+	v.hider = probe.hider
+	v.keys = probe.keys
+	v.anchors = probe.anchors
+	v.anchorH = probe.anchorH
+	v.dirty = false
+	return nil
+}
+
+// FTLStats exposes the public volume's translation-layer statistics.
+func (v *Volume) FTLStats() ftl.Stats { return v.ftl.Stats() }

@@ -1,0 +1,292 @@
+package stegfs
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+
+	"stashflash/internal/ftl"
+	"stashflash/internal/nand"
+)
+
+func newVolume(t *testing.T, seed uint64) *Volume {
+	t.Helper()
+	chip := nand.NewChip(nand.ModelA().ScaleGeometry(20, 8, 2040), seed)
+	cfg := DefaultConfig(chip.Geometry())
+	v, err := Create(chip, []byte("hidden-master"), []byte("public-master"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func randSector(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(rng.IntN(256))
+	}
+	return b
+}
+
+func TestPublicVolumeRoundTrip(t *testing.T) {
+	v := newVolume(t, 1)
+	rng := rand.New(rand.NewPCG(1, 1))
+	want := map[int][]byte{}
+	for _, lba := range []int{0, 3, v.PublicCapacity() - 1} {
+		data := randSector(rng, v.PublicSectorBytes())
+		want[lba] = data
+		if err := v.PublicWrite(lba, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for lba, data := range want {
+		got, err := v.PublicRead(lba)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("public lba %d mismatched", lba)
+		}
+	}
+}
+
+func TestHiddenVolumeRoundTrip(t *testing.T) {
+	v := newVolume(t, 2)
+	secret := []byte("hidden sector!")
+	if err := v.HiddenWrite(1, secret); err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.HiddenRead(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:len(secret)], secret) {
+		t.Fatalf("hidden read %q", got[:len(secret)])
+	}
+}
+
+func TestHiddenSectorBounds(t *testing.T) {
+	v := newVolume(t, 3)
+	if err := v.HiddenWrite(0, []byte("x")); err != ErrSectorReserved {
+		t.Errorf("superblock write: %v", err)
+	}
+	if _, err := v.HiddenRead(0); err != ErrSectorReserved {
+		t.Errorf("superblock read: %v", err)
+	}
+	if err := v.HiddenWrite(-1, []byte("x")); err != ErrHiddenRange {
+		t.Errorf("negative sector: %v", err)
+	}
+	if err := v.HiddenWrite(v.HiddenCapacity()+1, []byte("x")); err != ErrHiddenRange {
+		t.Errorf("out of range: %v", err)
+	}
+	if _, err := v.HiddenRead(2); err != ErrHiddenInvalid {
+		t.Errorf("unwritten hidden read: %v", err)
+	}
+	big := make([]byte, v.HiddenSectorBytes()+1)
+	if err := v.HiddenWrite(1, big); err == nil {
+		t.Error("oversized hidden sector accepted")
+	}
+}
+
+func TestHiddenSurvivesPublicOverwrite(t *testing.T) {
+	v := newVolume(t, 4)
+	rng := rand.New(rand.NewPCG(4, 4))
+	secret := []byte("survives rewrites")
+	if err := v.HiddenWrite(1, secret); err != nil {
+		t.Fatal(err)
+	}
+	lba := v.anchors[1]
+	// The NU (with the volume mounted) rewrites the anchoring sector
+	// repeatedly; §9.1: hiding is repeated on the newly written data.
+	for i := 0; i < 5; i++ {
+		if err := v.PublicWrite(lba, randSector(rng, v.PublicSectorBytes())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := v.HiddenRead(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:len(secret)], secret) {
+		t.Fatal("hidden data lost across public overwrites")
+	}
+}
+
+func TestHiddenSurvivesGC(t *testing.T) {
+	v := newVolume(t, 5)
+	rng := rand.New(rand.NewPCG(5, 5))
+	secrets := map[int][]byte{}
+	for h := 1; h <= 5; h++ {
+		s := randSector(rng, v.HiddenSectorBytes())
+		secrets[h] = s
+		if err := v.HiddenWrite(h, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Churn the public volume hard enough to force repeated GC over the
+	// anchored pages.
+	for i := 0; i < 4*v.PublicCapacity(); i++ {
+		lba := rng.IntN(v.PublicCapacity())
+		if h, anchored := v.anchorH[lba]; anchored && v.valid[h] {
+			continue // hammer everything else
+		}
+		if err := v.PublicWrite(lba, randSector(rng, v.PublicSectorBytes())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v.FTLStats().GCCopies == 0 {
+		t.Fatal("workload produced no GC copies; test is vacuous")
+	}
+	for h, want := range secrets {
+		got, err := v.HiddenRead(h)
+		if err != nil {
+			t.Fatalf("hidden sector %d after GC: %v", h, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("hidden sector %d corrupted by GC migration", h)
+		}
+	}
+}
+
+func TestSyncAndRemount(t *testing.T) {
+	v := newVolume(t, 6)
+	secret := []byte("persistent")
+	if err := v.HiddenWrite(3, secret); err != nil {
+		t.Fatal(err)
+	}
+	if !v.Dirty() {
+		t.Fatal("write did not mark volume dirty")
+	}
+	if err := v.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if v.Dirty() {
+		t.Fatal("sync left volume dirty")
+	}
+	// Forget in-memory hidden state; recover it from key + superblock.
+	for h := range v.valid {
+		v.valid[h] = false
+	}
+	if err := v.Remount([]byte("hidden-master")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.HiddenRead(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:len(secret)], secret) {
+		t.Fatal("remount lost hidden sector")
+	}
+	if _, err := v.HiddenRead(2); err != ErrHiddenInvalid {
+		t.Errorf("sector 2 should be invalid after remount: %v", err)
+	}
+}
+
+func TestRemountWrongKeyFails(t *testing.T) {
+	v := newVolume(t, 7)
+	if err := v.HiddenWrite(1, []byte("s")); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Remount([]byte("not the key")); err == nil {
+		t.Fatal("wrong key remounted successfully")
+	}
+	// The correct key must still work afterwards.
+	if err := v.Remount([]byte("hidden-master")); err != nil {
+		t.Fatalf("correct key failed after bad attempt: %v", err)
+	}
+}
+
+func TestHiddenErase(t *testing.T) {
+	v := newVolume(t, 8)
+	if err := v.HiddenWrite(1, []byte("gone soon")); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.HiddenErase(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.HiddenRead(1); err != ErrHiddenInvalid {
+		t.Errorf("read after erase: %v", err)
+	}
+	if err := v.HiddenErase(0); err != ErrSectorReserved {
+		t.Errorf("superblock erase: %v", err)
+	}
+}
+
+func TestKeylessOperationEventuallyDestroysHidden(t *testing.T) {
+	v := newVolume(t, 9)
+	rng := rand.New(rand.NewPCG(9, 9))
+	secret := []byte("doomed without key")
+	if err := v.HiddenWrite(1, secret); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate keyless operation: a plain FTL write to the anchor LBA
+	// (no hidden carry-over, no migration hook) — i.e. what happens when
+	// the device runs without the hiding firmware loaded (§9.2).
+	lba := v.anchors[1]
+	cover := randSector(rng, v.PublicSectorBytes())
+	if err := v.ftl.Write(lba, cover); err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.HiddenRead(1)
+	if err == nil && bytes.Equal(got[:len(secret)], secret) {
+		t.Fatal("hidden data survived a keyless overwrite of its cover; the paper says it must not")
+	}
+}
+
+func TestCreateValidation(t *testing.T) {
+	chip := nand.NewChip(nand.ModelA().ScaleGeometry(20, 8, 2040), 10)
+	cfg := DefaultConfig(chip.Geometry())
+	cfg.HiddenSectors = 1
+	if _, err := Create(chip, []byte("k"), []byte("p"), cfg); err == nil {
+		t.Error("1-sector volume accepted")
+	}
+	cfg = DefaultConfig(chip.Geometry())
+	cfg.HiddenSectors = 1 << 20
+	if _, err := Create(chip, []byte("k"), []byte("p"), cfg); err == nil {
+		t.Error("absurd hidden sector count accepted")
+	}
+	cfg = DefaultConfig(chip.Geometry())
+	cfg.FTL = ftl.Config{OverProvisionBlocks: 0}
+	if _, err := Create(chip, []byte("k"), []byte("p"), cfg); err == nil {
+		t.Error("bad FTL config accepted")
+	}
+}
+
+func TestHiddenRefresh(t *testing.T) {
+	v := newVolume(t, 11)
+	secret := []byte("needs refreshing")
+	if err := v.HiddenWrite(1, secret); err != nil {
+		t.Fatal(err)
+	}
+	before, err := v.ftl.Lookup(v.anchors[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.HiddenRefresh(1); err != nil {
+		t.Fatal(err)
+	}
+	after, err := v.ftl.Lookup(v.anchors[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before == after {
+		t.Fatal("refresh did not move the cover to fresh cells")
+	}
+	got, err := v.HiddenRead(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:len(secret)], secret) {
+		t.Fatal("refresh corrupted the payload")
+	}
+	// Refresh of an invalid sector fails cleanly.
+	if err := v.HiddenRefresh(2); err != ErrHiddenInvalid {
+		t.Errorf("refresh of invalid sector: %v", err)
+	}
+	if err := v.HiddenRefresh(0); err != ErrSectorReserved {
+		t.Errorf("refresh of superblock: %v", err)
+	}
+}

@@ -1,0 +1,236 @@
+// Package svm implements the supervised-learning attack the paper uses to
+// evaluate detectability (§7): a soft-margin support-vector machine trained
+// on per-block (or per-page) voltage-distribution features, asked to
+// classify whether a block holds hidden data. Following the paper's
+// methodology (which follows Wang et al.), the classifier is tuned by grid
+// search and scored with k-fold cross-validation; 50% accuracy means the
+// adversary does no better than a coin flip.
+//
+// The implementation is a from-scratch simplified SMO solver (Platt's
+// algorithm in its standard didactic form) with linear and RBF kernels —
+// ample for the dataset sizes of the paper's experiments (tens of blocks
+// per class).
+package svm
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Kernel computes an inner product in feature space.
+type Kernel interface {
+	Eval(a, b []float64) float64
+	String() string
+}
+
+// Linear is the ordinary dot-product kernel.
+type Linear struct{}
+
+// Eval returns the dot product of a and b.
+func (Linear) Eval(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func (Linear) String() string { return "linear" }
+
+// RBF is the Gaussian radial-basis-function kernel.
+type RBF struct{ Gamma float64 }
+
+// Eval returns exp(-gamma * ||a-b||^2).
+func (k RBF) Eval(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Exp(-k.Gamma * s)
+}
+
+func (k RBF) String() string { return fmt.Sprintf("rbf(gamma=%g)", k.Gamma) }
+
+// Params configures a training run.
+type Params struct {
+	C         float64 // soft-margin penalty
+	Kernel    Kernel
+	Tol       float64 // KKT violation tolerance
+	MaxPasses int     // consecutive violation-free passes to converge
+	Seed      uint64  // working-pair randomisation
+}
+
+// DefaultParams returns a sensible starting point.
+func DefaultParams() Params {
+	return Params{C: 1, Kernel: Linear{}, Tol: 1e-3, MaxPasses: 8, Seed: 1}
+}
+
+// Model is a trained SVM.
+type Model struct {
+	kernel  Kernel
+	alphas  []float64
+	targets []float64
+	vecs    [][]float64
+	b       float64
+}
+
+// Train fits an SVM on X (rows are samples) with labels y in {-1, +1}.
+// It panics on malformed input — shape errors are harness bugs.
+func Train(X [][]float64, y []int, p Params) *Model {
+	n := len(X)
+	if n == 0 || len(y) != n {
+		panic("svm: empty training set or label mismatch")
+	}
+	for _, yi := range y {
+		if yi != 1 && yi != -1 {
+			panic("svm: labels must be +1/-1")
+		}
+	}
+	if p.Tol <= 0 {
+		p.Tol = 1e-3
+	}
+	if p.MaxPasses <= 0 {
+		p.MaxPasses = 8
+	}
+	if p.Kernel == nil {
+		p.Kernel = Linear{}
+	}
+
+	t := make([]float64, n)
+	for i, yi := range y {
+		t[i] = float64(yi)
+	}
+	// Precompute the kernel matrix: n is small in every use here.
+	K := make([][]float64, n)
+	for i := range K {
+		K[i] = make([]float64, n)
+		for j := 0; j <= i; j++ {
+			v := p.Kernel.Eval(X[i], X[j])
+			K[i][j] = v
+			K[j][i] = v
+		}
+	}
+
+	alphas := make([]float64, n)
+	b := 0.0
+	rng := rand.New(rand.NewPCG(p.Seed, 0x5b0))
+
+	f := func(i int) float64 {
+		s := b
+		for j := 0; j < n; j++ {
+			if alphas[j] != 0 {
+				s += alphas[j] * t[j] * K[j][i]
+			}
+		}
+		return s
+	}
+
+	passes := 0
+	iters := 0
+	maxIters := 200 * n
+	for passes < p.MaxPasses && iters < maxIters {
+		iters++
+		changed := 0
+		for i := 0; i < n; i++ {
+			Ei := f(i) - t[i]
+			if !((t[i]*Ei < -p.Tol && alphas[i] < p.C) || (t[i]*Ei > p.Tol && alphas[i] > 0)) {
+				continue
+			}
+			j := rng.IntN(n - 1)
+			if j >= i {
+				j++
+			}
+			Ej := f(j) - t[j]
+			ai, aj := alphas[i], alphas[j]
+			var L, H float64
+			if t[i] != t[j] {
+				L = math.Max(0, aj-ai)
+				H = math.Min(p.C, p.C+aj-ai)
+			} else {
+				L = math.Max(0, ai+aj-p.C)
+				H = math.Min(p.C, ai+aj)
+			}
+			if L == H {
+				continue
+			}
+			eta := 2*K[i][j] - K[i][i] - K[j][j]
+			if eta >= 0 {
+				continue
+			}
+			ajNew := aj - t[j]*(Ei-Ej)/eta
+			if ajNew > H {
+				ajNew = H
+			} else if ajNew < L {
+				ajNew = L
+			}
+			if math.Abs(ajNew-aj) < 1e-7 {
+				continue
+			}
+			aiNew := ai + t[i]*t[j]*(aj-ajNew)
+			b1 := b - Ei - t[i]*(aiNew-ai)*K[i][i] - t[j]*(ajNew-aj)*K[i][j]
+			b2 := b - Ej - t[i]*(aiNew-ai)*K[i][j] - t[j]*(ajNew-aj)*K[j][j]
+			switch {
+			case aiNew > 0 && aiNew < p.C:
+				b = b1
+			case ajNew > 0 && ajNew < p.C:
+				b = b2
+			default:
+				b = (b1 + b2) / 2
+			}
+			alphas[i], alphas[j] = aiNew, ajNew
+			changed++
+		}
+		if changed == 0 {
+			passes++
+		} else {
+			passes = 0
+		}
+	}
+
+	// Keep only support vectors.
+	m := &Model{kernel: p.Kernel, b: b}
+	for i := 0; i < n; i++ {
+		if alphas[i] > 1e-9 {
+			m.alphas = append(m.alphas, alphas[i])
+			m.targets = append(m.targets, t[i])
+			m.vecs = append(m.vecs, X[i])
+		}
+	}
+	return m
+}
+
+// Decision returns the signed margin of x.
+func (m *Model) Decision(x []float64) float64 {
+	s := m.b
+	for i := range m.vecs {
+		s += m.alphas[i] * m.targets[i] * m.kernel.Eval(m.vecs[i], x)
+	}
+	return s
+}
+
+// Classify returns +1 or -1 for x.
+func (m *Model) Classify(x []float64) int {
+	if m.Decision(x) >= 0 {
+		return 1
+	}
+	return -1
+}
+
+// SupportVectors returns the number of retained support vectors.
+func (m *Model) SupportVectors() int { return len(m.vecs) }
+
+// Accuracy scores the model on a labelled set.
+func (m *Model) Accuracy(X [][]float64, y []int) float64 {
+	if len(X) == 0 {
+		return 0
+	}
+	ok := 0
+	for i := range X {
+		if m.Classify(X[i]) == y[i] {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(X))
+}

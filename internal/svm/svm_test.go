@@ -1,0 +1,152 @@
+package svm
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// gauss2D draws a 2-D Gaussian blob around (cx, cy).
+func gauss2D(rng *rand.Rand, n int, cx, cy, sd float64) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = []float64{cx + rng.NormFloat64()*sd, cy + rng.NormFloat64()*sd}
+	}
+	return out
+}
+
+func TestLinearSeparable(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	X := append(gauss2D(rng, 40, -2, -2, 0.5), gauss2D(rng, 40, 2, 2, 0.5)...)
+	y := make([]int, 80)
+	for i := range y {
+		if i < 40 {
+			y[i] = -1
+		} else {
+			y[i] = 1
+		}
+	}
+	m := Train(X, y, DefaultParams())
+	if acc := m.Accuracy(X, y); acc < 0.98 {
+		t.Fatalf("linear SVM accuracy %.3f on separable blobs", acc)
+	}
+	if m.SupportVectors() == 0 || m.SupportVectors() == len(X) {
+		t.Errorf("suspicious support vector count %d", m.SupportVectors())
+	}
+}
+
+func TestRBFSolvesXOR(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	var X [][]float64
+	var y []int
+	for _, q := range []struct {
+		cx, cy float64
+		label  int
+	}{{-2, -2, 1}, {2, 2, 1}, {-2, 2, -1}, {2, -2, -1}} {
+		X = append(X, gauss2D(rng, 25, q.cx, q.cy, 0.5)...)
+		for i := 0; i < 25; i++ {
+			y = append(y, q.label)
+		}
+	}
+	p := DefaultParams()
+	p.Kernel = RBF{Gamma: 0.5}
+	p.C = 10
+	m := Train(X, y, p)
+	if acc := m.Accuracy(X, y); acc < 0.95 {
+		t.Fatalf("RBF SVM accuracy %.3f on XOR blobs", acc)
+	}
+	// A linear kernel cannot separate XOR.
+	lin := Train(X, y, DefaultParams())
+	if acc := lin.Accuracy(X, y); acc > 0.8 {
+		t.Errorf("linear SVM claims %.3f on XOR; expected failure", acc)
+	}
+}
+
+func TestRandomLabelsScoreAtChance(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	X := gauss2D(rng, 120, 0, 0, 1)
+	y := make([]int, len(X))
+	for i := range y {
+		y[i] = 1 - 2*rng.IntN(2)
+	}
+	acc := CrossValidate(X, y, DefaultParams(), 3, 7)
+	// Unlearnable labels must cross-validate near 50%.
+	if acc < 0.3 || acc > 0.7 {
+		t.Fatalf("CV accuracy %.3f on random labels, want ~0.5", acc)
+	}
+}
+
+func TestCrossValidateSeparable(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	X := append(gauss2D(rng, 30, -3, 0, 0.5), gauss2D(rng, 30, 3, 0, 0.5)...)
+	y := make([]int, 60)
+	for i := range y {
+		if i < 30 {
+			y[i] = -1
+		} else {
+			y[i] = 1
+		}
+	}
+	if acc := CrossValidate(X, y, DefaultParams(), 3, 1); acc < 0.95 {
+		t.Fatalf("CV accuracy %.3f on separable data", acc)
+	}
+}
+
+func TestGridSearchPrefersRBFOnXOR(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	var X [][]float64
+	var y []int
+	for _, q := range []struct {
+		cx, cy float64
+		label  int
+	}{{-2, -2, 1}, {2, 2, 1}, {-2, 2, -1}, {2, -2, -1}} {
+		X = append(X, gauss2D(rng, 20, q.cx, q.cy, 0.5)...)
+		for i := 0; i < 20; i++ {
+			y = append(y, q.label)
+		}
+	}
+	res := GridSearch(X, y, DefaultGrid(), 4, 2)
+	if res.Accuracy < 0.9 {
+		t.Fatalf("grid search best accuracy %.3f on XOR", res.Accuracy)
+	}
+	if _, ok := res.Params.Kernel.(RBF); !ok {
+		t.Errorf("grid search picked %v for XOR; expected an RBF kernel", res.Params.Kernel)
+	}
+}
+
+func TestScaler(t *testing.T) {
+	X := [][]float64{{1, 100}, {2, 200}, {3, 300}}
+	s := FitScaler(X)
+	out := s.Apply(X)
+	for j := 0; j < 2; j++ {
+		mean := 0.0
+		for i := range out {
+			mean += out[i][j]
+		}
+		mean /= float64(len(out))
+		if mean > 1e-9 || mean < -1e-9 {
+			t.Errorf("feature %d mean %v after scaling", j, mean)
+		}
+	}
+	// Constant features must not divide by zero.
+	s2 := FitScaler([][]float64{{5}, {5}, {5}})
+	if got := s2.Apply([][]float64{{5}})[0][0]; got != 0 {
+		t.Errorf("constant feature scaled to %v", got)
+	}
+}
+
+func TestTrainPanicsOnBadInput(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Train(nil, nil, DefaultParams()) },
+		func() { Train([][]float64{{1}}, []int{2}, DefaultParams()) },
+		func() { CrossValidate([][]float64{{1}}, []int{1}, DefaultParams(), 5, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("want panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,133 @@
+package svm
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// Scaler standardises features to zero mean and unit variance, fitted on
+// training data only. SVMs are scale-sensitive; the paper's "optimal
+// parameters obtained using grid search" presuppose standardised inputs.
+type Scaler struct {
+	mean []float64
+	std  []float64
+}
+
+// FitScaler learns per-feature moments from X.
+func FitScaler(X [][]float64) *Scaler {
+	if len(X) == 0 {
+		return &Scaler{}
+	}
+	d := len(X[0])
+	s := &Scaler{mean: make([]float64, d), std: make([]float64, d)}
+	for _, x := range X {
+		for j, v := range x {
+			s.mean[j] += v
+		}
+	}
+	for j := range s.mean {
+		s.mean[j] /= float64(len(X))
+	}
+	for _, x := range X {
+		for j, v := range x {
+			d := v - s.mean[j]
+			s.std[j] += d * d
+		}
+	}
+	for j := range s.std {
+		s.std[j] = math.Sqrt(s.std[j] / float64(len(X)))
+		if s.std[j] < 1e-12 {
+			s.std[j] = 1
+		}
+	}
+	return s
+}
+
+// Apply returns a standardised copy of X.
+func (s *Scaler) Apply(X [][]float64) [][]float64 {
+	if len(s.mean) == 0 {
+		return X
+	}
+	out := make([][]float64, len(X))
+	for i, x := range X {
+		r := make([]float64, len(x))
+		for j, v := range x {
+			r[j] = (v - s.mean[j]) / s.std[j]
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// CrossValidate scores params with k-fold cross-validation (stratified by
+// shuffling with a fixed seed) and returns mean accuracy. Each fold fits
+// its own scaler on the training split to avoid leakage.
+func CrossValidate(X [][]float64, y []int, p Params, folds int, seed uint64) float64 {
+	n := len(X)
+	if folds < 2 || n < folds {
+		panic("svm: bad cross-validation setup")
+	}
+	rng := rand.New(rand.NewPCG(seed, 0xf01d))
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+
+	total := 0.0
+	for f := 0; f < folds; f++ {
+		var trX, teX [][]float64
+		var trY, teY []int
+		for i, pi := range perm {
+			if i%folds == f {
+				teX = append(teX, X[pi])
+				teY = append(teY, y[pi])
+			} else {
+				trX = append(trX, X[pi])
+				trY = append(trY, y[pi])
+			}
+		}
+		sc := FitScaler(trX)
+		m := Train(sc.Apply(trX), trY, p)
+		total += m.Accuracy(sc.Apply(teX), teY)
+	}
+	return total / float64(folds)
+}
+
+// GridResult reports the best configuration found by GridSearch.
+type GridResult struct {
+	Params   Params
+	Accuracy float64
+}
+
+// DefaultGrid returns the parameter grid the experiments search: linear
+// and RBF kernels across a logarithmic C (and gamma) range.
+func DefaultGrid() []Params {
+	var grid []Params
+	for _, c := range []float64{0.1, 1, 10, 100} {
+		p := DefaultParams()
+		p.C = c
+		grid = append(grid, p)
+		for _, g := range []float64{0.01, 0.1, 1} {
+			pr := DefaultParams()
+			pr.C = c
+			pr.Kernel = RBF{Gamma: g}
+			grid = append(grid, pr)
+		}
+	}
+	return grid
+}
+
+// GridSearch cross-validates every parameter set and returns the winner.
+// This gives the adversary the paper's "unrealistically generous setup":
+// the attack is tuned on the very data it will be scored on.
+func GridSearch(X [][]float64, y []int, grid []Params, folds int, seed uint64) GridResult {
+	best := GridResult{Accuracy: -1}
+	for _, p := range grid {
+		acc := CrossValidate(X, y, p, folds, seed)
+		if acc > best.Accuracy {
+			best = GridResult{Params: p, Accuracy: acc}
+		}
+	}
+	return best
+}

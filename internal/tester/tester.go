@@ -1,0 +1,179 @@
+// Package tester is the host-side harness that drives a simulated NAND
+// chip the way the paper's commercial SigNAS tester drives real packages
+// (§6.1): it sequences raw commands into the characterisation and
+// preconditioning procedures the evaluation needs — programming blocks
+// with pseudorandom data, cycling them to target PEC levels, collecting
+// per-state voltage distributions, measuring bit error rates, and emulating
+// long retention periods (the paper's oven bake).
+package tester
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"stashflash/internal/nand"
+	"stashflash/internal/stats"
+)
+
+// Tester drives one chip.
+type Tester struct {
+	chip *nand.Chip
+	rng  *rand.Rand
+}
+
+// New creates a tester for chip. The seed drives only the host-generated
+// pseudorandom data patterns, mirroring the paper's "on each run, a new
+// random data pattern was used".
+func New(chip *nand.Chip, seed uint64) *Tester {
+	return &Tester{chip: chip, rng: rand.New(rand.NewPCG(seed, 0x7e57e4))}
+}
+
+// Chip exposes the underlying device for raw commands.
+func (t *Tester) Chip() *nand.Chip { return t.chip }
+
+// RandomPage generates one page worth of pseudorandom data.
+func (t *Tester) RandomPage() []byte {
+	b := make([]byte, t.chip.Geometry().PageBytes)
+	for i := range b {
+		b[i] = byte(t.rng.IntN(256))
+	}
+	return b
+}
+
+// ProgramRandomBlock programs every page of a block with fresh
+// pseudorandom data and returns the written images for later BER
+// comparison. The block must be erased.
+func (t *Tester) ProgramRandomBlock(block int) ([][]byte, error) {
+	g := t.chip.Geometry()
+	pages := make([][]byte, g.PagesPerBlock)
+	for p := 0; p < g.PagesPerBlock; p++ {
+		pages[p] = t.RandomPage()
+		if err := t.chip.ProgramPage(nand.PageAddr{Block: block, Page: p}, pages[p]); err != nil {
+			return nil, fmt.Errorf("tester: programming block %d page %d: %w", block, p, err)
+		}
+	}
+	return pages, nil
+}
+
+// CycleTo preconditions a block to the target PEC count using the
+// simulator's fast-forward, then leaves it erased. This mirrors the
+// paper's "we repeated this process for 0 to 3000 PEC".
+func (t *Tester) CycleTo(block, targetPEC int) {
+	cur := t.chip.PEC(block)
+	if targetPEC > cur {
+		t.chip.CycleBlock(block, targetPEC-cur)
+	}
+}
+
+// RealCycle performs n genuine program/erase cycles with random data; it
+// is far slower than CycleTo and exists so tests can confirm the fast
+// path and the real path agree on wear bookkeeping.
+func (t *Tester) RealCycle(block, n int) error {
+	for i := 0; i < n; i++ {
+		if _, err := t.ProgramRandomBlock(block); err != nil {
+			return err
+		}
+		t.chip.EraseBlock(block)
+	}
+	return nil
+}
+
+// VoltageBins is the number of probe quantisation levels (0..255).
+const VoltageBins = 256
+
+// NewVoltageHistogram allocates the canonical one-bin-per-level histogram.
+func NewVoltageHistogram() *stats.Histogram {
+	return stats.NewHistogram(0, VoltageBins, VoltageBins)
+}
+
+// PageDistribution probes one page and splits cell levels into the erased
+// ('1') and programmed ('0') populations around the public read reference,
+// matching how the paper presents Fig 2 (separate curves per state).
+func (t *Tester) PageDistribution(a nand.PageAddr) (erased, programmed *stats.Histogram, err error) {
+	erased = NewVoltageHistogram()
+	programmed = NewVoltageHistogram()
+	if err := t.accumulatePage(a, erased, programmed); err != nil {
+		return nil, nil, err
+	}
+	return erased, programmed, nil
+}
+
+// BlockDistribution probes every page of a block and accumulates the
+// per-state voltage distributions.
+func (t *Tester) BlockDistribution(block int) (erased, programmed *stats.Histogram, err error) {
+	erased = NewVoltageHistogram()
+	programmed = NewVoltageHistogram()
+	g := t.chip.Geometry()
+	for p := 0; p < g.PagesPerBlock; p++ {
+		if err := t.accumulatePage(nand.PageAddr{Block: block, Page: p}, erased, programmed); err != nil {
+			return nil, nil, err
+		}
+	}
+	return erased, programmed, nil
+}
+
+func (t *Tester) accumulatePage(a nand.PageAddr, erased, programmed *stats.Histogram) error {
+	levels, err := t.chip.ProbePage(a)
+	if err != nil {
+		return err
+	}
+	ref := uint8(t.chip.Model().ReadRef)
+	for _, v := range levels {
+		if v < ref {
+			erased.Add(float64(v))
+		} else {
+			programmed.Add(float64(v))
+		}
+	}
+	return nil
+}
+
+// BERResult reports a bit error measurement.
+type BERResult struct {
+	Bits   int
+	Errors int
+}
+
+// BER returns the measured bit error rate.
+func (r BERResult) BER() float64 {
+	if r.Bits == 0 {
+		return 0
+	}
+	return float64(r.Errors) / float64(r.Bits)
+}
+
+// MeasureBlockBER reads back a block programmed by ProgramRandomBlock and
+// compares against the expected page images.
+func (t *Tester) MeasureBlockBER(block int, expect [][]byte) (BERResult, error) {
+	var res BERResult
+	for p, want := range expect {
+		got, err := t.chip.ReadPage(nand.PageAddr{Block: block, Page: p})
+		if err != nil {
+			return res, err
+		}
+		for i := range got {
+			res.Errors += popcount8(got[i] ^ want[i])
+		}
+		res.Bits += len(got) * 8
+	}
+	return res, nil
+}
+
+// Bake emulates d of power-off retention, the simulator's equivalent of
+// the paper's accelerated oven aging (§8 Reliability).
+func (t *Tester) Bake(d time.Duration) {
+	t.chip.AdvanceRetention(d)
+}
+
+// Ledger returns the chip's accumulated operation costs.
+func (t *Tester) Ledger() nand.Ledger { return t.chip.Ledger() }
+
+func popcount8(b byte) int {
+	n := 0
+	for b != 0 {
+		n += int(b & 1)
+		b >>= 1
+	}
+	return n
+}

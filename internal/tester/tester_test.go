@@ -1,0 +1,129 @@
+package tester
+
+import (
+	"testing"
+	"time"
+
+	"stashflash/internal/nand"
+)
+
+func newTester(seed uint64) *Tester {
+	return New(nand.NewChip(nand.TestModel(), seed), seed)
+}
+
+func TestProgramRandomBlockAndBER(t *testing.T) {
+	ts := newTester(1)
+	pages, err := ts.ProgramRandomBlock(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pages) != ts.Chip().Geometry().PagesPerBlock {
+		t.Fatalf("got %d page images", len(pages))
+	}
+	res, err := ts.MeasureBlockBER(0, pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bits != ts.Chip().Geometry().CellsPerBlock() {
+		t.Fatalf("bits = %d", res.Bits)
+	}
+	if ber := res.BER(); ber > 5e-4 {
+		t.Fatalf("fresh block BER %.2e", ber)
+	}
+}
+
+func TestProgramRandomBlockRejectsProgrammed(t *testing.T) {
+	ts := newTester(2)
+	if _, err := ts.ProgramRandomBlock(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ts.ProgramRandomBlock(0); err == nil {
+		t.Fatal("reprogramming without erase accepted")
+	}
+}
+
+func TestCycleTo(t *testing.T) {
+	ts := newTester(3)
+	ts.CycleTo(1, 1500)
+	if pec := ts.Chip().PEC(1); pec != 1500 {
+		t.Fatalf("PEC = %d", pec)
+	}
+	// Cycling to a lower target is a no-op, never a rollback.
+	ts.CycleTo(1, 100)
+	if pec := ts.Chip().PEC(1); pec != 1500 {
+		t.Fatalf("PEC rolled back to %d", pec)
+	}
+}
+
+func TestRealCycleMatchesFastPathPEC(t *testing.T) {
+	ts := newTester(4)
+	if err := ts.RealCycle(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if pec := ts.Chip().PEC(0); pec != 3 {
+		t.Fatalf("real cycling left PEC = %d, want 3", pec)
+	}
+}
+
+func TestBlockDistributionShapes(t *testing.T) {
+	ts := newTester(5)
+	if _, err := ts.ProgramRandomBlock(0); err != nil {
+		t.Fatal(err)
+	}
+	erased, programmed, err := ts.BlockDistribution(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := erased.Total() + programmed.Total()
+	if total != ts.Chip().Geometry().CellsPerBlock() {
+		t.Fatalf("histograms cover %d cells, block has %d", total, ts.Chip().Geometry().CellsPerBlock())
+	}
+	// Random data: roughly half the cells per state.
+	f := float64(erased.Total()) / float64(total)
+	if f < 0.45 || f > 0.55 {
+		t.Fatalf("erased fraction %.3f", f)
+	}
+	// State means must sit inside the paper's Fig 2 bands.
+	if m := erased.Mean(); m < 10 || m > 45 {
+		t.Errorf("erased mean %.1f outside [10,45]", m)
+	}
+	if m := programmed.Mean(); m < 140 || m > 190 {
+		t.Errorf("programmed mean %.1f outside [140,190]", m)
+	}
+}
+
+func TestPageDistribution(t *testing.T) {
+	ts := newTester(6)
+	if _, err := ts.ProgramRandomBlock(0); err != nil {
+		t.Fatal(err)
+	}
+	erased, programmed, err := ts.PageDistribution(nand.PageAddr{Block: 0, Page: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if erased.Total()+programmed.Total() != ts.Chip().Geometry().CellsPerPage() {
+		t.Fatal("page histogram does not cover the page")
+	}
+}
+
+func TestBakeAgesChip(t *testing.T) {
+	ts := newTester(7)
+	ts.CycleTo(0, 2500)
+	pages, err := ts.ProgramRandomBlock(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, _ := ts.MeasureBlockBER(0, pages)
+	ts.Bake(6 * 30 * 24 * time.Hour)
+	after, _ := ts.MeasureBlockBER(0, pages)
+	if after.Errors < before.Errors {
+		t.Fatalf("bake reduced errors: %d -> %d", before.Errors, after.Errors)
+	}
+}
+
+func TestBERResultZero(t *testing.T) {
+	var r BERResult
+	if r.BER() != 0 {
+		t.Fatal("zero-bit BER must be 0")
+	}
+}

@@ -1,0 +1,137 @@
+// Package watermark builds the paper's §9.1 application on VT-HI:
+// authentication and provenance. A trusted party embeds a signed record —
+// binding an object identity to this physical device — into the voltage
+// levels of the flash pages that store the object. Verification recovers
+// the record and checks its tag; copying the file to another device (or a
+// byte-level image of this one) cannot carry the watermark along, because
+// the mark lives below the bit level ("copying hidden data without
+// knowledge of the relevant secret key is impossible", §1).
+//
+// Records are HMAC-authenticated rather than public-key signed: the
+// paper's motivating uses (counterfeit detection by the manufacturer,
+// archival provenance by the archive) verify with the same authority that
+// embedded, so a MAC gives the needed unforgeability with a fraction of
+// the hidden-bit budget a signature would burn.
+package watermark
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"stashflash/internal/core"
+	"stashflash/internal/nand"
+	"stashflash/internal/seal"
+)
+
+// Record is the provenance statement bound into the device.
+type Record struct {
+	// ObjectID identifies the watermarked object (for example a content
+	// hash truncated by the caller's convention).
+	ObjectID uint64
+	// Issuer identifies the authority that embedded the mark.
+	Issuer uint32
+	// Serial is a per-issuer sequence number (anti-rollback).
+	Serial uint32
+}
+
+const recordLen = 8 + 4 + 4
+
+// Errors surfaced by watermark operations.
+var (
+	ErrNoWatermark = errors.New("watermark: no valid watermark found")
+	ErrTooSmall    = errors.New("watermark: hidden page capacity too small for a record and tag")
+)
+
+// DefaultConfig returns the recommended hiding configuration for
+// watermarking: the robust operating point with a slightly larger cell
+// budget so a record plus a 32-bit-or-better tag fits in one page.
+func DefaultConfig() core.Config {
+	cfg := core.RobustConfig()
+	cfg.HiddenCellsPerPage = 384
+	return cfg
+}
+
+// Marker embeds and verifies provenance records on one chip.
+type Marker struct {
+	hider  *core.Hider
+	macKey []byte
+	tagLen int
+}
+
+// New builds a Marker from the authority's master secret.
+func New(chip *nand.Chip, master []byte, cfg core.Config) (*Marker, error) {
+	h, err := core.NewHider(chip, master, cfg)
+	if err != nil {
+		return nil, err
+	}
+	keys := seal.DeriveKeys(master)
+	tagLen := h.HiddenPayloadBytes() - recordLen
+	if tagLen < 4 {
+		return nil, fmt.Errorf("%w: %d payload bytes", ErrTooSmall, h.HiddenPayloadBytes())
+	}
+	if tagLen > 32 {
+		tagLen = 32
+	}
+	return &Marker{hider: h, macKey: keys.MAC, tagLen: tagLen}, nil
+}
+
+// Hider exposes the underlying VT-HI pipeline (for callers that also
+// manage the public data on the marked pages).
+func (m *Marker) Hider() *core.Hider { return m.hider }
+
+// encode serialises a record with its truncated tag bound to the page.
+func (m *Marker) encode(a nand.PageAddr, r Record) []byte {
+	buf := make([]byte, recordLen, recordLen+m.tagLen)
+	binary.BigEndian.PutUint64(buf[0:8], r.ObjectID)
+	binary.BigEndian.PutUint32(buf[8:12], r.Issuer)
+	binary.BigEndian.PutUint32(buf[12:16], r.Serial)
+	tag := m.tag(a, buf)
+	return append(buf, tag...)
+}
+
+// tag binds the record bytes to the physical page so a mark cannot be
+// replayed onto a different location.
+func (m *Marker) tag(a nand.PageAddr, record []byte) []byte {
+	bound := make([]byte, len(record)+8)
+	copy(bound, record)
+	binary.BigEndian.PutUint32(bound[len(record):], uint32(a.Block))
+	binary.BigEndian.PutUint32(bound[len(record)+4:], uint32(a.Page))
+	sum := seal.Sum(m.macKey, bound)
+	return sum[:m.tagLen]
+}
+
+// Embed watermarks an already-programmed page with the record. The page's
+// public content is untouched.
+func (m *Marker) Embed(a nand.PageAddr, r Record, epoch uint64) error {
+	_, err := m.hider.Hide(a, m.encode(a, r), epoch)
+	return err
+}
+
+// EmbedWithData programs public data and watermarks it in one step.
+func (m *Marker) EmbedWithData(a nand.PageAddr, public []byte, r Record, epoch uint64) error {
+	_, err := m.hider.WriteAndHide(a, public, m.encode(a, r), epoch)
+	return err
+}
+
+// Verify extracts and authenticates the watermark on a page. It returns
+// ErrNoWatermark when the page carries none (or the key is wrong) — the
+// two cases are indistinguishable by design.
+func (m *Marker) Verify(a nand.PageAddr, epoch uint64) (Record, error) {
+	payload, _, err := m.hider.Reveal(a, recordLen+m.tagLen, epoch)
+	if err != nil {
+		return Record{}, fmt.Errorf("%w: %v", ErrNoWatermark, err)
+	}
+	record := payload[:recordLen]
+	want := m.tag(a, record)
+	for i := range want {
+		if payload[recordLen+i] != want[i] {
+			return Record{}, ErrNoWatermark
+		}
+	}
+	return Record{
+		ObjectID: binary.BigEndian.Uint64(record[0:8]),
+		Issuer:   binary.BigEndian.Uint32(record[8:12]),
+		Serial:   binary.BigEndian.Uint32(record[12:16]),
+	}, nil
+}

@@ -1,0 +1,136 @@
+package watermark
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"stashflash/internal/core"
+	"stashflash/internal/nand"
+)
+
+func newMarker(t *testing.T, seed uint64, master string) (*Marker, *nand.Chip) {
+	t.Helper()
+	chip := nand.NewChip(nand.ModelA().ScaleGeometry(8, 8, 4096), seed)
+	m, err := New(chip, []byte(master), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, chip
+}
+
+func randPublic(rng *rand.Rand, m *Marker) []byte {
+	b := make([]byte, m.Hider().PublicDataBytes())
+	for i := range b {
+		b[i] = byte(rng.IntN(256))
+	}
+	return b
+}
+
+func TestEmbedVerifyRoundTrip(t *testing.T) {
+	m, _ := newMarker(t, 1, "authority")
+	rng := rand.New(rand.NewPCG(1, 1))
+	a := nand.PageAddr{Block: 0, Page: 0}
+	rec := Record{ObjectID: 0xDEADBEEFCAFE, Issuer: 42, Serial: 7}
+	if err := m.EmbedWithData(a, randPublic(rng, m), rec, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Verify(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != rec {
+		t.Fatalf("verified %+v, want %+v", got, rec)
+	}
+}
+
+func TestUnmarkedPageRejected(t *testing.T) {
+	m, _ := newMarker(t, 2, "authority")
+	rng := rand.New(rand.NewPCG(2, 2))
+	a := nand.PageAddr{Block: 0, Page: 0}
+	if err := m.Hider().WritePage(a, randPublic(rng, m)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Verify(a, 0); err == nil {
+		t.Fatal("unmarked page verified")
+	}
+}
+
+func TestWrongAuthorityRejected(t *testing.T) {
+	m, chip := newMarker(t, 3, "authority")
+	rng := rand.New(rand.NewPCG(3, 3))
+	a := nand.PageAddr{Block: 0, Page: 0}
+	if err := m.EmbedWithData(a, randPublic(rng, m), Record{ObjectID: 1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	other, err := New(chip, []byte("impostor"), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.Verify(a, 0); err == nil {
+		t.Fatal("impostor key verified the mark")
+	}
+}
+
+func TestMarkDoesNotMoveAcrossPages(t *testing.T) {
+	// A mark is bound to its physical page: the same record embedded at
+	// page X must not verify at page Y (anti-replay for provenance).
+	m, _ := newMarker(t, 4, "authority")
+	rng := rand.New(rand.NewPCG(4, 4))
+	a := nand.PageAddr{Block: 0, Page: 0}
+	b := nand.PageAddr{Block: 0, Page: 2}
+	rec := Record{ObjectID: 99, Issuer: 1, Serial: 1}
+	if err := m.EmbedWithData(a, randPublic(rng, m), rec, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Hider().WritePage(b, randPublic(rng, m)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Verify(b, 0); err == nil {
+		t.Fatal("mark verified at a page it was never embedded into")
+	}
+}
+
+func TestPublicDataIntactAfterMark(t *testing.T) {
+	m, _ := newMarker(t, 5, "authority")
+	rng := rand.New(rand.NewPCG(5, 5))
+	a := nand.PageAddr{Block: 0, Page: 0}
+	public := randPublic(rng, m)
+	if err := m.EmbedWithData(a, public, Record{ObjectID: 5}, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := m.Hider().ReadPublic(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != public[i] {
+			t.Fatal("watermark corrupted public data")
+		}
+	}
+}
+
+func TestEraseDestroysMark(t *testing.T) {
+	m, chip := newMarker(t, 6, "authority")
+	rng := rand.New(rand.NewPCG(6, 6))
+	a := nand.PageAddr{Block: 0, Page: 0}
+	if err := m.EmbedWithData(a, randPublic(rng, m), Record{ObjectID: 5}, 0); err != nil {
+		t.Fatal(err)
+	}
+	chip.EraseBlock(0)
+	if err := m.Hider().WritePage(a, randPublic(rng, m)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Verify(a, 0); err == nil {
+		t.Fatal("mark survived an erase")
+	}
+}
+
+func TestTooSmallCapacityRejected(t *testing.T) {
+	chip := nand.NewChip(nand.ModelA().ScaleGeometry(8, 8, 4096), 7)
+	cfg := core.StandardConfig()
+	cfg.HiddenCellsPerPage = 160 // BCH(8,8): 64 parity -> 12 payload bytes < record+tag
+	cfg.BCHT = 8
+	if _, err := New(chip, []byte("k"), cfg); err == nil {
+		t.Fatal("capacity-starved config accepted")
+	}
+}

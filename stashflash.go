@@ -1,0 +1,187 @@
+// Package stashflash is a Go reproduction of "Stash in a Flash" (Zuck,
+// Li, Bruck, Porter, Tsafrir; FAST 2018): hiding data in the analog
+// voltage levels of NAND flash cells.
+//
+// The package is the stable public surface over the full system:
+//
+//   - a voltage-level NAND chip simulator standing in for the paper's
+//     hardware testbed (see DESIGN.md for the substitution argument);
+//   - VT-HI, the paper's hiding scheme: keyed cell selection, encrypted
+//     and ECC-protected payloads, partial-programming encode, single-read
+//     decode;
+//   - PT-HI, the prior-art baseline, for comparison;
+//   - an FTL and a steganographic hidden volume (§9.2), and a
+//     watermarking/provenance application (§9.1);
+//   - the experiment harness regenerating every table and figure of the
+//     paper's evaluation (cmd/experiments, bench_test.go).
+//
+// Quick start:
+//
+//	dev := stashflash.OpenVendorA(42)
+//	hider, _ := dev.NewHider([]byte("secret"), stashflash.Standard)
+//	addr := stashflash.PageAddr{Block: 0, Page: 0}
+//	hider.WritePage(addr, publicData)
+//	hider.Hide(addr, []byte("hidden"), 0)
+//	msg, _, _ := hider.Reveal(addr, 6, 0)
+package stashflash
+
+import (
+	"fmt"
+
+	"stashflash/internal/core"
+	"stashflash/internal/nand"
+	"stashflash/internal/stegfs"
+	"stashflash/internal/watermark"
+)
+
+// PageAddr identifies a page on a device.
+type PageAddr = nand.PageAddr
+
+// Model parameterises a simulated chip family.
+type Model = nand.Model
+
+// Hider is the VT-HI pipeline bound to one device and master secret.
+type Hider = core.Hider
+
+// HideStats and RevealStats report embedding/extraction costs.
+type (
+	HideStats   = core.HideStats
+	RevealStats = core.RevealStats
+)
+
+// Volume is a steganographic hidden volume (§9.2 basic design).
+type Volume = stegfs.Volume
+
+// StripeGeometry shapes RAID-like hiding across pages (§8): a payload
+// split over Data shards plus Parity recoverable page losses. Used with
+// Hider.HideStriped / Hider.RevealStriped.
+type StripeGeometry = core.StripeGeometry
+
+// Marker embeds and verifies provenance watermarks (§9.1).
+type Marker = watermark.Marker
+
+// Record is a provenance statement embedded by a Marker.
+type Record = watermark.Record
+
+// ConfigKind selects a VT-HI operating point.
+type ConfigKind int
+
+const (
+	// Standard is the paper's evaluated configuration for unmodified
+	// devices: Vth 34, 256 hidden cells/page, ten PP steps, interval 1.
+	Standard ConfigKind = iota
+	// Enhanced is the vendor-supported 9x-capacity configuration of §8.
+	Enhanced
+	// Robust is Standard hardened for live-system use (interference and
+	// wear compensation plus a guard band); this reproduction's
+	// extension, used by the hidden volume.
+	Robust
+)
+
+func (k ConfigKind) config() (core.Config, error) {
+	switch k {
+	case Standard:
+		return core.StandardConfig(), nil
+	case Enhanced:
+		return core.EnhancedConfig(), nil
+	case Robust:
+		return core.RobustConfig(), nil
+	default:
+		return core.Config{}, fmt.Errorf("stashflash: unknown config kind %d", int(k))
+	}
+}
+
+// String names the configuration.
+func (k ConfigKind) String() string {
+	switch k {
+	case Standard:
+		return "standard"
+	case Enhanced:
+		return "enhanced"
+	case Robust:
+		return "robust"
+	default:
+		return fmt.Sprintf("ConfigKind(%d)", int(k))
+	}
+}
+
+// Device is one simulated flash package.
+type Device struct {
+	chip *nand.Chip
+}
+
+// VendorA returns the primary chip model of the paper (8 GB, 18048-byte
+// pages). Pair with Model.ScaleGeometry for smaller simulations.
+func VendorA() Model { return nand.ModelA() }
+
+// VendorB returns the second-vendor model used by the paper's
+// applicability experiment (16 GB, 18256-byte pages).
+func VendorB() Model { return nand.ModelB() }
+
+// Open simulates a chip of the given model; distinct seeds model distinct
+// physical samples.
+func Open(m Model, seed uint64) *Device {
+	return &Device{chip: nand.NewChip(m, seed)}
+}
+
+// OpenVendorA opens a vendor-A chip scaled to a laptop-friendly geometry
+// (64 blocks of 16 pages, 4512-byte pages). Use Open(VendorA(), seed) for
+// the full 8 GB part.
+func OpenVendorA(seed uint64) *Device {
+	return Open(nand.ModelA().ScaleGeometry(64, 16, 4512), seed)
+}
+
+// OpenVendorB is OpenVendorA for the second vendor model.
+func OpenVendorB(seed uint64) *Device {
+	return Open(nand.ModelB().ScaleGeometry(64, 16, 4564), seed)
+}
+
+// Chip exposes the raw simulated chip for advanced use (probing,
+// characterisation, custom command sequences).
+func (d *Device) Chip() *nand.Chip { return d.chip }
+
+// Geometry returns the device layout.
+func (d *Device) Geometry() nand.Geometry { return d.chip.Geometry() }
+
+// EraseBlock erases a block, destroying any hidden payloads in it.
+func (d *Device) EraseBlock(block int) { d.chip.EraseBlock(block) }
+
+// NewHider builds a VT-HI pipeline on the device with the given master
+// secret and operating point.
+func (d *Device) NewHider(master []byte, kind ConfigKind) (*Hider, error) {
+	cfg, err := kind.config()
+	if err != nil {
+		return nil, err
+	}
+	return core.NewHider(d.chip, master, cfg)
+}
+
+// NewMarker builds a watermarking authority on the device (§9.1).
+func (d *Device) NewMarker(master []byte) (*Marker, error) {
+	return watermark.New(d.chip, master, watermark.DefaultConfig())
+}
+
+// CreateVolume formats the device as a steganographic volume: a public
+// encrypted block device with hiddenSectors hidden sectors inside it
+// (§9.2). masterKey guards the hidden volume; publicKey encrypts the
+// public one.
+func (d *Device) CreateVolume(masterKey, publicKey []byte, hiddenSectors int) (*Volume, error) {
+	cfg := stegfs.DefaultConfig(d.chip.Geometry())
+	if hiddenSectors > 0 {
+		cfg.HiddenSectors = hiddenSectors
+	}
+	return stegfs.Create(d.chip, masterKey, publicKey, cfg)
+}
+
+// CapacityReport summarises hidden capacity for a configuration on the
+// full-size vendor part.
+type CapacityReport = core.CapacityReport
+
+// PlanCapacity reports hidden capacity for an operating point on a model.
+func PlanCapacity(m Model, kind ConfigKind) (CapacityReport, error) {
+	cfg, err := kind.config()
+	if err != nil {
+		return CapacityReport{}, err
+	}
+	return core.PlanCapacity(m, cfg)
+}

@@ -1,0 +1,159 @@
+package stashflash
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+)
+
+func randomPublic(t *testing.T, h *Hider, seed uint64) []byte {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, 0))
+	b := make([]byte, h.PublicDataBytes())
+	for i := range b {
+		b[i] = byte(rng.IntN(256))
+	}
+	return b
+}
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	dev := OpenVendorA(42)
+	hider, err := dev.NewHider([]byte("secret"), Robust)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := PageAddr{Block: 0, Page: 0}
+	if err := hider.WritePage(addr, randomPublic(t, hider, 1)); err != nil {
+		t.Fatal(err)
+	}
+	secret := []byte("hidden")
+	if _, err := hider.Hide(addr, secret, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := hider.Reveal(addr, len(secret), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, secret) {
+		t.Fatalf("revealed %q", got)
+	}
+}
+
+func TestFacadeConfigKinds(t *testing.T) {
+	for _, k := range []ConfigKind{Standard, Enhanced, Robust} {
+		if _, err := k.config(); err != nil {
+			t.Errorf("%v: %v", k, err)
+		}
+		if k.String() == "" {
+			t.Errorf("%v has empty name", k)
+		}
+	}
+	bad := ConfigKind(99)
+	if _, err := bad.config(); err == nil {
+		t.Error("invalid kind accepted")
+	}
+	dev := OpenVendorA(1)
+	if _, err := dev.NewHider([]byte("k"), ConfigKind(99)); err == nil {
+		t.Error("NewHider accepted invalid kind")
+	}
+}
+
+func TestFacadeEraseDestroysHidden(t *testing.T) {
+	dev := OpenVendorA(7)
+	hider, err := dev.NewHider([]byte("secret"), Robust)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := PageAddr{Block: 1, Page: 0}
+	if err := hider.WritePage(addr, randomPublic(t, hider, 2)); err != nil {
+		t.Fatal(err)
+	}
+	secret := []byte("short lived")
+	if _, err := hider.Hide(addr, secret, 0); err != nil {
+		t.Fatal(err)
+	}
+	dev.EraseBlock(1)
+	if err := hider.WritePage(addr, randomPublic(t, hider, 3)); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := hider.Reveal(addr, len(secret), 0)
+	if err == nil && bytes.Equal(got, secret) {
+		t.Fatal("hidden data survived erase")
+	}
+}
+
+func TestFacadeVolume(t *testing.T) {
+	dev := OpenVendorA(9)
+	vol, err := dev.CreateVolume([]byte("hidden-key"), []byte("public-key"), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vol.HiddenCapacity() != 7 {
+		t.Fatalf("hidden capacity = %d", vol.HiddenCapacity())
+	}
+	if err := vol.HiddenWrite(1, []byte("vault")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := vol.HiddenRead(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:5], []byte("vault")) {
+		t.Fatalf("hidden read %q", got[:5])
+	}
+}
+
+func TestFacadeMarker(t *testing.T) {
+	dev := OpenVendorA(11)
+	mk, err := dev.NewMarker([]byte("authority"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := PageAddr{Block: 0, Page: 0}
+	pub := make([]byte, mk.Hider().PublicDataBytes())
+	rng := rand.New(rand.NewPCG(4, 4))
+	for i := range pub {
+		pub[i] = byte(rng.IntN(256))
+	}
+	rec := Record{ObjectID: 7, Issuer: 1, Serial: 2}
+	if err := mk.EmbedWithData(addr, pub, rec, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := mk.Verify(addr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != rec {
+		t.Fatalf("verified %+v", got)
+	}
+}
+
+func TestFacadeCapacityPlanning(t *testing.T) {
+	std, err := PlanCapacity(VendorA(), Standard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enh, err := PlanCapacity(VendorA(), Enhanced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enh.PayloadBitsPerPage <= 8*std.PayloadBitsPerPage {
+		t.Errorf("enhanced gain %d/%d not ~9x", enh.PayloadBitsPerPage, std.PayloadBitsPerPage)
+	}
+	if _, err := PlanCapacity(VendorB(), Standard); err != nil {
+		t.Errorf("vendor B: %v", err)
+	}
+}
+
+func TestFacadeModels(t *testing.T) {
+	if VendorA().TotalBytes() != int64(2048)*256*18048 {
+		t.Error("vendor A capacity wrong")
+	}
+	if VendorB().PageBytes != 18256 {
+		t.Error("vendor B page size wrong")
+	}
+	dev := OpenVendorB(1)
+	if dev.Geometry().Blocks != 64 {
+		t.Error("scaled open geometry wrong")
+	}
+}
