@@ -1,0 +1,27 @@
+# Tier-1 verify is `make ci` (see ROADMAP.md).
+
+GO ?= go
+
+.PHONY: build test vet race ci bench bench-parallel
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+ci: build vet test race
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .
+
+# Regenerate BENCH_parallel.json: per-experiment wall clock at workers=1
+# vs workers=GOMAXPROCS. Meaningful speedups need a multi-core runner.
+bench-parallel:
+	$(GO) run ./cmd/experiments -benchjson BENCH_parallel.json all

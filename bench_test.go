@@ -94,13 +94,19 @@ func BenchmarkWritePage(b *testing.B) {
 	dev, h := benchDevice(b)
 	pub := benchPublic(h, 1)
 	g := dev.Geometry()
+	dev.EraseBlock(0)
 	b.SetBytes(int64(len(pub)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		block := (i / g.PagesPerBlock) % g.Blocks
 		page := i % g.PagesPerBlock
-		if page == 0 {
+		if page == 0 && i > 0 {
+			// Erase is block maintenance, not part of the per-page write
+			// path; keep it out of the ns/op and MB/s accounting.
+			b.StopTimer()
 			dev.EraseBlock(block)
+			b.StartTimer()
 		}
 		if err := h.WritePage(PageAddr{Block: block, Page: page}, pub); err != nil {
 			b.Fatal(err)
@@ -117,6 +123,7 @@ func BenchmarkReadPublic(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.SetBytes(int64(len(pub)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := h.ReadPublic(addr); err != nil {
@@ -133,12 +140,17 @@ func BenchmarkHide(b *testing.B) {
 	pub := benchPublic(h, 3)
 	secret := make([]byte, h.HiddenPayloadBytes())
 	g := dev.Geometry()
+	dev.EraseBlock(0)
 	b.SetBytes(int64(len(secret)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		block := (i / g.PagesPerBlock) % g.Blocks
 		page := i % g.PagesPerBlock
-		if page == 0 {
+		if page == 0 && i > 0 {
+			// Pre-erased before ResetTimer for i==0; wrapping the erase at
+			// every later block boundary keeps SetBytes throughput a pure
+			// measure of the Algorithm 1 encode path.
 			b.StopTimer()
 			dev.EraseBlock(block)
 			b.StartTimer()
@@ -160,6 +172,7 @@ func BenchmarkReveal(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.SetBytes(int64(len(secret)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := h.Reveal(addr, len(secret), 0); err != nil {
@@ -177,6 +190,7 @@ func BenchmarkProbePage(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.SetBytes(int64(dev.Geometry().CellsPerPage()))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := dev.Chip().ProbePage(addr); err != nil {
@@ -195,6 +209,7 @@ func BenchmarkFTLWriteThroughVolume(b *testing.B) {
 	}
 	sector := make([]byte, vol.PublicSectorBytes())
 	b.SetBytes(int64(len(sector)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := vol.PublicWrite(i%vol.PublicCapacity(), sector); err != nil {
@@ -213,6 +228,7 @@ func BenchmarkHiddenVolumeWrite(b *testing.B) {
 	}
 	payload := make([]byte, vol.HiddenSectorBytes())
 	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := vol.HiddenWrite(1+i%vol.HiddenCapacity(), payload); err != nil {

@@ -5,24 +5,57 @@
 // Usage:
 //
 //	experiments -list
-//	experiments [-scale ci|paper] [-summary] [-seed N] all
+//	experiments [-scale ci|paper] [-summary] [-seed N] [-workers N] all
 //	experiments [-scale ci|paper] fig6 fig10 tbl1 ...
+//	experiments -benchjson BENCH_parallel.json all
+//
+// -workers bounds the experiment engine's fan-out across independent
+// chips, blocks and replicate points (0 = auto: STASHFLASH_WORKERS, else
+// GOMAXPROCS; 1 = serial). Results are bit-identical for every worker
+// count. -benchjson additionally times each experiment at workers=1 and
+// at the selected worker count and writes the comparison as JSON.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"stashflash/internal/experiments"
+	"stashflash/internal/parallel"
 )
+
+// benchEntry is one experiment's serial-vs-parallel wall-clock comparison.
+type benchEntry struct {
+	ID         string  `json:"id"`
+	Workers1Ms float64 `json:"workers1_ms"`
+	WorkersNMs float64 `json:"workersN_ms"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// benchReport is the BENCH_parallel.json document.
+type benchReport struct {
+	Scale       string       `json:"scale"`
+	Seed        uint64       `json:"seed"`
+	NumCPU      int          `json:"num_cpu"`
+	GoMaxProcs  int          `json:"gomaxprocs"`
+	Workers     int          `json:"workers"`
+	Experiments []benchEntry `json:"experiments"`
+	Total1Ms    float64      `json:"total_workers1_ms"`
+	TotalNMs    float64      `json:"total_workersN_ms"`
+	Speedup     float64      `json:"speedup"`
+}
 
 func main() {
 	scaleName := flag.String("scale", "ci", "run scale: ci (seconds) or paper (minutes)")
 	summary := flag.Bool("summary", false, "print tables and notes only, suppress series points")
 	list := flag.Bool("list", false, "list experiments and exit")
 	seed := flag.Uint64("seed", 0, "override the scale's seed (0 keeps default)")
+	workers := flag.Int("workers", 0, "experiment engine worker count (0 = auto, 1 = serial)")
+	benchJSON := flag.String("benchjson", "", "time each experiment at workers=1 vs -workers and write the comparison to this JSON file")
 	flag.Parse()
 
 	if *list {
@@ -45,6 +78,7 @@ func main() {
 	if *seed != 0 {
 		scale.Seed = *seed
 	}
+	scale.Workers = *workers
 
 	ids := flag.Args()
 	if len(ids) == 0 {
@@ -65,6 +99,14 @@ func main() {
 		}
 	}
 
+	if *benchJSON != "" {
+		if err := runBench(*benchJSON, scale, *scaleName, entries); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	for _, e := range entries {
 		start := time.Now()
 		r, err := e.Run(scale)
@@ -79,4 +121,61 @@ func main() {
 			r.WriteText(os.Stdout)
 		}
 	}
+}
+
+// runBench times each experiment serial then parallel and writes the
+// BENCH_parallel.json comparison. The serial pass runs first so both
+// passes see the same warmed state (none: experiments are pure functions
+// of Scale), making the two timings directly comparable.
+func runBench(path string, scale experiments.Scale, scaleName string, entries []experiments.Entry) error {
+	n := scale.Workers
+	if n <= 0 {
+		n = parallel.DefaultWorkers()
+	}
+	rep := benchReport{
+		Scale:      scaleName,
+		Seed:       scale.Seed,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Workers:    n,
+	}
+	timeRun := func(e experiments.Entry, workers int) (float64, error) {
+		s := scale
+		s.Workers = workers
+		start := time.Now()
+		if _, err := e.Run(s); err != nil {
+			return 0, fmt.Errorf("%s (workers=%d): %w", e.ID, workers, err)
+		}
+		return float64(time.Since(start).Microseconds()) / 1e3, nil
+	}
+	for _, e := range entries {
+		ms1, err := timeRun(e, 1)
+		if err != nil {
+			return err
+		}
+		msN, err := timeRun(e, n)
+		if err != nil {
+			return err
+		}
+		entry := benchEntry{ID: e.ID, Workers1Ms: ms1, WorkersNMs: msN, Speedup: ms1 / msN}
+		rep.Experiments = append(rep.Experiments, entry)
+		rep.Total1Ms += ms1
+		rep.TotalNMs += msN
+		fmt.Fprintf(os.Stderr, "%-10s workers=1 %8.1fms  workers=%d %8.1fms  %.2fx\n",
+			e.ID, ms1, n, msN, entry.Speedup)
+	}
+	if rep.TotalNMs > 0 {
+		rep.Speedup = rep.Total1Ms / rep.TotalNMs
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "total: workers=1 %.1fms, workers=%d %.1fms (%.2fx); wrote %s\n",
+		rep.Total1Ms, n, rep.TotalNMs, rep.Speedup, path)
+	return nil
 }

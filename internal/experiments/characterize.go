@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"stashflash/internal/nand"
+	"stashflash/internal/parallel"
 	"stashflash/internal/stats"
 	"stashflash/internal/tester"
 )
@@ -14,7 +15,7 @@ import (
 // narrower and sit at four levels instead of two.
 func Fig1(s Scale) (*Result, error) {
 	r := &Result{ID: "fig1", Title: "SLC vs MLC voltage level distributions"}
-	ts := newTester(s.modelA(), s.Seed, s.Seed)
+	ts := s.tester(s.modelA(), "fig1")
 	chip := ts.Chip()
 
 	// Block 0: SLC-style programming with random data.
@@ -98,33 +99,47 @@ func Fig2(s Scale) (*Result, error) {
 		Title:   "per-sample state statistics (block level)",
 		Columns: []string{"sample", "erased mean", "erased std", "prog mean", "prog std", "erased>34"},
 	}
-	for sample := 0; sample < 4; sample++ {
-		ts := newTester(s.modelA(), s.Seed+uint64(sample)*101, s.Seed+uint64(sample))
+	// Each chip sample is an independent unit: it owns its chip and host
+	// streams, so the four samples characterise in parallel.
+	type sampleOut struct {
+		series []Series
+		row    []string
+	}
+	outs, err := parallel.Map(s.workers(), 4, func(sample int) (sampleOut, error) {
+		ts := s.tester(s.modelA(), "fig2", uint64(sample))
 		if _, err := ts.ProgramRandomBlock(0); err != nil {
-			return nil, err
+			return sampleOut{}, err
 		}
 		be, bp, err := ts.BlockDistribution(0)
 		if err != nil {
-			return nil, err
+			return sampleOut{}, err
 		}
 		pe, pp, err := ts.PageDistribution(nand.PageAddr{Block: 0, Page: s.PagesPerBlock / 2})
 		if err != nil {
-			return nil, err
+			return sampleOut{}, err
 		}
 		label := fmt.Sprintf("sample %d", sample+1)
-		r.Series = append(r.Series,
-			histSeries(label+" block erased", be, 0, 80),
-			histSeries(label+" block programmed", bp, 120, 210),
-			histSeries(label+" page erased", pe, 0, 80),
-			histSeries(label+" page programmed", pp, 120, 210),
-		)
-		tailAbove34 := fractionAbove(be, 34)
-		summary.Rows = append(summary.Rows, []string{
-			label,
-			f3(be.Mean()), f3(histStd(be)),
-			f3(bp.Mean()), f3(histStd(bp)),
-			pct(tailAbove34),
-		})
+		return sampleOut{
+			series: []Series{
+				histSeries(label+" block erased", be, 0, 80),
+				histSeries(label+" block programmed", bp, 120, 210),
+				histSeries(label+" page erased", pe, 0, 80),
+				histSeries(label+" page programmed", pp, 120, 210),
+			},
+			row: []string{
+				label,
+				f3(be.Mean()), f3(histStd(be)),
+				f3(bp.Mean()), f3(histStd(bp)),
+				pct(fractionAbove(be, 34)),
+			},
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, o := range outs {
+		r.Series = append(r.Series, o.series...)
+		summary.Rows = append(summary.Rows, o.row)
 	}
 	r.Tables = append(r.Tables, summary)
 	r.AddNote("paper: 99.99%% of cells in [0,70] (erased) and [120,210] (programmed); samples differ visibly")
@@ -158,8 +173,10 @@ func histStd(h *stats.Histogram) float64 {
 // Fig3 regenerates paper Figure 3: distributions shift right as blocks
 // accumulate program/erase cycles.
 func Fig3(s Scale) (*Result, error) {
+	// All four PEC points live on one chip sample (the paper cycles blocks
+	// of the same device), so Fig 3 stays a single serial unit.
 	r := &Result{ID: "fig3", Title: "voltage distribution shift with wear (PEC 0..3000)"}
-	ts := newTester(s.modelA(), s.Seed+7, s.Seed+7)
+	ts := s.tester(s.modelA(), "fig3")
 	pecs := []int{0, 1000, 2000, 3000}
 	shift := Table{
 		Title:   "state means by PEC",

@@ -6,6 +6,7 @@ import (
 
 	"stashflash/internal/core"
 	"stashflash/internal/nand"
+	"stashflash/internal/parallel"
 	"stashflash/internal/stats"
 	"stashflash/internal/svm"
 	"stashflash/internal/tester"
@@ -156,104 +157,108 @@ func enhancedNormal(key []byte) hideFn {
 	}
 }
 
+// classSpec names one feature class of the sweep: blocks at one PEC,
+// hidden or normal.
+type classSpec struct {
+	pec    int
+	hidden bool
+}
+
 // svmSweep runs the paper's §7 methodology: per (hiddenPEC, normalPEC)
 // pair, train on ChipSamples-1 chips with grid search + 3-fold CV and
 // score on the held-out chip.
+//
+// The sweep runs in two fan-out phases. Feature collection parallelises
+// strictly across chip samples — every class of one sample shares that
+// sample's *nand.Chip, which is single-threaded, so one worker owns the
+// whole chip. Cell evaluation then parallelises across the
+// (hiddenPEC, normalPEC) grid, which only reads the shared feature sets.
 func svmSweep(s Scale, id, title string, hide, normal hideFn, hiddenPECs, normalPECs []int) (*Result, error) {
 	r := &Result{ID: id, Title: title}
 
-	type classKey struct {
-		chip, pec int
-		hidden    bool
+	// Canonical class list. Block numbers on each chip are assigned in
+	// this order — a pure function of the sweep spec, not of execution
+	// order, so the layout is identical for any worker count. Each class
+	// gets fresh blocks: reusing a cycled block would contaminate the PEC
+	// class with leftover wear.
+	var classes []classSpec
+	for _, hp := range hiddenPECs {
+		classes = append(classes, classSpec{hp, true})
 	}
-	feats := map[classKey][][]float64{}
-	nextBlock := make([]int, s.ChipSamples)
-	testers := make([]*tester.Tester, s.ChipSamples)
-	for c := 0; c < s.ChipSamples; c++ {
-		testers[c] = newTester(s.modelA(), s.Seed+uint64(c)*389+5, s.Seed+uint64(c)+5)
+	for _, np := range normalPECs {
+		classes = append(classes, classSpec{np, false})
 	}
-	collect := func(c, pec int, hidden bool) ([][]float64, error) {
-		k := classKey{c, pec, hidden}
-		if f, ok := feats[k]; ok {
-			return f, nil
+	blocksNeeded := len(classes) * s.BlocksPerClass
+
+	chipFeats, err := parallel.Map(s.workers(), s.ChipSamples, func(c int) (map[classSpec][][]float64, error) {
+		ts := s.tester(s.modelA(), id, uint64(c))
+		if g := ts.Chip().Geometry().Blocks; blocksNeeded > g {
+			return nil, fmt.Errorf("experiments: scale provides %d blocks/chip, sweep needs %d", g, blocksNeeded)
 		}
-		rng := rand.New(rand.NewPCG(s.Seed+uint64(pec), uint64(c)<<1|boolBit(hidden)))
-		var out [][]float64
-		for i := 0; i < s.BlocksPerClass; i++ {
+		feats := make(map[classSpec][][]float64, len(classes))
+		block := 0
+		for ki, cl := range classes {
+			rng := s.rng(id+"/class", uint64(c), uint64(ki))
 			fn := normal
-			if hidden {
+			if cl.hidden {
 				fn = hide
 			}
-			block := nextBlock[c]
-			if block >= testers[c].Chip().Geometry().Blocks {
-				// Reusing a cycled block would contaminate the PEC
-				// class with leftover wear.
-				return nil, fmt.Errorf("experiments: scale provides %d blocks/chip, sweep needs more", testers[c].Chip().Geometry().Blocks)
+			out := make([][]float64, 0, s.BlocksPerClass)
+			for i := 0; i < s.BlocksPerClass; i++ {
+				f, err := blockFeatures(ts, block, cl.pec, rng, fn)
+				if err != nil {
+					return nil, err
+				}
+				block++
+				out = append(out, f)
 			}
-			nextBlock[c]++
-			f, err := blockFeatures(testers[c], block, pec, rng, fn)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, f)
+			feats[cl] = out
 		}
-		feats[k] = out
-		return out, nil
+		return feats, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	grid := svm.DefaultGrid()
+	nc := len(normalPECs)
+	accs, err := parallel.Map(s.workers(), len(hiddenPECs)*nc, func(u int) (float64, error) {
+		hp, np := hiddenPECs[u/nc], normalPECs[u%nc]
+		var trX, teX [][]float64
+		var trY, teY []int
+		for c := 0; c < s.ChipSamples; c++ {
+			add := func(spec classSpec, label int) {
+				for _, f := range chipFeats[c][spec] {
+					if c == s.ChipSamples-1 {
+						teX = append(teX, f)
+						teY = append(teY, label)
+					} else {
+						trX = append(trX, f)
+						trY = append(trY, label)
+					}
+				}
+			}
+			add(classSpec{hp, true}, 1)
+			add(classSpec{np, false}, -1)
+		}
+		best := svm.GridSearch(trX, trY, grid, 3, s.Seed)
+		sc := svm.FitScaler(trX)
+		model := svm.Train(sc.Apply(trX), trY, best.Params)
+		return model.Accuracy(sc.Apply(teX), teY), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	tbl := Table{
 		Title:   "held-out-chip classification accuracy (%)",
 		Columns: append([]string{"hidden PEC \\ normal PEC"}, intsToStrings(normalPECs)...),
 	}
-	for _, hp := range hiddenPECs {
+	for hi, hp := range hiddenPECs {
 		series := Series{Name: fmt.Sprintf("PEC %d", hp)}
 		row := []string{fmt.Sprint(hp)}
-		for _, np := range normalPECs {
-			var trX [][]float64
-			var trY []int
-			for c := 0; c < s.ChipSamples-1; c++ {
-				hf, err := collect(c, hp, true)
-				if err != nil {
-					return nil, err
-				}
-				nf, err := collect(c, np, false)
-				if err != nil {
-					return nil, err
-				}
-				for _, f := range hf {
-					trX = append(trX, f)
-					trY = append(trY, 1)
-				}
-				for _, f := range nf {
-					trX = append(trX, f)
-					trY = append(trY, -1)
-				}
-			}
-			var teX [][]float64
-			var teY []int
-			hf, err := collect(s.ChipSamples-1, hp, true)
-			if err != nil {
-				return nil, err
-			}
-			nf, err := collect(s.ChipSamples-1, np, false)
-			if err != nil {
-				return nil, err
-			}
-			for _, f := range hf {
-				teX = append(teX, f)
-				teY = append(teY, 1)
-			}
-			for _, f := range nf {
-				teX = append(teX, f)
-				teY = append(teY, -1)
-			}
-
-			best := svm.GridSearch(trX, trY, grid, 3, s.Seed)
-			sc := svm.FitScaler(trX)
-			model := svm.Train(sc.Apply(trX), trY, best.Params)
-			acc := model.Accuracy(sc.Apply(teX), teY)
-
+		for ni, np := range normalPECs {
+			acc := accs[hi*nc+ni]
 			series.X = append(series.X, float64(np))
 			series.Y = append(series.Y, acc*100)
 			row = append(row, fmt.Sprintf("%.0f", acc*100))
@@ -263,13 +268,6 @@ func svmSweep(s Scale, id, title string, hide, normal hideFn, hiddenPECs, normal
 	}
 	r.Tables = append(r.Tables, tbl)
 	return r, nil
-}
-
-func boolBit(b bool) uint64 {
-	if b {
-		return 1
-	}
-	return 0
 }
 
 func intsToStrings(xs []int) []string {

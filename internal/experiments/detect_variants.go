@@ -2,10 +2,10 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand/v2"
 
 	"stashflash/internal/core"
 	"stashflash/internal/nand"
+	"stashflash/internal/parallel"
 	"stashflash/internal/svm"
 	"stashflash/internal/tester"
 )
@@ -43,6 +43,39 @@ func summaryFeatures(ts *tester.Tester, h *core.Hider, block int) ([]float64, er
 	}, nil
 }
 
+// labelledFeatures is one chip's contribution to an SVM data set: feature
+// rows plus their class labels, in block order.
+type labelledFeatures struct {
+	X [][]float64
+	Y []int
+}
+
+// heldOutAccuracies trains and scores one SVM per PEC on features
+// collected per (pec, chip) unit — outs is indexed [pec*ChipSamples+chip]
+// — training on the first ChipSamples-1 chips and scoring on the last.
+// The cells only read the shared feature sets, so they fan out freely.
+func heldOutAccuracies(s Scale, pecs []int, outs []labelledFeatures) ([]float64, error) {
+	grid := svm.DefaultGrid()
+	return parallel.Map(s.workers(), len(pecs), func(pi int) (float64, error) {
+		var trX, teX [][]float64
+		var trY, teY []int
+		for c := 0; c < s.ChipSamples; c++ {
+			o := outs[pi*s.ChipSamples+c]
+			if c == s.ChipSamples-1 {
+				teX = append(teX, o.X...)
+				teY = append(teY, o.Y...)
+			} else {
+				trX = append(trX, o.X...)
+				trY = append(trY, o.Y...)
+			}
+		}
+		best := svm.GridSearch(trX, trY, grid, 3, s.Seed)
+		sc := svm.FitScaler(trX)
+		model := svm.Train(sc.Apply(trX), trY, best.Params)
+		return model.Accuracy(sc.Apply(teX), teY), nil
+	})
+}
+
 // SummaryStats runs the matched-PEC detectability test using only summary
 // characteristics as features. The paper reports the attack fails; the
 // matched-wear accuracies here must hover near 50%.
@@ -55,85 +88,82 @@ func SummaryStats(s Scale) (*Result, error) {
 		Title:   "held-out-chip accuracy at matched PEC (%)",
 		Columns: []string{"PEC", "accuracy"},
 	}
-	grid := svm.DefaultGrid()
-	for _, pec := range []int{0, 1000, 2000} {
-		var trX, teX [][]float64
-		var trY, teY []int
-		for c := 0; c < s.ChipSamples; c++ {
-			ts := newTester(s.modelA(), s.Seed+uint64(c)*389+1105, s.Seed+uint64(c)+1105)
-			rng := rand.New(rand.NewPCG(s.Seed+uint64(pec), uint64(c)))
-			chip := ts.Chip()
-			h, err := core.NewHider(chip, key, cfg)
-			if err != nil {
-				return nil, err
-			}
-			bits := paperDensityBits(chip.Model(), cfg.HiddenCellsPerPage)
-			for i := 0; i < 2*s.BlocksPerClass; i++ {
-				block := i
-				hidden := i%2 == 0
-				ts.CycleTo(block, pec)
-				// Both classes are written through the same public ECC
-				// pipeline; hidden blocks additionally embed payloads.
-				for pg := 0; pg < chip.Geometry().PagesPerBlock; pg++ {
-					pub := make([]byte, h.PublicDataBytes())
-					for j := range pub {
-						pub[j] = byte(rng.IntN(256))
-					}
-					if err := h.WritePage(nand.PageAddr{Block: block, Page: pg}, pub); err != nil {
-						return nil, err
-					}
-				}
-				if hidden {
-					emb := h.Embedder()
-					_ = emb
-					for _, pg := range hiddenPages(chip.Geometry().PagesPerBlock, cfg.PageInterval) {
-						payload := make([]byte, h.HiddenPayloadBytes())
-						for j := range payload {
-							payload[j] = byte(rng.IntN(256))
-						}
-						// Use a density-scaled raw embed so the hidden load
-						// matches the other detectability experiments.
-						raw, err := core.NewEmbedder(chip, key, rawConfig(bits, cfg.PageInterval, cfg.MaxPPSteps))
-						if err != nil {
-							return nil, err
-						}
-						img, err := chip.ReadPage(nand.PageAddr{Block: block, Page: pg})
-						if err != nil {
-							return nil, err
-						}
-						plan, err := raw.Plan(nand.PageAddr{Block: block, Page: pg}, img, bits)
-						if err != nil {
-							return nil, err
-						}
-						if _, err := raw.Embed(plan, randBits(rng, bits), cfg.MaxPPSteps); err != nil {
-							return nil, err
-						}
-					}
-				}
-				f, err := summaryFeatures(ts, h, block)
-				if err != nil {
-					return nil, err
-				}
-				ts.Chip().DropBlockState(block)
-				label := -1
-				if hidden {
-					label = 1
-				}
-				if c == s.ChipSamples-1 {
-					teX = append(teX, f)
-					teY = append(teY, label)
-				} else {
-					trX = append(trX, f)
-					trY = append(trY, label)
-				}
-			}
+	pecs := []int{0, 1000, 2000}
+	// Phase 1: every (PEC, chip sample) pair is an independent unit that
+	// owns its chip and produces that chip's labelled feature rows.
+	outs, err := parallel.Map(s.workers(), len(pecs)*s.ChipSamples, func(u int) (labelledFeatures, error) {
+		pi, c := u/s.ChipSamples, u%s.ChipSamples
+		pec := pecs[pi]
+		var lf labelledFeatures
+		ts := s.tester(s.modelA(), "sumstat", uint64(pi), uint64(c))
+		rng := s.rng("sumstat/data", uint64(pi), uint64(c))
+		chip := ts.Chip()
+		h, err := core.NewHider(chip, key, cfg)
+		if err != nil {
+			return lf, err
 		}
-		best := svm.GridSearch(trX, trY, grid, 3, s.Seed)
-		sc := svm.FitScaler(trX)
-		model := svm.Train(sc.Apply(trX), trY, best.Params)
-		acc := model.Accuracy(sc.Apply(teX), teY)
-		tbl.Rows = append(tbl.Rows, []string{fmt.Sprint(pec), fmt.Sprintf("%.0f", acc*100)})
-		r.Series = append(r.Series, Series{Name: "accuracy", X: []float64{float64(pec)}, Y: []float64{acc * 100}})
+		bits := paperDensityBits(chip.Model(), cfg.HiddenCellsPerPage)
+		for i := 0; i < 2*s.BlocksPerClass; i++ {
+			block := i
+			hidden := i%2 == 0
+			ts.CycleTo(block, pec)
+			// Both classes are written through the same public ECC
+			// pipeline; hidden blocks additionally embed payloads.
+			for pg := 0; pg < chip.Geometry().PagesPerBlock; pg++ {
+				pub := make([]byte, h.PublicDataBytes())
+				for j := range pub {
+					pub[j] = byte(rng.IntN(256))
+				}
+				if err := h.WritePage(nand.PageAddr{Block: block, Page: pg}, pub); err != nil {
+					return lf, err
+				}
+			}
+			if hidden {
+				for _, pg := range hiddenPages(chip.Geometry().PagesPerBlock, cfg.PageInterval) {
+					// Use a density-scaled raw embed so the hidden load
+					// matches the other detectability experiments.
+					raw, err := core.NewEmbedder(chip, key, rawConfig(bits, cfg.PageInterval, cfg.MaxPPSteps))
+					if err != nil {
+						return lf, err
+					}
+					img, err := chip.ReadPage(nand.PageAddr{Block: block, Page: pg})
+					if err != nil {
+						return lf, err
+					}
+					plan, err := raw.Plan(nand.PageAddr{Block: block, Page: pg}, img, bits)
+					if err != nil {
+						return lf, err
+					}
+					if _, err := raw.Embed(plan, randBits(rng, bits), cfg.MaxPPSteps); err != nil {
+						return lf, err
+					}
+				}
+			}
+			f, err := summaryFeatures(ts, h, block)
+			if err != nil {
+				return lf, err
+			}
+			ts.Chip().DropBlockState(block)
+			label := -1
+			if hidden {
+				label = 1
+			}
+			lf.X = append(lf.X, f)
+			lf.Y = append(lf.Y, label)
+		}
+		return lf, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Phase 2: train/score each PEC cell on the collected features.
+	accs, err := heldOutAccuracies(s, pecs, outs)
+	if err != nil {
+		return nil, err
+	}
+	for pi, pec := range pecs {
+		tbl.Rows = append(tbl.Rows, []string{fmt.Sprint(pec), fmt.Sprintf("%.0f", accs[pi]*100)})
+		r.Series = append(r.Series, Series{Name: "accuracy", X: []float64{float64(pec)}, Y: []float64{accs[pi] * 100}})
 	}
 	r.Tables = append(r.Tables, tbl)
 	r.AddNote("paper: classification from public-data characteristics is \"also unsuccessful\"; 50%% = random")
@@ -148,81 +178,80 @@ func PageLevel(s Scale) (*Result, error) {
 	r := &Result{ID: "fig10page", Title: "SVM detectability at page level (§7)"}
 	key := []byte("page-key")
 	cfg := core.StandardConfig()
-	grid := svm.DefaultGrid()
 
 	tbl := Table{
 		Title:   "held-out-chip page classification accuracy at matched PEC (%)",
 		Columns: []string{"PEC", "accuracy"},
 	}
-	for _, pec := range []int{0, 1000, 2000} {
-		var trX, teX [][]float64
-		var trY, teY []int
-		for c := 0; c < s.ChipSamples; c++ {
-			ts := newTester(s.modelA(), s.Seed+uint64(c)*389+1205, s.Seed+uint64(c)+1205)
-			rng := rand.New(rand.NewPCG(s.Seed+uint64(pec), uint64(c)+99))
-			chip := ts.Chip()
-			bits := paperDensityBits(chip.Model(), cfg.HiddenCellsPerPage)
-			collect := func(block int, pages []int, label int) error {
-				for _, p := range pages {
-					e, pr, err := ts.PageDistribution(nand.PageAddr{Block: block, Page: p})
-					if err != nil {
-						return err
-					}
-					f := featuresFrom(e, pr)
-					if c == s.ChipSamples-1 {
-						teX = append(teX, f)
-						teY = append(teY, label)
-					} else {
-						trX = append(trX, f)
-						trY = append(trY, label)
-					}
+	pecs := []int{0, 1000, 2000}
+	outs, err := parallel.Map(s.workers(), len(pecs)*s.ChipSamples, func(u int) (labelledFeatures, error) {
+		pi, c := u/s.ChipSamples, u%s.ChipSamples
+		pec := pecs[pi]
+		var lf labelledFeatures
+		ts := s.tester(s.modelA(), "fig10page", uint64(pi), uint64(c))
+		rng := s.rng("fig10page/bits", uint64(pi), uint64(c))
+		chip := ts.Chip()
+		bits := paperDensityBits(chip.Model(), cfg.HiddenCellsPerPage)
+		collect := func(block int, pages []int, label int) error {
+			for _, p := range pages {
+				e, pr, err := ts.PageDistribution(nand.PageAddr{Block: block, Page: p})
+				if err != nil {
+					return err
 				}
-				return nil
+				lf.X = append(lf.X, featuresFrom(e, pr))
+				lf.Y = append(lf.Y, label)
 			}
-			// Several hidden and normal blocks per chip; the samples are
-			// the hidden-position pages of each (stride 2).
-			blocksPerClass := s.BlocksPerClass / 2
-			if blocksPerClass < 2 {
-				blocksPerClass = 2
-			}
-			for b := 0; b < 2*blocksPerClass; b++ {
-				hidden := b%2 == 0
-				ts.CycleTo(b, pec)
-				hp := hiddenPages(chip.Geometry().PagesPerBlock, cfg.PageInterval)
-				if hidden {
-					emb, err := core.NewEmbedder(chip, key, rawConfig(bits, cfg.PageInterval, cfg.MaxPPSteps))
-					if err != nil {
-						return nil, err
-					}
-					embs, err := embedBlockRaw(ts, emb, b, rng, bits, cfg.PageInterval)
-					if err != nil {
-						return nil, err
-					}
-					for _, pe := range embs {
-						if _, err := emb.Embed(pe.plan, pe.bits, cfg.MaxPPSteps); err != nil {
-							return nil, err
-						}
-					}
-					if err := collect(b, hp, 1); err != nil {
-						return nil, err
-					}
-				} else {
-					if _, err := ts.ProgramRandomBlock(b); err != nil {
-						return nil, err
-					}
-					if err := collect(b, hp, -1); err != nil {
-						return nil, err
-					}
-				}
-				chip.DropBlockState(b)
-			}
+			return nil
 		}
-		best := svm.GridSearch(trX, trY, grid, 3, s.Seed)
-		sc := svm.FitScaler(trX)
-		model := svm.Train(sc.Apply(trX), trY, best.Params)
-		acc := model.Accuracy(sc.Apply(teX), teY)
-		tbl.Rows = append(tbl.Rows, []string{fmt.Sprint(pec), fmt.Sprintf("%.0f", acc*100)})
-		r.Series = append(r.Series, Series{Name: "accuracy", X: []float64{float64(pec)}, Y: []float64{acc * 100}})
+		// Several hidden and normal blocks per chip; the samples are
+		// the hidden-position pages of each (stride 2).
+		blocksPerClass := s.BlocksPerClass / 2
+		if blocksPerClass < 2 {
+			blocksPerClass = 2
+		}
+		for b := 0; b < 2*blocksPerClass; b++ {
+			hidden := b%2 == 0
+			ts.CycleTo(b, pec)
+			hp := hiddenPages(chip.Geometry().PagesPerBlock, cfg.PageInterval)
+			if hidden {
+				emb, err := core.NewEmbedder(chip, key, rawConfig(bits, cfg.PageInterval, cfg.MaxPPSteps))
+				if err != nil {
+					return lf, err
+				}
+				embs, err := embedBlockRaw(ts, emb, b, rng, bits, cfg.PageInterval)
+				if err != nil {
+					return lf, err
+				}
+				for _, pe := range embs {
+					if _, err := emb.Embed(pe.plan, pe.bits, cfg.MaxPPSteps); err != nil {
+						return lf, err
+					}
+				}
+				if err := collect(b, hp, 1); err != nil {
+					return lf, err
+				}
+			} else {
+				if _, err := ts.ProgramRandomBlock(b); err != nil {
+					return lf, err
+				}
+				if err := collect(b, hp, -1); err != nil {
+					return lf, err
+				}
+			}
+			chip.DropBlockState(b)
+		}
+		return lf, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	accs, err := heldOutAccuracies(s, pecs, outs)
+	if err != nil {
+		return nil, err
+	}
+	for pi, pec := range pecs {
+		tbl.Rows = append(tbl.Rows, []string{fmt.Sprint(pec), fmt.Sprintf("%.0f", accs[pi]*100)})
+		r.Series = append(r.Series, Series{Name: "accuracy", X: []float64{float64(pec)}, Y: []float64{accs[pi] * 100}})
 	}
 	r.Tables = append(r.Tables, tbl)
 	r.AddNote("paper: page-level results are \"similar\" to block-level — matched-PEC accuracy near 50%%")

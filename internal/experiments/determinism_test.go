@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// renderText serialises a Result exactly as the CLI prints it, so two runs
+// compare byte-for-byte — any schedule-dependent float accumulation or
+// merge-order drift shows up as a diff.
+func renderText(t *testing.T, r *Result) string {
+	t.Helper()
+	var sb strings.Builder
+	r.WriteText(&sb)
+	return sb.String()
+}
+
+// TestFig6DeterministicAcrossWorkers enforces the engine's core invariant
+// on the headline experiment at CI scale: a serial run (Workers=1) and a
+// maximally fanned-out run (Workers=8) must serialise to byte-identical
+// Results, and repeated parallel runs must agree with each other — Results
+// are a function of Scale.Seed alone, never of scheduling.
+func TestFig6DeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CI-scale experiment in -short mode")
+	}
+	s := CIScale()
+
+	run := func(workers int) string {
+		s := s
+		s.Workers = workers
+		r, err := Fig6(s)
+		if err != nil {
+			t.Fatalf("fig6 workers=%d: %v", workers, err)
+		}
+		return renderText(t, r)
+	}
+
+	serial := run(1)
+	fanned := run(8)
+	if serial != fanned {
+		t.Errorf("fig6: workers=1 and workers=8 rendered differently\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", serial, fanned)
+	}
+	again := run(8)
+	if fanned != again {
+		t.Errorf("fig6: two workers=8 runs rendered differently\n--- run 1 ---\n%s\n--- run 2 ---\n%s", fanned, again)
+	}
+}
+
+// TestExperimentsDeterministicAcrossWorkers sweeps a representative slice
+// of the parallel experiments — chip-sample fan-out (fig2, fig9), flat
+// (combo x replicate) fan-out (fig7, fig8, relia, vendor2), the paired
+// (condition x replicate) design (pubber), and the two-phase SVM pipeline
+// (sumstat) — at tiny scale, workers=1 vs workers=4.
+func TestExperimentsDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep in -short mode")
+	}
+	ids := []string{"fig2", "fig7", "fig8", "fig9", "relia", "pubber", "vendor2", "sumstat"}
+	for _, id := range ids {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, err := Lookup(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			run := func(workers int) string {
+				s := tinyScale()
+				s.Workers = workers
+				r, err := e.Run(s)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				return renderText(t, r)
+			}
+			if serial, fanned := run(1), run(4); serial != fanned {
+				t.Errorf("workers=1 and workers=4 rendered differently\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s", serial, fanned)
+			}
+		})
+	}
+}

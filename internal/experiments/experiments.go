@@ -9,6 +9,13 @@
 // scale keeps every experiment in seconds while preserving the per-cell
 // statistics, since all distribution shapes are per-cell properties and
 // scaling only trades sample count for speed.
+//
+// Experiments fan their independent work units — chip samples, SVM-class
+// block batches, replicate points — across a bounded worker pool
+// (internal/parallel). Each unit owns its own chip sample and a PRNG
+// stream partitioned from (Scale.Seed, experiment, unit index), and unit
+// results are merged in index order, so Results are bit-identical for
+// every Scale.Workers value; see seed.go and determinism_test.go.
 package experiments
 
 import (
@@ -19,7 +26,6 @@ import (
 
 	"stashflash/internal/nand"
 	"stashflash/internal/stats"
-	"stashflash/internal/tester"
 )
 
 // Scale sizes an experiment run.
@@ -38,8 +44,16 @@ type Scale struct {
 	// ReplicateBlocks is the number of blocks averaged per BER point
 	// (paper: 5).
 	ReplicateBlocks int
-	// Seed drives all pseudo-randomness for reproducibility.
+	// Seed drives all pseudo-randomness for reproducibility. Results are
+	// a function of Seed alone, never of Workers: every work unit owns a
+	// PRNG stream derived from (Seed, experiment, unit index), and unit
+	// results are merged in index order.
 	Seed uint64
+	// Workers bounds the experiment engine's fan-out across independent
+	// chips, blocks and replicate points. 0 means auto (the
+	// STASHFLASH_WORKERS environment knob, else GOMAXPROCS); 1 forces a
+	// serial run on the calling goroutine.
+	Workers int
 }
 
 // CIScale keeps every experiment under a few tens of seconds.
@@ -215,9 +229,14 @@ func histSeries(name string, h *stats.Histogram, lo, hi int) Series {
 	return s
 }
 
-// newTester builds a chip sample and its host tester.
-func newTester(m nand.Model, chipSeed, hostSeed uint64) *tester.Tester {
-	return tester.New(nand.NewChip(m, chipSeed), hostSeed)
+// addHist folds src's bin counts into dst; merging replicate histograms
+// in index order keeps the accumulated distribution schedule-independent.
+func addHist(dst, src *stats.Histogram) {
+	for lvl := 0; lvl < src.Bins(); lvl++ {
+		for k := 0; k < src.Count(lvl); k++ {
+			dst.Add(src.BinCenter(lvl))
+		}
+	}
 }
 
 // randBits draws n uniform bits.

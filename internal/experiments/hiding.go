@@ -6,6 +6,7 @@ import (
 
 	"stashflash/internal/core"
 	"stashflash/internal/nand"
+	"stashflash/internal/parallel"
 	"stashflash/internal/stats"
 	"stashflash/internal/tester"
 )
@@ -74,34 +75,63 @@ func measureRawBER(emb *core.Embedder, embs []pageEmbedding) (float64, error) {
 	return float64(errs) / float64(total), nil
 }
 
-// berPerStep runs the Fig 6 measurement for one (interval, bits) combo:
-// the average hidden BER after each PP step 1..maxSteps, over
-// ReplicateBlocks blocks.
-func berPerStep(s Scale, interval, bits, maxSteps int, seedOff uint64) ([]float64, error) {
+// berStepsOneRep runs the Fig 6 measurement for one (combo, replicate)
+// work unit: the hidden BER after each PP step 1..maxSteps on a fresh
+// chip sample private to the unit.
+func berStepsOneRep(s Scale, domain string, combo uint64, rep, interval, bits, maxSteps int) ([]float64, error) {
+	ts := s.tester(s.modelA(), domain, combo, uint64(rep))
+	rng := s.rng(domain+"/bits", combo, uint64(rep))
+	emb, err := core.NewEmbedder(ts.Chip(), []byte(domain+"-key"), rawConfig(bits, interval, maxSteps))
+	if err != nil {
+		return nil, err
+	}
+	embs, err := embedBlockRaw(ts, emb, 0, rng, bits, interval)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]float64, maxSteps)
-	for rep := 0; rep < s.ReplicateBlocks; rep++ {
-		ts := newTester(s.modelA(), s.Seed+seedOff+uint64(rep)*977, s.Seed+seedOff+uint64(rep))
-		rng := rand.New(rand.NewPCG(s.Seed+seedOff, uint64(rep)))
-		emb, err := core.NewEmbedder(ts.Chip(), []byte("fig6-key"), rawConfig(bits, interval, maxSteps))
-		if err != nil {
-			return nil, err
-		}
-		embs, err := embedBlockRaw(ts, emb, 0, rng, bits, interval)
-		if err != nil {
-			return nil, err
-		}
-		for st := 0; st < maxSteps; st++ {
-			for _, pe := range embs {
-				if _, err := emb.ProgramStep(pe.plan, pe.bits); err != nil {
-					return nil, err
-				}
-			}
-			ber, err := measureRawBER(emb, embs)
-			if err != nil {
+	for st := 0; st < maxSteps; st++ {
+		for _, pe := range embs {
+			if _, err := emb.ProgramStep(pe.plan, pe.bits); err != nil {
 				return nil, err
 			}
-			out[st] += ber / float64(s.ReplicateBlocks)
 		}
+		ber, err := measureRawBER(emb, embs)
+		if err != nil {
+			return nil, err
+		}
+		out[st] = ber
+	}
+	return out, nil
+}
+
+// ivBitsCombo is one (page interval, hidden bits) sweep point.
+type ivBitsCombo struct {
+	iv, bits int
+}
+
+// berPerStepSweep fans every (combo, replicate) pair of a BER sweep out
+// as one flat unit batch — the widest decomposition with no nesting —
+// and folds replicates back into per-combo step averages in replicate
+// order, so the floats are identical for any worker count.
+func berPerStepSweep(s Scale, domain string, combos []ivBitsCombo, maxSteps int) ([][]float64, error) {
+	reps := s.ReplicateBlocks
+	units, err := parallel.Map(s.workers(), len(combos)*reps, func(u int) ([]float64, error) {
+		ci, rep := u/reps, u%reps
+		return berStepsOneRep(s, domain, uint64(ci), rep, combos[ci].iv, combos[ci].bits, maxSteps)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]float64, len(combos))
+	for ci := range combos {
+		avg := make([]float64, maxSteps)
+		for rep := 0; rep < reps; rep++ {
+			for st, ber := range units[ci*reps+rep] {
+				avg[st] += ber / float64(reps)
+			}
+		}
+		out[ci] = avg
 	}
 	return out, nil
 }
@@ -110,8 +140,8 @@ func berPerStep(s Scale, interval, bits, maxSteps int, seedOff uint64) ([]float6
 // sit inside the normal non-programmed distribution.
 func Fig5(s Scale) (*Result, error) {
 	r := &Result{ID: "fig5", Title: "hidden-bit encoding inside the erased-state distribution"}
-	ts := newTester(s.modelA(), s.Seed+31, s.Seed+31)
-	rng := rand.New(rand.NewPCG(s.Seed, 31))
+	ts := s.tester(s.modelA(), "fig5")
+	rng := s.rng("fig5/bits")
 	cfg := core.StandardConfig()
 	emb, err := core.NewEmbedder(ts.Chip(), []byte("fig5-key"), rawConfig(cfg.HiddenCellsPerPage, cfg.PageInterval, cfg.MaxPPSteps))
 	if err != nil {
@@ -184,32 +214,35 @@ func Fig6(s Scale) (*Result, error) {
 		Title:   "steps to reach <1% BER (paper: ~10)",
 		Columns: []string{"combo", "BER@1", "BER@5", "BER@10", "BER@15", "steps to <1%"},
 	}
-	seedOff := uint64(1000)
+	var combos []ivBitsCombo
 	for _, iv := range intervals {
 		for _, bits := range bitCounts {
-			seedOff += 13
-			ber, err := berPerStep(s, iv, bits, maxSteps, seedOff)
-			if err != nil {
-				return nil, err
-			}
-			name := fmt.Sprintf("%d+%d", iv, bits)
-			series := Series{Name: name}
-			for st := 0; st < maxSteps; st++ {
-				series.X = append(series.X, float64(st+1))
-				series.Y = append(series.Y, ber[st])
-			}
-			r.Series = append(r.Series, series)
-			cross := "-"
-			for st := 0; st < maxSteps; st++ {
-				if ber[st] < 0.01 {
-					cross = fmt.Sprint(st + 1)
-					break
-				}
-			}
-			conv.Rows = append(conv.Rows, []string{
-				name, f3(ber[0]), f3(ber[4]), f3(ber[9]), f3(ber[14]), cross,
-			})
+			combos = append(combos, ivBitsCombo{iv, bits})
 		}
+	}
+	bers, err := berPerStepSweep(s, "fig6", combos, maxSteps)
+	if err != nil {
+		return nil, err
+	}
+	for ci, combo := range combos {
+		ber := bers[ci]
+		name := fmt.Sprintf("%d+%d", combo.iv, combo.bits)
+		series := Series{Name: name}
+		for st := 0; st < maxSteps; st++ {
+			series.X = append(series.X, float64(st+1))
+			series.Y = append(series.Y, ber[st])
+		}
+		r.Series = append(r.Series, series)
+		cross := "-"
+		for st := 0; st < maxSteps; st++ {
+			if ber[st] < 0.01 {
+				cross = fmt.Sprint(st + 1)
+				break
+			}
+		}
+		conv.Rows = append(conv.Rows, []string{
+			name, f3(ber[0]), f3(ber[4]), f3(ber[9]), f3(ber[14]), cross,
+		})
 	}
 	r.Tables = append(r.Tables, conv)
 	r.AddNote("paper: BER starts ~0.20-0.25 and converges below 1%% after ~10 steps, for all combos")
@@ -226,16 +259,21 @@ func Fig7(s Scale) (*Result, error) {
 		Title:   "hidden BER at 10 steps",
 		Columns: []string{"hidden cells", "interval 0", "interval 1", "interval 2", "interval 4"},
 	}
-	seedOff := uint64(5000)
+	var combos []ivBitsCombo
 	for _, bits := range bitCounts {
+		for _, iv := range intervals {
+			combos = append(combos, ivBitsCombo{iv, bits})
+		}
+	}
+	bers, err := berPerStepSweep(s, "fig7", combos, 10)
+	if err != nil {
+		return nil, err
+	}
+	for bi, bits := range bitCounts {
 		series := Series{Name: fmt.Sprintf("%d hidden cells", bits)}
 		row := []string{fmt.Sprint(bits)}
-		for _, iv := range intervals {
-			seedOff += 17
-			ber, err := berPerStep(s, iv, bits, 10, seedOff)
-			if err != nil {
-				return nil, err
-			}
+		for ii, iv := range intervals {
+			ber := bers[bi*len(intervals)+ii]
 			series.X = append(series.X, float64(iv))
 			series.Y = append(series.Y, ber[9])
 			row = append(row, f3(ber[9]))
@@ -257,44 +295,47 @@ func Fig8(s Scale) (*Result, error) {
 		Title:   "erased-state statistics after VT-HI (bit counts are paper-page-equivalent densities)",
 		Columns: []string{"hidden bits/page", "erased mean", "share >= 34", "KS vs normal"},
 	}
-	var baseline *stats.Histogram
-	for i, paperBits := range counts {
+	// Every (bit count, replicate block) pair is an independent unit; the
+	// per-count histograms are folded back together in replicate order.
+	reps := s.ReplicateBlocks
+	hists, err := parallel.Map(s.workers(), len(counts)*reps, func(u int) (*stats.Histogram, error) {
+		i, rep := u/reps, u%reps
 		bits := 0
-		if paperBits > 0 {
-			bits = paperDensityBits(s.modelA(), paperBits)
+		if counts[i] > 0 {
+			bits = paperDensityBits(s.modelA(), counts[i])
 		}
-		hist := tester.NewVoltageHistogram()
-		for rep := 0; rep < s.ReplicateBlocks; rep++ {
-			ts := newTester(s.modelA(), s.Seed+uint64(rep)*31+3, s.Seed+uint64(i*7+rep))
-			rng := rand.New(rand.NewPCG(s.Seed+uint64(i), uint64(rep)))
-			if bits == 0 {
-				if _, err := ts.ProgramRandomBlock(0); err != nil {
-					return nil, err
-				}
-			} else {
-				emb, err := core.NewEmbedder(ts.Chip(), []byte("fig8-key"), rawConfig(bits, 1, 10))
-				if err != nil {
-					return nil, err
-				}
-				embs, err := embedBlockRaw(ts, emb, 0, rng, bits, 1)
-				if err != nil {
-					return nil, err
-				}
-				for _, pe := range embs {
-					if _, err := emb.Embed(pe.plan, pe.bits, 10); err != nil {
-						return nil, err
-					}
-				}
+		ts := s.tester(s.modelA(), "fig8", uint64(i), uint64(rep))
+		rng := s.rng("fig8/bits", uint64(i), uint64(rep))
+		if bits == 0 {
+			if _, err := ts.ProgramRandomBlock(0); err != nil {
+				return nil, err
 			}
-			e, _, err := ts.BlockDistribution(0)
+		} else {
+			emb, err := core.NewEmbedder(ts.Chip(), []byte("fig8-key"), rawConfig(bits, 1, 10))
 			if err != nil {
 				return nil, err
 			}
-			for lvl := 0; lvl < e.Bins(); lvl++ {
-				for k := 0; k < e.Count(lvl); k++ {
-					hist.Add(e.BinCenter(lvl))
+			embs, err := embedBlockRaw(ts, emb, 0, rng, bits, 1)
+			if err != nil {
+				return nil, err
+			}
+			for _, pe := range embs {
+				if _, err := emb.Embed(pe.plan, pe.bits, 10); err != nil {
+					return nil, err
 				}
 			}
+		}
+		e, _, err := ts.BlockDistribution(0)
+		return e, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	var baseline *stats.Histogram
+	for i, paperBits := range counts {
+		hist := tester.NewVoltageHistogram()
+		for rep := 0; rep < reps; rep++ {
+			addHist(hist, hists[i*reps+rep])
 		}
 		name := "normal"
 		if paperBits > 0 {
@@ -326,64 +367,81 @@ func Fig9(s Scale) (*Result, error) {
 		Columns: []string{"chip", "KS erased (same block, pre vs post hide)", "KS erased (two normal blocks)", "KS programmed (pre vs post hide)"},
 	}
 	cfg := core.StandardConfig()
-	var hideKS, naturalKS float64
-	for chip := 0; chip < s.ChipSamples; chip++ {
-		ts := newTester(s.modelA(), s.Seed+uint64(chip)*211, s.Seed+uint64(chip))
-		rng := rand.New(rand.NewPCG(s.Seed+99, uint64(chip)))
+	// One unit per chip sample: all three blocks of a sample live on the
+	// same (single-threaded) chip, so the fan-out is strictly across chips.
+	type chipOut struct {
+		series        []Series
+		row           []string
+		ksE, ksN, ksP float64
+	}
+	outs, err := parallel.Map(s.workers(), s.ChipSamples, func(chip int) (chipOut, error) {
+		ts := s.tester(s.modelA(), "fig9", uint64(chip))
+		rng := s.rng("fig9/bits", uint64(chip))
 		bits := paperDensityBits(ts.Chip().Model(), cfg.HiddenCellsPerPage)
 		// Blocks 0, 2: normal; block 1: VT-HI standard config. The
 		// normal-vs-normal distance is the natural variation floor any
 		// hide-induced difference must stay below.
 		if _, err := ts.ProgramRandomBlock(0); err != nil {
-			return nil, err
+			return chipOut{}, err
 		}
 		if _, err := ts.ProgramRandomBlock(2); err != nil {
-			return nil, err
+			return chipOut{}, err
 		}
 		emb, err := core.NewEmbedder(ts.Chip(), []byte("fig9-key"), rawConfig(bits, cfg.PageInterval, cfg.MaxPPSteps))
 		if err != nil {
-			return nil, err
+			return chipOut{}, err
 		}
 		embs, err := embedBlockRaw(ts, emb, 1, rng, bits, cfg.PageInterval)
 		if err != nil {
-			return nil, err
+			return chipOut{}, err
 		}
 		// Same-block snapshot before hiding isolates the hide-induced
 		// distance from natural block-to-block differences.
 		pe0, pp0, err := ts.BlockDistribution(1)
 		if err != nil {
-			return nil, err
+			return chipOut{}, err
 		}
 		for _, pe := range embs {
 			if _, err := emb.Embed(pe.plan, pe.bits, cfg.MaxPPSteps); err != nil {
-				return nil, err
+				return chipOut{}, err
 			}
 		}
 		ne, np, err := ts.BlockDistribution(0)
 		if err != nil {
-			return nil, err
+			return chipOut{}, err
 		}
 		he, hp, err := ts.BlockDistribution(1)
 		if err != nil {
-			return nil, err
+			return chipOut{}, err
 		}
 		ne2, _, err := ts.BlockDistribution(2)
 		if err != nil {
-			return nil, err
+			return chipOut{}, err
 		}
 		label := fmt.Sprintf("chip %d", chip+1)
-		r.Series = append(r.Series,
-			histSeries(label+" normal erased", ne, 0, 80),
-			histSeries(label+" hidden erased", he, 0, 80),
-			histSeries(label+" normal programmed", np, 120, 210),
-			histSeries(label+" hidden programmed", hp, 120, 210),
-		)
 		ksE := stats.KSStatistic(pe0, he) // pure hide effect, same block
 		ksN := stats.KSStatistic(ne, ne2) // natural block-to-block floor
 		ksP := stats.KSStatistic(pp0, hp)
-		hideKS += ksE
-		naturalKS += ksN
-		tbl.Rows = append(tbl.Rows, []string{label, f3(ksE), f3(ksN), f3(ksP)})
+		return chipOut{
+			series: []Series{
+				histSeries(label+" normal erased", ne, 0, 80),
+				histSeries(label+" hidden erased", he, 0, 80),
+				histSeries(label+" normal programmed", np, 120, 210),
+				histSeries(label+" hidden programmed", hp, 120, 210),
+			},
+			row: []string{label, f3(ksE), f3(ksN), f3(ksP)},
+			ksE: ksE, ksN: ksN, ksP: ksP,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var hideKS, naturalKS float64
+	for _, o := range outs {
+		r.Series = append(r.Series, o.series...)
+		tbl.Rows = append(tbl.Rows, o.row)
+		hideKS += o.ksE
+		naturalKS += o.ksN
 	}
 	r.Tables = append(r.Tables, tbl)
 	n := float64(s.ChipSamples)

@@ -7,6 +7,7 @@ import (
 
 	"stashflash/internal/core"
 	"stashflash/internal/nand"
+	"stashflash/internal/parallel"
 	"stashflash/internal/pthi"
 	"stashflash/internal/tester"
 )
@@ -41,9 +42,17 @@ func Fig11(s Scale) (*Result, error) {
 	}
 	durations := []time.Duration{24 * time.Hour, nand.RetentionMonth, 4 * nand.RetentionMonth}
 	cfg := core.StandardConfig()
-	for _, pec := range []int{0, 1000, 2000} {
-		ts := newTester(s.modelA(), s.Seed+uint64(pec)+77, s.Seed+uint64(pec))
-		rng := rand.New(rand.NewPCG(s.Seed+uint64(pec), 11))
+	pecs := []int{0, 1000, 2000}
+	// Each PEC point bakes its own chip sample through the full retention
+	// timeline, so the three points are independent units.
+	type pecOut struct {
+		hRow, nRow []string
+		hs, ns     Series
+	}
+	outs, err := parallel.Map(s.workers(), len(pecs), func(pi int) (pecOut, error) {
+		pec := pecs[pi]
+		ts := s.tester(s.modelA(), "fig11", uint64(pi))
+		rng := s.rng("fig11/bits", uint64(pi))
 		// Hidden blocks.
 		var embss [][]pageEmbedding
 		var embes []*core.Embedder
@@ -51,7 +60,7 @@ func Fig11(s Scale) (*Result, error) {
 			ts.CycleTo(b, pec)
 			emb, embs, err := hideFullBlock(ts, rng, b, rawConfig(cfg.HiddenCellsPerPage, cfg.PageInterval, cfg.MaxPPSteps))
 			if err != nil {
-				return nil, err
+				return pecOut{}, err
 			}
 			embss = append(embss, embs)
 			embes = append(embes, emb)
@@ -64,7 +73,7 @@ func Fig11(s Scale) (*Result, error) {
 			ts.CycleTo(normBase+b, pec)
 			img, err := ts.ProgramRandomBlock(normBase + b)
 			if err != nil {
-				return nil, err
+				return pecOut{}, err
 			}
 			normImages = append(normImages, img)
 		}
@@ -95,11 +104,11 @@ func Fig11(s Scale) (*Result, error) {
 
 		h0, err := hiddenBER()
 		if err != nil {
-			return nil, err
+			return pecOut{}, err
 		}
 		n0, err := normalBER()
 		if err != nil {
-			return nil, err
+			return pecOut{}, err
 		}
 		hRow := []string{"VT-HI", fmt.Sprint(pec)}
 		nRow := []string{"normal", fmt.Sprint(pec)}
@@ -111,11 +120,11 @@ func Fig11(s Scale) (*Result, error) {
 			elapsed = d
 			ht, err := hiddenBER()
 			if err != nil {
-				return nil, err
+				return pecOut{}, err
 			}
 			nt, err := normalBER()
 			if err != nil {
-				return nil, err
+				return pecOut{}, err
 			}
 			hNorm := ratioOr1(ht, h0)
 			nNorm := ratioOr1(nt, n0)
@@ -128,8 +137,14 @@ func Fig11(s Scale) (*Result, error) {
 		}
 		hRow = append(hRow, fmt.Sprintf("%.4f", h0))
 		nRow = append(nRow, fmt.Sprintf("%.2e", n0))
-		tbl.Rows = append(tbl.Rows, hRow, nRow)
-		r.Series = append(r.Series, hs, ns)
+		return pecOut{hRow: hRow, nRow: nRow, hs: hs, ns: ns}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, o := range outs {
+		tbl.Rows = append(tbl.Rows, o.hRow, o.nRow)
+		r.Series = append(r.Series, o.hs, o.ns)
 	}
 	r.Tables = append(r.Tables, tbl)
 	r.AddNote("paper: PEC 2000 hidden BER rises 6.3x over 4 months while normal rises 2.3x; PEC 0 hidden BER is flat")
@@ -154,21 +169,28 @@ func Reliability(s Scale) (*Result, error) {
 	cfg := core.StandardConfig()
 	tbl := Table{Title: "hidden BER by PEC", Columns: []string{"PEC", "hidden BER"}}
 	series := Series{Name: "hidden BER"}
-	for _, pec := range []int{0, 1000, 2000, 3000} {
+	pecs := []int{0, 1000, 2000, 3000}
+	// Flat (PEC, replicate) fan-out; replicate BERs are averaged back per
+	// PEC in replicate order.
+	reps := s.ReplicateBlocks
+	bers, err := parallel.Map(s.workers(), len(pecs)*reps, func(u int) (float64, error) {
+		pi, rep := u/reps, u%reps
+		ts := s.tester(s.modelA(), "relia", uint64(pi), uint64(rep))
+		rng := s.rng("relia/bits", uint64(pi), uint64(rep))
+		ts.CycleTo(0, pecs[pi])
+		emb, embs, err := hideFullBlock(ts, rng, 0, rawConfig(cfg.HiddenCellsPerPage, cfg.PageInterval, cfg.MaxPPSteps))
+		if err != nil {
+			return 0, err
+		}
+		return measureRawBER(emb, embs)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, pec := range pecs {
 		var sum float64
-		for rep := 0; rep < s.ReplicateBlocks; rep++ {
-			ts := newTester(s.modelA(), s.Seed+uint64(pec+rep*7)+301, s.Seed+uint64(pec+rep))
-			rng := rand.New(rand.NewPCG(s.Seed+uint64(pec), uint64(rep)))
-			ts.CycleTo(0, pec)
-			emb, embs, err := hideFullBlock(ts, rng, 0, rawConfig(cfg.HiddenCellsPerPage, cfg.PageInterval, cfg.MaxPPSteps))
-			if err != nil {
-				return nil, err
-			}
-			ber, err := measureRawBER(emb, embs)
-			if err != nil {
-				return nil, err
-			}
-			sum += ber / float64(s.ReplicateBlocks)
+		for rep := 0; rep < reps; rep++ {
+			sum += bers[pi*reps+rep] / float64(reps)
 		}
 		tbl.Rows = append(tbl.Rows, []string{fmt.Sprint(pec), fmt.Sprintf("%.4f", sum)})
 		series.X = append(series.X, float64(pec))
@@ -185,11 +207,13 @@ func Reliability(s Scale) (*Result, error) {
 // the operation ledger — the same per-command arithmetic the paper does by
 // hand.
 func Throughput(s Scale) (*Result, error) {
+	// The ledger arithmetic reads one chip's command history end to end,
+	// so this experiment is a single serial unit.
 	r := &Result{ID: "thru", Title: "hidden data encode/decode throughput, VT-HI vs PT-HI"}
-	rng := rand.New(rand.NewPCG(s.Seed, 42))
+	rng := s.rng("thru/bits")
 
 	// --- VT-HI ---
-	ts := newTester(s.modelA(), s.Seed+501, s.Seed+501)
+	ts := s.tester(s.modelA(), "thru")
 	cfg := core.StandardConfig()
 	rcfg := rawConfig(cfg.HiddenCellsPerPage, cfg.PageInterval, cfg.MaxPPSteps)
 	images, err := ts.ProgramRandomBlock(0)
@@ -280,8 +304,8 @@ func Throughput(s Scale) (*Result, error) {
 // data (paper: 1.1 mJ for VT-HI vs 43 mJ for PT-HI, 37x).
 func Energy(s Scale) (*Result, error) {
 	r := &Result{ID: "energy", Title: "energy per hidden page, VT-HI vs PT-HI"}
-	rng := rand.New(rand.NewPCG(s.Seed, 43))
-	ts := newTester(s.modelA(), s.Seed+601, s.Seed+601)
+	rng := s.rng("energy/bits")
+	ts := s.tester(s.modelA(), "energy")
 	cfg := core.StandardConfig()
 	g := ts.Chip().Geometry()
 
@@ -327,8 +351,8 @@ func Energy(s Scale) (*Result, error) {
 // PT-HI) and PEC consumed per block encode.
 func Wear(s Scale) (*Result, error) {
 	r := &Result{ID: "wear", Title: "wear amplification of hiding, VT-HI vs PT-HI"}
-	rng := rand.New(rand.NewPCG(s.Seed, 44))
-	ts := newTester(s.modelA(), s.Seed+701, s.Seed+701)
+	rng := s.rng("wear/bits")
+	ts := s.tester(s.modelA(), "wear")
 	cfg := core.StandardConfig()
 	rcfg := rawConfig(cfg.HiddenCellsPerPage, cfg.PageInterval, cfg.MaxPPSteps)
 	images, err := ts.ProgramRandomBlock(0)
@@ -426,26 +450,31 @@ func Vendor2(s Scale) (*Result, error) {
 	r := &Result{ID: "vendor2", Title: "applicability on a second vendor model"}
 	cfg := core.StandardConfig()
 	tbl := Table{Title: "hidden BER per chip model (fresh chips)", Columns: []string{"model", "hidden BER"}}
-	for _, mk := range []struct {
+	models := []struct {
 		name  string
 		model nand.Model
 	}{
 		{"vendor A", s.modelA()},
 		{"vendor B", s.modelB()},
-	} {
+	}
+	reps := s.ReplicateBlocks
+	bers, err := parallel.Map(s.workers(), len(models)*reps, func(u int) (float64, error) {
+		mi, rep := u/reps, u%reps
+		ts := s.tester(models[mi].model, "vendor2", uint64(mi), uint64(rep))
+		rng := s.rng("vendor2/bits", uint64(mi), uint64(rep))
+		emb, embs, err := hideFullBlock(ts, rng, 0, rawConfig(cfg.HiddenCellsPerPage, cfg.PageInterval, cfg.MaxPPSteps))
+		if err != nil {
+			return 0, err
+		}
+		return measureRawBER(emb, embs)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for mi, mk := range models {
 		var sum float64
-		for rep := 0; rep < s.ReplicateBlocks; rep++ {
-			ts := newTester(mk.model, s.Seed+uint64(rep)*53+801, s.Seed+uint64(rep)+801)
-			rng := rand.New(rand.NewPCG(s.Seed+801, uint64(rep)))
-			emb, embs, err := hideFullBlock(ts, rng, 0, rawConfig(cfg.HiddenCellsPerPage, cfg.PageInterval, cfg.MaxPPSteps))
-			if err != nil {
-				return nil, err
-			}
-			ber, err := measureRawBER(emb, embs)
-			if err != nil {
-				return nil, err
-			}
-			sum += ber / float64(s.ReplicateBlocks)
+		for rep := 0; rep < reps; rep++ {
+			sum += bers[mi*reps+rep] / float64(reps)
 		}
 		tbl.Rows = append(tbl.Rows, []string{mk.name, fmt.Sprintf("%.4f", sum)})
 	}
@@ -461,63 +490,72 @@ func PublicInterference(s Scale) (*Result, error) {
 	r := &Result{ID: "pubber", Title: "public data BER vs hidden page interval"}
 	cfg := core.StandardConfig()
 	blocks := 4 * s.ReplicateBlocks // public BER is tiny; widen the sample
-	measure := func(interval int, hide bool) (float64, error) {
-		errsTotal, bitsTotal := 0, 0
-		for rep := 0; rep < blocks; rep++ {
-			ts := newTester(s.modelA(), s.Seed+uint64(rep)*29+901, s.Seed+uint64(rep)+901)
-			rng := rand.New(rand.NewPCG(s.Seed+901, uint64(rep)))
-			images, err := ts.ProgramRandomBlock(0)
-			if err != nil {
-				return 0, err
-			}
-			if hide {
-				emb, err := core.NewEmbedder(ts.Chip(), []byte("pubber"), rawConfig(cfg.HiddenCellsPerPage, interval, cfg.MaxPPSteps))
-				if err != nil {
-					return 0, err
-				}
-				g := ts.Chip().Geometry()
-				for _, p := range hiddenPages(g.PagesPerBlock, interval) {
-					plan, err := emb.Plan(nand.PageAddr{Block: 0, Page: p}, images[p], cfg.HiddenCellsPerPage)
-					if err != nil {
-						return 0, err
-					}
-					if _, err := emb.Embed(plan, randBits(rng, cfg.HiddenCellsPerPage), cfg.MaxPPSteps); err != nil {
-						return 0, err
-					}
-				}
-			}
-			res, err := ts.MeasureBlockBER(0, images)
-			if err != nil {
-				return 0, err
-			}
-			// Hidden '0' cells legitimately read as public '1' still; they
-			// were selected from '1' bits and stay below the public
-			// reference, so no masking is needed.
-			errsTotal += res.Errors
-			bitsTotal += res.Bits
+	// Conditions: the unhidden baseline plus each hide interval. The chip,
+	// data and bit streams are keyed by replicate only — NOT by condition —
+	// so every condition reruns the same chip samples and the "vs baseline"
+	// deltas are a paired comparison, as in the original sequential run.
+	conds := []struct {
+		interval int
+		hide     bool
+	}{{0, false}, {0, true}, {1, true}, {2, true}, {4, true}}
+	units, err := parallel.Map(s.workers(), len(conds)*blocks, func(u int) (tester.BERResult, error) {
+		ci, rep := u/blocks, u%blocks
+		interval, hide := conds[ci].interval, conds[ci].hide
+		ts := s.tester(s.modelA(), "pubber", uint64(rep))
+		rng := s.rng("pubber/bits", uint64(rep))
+		images, err := ts.ProgramRandomBlock(0)
+		if err != nil {
+			return tester.BERResult{}, err
 		}
-		return float64(errsTotal) / float64(bitsTotal), nil
-	}
-	base, err := measure(0, false)
+		if hide {
+			emb, err := core.NewEmbedder(ts.Chip(), []byte("pubber"), rawConfig(cfg.HiddenCellsPerPage, interval, cfg.MaxPPSteps))
+			if err != nil {
+				return tester.BERResult{}, err
+			}
+			g := ts.Chip().Geometry()
+			for _, p := range hiddenPages(g.PagesPerBlock, interval) {
+				plan, err := emb.Plan(nand.PageAddr{Block: 0, Page: p}, images[p], cfg.HiddenCellsPerPage)
+				if err != nil {
+					return tester.BERResult{}, err
+				}
+				if _, err := emb.Embed(plan, randBits(rng, cfg.HiddenCellsPerPage), cfg.MaxPPSteps); err != nil {
+					return tester.BERResult{}, err
+				}
+			}
+		}
+		// Hidden '0' cells legitimately read as public '1' still; they
+		// were selected from '1' bits and stay below the public
+		// reference, so no masking is needed.
+		return ts.MeasureBlockBER(0, images)
+	})
 	if err != nil {
 		return nil, err
 	}
+	berOf := func(ci int) float64 {
+		var agg tester.BERResult
+		for rep := 0; rep < blocks; rep++ {
+			agg.Errors += units[ci*blocks+rep].Errors
+			agg.Bits += units[ci*blocks+rep].Bits
+		}
+		return agg.BER()
+	}
+	base := berOf(0)
 	tbl := Table{
 		Title:   "public BER",
 		Columns: []string{"condition", "BER", "vs baseline"},
 		Rows:    [][]string{{"no hidden data", fmt.Sprintf("%.2e", base), "-"}},
 	}
 	series := Series{Name: "public BER increase %"}
-	for _, iv := range []int{0, 1, 2, 4} {
-		b, err := measure(iv, true)
-		if err != nil {
-			return nil, err
+	for ci, cond := range conds {
+		if !cond.hide {
+			continue
 		}
+		b := berOf(ci)
 		incr := (b - base) / base * 100
 		tbl.Rows = append(tbl.Rows, []string{
-			fmt.Sprintf("hidden, interval %d", iv), fmt.Sprintf("%.2e", b), fmt.Sprintf("%+.0f%%", incr),
+			fmt.Sprintf("hidden, interval %d", cond.interval), fmt.Sprintf("%.2e", b), fmt.Sprintf("%+.0f%%", incr),
 		})
-		series.X = append(series.X, float64(iv))
+		series.X = append(series.X, float64(cond.interval))
 		series.Y = append(series.Y, incr)
 	}
 	r.Tables = append(r.Tables, tbl)
@@ -530,8 +568,8 @@ func PublicInterference(s Scale) (*Result, error) {
 // comparison, backed by the quantitative sub-experiments.
 func Table1(s Scale) (*Result, error) {
 	r := &Result{ID: "tbl1", Title: "VT-HI vs PT-HI comparison (paper Table 1)"}
-	rng := rand.New(rand.NewPCG(s.Seed, 45))
-	ts := newTester(s.modelA(), s.Seed+1001, s.Seed+1001)
+	rng := s.rng("tbl1/bits")
+	ts := s.tester(s.modelA(), "tbl1")
 	g := ts.Chip().Geometry()
 	cfg := core.StandardConfig()
 

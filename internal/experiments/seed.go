@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math/rand/v2"
+
+	"stashflash/internal/nand"
+	"stashflash/internal/parallel"
+	"stashflash/internal/tester"
+)
+
+// Seed partitioning: every independent work unit of an experiment — a
+// chip sample, an SVM-class block batch, a replicate point — draws from a
+// private PRNG stream derived from (Scale.Seed, experiment domain, unit
+// index path) instead of sharing one sequential generator. A worker
+// consuming its stream therefore can never perturb another unit's draws,
+// which is the invariant that makes workers=1 and workers=N bit-identical
+// (see TestFig6DeterminismAcrossWorkers). The earlier ad-hoc additive
+// offsets (s.Seed+rep*977 and friends) provided per-unit streams too, but
+// with no collision guarantee across experiments; the hash-derived scheme
+// makes the partition systematic.
+
+// subSeed derives two independent 64-bit seed words for one work unit by
+// hashing the run seed, an experiment-scoped domain string, and the
+// unit's index path with SHA-256. Distinct (domain, path) pairs yield
+// computationally independent streams under the same run seed.
+func (s Scale) subSeed(domain string, path ...uint64) (uint64, uint64) {
+	h := sha256.New()
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], s.Seed)
+	h.Write(b[:])
+	h.Write([]byte(domain))
+	for _, u := range path {
+		binary.BigEndian.PutUint64(b[:], u)
+		h.Write(b[:])
+	}
+	sum := h.Sum(nil)
+	return binary.BigEndian.Uint64(sum[0:8]), binary.BigEndian.Uint64(sum[8:16])
+}
+
+// rng returns the unit's private PRNG stream.
+func (s Scale) rng(domain string, path ...uint64) *rand.Rand {
+	a, b := s.subSeed(domain, path...)
+	return rand.New(rand.NewPCG(a, b))
+}
+
+// tester builds the chip sample plus host tester owned by one work unit.
+// The chip's manufacturing-variation stream and the host's data-pattern
+// stream are partitioned under separate sub-domains so they stay
+// independent. The returned Tester (and its Chip) must remain confined to
+// the worker that called this: Chip is not safe for concurrent use, so
+// the engine parallelises across chips, never within one.
+func (s Scale) tester(m nand.Model, domain string, path ...uint64) *tester.Tester {
+	chipSeed, _ := s.subSeed(domain+"/chip", path...)
+	hostSeed, _ := s.subSeed(domain+"/host", path...)
+	return tester.New(nand.NewChip(m, chipSeed), hostSeed)
+}
+
+// workers resolves the effective fan-out width for this run: an explicit
+// Scale.Workers pin, else $STASHFLASH_WORKERS, else GOMAXPROCS.
+func (s Scale) workers() int {
+	if s.Workers > 0 {
+		return s.Workers
+	}
+	return parallel.DefaultWorkers()
+}

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand/v2"
 
 	"stashflash/internal/core"
 	"stashflash/internal/nand"
@@ -17,9 +16,9 @@ import (
 // adversary takes is dominated by legitimate data turnover.
 func Snapshot(s Scale) (*Result, error) {
 	r := &Result{ID: "snapshot", Title: "multiple-snapshot adversary (§9.2 discussion)"}
-	ts := newTester(s.modelA(), s.Seed+41, s.Seed+41)
+	ts := s.tester(s.modelA(), "snapshot")
 	chip := ts.Chip()
-	rng := rand.New(rand.NewPCG(s.Seed, 41))
+	rng := s.rng("snapshot/bits")
 	cfg := core.StandardConfig()
 	bits := paperDensityBits(chip.Model(), cfg.HiddenCellsPerPage)
 

@@ -3,6 +3,7 @@ package nand
 import (
 	"bytes"
 	"math/rand/v2"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -337,5 +338,64 @@ func TestMLCRoundTrip(t *testing.T) {
 	// MLC margins are tighter; allow a small error count on 512 bytes.
 	if badLo > 4 || badHi > 4 {
 		t.Fatalf("MLC round trip: %d/%d bad lower/upper bytes", badLo, badHi)
+	}
+}
+
+// TestDistinctChipsConcurrentlySafe exercises the documented concurrency
+// contract under the race detector: distinct Chip instances share no
+// mutable state, so goroutines may drive their own chips simultaneously.
+// Each goroutine runs the same program/probe/erase workload on its own
+// chip and must obtain exactly the probe trace a serial run produces —
+// any cross-chip interference would either trip -race or perturb the
+// deterministic voltages.
+func TestDistinctChipsConcurrentlySafe(t *testing.T) {
+	workload := func(c *Chip) ([]uint8, error) {
+		rng := rand.New(rand.NewPCG(9, 9))
+		var probes []uint8
+		for round := 0; round < 3; round++ {
+			for p := 0; p < c.Geometry().PagesPerBlock; p++ {
+				a := PageAddr{Block: 0, Page: p}
+				if err := c.ProgramPage(a, randPageData(rng, c.Geometry().PageBytes)); err != nil {
+					return nil, err
+				}
+				lv, err := c.ProbePage(a)
+				if err != nil {
+					return nil, err
+				}
+				probes = append(probes, lv...)
+			}
+			c.EraseBlock(0)
+		}
+		return probes, nil
+	}
+
+	// Serial references, one per seed (the seeds model distinct samples).
+	seeds := []uint64{100, 200}
+	want := make([][]uint8, len(seeds))
+	for i, seed := range seeds {
+		var err error
+		if want[i], err = workload(NewChip(TestModel(), seed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	got := make([][]uint8, len(seeds))
+	errs := make([]error, len(seeds))
+	var wg sync.WaitGroup
+	for i, seed := range seeds {
+		wg.Add(1)
+		go func(i int, seed uint64) {
+			defer wg.Done()
+			got[i], errs[i] = workload(NewChip(TestModel(), seed))
+		}(i, seed)
+	}
+	wg.Wait()
+	for i := range seeds {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if !bytes.Equal(got[i], want[i]) {
+			t.Errorf("chip seed %d: concurrent probe trace differs from serial run", seeds[i])
+		}
 	}
 }

@@ -1,0 +1,123 @@
+// Package parallel is the bounded fan-out engine behind the experiment
+// harness. It runs independent work units — chip samples, SVM-class
+// blocks, replicate points — across a fixed number of goroutines while
+// keeping every observable output deterministic: units are identified by
+// index, results land in index-addressed slots, and callers merge them in
+// index order. Combined with seed-partitioned PRNG streams (each unit
+// derives its own stream from the run seed and its index, never sharing a
+// sequential generator), the same inputs produce bit-identical results
+// whether the pool runs one worker or sixteen.
+//
+// The pool deliberately has no work-stealing, batching or rate logic: the
+// units the experiment layer submits are coarse (seconds of simulated
+// chip work), so a shared atomic cursor is contention-free in practice.
+package parallel
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// EnvWorkers is the environment knob consulted by DefaultWorkers, for CI
+// and scripts that cannot thread a flag through to the harness.
+const EnvWorkers = "STASHFLASH_WORKERS"
+
+// DefaultWorkers resolves the worker count used when a caller does not
+// pin one explicitly: $STASHFLASH_WORKERS if set to a positive integer,
+// otherwise GOMAXPROCS.
+func DefaultWorkers() int {
+	if v := os.Getenv(EnvWorkers); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(0) .. fn(n-1) on at most workers goroutines and waits
+// for all of them. workers <= 1 degenerates to a plain serial loop on the
+// calling goroutine.
+//
+// fn must treat its index as the unit's identity: any shared state it
+// touches must either be read-only or be an index-addressed slot private
+// to that unit. Under that contract the observable results are identical
+// for every workers value.
+//
+// On failure ForEach returns the error of the lowest-indexed unit that
+// ran and failed, wrapped with its index. Units not yet started when a
+// failure is observed are skipped, so (only) on the error path the set of
+// executed units may depend on scheduling.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return fmt.Errorf("parallel: unit %d: %w", i, err)
+			}
+		}
+		return nil
+	}
+
+	var (
+		cursor atomic.Int64
+		failed atomic.Bool
+		errs   = make([]error, n)
+		wg     sync.WaitGroup
+	)
+	cursor.Store(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1))
+				if i >= n {
+					return
+				}
+				if failed.Load() {
+					continue // drain remaining indices without running them
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("parallel: unit %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Map runs fn over indices 0..n-1 with at most workers goroutines and
+// returns the results in index order, so downstream merges (float
+// accumulation included) happen in a schedule-independent order. The
+// same unit-isolation contract as ForEach applies.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(workers, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,128 @@
+package parallel
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		n := 100
+		hits := make([]int32, n)
+		err := ForEach(workers, n, func(i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachZeroAndNegative(t *testing.T) {
+	ran := false
+	if err := ForEach(4, 0, func(int) error { ran = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ForEach(0, 3, func(int) error { ran = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Error("workers=0 must still run serially")
+	}
+}
+
+func TestMapMatchesSerialResults(t *testing.T) {
+	fn := func(i int) (int, error) { return i*i + 7, nil }
+	want, err := Map(1, 257, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8, 33} {
+		got, err := Map(workers, 257, fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestForEachPropagatesLowestFailedUnit(t *testing.T) {
+	boom := errors.New("boom")
+	err := ForEach(8, 50, func(i int) error {
+		if i == 13 || i == 31 {
+			return boom
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("error %v does not wrap the unit error", err)
+	}
+}
+
+func TestMapErrorReturnsNil(t *testing.T) {
+	out, err := Map(4, 10, func(i int) (int, error) {
+		if i == 3 {
+			return 0, errors.New("bad unit")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if out != nil {
+		t.Fatal("results must be discarded on error")
+	}
+}
+
+func TestDefaultWorkersEnvKnob(t *testing.T) {
+	t.Setenv(EnvWorkers, "3")
+	if got := DefaultWorkers(); got != 3 {
+		t.Errorf("env knob: got %d, want 3", got)
+	}
+	t.Setenv(EnvWorkers, "not-a-number")
+	if got := DefaultWorkers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("bad env value: got %d, want GOMAXPROCS", got)
+	}
+	t.Setenv(EnvWorkers, "-2")
+	if got := DefaultWorkers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("negative env value: got %d, want GOMAXPROCS", got)
+	}
+}
+
+// TestForEachIndexSlotIsolation is the -race exercise of the pool's unit
+// contract: many workers writing disjoint index-addressed slots.
+func TestForEachIndexSlotIsolation(t *testing.T) {
+	n := 512
+	out := make([]uint64, n)
+	err := ForEach(16, n, func(i int) error {
+		v := uint64(1)
+		for k := 0; k < 1000; k++ {
+			v = v*6364136223846793005 + uint64(i)
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v == 0 {
+			t.Fatalf("slot %d never written", i)
+		}
+	}
+}
