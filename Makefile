@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race ci bench bench-parallel
+.PHONY: build test vet race fuzz-smoke ci bench bench-parallel
 
 build:
 	$(GO) build ./...
@@ -16,7 +16,15 @@ vet:
 race:
 	$(GO) test -race ./...
 
-ci: build vet test race
+# Brief fuzz runs from the committed seed corpora (testdata/fuzz). Each
+# target gets a few seconds — enough to catch regressions on the decode
+# and mount paths without turning CI into a fuzzing campaign.
+fuzz-smoke:
+	$(GO) test ./internal/ecc -run '^$$' -fuzz '^FuzzBCHDecode$$' -fuzztime 10s
+	$(GO) test ./internal/ecc -run '^$$' -fuzz '^FuzzRSDecode$$' -fuzztime 10s
+	$(GO) test ./internal/stegfs -run '^$$' -fuzz '^FuzzSuperblockParse$$' -fuzztime 10s
+
+ci: build vet test race fuzz-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .

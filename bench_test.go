@@ -66,6 +66,7 @@ func BenchmarkPublicInterference(b *testing.B)    { runExperiment(b, "pubber") }
 func BenchmarkSnapshotAdversary(b *testing.B)     { runExperiment(b, "snapshot") }
 func BenchmarkSummaryStatSVM(b *testing.B)        { runExperiment(b, "sumstat") }
 func BenchmarkPageLevelSVM(b *testing.B)          { runExperiment(b, "fig10page") }
+func BenchmarkFaultRecovery(b *testing.B)         { runExperiment(b, "faults") }
 
 // --- library hot paths ---
 
@@ -94,7 +95,9 @@ func BenchmarkWritePage(b *testing.B) {
 	dev, h := benchDevice(b)
 	pub := benchPublic(h, 1)
 	g := dev.Geometry()
-	dev.EraseBlock(0)
+	if err := dev.EraseBlock(0); err != nil {
+		b.Fatal(err)
+	}
 	b.SetBytes(int64(len(pub)))
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -105,7 +108,9 @@ func BenchmarkWritePage(b *testing.B) {
 			// Erase is block maintenance, not part of the per-page write
 			// path; keep it out of the ns/op and MB/s accounting.
 			b.StopTimer()
-			dev.EraseBlock(block)
+			if err := dev.EraseBlock(block); err != nil {
+				b.Fatal(err)
+			}
 			b.StartTimer()
 		}
 		if err := h.WritePage(PageAddr{Block: block, Page: page}, pub); err != nil {
@@ -140,7 +145,9 @@ func BenchmarkHide(b *testing.B) {
 	pub := benchPublic(h, 3)
 	secret := make([]byte, h.HiddenPayloadBytes())
 	g := dev.Geometry()
-	dev.EraseBlock(0)
+	if err := dev.EraseBlock(0); err != nil {
+		b.Fatal(err)
+	}
 	b.SetBytes(int64(len(secret)))
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -152,7 +159,9 @@ func BenchmarkHide(b *testing.B) {
 			// every later block boundary keeps SetBytes throughput a pure
 			// measure of the Algorithm 1 encode path.
 			b.StopTimer()
-			dev.EraseBlock(block)
+			if err := dev.EraseBlock(block); err != nil {
+				b.Fatal(err)
+			}
 			b.StartTimer()
 		}
 		if _, err := h.WriteAndHide(PageAddr{Block: block, Page: page}, pub, secret, 0); err != nil {

@@ -56,7 +56,10 @@ func main() {
 	for sm := 0; sm < *samples; sm++ {
 		ts := tester.New(nand.NewChip(m, *seed+uint64(sm)*1009), *seed+uint64(sm))
 		for bi, pec := range pecs {
-			ts.CycleTo(bi, pec)
+			if err := ts.CycleTo(bi, pec); err != nil {
+				fmt.Fprintln(os.Stderr, "chipchar:", err)
+				os.Exit(1)
+			}
 			if _, err := ts.ProgramRandomBlock(bi); err != nil {
 				fmt.Fprintln(os.Stderr, "chipchar:", err)
 				os.Exit(1)
@@ -80,7 +83,10 @@ func main() {
 					curve{fmt.Sprintf("s%d-pec%d-erased", sm+1, pec), erased},
 					curve{fmt.Sprintf("s%d-pec%d-programmed", sm+1, pec), programmed})
 			}
-			ts.Chip().DropBlockState(bi)
+			if err := ts.Chip().DropBlockState(bi); err != nil {
+				fmt.Fprintln(os.Stderr, "chipchar:", err)
+				os.Exit(1)
+			}
 		}
 	}
 	if *csv {

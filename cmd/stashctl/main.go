@@ -337,7 +337,9 @@ func cmdErase(args []string) error {
 	if err != nil {
 		return err
 	}
-	chip.EraseBlock(*block)
+	if err := chip.EraseBlock(*block); err != nil {
+		return fmt.Errorf("erase: %w", err)
+	}
 	if err := saveChip(*image, chip); err != nil {
 		return err
 	}

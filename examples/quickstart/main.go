@@ -78,7 +78,9 @@ func main() {
 	}
 
 	// 6. One block erase destroys the hidden payload instantly.
-	dev.EraseBlock(addr.Block)
+	if err := dev.EraseBlock(addr.Block); err != nil {
+		log.Fatal(err)
+	}
 	if err := hider.WritePage(addr, public); err != nil {
 		log.Fatal(err)
 	}

@@ -50,7 +50,9 @@ func main() {
 
 	// Disaster: four blocks are erased and recycled with new public data.
 	for _, i := range []int{0, 3, 7, 9} {
-		dev.EraseBlock(addrs[i].Block)
+		if err := dev.EraseBlock(addrs[i].Block); err != nil {
+			log.Fatal(err)
+		}
 		cover := make([]byte, hider.PublicDataBytes())
 		for j := range cover {
 			cover[j] = byte(rng.IntN(256))
@@ -70,7 +72,9 @@ func main() {
 	fmt.Printf("recovered: %q\n", bytes.TrimRight(got, "\x00"))
 
 	// A fifth loss exceeds the parity budget.
-	dev.EraseBlock(addrs[5].Block)
+	if err := dev.EraseBlock(addrs[5].Block); err != nil {
+		log.Fatal(err)
+	}
 	cover := make([]byte, hider.PublicDataBytes())
 	if err := hider.WritePage(addrs[5], cover); err != nil {
 		log.Fatal(err)

@@ -47,7 +47,9 @@ func main() {
 		// Pre-age the block, then store public + hidden data.
 		elapsed = 0
 		if tc.pec > 0 {
-			dev.Chip().CycleBlock(0, tc.pec)
+			if err := dev.Chip().CycleBlock(0, tc.pec); err != nil {
+				log.Fatal(err)
+			}
 		}
 		addr := stashflash.PageAddr{Block: 0, Page: 0}
 		secret := payload(rng, hider.HiddenPayloadBytes())
@@ -78,7 +80,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	dev.Chip().CycleBlock(0, 2000)
+	if err := dev.Chip().CycleBlock(0, 2000); err != nil {
+		log.Fatal(err)
+	}
 	addr := stashflash.PageAddr{Block: 0, Page: 0}
 	secret := payload(rng, hider.HiddenPayloadBytes())
 	cover := payload(rng, hider.PublicDataBytes())
@@ -94,7 +98,9 @@ func main() {
 			return
 		}
 		// Refresh: rewrite the cover page (fresh cells) and re-embed.
-		dev.EraseBlock(addr.Block)
+		if err := dev.EraseBlock(addr.Block); err != nil {
+			log.Fatal(err)
+		}
 		epoch++
 		if _, err := hider.WriteAndHide(addr, cover, got, epoch); err != nil {
 			log.Fatal(err)

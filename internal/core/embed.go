@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"stashflash/internal/nand"
@@ -142,6 +143,32 @@ func (e *Embedder) Embed(p *PagePlan, bits []uint8, maxSteps int) (steps int, er
 	return steps, nil
 }
 
+// EmbedResilient is Embed for a device under fault injection: transient
+// partial-program status FAILs (nand.ErrProgramFailed on a still-good
+// block) are absorbed — a failed pulse moved no charge, so the loop simply
+// re-verifies and pulses again, up to maxFaults times. Failed pulses do
+// not consume the step budget. Non-transient errors (power loss, grown bad
+// block) abort immediately.
+func (e *Embedder) EmbedResilient(p *PagePlan, bits []uint8, maxSteps, maxFaults int) (steps, absorbed int, err error) {
+	for budget := maxSteps; budget > 0; {
+		pulsed, err := e.ProgramStep(p, bits)
+		if err != nil {
+			if errors.Is(err, nand.ErrProgramFailed) &&
+				!e.chip.IsBadBlock(p.Addr.Block) && absorbed < maxFaults {
+				absorbed++
+				continue
+			}
+			return steps, absorbed, err
+		}
+		if pulsed == 0 {
+			break
+		}
+		steps++
+		budget--
+	}
+	return steps, absorbed, nil
+}
+
 // FineEmbed is the vendor-supported single-pass encode (§6.2): hidden '0'
 // cells are parked just above Vth by one controller-grade fine programming
 // operation. It must run at page-program time, before neighbour pages are
@@ -212,11 +239,19 @@ func (e *Embedder) DecodeRef(a nand.PageAddr) (float64, error) {
 // shifted reference threshold: below the reference reads '1', at or above
 // reads '0' (Fig 5). Non-destructive and repeatable.
 func (e *Embedder) ReadBits(p *PagePlan) ([]uint8, error) {
+	return e.ReadBitsAt(p, 0)
+}
+
+// ReadBitsAt reads the hidden bits with the reference threshold nudged by
+// refDelta levels off the nominal DecodeRef — the read-retry primitive SSD
+// firmware uses when the nominal reference fails to decode (read disturb
+// pushes erased cells up; retention pulls programmed cells down).
+func (e *Embedder) ReadBitsAt(p *PagePlan, refDelta float64) ([]uint8, error) {
 	ref, err := e.DecodeRef(p.Addr)
 	if err != nil {
 		return nil, err
 	}
-	raw, err := e.chip.ReadPageRef(p.Addr, ref)
+	raw, err := e.chip.ReadPageRef(p.Addr, ref+refDelta)
 	if err != nil {
 		return nil, err
 	}

@@ -120,10 +120,34 @@ func (h *Hider) recoverImage(a nand.PageAddr) ([]byte, error) {
 
 // HideStats reports what an embedding cost.
 type HideStats struct {
-	// Steps is the number of PP passes Algorithm 1's loop used.
+	// Steps is the number of PP passes Algorithm 1's loop used (summed
+	// across retries on a fault-injected device).
 	Steps int
 	// Cells is the number of cells selected (payload + hidden ECC bits).
 	Cells int
+	// Retries is the number of full embed re-runs after a failed
+	// post-embed verification. Always zero on a pristine device.
+	Retries int
+	// FaultsAbsorbed is the number of transient partial-program status
+	// FAILs the embed loop recovered from. Always zero on a pristine
+	// device.
+	FaultsAbsorbed int
+}
+
+// Fault-injected resilience budgets: how many embed+verify rounds one
+// Hide may run, and how many transient pulse FAILs one round may absorb.
+const (
+	hideAttempts     = 3
+	embedFaultBudget = 8
+)
+
+// faultAware reports whether the chip carries an active (non-zero) fault
+// plan. All resilience machinery — verify reads, embed retries, reveal
+// read-retry — is gated on it, so a pristine device (nil or zero-fault
+// plan) keeps bit-identical behaviour and ledger costs.
+func (h *Hider) faultAware() bool {
+	p := h.chip.FaultPlan()
+	return p != nil && !p.Config().Zero()
 }
 
 // buildCodeword encrypts and ECC-expands a hidden payload for a page.
@@ -159,11 +183,56 @@ func (h *Hider) Hide(a nand.PageAddr, hidden []byte, epoch uint64) (HideStats, e
 		}
 		return HideStats{Steps: 1, Cells: len(plan.Cells)}, nil
 	}
-	steps, err := h.emb.Embed(plan, cw, h.cfg.MaxPPSteps)
-	if err != nil {
-		return HideStats{}, err
+	if !h.faultAware() {
+		steps, err := h.emb.Embed(plan, cw, h.cfg.MaxPPSteps)
+		if err != nil {
+			return HideStats{}, err
+		}
+		return HideStats{Steps: steps, Cells: len(plan.Cells)}, nil
 	}
-	return HideStats{Steps: steps, Cells: len(plan.Cells)}, nil
+	// Fault-injected device: absorb transient pulse FAILs inside the embed
+	// loop, then verify the page actually decodes to the embedded codeword
+	// and re-run the loop if not (pushing any still-short cells further).
+	// Cell selection is key-derived, so true fallback onto fresh cells
+	// happens one layer up (stegfs rewrites the cover sector via the FTL).
+	st := HideStats{Cells: len(plan.Cells)}
+	for attempt := 0; ; attempt++ {
+		steps, absorbed, err := h.emb.EmbedResilient(plan, cw, h.cfg.MaxPPSteps, embedFaultBudget)
+		st.Steps += steps
+		st.FaultsAbsorbed += absorbed
+		if err != nil {
+			return st, err
+		}
+		ok, err := h.verifyEmbed(plan, cw)
+		if err != nil {
+			return st, err
+		}
+		if ok {
+			return st, nil
+		}
+		if attempt+1 >= hideAttempts {
+			return st, fmt.Errorf("%w: embed verification failed after %d attempts at %v", ErrHiddenUnrecoverable, hideAttempts, a)
+		}
+		st.Retries++
+	}
+}
+
+// verifyEmbed re-reads the plan's cells once and checks they BCH-decode to
+// exactly the embedded codeword.
+func (h *Hider) verifyEmbed(plan *PagePlan, cw []uint8) (bool, error) {
+	bits, err := h.emb.ReadBits(plan)
+	if err != nil {
+		return false, err
+	}
+	if _, err := h.bch.Decode(bits); err != nil {
+		return false, nil
+	}
+	for i := range bits {
+		if bits[i] != cw[i] {
+			return false, nil
+		}
+	}
+	return true, nil
 }
 
 // WriteAndHide programs public data and immediately embeds hidden data in
@@ -184,7 +253,16 @@ type RevealStats struct {
 	// CorrectedPublic is the number of public symbols repaired while
 	// reconstructing the page image for cell selection.
 	CorrectedPublic int
+	// Rereads is the number of extra read-retry attempts at nudged
+	// reference thresholds. Always zero on a pristine device.
+	Rereads int
 }
+
+// readRetryDeltas is the reference-nudge schedule a fault-injected reveal
+// walks when the nominal read fails to decode: positive nudges recover
+// disturb-bumped erased cells, negative ones retention-drooped programmed
+// cells.
+var readRetryDeltas = []float64{0, 1.5, -1.5, 3, -3}
 
 // Reveal extracts n hidden bytes from a page: one read at the shifted
 // reference threshold, BCH correction, then decryption. It does not alter
@@ -205,17 +283,33 @@ func (h *Hider) Reveal(a nand.PageAddr, n int, epoch uint64) ([]byte, RevealStat
 	if err != nil {
 		return nil, st, err
 	}
-	bits, err := h.emb.ReadBits(plan)
-	if err != nil {
-		return nil, st, err
+	// Pristine devices get exactly one read at the nominal reference;
+	// fault-injected devices walk the read-retry schedule until a read
+	// decodes.
+	deltas := readRetryDeltas[:1]
+	if h.faultAware() {
+		deltas = readRetryDeltas
 	}
-	st.CorrectedHidden, err = h.bch.Decode(bits)
-	if err != nil {
-		return nil, st, fmt.Errorf("%w: %v", ErrHiddenUnrecoverable, err)
+	var lastErr error
+	for i, d := range deltas {
+		if i > 0 {
+			st.Rereads++
+		}
+		bits, err := h.emb.ReadBitsAt(plan, d)
+		if err != nil {
+			return nil, st, err
+		}
+		corrected, err := h.bch.Decode(bits)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		st.CorrectedHidden = corrected
+		ct := ecc.BitsToBytes(bits[:h.payloadBytes*8])
+		pt := seal.EncryptPage(h.keys.Encrypt, h.emb.pageIndex(a), epoch, ct)
+		return pt[:n], st, nil
 	}
-	ct := ecc.BitsToBytes(bits[:h.payloadBytes*8])
-	pt := seal.EncryptPage(h.keys.Encrypt, h.emb.pageIndex(a), epoch, ct)
-	return pt[:n], st, nil
+	return nil, st, fmt.Errorf("%w: %v", ErrHiddenUnrecoverable, lastErr)
 }
 
 // HiddenPageStride returns the stride between consecutive pages holding

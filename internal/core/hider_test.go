@@ -145,7 +145,9 @@ func TestEraseDestroysHiddenData(t *testing.T) {
 	if _, err := h.Hide(a, secret, 0); err != nil {
 		t.Fatal(err)
 	}
-	chip.EraseBlock(0)
+	if err := chip.EraseBlock(0); err != nil {
+		t.Fatal(err)
+	}
 	// Rewrite public data so the page is readable, then attempt reveal.
 	if err := h.WritePage(a, randBytes(rng, h.PublicDataBytes())); err != nil {
 		t.Fatal(err)

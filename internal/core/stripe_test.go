@@ -61,7 +61,9 @@ func TestStripeSurvivesLostPages(t *testing.T) {
 	// covers (the bad-block / lost-cover scenario of §8).
 	chip := h.chip
 	for _, i := range []int{1, 4} {
-		chip.EraseBlock(addrs[i].Block)
+		if err := chip.EraseBlock(addrs[i].Block); err != nil {
+			t.Fatal(err)
+		}
 		for p := 0; p < chip.Geometry().PagesPerBlock; p++ {
 			a := nand.PageAddr{Block: addrs[i].Block, Page: p}
 			if err := h.WritePage(a, randBytes(rng, h.PublicDataBytes())); err != nil {
@@ -91,7 +93,9 @@ func TestStripeTooManyLosses(t *testing.T) {
 	}
 	chip := h.chip
 	for _, i := range []int{0, 2, 4} { // three losses > parity 2
-		chip.EraseBlock(addrs[i].Block)
+		if err := chip.EraseBlock(addrs[i].Block); err != nil {
+			t.Fatal(err)
+		}
 		for p := 0; p < chip.Geometry().PagesPerBlock; p++ {
 			a := nand.PageAddr{Block: addrs[i].Block, Page: p}
 			if err := h.WritePage(a, randBytes(rng, h.PublicDataBytes())); err != nil {

@@ -184,7 +184,9 @@ func (c *BCH) Decode(recv []uint8) (int, error) {
 		}
 		return 0, ErrUncorrectable
 	}
-	// Verify: recompute a couple of syndromes to catch miscorrection.
+	// Verify: recompute a couple of syndromes to catch miscorrection. On
+	// failure roll the speculative flips back so recv is left as received
+	// (the same contract as the Chien-mismatch path above).
 	for j := 1; j <= 2*c.t; j++ {
 		v := 0
 		for i, bit := range recv {
@@ -194,6 +196,13 @@ func (c *BCH) Decode(recv []uint8) (int, error) {
 			}
 		}
 		if v != 0 {
+			for i := range recv {
+				e := c.n - 1 - s - i
+				x := c.f.Exp((c.f.N() - e%c.f.N()) % c.f.N())
+				if c.f.PolyEval(lambda, x) == 0 {
+					recv[i] ^= 1
+				}
+			}
 			return 0, ErrUncorrectable
 		}
 	}

@@ -185,7 +185,9 @@ func Fig3(s Scale) (*Result, error) {
 	var base [2]float64
 	for i, pec := range pecs {
 		block := i
-		ts.CycleTo(block, pec)
+		if err := ts.CycleTo(block, pec); err != nil {
+			return nil, err
+		}
 		if _, err := ts.ProgramRandomBlock(block); err != nil {
 			return nil, err
 		}
@@ -203,7 +205,9 @@ func Fig3(s Scale) (*Result, error) {
 		shift.Rows = append(shift.Rows, []string{
 			fmt.Sprint(pec), f3(e.Mean()), f3(p.Mean()),
 		})
-		ts.Chip().DropBlockState(block)
+		if err := ts.Chip().DropBlockState(block); err != nil {
+			return nil, err
+		}
 		if i == len(pecs)-1 {
 			r.AddNote("shift over 3000 PEC: erased %+0.2f, programmed %+0.2f (paper: right shift for both states)",
 				e.Mean()-base[0], p.Mean()-base[1])

@@ -52,7 +52,9 @@ func featuresFrom(erased, programmed *stats.Histogram) []float64 {
 type hideFn func(ts *tester.Tester, block int, rng *rand.Rand) error
 
 func blockFeatures(ts *tester.Tester, block, pec int, rng *rand.Rand, hide hideFn) ([]float64, error) {
-	ts.CycleTo(block, pec)
+	if err := ts.CycleTo(block, pec); err != nil {
+		return nil, err
+	}
 	if hide == nil {
 		if _, err := ts.ProgramRandomBlock(block); err != nil {
 			return nil, err
@@ -64,7 +66,9 @@ func blockFeatures(ts *tester.Tester, block, pec int, rng *rand.Rand, hide hideF
 	if err != nil {
 		return nil, err
 	}
-	ts.Chip().DropBlockState(block)
+	if err := ts.Chip().DropBlockState(block); err != nil {
+		return nil, err
+	}
 	return featuresFrom(e, p), nil
 }
 

@@ -106,7 +106,9 @@ func SummaryStats(s Scale) (*Result, error) {
 		for i := 0; i < 2*s.BlocksPerClass; i++ {
 			block := i
 			hidden := i%2 == 0
-			ts.CycleTo(block, pec)
+			if err := ts.CycleTo(block, pec); err != nil {
+				return lf, err
+			}
 			// Both classes are written through the same public ECC
 			// pipeline; hidden blocks additionally embed payloads.
 			for pg := 0; pg < chip.Geometry().PagesPerBlock; pg++ {
@@ -143,7 +145,9 @@ func SummaryStats(s Scale) (*Result, error) {
 			if err != nil {
 				return lf, err
 			}
-			ts.Chip().DropBlockState(block)
+			if err := ts.Chip().DropBlockState(block); err != nil {
+				return lf, err
+			}
 			label := -1
 			if hidden {
 				label = 1
@@ -211,7 +215,9 @@ func PageLevel(s Scale) (*Result, error) {
 		}
 		for b := 0; b < 2*blocksPerClass; b++ {
 			hidden := b%2 == 0
-			ts.CycleTo(b, pec)
+			if err := ts.CycleTo(b, pec); err != nil {
+				return lf, err
+			}
 			hp := hiddenPages(chip.Geometry().PagesPerBlock, cfg.PageInterval)
 			if hidden {
 				emb, err := core.NewEmbedder(chip, key, rawConfig(bits, cfg.PageInterval, cfg.MaxPPSteps))
@@ -238,7 +244,9 @@ func PageLevel(s Scale) (*Result, error) {
 					return lf, err
 				}
 			}
-			chip.DropBlockState(b)
+			if err := chip.DropBlockState(b); err != nil {
+				return lf, err
+			}
 		}
 		return lf, nil
 	})

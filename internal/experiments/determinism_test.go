@@ -47,6 +47,34 @@ func TestFig6DeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestFaultsDeterministicAcrossWorkers pins the fault-injected path to the
+// same invariant: every unit's FaultPlan stream is partitioned from
+// (Seed, "faults/plan", unit), so the injected fault sequence — and with it
+// every retry, re-read and grown-bad block — must be byte-identical between
+// a serial run and a workers=8 fan-out.
+func TestFaultsDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment in -short mode")
+	}
+	run := func(workers int) string {
+		s := tinyScale()
+		s.Workers = workers
+		r, err := Faults(s)
+		if err != nil {
+			t.Fatalf("faults workers=%d: %v", workers, err)
+		}
+		return renderText(t, r)
+	}
+	serial := run(1)
+	fanned := run(8)
+	if serial != fanned {
+		t.Errorf("faults: workers=1 and workers=8 rendered differently\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", serial, fanned)
+	}
+	if strings.Contains(serial, "WARNING") {
+		t.Errorf("faults reported silent corruption:\n%s", serial)
+	}
+}
+
 // TestExperimentsDeterministicAcrossWorkers sweeps a representative slice
 // of the parallel experiments — chip-sample fan-out (fig2, fig9), flat
 // (combo x replicate) fan-out (fig7, fig8, relia, vendor2), the paired
@@ -56,7 +84,7 @@ func TestExperimentsDeterministicAcrossWorkers(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment sweep in -short mode")
 	}
-	ids := []string{"fig2", "fig7", "fig8", "fig9", "relia", "pubber", "vendor2", "sumstat"}
+	ids := []string{"fig2", "fig7", "fig8", "fig9", "relia", "pubber", "vendor2", "sumstat", "faults"}
 	for _, id := range ids {
 		id := id
 		t.Run(id, func(t *testing.T) {

@@ -57,7 +57,9 @@ func Fig11(s Scale) (*Result, error) {
 		var embss [][]pageEmbedding
 		var embes []*core.Embedder
 		for b := 0; b < s.ReplicateBlocks; b++ {
-			ts.CycleTo(b, pec)
+			if err := ts.CycleTo(b, pec); err != nil {
+				return pecOut{}, err
+			}
 			emb, embs, err := hideFullBlock(ts, rng, b, rawConfig(cfg.HiddenCellsPerPage, cfg.PageInterval, cfg.MaxPPSteps))
 			if err != nil {
 				return pecOut{}, err
@@ -70,7 +72,9 @@ func Fig11(s Scale) (*Result, error) {
 		normBlocks := 8
 		var normImages [][][]byte
 		for b := 0; b < normBlocks; b++ {
-			ts.CycleTo(normBase+b, pec)
+			if err := ts.CycleTo(normBase+b, pec); err != nil {
+				return pecOut{}, err
+			}
 			img, err := ts.ProgramRandomBlock(normBase + b)
 			if err != nil {
 				return pecOut{}, err
@@ -177,7 +181,9 @@ func Reliability(s Scale) (*Result, error) {
 		pi, rep := u/reps, u%reps
 		ts := s.tester(s.modelA(), "relia", uint64(pi), uint64(rep))
 		rng := s.rng("relia/bits", uint64(pi), uint64(rep))
-		ts.CycleTo(0, pecs[pi])
+		if err := ts.CycleTo(0, pecs[pi]); err != nil {
+			return 0, err
+		}
 		emb, embs, err := hideFullBlock(ts, rng, 0, rawConfig(cfg.HiddenCellsPerPage, cfg.PageInterval, cfg.MaxPPSteps))
 		if err != nil {
 			return 0, err

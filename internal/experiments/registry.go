@@ -38,6 +38,7 @@ var registry = []Entry{
 	{"snapshot", "§9.2 multiple-snapshot adversary (discussion)", Snapshot},
 	{"sumstat", "§7 closing analysis (SVM on BER/mean/std)", SummaryStats},
 	{"fig10page", "§7 page-level SVM", PageLevel},
+	{"faults", "fault-injected recovery (extension)", Faults},
 }
 
 // All returns every registered experiment, ordered by ID registration.

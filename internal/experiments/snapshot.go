@@ -87,7 +87,9 @@ func Snapshot(s Scale) (*Result, error) {
 	// Case 2 (mitigation): the same diff across a block whose public
 	// data was legitimately rewritten — the cover traffic the paper
 	// suggests hides the manipulation inside.
-	chip.EraseBlock(0)
+	if err := chip.EraseBlock(0); err != nil {
+		return nil, err
+	}
 	if _, err := ts.ProgramRandomBlock(0); err != nil {
 		return nil, err
 	}

@@ -99,11 +99,28 @@ type FTL struct {
 	gcActive int // block accepting GC relocations; -1 until first GC
 	gcNextPg int
 
+	// retired marks blocks permanently removed from circulation after a
+	// failed erase or after being found grown bad in the free pool. A
+	// grown-bad block holding valid pages is NOT retired immediately: it
+	// stays readable and victim-eligible until GC evacuates it.
+	retired      []bool
+	retiredCount int
+
 	mapped []bool
 	writes int64 // host sectors written
 	copies int64 // GC relocations
 	gcRuns int64
 	erases int64
+}
+
+// writeRetries bounds how many fresh frontier blocks a single logical
+// write may burn through when programs keep failing.
+const writeRetries = 4
+
+// mediaErr reports a failure a retry on a fresh block can cure: the
+// program failed (growing its block bad) or the block was already bad.
+func mediaErr(err error) bool {
+	return errors.Is(err, nand.ErrProgramFailed) || errors.Is(err, nand.ErrBadBlock)
 }
 
 // Errors surfaced by FTL operations.
@@ -134,6 +151,7 @@ func New(chip *nand.Chip, store PageStore, cfg Config, hook MigrationHook) (*FTL
 		l2p:      make([]nand.PageAddr, lbas),
 		p2l:      make([][]int, g.Blocks),
 		valid:    make([]int, g.Blocks),
+		retired:  make([]bool, g.Blocks),
 		mapped:   make([]bool, lbas),
 		active:   -1,
 		nextPg:   g.PagesPerBlock, // force allocation on first write
@@ -163,6 +181,9 @@ type Stats struct {
 	GCRuns     int64
 	Erases     int64
 	FreeBlocks int
+	// RetiredBlocks counts blocks permanently removed from circulation
+	// (grown bad and fully evacuated).
+	RetiredBlocks int
 	// WriteAmplification is (host + GC copies) / host writes.
 	WriteAmplification float64
 	MinPEC, MaxPEC     int
@@ -171,11 +192,12 @@ type Stats struct {
 // Stats snapshots the counters.
 func (f *FTL) Stats() Stats {
 	s := Stats{
-		HostWrites: f.writes,
-		GCCopies:   f.copies,
-		GCRuns:     f.gcRuns,
-		Erases:     f.erases,
-		FreeBlocks: len(f.free),
+		HostWrites:    f.writes,
+		GCCopies:      f.copies,
+		GCRuns:        f.gcRuns,
+		Erases:        f.erases,
+		FreeBlocks:    len(f.free),
+		RetiredBlocks: f.retiredCount,
 	}
 	if f.writes > 0 {
 		s.WriteAmplification = float64(f.writes+f.copies) / float64(f.writes)
@@ -188,6 +210,9 @@ func (f *FTL) wearSpread() (min, max int) {
 	g := f.chip.Geometry()
 	min, max = int(^uint(0)>>1), 0
 	for b := 0; b < g.Blocks; b++ {
+		if f.retired[b] {
+			continue // dead blocks stop cycling; don't let them pin min
+		}
 		pec := f.chip.PEC(b)
 		if pec < min {
 			min = pec
@@ -195,6 +220,9 @@ func (f *FTL) wearSpread() (min, max int) {
 		if pec > max {
 			max = pec
 		}
+	}
+	if min > max {
+		min, max = 0, 0
 	}
 	return min, max
 }
@@ -228,16 +256,29 @@ func (f *FTL) Write(lba int, data []byte) error {
 	if len(data) != f.store.DataBytes() {
 		return fmt.Errorf("ftl: sector is %d bytes, want %d", len(data), f.store.DataBytes())
 	}
-	a, err := f.allocPage()
-	if err != nil {
-		return err
+	var lastErr error
+	for attempt := 0; attempt <= writeRetries; attempt++ {
+		a, err := f.allocPage()
+		if err != nil {
+			return err
+		}
+		err = f.store.WritePage(a, data)
+		if err == nil {
+			f.commitMapping(lba, a)
+			f.writes++
+			return nil
+		}
+		if !mediaErr(err) {
+			return err
+		}
+		// The program failed and grew the frontier block bad: abandon the
+		// rest of that block and retry on a fresh one. The failed page was
+		// never mapped, and the block's surviving valid pages stay
+		// victim-eligible for GC evacuation.
+		f.nextPg = f.chip.Geometry().PagesPerBlock
+		lastErr = err
 	}
-	if err := f.store.WritePage(a, data); err != nil {
-		return err
-	}
-	f.commitMapping(lba, a)
-	f.writes++
-	return nil
+	return lastErr
 }
 
 // Trim invalidates a logical sector without writing.
@@ -322,8 +363,18 @@ func (f *FTL) gcAllocPage() (nand.PageAddr, error) {
 }
 
 // popColdestFree removes and returns the free block with the lowest PEC
-// (wear-aware allocation).
+// (wear-aware allocation). Grown bad blocks discovered in the free pool
+// are retired on the spot instead of handed out.
 func (f *FTL) popColdestFree() (int, bool) {
+	kept := f.free[:0]
+	for _, b := range f.free {
+		if f.chip.IsBadBlock(b) {
+			f.retire(b)
+			continue
+		}
+		kept = append(kept, b)
+	}
+	f.free = kept
 	if len(f.free) == 0 {
 		return 0, false
 	}
@@ -359,26 +410,52 @@ func (f *FTL) collect(allowCold bool) error {
 		if err != nil {
 			return err
 		}
-		dst, err := f.gcAllocPage()
-		if err != nil {
-			return err
-		}
-		if err := f.store.WritePage(dst, data); err != nil {
-			return err
-		}
-		f.commitMapping(lba, dst)
-		f.copies++
-		if f.hook != nil {
-			if err := f.hook.PageMoved(lba, src, dst); err != nil {
+		for attempt := 0; ; attempt++ {
+			dst, err := f.gcAllocPage()
+			if err != nil {
 				return err
 			}
+			werr := f.store.WritePage(dst, data)
+			if werr == nil {
+				f.commitMapping(lba, dst)
+				f.copies++
+				if f.hook != nil {
+					if err := f.hook.PageMoved(lba, src, dst); err != nil {
+						return err
+					}
+				}
+				break
+			}
+			if !mediaErr(werr) || attempt >= writeRetries {
+				return werr
+			}
+			// Relocation frontier went bad mid-copy: abandon it and pull
+			// a fresh block for the remaining pages.
+			f.gcNextPg = g.PagesPerBlock
 		}
 	}
-	f.chip.EraseBlock(victim)
+	if err := f.chip.EraseBlock(victim); err != nil {
+		if errors.Is(err, nand.ErrEraseFailed) || errors.Is(err, nand.ErrBadBlock) {
+			// The victim's valid data is already evacuated; the block
+			// leaves circulation instead of returning to the free pool.
+			f.p2lReset(victim)
+			f.retire(victim)
+			return nil
+		}
+		return err
+	}
 	f.erases++
 	f.p2lReset(victim)
 	f.free = append(f.free, victim)
 	return nil
+}
+
+// retire permanently removes a block from circulation.
+func (f *FTL) retire(b int) {
+	if !f.retired[b] {
+		f.retired[b] = true
+		f.retiredCount++
+	}
 }
 
 func (f *FTL) p2lReset(b int) {
@@ -399,7 +476,7 @@ func (f *FTL) pickVictim(allowCold bool) int {
 	forceCold := allowCold && maxPEC-minPEC > f.cfg.WearDelta && f.cfg.WearDelta > 0
 	best := -1
 	for b := 0; b < g.Blocks; b++ {
-		if b == f.active || b == f.gcActive || f.isFree(b) {
+		if b == f.active || b == f.gcActive || f.isFree(b) || f.retired[b] {
 			continue
 		}
 		if best < 0 {
@@ -429,7 +506,7 @@ func (f *FTL) pickVictim(allowCold bool) int {
 func (f *FTL) hasReclaimable() bool {
 	g := f.chip.Geometry()
 	for b := 0; b < g.Blocks; b++ {
-		if b == f.active || b == f.gcActive || f.isFree(b) {
+		if b == f.active || b == f.gcActive || f.isFree(b) || f.retired[b] {
 			continue
 		}
 		if f.valid[b] < g.PagesPerBlock {
@@ -438,6 +515,9 @@ func (f *FTL) hasReclaimable() bool {
 	}
 	return false
 }
+
+// IsRetired reports whether a block has been retired (diagnostics).
+func (f *FTL) IsRetired(b int) bool { return f.retired[b] }
 
 func (f *FTL) isFree(b int) bool {
 	for _, fb := range f.free {

@@ -18,7 +18,9 @@ func calibChip(t *testing.T, seed uint64, pec int) (*Chip, []PageAddr) {
 	m := ModelA().ScaleGeometry(8, 8, 4096) // 32768 cells/page
 	c := NewChip(m, seed)
 	if pec > 0 {
-		c.CycleBlock(0, pec)
+		if err := c.CycleBlock(0, pec); err != nil {
+			t.Fatal(err)
+		}
 	}
 	rng := rand.New(rand.NewPCG(seed, 77))
 	var addrs []PageAddr

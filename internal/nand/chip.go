@@ -36,6 +36,8 @@ type Chip struct {
 	rng        *rand.Rand
 	blocks     []*blockState
 	ledger     Ledger
+	faults     *FaultPlan   // nil = pristine device (see faults.go)
+	bad        map[int]bool // grown bad blocks
 }
 
 type blockState struct {
@@ -202,9 +204,37 @@ func (c *Chip) progWearShift(bs *blockState) float64 {
 // EraseBlock erases a block: all cells return to the erased distribution,
 // the block's PEC increments, and any hidden payload co-located with the
 // data is physically destroyed (the paper's "almost instantaneous" hidden
-// data destruction, §1).
-func (c *Chip) EraseBlock(block int) {
+// data destruction, §1). Under an attached FaultPlan the erase may report
+// status FAIL (ErrEraseFailed) — leaving voltages in place and growing the
+// block bad — or hit the block's wear-out death point.
+func (c *Chip) EraseBlock(block int) error {
+	if block < 0 || block >= len(c.blocks) {
+		return fmt.Errorf("%w: block %d not in [0,%d)", ErrBlockRange, block, len(c.blocks))
+	}
+	if err := c.powerCheck(); err != nil {
+		return err
+	}
+	if err := c.badCheck(block); err != nil {
+		return err
+	}
 	bs := c.blockRef(block)
+	if c.faults != nil {
+		if c.faults.drawEraseFail() {
+			// The failed erase still stresses the oxide: PEC advances but
+			// voltages stay put and the block is grown bad.
+			bs.pec++
+			c.markBad(block)
+			c.recordErase()
+			return fmt.Errorf("%w: block %d", ErrEraseFailed, block)
+		}
+		if d := c.faults.deathPEC(block, c.model.RatedPEC); d > 0 && bs.pec+1 >= d {
+			bs.pec++
+			c.faults.stats.WornOut++
+			c.markBad(block)
+			c.recordErase()
+			return fmt.Errorf("%w: block %d worn out at PEC %d", ErrEraseFailed, block, bs.pec)
+		}
+	}
 	bs.pec++
 	bs.epoch++
 	for i := range bs.pages {
@@ -212,18 +242,41 @@ func (c *Chip) EraseBlock(block int) {
 		bs.pendingInterf[i] = 0
 	}
 	c.recordErase()
+	return nil
 }
 
 // CycleBlock fast-forwards wear on a block by n program/erase cycles of
 // random data, leaving the block erased. It is the simulator's stand-in
 // for the paper's pre-conditioning runs ("we repeated this process for 0
 // to 3000 PEC") without paying for n full-block programs; the wear model
-// applies identically. The ledger records only the final erase.
-func (c *Chip) CycleBlock(block, n int) {
+// applies identically. The ledger records only the final erase. If the
+// fast-forward crosses the block's injected wear-out death point, the
+// block dies there (ErrEraseFailed) with its PEC pinned at the death
+// count; per-cycle erase-fail draws are not applied to fast-forwarded
+// cycles.
+func (c *Chip) CycleBlock(block, n int) error {
+	if block < 0 || block >= len(c.blocks) {
+		return fmt.Errorf("%w: block %d not in [0,%d)", ErrBlockRange, block, len(c.blocks))
+	}
 	if n < 0 {
-		panic("nand: negative cycle count")
+		return fmt.Errorf("%w: cycle count %d", ErrNegativeCount, n)
+	}
+	if err := c.powerCheck(); err != nil {
+		return err
+	}
+	if err := c.badCheck(block); err != nil {
+		return err
 	}
 	bs := c.blockRef(block)
+	if c.faults != nil {
+		if d := c.faults.deathPEC(block, c.model.RatedPEC); d > 0 && bs.pec+n >= d {
+			bs.pec = d
+			c.faults.stats.WornOut++
+			c.markBad(block)
+			c.recordErase()
+			return fmt.Errorf("%w: block %d worn out at PEC %d", ErrEraseFailed, block, d)
+		}
+	}
 	bs.pec += n
 	bs.epoch++
 	for i := range bs.pages {
@@ -231,6 +284,7 @@ func (c *Chip) CycleBlock(block, n int) {
 		bs.pendingInterf[i] = 0
 	}
 	c.recordErase()
+	return nil
 }
 
 // DropBlockState releases the materialised analog state of a block without
@@ -238,13 +292,17 @@ func (c *Chip) CycleBlock(block, n int) {
 // affordance for long experiment sweeps that probe a block once and never
 // revisit it; the next access regenerates the block as freshly erased.
 // Production code must use EraseBlock.
-func (c *Chip) DropBlockState(block int) {
+func (c *Chip) DropBlockState(block int) error {
+	if block < 0 || block >= len(c.blocks) {
+		return fmt.Errorf("%w: block %d not in [0,%d)", ErrBlockRange, block, len(c.blocks))
+	}
 	bs := c.blockRef(block)
 	bs.epoch++
 	for i := range bs.pages {
 		bs.pages[i] = nil
 		bs.pendingInterf[i] = 0
 	}
+	return nil
 }
 
 // ProgramPage programs a full page: cells with data bit 0 are charged to
@@ -258,6 +316,12 @@ func (c *Chip) ProgramPage(a PageAddr, data []byte) error {
 	if len(data) != c.model.PageBytes {
 		return fmt.Errorf("%w: got %d bytes, page holds %d", ErrBadDataLength, len(data), c.model.PageBytes)
 	}
+	if err := c.powerCheck(); err != nil {
+		return err
+	}
+	if err := c.badCheck(a.Block); err != nil {
+		return err
+	}
 	ps := c.pageRef(a)
 	if ps.programmed {
 		return fmt.Errorf("%w: %v", ErrPageProgrammed, a)
@@ -266,6 +330,26 @@ func (c *Chip) ProgramPage(a PageAddr, data []byte) error {
 	m := &c.model
 	base := m.ProgramTarget + c.chipOffset + bs.blockOffset + ps.pageOffset + c.progWearShift(bs)
 	sigma := (m.ProgramSigma + m.WearSigmaProgPerK*float64(bs.pec)/1000) * c.progMult
+	if c.faults != nil && c.faults.drawProgramFail() {
+		// Program status FAIL: the aborted internal ISPP sequence leaves
+		// the page partially, unreliably charged — each 0-cell lands with
+		// only ~half probability and doubled spread — and the block is
+		// grown bad. All noise comes from the plan's private stream so the
+		// chip's own stream is untouched.
+		frng := c.faults.rng
+		for i := range ps.v {
+			if dataBit(data, i) == 0 && frng.Float64() < 0.5 {
+				v := base + frng.NormFloat64()*2*sigma
+				if float32(v) > ps.v[i] {
+					ps.v[i] = float32(v)
+				}
+			}
+		}
+		ps.programmed = true
+		c.markBad(a.Block)
+		c.recordProgram()
+		return fmt.Errorf("%w: %v", ErrProgramFailed, a)
+	}
 	for i := range ps.v {
 		if dataBit(data, i) == 0 {
 			v := base + c.rng.NormFloat64()*sigma
@@ -322,6 +406,9 @@ func (c *Chip) ReadPageRef(a PageAddr, ref float64) ([]byte, error) {
 	if err := c.model.check(a); err != nil {
 		return nil, err
 	}
+	if err := c.powerCheck(); err != nil {
+		return nil, err
+	}
 	out := make([]byte, c.model.PageBytes)
 	bs := c.blockRef(a.Block)
 	if bs.pages[a.Page] == nil && bs.pendingInterf[a.Page] == 0 && ref > c.maxErasedLikely() {
@@ -331,6 +418,7 @@ func (c *Chip) ReadPageRef(a PageAddr, ref float64) ([]byte, error) {
 			out[i] = 0xFF
 		}
 		c.recordRead()
+		c.applyReadDisturb(a)
 		return out, nil
 	}
 	ps := c.pageRef(a)
@@ -341,6 +429,7 @@ func (c *Chip) ReadPageRef(a PageAddr, ref float64) ([]byte, error) {
 		}
 	}
 	c.recordRead()
+	c.applyReadDisturb(a)
 	return out, nil
 }
 
@@ -385,6 +474,19 @@ func (c *Chip) FineProgram(a PageAddr, cells []int, target float64) error {
 	if err := c.model.check(a); err != nil {
 		return err
 	}
+	if err := c.powerCheck(); err != nil {
+		return err
+	}
+	if err := c.badCheck(a.Block); err != nil {
+		return err
+	}
+	if c.faults != nil && c.faults.drawProgramFail() {
+		// The in-controller ISPP sequence aborts before moving charge;
+		// the block is grown bad like any other program status FAIL.
+		c.markBad(a.Block)
+		c.recordProgram()
+		return fmt.Errorf("%w: %v (fine program)", ErrProgramFailed, a)
+	}
 	ps := c.pageRef(a)
 	m := &c.model
 	for _, i := range cells {
@@ -406,6 +508,9 @@ func (c *Chip) FineProgram(a PageAddr, cells []int, target float64) error {
 // the adversary's strongest tool and the basis of chip characterisation.
 func (c *Chip) ProbePage(a PageAddr) ([]uint8, error) {
 	if err := c.model.check(a); err != nil {
+		return nil, err
+	}
+	if err := c.powerCheck(); err != nil {
 		return nil, err
 	}
 	ps := c.pageRef(a)
@@ -431,6 +536,22 @@ func (c *Chip) ProbePage(a PageAddr) ([]uint8, error) {
 func (c *Chip) PartialProgram(a PageAddr, cells []int) error {
 	if err := c.model.check(a); err != nil {
 		return err
+	}
+	if c.faults != nil {
+		// The armed-power-loss gate counts successful pulses, so it sits
+		// ahead of every other fault draw.
+		if err := c.faults.ppGate(); err != nil {
+			return fmt.Errorf("%w: partial program %v truncated", err, a)
+		}
+		if err := c.badCheck(a.Block); err != nil {
+			return err
+		}
+		if c.faults.drawPPFail() {
+			// Transient pulse FAIL: status reports failure, no charge
+			// moves, the block stays good — a retry may succeed.
+			c.recordPP()
+			return fmt.Errorf("%w: pulse at %v", ErrProgramFailed, a)
+		}
 	}
 	ps := c.pageRef(a)
 	bs := c.blockRef(a.Block)
@@ -505,10 +626,16 @@ func (c *Chip) disturbNeighbors(a PageAddr) {
 // cost model behind the paper's §8 PT-HI throughput arithmetic.
 func (c *Chip) StressCycleBlock(block int, cellsPerPage [][]int) error {
 	if block < 0 || block >= len(c.blocks) {
-		return fmt.Errorf("nand: block %d out of range", block)
+		return fmt.Errorf("%w: block %d not in [0,%d)", ErrBlockRange, block, len(c.blocks))
 	}
 	if len(cellsPerPage) > c.model.PagesPerBlock {
 		return fmt.Errorf("nand: %d page patterns for %d pages", len(cellsPerPage), c.model.PagesPerBlock)
+	}
+	if err := c.powerCheck(); err != nil {
+		return err
+	}
+	if err := c.badCheck(block); err != nil {
+		return err
 	}
 	bs := c.blockRef(block)
 	cells := c.model.CellsPerPage()
@@ -533,6 +660,14 @@ func (c *Chip) StressCycleBlock(block int, cellsPerPage [][]int) error {
 	}
 	// The erase that completes the cycle: voltages reset, wear advances.
 	bs.pec++
+	if c.faults != nil {
+		if d := c.faults.deathPEC(block, c.model.RatedPEC); d > 0 && bs.pec >= d {
+			c.faults.stats.WornOut++
+			c.markBad(block)
+			c.recordErase()
+			return fmt.Errorf("%w: block %d worn out at PEC %d", ErrEraseFailed, block, bs.pec)
+		}
+	}
 	bs.epoch++
 	for i := range bs.pages {
 		bs.pages[i] = nil
@@ -552,7 +687,13 @@ func (c *Chip) StressCells(a PageAddr, cells []int, n int) error {
 		return err
 	}
 	if n < 0 {
-		panic("nand: negative stress count")
+		return fmt.Errorf("%w: stress count %d", ErrNegativeCount, n)
+	}
+	if err := c.powerCheck(); err != nil {
+		return err
+	}
+	if err := c.badCheck(a.Block); err != nil {
+		return err
 	}
 	bs := c.blockRef(a.Block)
 	if bs.stress[a.Page] == nil {

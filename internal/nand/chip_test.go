@@ -104,7 +104,9 @@ func TestEraseResetsPage(t *testing.T) {
 	if err := c.ProgramPage(a, make([]byte, c.Geometry().PageBytes)); err != nil { // all zero bits -> all programmed
 		t.Fatal(err)
 	}
-	c.EraseBlock(2)
+	if err := c.EraseBlock(2); err != nil {
+		t.Fatal(err)
+	}
 	got, err := c.ReadPage(a)
 	if err != nil {
 		t.Fatal(err)
@@ -229,7 +231,9 @@ func TestLedgerAccounting(t *testing.T) {
 	if _, err := c.ReadPage(a); err != nil {
 		t.Fatal(err)
 	}
-	c.EraseBlock(0)
+	if err := c.EraseBlock(0); err != nil {
+		t.Fatal(err)
+	}
 	l := c.Ledger()
 	if l.Programs != 1 || l.Reads != 1 || l.Erases != 1 {
 		t.Fatalf("ledger = %+v", l)
@@ -266,7 +270,9 @@ func TestLedgerSubAdd(t *testing.T) {
 
 func TestCycleBlockAdvancesPEC(t *testing.T) {
 	c := NewChip(TestModel(), 13)
-	c.CycleBlock(5, 1000)
+	if err := c.CycleBlock(5, 1000); err != nil {
+		t.Fatal(err)
+	}
 	if c.PEC(5) != 1000 {
 		t.Fatalf("PEC = %d", c.PEC(5))
 	}
@@ -364,7 +370,9 @@ func TestDistinctChipsConcurrentlySafe(t *testing.T) {
 				}
 				probes = append(probes, lv...)
 			}
-			c.EraseBlock(0)
+			if err := c.EraseBlock(0); err != nil {
+				return nil, err
+			}
 		}
 		return probes, nil
 	}

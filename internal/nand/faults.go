@@ -1,0 +1,329 @@
+package nand
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sort"
+)
+
+// Fault injection: a FaultPlan attached to a Chip turns the pristine-lab
+// simulator into a misbehaving device. The plan injects the runtime
+// failure modes Cai et al. catalog for MLC programming — program status
+// failures, erase failures, grown bad blocks (wear-out), read disturb —
+// plus power loss that truncates a partial-programming sequence after an
+// armed number of pulses.
+//
+// # Determinism
+//
+// The plan owns a private PRNG derived from FaultConfig.Seed with the
+// same SHA-256 partitioned-stream scheme the experiment engine uses
+// (internal/experiments.(Scale).subSeed): fault draws never touch the
+// chip's own PRNG, so a nil plan and a zero-probability plan produce
+// bit-identical chips, and the injected fault sequence is reproducible at
+// any experiment worker count. Per-block wear-out death points are derived
+// statelessly from (Seed, block), so they are independent of operation
+// order as well.
+
+// Typed errors for recoverable device conditions. These replace panics on
+// the public command surface: firmware is expected to observe and survive
+// them (retry, remap, retire), so they must be values, not crashes. Panics
+// remain only for programmer-error invariants (invalid geometry at
+// construction, internal state queries with impossible arguments).
+var (
+	// ErrBlockRange reports a block index outside the chip's geometry on a
+	// public command (erase, cycle, drop).
+	ErrBlockRange = errors.New("nand: block out of range")
+	// ErrNegativeCount reports a negative cycle or stress count.
+	ErrNegativeCount = errors.New("nand: negative count")
+	// ErrProgramFailed is the program status-FAIL: the page is left
+	// partially, unreliably charged and the block is grown bad (full-page
+	// PROGRAM) or the pulse simply did not land (partial program).
+	ErrProgramFailed = errors.New("nand: program failed (status FAIL)")
+	// ErrEraseFailed is the erase status-FAIL: voltages are left in place
+	// and the block is grown bad.
+	ErrEraseFailed = errors.New("nand: erase failed (status FAIL)")
+	// ErrBadBlock rejects programs/erases aimed at a grown bad block.
+	// Reads still succeed — firmware must be able to evacuate the block.
+	ErrBadBlock = errors.New("nand: grown bad block")
+	// ErrPowerLoss is returned by every operation once an injected power
+	// loss has fired, until Chip.PowerCycle restores the device.
+	ErrPowerLoss = errors.New("nand: power lost")
+)
+
+// FaultConfig parameterises a FaultPlan. The zero value injects nothing.
+type FaultConfig struct {
+	// Seed roots the plan's private fault streams.
+	Seed uint64
+
+	// ProgramFailProb is the per-operation probability that a full-page
+	// PROGRAM (or vendor FineProgram) reports status FAIL. The page is
+	// left partially charged and the block is grown bad.
+	ProgramFailProb float64
+	// PPFailProb is the per-pulse probability that a partial-programming
+	// pulse reports status FAIL without moving charge. Transient: the
+	// block is not marked bad, and a retry may succeed.
+	PPFailProb float64
+	// EraseFailProb is the per-operation probability that an ERASE reports
+	// status FAIL, leaving voltages in place and growing the block bad.
+	EraseFailProb float64
+	// BadBlockFrac is the fraction of blocks that wear out early: each
+	// such block draws a death PEC uniform in [1, RatedPEC] and its first
+	// erase at or past that count fails permanently.
+	BadBlockFrac float64
+	// ReadDisturbProb is the per-read probability of a disturb burst: a
+	// sparse set of low-charge cells on the page gains a small positive
+	// bump, eroding the hidden margin the way accumulated reads do.
+	ReadDisturbProb float64
+	// ReadDisturbCells is the burst size in cells (default 16).
+	ReadDisturbCells int
+	// ReadDisturbMean is the mean bump per disturbed cell in normalized
+	// levels (default 2).
+	ReadDisturbMean float64
+}
+
+// Zero reports whether the config injects no faults at all. A plan built
+// from a Zero config is behaviourally identical to no plan.
+func (c FaultConfig) Zero() bool {
+	return c.ProgramFailProb == 0 && c.PPFailProb == 0 && c.EraseFailProb == 0 &&
+		c.BadBlockFrac == 0 && c.ReadDisturbProb == 0
+}
+
+// FaultStats counts the faults a plan has injected so far.
+type FaultStats struct {
+	ProgramFails int // full-page/fine program status FAILs
+	PPFails      int // transient partial-program pulse FAILs
+	EraseFails   int // erase status FAILs (excluding wear-out deaths)
+	WornOut      int // blocks that hit their death PEC
+	ReadDisturbs int // disturb bursts applied
+	PowerLosses  int // armed power losses that fired
+	GrownBad     int // blocks grown bad from any cause
+}
+
+// FaultPlan is a deterministic schedule of injected faults. Attach one to
+// a chip with Chip.SetFaultPlan; a plan must not be shared across chips
+// (its draw stream is advanced by the chip's operation sequence).
+type FaultPlan struct {
+	cfg   FaultConfig
+	rng   *rand.Rand
+	stats FaultStats
+	death map[int]int // per-block death PEC cache; 0 = immortal
+
+	// ppAllow is the number of further partial-program pulses permitted
+	// before an armed power loss fires; -1 means disarmed.
+	ppAllow   int
+	powerLost bool
+}
+
+// NewFaultPlan builds a plan from cfg, applying burst-shape defaults.
+func NewFaultPlan(cfg FaultConfig) *FaultPlan {
+	if cfg.ReadDisturbCells <= 0 {
+		cfg.ReadDisturbCells = 16
+	}
+	if cfg.ReadDisturbMean <= 0 {
+		cfg.ReadDisturbMean = 2
+	}
+	a, b := faultSubSeed(cfg.Seed, "nand/faults/ops")
+	return &FaultPlan{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewPCG(a, b)),
+		death:   make(map[int]int),
+		ppAllow: -1,
+	}
+}
+
+// Config returns the plan's parameters (with defaults applied).
+func (p *FaultPlan) Config() FaultConfig { return p.cfg }
+
+// Stats returns a snapshot of the injected-fault counters.
+func (p *FaultPlan) Stats() FaultStats { return p.stats }
+
+// ArmPowerLossAfterPP arms a power loss that lets exactly k further
+// partial-programming pulses complete and then kills the device: the k+1st
+// pulse — and every operation after it — returns ErrPowerLoss until
+// Chip.PowerCycle. Charge already moved stays on the cells; that
+// persistence is precisely what makes the truncated hide observable.
+func (p *FaultPlan) ArmPowerLossAfterPP(k int) {
+	if k < 0 {
+		k = 0
+	}
+	p.ppAllow = k
+	p.powerLost = false
+}
+
+// PowerLost reports whether an injected power loss is currently latched.
+func (p *FaultPlan) PowerLost() bool { return p.powerLost }
+
+// faultSubSeed mirrors the experiment engine's SHA-256 partitioned-stream
+// derivation so fault streams compose with experiment seed partitioning.
+func faultSubSeed(seed uint64, domain string, path ...uint64) (uint64, uint64) {
+	h := sha256.New()
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], seed)
+	h.Write(b[:])
+	h.Write([]byte(domain))
+	for _, u := range path {
+		binary.BigEndian.PutUint64(b[:], u)
+		h.Write(b[:])
+	}
+	sum := h.Sum(nil)
+	return binary.BigEndian.Uint64(sum[0:8]), binary.BigEndian.Uint64(sum[8:16])
+}
+
+// deathPEC returns the PEC at which the block wears out (0 = immortal).
+// Derived statelessly from (Seed, block) so the answer does not depend on
+// when — or from which worker's operation order — it is first asked.
+func (p *FaultPlan) deathPEC(block, ratedPEC int) int {
+	if d, ok := p.death[block]; ok {
+		return d
+	}
+	d := 0
+	if p.cfg.BadBlockFrac > 0 {
+		a, b := faultSubSeed(p.cfg.Seed, "nand/faults/badblock", uint64(block))
+		r := rand.New(rand.NewPCG(a, b))
+		if r.Float64() < p.cfg.BadBlockFrac {
+			if ratedPEC < 1 {
+				ratedPEC = 1
+			}
+			d = 1 + r.IntN(ratedPEC)
+		}
+	}
+	p.death[block] = d
+	return d
+}
+
+// The draw helpers consume the plan's op stream only when the relevant
+// probability is non-zero, so disabled fault classes are free.
+
+func (p *FaultPlan) drawProgramFail() bool {
+	if p.cfg.ProgramFailProb <= 0 || p.rng.Float64() >= p.cfg.ProgramFailProb {
+		return false
+	}
+	p.stats.ProgramFails++
+	return true
+}
+
+func (p *FaultPlan) drawPPFail() bool {
+	if p.cfg.PPFailProb <= 0 || p.rng.Float64() >= p.cfg.PPFailProb {
+		return false
+	}
+	p.stats.PPFails++
+	return true
+}
+
+func (p *FaultPlan) drawEraseFail() bool {
+	if p.cfg.EraseFailProb <= 0 || p.rng.Float64() >= p.cfg.EraseFailProb {
+		return false
+	}
+	p.stats.EraseFails++
+	return true
+}
+
+func (p *FaultPlan) drawReadDisturb() bool {
+	if p.cfg.ReadDisturbProb <= 0 || p.rng.Float64() >= p.cfg.ReadDisturbProb {
+		return false
+	}
+	p.stats.ReadDisturbs++
+	return true
+}
+
+// ppGate enforces an armed power loss: it admits the allowed number of
+// pulses, then latches the power-lost state.
+func (p *FaultPlan) ppGate() error {
+	if p.powerLost {
+		return ErrPowerLoss
+	}
+	if p.ppAllow < 0 {
+		return nil
+	}
+	if p.ppAllow == 0 {
+		p.powerLost = true
+		p.stats.PowerLosses++
+		return ErrPowerLoss
+	}
+	p.ppAllow--
+	return nil
+}
+
+// --- chip integration ------------------------------------------------------
+
+// SetFaultPlan attaches a fault plan to the chip (nil detaches). The plan
+// must be private to this chip.
+func (c *Chip) SetFaultPlan(p *FaultPlan) { c.faults = p }
+
+// FaultPlan returns the attached plan, or nil.
+func (c *Chip) FaultPlan() *FaultPlan { return c.faults }
+
+// PowerCycle restores the device after an injected power loss and disarms
+// any pending armed loss. Cell voltages are physical state and survive the
+// cycle — that persistence is what makes hidden data durable at all.
+func (c *Chip) PowerCycle() {
+	if c.faults != nil {
+		c.faults.powerLost = false
+		c.faults.ppAllow = -1
+	}
+}
+
+// IsBadBlock reports whether a block has been grown bad at runtime
+// (program/erase failure or wear-out). Out-of-range blocks report false.
+func (c *Chip) IsBadBlock(block int) bool { return c.bad[block] }
+
+// GrownBadBlocks lists the grown bad blocks in ascending order.
+func (c *Chip) GrownBadBlocks() []int {
+	out := make([]int, 0, len(c.bad))
+	for b := range c.bad {
+		out = append(out, b)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// markBad records a grown bad block.
+func (c *Chip) markBad(block int) {
+	if c.bad == nil {
+		c.bad = make(map[int]bool)
+	}
+	if !c.bad[block] {
+		c.bad[block] = true
+		if c.faults != nil {
+			c.faults.stats.GrownBad++
+		}
+	}
+}
+
+// powerCheck fails every operation while an injected power loss is latched.
+func (c *Chip) powerCheck() error {
+	if c.faults != nil && c.faults.powerLost {
+		return ErrPowerLoss
+	}
+	return nil
+}
+
+// badCheck rejects mutating operations aimed at a grown bad block.
+func (c *Chip) badCheck(block int) error {
+	if c.bad[block] {
+		return fmt.Errorf("%w: block %d", ErrBadBlock, block)
+	}
+	return nil
+}
+
+// applyReadDisturb fires an injected disturb burst on the page just read:
+// a sparse set of its low-charge cells gains a small exponential bump.
+// (Physically the victims are sibling pages; the simplification keeps the
+// burst aimed at the hidden-margin cells the fault model exists to stress.)
+func (c *Chip) applyReadDisturb(a PageAddr) {
+	if c.faults == nil || !c.faults.drawReadDisturb() {
+		return
+	}
+	ps := c.pageRef(a)
+	cutoff := float32(c.model.InterfCutoff)
+	frng := c.faults.rng
+	for k := 0; k < c.faults.cfg.ReadDisturbCells; k++ {
+		i := frng.IntN(len(ps.v))
+		if ps.v[i] < cutoff {
+			ps.v[i] += float32(frng.ExpFloat64() * c.faults.cfg.ReadDisturbMean)
+		}
+	}
+}

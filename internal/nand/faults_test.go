@@ -1,0 +1,344 @@
+package nand
+
+import (
+	"bytes"
+	"errors"
+	"math/rand/v2"
+	"testing"
+)
+
+// faultWorkload drives a chip through every command class and returns a
+// probe transcript plus the final ledger, for bit-identity comparisons.
+func faultWorkload(t *testing.T, c *Chip) ([]uint8, Ledger) {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(9, 9))
+	var probes []uint8
+	if err := c.CycleBlock(0, 500); err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 2; p++ {
+		a := PageAddr{Block: 0, Page: p}
+		if err := c.ProgramPage(a, randPageData(rng, c.Geometry().PageBytes)); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.PartialProgram(a, []int{1, 2, 3}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.ReadPage(a); err != nil {
+			t.Fatal(err)
+		}
+		lv, err := c.ProbePage(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		probes = append(probes, lv...)
+	}
+	if err := c.EraseBlock(0); err != nil {
+		t.Fatal(err)
+	}
+	return probes, c.Ledger()
+}
+
+// TestZeroFaultPlanMatchesNilPlan pins the tentpole transparency invariant:
+// a chip carrying a zero-probability FaultPlan must be bit-identical to a
+// chip with no plan at all — same voltages, same ledger — because the plan
+// owns a private PRNG and a zero config never draws from it.
+func TestZeroFaultPlanMatchesNilPlan(t *testing.T) {
+	pristine := NewChip(TestModel(), 41)
+	planned := NewChip(TestModel(), 41)
+	planned.SetFaultPlan(NewFaultPlan(FaultConfig{Seed: 123}))
+
+	wantProbes, wantLedger := faultWorkload(t, pristine)
+	gotProbes, gotLedger := faultWorkload(t, planned)
+	if !bytes.Equal(wantProbes, gotProbes) {
+		t.Error("zero-fault plan perturbed cell voltages")
+	}
+	if wantLedger != gotLedger {
+		t.Errorf("zero-fault plan perturbed the ledger: %+v != %+v", gotLedger, wantLedger)
+	}
+	if st := planned.FaultPlan().Stats(); st != (FaultStats{}) {
+		t.Errorf("zero-fault plan injected faults: %+v", st)
+	}
+}
+
+// TestBoundaryTypedErrors pins the public command surface's error taxonomy:
+// out-of-range and negative arguments are typed errors, never panics.
+func TestBoundaryTypedErrors(t *testing.T) {
+	c := NewChip(TestModel(), 42)
+	blocks := c.Geometry().Blocks
+	for _, tc := range []struct {
+		name string
+		err  error
+		want error
+	}{
+		{"erase negative", c.EraseBlock(-1), ErrBlockRange},
+		{"erase past end", c.EraseBlock(blocks), ErrBlockRange},
+		{"cycle negative block", c.CycleBlock(-1, 10), ErrBlockRange},
+		{"cycle negative count", c.CycleBlock(0, -1), ErrNegativeCount},
+		{"drop negative", c.DropBlockState(-1), ErrBlockRange},
+		{"drop past end", c.DropBlockState(blocks + 67), ErrBlockRange},
+		{"stress-cycle negative block", c.StressCycleBlock(-1, nil), ErrBlockRange},
+		{"stress negative count", c.StressCells(PageAddr{}, []int{0}, -5), ErrNegativeCount},
+	} {
+		if !errors.Is(tc.err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, tc.err, tc.want)
+		}
+	}
+}
+
+// TestProgrammerErrorsStillPanic pins the other side of the boundary:
+// invariant violations that only buggy code can produce stay panics.
+func TestProgrammerErrorsStillPanic(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	c := NewChip(TestModel(), 43)
+	mustPanic("PEC out of range", func() { c.PEC(-1) })
+	mustPanic("NewChip bad geometry", func() {
+		m := TestModel()
+		m.Blocks = 0
+		NewChip(m, 1)
+	})
+}
+
+func TestProgramFailGrowsBadBlock(t *testing.T) {
+	c := NewChip(TestModel(), 44)
+	c.SetFaultPlan(NewFaultPlan(FaultConfig{Seed: 1, ProgramFailProb: 1}))
+	rng := rand.New(rand.NewPCG(1, 1))
+	a := PageAddr{Block: 0, Page: 0}
+	err := c.ProgramPage(a, randPageData(rng, c.Geometry().PageBytes))
+	if !errors.Is(err, ErrProgramFailed) {
+		t.Fatalf("program on failing device: %v, want ErrProgramFailed", err)
+	}
+	if !c.IsBadBlock(0) {
+		t.Fatal("program status FAIL did not grow the block bad")
+	}
+	// The failed program left the page partially charged, not clean.
+	lv, err := c.ProbePage(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high := 0
+	for _, v := range lv {
+		if v > 100 {
+			high++
+		}
+	}
+	if high == 0 {
+		t.Error("aborted program left no residual charge")
+	}
+	// Further mutations are rejected; reads still work so firmware can
+	// evacuate the block.
+	if err := c.ProgramPage(PageAddr{Block: 0, Page: 1}, randPageData(rng, c.Geometry().PageBytes)); !errors.Is(err, ErrBadBlock) {
+		t.Errorf("program to grown bad block: %v, want ErrBadBlock", err)
+	}
+	if err := c.EraseBlock(0); !errors.Is(err, ErrBadBlock) {
+		t.Errorf("erase of grown bad block: %v, want ErrBadBlock", err)
+	}
+	if _, err := c.ReadPage(a); err != nil {
+		t.Errorf("read of grown bad block failed: %v", err)
+	}
+	if got := c.GrownBadBlocks(); len(got) != 1 || got[0] != 0 {
+		t.Errorf("GrownBadBlocks = %v, want [0]", got)
+	}
+	st := c.FaultPlan().Stats()
+	if st.ProgramFails != 1 || st.GrownBad != 1 {
+		t.Errorf("stats = %+v, want 1 program fail / 1 grown bad", st)
+	}
+}
+
+func TestPPFailIsTransient(t *testing.T) {
+	c := NewChip(TestModel(), 45)
+	c.SetFaultPlan(NewFaultPlan(FaultConfig{Seed: 2, PPFailProb: 1}))
+	a := PageAddr{Block: 0, Page: 0}
+	before, err := c.ProbePage(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PartialProgram(a, []int{0, 1, 2}); !errors.Is(err, ErrProgramFailed) {
+		t.Fatalf("pp pulse on failing device: %v, want ErrProgramFailed", err)
+	}
+	if c.IsBadBlock(0) {
+		t.Error("transient pulse FAIL grew the block bad")
+	}
+	after, err := c.ProbePage(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Error("failed pulse moved charge")
+	}
+	if st := c.FaultPlan().Stats(); st.PPFails != 1 {
+		t.Errorf("stats = %+v, want 1 pp fail", st)
+	}
+}
+
+func TestEraseFailGrowsBadBlock(t *testing.T) {
+	c := NewChip(TestModel(), 46)
+	c.SetFaultPlan(NewFaultPlan(FaultConfig{Seed: 3, EraseFailProb: 1}))
+	if err := c.EraseBlock(0); !errors.Is(err, ErrEraseFailed) {
+		t.Fatalf("erase on failing device: %v, want ErrEraseFailed", err)
+	}
+	if !c.IsBadBlock(0) {
+		t.Error("erase status FAIL did not grow the block bad")
+	}
+	if c.PEC(0) != 1 {
+		t.Errorf("failed erase left PEC %d, want 1 (oxide still stressed)", c.PEC(0))
+	}
+}
+
+// TestWearOutDeathPEC checks early wear-out: with BadBlockFrac 1 every
+// block has a death point uniform in [1, RatedPEC], cycling across it fails
+// with the PEC pinned at the death count, and the death point is a pure
+// function of (plan seed, block) — independent of operation order.
+func TestWearOutDeathPEC(t *testing.T) {
+	rated := TestModel().RatedPEC
+	deathOf := func(block int) int {
+		c := NewChip(TestModel(), 47)
+		c.SetFaultPlan(NewFaultPlan(FaultConfig{Seed: 4, BadBlockFrac: 1}))
+		if err := c.CycleBlock(block, rated+1); !errors.Is(err, ErrEraseFailed) {
+			t.Fatalf("cycling past rated life: %v, want ErrEraseFailed", err)
+		}
+		if !c.IsBadBlock(block) {
+			t.Fatal("worn-out block not grown bad")
+		}
+		if st := c.FaultPlan().Stats(); st.WornOut != 1 {
+			t.Fatalf("stats = %+v, want 1 worn out", st)
+		}
+		return c.PEC(block)
+	}
+	d0 := deathOf(0)
+	if d0 < 1 || d0 > rated {
+		t.Errorf("death PEC %d outside [1, %d]", d0, rated)
+	}
+	if again := deathOf(0); again != d0 {
+		t.Errorf("death PEC not reproducible: %d then %d", d0, again)
+	}
+	// Reaching the same death point via a different op schedule (two hops
+	// instead of one) must land identically.
+	c := NewChip(TestModel(), 47)
+	c.SetFaultPlan(NewFaultPlan(FaultConfig{Seed: 4, BadBlockFrac: 1}))
+	if d0 > 1 {
+		if err := c.CycleBlock(0, d0-1); err != nil {
+			t.Fatalf("cycling below death point: %v", err)
+		}
+	}
+	if err := c.EraseBlock(0); !errors.Is(err, ErrEraseFailed) {
+		t.Fatalf("erase at death point: %v, want ErrEraseFailed", err)
+	}
+	if c.PEC(0) != d0 {
+		t.Errorf("death via erase at PEC %d, via cycle at %d", c.PEC(0), d0)
+	}
+}
+
+func TestReadDisturbBumpsErasedCells(t *testing.T) {
+	c := NewChip(TestModel(), 48)
+	c.SetFaultPlan(NewFaultPlan(FaultConfig{Seed: 5, ReadDisturbProb: 1}))
+	a := PageAddr{Block: 0, Page: 0}
+	before, err := c.ProbePage(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := c.ReadPage(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, err := c.ProbePage(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumBefore, sumAfter := 0, 0
+	for i := range before {
+		sumBefore += int(before[i])
+		sumAfter += int(after[i])
+	}
+	if sumAfter <= sumBefore {
+		t.Errorf("50 disturbed reads did not raise total charge (%d -> %d)", sumBefore, sumAfter)
+	}
+	if st := c.FaultPlan().Stats(); st.ReadDisturbs != 50 {
+		t.Errorf("stats = %+v, want 50 disturb bursts", st)
+	}
+}
+
+// TestArmedPowerLossTruncatesPP checks the crash-injection primitive:
+// exactly k pulses land, the k+1st and everything after it fail with
+// ErrPowerLoss, and the charge moved by the k pulses survives the outage.
+func TestArmedPowerLossTruncatesPP(t *testing.T) {
+	c := NewChip(TestModel(), 49)
+	plan := NewFaultPlan(FaultConfig{Seed: 6})
+	c.SetFaultPlan(plan)
+	a := PageAddr{Block: 0, Page: 0}
+	baseline, err := c.ProbePage(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const k = 3
+	plan.ArmPowerLossAfterPP(k)
+	for i := 0; i < k; i++ {
+		if err := c.PartialProgram(a, []int{7}); err != nil {
+			t.Fatalf("pulse %d of %d failed early: %v", i+1, k, err)
+		}
+	}
+	if err := c.PartialProgram(a, []int{7}); !errors.Is(err, ErrPowerLoss) {
+		t.Fatalf("pulse %d: %v, want ErrPowerLoss", k+1, err)
+	}
+	if !plan.PowerLost() {
+		t.Error("plan not latched power-lost")
+	}
+	// Every command class fails until power is restored.
+	if _, err := c.ReadPage(a); !errors.Is(err, ErrPowerLoss) {
+		t.Errorf("read during outage: %v", err)
+	}
+	if err := c.EraseBlock(1); !errors.Is(err, ErrPowerLoss) {
+		t.Errorf("erase during outage: %v", err)
+	}
+	if _, err := c.ProbePage(a); !errors.Is(err, ErrPowerLoss) {
+		t.Errorf("probe during outage: %v", err)
+	}
+
+	c.PowerCycle()
+	after, err := c.ProbePage(a)
+	if err != nil {
+		t.Fatalf("probe after power cycle: %v", err)
+	}
+	if after[7] <= baseline[7] {
+		t.Errorf("cell 7 level %d not above baseline %d: truncated pulses lost", after[7], baseline[7])
+	}
+	if st := plan.Stats(); st.PowerLosses != 1 {
+		t.Errorf("stats = %+v, want 1 power loss", st)
+	}
+	// Disarmed after the cycle: further pulses run normally.
+	if err := c.PartialProgram(a, []int{7}); err != nil {
+		t.Errorf("pulse after power cycle: %v", err)
+	}
+}
+
+func TestGrownBadBlocksPersistAcrossSaveLoad(t *testing.T) {
+	c := NewChip(TestModel(), 50)
+	c.SetFaultPlan(NewFaultPlan(FaultConfig{Seed: 7, EraseFailProb: 1}))
+	if err := c.EraseBlock(2); !errors.Is(err, ErrEraseFailed) {
+		t.Fatalf("seed erase fail: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.IsBadBlock(2) {
+		t.Error("grown bad block lost across save/load")
+	}
+	rng := rand.New(rand.NewPCG(8, 8))
+	if err := loaded.ProgramPage(PageAddr{Block: 2, Page: 0}, randPageData(rng, loaded.Geometry().PageBytes)); !errors.Is(err, ErrBadBlock) {
+		t.Errorf("program to persisted bad block: %v, want ErrBadBlock", err)
+	}
+}

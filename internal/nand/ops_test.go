@@ -121,7 +121,9 @@ func TestStressSurvivesErase(t *testing.T) {
 	if err := c.StressCells(a, []int{7}, 500); err != nil {
 		t.Fatal(err)
 	}
-	c.EraseBlock(0)
+	if err := c.EraseBlock(0); err != nil {
+		t.Fatal(err)
+	}
 	// Stress is oxide damage: the stressed cell must still charge slower
 	// than an unstressed one after the erase.
 	const pulses = 8
@@ -163,7 +165,9 @@ func TestDropBlockStateRegeneratesErased(t *testing.T) {
 		t.Fatal(err)
 	}
 	pec := c.PEC(0)
-	c.DropBlockState(0)
+	if err := c.DropBlockState(0); err != nil {
+		t.Fatal(err)
+	}
 	if c.PEC(0) != pec {
 		t.Error("DropBlockState changed PEC")
 	}
@@ -236,7 +240,9 @@ func TestRetentionOnlyLowersVoltage(t *testing.T) {
 	c := NewChip(TestModel(), 38)
 	rng := rand.New(rand.NewPCG(3, 3))
 	a := PageAddr{Block: 0, Page: 0}
-	c.CycleBlock(0, 2000)
+	if err := c.CycleBlock(0, 2000); err != nil {
+		t.Fatal(err)
+	}
 	if err := c.ProgramPage(a, randPageData(rng, c.Geometry().PageBytes)); err != nil {
 		t.Fatal(err)
 	}

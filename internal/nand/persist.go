@@ -25,6 +25,9 @@ type chipImage struct {
 	RNGState   []byte
 	Blocks     []blockImage
 	Ledger     Ledger
+	// BadBlocks lists grown bad blocks. Gob tolerates its absence, so
+	// version-1 images from before fault injection load unchanged.
+	BadBlocks []int
 }
 
 type blockImage struct {
@@ -57,6 +60,7 @@ func (c *Chip) Save(w io.Writer) error {
 		HeavyMean:  c.heavyMean,
 		ProgMult:   c.progMult,
 		Ledger:     c.ledger,
+		BadBlocks:  c.GrownBadBlocks(),
 	}
 	st, err := c.src.MarshalBinary()
 	if err != nil {
@@ -124,6 +128,12 @@ func Load(r io.Reader) (*Chip, error) {
 	c.ledger = img.Ledger
 	if err := c.src.UnmarshalBinary(img.RNGState); err != nil {
 		return nil, fmt.Errorf("nand: restoring RNG: %w", err)
+	}
+	for _, b := range img.BadBlocks {
+		if b < 0 || b >= img.Model.Blocks {
+			return nil, fmt.Errorf("nand: image bad block %d out of range", b)
+		}
+		c.markBad(b)
 	}
 	for _, bi := range img.Blocks {
 		if bi.Index < 0 || bi.Index >= img.Model.Blocks {

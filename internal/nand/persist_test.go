@@ -11,7 +11,9 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewPCG(1, 1))
 	// Build up nontrivial state: wear, programmed pages, stress, pending
 	// interference.
-	c.CycleBlock(2, 1200)
+	if err := c.CycleBlock(2, 1200); err != nil {
+		t.Fatal(err)
+	}
 	for p := 0; p < 3; p++ {
 		if err := c.ProgramPage(PageAddr{Block: 2, Page: p}, randPageData(rng, c.Geometry().PageBytes)); err != nil {
 			t.Fatal(err)

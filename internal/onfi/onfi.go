@@ -318,7 +318,10 @@ func (b *Bus) execErase() error {
 		b.fail()
 		return err
 	}
-	b.chip.EraseBlock(a.Block)
+	if err := b.chip.EraseBlock(a.Block); err != nil {
+		b.fail()
+		return err
+	}
 	b.ok()
 	return nil
 }

@@ -180,7 +180,9 @@ func (h *Hider) EncodeBlock(block int, bits []uint8) error {
 // costs DecodePulses partial programs plus reads — the (600+90)us x 30
 // arithmetic behind the paper's 54 Kb/s PT-HI decode throughput.
 func (h *Hider) DecodeBlock(block int) ([]uint8, error) {
-	h.chip.EraseBlock(block)
+	if err := h.chip.EraseBlock(block); err != nil {
+		return nil, err
+	}
 	out := make([]uint8, 0, h.BlockCapacityBits())
 	for _, p := range h.hiddenPages() {
 		bits, err := h.decodePage(nand.PageAddr{Block: block, Page: p})

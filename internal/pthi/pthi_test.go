@@ -133,7 +133,9 @@ func TestHiddenDataSurvivesPublicRewrites(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		chip.EraseBlock(0)
+		if err := chip.EraseBlock(0); err != nil {
+			t.Fatal(err)
+		}
 	}
 	got, err := h.DecodeBlock(0)
 	if err != nil {
@@ -157,7 +159,9 @@ func TestBERDegradesWithWear(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		chip.CycleBlock(0, precycles)
+		if err := chip.CycleBlock(0, precycles); err != nil {
+			t.Fatal(err)
+		}
 		rng := rand.New(rand.NewPCG(5, 5))
 		bits := randBits(rng, h.BlockCapacityBits())
 		if err := h.EncodeBlock(0, bits); err != nil {

@@ -1,0 +1,54 @@
+package stegfs
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"stashflash/internal/seal"
+)
+
+// FuzzSuperblockParse hammers the one mount-path function that consumes
+// fully untrusted bytes: a stolen or corrupted device hands Remount an
+// arbitrary candidate superblock, and parseSuperblock must reject it with
+// ErrBadSuperblock — never panic, over-read, or accept a forged bitmap.
+// Seed corpus in testdata/fuzz; `make fuzz-smoke` runs this in CI.
+func FuzzSuperblockParse(f *testing.F) {
+	macKey := []byte("fuzz-mac-key-0123456789abcdef###")
+	// Seeds: empty, header-only garbage, and a genuinely valid superblock
+	// so the fuzzer starts on both sides of the accept/reject boundary.
+	f.Add([]byte{}, uint16(8))
+	f.Add([]byte{0x5A, 0x5F, 0, 0, 0, 0, 0xFF}, uint16(8))
+	valid := make([]byte, 16)
+	binary.BigEndian.PutUint16(valid[0:2], superMagic)
+	valid[6] = 0x5A // sectors 1,3,4,6 valid
+	tag := seal.Sum(macKey, valid[superHdrLen:])
+	copy(valid[2:superHdrLen], tag[:4])
+	f.Add(valid, uint16(8))
+
+	f.Fuzz(func(t *testing.T, payload []byte, nSectors uint16) {
+		n := int(nSectors)
+		got, err := parseSuperblock(payload, macKey, n)
+		if err != nil {
+			if got != nil {
+				t.Fatal("error return carried a validity bitmap")
+			}
+			return
+		}
+		// Accepted: the bitmap must be exactly nSectors wide, sector 0
+		// (the superblock itself) never valid, and the payload must carry
+		// a MAC this key actually produces — i.e. acceptance implies the
+		// payload re-encodes to the same truncated tag.
+		if len(got) != n {
+			t.Fatalf("accepted bitmap has %d sectors, want %d", len(got), n)
+		}
+		if n > 0 && got[superSector] {
+			t.Fatal("superblock sector marked valid")
+		}
+		retag := seal.Sum(macKey, payload[superHdrLen:])
+		for i := 0; i < 4; i++ {
+			if payload[2+i] != retag[i] {
+				t.Fatal("accepted payload fails MAC recomputation")
+			}
+		}
+	})
+}

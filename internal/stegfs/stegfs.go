@@ -88,6 +88,20 @@ type Volume struct {
 	anchorH map[int]int // public LBA -> hidden sector
 	valid   []bool
 	dirty   bool // superblock needs Sync
+
+	lastRecovery RecoveryReport
+}
+
+// hideRemapAttempts bounds how many fresh cover pages one hidden write may
+// burn through when embeds keep failing.
+const hideRemapAttempts = 3
+
+// remappableHideErr reports hide failures a fresh cover page can cure: the
+// cover's block went bad, the program failed (growing it bad), or the
+// embedding could not be verified on those cells.
+func remappableHideErr(err error) bool {
+	return errors.Is(err, nand.ErrProgramFailed) || errors.Is(err, nand.ErrBadBlock) ||
+		errors.Is(err, core.ErrHiddenUnrecoverable)
 }
 
 // hiderStore adapts the VT-HI pipeline as the FTL's PageStore, encrypting
@@ -231,12 +245,24 @@ func (v *Volume) PublicWrite(lba int, data []byte) error {
 		return err
 	}
 	if carry != nil {
-		addr, err := v.ftl.Lookup(lba)
-		if err != nil {
-			return err
-		}
-		if _, err := v.hider.Hide(addr, carry, v.epoch(addr)); err != nil {
-			return err
+		for attempt := 0; ; attempt++ {
+			addr, err := v.ftl.Lookup(lba)
+			if err != nil {
+				return err
+			}
+			_, herr := v.hider.Hide(addr, carry, v.epoch(addr))
+			if herr == nil {
+				return nil
+			}
+			if !remappableHideErr(herr) || attempt+1 >= hideRemapAttempts {
+				return herr
+			}
+			// Remap: rewriting the sector makes the FTL allocate a fresh
+			// page in a good block — genuinely new cells for the same
+			// key-derived selection.
+			if err := v.ftl.Write(lba, data); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -264,6 +290,9 @@ func (v *Volume) hiddenReadAt(lba int) ([]byte, error) {
 
 // hiddenWriteAt embeds a payload for hidden sector h anchored at lba,
 // rewriting the cover sector first so the embedding lands on fresh cells.
+// If the embed fails in a way a new location can cure (grown bad block,
+// program failure, unverifiable cells), the cover is rewritten again —
+// each rewrite lands on a fresh physical page — up to hideRemapAttempts.
 func (v *Volume) hiddenWriteAt(h, lba int, payload []byte) error {
 	cover, err := v.ftl.Read(lba)
 	if err == ftl.ErrUnwritten {
@@ -275,19 +304,27 @@ func (v *Volume) hiddenWriteAt(h, lba int, payload []byte) error {
 	if err != nil {
 		return err
 	}
-	if err := v.ftl.Write(lba, cover); err != nil {
-		return err
+	var lastErr error
+	for attempt := 0; attempt < hideRemapAttempts; attempt++ {
+		if err := v.ftl.Write(lba, cover); err != nil {
+			return err
+		}
+		addr, err := v.ftl.Lookup(lba)
+		if err != nil {
+			return err
+		}
+		_, herr := v.hider.Hide(addr, payload, v.epoch(addr))
+		if herr == nil {
+			v.valid[h] = true
+			v.dirty = true
+			return nil
+		}
+		if !remappableHideErr(herr) {
+			return herr
+		}
+		lastErr = herr
 	}
-	addr, err := v.ftl.Lookup(lba)
-	if err != nil {
-		return err
-	}
-	if _, err := v.hider.Hide(addr, payload, v.epoch(addr)); err != nil {
-		return err
-	}
-	v.valid[h] = true
-	v.dirty = true
-	return nil
+	return lastErr
 }
 
 // HiddenWrite stores a hidden sector (1 <= h <= HiddenCapacity), up to
@@ -385,11 +422,39 @@ func (v *Volume) encodeSuperblock() []byte {
 	return payload
 }
 
+// parseSuperblock validates a candidate superblock payload (magic,
+// truncated MAC, validity bitmap) and returns the per-sector validity
+// bits. It is a pure function over untrusted bytes — arbitrary corrupted
+// input must yield ErrBadSuperblock, never a panic or over-read.
+func parseSuperblock(payload, macKey []byte, nSectors int) ([]bool, error) {
+	if nSectors < 1 {
+		return nil, fmt.Errorf("%w: %d hidden sectors", ErrBadSuperblock, nSectors)
+	}
+	if len(payload) < superHdrLen+(nSectors+7)/8 {
+		return nil, fmt.Errorf("%w: %d-byte payload too short for %d sectors", ErrBadSuperblock, len(payload), nSectors)
+	}
+	if binary.BigEndian.Uint16(payload[0:2]) != superMagic {
+		return nil, ErrBadSuperblock
+	}
+	tag := seal.Sum(macKey, payload[superHdrLen:])
+	for i := 0; i < 4; i++ {
+		if payload[2+i] != tag[i] {
+			return nil, ErrBadSuperblock
+		}
+	}
+	bits := payload[superHdrLen:]
+	valid := make([]bool, nSectors)
+	for h := range valid {
+		valid[h] = h != superSector && (bits[h/8]>>(7-uint(h%8)))&1 == 1
+	}
+	return valid, nil
+}
+
 // Remount re-derives all hidden-volume state (hider, anchors, validity)
 // from the master key and the superblock — demonstrating that the hidden
-// volume needs no plaintext metadata. It fails with ErrBadSuperblock if
-// the key is wrong or the superblock was never synced, leaving the volume
-// unchanged.
+// volume needs no plaintext metadata — then runs the mount-time recovery
+// pass (see recoverMounted). It fails with ErrBadSuperblock if the key is
+// wrong or the superblock was never synced, leaving the volume unchanged.
 func (v *Volume) Remount(masterKey []byte) error {
 	hider, err := core.NewHider(v.chip, masterKey, v.cfg.Hiding)
 	if err != nil {
@@ -403,24 +468,77 @@ func (v *Volume) Remount(masterKey []byte) error {
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrBadSuperblock, err)
 	}
-	if binary.BigEndian.Uint16(payload[0:2]) != superMagic {
-		return ErrBadSuperblock
+	valid, err := parseSuperblock(payload, probe.keys.MAC, v.cfg.HiddenSectors)
+	if err != nil {
+		return err
 	}
-	tag := seal.Sum(probe.keys.MAC, payload[superHdrLen:])
-	for i := 0; i < 4; i++ {
-		if payload[2+i] != tag[i] {
-			return ErrBadSuperblock
-		}
-	}
-	bits := payload[superHdrLen:]
-	for h := range v.valid {
-		v.valid[h] = h != superSector && (bits[h/8]>>(7-uint(h%8)))&1 == 1
-	}
+	copy(v.valid, valid)
 	v.hider = probe.hider
 	v.keys = probe.keys
 	v.anchors = probe.anchors
 	v.anchorH = probe.anchorH
 	v.dirty = false
+	return v.recoverMounted()
+}
+
+// RecoveryReport summarises the mount-time consistency pass.
+type RecoveryReport struct {
+	// Checked is the number of bitmap-valid user sectors probed.
+	Checked int
+	// Replayed lists sectors whose payload revealed but showed the
+	// signature of an interrupted or degraded hide; they were re-embedded
+	// at full margin.
+	Replayed []int
+	// Scrubbed lists sectors whose payload could not be revealed; they
+	// were marked cleanly absent (and the superblock re-synced).
+	Scrubbed []int
+}
+
+// LastRecovery returns the report of the most recent Remount's pass.
+func (v *Volume) LastRecovery() RecoveryReport { return v.lastRecovery }
+
+// recoverMounted is the mount-time consistency pass: every sector the
+// superblock marks valid must reveal. A sector that reveals but needed
+// nontrivial correction — the signature of a hide interrupted mid
+// partial-programming sequence, or of margin eroded by disturb — is
+// replayed (re-embedded onto a fresh cover at full margin). A sector that
+// cannot reveal is scrubbed: marked absent and the superblock re-synced.
+// A truncated hide therefore ends fully revealed or cleanly absent, never
+// half-alive.
+func (v *Volume) recoverMounted() error {
+	rep := RecoveryReport{}
+	replayAt := v.cfg.Hiding.BCHT / 2
+	for h := firstUserSec; h < v.cfg.HiddenSectors; h++ {
+		if !v.valid[h] {
+			continue
+		}
+		rep.Checked++
+		scrub := func() {
+			v.valid[h] = false
+			v.dirty = true
+			rep.Scrubbed = append(rep.Scrubbed, h)
+		}
+		addr, err := v.ftl.Lookup(v.anchors[h])
+		if err != nil {
+			scrub()
+			continue
+		}
+		payload, st, err := v.hider.Reveal(addr, v.HiddenSectorBytes(), v.epoch(addr))
+		if err != nil {
+			scrub()
+			continue
+		}
+		if st.CorrectedHidden > replayAt || st.Rereads > 0 {
+			if err := v.hiddenWriteAt(h, v.anchors[h], payload); err != nil {
+				return err
+			}
+			rep.Replayed = append(rep.Replayed, h)
+		}
+	}
+	v.lastRecovery = rep
+	if v.dirty {
+		return v.Sync()
+	}
 	return nil
 }
 

@@ -59,11 +59,12 @@ func (t *Tester) ProgramRandomBlock(block int) ([][]byte, error) {
 // CycleTo preconditions a block to the target PEC count using the
 // simulator's fast-forward, then leaves it erased. This mirrors the
 // paper's "we repeated this process for 0 to 3000 PEC".
-func (t *Tester) CycleTo(block, targetPEC int) {
+func (t *Tester) CycleTo(block, targetPEC int) error {
 	cur := t.chip.PEC(block)
 	if targetPEC > cur {
-		t.chip.CycleBlock(block, targetPEC-cur)
+		return t.chip.CycleBlock(block, targetPEC-cur)
 	}
+	return nil
 }
 
 // RealCycle performs n genuine program/erase cycles with random data; it
@@ -74,7 +75,9 @@ func (t *Tester) RealCycle(block, n int) error {
 		if _, err := t.ProgramRandomBlock(block); err != nil {
 			return err
 		}
-		t.chip.EraseBlock(block)
+		if err := t.chip.EraseBlock(block); err != nil {
+			return err
+		}
 	}
 	return nil
 }

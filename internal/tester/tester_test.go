@@ -44,12 +44,16 @@ func TestProgramRandomBlockRejectsProgrammed(t *testing.T) {
 
 func TestCycleTo(t *testing.T) {
 	ts := newTester(3)
-	ts.CycleTo(1, 1500)
+	if err := ts.CycleTo(1, 1500); err != nil {
+		t.Fatal(err)
+	}
 	if pec := ts.Chip().PEC(1); pec != 1500 {
 		t.Fatalf("PEC = %d", pec)
 	}
 	// Cycling to a lower target is a no-op, never a rollback.
-	ts.CycleTo(1, 100)
+	if err := ts.CycleTo(1, 100); err != nil {
+		t.Fatal(err)
+	}
 	if pec := ts.Chip().PEC(1); pec != 1500 {
 		t.Fatalf("PEC rolled back to %d", pec)
 	}
@@ -108,7 +112,9 @@ func TestPageDistribution(t *testing.T) {
 
 func TestBakeAgesChip(t *testing.T) {
 	ts := newTester(7)
-	ts.CycleTo(0, 2500)
+	if err := ts.CycleTo(0, 2500); err != nil {
+		t.Fatal(err)
+	}
 	pages, err := ts.ProgramRandomBlock(0)
 	if err != nil {
 		t.Fatal(err)

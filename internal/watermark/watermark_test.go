@@ -116,7 +116,9 @@ func TestEraseDestroysMark(t *testing.T) {
 	if err := m.EmbedWithData(a, randPublic(rng, m), Record{ObjectID: 5}, 0); err != nil {
 		t.Fatal(err)
 	}
-	chip.EraseBlock(0)
+	if err := chip.EraseBlock(0); err != nil {
+		t.Fatal(err)
+	}
 	if err := m.Hider().WritePage(a, randPublic(rng, m)); err != nil {
 		t.Fatal(err)
 	}

@@ -143,8 +143,10 @@ func (d *Device) Chip() *nand.Chip { return d.chip }
 // Geometry returns the device layout.
 func (d *Device) Geometry() nand.Geometry { return d.chip.Geometry() }
 
-// EraseBlock erases a block, destroying any hidden payloads in it.
-func (d *Device) EraseBlock(block int) { d.chip.EraseBlock(block) }
+// EraseBlock erases a block, destroying any hidden payloads in it. On a
+// fault-injected chip the erase may fail with a typed error (see
+// nand.ErrEraseFailed, nand.ErrBadBlock).
+func (d *Device) EraseBlock(block int) error { return d.chip.EraseBlock(block) }
 
 // NewHider builds a VT-HI pipeline on the device with the given master
 // secret and operating point.

@@ -72,7 +72,9 @@ func TestFacadeEraseDestroysHidden(t *testing.T) {
 	if _, err := hider.Hide(addr, secret, 0); err != nil {
 		t.Fatal(err)
 	}
-	dev.EraseBlock(1)
+	if err := dev.EraseBlock(1); err != nil {
+		t.Fatal(err)
+	}
 	if err := hider.WritePage(addr, randomPublic(t, hider, 3)); err != nil {
 		t.Fatal(err)
 	}
