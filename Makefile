@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race fuzz-smoke ci bench bench-parallel
+.PHONY: build test vet race fuzz-smoke lint-layering ci bench bench-parallel bench-device
 
 build:
 	$(GO) build ./...
@@ -24,7 +24,26 @@ fuzz-smoke:
 	$(GO) test ./internal/ecc -run '^$$' -fuzz '^FuzzRSDecode$$' -fuzztime 10s
 	$(GO) test ./internal/stegfs -run '^$$' -fuzz '^FuzzSuperblockParse$$' -fuzztime 10s
 
-ci: build vet test race fuzz-smoke
+# Layering gate: outside the device packages (internal/nand defines the
+# interfaces, internal/onfi adapts the bus) and test files, no function
+# may take a *nand.Chip parameter or hold one in a struct field — code
+# must consume the nand.Device interfaces so every backend keeps working.
+# The pattern matches an identifier directly before `*nand.Chip` (a
+# parameter or field declaration); bare return types and type assertions
+# stay legal.
+lint-layering:
+	@bad=$$(grep -rn --include='*.go' '[A-Za-z0-9_] \*nand\.Chip' . \
+		--exclude-dir=related --exclude-dir=.git \
+		--exclude='*_test.go' \
+		| grep -v '^\./internal/nand/' | grep -v '^\./internal/onfi/' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "lint-layering: *nand.Chip must not leak into parameters/fields outside internal/nand and internal/onfi:"; \
+		echo "$$bad"; \
+		exit 1; \
+	fi
+	@echo "lint-layering: ok"
+
+ci: build vet lint-layering test race fuzz-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
@@ -33,3 +52,9 @@ bench:
 # vs workers=GOMAXPROCS. Meaningful speedups need a multi-core runner.
 bench-parallel:
 	$(GO) run ./cmd/experiments -benchjson BENCH_parallel.json all
+
+# Regenerate BENCH_device.json: per-experiment wall clock over the direct
+# chip backend vs the ONFI bus command adapter (identical results; the
+# overhead column is the cost of the command encoding).
+bench-device:
+	$(GO) run ./cmd/experiments -devbenchjson BENCH_device.json all

@@ -140,8 +140,24 @@ func BenchmarkReadPublic(b *testing.B) {
 
 // BenchmarkHide measures the full Algorithm 1 encode on one page
 // (selection, encryption, BCH, PP loop) per hidden payload.
-func BenchmarkHide(b *testing.B) {
-	dev, h := benchDevice(b)
+func BenchmarkHide(b *testing.B) { benchHide(b, OpenVendorA(12345)) }
+
+// BenchmarkHideDirect and BenchmarkHideONFI measure the same encode over
+// the two device backends; the delta is the pure cost of routing every
+// operation through bus command cycles (see BENCH_device.json for the
+// whole-experiment comparison). The hidden bits produced are identical.
+func BenchmarkHideDirect(b *testing.B) { benchHide(b, OpenVendorA(12345)) }
+
+func BenchmarkHideONFI(b *testing.B) {
+	benchHide(b, OpenONFI(VendorA().ScaleGeometry(64, 16, 4512), 12345))
+}
+
+func benchHide(b *testing.B, dev *Device) {
+	b.Helper()
+	h, err := dev.NewHider([]byte("bench key"), Robust)
+	if err != nil {
+		b.Fatal(err)
+	}
 	pub := benchPublic(h, 3)
 	secret := make([]byte, h.HiddenPayloadBytes())
 	g := dev.Geometry()
@@ -202,7 +218,7 @@ func BenchmarkProbePage(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := dev.Chip().ProbePage(addr); err != nil {
+		if _, err := dev.Dev().ProbePage(addr); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	chipchar [-model a|b] [-samples 4] [-pec 0,1000,2000,3000] [-pagebytes 4512] [-pages 8] [-csv]
+//	chipchar [-model a|b] [-samples 4] [-pec 0,1000,2000,3000] [-pagebytes 4512] [-pages 8] [-backend direct|onfi] [-csv]
+//
+// -backend=onfi drives every operation through the bus-level command
+// adapter (internal/onfi) instead of direct simulator calls; the
+// reported distributions are bit-identical either way.
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"strings"
 
 	"stashflash/internal/nand"
+	"stashflash/internal/onfi"
 	"stashflash/internal/stats"
 	"stashflash/internal/tester"
 )
@@ -27,8 +32,14 @@ func main() {
 	pageBytes := flag.Int("pagebytes", 4512, "bytes per page")
 	pages := flag.Int("pages", 8, "pages per block")
 	seed := flag.Uint64("seed", 1, "base seed")
+	backend := flag.String("backend", "", "device backend: direct (default) or onfi (bus command adapter)")
 	csv := flag.Bool("csv", false, "dump full histograms as CSV to stdout")
 	flag.Parse()
+
+	if *backend != "" && *backend != "direct" && *backend != "onfi" {
+		fmt.Fprintf(os.Stderr, "chipchar: unknown backend %q (direct, onfi)\n", *backend)
+		os.Exit(2)
+	}
 
 	var base nand.Model
 	switch *model {
@@ -54,7 +65,12 @@ func main() {
 
 	var curves []curve
 	for sm := 0; sm < *samples; sm++ {
-		ts := tester.New(nand.NewChip(m, *seed+uint64(sm)*1009), *seed+uint64(sm))
+		chip := nand.NewChip(m, *seed+uint64(sm)*1009)
+		var dev nand.LabDevice = chip
+		if *backend == "onfi" {
+			dev = onfi.NewDevice(chip)
+		}
+		ts := tester.New(dev, *seed+uint64(sm))
 		for bi, pec := range pecs {
 			if err := ts.CycleTo(bi, pec); err != nil {
 				fmt.Fprintln(os.Stderr, "chipchar:", err)
@@ -83,7 +99,7 @@ func main() {
 					curve{fmt.Sprintf("s%d-pec%d-erased", sm+1, pec), erased},
 					curve{fmt.Sprintf("s%d-pec%d-programmed", sm+1, pec), programmed})
 			}
-			if err := ts.Chip().DropBlockState(bi); err != nil {
+			if err := ts.Device().DropBlockState(bi); err != nil {
 				fmt.Fprintln(os.Stderr, "chipchar:", err)
 				os.Exit(1)
 			}

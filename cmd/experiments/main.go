@@ -5,15 +5,21 @@
 // Usage:
 //
 //	experiments -list
-//	experiments [-scale ci|paper] [-summary] [-seed N] [-workers N] all
+//	experiments [-scale ci|paper] [-summary] [-seed N] [-workers N] [-backend direct|onfi] all
 //	experiments [-scale ci|paper] fig6 fig10 tbl1 ...
 //	experiments -benchjson BENCH_parallel.json all
+//	experiments -devbenchjson BENCH_device.json all
 //
 // -workers bounds the experiment engine's fan-out across independent
 // chips, blocks and replicate points (0 = auto: STASHFLASH_WORKERS, else
 // GOMAXPROCS; 1 = serial). Results are bit-identical for every worker
-// count. -benchjson additionally times each experiment at workers=1 and
-// at the selected worker count and writes the comparison as JSON.
+// count. -backend selects how work units reach their chip samples:
+// "direct" issues simulator calls, "onfi" drives every operation through
+// the bus-level command adapter; results are bit-identical for either.
+// -benchjson additionally times each experiment at workers=1 and at the
+// selected worker count and writes the comparison as JSON; -devbenchjson
+// times each experiment at backend=direct and backend=onfi and writes
+// the per-backend cost comparison.
 package main
 
 import (
@@ -55,7 +61,9 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	seed := flag.Uint64("seed", 0, "override the scale's seed (0 keeps default)")
 	workers := flag.Int("workers", 0, "experiment engine worker count (0 = auto, 1 = serial)")
+	backend := flag.String("backend", "", "device backend: direct (default) or onfi (bus command adapter)")
 	benchJSON := flag.String("benchjson", "", "time each experiment at workers=1 vs -workers and write the comparison to this JSON file")
+	devBenchJSON := flag.String("devbenchjson", "", "time each experiment at backend=direct vs backend=onfi and write the comparison to this JSON file")
 	flag.Parse()
 
 	if *list {
@@ -79,6 +87,13 @@ func main() {
 		scale.Seed = *seed
 	}
 	scale.Workers = *workers
+	switch *backend {
+	case "", "direct", "onfi":
+		scale.Backend = *backend
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown backend %q (direct, onfi)\n", *backend)
+		os.Exit(2)
+	}
 
 	ids := flag.Args()
 	if len(ids) == 0 {
@@ -101,6 +116,13 @@ func main() {
 
 	if *benchJSON != "" {
 		if err := runBench(*benchJSON, scale, *scaleName, entries); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *devBenchJSON != "" {
+		if err := runDeviceBench(*devBenchJSON, scale, *scaleName, entries); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
@@ -177,5 +199,85 @@ func runBench(path string, scale experiments.Scale, scaleName string, entries []
 	}
 	fmt.Fprintf(os.Stderr, "total: workers=1 %.1fms, workers=%d %.1fms (%.2fx); wrote %s\n",
 		rep.Total1Ms, n, rep.TotalNMs, rep.Speedup, path)
+	return nil
+}
+
+// devBenchEntry is one experiment's direct-vs-ONFI wall-clock comparison.
+type devBenchEntry struct {
+	ID       string  `json:"id"`
+	DirectMs float64 `json:"direct_ms"`
+	ONFIMs   float64 `json:"onfi_ms"`
+	Overhead float64 `json:"overhead"`
+}
+
+// devBenchReport is the BENCH_device.json document.
+type devBenchReport struct {
+	Scale         string          `json:"scale"`
+	Seed          uint64          `json:"seed"`
+	NumCPU        int             `json:"num_cpu"`
+	GoMaxProcs    int             `json:"gomaxprocs"`
+	Workers       int             `json:"workers"`
+	Experiments   []devBenchEntry `json:"experiments"`
+	TotalDirectMs float64         `json:"total_direct_ms"`
+	TotalONFIMs   float64         `json:"total_onfi_ms"`
+	Overhead      float64         `json:"overhead"`
+}
+
+// runDeviceBench times each experiment over the direct backend and over
+// the ONFI command adapter, both at the selected worker count, and
+// writes the per-backend cost comparison. Results are bit-identical
+// across backends (see internal/experiments/backend_test.go), so the
+// overhead column is the pure cost of the bus command encoding.
+func runDeviceBench(path string, scale experiments.Scale, scaleName string, entries []experiments.Entry) error {
+	n := scale.Workers
+	if n <= 0 {
+		n = parallel.DefaultWorkers()
+	}
+	rep := devBenchReport{
+		Scale:      scaleName,
+		Seed:       scale.Seed,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Workers:    n,
+	}
+	timeRun := func(e experiments.Entry, backend string) (float64, error) {
+		s := scale
+		s.Workers = n
+		s.Backend = backend
+		start := time.Now()
+		if _, err := e.Run(s); err != nil {
+			return 0, fmt.Errorf("%s (backend=%s): %w", e.ID, backend, err)
+		}
+		return float64(time.Since(start).Microseconds()) / 1e3, nil
+	}
+	for _, e := range entries {
+		msD, err := timeRun(e, "direct")
+		if err != nil {
+			return err
+		}
+		msO, err := timeRun(e, "onfi")
+		if err != nil {
+			return err
+		}
+		entry := devBenchEntry{ID: e.ID, DirectMs: msD, ONFIMs: msO, Overhead: msO / msD}
+		rep.Experiments = append(rep.Experiments, entry)
+		rep.TotalDirectMs += msD
+		rep.TotalONFIMs += msO
+		fmt.Fprintf(os.Stderr, "%-10s direct %8.1fms  onfi %8.1fms  %.2fx\n",
+			e.ID, msD, msO, entry.Overhead)
+	}
+	if rep.TotalDirectMs > 0 {
+		rep.Overhead = rep.TotalONFIMs / rep.TotalDirectMs
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "total: direct %.1fms, onfi %.1fms (%.2fx overhead); wrote %s\n",
+		rep.TotalDirectMs, rep.TotalONFIMs, rep.Overhead, path)
 	return nil
 }

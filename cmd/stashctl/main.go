@@ -18,6 +18,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand/v2"
 	"os"
 
@@ -78,7 +79,14 @@ func loadChip(path string) (*nand.Chip, error) {
 	return nand.Load(f)
 }
 
-func saveChip(path string, c *nand.Chip) error {
+// imageSaver is the persistence capability stashctl needs from a device;
+// the simulator chip provides it, keeping the rest of the tool against
+// the device interfaces.
+type imageSaver interface {
+	Save(w io.Writer) error
+}
+
+func saveChip(path string, c imageSaver) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
@@ -176,15 +184,15 @@ func (p pageIOFlags) addr() nand.PageAddr {
 	return nand.PageAddr{Block: *p.block, Page: *p.page}
 }
 
-// publicHider builds the layout-only pipeline for public I/O. The master
-// key is irrelevant for public operations; any value yields the same
-// public layout.
-func publicHider(chip *nand.Chip, cfgName string) (*core.Hider, error) {
+// publicHider builds the layout-only pipeline for public I/O over any
+// vendor-capable device. The master key is irrelevant for public
+// operations; any value yields the same public layout.
+func publicHider(dev nand.VendorDevice, cfgName string) (*core.Hider, error) {
 	cfg, err := configByName(cfgName)
 	if err != nil {
 		return nil, err
 	}
-	return core.NewHider(chip, []byte("public"), cfg)
+	return core.NewHider(dev, []byte("public"), cfg)
 }
 
 func cmdWrite(args []string) error {

@@ -47,7 +47,7 @@ func main() {
 		// Pre-age the block, then store public + hidden data.
 		elapsed = 0
 		if tc.pec > 0 {
-			if err := dev.Chip().CycleBlock(0, tc.pec); err != nil {
+			if err := dev.Dev().CycleBlock(0, tc.pec); err != nil {
 				log.Fatal(err)
 			}
 		}
@@ -80,7 +80,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := dev.Chip().CycleBlock(0, 2000); err != nil {
+	if err := dev.Dev().CycleBlock(0, 2000); err != nil {
 		log.Fatal(err)
 	}
 	addr := stashflash.PageAddr{Block: 0, Page: 0}
@@ -91,7 +91,7 @@ func main() {
 	}
 	epoch := uint64(0)
 	for cycle := 1; cycle <= 3; cycle++ {
-		dev.Chip().AdvanceRetention(4 * month)
+		dev.Dev().AdvanceRetention(4 * month)
 		got, _, err := hider.Reveal(addr, len(secret), epoch)
 		if err != nil {
 			fmt.Printf("  cycle %d: lost before refresh: %v\n", cycle, err)
@@ -114,7 +114,7 @@ var elapsed int
 
 func monthsElapsed(dev *stashflash.Device, target int) int {
 	if target > elapsed {
-		dev.Chip().AdvanceRetention(time.Duration(target-elapsed) * month)
+		dev.Dev().AdvanceRetention(time.Duration(target-elapsed) * month)
 		elapsed = target
 	}
 	return target

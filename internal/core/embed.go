@@ -13,19 +13,20 @@ import (
 // harness drives it directly to measure raw hidden BER (paper Figs 6/7);
 // Hider wraps it with the full Algorithm 1 pipeline.
 type Embedder struct {
-	chip      *nand.Chip
+	dev       nand.VendorDevice
 	cfg       Config
 	locateKey []byte
 }
 
-// NewEmbedder builds an embedder for chip under cfg, selecting cells with
-// locateKey. It returns an error for configurations the chip cannot host.
-func NewEmbedder(chip *nand.Chip, locateKey []byte, cfg Config) (*Embedder, error) {
-	if err := cfg.Validate(chip.Model()); err != nil {
+// NewEmbedder builds an embedder for a device under cfg, selecting cells
+// with locateKey. It returns an error for configurations the device
+// cannot host.
+func NewEmbedder(dev nand.VendorDevice, locateKey []byte, cfg Config) (*Embedder, error) {
+	if err := cfg.Validate(dev.Model()); err != nil {
 		return nil, err
 	}
 	return &Embedder{
-		chip:      chip,
+		dev:       dev,
 		cfg:       cfg,
 		locateKey: append([]byte(nil), locateKey...),
 	}, nil
@@ -45,7 +46,7 @@ type PagePlan struct {
 
 // pageIndex flattens a page address into the PRNG's page number.
 func (e *Embedder) pageIndex(a nand.PageAddr) uint64 {
-	return uint64(a.Block)*uint64(e.chip.Geometry().PagesPerBlock) + uint64(a.Page)
+	return nand.PageIndex(e.dev.Geometry(), a)
 }
 
 // Plan selects nBits cells for page a given its exact public image
@@ -53,7 +54,7 @@ func (e *Embedder) pageIndex(a nand.PageAddr) uint64 {
 // non-programmed ('1') public bits are candidates: PP "is too coarse to
 // reliably make fine-grained changes to programmed cells" (§6.2).
 func (e *Embedder) Plan(a nand.PageAddr, image []byte, nBits int) (*PagePlan, error) {
-	g := e.chip.Geometry()
+	g := e.dev.Geometry()
 	if len(image) != g.PageBytes {
 		return nil, fmt.Errorf("core: image is %d bytes, page holds %d", len(image), g.PageBytes)
 	}
@@ -88,11 +89,11 @@ func (e *Embedder) encodeTarget(a nand.PageAddr) (float64, error) {
 	if !e.cfg.InterferenceComp {
 		return t, nil
 	}
-	k, err := e.chip.NeighborPrograms(a)
+	k, err := e.dev.NeighborPrograms(a)
 	if err != nil {
 		return 0, err
 	}
-	m := e.chip.Model()
+	m := e.dev.Model()
 	return t - float64(2-k)*m.InterfMean + e.wearComp(a), nil
 }
 
@@ -108,7 +109,7 @@ func (e *Embedder) ProgramStep(p *PagePlan, bits []uint8) (pulsed int, err error
 	if err != nil {
 		return 0, err
 	}
-	raw, err := e.chip.ReadPageRef(p.Addr, target+e.cfg.EmbedGuard)
+	raw, err := e.dev.ReadPageRef(p.Addr, target+e.cfg.EmbedGuard)
 	if err != nil {
 		return 0, err
 	}
@@ -121,7 +122,7 @@ func (e *Embedder) ProgramStep(p *PagePlan, bits []uint8) (pulsed int, err error
 	if len(pending) == 0 {
 		return 0, nil
 	}
-	if err := e.chip.PartialProgram(p.Addr, pending); err != nil {
+	if err := e.dev.PartialProgram(p.Addr, pending); err != nil {
 		return 0, err
 	}
 	return len(pending), nil
@@ -154,7 +155,7 @@ func (e *Embedder) EmbedResilient(p *PagePlan, bits []uint8, maxSteps, maxFaults
 		pulsed, err := e.ProgramStep(p, bits)
 		if err != nil {
 			if errors.Is(err, nand.ErrProgramFailed) &&
-				!e.chip.IsBadBlock(p.Addr.Block) && absorbed < maxFaults {
+				!e.dev.IsBadBlock(p.Addr.Block) && absorbed < maxFaults {
 				absorbed++
 				continue
 			}
@@ -193,14 +194,14 @@ func (e *Embedder) FineEmbed(p *PagePlan, bits []uint8) error {
 	// from neighbour programs before this hide; DecodeRef applies the
 	// matching compensation with the neighbour count at read time, so
 	// interference added after the hide cancels out of the margin.
-	k, err := e.chip.NeighborPrograms(p.Addr)
+	k, err := e.dev.NeighborPrograms(p.Addr)
 	if err != nil {
 		return err
 	}
-	m := e.chip.Model()
+	m := e.dev.Model()
 	target := e.cfg.VthHidden + e.cfg.FinePark +
 		float64(k)*m.InterfMean + e.wearComp(p.Addr)
-	return e.chip.FineProgram(p.Addr, zeros, target)
+	return e.dev.FineProgram(p.Addr, zeros, target)
 }
 
 // wearComp is the mean wear-induced distribution shift of the page's
@@ -209,8 +210,8 @@ func (e *Embedder) FineEmbed(p *PagePlan, bits []uint8) error {
 // voltage thresholds and targets ... is generally available to the
 // controller internally", §6.2).
 func (e *Embedder) wearComp(a nand.PageAddr) float64 {
-	m := e.chip.Model()
-	return m.WearShiftPerK * float64(e.chip.PEC(a.Block)) / 1000
+	m := e.dev.Model()
+	return m.WearShiftPerK * float64(e.dev.PEC(a.Block)) / 1000
 }
 
 // DecodeRef returns the reference threshold for reading hidden bits from
@@ -226,11 +227,11 @@ func (e *Embedder) DecodeRef(a nand.PageAddr) (float64, error) {
 		}
 		return target + e.cfg.EmbedGuard/2, nil
 	}
-	n, err := e.chip.NeighborPrograms(a)
+	n, err := e.dev.NeighborPrograms(a)
 	if err != nil {
 		return 0, err
 	}
-	m := e.chip.Model()
+	m := e.dev.Model()
 	return e.cfg.VthHidden + e.cfg.DecodeRefOffset +
 		float64(n)*m.InterfMean + e.wearComp(a), nil
 }
@@ -251,7 +252,7 @@ func (e *Embedder) ReadBitsAt(p *PagePlan, refDelta float64) ([]uint8, error) {
 	if err != nil {
 		return nil, err
 	}
-	raw, err := e.chip.ReadPageRef(p.Addr, ref+refDelta)
+	raw, err := e.dev.ReadPageRef(p.Addr, ref+refDelta)
 	if err != nil {
 		return nil, err
 	}

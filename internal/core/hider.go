@@ -16,7 +16,7 @@ import (
 // ReadPublic, no key material needed to read) and the hiding user path
 // (Hide / Reveal, driven by the master secret).
 type Hider struct {
-	chip *nand.Chip
+	dev  nand.VendorDevice
 	emb  *Embedder
 	cfg  Config
 	keys seal.Keys
@@ -31,18 +31,19 @@ type Hider struct {
 // ECC's correction capability.
 var ErrHiddenUnrecoverable = errors.New("core: hidden payload unrecoverable")
 
-// NewHider builds a VT-HI pipeline on chip with the given master secret
-// and configuration.
-func NewHider(chip *nand.Chip, master []byte, cfg Config) (*Hider, error) {
-	if err := cfg.Validate(chip.Model()); err != nil {
+// NewHider builds a VT-HI pipeline on a device with the given master
+// secret and configuration. Any nand.VendorDevice backend works: the
+// direct simulator chip or the ONFI bus adapter (see internal/onfi).
+func NewHider(dev nand.VendorDevice, master []byte, cfg Config) (*Hider, error) {
+	if err := cfg.Validate(dev.Model()); err != nil {
 		return nil, err
 	}
 	keys := seal.DeriveKeys(master)
-	emb, err := NewEmbedder(chip, keys.Locate, cfg)
+	emb, err := NewEmbedder(dev, keys.Locate, cfg)
 	if err != nil {
 		return nil, err
 	}
-	pub, err := NewPublicLayout(chip.Geometry().PageBytes, cfg.PublicRST)
+	pub, err := NewPublicLayout(dev.Geometry().PageBytes, cfg.PublicRST)
 	if err != nil {
 		return nil, err
 	}
@@ -57,7 +58,7 @@ func NewHider(chip *nand.Chip, master []byte, cfg Config) (*Hider, error) {
 		return nil, fmt.Errorf("core: configuration leaves no hidden payload capacity")
 	}
 	return &Hider{
-		chip:         chip,
+		dev:          dev,
 		emb:          emb,
 		cfg:          cfg,
 		keys:         keys,
@@ -90,7 +91,7 @@ func (h *Hider) WritePage(a nand.PageAddr, public []byte) error {
 	if err != nil {
 		return err
 	}
-	return h.chip.ProgramPage(a, image)
+	return h.dev.ProgramPage(a, image)
 }
 
 // ReadPublic reads a page's public data, correcting raw bit errors through
@@ -98,7 +99,7 @@ func (h *Hider) WritePage(a nand.PageAddr, public []byte) error {
 // reads untouched (§5.3, "public data can be read with no awareness of
 // hidden data or private key").
 func (h *Hider) ReadPublic(a nand.PageAddr) (data []byte, corrected int, err error) {
-	raw, err := h.chip.ReadPage(a)
+	raw, err := h.dev.ReadPage(a)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -108,7 +109,7 @@ func (h *Hider) ReadPublic(a nand.PageAddr) (data []byte, corrected int, err err
 // recoverImage reads a page and reconstructs its exact as-programmed image
 // via the public ECC, which makes hidden cell selection reproducible.
 func (h *Hider) recoverImage(a nand.PageAddr) ([]byte, error) {
-	raw, err := h.chip.ReadPage(a)
+	raw, err := h.dev.ReadPage(a)
 	if err != nil {
 		return nil, err
 	}
@@ -141,12 +142,13 @@ const (
 	embedFaultBudget = 8
 )
 
-// faultAware reports whether the chip carries an active (non-zero) fault
-// plan. All resilience machinery — verify reads, embed retries, reveal
-// read-retry — is gated on it, so a pristine device (nil or zero-fault
-// plan) keeps bit-identical behaviour and ledger costs.
+// faultAware reports whether the device carries an active (non-zero)
+// fault plan. All resilience machinery — verify reads, embed retries,
+// reveal read-retry — is gated on it, so a pristine device (nil or
+// zero-fault plan, or a backend without fault injection) keeps
+// bit-identical behaviour and ledger costs.
 func (h *Hider) faultAware() bool {
-	p := h.chip.FaultPlan()
+	p := nand.PlanOf(h.dev)
 	return p != nil && !p.Config().Zero()
 }
 
@@ -272,7 +274,7 @@ func (h *Hider) Reveal(a nand.PageAddr, n int, epoch uint64) ([]byte, RevealStat
 	if n > h.payloadBytes {
 		return nil, st, fmt.Errorf("core: requested %d bytes, page capacity is %d", n, h.payloadBytes)
 	}
-	raw, err := h.chip.ReadPage(a)
+	raw, err := h.dev.ReadPage(a)
 	if err != nil {
 		return nil, st, err
 	}
@@ -320,6 +322,6 @@ func (h *Hider) HiddenPageStride() int { return h.cfg.PageInterval + 1 }
 // HiddenBlockCapacity returns the hidden payload capacity of one block in
 // bytes, honouring the page interval.
 func (h *Hider) HiddenBlockCapacity() int {
-	pages := (h.chip.Geometry().PagesPerBlock + h.cfg.PageInterval) / h.HiddenPageStride()
+	pages := (h.dev.Geometry().PagesPerBlock + h.cfg.PageInterval) / h.HiddenPageStride()
 	return pages * h.payloadBytes
 }

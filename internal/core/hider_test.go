@@ -16,7 +16,7 @@ func coreTestModel() nand.Model {
 
 func fillBlock(t *testing.T, h *Hider, rng *rand.Rand, block int) [][]byte {
 	t.Helper()
-	g := h.chip.Geometry()
+	g := h.dev.Geometry()
 	pages := make([][]byte, g.PagesPerBlock)
 	for p := 0; p < g.PagesPerBlock; p++ {
 		pages[p] = randBytes(rng, h.PublicDataBytes())

@@ -1,0 +1,24 @@
+package core
+
+import "stashflash/internal/nand"
+
+// PublicStore adapts a Hider's public path to the page-store shape the
+// FTL consumes (DataBytes/WritePage/ReadPage): sector payloads flow
+// through the public ECC layout, and read-side symbol corrections are
+// absorbed silently. It satisfies ftl.PageStore structurally, without an
+// import in either direction.
+type PublicStore struct{ H *Hider }
+
+// DataBytes returns the public payload per page under the hider's layout.
+func (s PublicStore) DataBytes() int { return s.H.PublicDataBytes() }
+
+// WritePage stores a sector through the public ECC layout.
+func (s PublicStore) WritePage(a nand.PageAddr, data []byte) error {
+	return s.H.WritePage(a, data)
+}
+
+// ReadPage retrieves a sector, correcting raw bit errors via public ECC.
+func (s PublicStore) ReadPage(a nand.PageAddr) ([]byte, error) {
+	data, _, err := s.H.ReadPublic(a)
+	return data, err
+}

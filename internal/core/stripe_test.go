@@ -59,7 +59,7 @@ func TestStripeSurvivesLostPages(t *testing.T) {
 	}
 	// Destroy two shards outright: erase their blocks and rewrite public
 	// covers (the bad-block / lost-cover scenario of §8).
-	chip := h.chip
+	chip := h.dev
 	for _, i := range []int{1, 4} {
 		if err := chip.EraseBlock(addrs[i].Block); err != nil {
 			t.Fatal(err)
@@ -91,7 +91,7 @@ func TestStripeTooManyLosses(t *testing.T) {
 	if err := h.HideStriped(g, addrs, payload, 0); err != nil {
 		t.Fatal(err)
 	}
-	chip := h.chip
+	chip := h.dev
 	for _, i := range []int{0, 2, 4} { // three losses > parity 2
 		if err := chip.EraseBlock(addrs[i].Block); err != nil {
 			t.Fatal(err)

@@ -1,0 +1,68 @@
+package experiments
+
+import "testing"
+
+// TestFaultsBackendEquivalence is the ISSUE's headline equivalence proof
+// at the experiment layer: the fault-injection experiment — the one that
+// exercises the full taxonomy of typed device errors, recovery retries
+// and grown-bad bookkeeping — must render byte-identical Results whether
+// every work unit drives its chip sample directly or through the ONFI
+// bus command adapter, at workers=1 and workers=8 alike. Backend is a
+// transport choice, never an input: Results are a function of Seed alone.
+func TestFaultsBackendEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment in -short mode")
+	}
+	run := func(backend string, workers int) string {
+		s := tinyScale()
+		s.Backend = backend
+		s.Workers = workers
+		r, err := Faults(s)
+		if err != nil {
+			t.Fatalf("faults backend=%q workers=%d: %v", backend, workers, err)
+		}
+		return renderText(t, r)
+	}
+	direct1 := run("", 1)
+	for _, c := range []struct {
+		backend string
+		workers int
+	}{{"direct", 1}, {"onfi", 1}, {"onfi", 8}} {
+		if got := run(c.backend, c.workers); got != direct1 {
+			t.Errorf("backend=%q workers=%d differs from direct workers=1\n--- direct/1 ---\n%s\n--- %s/%d ---\n%s",
+				c.backend, c.workers, direct1, c.backend, c.workers, got)
+		}
+	}
+}
+
+// TestBackendEquivalenceSweep extends the bit-identity requirement to a
+// representative slice of the suite: chip-sample fan-out (fig2), the
+// paired-condition design (pubber), and the wear sweep (fig7). Each must
+// be indifferent to the device transport.
+func TestBackendEquivalenceSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep in -short mode")
+	}
+	for _, id := range []string{"fig2", "fig7", "pubber"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, err := Lookup(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			run := func(backend string) string {
+				s := tinyScale()
+				s.Backend = backend
+				s.Workers = 4
+				r, err := e.Run(s)
+				if err != nil {
+					t.Fatalf("backend=%q: %v", backend, err)
+				}
+				return renderText(t, r)
+			}
+			if direct, onfi := run("direct"), run("onfi"); direct != onfi {
+				t.Errorf("direct and onfi backends rendered differently\n--- direct ---\n%s\n--- onfi ---\n%s", direct, onfi)
+			}
+		})
+	}
+}

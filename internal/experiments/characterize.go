@@ -16,15 +16,15 @@ import (
 func Fig1(s Scale) (*Result, error) {
 	r := &Result{ID: "fig1", Title: "SLC vs MLC voltage level distributions"}
 	ts := s.tester(s.modelA(), "fig1")
-	chip := ts.Chip()
+	dev := ts.Device()
 
 	// Block 0: SLC-style programming with random data.
 	if _, err := ts.ProgramRandomBlock(0); err != nil {
 		return nil, err
 	}
 	slc := tester.NewVoltageHistogram()
-	for p := 0; p < chip.Geometry().PagesPerBlock; p++ {
-		lv, err := chip.ProbePage(nand.PageAddr{Block: 0, Page: p})
+	for p := 0; p < dev.Geometry().PagesPerBlock; p++ {
+		lv, err := dev.ProbePage(nand.PageAddr{Block: 0, Page: p})
 		if err != nil {
 			return nil, err
 		}
@@ -35,14 +35,14 @@ func Fig1(s Scale) (*Result, error) {
 
 	// Block 1: MLC programming (two random logical pages per wordline).
 	mlc := tester.NewVoltageHistogram()
-	for p := 0; p < chip.Geometry().PagesPerBlock; p++ {
+	for p := 0; p < dev.Geometry().PagesPerBlock; p++ {
 		a := nand.PageAddr{Block: 1, Page: p}
-		if err := chip.ProgramPageMLC(a, ts.RandomPage(), ts.RandomPage()); err != nil {
+		if err := dev.ProgramPageMLC(a, ts.RandomPage(), ts.RandomPage()); err != nil {
 			return nil, err
 		}
 	}
-	for p := 0; p < chip.Geometry().PagesPerBlock; p++ {
-		lv, err := chip.ProbePage(nand.PageAddr{Block: 1, Page: p})
+	for p := 0; p < dev.Geometry().PagesPerBlock; p++ {
+		lv, err := dev.ProbePage(nand.PageAddr{Block: 1, Page: p})
 		if err != nil {
 			return nil, err
 		}
@@ -99,7 +99,7 @@ func Fig2(s Scale) (*Result, error) {
 		Title:   "per-sample state statistics (block level)",
 		Columns: []string{"sample", "erased mean", "erased std", "prog mean", "prog std", "erased>34"},
 	}
-	// Each chip sample is an independent unit: it owns its chip and host
+	// Each chip sample is an independent unit: it owns its device and host
 	// streams, so the four samples characterise in parallel.
 	type sampleOut struct {
 		series []Series
@@ -205,7 +205,7 @@ func Fig3(s Scale) (*Result, error) {
 		shift.Rows = append(shift.Rows, []string{
 			fmt.Sprint(pec), f3(e.Mean()), f3(p.Mean()),
 		})
-		if err := ts.Chip().DropBlockState(block); err != nil {
+		if err := ts.Device().DropBlockState(block); err != nil {
 			return nil, err
 		}
 		if i == len(pecs)-1 {

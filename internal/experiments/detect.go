@@ -66,7 +66,7 @@ func blockFeatures(ts *tester.Tester, block, pec int, rng *rand.Rand, hide hideF
 	if err != nil {
 		return nil, err
 	}
-	if err := ts.Chip().DropBlockState(block); err != nil {
+	if err := ts.Device().DropBlockState(block); err != nil {
 		return nil, err
 	}
 	return featuresFrom(e, p), nil
@@ -77,8 +77,8 @@ func blockFeatures(ts *tester.Tester, block, pec int, rng *rand.Rand, hide hideF
 func standardHide(key []byte) hideFn {
 	cfg := core.StandardConfig()
 	return func(ts *tester.Tester, block int, rng *rand.Rand) error {
-		bits := paperDensityBits(ts.Chip().Model(), cfg.HiddenCellsPerPage)
-		emb, err := core.NewEmbedder(ts.Chip(), key, rawConfig(bits, cfg.PageInterval, cfg.MaxPPSteps))
+		bits := paperDensityBits(ts.Device().Model(), cfg.HiddenCellsPerPage)
+		emb, err := core.NewEmbedder(ts.Device(), key, rawConfig(bits, cfg.PageInterval, cfg.MaxPPSteps))
 		if err != nil {
 			return err
 		}
@@ -110,11 +110,11 @@ func enhancedConfigFor(m nand.Model) core.Config {
 // pages are written and hidden-into in one pass while the block fills.
 func enhancedHide(key []byte) hideFn {
 	return func(ts *tester.Tester, block int, rng *rand.Rand) error {
-		h, err := core.NewHider(ts.Chip(), key, enhancedConfigFor(ts.Chip().Model()))
+		h, err := core.NewHider(ts.Device(), key, enhancedConfigFor(ts.Device().Model()))
 		if err != nil {
 			return err
 		}
-		g := ts.Chip().Geometry()
+		g := ts.Device().Geometry()
 		stride := h.HiddenPageStride()
 		for p := 0; p < g.PagesPerBlock; p++ {
 			a := nand.PageAddr{Block: block, Page: p}
@@ -143,11 +143,11 @@ func enhancedHide(key []byte) hideFn {
 // hidden bits.
 func enhancedNormal(key []byte) hideFn {
 	return func(ts *tester.Tester, block int, rng *rand.Rand) error {
-		h, err := core.NewHider(ts.Chip(), key, enhancedConfigFor(ts.Chip().Model()))
+		h, err := core.NewHider(ts.Device(), key, enhancedConfigFor(ts.Device().Model()))
 		if err != nil {
 			return err
 		}
-		g := ts.Chip().Geometry()
+		g := ts.Device().Geometry()
 		for p := 0; p < g.PagesPerBlock; p++ {
 			pub := make([]byte, h.PublicDataBytes())
 			for i := range pub {
@@ -174,8 +174,8 @@ type classSpec struct {
 //
 // The sweep runs in two fan-out phases. Feature collection parallelises
 // strictly across chip samples — every class of one sample shares that
-// sample's *nand.Chip, which is single-threaded, so one worker owns the
-// whole chip. Cell evaluation then parallelises across the
+// sample's device, which is single-threaded, so one worker owns the
+// whole device. Cell evaluation then parallelises across the
 // (hiddenPEC, normalPEC) grid, which only reads the shared feature sets.
 func svmSweep(s Scale, id, title string, hide, normal hideFn, hiddenPECs, normalPECs []int) (*Result, error) {
 	r := &Result{ID: id, Title: title}
@@ -196,7 +196,7 @@ func svmSweep(s Scale, id, title string, hide, normal hideFn, hiddenPECs, normal
 
 	chipFeats, err := parallel.Map(s.workers(), s.ChipSamples, func(c int) (map[classSpec][][]float64, error) {
 		ts := s.tester(s.modelA(), id, uint64(c))
-		if g := ts.Chip().Geometry().Blocks; blocksNeeded > g {
+		if g := ts.Device().Geometry().Blocks; blocksNeeded > g {
 			return nil, fmt.Errorf("experiments: scale provides %d blocks/chip, sweep needs %d", g, blocksNeeded)
 		}
 		feats := make(map[classSpec][][]float64, len(classes))

@@ -29,7 +29,7 @@ func summaryFeatures(ts *tester.Tester, h *core.Hider, block int) ([]float64, er
 		return nil, err
 	}
 	corrected := 0
-	for pg := 0; pg < ts.Chip().Geometry().PagesPerBlock; pg++ {
+	for pg := 0; pg < ts.Device().Geometry().PagesPerBlock; pg++ {
 		_, n, err := h.ReadPublic(nand.PageAddr{Block: block, Page: pg})
 		if err != nil {
 			return nil, err
@@ -43,7 +43,7 @@ func summaryFeatures(ts *tester.Tester, h *core.Hider, block int) ([]float64, er
 	}, nil
 }
 
-// labelledFeatures is one chip's contribution to an SVM data set: feature
+// labelledFeatures is one device's contribution to an SVM data set: feature
 // rows plus their class labels, in block order.
 type labelledFeatures struct {
 	X [][]float64
@@ -90,19 +90,19 @@ func SummaryStats(s Scale) (*Result, error) {
 	}
 	pecs := []int{0, 1000, 2000}
 	// Phase 1: every (PEC, chip sample) pair is an independent unit that
-	// owns its chip and produces that chip's labelled feature rows.
+	// owns its device and produces that device's labelled feature rows.
 	outs, err := parallel.Map(s.workers(), len(pecs)*s.ChipSamples, func(u int) (labelledFeatures, error) {
 		pi, c := u/s.ChipSamples, u%s.ChipSamples
 		pec := pecs[pi]
 		var lf labelledFeatures
 		ts := s.tester(s.modelA(), "sumstat", uint64(pi), uint64(c))
 		rng := s.rng("sumstat/data", uint64(pi), uint64(c))
-		chip := ts.Chip()
-		h, err := core.NewHider(chip, key, cfg)
+		dev := ts.Device()
+		h, err := core.NewHider(dev, key, cfg)
 		if err != nil {
 			return lf, err
 		}
-		bits := paperDensityBits(chip.Model(), cfg.HiddenCellsPerPage)
+		bits := paperDensityBits(dev.Model(), cfg.HiddenCellsPerPage)
 		for i := 0; i < 2*s.BlocksPerClass; i++ {
 			block := i
 			hidden := i%2 == 0
@@ -111,7 +111,7 @@ func SummaryStats(s Scale) (*Result, error) {
 			}
 			// Both classes are written through the same public ECC
 			// pipeline; hidden blocks additionally embed payloads.
-			for pg := 0; pg < chip.Geometry().PagesPerBlock; pg++ {
+			for pg := 0; pg < dev.Geometry().PagesPerBlock; pg++ {
 				pub := make([]byte, h.PublicDataBytes())
 				for j := range pub {
 					pub[j] = byte(rng.IntN(256))
@@ -121,14 +121,14 @@ func SummaryStats(s Scale) (*Result, error) {
 				}
 			}
 			if hidden {
-				for _, pg := range hiddenPages(chip.Geometry().PagesPerBlock, cfg.PageInterval) {
+				for _, pg := range hiddenPages(dev.Geometry().PagesPerBlock, cfg.PageInterval) {
 					// Use a density-scaled raw embed so the hidden load
 					// matches the other detectability experiments.
-					raw, err := core.NewEmbedder(chip, key, rawConfig(bits, cfg.PageInterval, cfg.MaxPPSteps))
+					raw, err := core.NewEmbedder(dev, key, rawConfig(bits, cfg.PageInterval, cfg.MaxPPSteps))
 					if err != nil {
 						return lf, err
 					}
-					img, err := chip.ReadPage(nand.PageAddr{Block: block, Page: pg})
+					img, err := dev.ReadPage(nand.PageAddr{Block: block, Page: pg})
 					if err != nil {
 						return lf, err
 					}
@@ -145,7 +145,7 @@ func SummaryStats(s Scale) (*Result, error) {
 			if err != nil {
 				return lf, err
 			}
-			if err := ts.Chip().DropBlockState(block); err != nil {
+			if err := ts.Device().DropBlockState(block); err != nil {
 				return lf, err
 			}
 			label := -1
@@ -194,8 +194,8 @@ func PageLevel(s Scale) (*Result, error) {
 		var lf labelledFeatures
 		ts := s.tester(s.modelA(), "fig10page", uint64(pi), uint64(c))
 		rng := s.rng("fig10page/bits", uint64(pi), uint64(c))
-		chip := ts.Chip()
-		bits := paperDensityBits(chip.Model(), cfg.HiddenCellsPerPage)
+		dev := ts.Device()
+		bits := paperDensityBits(dev.Model(), cfg.HiddenCellsPerPage)
 		collect := func(block int, pages []int, label int) error {
 			for _, p := range pages {
 				e, pr, err := ts.PageDistribution(nand.PageAddr{Block: block, Page: p})
@@ -207,7 +207,7 @@ func PageLevel(s Scale) (*Result, error) {
 			}
 			return nil
 		}
-		// Several hidden and normal blocks per chip; the samples are
+		// Several hidden and normal blocks per device; the samples are
 		// the hidden-position pages of each (stride 2).
 		blocksPerClass := s.BlocksPerClass / 2
 		if blocksPerClass < 2 {
@@ -218,9 +218,9 @@ func PageLevel(s Scale) (*Result, error) {
 			if err := ts.CycleTo(b, pec); err != nil {
 				return lf, err
 			}
-			hp := hiddenPages(chip.Geometry().PagesPerBlock, cfg.PageInterval)
+			hp := hiddenPages(dev.Geometry().PagesPerBlock, cfg.PageInterval)
 			if hidden {
-				emb, err := core.NewEmbedder(chip, key, rawConfig(bits, cfg.PageInterval, cfg.MaxPPSteps))
+				emb, err := core.NewEmbedder(dev, key, rawConfig(bits, cfg.PageInterval, cfg.MaxPPSteps))
 				if err != nil {
 					return lf, err
 				}
@@ -244,7 +244,7 @@ func PageLevel(s Scale) (*Result, error) {
 					return lf, err
 				}
 			}
-			if err := chip.DropBlockState(b); err != nil {
+			if err := dev.DropBlockState(b); err != nil {
 				return lf, err
 			}
 		}

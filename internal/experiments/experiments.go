@@ -54,6 +54,12 @@ type Scale struct {
 	// STASHFLASH_WORKERS environment knob, else GOMAXPROCS); 1 forces a
 	// serial run on the calling goroutine.
 	Workers int
+	// Backend selects how work units drive their chip samples: "" or
+	// "direct" calls the simulator chip directly; "onfi" routes every
+	// operation through the bus-level command adapter (internal/onfi),
+	// which is bit-identical by construction. Results are a function of
+	// Seed alone, never of Backend.
+	Backend string
 }
 
 // CIScale keeps every experiment under a few tens of seconds.

@@ -27,7 +27,7 @@ func Faults(s Scale) (*Result, error) {
 	cfg := core.RobustConfig()
 	rates := []float64{0, 0.002, 0.01, 0.05}
 
-	// One unit = (rate, replicate chip): it owns its chip, its fault plan
+	// One unit = (rate, replicate chip): it owns its device, its fault plan
 	// and its data stream, all partitioned from (Seed, "faults", unit path).
 	type unitOut struct {
 		hides, hideErrs            int
@@ -41,9 +41,9 @@ func Faults(s Scale) (*Result, error) {
 		rate := rates[ri]
 		var o unitOut
 		ts := s.tester(s.modelA(), "faults", uint64(ri), uint64(rep))
-		chip := ts.Chip()
+		dev := ts.Device()
 		planSeed, _ := s.subSeed("faults/plan", uint64(ri), uint64(rep))
-		chip.SetFaultPlan(nand.NewFaultPlan(nand.FaultConfig{
+		dev.SetFaultPlan(nand.NewFaultPlan(nand.FaultConfig{
 			Seed:            planSeed,
 			ProgramFailProb: rate,
 			PPFailProb:      rate,
@@ -51,7 +51,7 @@ func Faults(s Scale) (*Result, error) {
 			BadBlockFrac:    rate,
 			ReadDisturbProb: 10 * rate,
 		}))
-		h, err := core.NewHider(chip, key, cfg)
+		h, err := core.NewHider(dev, key, cfg)
 		if err != nil {
 			return o, err
 		}
@@ -63,7 +63,7 @@ func Faults(s Scale) (*Result, error) {
 			}
 			return b
 		}
-		g := chip.Geometry()
+		g := dev.Geometry()
 		const blocksPerUnit = 2
 		for b := 0; b < blocksPerUnit; b++ {
 			// Age the block a little so BadBlockFrac wear-out can fire.
@@ -106,7 +106,7 @@ func Faults(s Scale) (*Result, error) {
 				}
 			}
 		}
-		o.grownBad = len(chip.GrownBadBlocks())
+		o.grownBad = len(dev.GrownBadBlocks())
 		return o, nil
 	})
 	if err != nil {

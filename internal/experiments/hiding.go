@@ -44,7 +44,7 @@ func embedBlockRaw(ts *tester.Tester, emb *core.Embedder, block int, rng *rand.R
 	if err != nil {
 		return nil, err
 	}
-	g := ts.Chip().Geometry()
+	g := ts.Device().Geometry()
 	var out []pageEmbedding
 	for _, p := range hiddenPages(g.PagesPerBlock, interval) {
 		plan, err := emb.Plan(nand.PageAddr{Block: block, Page: p}, images[p], bits)
@@ -81,7 +81,7 @@ func measureRawBER(emb *core.Embedder, embs []pageEmbedding) (float64, error) {
 func berStepsOneRep(s Scale, domain string, combo uint64, rep, interval, bits, maxSteps int) ([]float64, error) {
 	ts := s.tester(s.modelA(), domain, combo, uint64(rep))
 	rng := s.rng(domain+"/bits", combo, uint64(rep))
-	emb, err := core.NewEmbedder(ts.Chip(), []byte(domain+"-key"), rawConfig(bits, interval, maxSteps))
+	emb, err := core.NewEmbedder(ts.Device(), []byte(domain+"-key"), rawConfig(bits, interval, maxSteps))
 	if err != nil {
 		return nil, err
 	}
@@ -143,7 +143,7 @@ func Fig5(s Scale) (*Result, error) {
 	ts := s.tester(s.modelA(), "fig5")
 	rng := s.rng("fig5/bits")
 	cfg := core.StandardConfig()
-	emb, err := core.NewEmbedder(ts.Chip(), []byte("fig5-key"), rawConfig(cfg.HiddenCellsPerPage, cfg.PageInterval, cfg.MaxPPSteps))
+	emb, err := core.NewEmbedder(ts.Device(), []byte("fig5-key"), rawConfig(cfg.HiddenCellsPerPage, cfg.PageInterval, cfg.MaxPPSteps))
 	if err != nil {
 		return nil, err
 	}
@@ -160,9 +160,9 @@ func Fig5(s Scale) (*Result, error) {
 	normal := tester.NewVoltageHistogram()
 	hidden1 := tester.NewVoltageHistogram()
 	hidden0 := tester.NewVoltageHistogram()
-	ref := uint8(ts.Chip().Model().ReadRef)
+	ref := uint8(ts.Device().Model().ReadRef)
 	for _, pe := range embs {
-		lv, err := ts.Chip().ProbePage(pe.plan.Addr)
+		lv, err := ts.Device().ProbePage(pe.plan.Addr)
 		if err != nil {
 			return nil, err
 		}
@@ -311,7 +311,7 @@ func Fig8(s Scale) (*Result, error) {
 				return nil, err
 			}
 		} else {
-			emb, err := core.NewEmbedder(ts.Chip(), []byte("fig8-key"), rawConfig(bits, 1, 10))
+			emb, err := core.NewEmbedder(ts.Device(), []byte("fig8-key"), rawConfig(bits, 1, 10))
 			if err != nil {
 				return nil, err
 			}
@@ -377,7 +377,7 @@ func Fig9(s Scale) (*Result, error) {
 	outs, err := parallel.Map(s.workers(), s.ChipSamples, func(chip int) (chipOut, error) {
 		ts := s.tester(s.modelA(), "fig9", uint64(chip))
 		rng := s.rng("fig9/bits", uint64(chip))
-		bits := paperDensityBits(ts.Chip().Model(), cfg.HiddenCellsPerPage)
+		bits := paperDensityBits(ts.Device().Model(), cfg.HiddenCellsPerPage)
 		// Blocks 0, 2: normal; block 1: VT-HI standard config. The
 		// normal-vs-normal distance is the natural variation floor any
 		// hide-induced difference must stay below.
@@ -387,7 +387,7 @@ func Fig9(s Scale) (*Result, error) {
 		if _, err := ts.ProgramRandomBlock(2); err != nil {
 			return chipOut{}, err
 		}
-		emb, err := core.NewEmbedder(ts.Chip(), []byte("fig9-key"), rawConfig(bits, cfg.PageInterval, cfg.MaxPPSteps))
+		emb, err := core.NewEmbedder(ts.Device(), []byte("fig9-key"), rawConfig(bits, cfg.PageInterval, cfg.MaxPPSteps))
 		if err != nil {
 			return chipOut{}, err
 		}

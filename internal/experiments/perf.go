@@ -15,7 +15,7 @@ import (
 // hideFullBlock programs a block with random data and embeds raw bits on
 // every hidden page; it returns the embeddings for later BER measurement.
 func hideFullBlock(ts *tester.Tester, rng *rand.Rand, block int, cfg core.Config) (*core.Embedder, []pageEmbedding, error) {
-	emb, err := core.NewEmbedder(ts.Chip(), []byte("perf-key"), cfg)
+	emb, err := core.NewEmbedder(ts.Device(), []byte("perf-key"), cfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -226,11 +226,11 @@ func Throughput(s Scale) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	emb, err := core.NewEmbedder(ts.Chip(), []byte("thru"), rcfg)
+	emb, err := core.NewEmbedder(ts.Device(), []byte("thru"), rcfg)
 	if err != nil {
 		return nil, err
 	}
-	g := ts.Chip().Geometry()
+	g := ts.Device().Geometry()
 	var embs []pageEmbedding
 	before := ts.Ledger()
 	for _, p := range hiddenPages(g.PagesPerBlock, cfg.PageInterval) {
@@ -260,7 +260,7 @@ func Throughput(s Scale) (*Result, error) {
 	if need := ptCfg.BitsPerPage * 2 * ptCfg.CellsPerHalfGroup; need > g.CellsPerPage() {
 		ptCfg.BitsPerPage = g.CellsPerPage() / (2 * ptCfg.CellsPerHalfGroup)
 	}
-	pt, err := pthi.NewHider(ts.Chip(), []byte("thru-pt"), ptCfg)
+	pt, err := pthi.NewHider(ts.Device(), []byte("thru-pt"), ptCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -313,7 +313,7 @@ func Energy(s Scale) (*Result, error) {
 	rng := s.rng("energy/bits")
 	ts := s.tester(s.modelA(), "energy")
 	cfg := core.StandardConfig()
-	g := ts.Chip().Geometry()
+	g := ts.Device().Geometry()
 
 	before := ts.Ledger()
 	_, embs, err := hideFullBlock(ts, rng, 0, rawConfig(cfg.HiddenCellsPerPage, cfg.PageInterval, cfg.MaxPPSteps))
@@ -322,14 +322,14 @@ func Energy(s Scale) (*Result, error) {
 	}
 	vtCost := ts.Ledger().Sub(before)
 	// Exclude the public programming (it happens with or without hiding).
-	vtHideEnergy := vtCost.EnergyUJ - float64(vtCost.Programs)*ts.Chip().Model().ProgEnergy
+	vtHideEnergy := vtCost.EnergyUJ - float64(vtCost.Programs)*ts.Device().Model().ProgEnergy
 	vtPerPage := vtHideEnergy / float64(len(embs)) / 1000 // mJ
 
 	ptCfg := pthi.OptimalConfig()
 	if need := ptCfg.BitsPerPage * 2 * ptCfg.CellsPerHalfGroup; need > g.CellsPerPage() {
 		ptCfg.BitsPerPage = g.CellsPerPage() / (2 * ptCfg.CellsPerHalfGroup)
 	}
-	pt, err := pthi.NewHider(ts.Chip(), []byte("energy-pt"), ptCfg)
+	pt, err := pthi.NewHider(ts.Device(), []byte("energy-pt"), ptCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -365,11 +365,11 @@ func Wear(s Scale) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	emb, err := core.NewEmbedder(ts.Chip(), []byte("wear"), rcfg)
+	emb, err := core.NewEmbedder(ts.Device(), []byte("wear"), rcfg)
 	if err != nil {
 		return nil, err
 	}
-	g := ts.Chip().Geometry()
+	g := ts.Device().Geometry()
 	pulses, zeros := 0, 0
 	for _, p := range hiddenPages(g.PagesPerBlock, cfg.PageInterval) {
 		plan, err := emb.Plan(nand.PageAddr{Block: 0, Page: p}, images[p], cfg.HiddenCellsPerPage)
@@ -514,11 +514,11 @@ func PublicInterference(s Scale) (*Result, error) {
 			return tester.BERResult{}, err
 		}
 		if hide {
-			emb, err := core.NewEmbedder(ts.Chip(), []byte("pubber"), rawConfig(cfg.HiddenCellsPerPage, interval, cfg.MaxPPSteps))
+			emb, err := core.NewEmbedder(ts.Device(), []byte("pubber"), rawConfig(cfg.HiddenCellsPerPage, interval, cfg.MaxPPSteps))
 			if err != nil {
 				return tester.BERResult{}, err
 			}
-			g := ts.Chip().Geometry()
+			g := ts.Device().Geometry()
 			for _, p := range hiddenPages(g.PagesPerBlock, interval) {
 				plan, err := emb.Plan(nand.PageAddr{Block: 0, Page: p}, images[p], cfg.HiddenCellsPerPage)
 				if err != nil {
@@ -576,7 +576,7 @@ func Table1(s Scale) (*Result, error) {
 	r := &Result{ID: "tbl1", Title: "VT-HI vs PT-HI comparison (paper Table 1)"}
 	rng := s.rng("tbl1/bits")
 	ts := s.tester(s.modelA(), "tbl1")
-	g := ts.Chip().Geometry()
+	g := ts.Device().Geometry()
 	cfg := core.StandardConfig()
 
 	// VT-HI numbers.
@@ -605,7 +605,7 @@ func Table1(s Scale) (*Result, error) {
 	if need := ptCfg.BitsPerPage * 2 * ptCfg.CellsPerHalfGroup; need > g.CellsPerPage() {
 		ptCfg.BitsPerPage = g.CellsPerPage() / (2 * ptCfg.CellsPerHalfGroup)
 	}
-	pt, err := pthi.NewHider(ts.Chip(), []byte("tbl1"), ptCfg)
+	pt, err := pthi.NewHider(ts.Device(), []byte("tbl1"), ptCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -633,7 +633,7 @@ func Table1(s Scale) (*Result, error) {
 		Rows: [][]string{
 			{"hidden BER (fresh)", fmt.Sprintf("%.4f", vtBER), fmt.Sprintf("%.4f", ptBER)},
 			{"encode Kb/s", fmt.Sprintf("%.1f", float64(vtBits)/vtEnc.Time.Seconds()/1000), fmt.Sprintf("%.2f", float64(len(got))/ptEnc.Time.Seconds()/1000)},
-			{"energy/page (mJ)", f3((vtEnc.EnergyUJ - float64(vtEnc.Programs)*ts.Chip().Model().ProgEnergy) / float64(len(embs)) / 1000), f3(ptEnc.EnergyUJ / float64(g.PagesPerBlock) / 1000)},
+			{"energy/page (mJ)", f3((vtEnc.EnergyUJ - float64(vtEnc.Programs)*ts.Device().Model().ProgEnergy) / float64(len(embs)) / 1000), f3(ptEnc.EnergyUJ / float64(g.PagesPerBlock) / 1000)},
 			{"public data integrity on decode", "preserved (read-only)", "destroyed (erase + program)"},
 			{"repeated reads", fmt.Sprintf("yes (BER stable at %.4f)", vtBER10), "no (decode is destructive)"},
 			{"block PEC consumed by encode", "0", fmt.Sprint(ptCfg.StressCycles)},

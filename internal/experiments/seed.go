@@ -6,6 +6,7 @@ import (
 	"math/rand/v2"
 
 	"stashflash/internal/nand"
+	"stashflash/internal/onfi"
 	"stashflash/internal/parallel"
 	"stashflash/internal/tester"
 )
@@ -48,13 +49,21 @@ func (s Scale) rng(domain string, path ...uint64) *rand.Rand {
 // tester builds the chip sample plus host tester owned by one work unit.
 // The chip's manufacturing-variation stream and the host's data-pattern
 // stream are partitioned under separate sub-domains so they stay
-// independent. The returned Tester (and its Chip) must remain confined to
-// the worker that called this: Chip is not safe for concurrent use, so
-// the engine parallelises across chips, never within one.
+// independent. Scale.Backend picks how the tester reaches the chip: ""
+// or "direct" issues direct calls, "onfi" drives every operation through
+// the bus-level command adapter (bit-identical by construction; see
+// internal/onfi). The returned Tester (and its device) must remain
+// confined to the worker that called this: a Device is not safe for
+// concurrent use, so the engine parallelises across devices, never
+// within one.
 func (s Scale) tester(m nand.Model, domain string, path ...uint64) *tester.Tester {
 	chipSeed, _ := s.subSeed(domain+"/chip", path...)
 	hostSeed, _ := s.subSeed(domain+"/host", path...)
-	return tester.New(nand.NewChip(m, chipSeed), hostSeed)
+	chip := nand.NewChip(m, chipSeed)
+	if s.Backend == "onfi" {
+		return tester.New(onfi.NewDevice(chip), hostSeed)
+	}
+	return tester.New(chip, hostSeed)
 }
 
 // workers resolves the effective fan-out width for this run: an explicit

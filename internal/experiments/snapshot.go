@@ -17,19 +17,19 @@ import (
 func Snapshot(s Scale) (*Result, error) {
 	r := &Result{ID: "snapshot", Title: "multiple-snapshot adversary (§9.2 discussion)"}
 	ts := s.tester(s.modelA(), "snapshot")
-	chip := ts.Chip()
+	dev := ts.Device()
 	rng := s.rng("snapshot/bits")
 	cfg := core.StandardConfig()
-	bits := paperDensityBits(chip.Model(), cfg.HiddenCellsPerPage)
+	bits := paperDensityBits(dev.Model(), cfg.HiddenCellsPerPage)
 
 	images, err := ts.ProgramRandomBlock(0)
 	if err != nil {
 		return nil, err
 	}
 	probeBlock := func(block int) ([][]uint8, error) {
-		out := make([][]uint8, chip.Geometry().PagesPerBlock)
+		out := make([][]uint8, dev.Geometry().PagesPerBlock)
 		for p := range out {
-			lv, err := chip.ProbePage(nand.PageAddr{Block: block, Page: p})
+			lv, err := dev.ProbePage(nand.PageAddr{Block: block, Page: p})
 			if err != nil {
 				return nil, err
 			}
@@ -56,11 +56,11 @@ func Snapshot(s Scale) (*Result, error) {
 	}
 
 	// Case 1: hide between snapshots, public data untouched.
-	emb, err := core.NewEmbedder(chip, []byte("snapshot-key"), rawConfig(bits, cfg.PageInterval, cfg.MaxPPSteps))
+	emb, err := core.NewEmbedder(dev, []byte("snapshot-key"), rawConfig(bits, cfg.PageInterval, cfg.MaxPPSteps))
 	if err != nil {
 		return nil, err
 	}
-	g := chip.Geometry()
+	g := dev.Geometry()
 	hiddenCells := 0
 	for _, p := range hiddenPages(g.PagesPerBlock, cfg.PageInterval) {
 		plan, err := emb.Plan(nand.PageAddr{Block: 0, Page: p}, images[p], bits)
@@ -87,7 +87,7 @@ func Snapshot(s Scale) (*Result, error) {
 	// Case 2 (mitigation): the same diff across a block whose public
 	// data was legitimately rewritten — the cover traffic the paper
 	// suggests hides the manipulation inside.
-	if err := chip.EraseBlock(0); err != nil {
+	if err := dev.EraseBlock(0); err != nil {
 		return nil, err
 	}
 	if _, err := ts.ProgramRandomBlock(0); err != nil {

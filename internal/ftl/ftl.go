@@ -1,5 +1,5 @@
-// Package ftl implements a page-mapped flash translation layer over the
-// simulated chip: logical block addresses map to physical pages, writes
+// Package ftl implements a page-mapped flash translation layer over any
+// nand.Device backend: logical block addresses map to physical pages, writes
 // append to an active block, garbage collection reclaims invalidated
 // pages, and erase counts are balanced across blocks.
 //
@@ -18,7 +18,7 @@ import (
 	"stashflash/internal/nand"
 )
 
-// PageStore abstracts how page-sized data reaches the chip, so the FTL
+// PageStore abstracts how page-sized data reaches the device, so the FTL
 // works both raw (tests, plain SSD behaviour) and through VT-HI's public
 // ECC layout (internal/core.Hider satisfies the same shape via an adapter).
 type PageStore interface {
@@ -30,20 +30,21 @@ type PageStore interface {
 	ReadPage(a nand.PageAddr) ([]byte, error)
 }
 
-// RawStore is the trivial PageStore writing full raw pages.
-type RawStore struct{ Chip *nand.Chip }
+// RawStore is the trivial PageStore writing full raw pages to any
+// device backend.
+type RawStore struct{ Dev nand.Device }
 
 // DataBytes returns the raw page size.
-func (s RawStore) DataBytes() int { return s.Chip.Geometry().PageBytes }
+func (s RawStore) DataBytes() int { return s.Dev.Geometry().PageBytes }
 
 // WritePage programs the page directly.
 func (s RawStore) WritePage(a nand.PageAddr, data []byte) error {
-	return s.Chip.ProgramPage(a, data)
+	return s.Dev.ProgramPage(a, data)
 }
 
 // ReadPage reads the page directly.
 func (s RawStore) ReadPage(a nand.PageAddr) ([]byte, error) {
-	return s.Chip.ReadPage(a)
+	return s.Dev.ReadPage(a)
 }
 
 // MigrationHook observes valid-data relocations. PageMoved runs after the
@@ -80,7 +81,7 @@ const unmapped = -1
 
 // FTL is a page-mapped translation layer. Not safe for concurrent use.
 type FTL struct {
-	chip  *nand.Chip
+	dev   nand.Device
 	store PageStore
 	cfg   Config
 	hook  MigrationHook
@@ -130,9 +131,10 @@ var (
 	ErrDeviceFull = errors.New("ftl: no free blocks (device full)")
 )
 
-// New builds an FTL on chip, writing through store. A nil hook is valid.
-func New(chip *nand.Chip, store PageStore, cfg Config, hook MigrationHook) (*FTL, error) {
-	g := chip.Geometry()
+// New builds an FTL on a device, writing through store. A nil hook is
+// valid.
+func New(dev nand.Device, store PageStore, cfg Config, hook MigrationHook) (*FTL, error) {
+	g := dev.Geometry()
 	if cfg.OverProvisionBlocks < 2 {
 		return nil, fmt.Errorf("ftl: need at least 2 over-provisioned blocks, got %d", cfg.OverProvisionBlocks)
 	}
@@ -144,7 +146,7 @@ func New(chip *nand.Chip, store PageStore, cfg Config, hook MigrationHook) (*FTL
 	}
 	lbas := (g.Blocks - cfg.OverProvisionBlocks) * g.PagesPerBlock
 	f := &FTL{
-		chip:     chip,
+		dev:      dev,
 		store:    store,
 		cfg:      cfg,
 		hook:     hook,
@@ -207,13 +209,13 @@ func (f *FTL) Stats() Stats {
 }
 
 func (f *FTL) wearSpread() (min, max int) {
-	g := f.chip.Geometry()
+	g := f.dev.Geometry()
 	min, max = int(^uint(0)>>1), 0
 	for b := 0; b < g.Blocks; b++ {
 		if f.retired[b] {
 			continue // dead blocks stop cycling; don't let them pin min
 		}
-		pec := f.chip.PEC(b)
+		pec := f.dev.PEC(b)
 		if pec < min {
 			min = pec
 		}
@@ -275,7 +277,7 @@ func (f *FTL) Write(lba int, data []byte) error {
 		// rest of that block and retry on a fresh one. The failed page was
 		// never mapped, and the block's surviving valid pages stay
 		// victim-eligible for GC evacuation.
-		f.nextPg = f.chip.Geometry().PagesPerBlock
+		f.nextPg = f.dev.Geometry().PagesPerBlock
 		lastErr = err
 	}
 	return lastErr
@@ -313,7 +315,7 @@ func (f *FTL) commitMapping(lba int, a nand.PageAddr) {
 // allocPage returns the next writable host page, rotating blocks and
 // triggering GC as needed.
 func (f *FTL) allocPage() (nand.PageAddr, error) {
-	g := f.chip.Geometry()
+	g := f.dev.Geometry()
 	if f.nextPg >= g.PagesPerBlock {
 		// Reclaim until the free pool is above threshold plus the GC
 		// reserve (or nothing more can be reclaimed).
@@ -348,7 +350,7 @@ func (f *FTL) allocPage() (nand.PageAddr, error) {
 // gcAllocPage returns the next writable relocation page. It draws from the
 // free pool without triggering GC (the caller IS the GC).
 func (f *FTL) gcAllocPage() (nand.PageAddr, error) {
-	g := f.chip.Geometry()
+	g := f.dev.Geometry()
 	if f.gcNextPg >= g.PagesPerBlock {
 		b, ok := f.popColdestFree()
 		if !ok {
@@ -368,7 +370,7 @@ func (f *FTL) gcAllocPage() (nand.PageAddr, error) {
 func (f *FTL) popColdestFree() (int, bool) {
 	kept := f.free[:0]
 	for _, b := range f.free {
-		if f.chip.IsBadBlock(b) {
+		if f.dev.IsBadBlock(b) {
 			f.retire(b)
 			continue
 		}
@@ -380,7 +382,7 @@ func (f *FTL) popColdestFree() (int, bool) {
 	}
 	best := 0
 	for i := range f.free {
-		if f.chip.PEC(f.free[i]) < f.chip.PEC(f.free[best]) {
+		if f.dev.PEC(f.free[i]) < f.dev.PEC(f.free[best]) {
 			best = i
 		}
 	}
@@ -399,7 +401,7 @@ func (f *FTL) collect(allowCold bool) error {
 		return ErrDeviceFull
 	}
 	f.gcRuns++
-	g := f.chip.Geometry()
+	g := f.dev.Geometry()
 	for p := 0; p < g.PagesPerBlock; p++ {
 		lba := f.p2l[victim][p]
 		if lba == unmapped {
@@ -434,7 +436,7 @@ func (f *FTL) collect(allowCold bool) error {
 			f.gcNextPg = g.PagesPerBlock
 		}
 	}
-	if err := f.chip.EraseBlock(victim); err != nil {
+	if err := f.dev.EraseBlock(victim); err != nil {
 		if errors.Is(err, nand.ErrEraseFailed) || errors.Is(err, nand.ErrBadBlock) {
 			// The victim's valid data is already evacuated; the block
 			// leaves circulation instead of returning to the free pool.
@@ -471,7 +473,7 @@ func (f *FTL) p2lReset(b int) {
 // wins outright even at a higher copy cost — static wear leveling that
 // unsticks cold, fully-valid blocks.
 func (f *FTL) pickVictim(allowCold bool) int {
-	g := f.chip.Geometry()
+	g := f.dev.Geometry()
 	minPEC, maxPEC := f.wearSpread()
 	forceCold := allowCold && maxPEC-minPEC > f.cfg.WearDelta && f.cfg.WearDelta > 0
 	best := -1
@@ -484,13 +486,13 @@ func (f *FTL) pickVictim(allowCold bool) int {
 			continue
 		}
 		if forceCold {
-			if f.chip.PEC(b) < f.chip.PEC(best) {
+			if f.dev.PEC(b) < f.dev.PEC(best) {
 				best = b
 			}
 			continue
 		}
 		vb, vbest := f.valid[b], f.valid[best]
-		if vb < vbest || (vb == vbest && f.chip.PEC(b) < f.chip.PEC(best)) {
+		if vb < vbest || (vb == vbest && f.dev.PEC(b) < f.dev.PEC(best)) {
 			best = b
 		}
 	}
@@ -504,7 +506,7 @@ func (f *FTL) pickVictim(allowCold bool) int {
 // hasReclaimable reports whether any non-frontier block holds at least one
 // invalid page (i.e. GC could make progress given a free block).
 func (f *FTL) hasReclaimable() bool {
-	g := f.chip.Geometry()
+	g := f.dev.Geometry()
 	for b := 0; b < g.Blocks; b++ {
 		if b == f.active || b == f.gcActive || f.isFree(b) || f.retired[b] {
 			continue

@@ -10,7 +10,7 @@ import (
 func newFTL(t *testing.T, seed uint64) (*FTL, *nand.Chip) {
 	t.Helper()
 	chip := nand.NewChip(nand.ModelA().ScaleGeometry(16, 8, 256), seed)
-	f, err := New(chip, RawStore{Chip: chip}, DefaultConfig(chip.Geometry()), nil)
+	f, err := New(chip, RawStore{Dev: chip}, DefaultConfig(chip.Geometry()), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +202,7 @@ func (h *recordingHook) PageMoved(lba int, src, dst nand.PageAddr) error {
 func TestMigrationHookRuns(t *testing.T) {
 	chip := nand.NewChip(nand.ModelA().ScaleGeometry(16, 8, 256), 8)
 	hook := &recordingHook{}
-	f, err := New(chip, RawStore{Chip: chip}, DefaultConfig(chip.Geometry()), hook)
+	f, err := New(chip, RawStore{Dev: chip}, DefaultConfig(chip.Geometry()), hook)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,10 +236,10 @@ func TestWriteValidation(t *testing.T) {
 
 func TestConfigValidation(t *testing.T) {
 	chip := nand.NewChip(nand.TestModel(), 10)
-	if _, err := New(chip, RawStore{Chip: chip}, Config{OverProvisionBlocks: 1}, nil); err == nil {
+	if _, err := New(chip, RawStore{Dev: chip}, Config{OverProvisionBlocks: 1}, nil); err == nil {
 		t.Error("1 OP block accepted")
 	}
-	if _, err := New(chip, RawStore{Chip: chip}, Config{OverProvisionBlocks: 1 << 20}, nil); err == nil {
+	if _, err := New(chip, RawStore{Dev: chip}, Config{OverProvisionBlocks: 1 << 20}, nil); err == nil {
 		t.Error("absurd OP accepted")
 	}
 }

@@ -1,0 +1,43 @@
+package ftl
+
+import (
+	"stashflash/internal/nand"
+	"stashflash/internal/seal"
+)
+
+// SealedStore wraps an inner PageStore with location-bound encryption:
+// every payload is sealed to its physical page index and the block's
+// current PEC (the page generation), so cover bits on flash are
+// uniformly random and every GC relocation or rewrite re-encrypts
+// naturally. This is the one shared implementation of the plumbing that
+// ftl consumers and stegfs each used to hand-roll over a concrete chip;
+// it is defined against nand.Device, so it works over any backend.
+type SealedStore struct {
+	// Dev supplies page geometry and per-block PEC for the seal nonce.
+	Dev nand.Device
+	// Inner performs the actual page I/O (RawStore, a Hider adapter, ...).
+	Inner PageStore
+	// Key is the encryption key (e.g. the public volume's NU credential).
+	Key []byte
+}
+
+// DataBytes returns the inner store's payload size.
+func (s SealedStore) DataBytes() int { return s.Inner.DataBytes() }
+
+// WritePage seals the payload to its location and writes it through.
+func (s SealedStore) WritePage(a nand.PageAddr, data []byte) error {
+	ct := seal.EncryptPage(s.Key, nand.PageIndex(s.Dev.Geometry(), a),
+		uint64(s.Dev.PEC(a.Block)), data)
+	return s.Inner.WritePage(a, ct)
+}
+
+// ReadPage reads through the inner store and unseals (the seal is an
+// XOR stream, so encrypt and decrypt are the same operation).
+func (s SealedStore) ReadPage(a nand.PageAddr) ([]byte, error) {
+	ct, err := s.Inner.ReadPage(a)
+	if err != nil {
+		return nil, err
+	}
+	return seal.EncryptPage(s.Key, nand.PageIndex(s.Dev.Geometry(), a),
+		uint64(s.Dev.PEC(a.Block)), ct), nil
+}

@@ -15,16 +15,9 @@ import (
 //
 // # Concurrency
 //
-// Chip is not safe for concurrent use: every operation mutates chip state
-// (block voltages, the PRNG stream, the cost ledger), and real packages
-// serialise commands on the bus as well. Drive each Chip from a single
-// goroutine at a time, or wrap it with external locking.
-//
-// Distinct Chip instances share no mutable state — each owns its PRNG,
-// blocks and ledger — so concurrent goroutines may each drive their own
-// chip freely. This is the invariant the experiment engine
-// (internal/experiments + internal/parallel) relies on: it parallelises
-// across chip samples, never within one chip.
+// Chip follows the Device concurrency contract (see device.go): not safe
+// for concurrent use; distinct Chip instances share no mutable state, so
+// concurrent goroutines may each drive their own chip freely.
 type Chip struct {
 	model      Model
 	seed       uint64

@@ -1,0 +1,166 @@
+package nand
+
+import "time"
+
+// This file defines the backend seam of the repository: the capability-
+// segmented device interfaces every layer above the chip is written
+// against. The split mirrors the paper's §6.2 command taxonomy:
+//
+//   - Device is the standard command surface — what ONFI mandates and what
+//     the paper's §1 claim ("only standard flash interface commands, i.e.
+//     PROGRAM and RESET") is about. Partial programming lives here because
+//     it is synthesised from PROGRAM + RESET, not from any vendor command.
+//   - VendorDevice adds the vendor/NDA operations §6.2 describes: the
+//     read-reference shift "used in modern flash chips by all vendors",
+//     controller-grade fine programming, the per-cell characterisation
+//     probe, and the firmware-side neighbour-program bookkeeping.
+//   - The remaining small interfaces are lab/testbed capabilities — fault
+//     injection, stress cycling, retention baking, cost accounting — that
+//     a production backend need not provide; consumers that want one
+//     type-assert for it (see PlanOf) or demand LabDevice outright.
+//
+// Implementations: *Chip (the voltage-level simulator, direct calls) and
+// *onfi.Device (the same chip driven purely through bus command cycles).
+//
+// # Concurrency
+//
+// A Device is not safe for concurrent use: operations mutate device state
+// (block voltages, PRNG streams, the cost ledger), and real packages
+// serialise commands on the bus as well. Drive each Device from a single
+// goroutine at a time, or wrap it with external locking.
+//
+// Distinct Device instances over distinct chips share no mutable state,
+// so concurrent goroutines may each drive their own device freely. This
+// is the invariant the experiment engine (internal/experiments +
+// internal/parallel) relies on: it parallelises across device samples,
+// never within one device.
+
+// Device is the standard flash command surface: everything here maps to
+// ONFI-mandated transactions (READ, PROGRAM, ERASE, READ STATUS, READ
+// PARAMETER PAGE for Geometry/Model metadata) plus the PROGRAM+RESET
+// partial-programming idiom of §1. Operations return the package's typed
+// errors (ErrProgramFailed, ErrEraseFailed, ErrBadBlock, ErrPowerLoss,
+// ErrBlockRange, ErrPageProgrammed, ErrBadDataLength); match with
+// errors.Is.
+type Device interface {
+	// Geometry returns the device layout (blocks, pages, page size).
+	Geometry() Geometry
+	// Model returns the device parameter sheet (the simulator analogue of
+	// the ONFI parameter page: read references, rated PEC, noise model).
+	Model() Model
+	// PEC returns the program/erase cycle count of a block.
+	PEC(block int) int
+	// IsBadBlock reports whether a block has been grown bad.
+	IsBadBlock(block int) bool
+	// EraseBlock erases a block.
+	EraseBlock(block int) error
+	// CycleBlock fast-forwards wear by n program/erase cycles, leaving
+	// the block erased (the pre-conditioning loop of the paper's §4).
+	CycleBlock(block, n int) error
+	// ProgramPage programs a full page (MSB-first data layout).
+	ProgramPage(a PageAddr, data []byte) error
+	// ReadPage reads a page at the default public read reference.
+	ReadPage(a PageAddr) ([]byte, error)
+	// PartialProgram delivers one coarse partial-programming pulse to the
+	// listed cells — a PROGRAM aborted by RESET. Cells must be in
+	// ascending order; this is what every caller in the repo produces
+	// (prng.SelectK/SelectKSparse sort their output) and what keeps
+	// bus-level pattern rebuilds bit-identical to direct calls.
+	PartialProgram(a PageAddr, cells []int) error
+}
+
+// VendorDevice extends Device with the vendor-specific operations of
+// §6.2: the ones the paper obtained under NDA or argues a cooperating
+// controller vendor would provide.
+type VendorDevice interface {
+	Device
+	// ReadPageRef reads a page against an arbitrary reference threshold
+	// (the vendor read-reference-shift command VT-HI decodes with; §5.3).
+	ReadPageRef(a PageAddr, ref float64) ([]byte, error)
+	// FineProgram charges the listed cells to at least target with
+	// controller-grade precision (§6.2's in-controller implementation).
+	FineProgram(a PageAddr, cells []int, target float64) error
+	// ProbePage measures per-cell voltages quantised to 0..255 (the
+	// NDA'd characterisation command; §4).
+	ProbePage(a PageAddr) ([]uint8, error)
+	// NeighborPrograms reports how many program operations have hit the
+	// pages adjacent to a since the block's last erase — firmware-side
+	// bookkeeping (§6.2: the firmware issued those programs).
+	NeighborPrograms(a PageAddr) (int, error)
+}
+
+// FaultInjector is the testbed control plane for deterministic fault
+// injection (see faults.go). It is not a bus command set: attaching a
+// plan configures the simulated silicon itself.
+type FaultInjector interface {
+	SetFaultPlan(p *FaultPlan)
+	FaultPlan() *FaultPlan
+	PowerCycle()
+	GrownBadBlocks() []int
+}
+
+// StressDevice exposes the bulk program-stress operations the PT-HI
+// baseline needs (§2): full stress cycles and per-cell stress writes.
+type StressDevice interface {
+	StressCycleBlock(block int, cellsPerPage [][]int) error
+	StressCells(a PageAddr, cells []int, n int) error
+}
+
+// RetentionDevice fast-forwards charge leakage (the bake oven standing in
+// for the paper's retention experiments, Fig 11).
+type RetentionDevice interface {
+	AdvanceRetention(d time.Duration)
+}
+
+// LedgerDevice exposes the operation cost accounting behind the §8
+// throughput/energy/wear analyses.
+type LedgerDevice interface {
+	Ledger() Ledger
+	ResetLedger()
+}
+
+// StateDropper releases materialised analog state without erase
+// semantics — a simulator-only affordance for long sweeps.
+type StateDropper interface {
+	DropBlockState(block int) error
+}
+
+// MLCDevice programs/reads pages in two-bit MLC mode (Fig 1).
+type MLCDevice interface {
+	ProgramPageMLC(a PageAddr, lower, upper []byte) error
+	ReadPageMLC(a PageAddr) (lower, upper []byte, err error)
+}
+
+// LabDevice is the full characterisation-rig surface the tester and the
+// experiment suite drive: vendor commands plus every lab capability.
+type LabDevice interface {
+	VendorDevice
+	FaultInjector
+	StressDevice
+	RetentionDevice
+	LedgerDevice
+	StateDropper
+	MLCDevice
+}
+
+// PlanOf returns the fault plan attached to a device, or nil when the
+// backend does not support fault injection (or has no plan attached).
+func PlanOf(d Device) *FaultPlan {
+	if fi, ok := d.(FaultInjector); ok {
+		return fi.FaultPlan()
+	}
+	return nil
+}
+
+// PageIndex flattens a page address into the device-wide page number
+// (block-major). Shared by every layer that needs a stable per-page
+// nonce or row address.
+func PageIndex(g Geometry, a PageAddr) uint64 {
+	return uint64(a.Block)*uint64(g.PagesPerBlock) + uint64(a.Page)
+}
+
+// The simulator chip implements the complete surface via direct calls.
+var (
+	_ VendorDevice = (*Chip)(nil)
+	_ LabDevice    = (*Chip)(nil)
+)

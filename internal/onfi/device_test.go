@@ -1,0 +1,309 @@
+package onfi
+
+import (
+	"bytes"
+	"errors"
+	"math/rand/v2"
+	"testing"
+
+	"stashflash/internal/nand"
+)
+
+// twin builds two identical chip samples — one driven directly, one
+// through the bus adapter — so tests can compare the adapter against the
+// chip's own ground truth.
+func twin(seed uint64) (*nand.Chip, *Device) {
+	direct := nand.NewChip(nand.TestModel(), seed)
+	adapted := nand.NewChip(nand.TestModel(), seed)
+	return direct, NewDevice(adapted)
+}
+
+// TestDeviceReadRefSweep sweeps the read reference — integer and
+// fractional levels, the §5.3 decode reads — and requires the SET-FEATURE
+// (fine register) + READ path to return bit-identical pages to direct
+// ReadPageRef calls at every threshold.
+func TestDeviceReadRefSweep(t *testing.T) {
+	direct, dev := twin(7)
+	rng := rand.New(rand.NewPCG(7, 7))
+	a := nand.PageAddr{Block: 1, Page: 2}
+	data := randPage(rng, direct.Geometry().PageBytes)
+	if err := direct.ProgramPage(a, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.ProgramPage(a, data); err != nil {
+		t.Fatal(err)
+	}
+	refs := []float64{10, 20.5, 33.7, 34, 34.05, 40, 47.25, 60}
+	for _, ref := range refs {
+		want, err := direct.ReadPageRef(a, ref)
+		if err != nil {
+			t.Fatalf("direct ReadPageRef(%v): %v", ref, err)
+		}
+		got, err := dev.ReadPageRef(a, ref)
+		if err != nil {
+			t.Fatalf("onfi ReadPageRef(%v): %v", ref, err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("ref %v: bus read differs from direct read", ref)
+		}
+	}
+	// The default-reference read must match too (and must not be
+	// perturbed by the sweep having moved the bus register).
+	want, err := direct.ReadPage(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dev.ReadPage(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatal("default-reference read differs from direct read")
+	}
+}
+
+// TestDeviceProbeMatchesChip compares the vendor probe command against
+// the chip's own per-cell characterisation.
+func TestDeviceProbeMatchesChip(t *testing.T) {
+	direct, dev := twin(11)
+	rng := rand.New(rand.NewPCG(11, 11))
+	a := nand.PageAddr{Block: 0, Page: 1}
+	data := randPage(rng, direct.Geometry().PageBytes)
+	if err := direct.ProgramPage(a, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.ProgramPage(a, data); err != nil {
+		t.Fatal(err)
+	}
+	want, err := direct.ProbePage(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dev.ProbePage(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatal("vendor probe differs from direct probe")
+	}
+}
+
+// TestDevicePartialProgramLedger proves the adapter's PartialProgram is
+// the §1 PROGRAM + RESET idiom at the array level: the chip ledger
+// records a partial-programming pulse and no completed program.
+func TestDevicePartialProgramLedger(t *testing.T) {
+	chip := nand.NewChip(nand.TestModel(), 3)
+	dev := NewDevice(chip)
+	if err := dev.PartialProgram(nand.PageAddr{Block: 0, Page: 0}, []int{1, 5, 9}); err != nil {
+		t.Fatal(err)
+	}
+	l := chip.Ledger()
+	if l.PartialPrograms != 1 {
+		t.Fatalf("PartialPrograms = %d, want 1", l.PartialPrograms)
+	}
+	if l.Programs != 0 {
+		t.Fatalf("Programs = %d, want 0 (RESET must abort the PROGRAM)", l.Programs)
+	}
+}
+
+// TestDeviceFineProgramMatchesChip drives the vendor fine-program command
+// and requires the resulting cell levels to match a direct FineProgram.
+func TestDeviceFineProgramMatchesChip(t *testing.T) {
+	direct, dev := twin(13)
+	a := nand.PageAddr{Block: 2, Page: 0}
+	cells := []int{0, 3, 17, 64, 100}
+	const target = 52.5
+	if err := direct.FineProgram(a, cells, target); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.FineProgram(a, cells, target); err != nil {
+		t.Fatal(err)
+	}
+	want, err := direct.ProbePage(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dev.ProbePage(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatal("fine program via bus left different cell levels than direct call")
+	}
+}
+
+// TestDeviceHealthAndCycle checks the vendor health and cycle commands
+// against the chip's PEC/bad-block ground truth, including firmware-side
+// rejection of negative cycle counts (the bus payload is unsigned).
+func TestDeviceHealthAndCycle(t *testing.T) {
+	direct, dev := twin(17)
+	if err := direct.CycleBlock(1, 250); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.CycleBlock(1, 250); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := dev.PEC(1), direct.PEC(1); got != want {
+		t.Fatalf("PEC via health command = %d, direct = %d", got, want)
+	}
+	if dev.IsBadBlock(1) != direct.IsBadBlock(1) {
+		t.Fatal("bad-block flag differs between health command and direct call")
+	}
+	err := dev.CycleBlock(1, -5)
+	if !errors.Is(err, nand.ErrNegativeCount) {
+		t.Fatalf("CycleBlock(-5) = %v, want ErrNegativeCount", err)
+	}
+	if got, want := dev.PEC(1), direct.PEC(1); got != want {
+		t.Fatalf("rejected cycle changed PEC: %d vs %d", got, want)
+	}
+}
+
+// errScript runs the same operation sequence against a device and
+// returns the per-step error identities, classified against the typed
+// error set, so direct and bus-adapted devices can be compared.
+func errScript(t *testing.T, dev nand.VendorDevice, data []byte) []string {
+	t.Helper()
+	classify := func(err error) string {
+		switch {
+		case err == nil:
+			return "nil"
+		case errors.Is(err, nand.ErrPowerLoss):
+			return "power-loss"
+		case errors.Is(err, nand.ErrBadBlock):
+			return "bad-block"
+		case errors.Is(err, nand.ErrProgramFailed):
+			return "program-failed"
+		case errors.Is(err, nand.ErrEraseFailed):
+			return "erase-failed"
+		default:
+			t.Fatalf("untyped error crossed the device boundary: %v", err)
+			return ""
+		}
+	}
+	var out []string
+	a := nand.PageAddr{Block: 0, Page: 0}
+	// Program fails (prob 1) and grows the block bad; the next program
+	// sees the bad mark; the erase also fails under prob 1.
+	out = append(out, classify(dev.ProgramPage(a, data)))
+	out = append(out, classify(dev.ProgramPage(nand.PageAddr{Block: 0, Page: 1}, data)))
+	out = append(out, classify(dev.EraseBlock(1)))
+	// Power loss after one admitted pulse: pulse 1 lands, pulse 2 kills
+	// the device, everything after returns power-loss until PowerCycle.
+	nand.PlanOf(dev).ArmPowerLossAfterPP(1)
+	b := nand.PageAddr{Block: 2, Page: 0}
+	out = append(out, classify(dev.PartialProgram(b, []int{1, 2})))
+	out = append(out, classify(dev.PartialProgram(b, []int{3, 4})))
+	out = append(out, classify(dev.ProgramPage(nand.PageAddr{Block: 3, Page: 0}, data)))
+	if pc, ok := dev.(interface{ PowerCycle() }); ok {
+		pc.PowerCycle()
+	} else {
+		t.Fatal("device does not expose PowerCycle")
+	}
+	out = append(out, classify(dev.PartialProgram(b, []int{5})))
+	return out
+}
+
+// TestDeviceTypedErrorParity runs an identical fault script on a direct
+// chip and on the bus adapter under identical fault plans and requires
+// every step to surface the same typed error through errors.Is: the
+// adapter must not launder, wrap away, or re-class the failure taxonomy.
+func TestDeviceTypedErrorParity(t *testing.T) {
+	cfg := nand.FaultConfig{Seed: 99, ProgramFailProb: 1, EraseFailProb: 1}
+	direct, dev := twin(23)
+	direct.SetFaultPlan(nand.NewFaultPlan(cfg))
+	dev.SetFaultPlan(nand.NewFaultPlan(cfg))
+	rng := rand.New(rand.NewPCG(23, 23))
+	data := randPage(rng, direct.Geometry().PageBytes)
+
+	want := errScript(t, direct, data)
+	got := errScript(t, dev, data)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("step %d: direct=%s onfi=%s (full: direct=%v onfi=%v)",
+				i, want[i], got[i], want, got)
+		}
+	}
+	if want[0] != "program-failed" || want[1] != "bad-block" || want[2] != "erase-failed" ||
+		want[4] != "power-loss" || want[5] != "power-loss" || want[6] != "nil" {
+		t.Fatalf("script did not exercise the expected taxonomy: %v", want)
+	}
+}
+
+// TestDeviceNeighborPrograms checks the host-side firmware bitmap against
+// the chip's ground truth across programs, a failed program (which still
+// charges the page), an erase, and a failed erase (which must not forget
+// the block's pages).
+func TestDeviceNeighborPrograms(t *testing.T) {
+	direct, dev := twin(31)
+	rng := rand.New(rand.NewPCG(31, 31))
+	g := direct.Geometry()
+	data := randPage(rng, g.PageBytes)
+
+	check := func(stage string) {
+		t.Helper()
+		for b := 0; b < g.Blocks; b++ {
+			for p := 0; p < g.PagesPerBlock; p++ {
+				a := nand.PageAddr{Block: b, Page: p}
+				want, err := direct.NeighborPrograms(a)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := dev.NeighborPrograms(a)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("%s: NeighborPrograms(%v) = %d, chip says %d", stage, a, got, want)
+				}
+			}
+		}
+	}
+
+	check("fresh")
+	for _, a := range []nand.PageAddr{{Block: 0, Page: 0}, {Block: 0, Page: 2}, {Block: 1, Page: 3}} {
+		if err := direct.ProgramPage(a, data); err != nil {
+			t.Fatal(err)
+		}
+		if err := dev.ProgramPage(a, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check("programmed")
+
+	// A program that reports FAIL leaves the page charged: the bitmap
+	// must record it, exactly as the chip does.
+	failCfg := nand.FaultConfig{Seed: 5, ProgramFailProb: 1}
+	direct.SetFaultPlan(nand.NewFaultPlan(failCfg))
+	dev.SetFaultPlan(nand.NewFaultPlan(failCfg))
+	fa := nand.PageAddr{Block: 2, Page: 1}
+	if err := direct.ProgramPage(fa, data); !errors.Is(err, nand.ErrProgramFailed) {
+		t.Fatalf("direct program: %v, want ErrProgramFailed", err)
+	}
+	if err := dev.ProgramPage(fa, data); !errors.Is(err, nand.ErrProgramFailed) {
+		t.Fatalf("onfi program: %v, want ErrProgramFailed", err)
+	}
+	check("after failed program")
+
+	// A failed erase keeps the block's charge: the bitmap must survive.
+	eraseCfg := nand.FaultConfig{Seed: 6, EraseFailProb: 1}
+	direct.SetFaultPlan(nand.NewFaultPlan(eraseCfg))
+	dev.SetFaultPlan(nand.NewFaultPlan(eraseCfg))
+	if err := direct.EraseBlock(0); !errors.Is(err, nand.ErrEraseFailed) {
+		t.Fatalf("direct erase: %v, want ErrEraseFailed", err)
+	}
+	if err := dev.EraseBlock(0); !errors.Is(err, nand.ErrEraseFailed) {
+		t.Fatalf("onfi erase: %v, want ErrEraseFailed", err)
+	}
+	check("after failed erase")
+
+	// A successful erase forgets the block.
+	direct.SetFaultPlan(nil)
+	dev.SetFaultPlan(nil)
+	if err := direct.EraseBlock(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.EraseBlock(1); err != nil {
+		t.Fatal(err)
+	}
+	check("after erase")
+}

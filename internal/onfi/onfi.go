@@ -17,6 +17,7 @@ package onfi
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"stashflash/internal/nand"
 )
@@ -34,6 +35,9 @@ const (
 	CmdReset          = 0xFF // abort the in-flight operation
 	CmdSetFeature     = 0xEF // set a feature register (vendor: read ref)
 	CmdVendorProbe    = 0xCA // vendor: per-cell voltage characterisation
+	CmdVendorHealth   = 0xCB // vendor: per-block health report (PEC + bad mark)
+	CmdVendorCycle    = 0xCC // vendor: tester-rig wear fast-forward on a block
+	CmdVendorFine     = 0xCD // vendor: controller-grade fine program (§6.2)
 )
 
 // Feature addresses for CmdSetFeature.
@@ -42,6 +46,13 @@ const (
 	// (the vendor command VT-HI decodes with; §5.3). The 2-byte payload
 	// is the threshold in tenths of a normalized level, little-endian.
 	FeatReadRef = 0x91
+	// FeatReadRefFine sets the read reference with full resolution: the
+	// 8-byte payload is an IEEE-754 float64, little-endian, in normalized
+	// units. This is the register the host adapter uses so that
+	// bus-driven decodes land on bit-identical thresholds to direct
+	// ReadPageRef calls; FeatReadRef's tenths quantisation remains for
+	// protocol-level compatibility demos.
+	FeatReadRefFine = 0x92
 )
 
 // Status register bits.
@@ -65,6 +76,11 @@ const (
 	stateFeatureData
 	stateProbeAddr
 	stateProbeData
+	stateHealthAddr
+	stateCycleAddr
+	stateCycleData
+	stateFineAddr
+	stateFineData
 )
 
 // Errors surfaced by the bus.
@@ -147,6 +163,12 @@ func (b *Bus) Cmd(op byte) error {
 		b.featBuf = b.featBuf[:0]
 	case CmdVendorProbe:
 		b.beginAddr(stateProbeAddr)
+	case CmdVendorHealth:
+		b.beginAddr(stateHealthAddr)
+	case CmdVendorCycle:
+		b.beginAddr(stateCycleAddr)
+	case CmdVendorFine:
+		b.beginAddr(stateFineAddr)
 	default:
 		b.fail()
 		return fmt.Errorf("%w: unknown opcode %#02x", ErrProtocol, op)
@@ -166,7 +188,8 @@ func (b *Bus) beginAddr(s busState) {
 // little-endian, the classic 5-cycle NAND addressing.
 func (b *Bus) Addr(bytes ...byte) error {
 	switch b.state {
-	case stateReadAddr, stateProgramAddr, stateEraseAddr, stateProbeAddr:
+	case stateReadAddr, stateProgramAddr, stateEraseAddr, stateProbeAddr,
+		stateHealthAddr, stateCycleAddr, stateFineAddr:
 	case stateFeatureAddr:
 		if len(bytes) != 1 {
 			b.fail()
@@ -180,9 +203,9 @@ func (b *Bus) Addr(bytes ...byte) error {
 		b.fail()
 		return fmt.Errorf("%w: address cycle outside an addressed command", ErrProtocol)
 	}
-	// Erase takes only row cycles (3); page ops take 2 column + 3 row.
+	// Block ops take only row cycles (3); page ops take 2 column + 3 row.
 	want := 5
-	if b.state == stateEraseAddr {
+	if b.state == stateEraseAddr || b.state == stateHealthAddr || b.state == stateCycleAddr {
 		want = 3
 	}
 	if len(bytes) != want {
@@ -208,6 +231,14 @@ func (b *Bus) Addr(bytes ...byte) error {
 	case stateProbeAddr:
 		b.state = stateProbeData // awaiting data out
 		return b.execProbe()
+	case stateHealthAddr:
+		return b.execHealth()
+	case stateCycleAddr:
+		b.state = stateCycleData
+		b.dataBuf = b.dataBuf[:0]
+	case stateFineAddr:
+		b.state = stateFineData
+		b.dataBuf = b.dataBuf[:0]
 	}
 	return nil
 }
@@ -225,8 +256,29 @@ func (b *Bus) WriteData(p []byte) error {
 		return nil
 	case stateFeatureData:
 		b.featBuf = append(b.featBuf, p...)
-		if len(b.featBuf) >= 2 {
+		if len(b.featBuf) >= featLen(b.feat) {
 			return b.execFeature()
+		}
+		return nil
+	case stateCycleData:
+		b.dataBuf = append(b.dataBuf, p...)
+		if len(b.dataBuf) > 4 {
+			b.fail()
+			return fmt.Errorf("%w: cycle count is a 4-byte payload", ErrProtocol)
+		}
+		if len(b.dataBuf) == 4 {
+			return b.execCycle()
+		}
+		return nil
+	case stateFineData:
+		want := b.chip.Geometry().PageBytes + 8
+		b.dataBuf = append(b.dataBuf, p...)
+		if len(b.dataBuf) > want {
+			b.fail()
+			return fmt.Errorf("%w: fine-program register overflow", ErrProtocol)
+		}
+		if len(b.dataBuf) == want {
+			return b.execFine()
 		}
 		return nil
 	default:
@@ -358,6 +410,16 @@ func (b *Bus) reset() error {
 	return nil
 }
 
+// featLen returns the payload size of a feature register. Unknown
+// features get the classic 2-byte subfeature payload and are rejected at
+// execution time.
+func featLen(feat byte) int {
+	if feat == FeatReadRefFine {
+		return 8
+	}
+	return 2
+}
+
 func (b *Bus) execFeature() error {
 	switch b.feat {
 	case FeatReadRef:
@@ -365,10 +427,102 @@ func (b *Bus) execFeature() error {
 		b.readRef = float64(tenths) / 10
 		b.ok()
 		return nil
+	case FeatReadRefFine:
+		var bits uint64
+		for i := 0; i < 8; i++ {
+			bits |= uint64(b.featBuf[i]) << (8 * i)
+		}
+		b.readRef = math.Float64frombits(bits)
+		b.ok()
+		return nil
 	default:
 		b.fail()
 		return fmt.Errorf("%w: unknown feature %#02x", ErrProtocol, b.feat)
 	}
+}
+
+// execHealth services CmdVendorHealth: a 5-byte report for the addressed
+// block — PEC as little-endian uint32 plus the grown-bad flag. This is
+// metadata the controller keeps anyway; exposing it as a vendor command
+// lets bus-only hosts run the wear-levelling and remap logic the FTL and
+// stegfs layers need.
+func (b *Bus) execHealth() error {
+	a, err := b.rowToAddr()
+	if err != nil {
+		b.fail()
+		return err
+	}
+	pec := uint32(b.chip.PEC(a.Block))
+	bad := byte(0)
+	if b.chip.IsBadBlock(a.Block) {
+		bad = 1
+	}
+	b.dataBuf = []byte{byte(pec), byte(pec >> 8), byte(pec >> 16), byte(pec >> 24), bad}
+	b.dataOff = 0
+	b.status = StatusReady
+	b.state = stateIdle
+	return nil
+}
+
+// execCycle services CmdVendorCycle: fast-forward wear by the latched
+// 4-byte little-endian cycle count. The physical tester performs real
+// program/erase loops; the simulated chip exposes the same effect as one
+// command so bus-driven pre-conditioning stays cheap.
+func (b *Bus) execCycle() error {
+	a, err := b.rowToAddr()
+	if err != nil {
+		b.fail()
+		return err
+	}
+	n := int(uint32(b.dataBuf[0]) | uint32(b.dataBuf[1])<<8 |
+		uint32(b.dataBuf[2])<<16 | uint32(b.dataBuf[3])<<24)
+	b.dataBuf = nil
+	if err := b.chip.CycleBlock(a.Block, n); err != nil {
+		b.fail()
+		return err
+	}
+	b.ok()
+	return nil
+}
+
+// execFine services CmdVendorFine: the §6.2 in-controller programming
+// operation. The latched payload is a full page pattern (0-bits select
+// cells, as in PROGRAM) followed by the 8-byte float64 target level. A
+// pattern selecting no cells completes without touching the array, the
+// same no-op guard every host-side caller applies before a direct
+// FineProgram call.
+func (b *Bus) execFine() error {
+	a, err := b.rowToAddr()
+	if err != nil {
+		b.fail()
+		return err
+	}
+	g := b.chip.Geometry()
+	if b.col != 0 {
+		b.fail()
+		return fmt.Errorf("%w: fine program requires column 0", ErrProtocol)
+	}
+	pattern := b.dataBuf[:g.PageBytes]
+	var bits uint64
+	for i := 0; i < 8; i++ {
+		bits |= uint64(b.dataBuf[g.PageBytes+i]) << (8 * i)
+	}
+	target := math.Float64frombits(bits)
+	var cells []int
+	for i := 0; i < g.CellsPerPage(); i++ {
+		if (pattern[i/8]>>(7-uint(i%8)))&1 == 0 {
+			cells = append(cells, i)
+		}
+	}
+	b.dataBuf = nil
+	if len(cells) > 0 {
+		if err := b.chip.FineProgram(a, cells, target); err != nil {
+			b.fail()
+			return err
+		}
+	}
+	b.ok()
+	return nil
 }
 
 func (b *Bus) execProbe() error {
@@ -492,4 +646,83 @@ func (b *Bus) ProbePage(a nand.PageAddr) ([]byte, error) {
 		return nil, err
 	}
 	return b.ReadData(b.chip.Geometry().CellsPerPage())
+}
+
+// SetReadRefFine moves the read reference with full float64 resolution
+// (the register the host adapter decodes with; see FeatReadRefFine).
+func (b *Bus) SetReadRefFine(level float64) error {
+	if err := b.Cmd(CmdSetFeature); err != nil {
+		return err
+	}
+	if err := b.Addr(FeatReadRefFine); err != nil {
+		return err
+	}
+	bits := math.Float64bits(level)
+	p := make([]byte, 8)
+	for i := range p {
+		p[i] = byte(bits >> (8 * i))
+	}
+	return b.WriteData(p)
+}
+
+// BlockHealth fetches the vendor health report for a block: its PEC and
+// grown-bad flag.
+func (b *Bus) BlockHealth(block int) (pec int, bad bool, err error) {
+	if err := b.Cmd(CmdVendorHealth); err != nil {
+		return 0, false, err
+	}
+	row := block * b.chip.Geometry().PagesPerBlock
+	if err := b.Addr(byte(row), byte(row>>8), byte(row>>16)); err != nil {
+		return 0, false, err
+	}
+	rep, err := b.ReadData(5)
+	if err != nil {
+		return 0, false, err
+	}
+	pec = int(uint32(rep[0]) | uint32(rep[1])<<8 | uint32(rep[2])<<16 | uint32(rep[3])<<24)
+	return pec, rep[4] != 0, nil
+}
+
+// CycleBlock fast-forwards wear on a block via the vendor cycle command.
+func (b *Bus) CycleBlock(block, n int) error {
+	if err := b.Cmd(CmdVendorCycle); err != nil {
+		return err
+	}
+	row := block * b.chip.Geometry().PagesPerBlock
+	if err := b.Addr(byte(row), byte(row>>8), byte(row>>16)); err != nil {
+		return err
+	}
+	u := uint32(n)
+	return b.WriteData([]byte{byte(u), byte(u >> 8), byte(u >> 16), byte(u >> 24)})
+}
+
+// FineProgram drives the §6.2 in-controller fine-programming command: a
+// page pattern whose 0-bits select the cells, then the float64 target.
+func (b *Bus) FineProgram(a nand.PageAddr, cells []int, target float64) error {
+	g := b.chip.Geometry()
+	pattern := make([]byte, g.PageBytes)
+	for i := range pattern {
+		pattern[i] = 0xFF
+	}
+	for _, c := range cells {
+		if c < 0 || c >= g.CellsPerPage() {
+			return fmt.Errorf("%w: cell %d", ErrAddress, c)
+		}
+		pattern[c/8] &^= 1 << (7 - uint(c%8))
+	}
+	if err := b.Cmd(CmdVendorFine); err != nil {
+		return err
+	}
+	if err := b.Addr(addrCycles(g, a)...); err != nil {
+		return err
+	}
+	if err := b.WriteData(pattern); err != nil {
+		return err
+	}
+	bits := math.Float64bits(target)
+	p := make([]byte, 8)
+	for i := range p {
+		p[i] = byte(bits >> (8 * i))
+	}
+	return b.WriteData(p)
 }

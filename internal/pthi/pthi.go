@@ -86,20 +86,29 @@ func (c Config) Validate(m nand.Model) error {
 	return nil
 }
 
-// Hider embeds and extracts PT-HI payloads on one chip.
-type Hider struct {
-	chip *nand.Chip
-	cfg  Config
-	key  []byte
+// Device is what the PT-HI channel needs from a backend: the vendor
+// command set (reference-shifted decode reads) plus the bulk
+// program-stress operations that implement the encode's repeated cycles.
+type Device interface {
+	nand.VendorDevice
+	nand.StressDevice
 }
 
-// NewHider builds a PT-HI codec for chip under cfg with the given secret
-// key (group locations derive from it, mirroring VT-HI's keyed selection).
-func NewHider(chip *nand.Chip, key []byte, cfg Config) (*Hider, error) {
-	if err := cfg.Validate(chip.Model()); err != nil {
+// Hider embeds and extracts PT-HI payloads on one device.
+type Hider struct {
+	dev Device
+	cfg Config
+	key []byte
+}
+
+// NewHider builds a PT-HI codec for a device under cfg with the given
+// secret key (group locations derive from it, mirroring VT-HI's keyed
+// selection).
+func NewHider(dev Device, key []byte, cfg Config) (*Hider, error) {
+	if err := cfg.Validate(dev.Model()); err != nil {
 		return nil, err
 	}
-	return &Hider{chip: chip, cfg: cfg, key: append([]byte(nil), key...)}, nil
+	return &Hider{dev: dev, cfg: cfg, key: append([]byte(nil), key...)}, nil
 }
 
 // Config returns the hider's configuration.
@@ -108,7 +117,7 @@ func (h *Hider) Config() Config { return h.cfg }
 // groups returns, for a page, the cell-group pair for every bit:
 // groups[j][0] and groups[j][1] are the A/B halves of bit j.
 func (h *Hider) groups(a nand.PageAddr) [][2][]int {
-	g := h.chip.Geometry()
+	g := h.dev.Geometry()
 	pageIdx := uint64(a.Block)*uint64(g.PagesPerBlock) + uint64(a.Page)
 	stream := prng.PageStream(h.key, pageIdx, "pt-hi/groups")
 	per := 2 * h.cfg.CellsPerHalfGroup
@@ -127,7 +136,7 @@ func (h *Hider) groups(a nand.PageAddr) [][2][]int {
 func (h *Hider) hiddenPages() []int {
 	var pages []int
 	stride := h.cfg.PageInterval + 1
-	for p := 0; p < h.chip.Geometry().PagesPerBlock; p += stride {
+	for p := 0; p < h.dev.Geometry().PagesPerBlock; p += stride {
 		pages = append(pages, p)
 	}
 	return pages
@@ -147,7 +156,7 @@ func (h *Hider) EncodeBlock(block int, bits []uint8) error {
 	if len(bits) != want {
 		return fmt.Errorf("pthi: got %d bits, block carries %d", len(bits), want)
 	}
-	g := h.chip.Geometry()
+	g := h.dev.Geometry()
 	// Build the per-page stress patterns once: bit 1 stresses half A,
 	// bit 0 stresses half B, so total stress is data-independent (no
 	// aggregate wear signature reveals the payload).
@@ -167,7 +176,7 @@ func (h *Hider) EncodeBlock(block int, bits []uint8) error {
 		patterns[p] = cells
 	}
 	for cyc := 0; cyc < h.cfg.StressCycles; cyc++ {
-		if err := h.chip.StressCycleBlock(block, patterns); err != nil {
+		if err := h.dev.StressCycleBlock(block, patterns); err != nil {
 			return err
 		}
 	}
@@ -180,7 +189,7 @@ func (h *Hider) EncodeBlock(block int, bits []uint8) error {
 // costs DecodePulses partial programs plus reads — the (600+90)us x 30
 // arithmetic behind the paper's 54 Kb/s PT-HI decode throughput.
 func (h *Hider) DecodeBlock(block int) ([]uint8, error) {
-	if err := h.chip.EraseBlock(block); err != nil {
+	if err := h.dev.EraseBlock(block); err != nil {
 		return nil, err
 	}
 	out := make([]uint8, 0, h.BlockCapacityBits())
@@ -203,11 +212,11 @@ func (h *Hider) decodePage(a nand.PageAddr) ([]uint8, error) {
 	}
 	var raw []byte
 	for k := 0; k < h.cfg.DecodePulses; k++ {
-		if err := h.chip.PartialProgram(a, all); err != nil {
+		if err := h.dev.PartialProgram(a, all); err != nil {
 			return nil, err
 		}
 		var err error
-		raw, err = h.chip.ReadPageRef(a, h.cfg.DecodeRef)
+		raw, err = h.dev.ReadPageRef(a, h.cfg.DecodeRef)
 		if err != nil {
 			return nil, err
 		}

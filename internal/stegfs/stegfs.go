@@ -79,7 +79,7 @@ const (
 
 // Volume is a mounted steganographic device. Not safe for concurrent use.
 type Volume struct {
-	chip    *nand.Chip
+	dev     nand.VendorDevice
 	ftl     *ftl.FTL
 	hider   *core.Hider
 	keys    seal.Keys
@@ -104,34 +104,6 @@ func remappableHideErr(err error) bool {
 		errors.Is(err, core.ErrHiddenUnrecoverable)
 }
 
-// hiderStore adapts the VT-HI pipeline as the FTL's PageStore, encrypting
-// sector payloads bound to their physical location so cover bits are
-// uniformly random and GC rewrites re-encrypt naturally.
-type hiderStore struct {
-	chip  *nand.Chip
-	hider *core.Hider
-	key   []byte // public-volume (NU) encryption key
-}
-
-func (s hiderStore) DataBytes() int { return s.hider.PublicDataBytes() }
-
-func (s hiderStore) pageIndex(a nand.PageAddr) uint64 {
-	return uint64(a.Block)*uint64(s.chip.Geometry().PagesPerBlock) + uint64(a.Page)
-}
-
-func (s hiderStore) WritePage(a nand.PageAddr, data []byte) error {
-	ct := seal.EncryptPage(s.key, s.pageIndex(a), uint64(s.chip.PEC(a.Block)), data)
-	return s.hider.WritePage(a, ct)
-}
-
-func (s hiderStore) ReadPage(a nand.PageAddr) ([]byte, error) {
-	ct, _, err := s.hider.ReadPublic(a)
-	if err != nil {
-		return nil, err
-	}
-	return seal.EncryptPage(s.key, s.pageIndex(a), uint64(s.chip.PEC(a.Block)), ct), nil
-}
-
 // migrationHook re-embeds hidden payloads when the FTL moves their cover
 // page (§5.1: "re-embed the hidden data in a new location ... before the
 // old NU page ... is permanently erased").
@@ -153,20 +125,21 @@ func (m migrationHook) PageMoved(lba int, src, dst nand.PageAddr) error {
 	return nil
 }
 
-// Create formats a fresh chip as a steganographic volume. masterKey
+// Create formats a fresh device as a steganographic volume. masterKey
 // protects the hidden volume; publicKey encrypts the public volume (the
-// NU's ordinary disk-encryption credential).
-func Create(chip *nand.Chip, masterKey, publicKey []byte, cfg Config) (*Volume, error) {
+// NU's ordinary disk-encryption credential). Any nand.VendorDevice
+// backend works, including the ONFI bus adapter.
+func Create(dev nand.VendorDevice, masterKey, publicKey []byte, cfg Config) (*Volume, error) {
 	if cfg.HiddenSectors < 2 {
 		return nil, fmt.Errorf("stegfs: need at least 2 hidden sectors (superblock + data), got %d", cfg.HiddenSectors)
 	}
-	hider, err := core.NewHider(chip, masterKey, cfg.Hiding)
+	hider, err := core.NewHider(dev, masterKey, cfg.Hiding)
 	if err != nil {
 		return nil, err
 	}
 	keys := seal.DeriveKeys(masterKey)
 	v := &Volume{
-		chip:  chip,
+		dev:   dev,
 		hider: hider,
 		keys:  keys,
 		cfg:   cfg,
@@ -175,9 +148,15 @@ func Create(chip *nand.Chip, masterKey, publicKey []byte, cfg Config) (*Volume, 
 	if max := v.maxHiddenSectors(); cfg.HiddenSectors > max {
 		return nil, fmt.Errorf("stegfs: %d hidden sectors exceed superblock bitmap capacity %d", cfg.HiddenSectors, max)
 	}
-	store := hiderStore{chip: chip, hider: hider, key: seal.DeriveKeys(publicKey).Encrypt}
+	// Public sectors flow hider -> public ECC, sealed to their physical
+	// location by the shared ftl.SealedStore plumbing.
+	store := ftl.SealedStore{
+		Dev:   dev,
+		Inner: core.PublicStore{H: hider},
+		Key:   seal.DeriveKeys(publicKey).Encrypt,
+	}
 	hook := migrationHook{v: v}
-	f, err := ftl.New(chip, store, cfg.FTL, hook)
+	f, err := ftl.New(dev, store, cfg.FTL, hook)
 	if err != nil {
 		return nil, err
 	}
@@ -222,7 +201,7 @@ func (v *Volume) HiddenSectorBytes() int { return v.hider.HiddenPayloadBytes() }
 // never repeat for the same page without an intervening erase (which
 // destroys the payload anyway), so the seal's CTR IV is never reused.
 func (v *Volume) epoch(a nand.PageAddr) uint64 {
-	return uint64(v.chip.PEC(a.Block))
+	return uint64(v.dev.PEC(a.Block))
 }
 
 // PublicRead reads a public sector; no hidden-volume state is involved.
@@ -456,7 +435,7 @@ func parseSuperblock(payload, macKey []byte, nSectors int) ([]bool, error) {
 // pass (see recoverMounted). It fails with ErrBadSuperblock if the key is
 // wrong or the superblock was never synced, leaving the volume unchanged.
 func (v *Volume) Remount(masterKey []byte) error {
-	hider, err := core.NewHider(v.chip, masterKey, v.cfg.Hiding)
+	hider, err := core.NewHider(v.dev, masterKey, v.cfg.Hiding)
 	if err != nil {
 		return err
 	}

@@ -16,25 +16,26 @@ import (
 	"stashflash/internal/stats"
 )
 
-// Tester drives one chip.
+// Tester drives one device through the full lab surface.
 type Tester struct {
-	chip *nand.Chip
-	rng  *rand.Rand
+	dev nand.LabDevice
+	rng *rand.Rand
 }
 
-// New creates a tester for chip. The seed drives only the host-generated
-// pseudorandom data patterns, mirroring the paper's "on each run, a new
-// random data pattern was used".
-func New(chip *nand.Chip, seed uint64) *Tester {
-	return &Tester{chip: chip, rng: rand.New(rand.NewPCG(seed, 0x7e57e4))}
+// New creates a tester for a device. The seed drives only the
+// host-generated pseudorandom data patterns, mirroring the paper's "on
+// each run, a new random data pattern was used". Any nand.LabDevice
+// backend works: the direct simulator chip or the ONFI bus adapter.
+func New(dev nand.LabDevice, seed uint64) *Tester {
+	return &Tester{dev: dev, rng: rand.New(rand.NewPCG(seed, 0x7e57e4))}
 }
 
-// Chip exposes the underlying device for raw commands.
-func (t *Tester) Chip() *nand.Chip { return t.chip }
+// Device exposes the underlying device for raw commands.
+func (t *Tester) Device() nand.LabDevice { return t.dev }
 
 // RandomPage generates one page worth of pseudorandom data.
 func (t *Tester) RandomPage() []byte {
-	b := make([]byte, t.chip.Geometry().PageBytes)
+	b := make([]byte, t.dev.Geometry().PageBytes)
 	for i := range b {
 		b[i] = byte(t.rng.IntN(256))
 	}
@@ -45,11 +46,11 @@ func (t *Tester) RandomPage() []byte {
 // pseudorandom data and returns the written images for later BER
 // comparison. The block must be erased.
 func (t *Tester) ProgramRandomBlock(block int) ([][]byte, error) {
-	g := t.chip.Geometry()
+	g := t.dev.Geometry()
 	pages := make([][]byte, g.PagesPerBlock)
 	for p := 0; p < g.PagesPerBlock; p++ {
 		pages[p] = t.RandomPage()
-		if err := t.chip.ProgramPage(nand.PageAddr{Block: block, Page: p}, pages[p]); err != nil {
+		if err := t.dev.ProgramPage(nand.PageAddr{Block: block, Page: p}, pages[p]); err != nil {
 			return nil, fmt.Errorf("tester: programming block %d page %d: %w", block, p, err)
 		}
 	}
@@ -60,9 +61,9 @@ func (t *Tester) ProgramRandomBlock(block int) ([][]byte, error) {
 // simulator's fast-forward, then leaves it erased. This mirrors the
 // paper's "we repeated this process for 0 to 3000 PEC".
 func (t *Tester) CycleTo(block, targetPEC int) error {
-	cur := t.chip.PEC(block)
+	cur := t.dev.PEC(block)
 	if targetPEC > cur {
-		return t.chip.CycleBlock(block, targetPEC-cur)
+		return t.dev.CycleBlock(block, targetPEC-cur)
 	}
 	return nil
 }
@@ -75,7 +76,7 @@ func (t *Tester) RealCycle(block, n int) error {
 		if _, err := t.ProgramRandomBlock(block); err != nil {
 			return err
 		}
-		if err := t.chip.EraseBlock(block); err != nil {
+		if err := t.dev.EraseBlock(block); err != nil {
 			return err
 		}
 	}
@@ -107,7 +108,7 @@ func (t *Tester) PageDistribution(a nand.PageAddr) (erased, programmed *stats.Hi
 func (t *Tester) BlockDistribution(block int) (erased, programmed *stats.Histogram, err error) {
 	erased = NewVoltageHistogram()
 	programmed = NewVoltageHistogram()
-	g := t.chip.Geometry()
+	g := t.dev.Geometry()
 	for p := 0; p < g.PagesPerBlock; p++ {
 		if err := t.accumulatePage(nand.PageAddr{Block: block, Page: p}, erased, programmed); err != nil {
 			return nil, nil, err
@@ -117,11 +118,11 @@ func (t *Tester) BlockDistribution(block int) (erased, programmed *stats.Histogr
 }
 
 func (t *Tester) accumulatePage(a nand.PageAddr, erased, programmed *stats.Histogram) error {
-	levels, err := t.chip.ProbePage(a)
+	levels, err := t.dev.ProbePage(a)
 	if err != nil {
 		return err
 	}
-	ref := uint8(t.chip.Model().ReadRef)
+	ref := uint8(t.dev.Model().ReadRef)
 	for _, v := range levels {
 		if v < ref {
 			erased.Add(float64(v))
@@ -151,7 +152,7 @@ func (r BERResult) BER() float64 {
 func (t *Tester) MeasureBlockBER(block int, expect [][]byte) (BERResult, error) {
 	var res BERResult
 	for p, want := range expect {
-		got, err := t.chip.ReadPage(nand.PageAddr{Block: block, Page: p})
+		got, err := t.dev.ReadPage(nand.PageAddr{Block: block, Page: p})
 		if err != nil {
 			return res, err
 		}
@@ -166,11 +167,11 @@ func (t *Tester) MeasureBlockBER(block int, expect [][]byte) (BERResult, error) 
 // Bake emulates d of power-off retention, the simulator's equivalent of
 // the paper's accelerated oven aging (§8 Reliability).
 func (t *Tester) Bake(d time.Duration) {
-	t.chip.AdvanceRetention(d)
+	t.dev.AdvanceRetention(d)
 }
 
 // Ledger returns the chip's accumulated operation costs.
-func (t *Tester) Ledger() nand.Ledger { return t.chip.Ledger() }
+func (t *Tester) Ledger() nand.Ledger { return t.dev.Ledger() }
 
 func popcount8(b byte) int {
 	n := 0

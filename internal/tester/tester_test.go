@@ -17,14 +17,14 @@ func TestProgramRandomBlockAndBER(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(pages) != ts.Chip().Geometry().PagesPerBlock {
+	if len(pages) != ts.Device().Geometry().PagesPerBlock {
 		t.Fatalf("got %d page images", len(pages))
 	}
 	res, err := ts.MeasureBlockBER(0, pages)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Bits != ts.Chip().Geometry().CellsPerBlock() {
+	if res.Bits != ts.Device().Geometry().CellsPerBlock() {
 		t.Fatalf("bits = %d", res.Bits)
 	}
 	if ber := res.BER(); ber > 5e-4 {
@@ -47,14 +47,14 @@ func TestCycleTo(t *testing.T) {
 	if err := ts.CycleTo(1, 1500); err != nil {
 		t.Fatal(err)
 	}
-	if pec := ts.Chip().PEC(1); pec != 1500 {
+	if pec := ts.Device().PEC(1); pec != 1500 {
 		t.Fatalf("PEC = %d", pec)
 	}
 	// Cycling to a lower target is a no-op, never a rollback.
 	if err := ts.CycleTo(1, 100); err != nil {
 		t.Fatal(err)
 	}
-	if pec := ts.Chip().PEC(1); pec != 1500 {
+	if pec := ts.Device().PEC(1); pec != 1500 {
 		t.Fatalf("PEC rolled back to %d", pec)
 	}
 }
@@ -64,7 +64,7 @@ func TestRealCycleMatchesFastPathPEC(t *testing.T) {
 	if err := ts.RealCycle(0, 3); err != nil {
 		t.Fatal(err)
 	}
-	if pec := ts.Chip().PEC(0); pec != 3 {
+	if pec := ts.Device().PEC(0); pec != 3 {
 		t.Fatalf("real cycling left PEC = %d, want 3", pec)
 	}
 }
@@ -79,8 +79,8 @@ func TestBlockDistributionShapes(t *testing.T) {
 		t.Fatal(err)
 	}
 	total := erased.Total() + programmed.Total()
-	if total != ts.Chip().Geometry().CellsPerBlock() {
-		t.Fatalf("histograms cover %d cells, block has %d", total, ts.Chip().Geometry().CellsPerBlock())
+	if total != ts.Device().Geometry().CellsPerBlock() {
+		t.Fatalf("histograms cover %d cells, block has %d", total, ts.Device().Geometry().CellsPerBlock())
 	}
 	// Random data: roughly half the cells per state.
 	f := float64(erased.Total()) / float64(total)
@@ -105,7 +105,7 @@ func TestPageDistribution(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if erased.Total()+programmed.Total() != ts.Chip().Geometry().CellsPerPage() {
+	if erased.Total()+programmed.Total() != ts.Device().Geometry().CellsPerPage() {
 		t.Fatal("page histogram does not cover the page")
 	}
 }

@@ -52,16 +52,17 @@ func DefaultConfig() core.Config {
 	return cfg
 }
 
-// Marker embeds and verifies provenance records on one chip.
+// Marker embeds and verifies provenance records on one device.
 type Marker struct {
 	hider  *core.Hider
 	macKey []byte
 	tagLen int
 }
 
-// New builds a Marker from the authority's master secret.
-func New(chip *nand.Chip, master []byte, cfg core.Config) (*Marker, error) {
-	h, err := core.NewHider(chip, master, cfg)
+// New builds a Marker from the authority's master secret. Any
+// nand.VendorDevice backend works.
+func New(dev nand.VendorDevice, master []byte, cfg core.Config) (*Marker, error) {
+	h, err := core.NewHider(dev, master, cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -30,6 +30,7 @@ import (
 
 	"stashflash/internal/core"
 	"stashflash/internal/nand"
+	"stashflash/internal/onfi"
 	"stashflash/internal/stegfs"
 	"stashflash/internal/watermark"
 )
@@ -105,9 +106,13 @@ func (k ConfigKind) String() string {
 	}
 }
 
-// Device is one simulated flash package.
+// Device is one flash package, reached through any nand.LabDevice
+// backend: the direct simulator chip (Open) or the bus-level ONFI
+// command adapter (OpenONFI). Every pipeline built from a Device —
+// hider, marker, volume — sees only the device interface, so the two
+// backends are interchangeable and bit-identical.
 type Device struct {
-	chip *nand.Chip
+	dev nand.LabDevice
 }
 
 // VendorA returns the primary chip model of the paper (8 GB, 18048-byte
@@ -119,9 +124,18 @@ func VendorA() Model { return nand.ModelA() }
 func VendorB() Model { return nand.ModelB() }
 
 // Open simulates a chip of the given model; distinct seeds model distinct
-// physical samples.
+// physical samples. The chip is driven directly.
 func Open(m Model, seed uint64) *Device {
-	return &Device{chip: nand.NewChip(m, seed)}
+	return &Device{dev: nand.NewChip(m, seed)}
+}
+
+// OpenONFI simulates a chip of the given model and drives every
+// operation through the ONFI bus command adapter (internal/onfi)
+// instead of direct calls: reads, programs, erases and the vendor
+// extensions all travel as command/address/data cycles. Results are
+// bit-identical to Open with the same model and seed.
+func OpenONFI(m Model, seed uint64) *Device {
+	return &Device{dev: onfi.NewDevice(nand.NewChip(m, seed))}
 }
 
 // OpenVendorA opens a vendor-A chip scaled to a laptop-friendly geometry
@@ -136,17 +150,19 @@ func OpenVendorB(seed uint64) *Device {
 	return Open(nand.ModelB().ScaleGeometry(64, 16, 4564), seed)
 }
 
-// Chip exposes the raw simulated chip for advanced use (probing,
-// characterisation, custom command sequences).
-func (d *Device) Chip() *nand.Chip { return d.chip }
+// Dev exposes the underlying lab device for advanced use (probing,
+// characterisation, stress and retention experiments). The concrete
+// type depends on how the Device was opened: a direct chip for Open, a
+// bus command adapter for OpenONFI.
+func (d *Device) Dev() nand.LabDevice { return d.dev }
 
 // Geometry returns the device layout.
-func (d *Device) Geometry() nand.Geometry { return d.chip.Geometry() }
+func (d *Device) Geometry() nand.Geometry { return d.dev.Geometry() }
 
 // EraseBlock erases a block, destroying any hidden payloads in it. On a
 // fault-injected chip the erase may fail with a typed error (see
 // nand.ErrEraseFailed, nand.ErrBadBlock).
-func (d *Device) EraseBlock(block int) error { return d.chip.EraseBlock(block) }
+func (d *Device) EraseBlock(block int) error { return d.dev.EraseBlock(block) }
 
 // NewHider builds a VT-HI pipeline on the device with the given master
 // secret and operating point.
@@ -155,12 +171,12 @@ func (d *Device) NewHider(master []byte, kind ConfigKind) (*Hider, error) {
 	if err != nil {
 		return nil, err
 	}
-	return core.NewHider(d.chip, master, cfg)
+	return core.NewHider(d.dev, master, cfg)
 }
 
 // NewMarker builds a watermarking authority on the device (§9.1).
 func (d *Device) NewMarker(master []byte) (*Marker, error) {
-	return watermark.New(d.chip, master, watermark.DefaultConfig())
+	return watermark.New(d.dev, master, watermark.DefaultConfig())
 }
 
 // CreateVolume formats the device as a steganographic volume: a public
@@ -168,11 +184,11 @@ func (d *Device) NewMarker(master []byte) (*Marker, error) {
 // (§9.2). masterKey guards the hidden volume; publicKey encrypts the
 // public one.
 func (d *Device) CreateVolume(masterKey, publicKey []byte, hiddenSectors int) (*Volume, error) {
-	cfg := stegfs.DefaultConfig(d.chip.Geometry())
+	cfg := stegfs.DefaultConfig(d.dev.Geometry())
 	if hiddenSectors > 0 {
 		cfg.HiddenSectors = hiddenSectors
 	}
-	return stegfs.Create(d.chip, masterKey, publicKey, cfg)
+	return stegfs.Create(d.dev, masterKey, publicKey, cfg)
 }
 
 // CapacityReport summarises hidden capacity for a configuration on the
