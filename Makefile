@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race fuzz-smoke lint-layering ci bench bench-parallel bench-device
+.PHONY: build test vet race fuzz-smoke lint-layering ci bench bench-parallel bench-device bench-check
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,23 @@ lint-layering:
 		exit 1; \
 	fi
 	@echo "lint-layering: ok"
+	@unformatted=$$(gofmt -l . 2>/dev/null | grep -v '^related/' || true); \
+	if [ -n "$$unformatted" ]; then \
+		echo "lint-layering: files need gofmt:"; \
+		echo "$$unformatted"; \
+		exit 1; \
+	fi
+	@echo "gofmt: ok"
+	@bad=$$(grep -rln --include='*.go' -e '"net/http/pprof"' -e '"expvar"' . \
+		--exclude-dir=related --exclude-dir=.git \
+		--exclude='*_test.go' \
+		| grep -v '^\./internal/obs/' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "lint-layering: net/http/pprof and expvar are confined to internal/obs (debug server stays opt-in):"; \
+		echo "$$bad"; \
+		exit 1; \
+	fi
+	@echo "debug-import confinement: ok"
 
 ci: build vet lint-layering test race fuzz-smoke
 
@@ -58,3 +75,14 @@ bench-parallel:
 # overhead column is the cost of the command encoding).
 bench-device:
 	$(GO) run ./cmd/experiments -devbenchjson BENCH_device.json all
+
+# Bench-regression gate: regenerate both benchmark documents into
+# untracked temp files and diff them against the committed baselines with
+# cmd/benchdiff. Fails when the fresh run is slower than the tolerance
+# (default 25%; override with STASHFLASH_BENCH_TOLERANCE=0.5 or similar
+# on noisy runners). Wired as a non-blocking CI job.
+bench-check:
+	$(GO) run ./cmd/experiments -benchjson .bench_fresh_parallel.json all
+	$(GO) run ./cmd/benchdiff -baseline BENCH_parallel.json -fresh .bench_fresh_parallel.json
+	$(GO) run ./cmd/experiments -devbenchjson .bench_fresh_device.json all
+	$(GO) run ./cmd/benchdiff -baseline BENCH_device.json -fresh .bench_fresh_device.json

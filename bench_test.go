@@ -152,6 +152,13 @@ func BenchmarkHideONFI(b *testing.B) {
 	benchHide(b, OpenONFI(VendorA().ScaleGeometry(64, 16, 4512), 12345))
 }
 
+// BenchmarkHideObserved is BenchmarkHideDirect behind the observability
+// wrapper; the delta against HideDirect is the full metrics-recording
+// overhead on the encode hot path (budget: <= 5%, see ISSUE/DESIGN §12).
+func BenchmarkHideObserved(b *testing.B) {
+	benchHide(b, OpenVendorA(12345).WithObservability(NewMetrics(0)))
+}
+
 func benchHide(b *testing.B, dev *Device) {
 	b.Helper()
 	h, err := dev.NewHider([]byte("bench key"), Robust)

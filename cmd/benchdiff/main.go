@@ -1,0 +1,178 @@
+// Command benchdiff is the bench-regression gate: it compares a freshly
+// generated benchmark JSON (cmd/experiments -benchjson or -devbenchjson)
+// against the committed baseline and fails when the run got slower than
+// the configured tolerance. CI wires it as a non-blocking job (make
+// bench-check) so shared-runner noise never blocks a merge, while real
+// regressions still show up red at a glance.
+//
+// Usage:
+//
+//	benchdiff -baseline BENCH_parallel.json -fresh fresh.json [-tolerance 0.25]
+//
+// The tolerance is a fractional slowdown budget: 0.25 allows the fresh
+// run to be up to 25% slower. The default comes from the
+// STASHFLASH_BENCH_TOLERANCE environment variable when set (CI knob),
+// else 0.25. The gate fails when the suite total exceeds the budget, or
+// when any single experiment exceeds twice the budget (single-experiment
+// noise is larger than suite noise, so the per-experiment bar is looser);
+// experiments under 5ms in the baseline are reported but never fail the
+// gate. Both the parallel schema (workersN_ms) and the device schema
+// (onfi_ms/direct_ms) are understood.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+)
+
+// entry carries the per-experiment fields of both benchmark schemas;
+// unset fields decode as zero.
+type entry struct {
+	ID         string  `json:"id"`
+	Workers1Ms float64 `json:"workers1_ms"`
+	WorkersNMs float64 `json:"workersN_ms"`
+	DirectMs   float64 `json:"direct_ms"`
+	ONFIMs     float64 `json:"onfi_ms"`
+}
+
+// headlineMs returns the wall-clock number the gate compares: the
+// parallel run at full fan-out, or the ONFI-backend run for the device
+// schema (the slower, more fragile column).
+func (e entry) headlineMs() float64 {
+	if e.WorkersNMs > 0 {
+		return e.WorkersNMs
+	}
+	return e.ONFIMs
+}
+
+// report is the subset of both benchmark documents the gate reads.
+type report struct {
+	Scale       string  `json:"scale"`
+	Experiments []entry `json:"experiments"`
+	TotalNMs    float64 `json:"total_workersN_ms"`
+	TotalONFIMs float64 `json:"total_onfi_ms"`
+}
+
+func (r report) totalMs() float64 {
+	if r.TotalNMs > 0 {
+		return r.TotalNMs
+	}
+	if r.TotalONFIMs > 0 {
+		return r.TotalONFIMs
+	}
+	var t float64
+	for _, e := range r.Experiments {
+		t += e.headlineMs()
+	}
+	return t
+}
+
+// minGateMs is the baseline floor below which a single experiment is too
+// fast to gate on: scheduler noise dominates sub-5ms timings.
+const minGateMs = 5.0
+
+// compare applies the gate. It returns one human-readable line per
+// comparison and whether the gate failed.
+func compare(baseline, fresh report, tol float64) (lines []string, failed bool) {
+	base := make(map[string]entry, len(baseline.Experiments))
+	for _, e := range baseline.Experiments {
+		base[e.ID] = e
+	}
+	perExpTol := 2 * tol
+	for _, f := range fresh.Experiments {
+		b, ok := base[f.ID]
+		if !ok {
+			lines = append(lines, fmt.Sprintf("%-10s new experiment (no baseline), %8.1fms", f.ID, f.headlineMs()))
+			continue
+		}
+		delete(base, f.ID)
+		bms, fms := b.headlineMs(), f.headlineMs()
+		if bms <= 0 {
+			continue
+		}
+		ratio := fms / bms
+		switch {
+		case bms < minGateMs:
+			lines = append(lines, fmt.Sprintf("%-10s %8.1fms -> %8.1fms (%.2fx) below %gms floor, not gated", f.ID, bms, fms, ratio, minGateMs))
+		case ratio > 1+perExpTol:
+			failed = true
+			lines = append(lines, fmt.Sprintf("%-10s %8.1fms -> %8.1fms (%.2fx) FAIL: exceeds per-experiment budget %.2fx", f.ID, bms, fms, ratio, 1+perExpTol))
+		case ratio > 1+tol:
+			lines = append(lines, fmt.Sprintf("%-10s %8.1fms -> %8.1fms (%.2fx) WARN: above %.2fx", f.ID, bms, fms, ratio, 1+tol))
+		default:
+			lines = append(lines, fmt.Sprintf("%-10s %8.1fms -> %8.1fms (%.2fx) ok", f.ID, bms, fms, ratio))
+		}
+	}
+	for id := range base {
+		failed = true
+		lines = append(lines, fmt.Sprintf("%-10s FAIL: present in baseline but missing from fresh run", id))
+	}
+	bt, ft := baseline.totalMs(), fresh.totalMs()
+	if bt > 0 {
+		ratio := ft / bt
+		verdict := "ok"
+		if ratio > 1+tol {
+			failed = true
+			verdict = fmt.Sprintf("FAIL: exceeds total budget %.2fx", 1+tol)
+		}
+		lines = append(lines, fmt.Sprintf("%-10s %8.1fms -> %8.1fms (%.2fx) %s", "TOTAL", bt, ft, ratio, verdict))
+	}
+	return lines, failed
+}
+
+// defaultTolerance resolves the budget: $STASHFLASH_BENCH_TOLERANCE when
+// parseable, else 0.25.
+func defaultTolerance() float64 {
+	if v := os.Getenv("STASHFLASH_BENCH_TOLERANCE"); v != "" {
+		if f, err := strconv.ParseFloat(v, 64); err == nil && f > 0 {
+			return f
+		}
+		fmt.Fprintf(os.Stderr, "benchdiff: ignoring unparseable STASHFLASH_BENCH_TOLERANCE=%q\n", v)
+	}
+	return 0.25
+}
+
+func load(path string) (report, error) {
+	var r report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "", "committed benchmark JSON (required)")
+	freshPath := flag.String("fresh", "", "freshly generated benchmark JSON (required)")
+	tolerance := flag.Float64("tolerance", defaultTolerance(), "fractional slowdown budget (0.25 = 25% slower allowed; default from STASHFLASH_BENCH_TOLERANCE)")
+	flag.Parse()
+	if *baselinePath == "" || *freshPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -baseline and -fresh are required")
+		os.Exit(2)
+	}
+	baseline, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	fresh, err := load(*freshPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	lines, failed := compare(baseline, fresh, *tolerance)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	if failed {
+		fmt.Printf("benchdiff: REGRESSION against %s (tolerance %.0f%%)\n", *baselinePath, *tolerance*100)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: ok against %s (tolerance %.0f%%)\n", *baselinePath, *tolerance*100)
+}

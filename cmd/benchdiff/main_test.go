@@ -1,0 +1,146 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func parallelReport(fig2, faults, total float64) report {
+	return report{
+		Scale: "ci",
+		Experiments: []entry{
+			{ID: "fig2", Workers1Ms: fig2 * 3, WorkersNMs: fig2},
+			{ID: "faults", Workers1Ms: faults * 3, WorkersNMs: faults},
+		},
+		TotalNMs: total,
+	}
+}
+
+func hasLine(lines []string, substr string) bool {
+	for _, l := range lines {
+		if strings.Contains(l, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCompareWithinTolerancePasses(t *testing.T) {
+	base := parallelReport(100, 50, 150)
+	fresh := parallelReport(110, 55, 165) // 10% slower everywhere
+	lines, failed := compare(base, fresh, 0.25)
+	if failed {
+		t.Fatalf("10%% slowdown failed at 25%% tolerance:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+func TestCompareTotalRegressionFails(t *testing.T) {
+	base := parallelReport(100, 50, 150)
+	fresh := parallelReport(130, 65, 195) // 30% slower total, per-exp under 2x budget
+	lines, failed := compare(base, fresh, 0.25)
+	if !failed {
+		t.Fatalf("30%% total slowdown passed at 25%% tolerance:\n%s", strings.Join(lines, "\n"))
+	}
+	if !hasLine(lines, "TOTAL") || !hasLine(lines, "exceeds total budget") {
+		t.Errorf("missing total-budget verdict:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+func TestComparePerExperimentRegressionFails(t *testing.T) {
+	base := parallelReport(100, 50, 150)
+	// fig2 balloons 2x (> 1+2*0.25) while the total stays inside budget.
+	fresh := report{
+		Experiments: []entry{
+			{ID: "fig2", WorkersNMs: 200},
+			{ID: "faults", WorkersNMs: 10},
+		},
+		TotalNMs: 170,
+	}
+	lines, failed := compare(base, fresh, 0.25)
+	if !failed {
+		t.Fatalf("2x single-experiment slowdown passed:\n%s", strings.Join(lines, "\n"))
+	}
+	if !hasLine(lines, "per-experiment budget") {
+		t.Errorf("missing per-experiment verdict:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+func TestCompareWarnBetweenBudgets(t *testing.T) {
+	base := parallelReport(100, 50, 150)
+	// fig2 is 40% slower: above tol (25%) but below 2*tol (50%) — warn only,
+	// and the total stays inside budget.
+	fresh := parallelReport(140, 30, 170)
+	lines, failed := compare(base, fresh, 0.25)
+	if failed {
+		t.Fatalf("warn-band slowdown failed the gate:\n%s", strings.Join(lines, "\n"))
+	}
+	if !hasLine(lines, "WARN") {
+		t.Errorf("missing WARN line:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+func TestCompareTinyExperimentsNotGated(t *testing.T) {
+	base := report{
+		Experiments: []entry{{ID: "tiny", WorkersNMs: 1}},
+		TotalNMs:    1,
+	}
+	fresh := report{
+		Experiments: []entry{{ID: "tiny", WorkersNMs: 4}},
+		TotalNMs:    1, // keep the total inside budget; only the floor is under test
+	}
+	lines, failed := compare(base, fresh, 0.25)
+	if failed {
+		t.Fatalf("sub-floor experiment failed the gate:\n%s", strings.Join(lines, "\n"))
+	}
+	if !hasLine(lines, "not gated") {
+		t.Errorf("missing floor annotation:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+func TestCompareMissingExperimentFails(t *testing.T) {
+	base := parallelReport(100, 50, 150)
+	fresh := report{
+		Experiments: []entry{{ID: "fig2", WorkersNMs: 100}},
+		TotalNMs:    100,
+	}
+	lines, failed := compare(base, fresh, 0.25)
+	if !failed {
+		t.Fatalf("missing experiment passed:\n%s", strings.Join(lines, "\n"))
+	}
+	if !hasLine(lines, "missing from fresh run") {
+		t.Errorf("missing missing-experiment verdict:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+func TestCompareDeviceSchema(t *testing.T) {
+	base := report{
+		Experiments: []entry{{ID: "fig2", DirectMs: 40, ONFIMs: 100}},
+		TotalONFIMs: 100,
+	}
+	fresh := report{
+		Experiments: []entry{{ID: "fig2", DirectMs: 40, ONFIMs: 105}},
+		TotalONFIMs: 105,
+	}
+	lines, failed := compare(base, fresh, 0.25)
+	if failed {
+		t.Fatalf("5%% device-schema slowdown failed:\n%s", strings.Join(lines, "\n"))
+	}
+	if !hasLine(lines, "105.0ms") {
+		t.Errorf("device schema onfi_ms column not used:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+func TestDefaultTolerance(t *testing.T) {
+	t.Setenv("STASHFLASH_BENCH_TOLERANCE", "")
+	if got := defaultTolerance(); got != 0.25 {
+		t.Errorf("defaultTolerance() = %v, want 0.25", got)
+	}
+	t.Setenv("STASHFLASH_BENCH_TOLERANCE", "0.5")
+	if got := defaultTolerance(); got != 0.5 {
+		t.Errorf("defaultTolerance() with env 0.5 = %v", got)
+	}
+	t.Setenv("STASHFLASH_BENCH_TOLERANCE", "bogus")
+	if got := defaultTolerance(); got != 0.25 {
+		t.Errorf("defaultTolerance() with bogus env = %v, want 0.25", got)
+	}
+}

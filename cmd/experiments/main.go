@@ -9,6 +9,8 @@
 //	experiments [-scale ci|paper] fig6 fig10 tbl1 ...
 //	experiments -benchjson BENCH_parallel.json all
 //	experiments -devbenchjson BENCH_device.json all
+//	experiments -metricsjson metrics.json [-trace 256 -backend onfi] all
+//	experiments -debug-addr localhost:6060 -scale paper all
 //
 // -workers bounds the experiment engine's fan-out across independent
 // chips, blocks and replicate points (0 = auto: STASHFLASH_WORKERS, else
@@ -20,6 +22,14 @@
 // selected worker count and writes the comparison as JSON; -devbenchjson
 // times each experiment at backend=direct and backend=onfi and writes
 // the per-backend cost comparison.
+//
+// -metricsjson wraps every work unit's device in the observability
+// decorator (internal/obs) and writes the aggregated per-operation
+// counters, latency histograms, typed-error tallies and block wear/read
+// tallies as JSON after the run (schema documented in EXPERIMENTS.md);
+// -trace N additionally retains the last N ONFI bus cycles when running
+// -backend onfi. -debug-addr serves net/http/pprof and expvar (plus the
+// live metrics snapshot at /debug/metrics) for the duration of the run.
 package main
 
 import (
@@ -31,6 +41,7 @@ import (
 	"time"
 
 	"stashflash/internal/experiments"
+	"stashflash/internal/obs"
 	"stashflash/internal/parallel"
 )
 
@@ -64,6 +75,9 @@ func main() {
 	backend := flag.String("backend", "", "device backend: direct (default) or onfi (bus command adapter)")
 	benchJSON := flag.String("benchjson", "", "time each experiment at workers=1 vs -workers and write the comparison to this JSON file")
 	devBenchJSON := flag.String("devbenchjson", "", "time each experiment at backend=direct vs backend=onfi and write the comparison to this JSON file")
+	metricsJSON := flag.String("metricsjson", "", "record per-operation device metrics across the run and write the snapshot to this JSON file (schema: EXPERIMENTS.md)")
+	traceCycles := flag.Int("trace", 0, "with -metricsjson: keep the last N ONFI bus cycles in the snapshot (needs -backend onfi)")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and expvar debug endpoints on this address for the duration of the run (e.g. localhost:6060)")
 	flag.Parse()
 
 	if *list {
@@ -95,6 +109,20 @@ func main() {
 		os.Exit(2)
 	}
 
+	var collector *obs.Collector
+	if *metricsJSON != "" || *debugAddr != "" {
+		collector = obs.NewCollector(*traceCycles)
+		scale.Metrics = collector
+	}
+	if *debugAddr != "" {
+		ln, err := obs.ServeDebug(*debugAddr, collector)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: debug server:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: debug server on http://%s/debug/\n", ln.Addr())
+	}
+
 	ids := flag.Args()
 	if len(ids) == 0 {
 		fmt.Fprintln(os.Stderr, "experiments: name experiments to run, or \"all\" (see -list)")
@@ -119,6 +147,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
+		writeMetrics(*metricsJSON, collector)
 		return
 	}
 	if *devBenchJSON != "" {
@@ -126,6 +155,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
+		writeMetrics(*metricsJSON, collector)
 		return
 	}
 
@@ -143,6 +173,26 @@ func main() {
 			r.WriteText(os.Stdout)
 		}
 	}
+	writeMetrics(*metricsJSON, collector)
+}
+
+// writeMetrics dumps the collector snapshot to path, if both are set.
+func writeMetrics(path string, c *obs.Collector) {
+	if path == "" || c == nil {
+		return
+	}
+	f, err := os.Create(path)
+	if err == nil {
+		err = c.WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: metrics:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "experiments: wrote device metrics snapshot to %s\n", path)
 }
 
 // runBench times each experiment serial then parallel and writes the

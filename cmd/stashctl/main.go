@@ -12,20 +12,34 @@
 //	stashctl reveal -image dev.img -key SECRET -block B -page P -n len [-config robust|standard|enhanced]
 //	stashctl erase  -image dev.img -block B
 //	stashctl probe  -image dev.img -block B -page P
-//	stashctl stats  -image dev.img
+//	stashctl stats  -image dev.img [-json] [-debug-addr localhost:6060]
+//
+// Every command drives the device through the observability decorator
+// (internal/obs); "stats -json" emits the device inventory, the
+// persisted operation ledger, and the per-operation metrics snapshot of
+// this invocation as one JSON document. "stats -debug-addr" serves
+// net/http/pprof and expvar until interrupted.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand/v2"
 	"os"
+	"os/signal"
 
 	"stashflash/internal/core"
 	"stashflash/internal/nand"
+	"stashflash/internal/obs"
 	"stashflash/internal/stats"
 )
+
+// metrics collects the device operations of this invocation; every
+// command wraps its chip in the observability decorator so the stats
+// command (and future long-running modes) can export them.
+var metrics = obs.NewCollector(0)
 
 func main() {
 	if len(os.Args) < 2 {
@@ -77,6 +91,16 @@ func loadChip(path string) (*nand.Chip, error) {
 	}
 	defer f.Close()
 	return nand.Load(f)
+}
+
+// loadDevice opens an image and returns the instrumented device to drive
+// plus the underlying chip (needed only to save the image back).
+func loadDevice(path string) (*obs.Device, *nand.Chip, error) {
+	chip, err := loadChip(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return metrics.Wrap(chip), chip, nil
 }
 
 // imageSaver is the persistence capability stashctl needs from a device;
@@ -205,11 +229,11 @@ func cmdWrite(args []string) error {
 	if err := p.validate(false); err != nil {
 		return err
 	}
-	chip, err := loadChip(*p.image)
+	dev, chip, err := loadDevice(*p.image)
 	if err != nil {
 		return err
 	}
-	h, err := publicHider(chip, "robust")
+	h, err := publicHider(dev, "robust")
 	if err != nil {
 		return err
 	}
@@ -240,11 +264,11 @@ func cmdRead(args []string) error {
 	if err := p.validate(false); err != nil {
 		return err
 	}
-	chip, err := loadChip(*p.image)
+	dev, _, err := loadDevice(*p.image)
 	if err != nil {
 		return err
 	}
-	h, err := publicHider(chip, "robust")
+	h, err := publicHider(dev, "robust")
 	if err != nil {
 		return err
 	}
@@ -271,7 +295,7 @@ func cmdHide(args []string) error {
 	if *msg == "" {
 		return fmt.Errorf("hide: -msg is required")
 	}
-	chip, err := loadChip(*p.image)
+	dev, chip, err := loadDevice(*p.image)
 	if err != nil {
 		return err
 	}
@@ -279,7 +303,7 @@ func cmdHide(args []string) error {
 	if err != nil {
 		return err
 	}
-	h, err := core.NewHider(chip, []byte(*p.key), cfg)
+	h, err := core.NewHider(dev, []byte(*p.key), cfg)
 	if err != nil {
 		return err
 	}
@@ -309,7 +333,7 @@ func cmdReveal(args []string) error {
 	if *n <= 0 {
 		return fmt.Errorf("reveal: -n is required")
 	}
-	chip, err := loadChip(*p.image)
+	dev, chip, err := loadDevice(*p.image)
 	if err != nil {
 		return err
 	}
@@ -317,7 +341,7 @@ func cmdReveal(args []string) error {
 	if err != nil {
 		return err
 	}
-	h, err := core.NewHider(chip, []byte(*p.key), cfg)
+	h, err := core.NewHider(dev, []byte(*p.key), cfg)
 	if err != nil {
 		return err
 	}
@@ -341,17 +365,17 @@ func cmdErase(args []string) error {
 	if *image == "" {
 		return fmt.Errorf("erase: -image is required")
 	}
-	chip, err := loadChip(*image)
+	dev, chip, err := loadDevice(*image)
 	if err != nil {
 		return err
 	}
-	if err := chip.EraseBlock(*block); err != nil {
+	if err := dev.EraseBlock(*block); err != nil {
 		return fmt.Errorf("erase: %w", err)
 	}
 	if err := saveChip(*image, chip); err != nil {
 		return err
 	}
-	fmt.Printf("erased block %d (PEC now %d); any hidden payloads in it are gone\n", *block, chip.PEC(*block))
+	fmt.Printf("erased block %d (PEC now %d); any hidden payloads in it are gone\n", *block, dev.PEC(*block))
 	return nil
 }
 
@@ -362,17 +386,17 @@ func cmdProbe(args []string) error {
 	if err := p.validate(false); err != nil {
 		return err
 	}
-	chip, err := loadChip(*p.image)
+	dev, _, err := loadDevice(*p.image)
 	if err != nil {
 		return err
 	}
-	levels, err := chip.ProbePage(p.addr())
+	levels, err := dev.ProbePage(p.addr())
 	if err != nil {
 		return err
 	}
 	erased := stats.NewHistogram(0, 256, 256)
 	programmed := stats.NewHistogram(0, 256, 256)
-	ref := chip.Model().ReadRef
+	ref := dev.Model().ReadRef
 	for _, v := range levels {
 		if float64(v) < ref {
 			erased.Add(float64(v))
@@ -388,31 +412,77 @@ func cmdProbe(args []string) error {
 	return nil
 }
 
+// statsDoc is the JSON document "stats -json" emits: device inventory,
+// the ledger persisted in the image (cumulative across invocations), and
+// the observability snapshot of this invocation's operations.
+type statsDoc struct {
+	Model     string       `json:"model"`
+	Blocks    int          `json:"blocks"`
+	Pages     int          `json:"pages_per_block"`
+	PageBytes int          `json:"page_bytes"`
+	MaxPEC    int          `json:"max_pec"`
+	RatedPEC  int          `json:"rated_pec"`
+	BadBlocks []int        `json:"bad_blocks,omitempty"`
+	Ledger    nand.Ledger  `json:"ledger"`
+	Metrics   obs.Snapshot `json:"metrics"`
+}
+
 func cmdStats(args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	image := fs.String("image", "", "device image path (required)")
+	asJSON := fs.Bool("json", false, "emit the stats document as JSON (inventory, ledger, metrics snapshot)")
+	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof and expvar on this address until interrupted")
 	fs.Parse(args)
 	if *image == "" {
 		return fmt.Errorf("stats: -image is required")
 	}
-	chip, err := loadChip(*image)
+	dev, _, err := loadDevice(*image)
 	if err != nil {
 		return err
 	}
-	m := chip.Model()
-	l := chip.Ledger()
-	fmt.Printf("model      : %s\n", m.Name)
-	fmt.Printf("geometry   : %d blocks x %d pages x %d bytes (%.1f MiB)\n",
-		m.Blocks, m.PagesPerBlock, m.PageBytes, float64(m.TotalBytes())/(1<<20))
+	m := dev.Model()
+	l := dev.Ledger()
 	maxPEC := 0
 	for b := 0; b < m.Blocks; b++ {
-		if p := chip.PEC(b); p > maxPEC {
+		if p := dev.PEC(b); p > maxPEC {
 			maxPEC = p
 		}
 	}
-	fmt.Printf("max PEC    : %d (rated %d)\n", maxPEC, m.RatedPEC)
-	fmt.Printf("ops        : %d reads, %d programs, %d erases, %d partial programs, %d probes\n",
-		l.Reads, l.Programs, l.Erases, l.PartialPrograms, l.Probes)
-	fmt.Printf("bus time   : %v   energy: %.1f mJ\n", l.Time, l.EnergyUJ/1000)
+	if *asJSON {
+		doc := statsDoc{
+			Model:     m.Name,
+			Blocks:    m.Blocks,
+			Pages:     m.PagesPerBlock,
+			PageBytes: m.PageBytes,
+			MaxPEC:    maxPEC,
+			RatedPEC:  m.RatedPEC,
+			BadBlocks: dev.GrownBadBlocks(),
+			Ledger:    l,
+			Metrics:   metrics.Snapshot(),
+		}
+		out, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+	} else {
+		fmt.Printf("model      : %s\n", m.Name)
+		fmt.Printf("geometry   : %d blocks x %d pages x %d bytes (%.1f MiB)\n",
+			m.Blocks, m.PagesPerBlock, m.PageBytes, float64(m.TotalBytes())/(1<<20))
+		fmt.Printf("max PEC    : %d (rated %d)\n", maxPEC, m.RatedPEC)
+		fmt.Printf("ops        : %d reads, %d programs, %d erases, %d partial programs, %d probes\n",
+			l.Reads, l.Programs, l.Erases, l.PartialPrograms, l.Probes)
+		fmt.Printf("bus time   : %v   energy: %.1f mJ\n", l.Time, l.EnergyUJ/1000)
+	}
+	if *debugAddr != "" {
+		ln, err := obs.ServeDebug(*debugAddr, metrics)
+		if err != nil {
+			return fmt.Errorf("stats: debug server: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "stats: debug server on http://%s/debug/ — interrupt to exit\n", ln.Addr())
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
+	}
 	return nil
 }

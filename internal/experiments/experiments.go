@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"stashflash/internal/nand"
+	"stashflash/internal/obs"
 	"stashflash/internal/stats"
 )
 
@@ -60,6 +61,12 @@ type Scale struct {
 	// which is bit-identical by construction. Results are a function of
 	// Seed alone, never of Backend.
 	Backend string
+	// Metrics, when non-nil, wraps every work unit's device in the
+	// observability decorator (internal/obs) recording per-op counters
+	// and latency histograms into the collector. The wrapper is
+	// results-transparent: Results are a function of Seed alone, never
+	// of Metrics (see obs_test.go).
+	Metrics *obs.Collector
 }
 
 // CIScale keeps every experiment under a few tens of seconds.

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"testing"
+
+	"stashflash/internal/obs"
+)
+
+// TestObservabilityTransparent is the acceptance proof for the
+// observability decorator: wrapping every work unit's device in
+// obs.Device must leave experiment Results bit-identical — at workers=1
+// and workers=8, over both device backends — because the wrapper only
+// counts and times, never touches data, errors or PRNG streams. fig2
+// (chip-sample fan-out, pure characterisation) and faults (typed errors,
+// retries, recovery — the path where a non-transparent wrapper would
+// perturb the most) stand for the suite.
+func TestObservabilityTransparent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runs in -short mode")
+	}
+	for _, id := range []string{"fig2", "faults"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, err := Lookup(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			run := func(backend string, workers int, m *obs.Collector) string {
+				s := tinyScale()
+				s.Backend = backend
+				s.Workers = workers
+				s.Metrics = m
+				r, err := e.Run(s)
+				if err != nil {
+					t.Fatalf("backend=%q workers=%d metrics=%v: %v", backend, workers, m != nil, err)
+				}
+				return renderText(t, r)
+			}
+			bare := run("", 1, nil)
+			for _, c := range []struct {
+				backend string
+				workers int
+			}{{"", 1}, {"", 8}, {"onfi", 1}, {"onfi", 8}} {
+				m := obs.NewCollector(0)
+				if got := run(c.backend, c.workers, m); got != bare {
+					t.Errorf("wrapped run (backend=%q workers=%d) differs from bare run\n--- bare ---\n%s\n--- wrapped ---\n%s",
+						c.backend, c.workers, bare, got)
+				}
+				snap := m.Snapshot()
+				if snap.Devices == 0 {
+					t.Errorf("backend=%q workers=%d: collector wrapped no devices", c.backend, c.workers)
+				}
+				var total uint64
+				for _, o := range snap.Ops {
+					total += o.Count
+				}
+				if total == 0 {
+					t.Errorf("backend=%q workers=%d: collector recorded no operations", c.backend, c.workers)
+				}
+			}
+		})
+	}
+}
+
+// TestObservabilityTraceOverONFI checks the flight recorder end to end
+// through the experiment engine: a traced collector over the onfi
+// backend retains bus cycles in its snapshot.
+func TestObservabilityTraceOverONFI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run in -short mode")
+	}
+	m := obs.NewCollector(128)
+	s := tinyScale()
+	s.Backend = "onfi"
+	s.Metrics = m
+	if _, err := Fig2(s); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	if snap.TraceRecorded == 0 || len(snap.Trace) == 0 {
+		t.Fatalf("trace empty after onfi run: recorded %d retained %d", snap.TraceRecorded, len(snap.Trace))
+	}
+	if len(snap.Trace) > 128 {
+		t.Errorf("trace retained %d cycles, cap 128", len(snap.Trace))
+	}
+}

@@ -59,11 +59,16 @@ func (s Scale) rng(domain string, path ...uint64) *rand.Rand {
 func (s Scale) tester(m nand.Model, domain string, path ...uint64) *tester.Tester {
 	chipSeed, _ := s.subSeed(domain+"/chip", path...)
 	hostSeed, _ := s.subSeed(domain+"/host", path...)
-	chip := nand.NewChip(m, chipSeed)
+	var dev nand.LabDevice = nand.NewChip(m, chipSeed)
 	if s.Backend == "onfi" {
-		return tester.New(onfi.NewDevice(chip), hostSeed)
+		dev = onfi.NewDevice(dev.(*nand.Chip))
 	}
-	return tester.New(chip, hostSeed)
+	if s.Metrics != nil {
+		// The observability decorator forwards every operation verbatim;
+		// Results stay bit-identical with or without it (obs_test.go).
+		dev = s.Metrics.Wrap(dev)
+	}
+	return tester.New(dev, hostSeed)
 }
 
 // workers resolves the effective fan-out width for this run: an explicit

@@ -21,6 +21,9 @@ import "time"
 //
 // Implementations: *Chip (the voltage-level simulator, direct calls) and
 // *onfi.Device (the same chip driven purely through bus command cycles).
+// *obs.Device decorates either with per-operation metrics recording; it
+// forwards every call verbatim, so the interfaces here are also the
+// transparency contract instrumentation must honour.
 //
 // # Concurrency
 //

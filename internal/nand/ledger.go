@@ -8,17 +8,19 @@ import "time"
 // exactly this arithmetic — "our calculations do not take into account data
 // transfer and hardware overheads" — so the ledger reproduces them from the
 // same per-operation constants.
+// The JSON tags serve the observability exports (cmd/stashctl stats
+// -json); Time marshals as nanoseconds, per time.Duration.
 type Ledger struct {
-	Reads           int64
-	Programs        int64
-	Erases          int64
-	PartialPrograms int64
-	Probes          int64
+	Reads           int64 `json:"reads"`
+	Programs        int64 `json:"programs"`
+	Erases          int64 `json:"erases"`
+	PartialPrograms int64 `json:"partial_programs"`
+	Probes          int64 `json:"probes"`
 
 	// Time is the summed nominal latency of all operations.
-	Time time.Duration
+	Time time.Duration `json:"time_ns"`
 	// EnergyUJ is the summed nominal energy in microjoules.
-	EnergyUJ float64
+	EnergyUJ float64 `json:"energy_uj"`
 }
 
 // Add accumulates another ledger into this one.

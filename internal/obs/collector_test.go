@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+
+	"stashflash/internal/nand"
+)
+
+// TestBucketOf pins the log-2 bucket boundaries: bucket i covers
+// [2^(i-1), 2^i) nanoseconds, bucket 0 is sub-nanosecond, and the last
+// bucket absorbs everything above the covered range.
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{-5, 0},
+		{1, 1},
+		{2, 2},
+		{3, 2},
+		{4, 3},
+		{1023, 10},
+		{1024, 11},
+		{time.Hour, histBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.d); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	for i := 1; i < histBuckets; i++ {
+		lo := BucketLowNs(i)
+		if got := bucketOf(time.Duration(lo)); got != i {
+			t.Errorf("bucketOf(BucketLowNs(%d)=%d) = %d, want %d", i, lo, got, i)
+		}
+	}
+}
+
+// TestShardedConcurrency hammers the collector from many goroutines —
+// each driving its own wrapped device, per the nand.Device concurrency
+// contract — while a reader takes snapshots mid-flight. Run under
+// -race, this is the lock-sharding proof; the mid-flight snapshots also
+// assert the no-torn-counters invariant (every op's bucket sum equals
+// its count, since both move under one shard lock), and the final
+// snapshot must account for every operation exactly.
+func TestShardedConcurrency(t *testing.T) {
+	const (
+		goroutines = 8
+		readsEach  = 400
+	)
+	c := NewCollector(0)
+
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	go func() { // snapshot reader racing the writers
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			snap := c.Snapshot()
+			for op, o := range snap.Ops {
+				var sum uint64
+				for _, b := range o.Buckets {
+					sum += b
+				}
+				if sum != o.Count {
+					t.Errorf("torn counters: ops[%q] bucket sum %d != count %d", op, sum, o.Count)
+					return
+				}
+			}
+		}
+	}()
+
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			d := c.Wrap(tinyChip(uint64(g + 1)))
+			a := nand.PageAddr{Block: g % 4, Page: 0}
+			for i := 0; i < readsEach; i++ {
+				if _, err := d.ReadPage(a); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(done)
+
+	snap := c.Snapshot()
+	if got := snap.Ops["read"].Count; got != goroutines*readsEach {
+		t.Errorf("final read count = %d, want %d", got, goroutines*readsEach)
+	}
+	if snap.Devices != goroutines {
+		t.Errorf("devices_wrapped = %d, want %d", snap.Devices, goroutines)
+	}
+	var blockReads uint64
+	for _, n := range snap.BlockReads {
+		blockReads += n
+	}
+	if blockReads != goroutines*readsEach {
+		t.Errorf("block_reads total = %d, want %d", blockReads, goroutines*readsEach)
+	}
+}
+
+// TestSnapshotJSONSchema smoke-tests the exported document: ops that
+// never ran are omitted, JSON round-trips, and the histogram is trimmed.
+func TestSnapshotJSONSchema(t *testing.T) {
+	c := NewCollector(0)
+	d := c.Wrap(tinyChip(5))
+	if err := d.EraseBlock(0); err != nil {
+		t.Fatal(err)
+	}
+	snap := c.Snapshot()
+	if _, ok := snap.Ops["probe"]; ok {
+		t.Error("ops[probe] present with zero count; zero ops must be omitted")
+	}
+	e, ok := snap.Ops["erase"]
+	if !ok || e.Count != 1 {
+		t.Fatalf("ops[erase] = %+v, want count 1", e)
+	}
+	if len(e.Buckets) == 0 || e.Buckets[len(e.Buckets)-1] == 0 {
+		t.Errorf("histogram not trimmed to last non-zero bucket: %v", e.Buckets)
+	}
+	if e.TotalNs == 0 {
+		t.Error("total_ns = 0, want > 0")
+	}
+
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var round Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatalf("snapshot does not round-trip as JSON: %v", err)
+	}
+	if round.Ops["erase"].Count != 1 {
+		t.Errorf("round-tripped erase count = %d, want 1", round.Ops["erase"].Count)
+	}
+}

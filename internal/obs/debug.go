@@ -1,0 +1,60 @@
+package obs
+
+// The debug server is the only place in the repository allowed to import
+// net/http/pprof and expvar (enforced by the Makefile's lint gate): both
+// packages register handlers on import, and keeping them here makes the
+// debug surface strictly opt-in — no listener, no handler, unless a CLI
+// was started with -debug-addr.
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// expvarOnce guards the process-wide expvar publication (expvar.Publish
+// panics on duplicate names, and tests may start several servers).
+var expvarOnce sync.Once
+
+// ServeDebug starts an HTTP debug server on addr exposing:
+//
+//	/debug/pprof/...   net/http/pprof profiles
+//	/debug/vars        expvar (includes the "stashflash" metrics var)
+//	/debug/metrics     the collector snapshot as indented JSON
+//
+// The collector snapshot is also published process-wide as the expvar
+// variable "stashflash", so generic expvar scrapers pick it up. The
+// server runs on its own mux (nothing leaks onto http.DefaultServeMux
+// beyond expvar's own init registration) and its own goroutine; the
+// returned listener lets callers learn the bound address and shut the
+// server down. c may be nil to serve pprof/expvar only.
+func ServeDebug(addr string, c *Collector) (net.Listener, error) {
+	if c != nil {
+		expvarOnce.Do(func() {
+			expvar.Publish("stashflash", expvar.Func(func() any { return c.Snapshot() }))
+		})
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	if c != nil {
+		mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			if err := c.WriteJSON(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() { _ = http.Serve(ln, mux) }()
+	return ln, nil
+}

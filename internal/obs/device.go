@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"time"
+
+	"stashflash/internal/nand"
+	"stashflash/internal/onfi"
+)
+
+// Device decorates a nand.LabDevice with metrics recording. Every
+// operation is forwarded verbatim — same arguments, same return values,
+// same errors — so a wrapped backend is results-transparent: the only
+// side effects are counter updates in the owning Collector. It follows
+// the nand.Device concurrency contract (one device per goroutine); the
+// Collector it records into is shared and concurrency-safe.
+type Device struct {
+	inner nand.LabDevice
+	sh    *shard
+
+	// Retry detection: a device-level retry is the re-issue of the same
+	// operation kind against the same address immediately after that
+	// operation failed there (the pattern core.Hider's fault recovery
+	// produces). Tracking it needs only the last failure, and the device
+	// is single-goroutine by contract, so no lock is taken.
+	failedOp    Op
+	failedBlock int
+	failedPage  int
+	failed      bool
+}
+
+// The wrapper preserves the full lab surface of whatever it wraps.
+var _ nand.LabDevice = (*Device)(nil)
+
+// Wrap decorates a device with metrics recording into c. The device is
+// bound to one collector shard round-robin, so devices driven by
+// different workers record without contending. If the collector has a
+// trace ring and the backend is the ONFI bus adapter, the ring is
+// attached to the bus as a side effect.
+func (c *Collector) Wrap(d nand.LabDevice) *Device {
+	i := int(c.next.Add(1)-1) & (numShards - 1)
+	c.devices.Add(1)
+	if c.trace != nil {
+		if od, ok := d.(*onfi.Device); ok {
+			od.SetCycleRecorder(c.trace)
+		}
+	}
+	return &Device{inner: d, sh: &c.shards[i], failedBlock: -1, failedPage: -1}
+}
+
+// Inner returns the wrapped device.
+func (d *Device) Inner() nand.LabDevice { return d.inner }
+
+// observe records one forwarded operation: latency, error class, retry
+// detection and block tallies. wear is the erase-equivalent wear the
+// operation adds to the block on success (erase: 1, cycle: n).
+func (d *Device) observe(op Op, block, page int, wear uint64, start time.Time, err error) {
+	retry := d.failed && d.failedOp == op && d.failedBlock == block && d.failedPage == page
+	d.sh.record(op, block, wear, time.Since(start), retry, err)
+	if err != nil {
+		d.failed, d.failedOp, d.failedBlock, d.failedPage = true, op, block, page
+	} else {
+		d.failed = false
+	}
+}
+
+// --- nand.Device (standard commands) -------------------------------------
+
+// Geometry forwards without recording (parameter-page metadata, not an
+// array operation).
+func (d *Device) Geometry() nand.Geometry { return d.inner.Geometry() }
+
+// Model forwards without recording.
+func (d *Device) Model() nand.Model { return d.inner.Model() }
+
+// PEC forwards without recording (controller metadata).
+func (d *Device) PEC(block int) int { return d.inner.PEC(block) }
+
+// IsBadBlock forwards without recording.
+func (d *Device) IsBadBlock(block int) bool { return d.inner.IsBadBlock(block) }
+
+// EraseBlock forwards an erase and records it as one unit of block wear.
+func (d *Device) EraseBlock(block int) error {
+	start := time.Now()
+	err := d.inner.EraseBlock(block)
+	d.observe(OpErase, block, -1, 1, start, err)
+	return err
+}
+
+// CycleBlock forwards a wear fast-forward and records n units of wear.
+func (d *Device) CycleBlock(block, n int) error {
+	start := time.Now()
+	err := d.inner.CycleBlock(block, n)
+	wear := uint64(0)
+	if n > 0 {
+		wear = uint64(n)
+	}
+	d.observe(OpCycle, block, -1, wear, start, err)
+	return err
+}
+
+// ProgramPage forwards a full program.
+func (d *Device) ProgramPage(a nand.PageAddr, data []byte) error {
+	start := time.Now()
+	err := d.inner.ProgramPage(a, data)
+	d.observe(OpProgram, a.Block, a.Page, 0, start, err)
+	return err
+}
+
+// ReadPage forwards a default-reference read.
+func (d *Device) ReadPage(a nand.PageAddr) ([]byte, error) {
+	start := time.Now()
+	data, err := d.inner.ReadPage(a)
+	d.observe(OpRead, a.Block, a.Page, 0, start, err)
+	return data, err
+}
+
+// PartialProgram forwards one PP pulse.
+func (d *Device) PartialProgram(a nand.PageAddr, cells []int) error {
+	start := time.Now()
+	err := d.inner.PartialProgram(a, cells)
+	d.observe(OpPartial, a.Block, a.Page, 0, start, err)
+	return err
+}
+
+// --- nand.VendorDevice ----------------------------------------------------
+
+// ReadPageRef forwards a shifted-reference read.
+func (d *Device) ReadPageRef(a nand.PageAddr, ref float64) ([]byte, error) {
+	start := time.Now()
+	data, err := d.inner.ReadPageRef(a, ref)
+	d.observe(OpReadRef, a.Block, a.Page, 0, start, err)
+	return data, err
+}
+
+// FineProgram forwards a controller-grade fine program.
+func (d *Device) FineProgram(a nand.PageAddr, cells []int, target float64) error {
+	start := time.Now()
+	err := d.inner.FineProgram(a, cells, target)
+	d.observe(OpFine, a.Block, a.Page, 0, start, err)
+	return err
+}
+
+// ProbePage forwards a per-cell characterisation probe.
+func (d *Device) ProbePage(a nand.PageAddr) ([]uint8, error) {
+	start := time.Now()
+	levels, err := d.inner.ProbePage(a)
+	d.observe(OpProbe, a.Block, a.Page, 0, start, err)
+	return levels, err
+}
+
+// NeighborPrograms forwards without recording (firmware bookkeeping, no
+// array activity).
+func (d *Device) NeighborPrograms(a nand.PageAddr) (int, error) {
+	return d.inner.NeighborPrograms(a)
+}
+
+// --- lab capabilities (control plane, forwarded) --------------------------
+
+// SetFaultPlan forwards to the backend's fault-injection control plane.
+func (d *Device) SetFaultPlan(p *nand.FaultPlan) { d.inner.SetFaultPlan(p) }
+
+// FaultPlan forwards to the backend.
+func (d *Device) FaultPlan() *nand.FaultPlan { return d.inner.FaultPlan() }
+
+// PowerCycle forwards the power restore.
+func (d *Device) PowerCycle() { d.inner.PowerCycle() }
+
+// GrownBadBlocks forwards the grown-bad list.
+func (d *Device) GrownBadBlocks() []int { return d.inner.GrownBadBlocks() }
+
+// StressCycleBlock forwards one PT-HI stress cycle; its completing erase
+// is one unit of wear.
+func (d *Device) StressCycleBlock(block int, cellsPerPage [][]int) error {
+	start := time.Now()
+	err := d.inner.StressCycleBlock(block, cellsPerPage)
+	d.observe(OpStress, block, -1, 1, start, err)
+	return err
+}
+
+// StressCells forwards bulk cell stress (no erase, so no wear tally).
+func (d *Device) StressCells(a nand.PageAddr, cells []int, n int) error {
+	start := time.Now()
+	err := d.inner.StressCells(a, cells, n)
+	d.observe(OpStress, a.Block, a.Page, 0, start, err)
+	return err
+}
+
+// AdvanceRetention forwards the retention bake without recording (the
+// bake oven is not a device command).
+func (d *Device) AdvanceRetention(t time.Duration) { d.inner.AdvanceRetention(t) }
+
+// Ledger forwards the backend's cost accounting.
+func (d *Device) Ledger() nand.Ledger { return d.inner.Ledger() }
+
+// ResetLedger forwards the accounting reset.
+func (d *Device) ResetLedger() { d.inner.ResetLedger() }
+
+// DropBlockState forwards the simulator-only state release without
+// recording (not a device command).
+func (d *Device) DropBlockState(block int) error { return d.inner.DropBlockState(block) }
+
+// ProgramPageMLC forwards an MLC-mode program, recorded as a program.
+func (d *Device) ProgramPageMLC(a nand.PageAddr, lower, upper []byte) error {
+	start := time.Now()
+	err := d.inner.ProgramPageMLC(a, lower, upper)
+	d.observe(OpProgram, a.Block, a.Page, 0, start, err)
+	return err
+}
+
+// ReadPageMLC forwards an MLC-mode read, recorded as a read.
+func (d *Device) ReadPageMLC(a nand.PageAddr) (lower, upper []byte, err error) {
+	start := time.Now()
+	lower, upper, err = d.inner.ReadPageMLC(a)
+	d.observe(OpRead, a.Block, a.Page, 0, start, err)
+	return lower, upper, err
+}

@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"errors"
+	"testing"
+
+	"stashflash/internal/nand"
+	"stashflash/internal/onfi"
+)
+
+// tinyChip builds a small chip sample for wrapper tests.
+func tinyChip(seed uint64) *nand.Chip {
+	return nand.NewChip(nand.ModelA().ScaleGeometry(4, 2, 32), seed)
+}
+
+// TestDeviceCounters scripts a known operation sequence and checks every
+// counter the wrapper should move: op counts, latency invariants, block
+// wear/read tallies, typed-error classification and retry detection.
+func TestDeviceCounters(t *testing.T) {
+	c := NewCollector(0)
+	chip := tinyChip(1)
+	d := c.Wrap(chip)
+	if got := c.Devices(); got != 1 {
+		t.Fatalf("Devices() = %d, want 1", got)
+	}
+
+	a := nand.PageAddr{Block: 0, Page: 0}
+	data := make([]byte, chip.Geometry().PageBytes)
+	for i := range data {
+		data[i] = 0xA5
+	}
+
+	if err := d.EraseBlock(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ProgramPage(a, data); err != nil {
+		t.Fatal(err)
+	}
+	// Re-programming without erase is a typed error; the second identical
+	// attempt right after the failure is a device-level retry.
+	if err := d.ProgramPage(a, data); !errors.Is(err, nand.ErrPageProgrammed) {
+		t.Fatalf("second program: err = %v, want ErrPageProgrammed", err)
+	}
+	if err := d.ProgramPage(a, data); !errors.Is(err, nand.ErrPageProgrammed) {
+		t.Fatalf("third program: err = %v, want ErrPageProgrammed", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := d.ReadPage(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := d.ReadPageRef(a, chip.Model().ReadRef+1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.ProbePage(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.PartialProgram(nand.PageAddr{Block: 0, Page: 1}, []int{1, 5, 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CycleBlock(1, 5); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := c.Snapshot()
+	want := map[string]uint64{
+		"erase":           1,
+		"program":         3,
+		"read":            3,
+		"read_ref":        1,
+		"probe":           1,
+		"partial_program": 1,
+		"cycle":           1,
+	}
+	for op, n := range want {
+		got := snap.Ops[op]
+		if got.Count != n {
+			t.Errorf("ops[%q].count = %d, want %d", op, got.Count, n)
+		}
+		var sum uint64
+		for _, b := range got.Buckets {
+			sum += b
+		}
+		if sum != n {
+			t.Errorf("ops[%q] bucket sum = %d, want %d", op, sum, n)
+		}
+	}
+	if got := snap.Ops["program"].Errors; got != 2 {
+		t.Errorf("program errors = %d, want 2", got)
+	}
+	if got := snap.Errors["page_programmed"]; got != 2 {
+		t.Errorf("errors[page_programmed] = %d, want 2", got)
+	}
+	if snap.Retries != 1 {
+		t.Errorf("retries = %d, want 1 (third program retried the failed second)", snap.Retries)
+	}
+	// Reads, the shifted read and the probe all count as read-class
+	// exposure on block 0.
+	if got := snap.BlockReads[0]; got != 5 {
+		t.Errorf("block_reads[0] = %d, want 5", got)
+	}
+	// Erase adds one wear unit to block 0; the cycle fast-forward adds 5
+	// to block 1.
+	if got := snap.BlockWear[0]; got != 1 {
+		t.Errorf("block_wear[0] = %d, want 1", got)
+	}
+	if got := snap.BlockWear[1]; got != 5 {
+		t.Errorf("block_wear[1] = %d, want 5", got)
+	}
+	if len(snap.Trace) != 0 || snap.TraceRecorded != 0 {
+		t.Errorf("trace disabled but snapshot carries %d cycles (recorded %d)", len(snap.Trace), snap.TraceRecorded)
+	}
+}
+
+// TestDeviceTransparency spot-checks the wrapper's contract at the
+// device level: reads and probes through the wrapper return exactly the
+// bytes of the unwrapped chip.
+func TestDeviceTransparency(t *testing.T) {
+	plain := tinyChip(7)
+	wrapped := NewCollector(0).Wrap(tinyChip(7))
+
+	a := nand.PageAddr{Block: 2, Page: 1}
+	data := make([]byte, plain.Geometry().PageBytes)
+	for i := range data {
+		data[i] = byte(i * 13)
+	}
+	for _, dev := range []nand.LabDevice{plain, wrapped} {
+		if err := dev.ProgramPage(a, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pr, err := plain.ReadPage(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wr, err := wrapped.ReadPage(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pr) != string(wr) {
+		t.Error("wrapped read differs from direct read")
+	}
+	pp, err := plain.ProbePage(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wp, err := wrapped.ProbePage(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pp) != string(wp) {
+		t.Error("wrapped probe differs from direct probe")
+	}
+}
+
+// TestWrapAttachesTrace proves that wrapping the ONFI adapter with a
+// tracing collector records the bus cycles of subsequent operations: a
+// full read transaction is a READ latch, an address phase, a READ
+// CONFIRM latch and a data-out transfer.
+func TestWrapAttachesTrace(t *testing.T) {
+	c := NewCollector(64)
+	chip := tinyChip(3)
+	d := c.Wrap(onfi.NewDevice(chip))
+
+	if _, err := d.ReadPage(nand.PageAddr{Block: 1, Page: 0}); err != nil {
+		t.Fatal(err)
+	}
+	cycles := c.Trace().Cycles()
+	if len(cycles) != 4 {
+		t.Fatalf("read transaction recorded %d cycles, want 4: %+v", len(cycles), cycles)
+	}
+	wantKinds := []onfi.CycleKind{onfi.CycleCmd, onfi.CycleAddr, onfi.CycleCmd, onfi.CycleDataOut}
+	wantOps := []byte{onfi.CmdRead, 0, onfi.CmdReadConfirm, 0}
+	for i, cy := range cycles {
+		if cy.Kind != wantKinds[i] {
+			t.Errorf("cycle %d kind = %v, want %v", i, cy.Kind, wantKinds[i])
+		}
+		if cy.Kind == onfi.CycleCmd && cy.Op != wantOps[i] {
+			t.Errorf("cycle %d op = %#02x, want %#02x", i, cy.Op, wantOps[i])
+		}
+		if cy.Status&onfi.StatusFail != 0 {
+			t.Errorf("cycle %d carries status FAIL: %+v", i, cy)
+		}
+	}
+	if cycles[1].Row != chip.Geometry().PagesPerBlock {
+		t.Errorf("address cycle row = %d, want %d", cycles[1].Row, chip.Geometry().PagesPerBlock)
+	}
+	if cycles[3].N != chip.Geometry().PageBytes {
+		t.Errorf("data-out cycle n = %d, want %d", cycles[3].N, chip.Geometry().PageBytes)
+	}
+	snap := c.Snapshot()
+	if snap.TraceRecorded != 4 || len(snap.Trace) != 4 {
+		t.Errorf("snapshot trace: recorded %d retained %d, want 4/4", snap.TraceRecorded, len(snap.Trace))
+	}
+}

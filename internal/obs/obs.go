@@ -1,0 +1,259 @@
+// Package obs is the observability spine of the repository: a
+// zero-dependency metrics layer that watches the device boundary while
+// the stack runs. Its centrepiece is Device, a decorating wrapper that
+// satisfies nand.LabDevice and records, for every operation it forwards,
+// an operation count, a latency sample in a log-2 bucket histogram, a
+// typed-error tally, and per-block wear/read tallies — without changing
+// a single observable result (see the transparency tests in
+// internal/experiments).
+//
+// A Collector aggregates the recordings of many wrapped devices. The
+// experiment engine creates one device per work unit and fans units
+// across workers (internal/parallel), so the collector is lock-sharded:
+// each wrapped device is bound round-robin to one of a fixed set of
+// shards and records under that shard's private mutex. Workers driving
+// distinct devices therefore almost never contend on a lock, and a
+// Snapshot merges the shards after the fact.
+//
+// The package also carries the opt-in debugging surface: an ONFI bus
+// cycle trace ring (trace.go) and the net/http/pprof + expvar debug
+// server (debug.go). Both are off unless explicitly enabled — the
+// Makefile's lint gate keeps pprof/expvar imports confined to this
+// package so no other build path grows a debug listener by accident.
+package obs
+
+import (
+	"errors"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stashflash/internal/nand"
+)
+
+// Op enumerates the device operations the wrapper distinguishes.
+type Op int
+
+const (
+	// OpRead is ReadPage (default-reference reads, MLC reads included).
+	OpRead Op = iota
+	// OpReadRef is ReadPageRef (shifted-reference decode reads).
+	OpReadRef
+	// OpProgram is ProgramPage / ProgramPageMLC (full ISPP programs).
+	OpProgram
+	// OpPartial is PartialProgram (one PROGRAM+RESET pulse).
+	OpPartial
+	// OpErase is EraseBlock.
+	OpErase
+	// OpCycle is CycleBlock (tester-rig wear fast-forward).
+	OpCycle
+	// OpProbe is ProbePage (per-cell voltage characterisation).
+	OpProbe
+	// OpFine is FineProgram (controller-grade fine programming).
+	OpFine
+	// OpStress is StressCycleBlock / StressCells (PT-HI bulk stress).
+	OpStress
+
+	opCount
+)
+
+// opNames are the JSON/expvar keys of the operation counters.
+var opNames = [opCount]string{
+	OpRead:    "read",
+	OpReadRef: "read_ref",
+	OpProgram: "program",
+	OpPartial: "partial_program",
+	OpErase:   "erase",
+	OpCycle:   "cycle",
+	OpProbe:   "probe",
+	OpFine:    "fine_program",
+	OpStress:  "stress",
+}
+
+// String names the operation as it appears in snapshots.
+func (o Op) String() string {
+	if o >= 0 && int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return "unknown"
+}
+
+// errKind indexes the typed-error tallies.
+type errKind int
+
+const (
+	errProgramFailed errKind = iota
+	errEraseFailed
+	errBadBlock
+	errPowerLoss
+	errBlockRange
+	errPageProgrammed
+	errBadDataLength
+	errNegativeCount
+	errOther
+
+	errCount
+)
+
+var errNames = [errCount]string{
+	errProgramFailed:  "program_failed",
+	errEraseFailed:    "erase_failed",
+	errBadBlock:       "bad_block",
+	errPowerLoss:      "power_loss",
+	errBlockRange:     "block_range",
+	errPageProgrammed: "page_programmed",
+	errBadDataLength:  "bad_data_length",
+	errNegativeCount:  "negative_count",
+	errOther:          "other",
+}
+
+// classify maps a device error to its tally bucket with errors.Is, so
+// wrapped errors (the chip always wraps with context) land correctly.
+func classify(err error) errKind {
+	switch {
+	case errors.Is(err, nand.ErrProgramFailed):
+		return errProgramFailed
+	case errors.Is(err, nand.ErrEraseFailed):
+		return errEraseFailed
+	case errors.Is(err, nand.ErrBadBlock):
+		return errBadBlock
+	case errors.Is(err, nand.ErrPowerLoss):
+		return errPowerLoss
+	case errors.Is(err, nand.ErrBlockRange):
+		return errBlockRange
+	case errors.Is(err, nand.ErrPageProgrammed):
+		return errPageProgrammed
+	case errors.Is(err, nand.ErrBadDataLength):
+		return errBadDataLength
+	case errors.Is(err, nand.ErrNegativeCount):
+		return errNegativeCount
+	default:
+		return errOther
+	}
+}
+
+// histBuckets is the fixed width of every latency histogram: bucket i
+// counts operations whose wall-clock latency d satisfies
+// 2^(i-1) ns <= d < 2^i ns (bucket 0 is d < 1ns), so 40 buckets cover
+// everything up to ~9 minutes. Fixed log-2 bucketing keeps recording to
+// one bits.Len64 and one increment — no comparisons, no allocation.
+const histBuckets = 40
+
+// bucketOf returns the histogram bucket of a latency sample.
+func bucketOf(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(d))
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// BucketLowNs returns the inclusive lower latency bound of bucket i in
+// nanoseconds (0 for bucket 0). Exported for consumers rendering the
+// histogram; the JSON snapshot carries only the counts.
+func BucketLowNs(i int) uint64 {
+	if i <= 0 {
+		return 0
+	}
+	return 1 << (i - 1)
+}
+
+// opData is one operation's shard-local accumulation.
+type opData struct {
+	count   uint64
+	errors  uint64
+	totalNs uint64
+	buckets [histBuckets]uint64
+}
+
+// shard is one lock domain of a Collector. Every field is guarded by mu;
+// a shard is several KiB, so neighbouring shards never share a cache
+// line through their mutexes.
+type shard struct {
+	mu      sync.Mutex
+	ops     [opCount]opData
+	errs    [errCount]uint64
+	retries uint64
+	// blockWear[b] counts erase-equivalent wear added to block b through
+	// this shard (erases, stress-cycle erases, and fast-forwarded cycles);
+	// blockReads[b] counts read-class operations (reads, shifted reads,
+	// probes) — the read-disturb exposure tally. Grown on demand to the
+	// largest block index seen.
+	blockWear  []uint64
+	blockReads []uint64
+}
+
+// grow extends a tally slice to cover index b.
+func grow(s []uint64, b int) []uint64 {
+	for len(s) <= b {
+		s = append(s, 0)
+	}
+	return s
+}
+
+// Collector aggregates the metrics of every device wrapped with Wrap.
+// All methods are safe for concurrent use; the recording hot path is
+// sharded so concurrent devices do not serialise on one mutex.
+type Collector struct {
+	shards  []shard
+	next    atomic.Uint64 // round-robin device→shard binding
+	devices atomic.Uint64
+	trace   *TraceRing // nil unless trace cycles were requested
+}
+
+// numShards is the fixed shard count (a power of two; comfortably above
+// the experiment engine's usual worker fan-out).
+const numShards = 16
+
+// NewCollector builds a collector. traceCycles > 0 additionally keeps a
+// ring of the last traceCycles ONFI bus cycles: wrapping a bus-backed
+// device (internal/onfi) attaches the ring to its bus, and the cycles
+// appear in Snapshot. traceCycles <= 0 disables tracing entirely.
+func NewCollector(traceCycles int) *Collector {
+	c := &Collector{shards: make([]shard, numShards)}
+	if traceCycles > 0 {
+		c.trace = NewTraceRing(traceCycles)
+	}
+	return c
+}
+
+// Trace returns the collector's cycle ring, or nil when tracing is off.
+func (c *Collector) Trace() *TraceRing { return c.trace }
+
+// Devices reports how many devices have been wrapped so far.
+func (c *Collector) Devices() uint64 { return c.devices.Load() }
+
+// record is the single hot-path entry: one shard lock covers the op
+// count, the latency bucket, the error tally, the retry tally and the
+// block tallies together, so any Snapshot sees them move atomically.
+func (s *shard) record(op Op, block int, wear uint64, d time.Duration, retry bool, err error) {
+	s.mu.Lock()
+	od := &s.ops[op]
+	od.count++
+	od.totalNs += uint64(d)
+	od.buckets[bucketOf(d)]++
+	if err != nil {
+		od.errors++
+		s.errs[classify(err)]++
+	}
+	if retry {
+		s.retries++
+	}
+	if block >= 0 {
+		switch op {
+		case OpRead, OpReadRef, OpProbe:
+			s.blockReads = grow(s.blockReads, block)
+			s.blockReads[block]++
+		case OpErase, OpCycle, OpStress:
+			if err == nil && wear > 0 {
+				s.blockWear = grow(s.blockWear, block)
+				s.blockWear[block] += wear
+			}
+		}
+	}
+	s.mu.Unlock()
+}

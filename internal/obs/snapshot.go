@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+
+	"stashflash/internal/onfi"
+)
+
+// OpSnapshot is one operation's aggregated view. Buckets is the log-2
+// latency histogram: Buckets[i] counts operations whose latency d
+// satisfies BucketLowNs(i) <= d < 2*BucketLowNs(i) (bucket 0 is
+// sub-nanosecond). Trailing zero buckets are trimmed.
+type OpSnapshot struct {
+	Count   uint64   `json:"count"`
+	Errors  uint64   `json:"errors,omitempty"`
+	TotalNs uint64   `json:"total_ns"`
+	Buckets []uint64 `json:"latency_log2_ns,omitempty"`
+}
+
+// Snapshot is the JSON-exportable state of a Collector at one moment.
+// Per-shard consistency is exact (a shard's counters move under one
+// lock, so an op's bucket sum always equals its count); cross-shard the
+// snapshot is a momentary merge.
+type Snapshot struct {
+	// Devices is the number of devices wrapped since the collector was
+	// created.
+	Devices uint64 `json:"devices_wrapped"`
+	// Ops maps operation name (see Op.String) to its aggregate; ops never
+	// issued are omitted.
+	Ops map[string]OpSnapshot `json:"ops"`
+	// Errors maps typed-error kind to occurrence count; kinds never seen
+	// are omitted.
+	Errors map[string]uint64 `json:"errors,omitempty"`
+	// Retries counts operations re-issued to the same address right
+	// after failing there.
+	Retries uint64 `json:"retries,omitempty"`
+	// BlockWear[b] is the erase-equivalent wear recorded against block
+	// index b across all wrapped devices; BlockReads[b] is the number of
+	// read-class operations (reads, shifted reads, probes) against it —
+	// the read-disturb exposure tally.
+	BlockWear  []uint64 `json:"block_wear,omitempty"`
+	BlockReads []uint64 `json:"block_reads,omitempty"`
+	// TraceRecorded / Trace carry the bus-cycle flight recorder when
+	// tracing is enabled: total cycles ever recorded, and the retained
+	// tail, oldest first.
+	TraceRecorded uint64       `json:"trace_recorded,omitempty"`
+	Trace         []onfi.Cycle `json:"trace,omitempty"`
+}
+
+// addInto folds a tally slice into dst, growing dst as needed.
+func addInto(dst, src []uint64) []uint64 {
+	dst = grow(dst, len(src)-1)
+	for i, v := range src {
+		dst[i] += v
+	}
+	return dst
+}
+
+// Snapshot merges every shard into one exportable view. Shards are
+// locked one at a time, so recording continues on the others while the
+// merge walks; each shard's contribution is internally consistent.
+func (c *Collector) Snapshot() Snapshot {
+	var ops [opCount]opData
+	var errs [errCount]uint64
+	var retries uint64
+	var wear, reads []uint64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for o := range s.ops {
+			d := &s.ops[o]
+			ops[o].count += d.count
+			ops[o].errors += d.errors
+			ops[o].totalNs += d.totalNs
+			for b, n := range d.buckets {
+				ops[o].buckets[b] += n
+			}
+		}
+		for k, n := range s.errs {
+			errs[k] += n
+		}
+		retries += s.retries
+		wear = addInto(wear, s.blockWear)
+		reads = addInto(reads, s.blockReads)
+		s.mu.Unlock()
+	}
+
+	snap := Snapshot{
+		Devices:    c.devices.Load(),
+		Ops:        make(map[string]OpSnapshot, opCount),
+		Retries:    retries,
+		BlockWear:  wear,
+		BlockReads: reads,
+	}
+	for o := Op(0); o < opCount; o++ {
+		d := &ops[o]
+		if d.count == 0 {
+			continue
+		}
+		last := 0
+		for b, n := range d.buckets {
+			if n != 0 {
+				last = b
+			}
+		}
+		buckets := make([]uint64, last+1)
+		copy(buckets, d.buckets[:last+1])
+		snap.Ops[o.String()] = OpSnapshot{
+			Count:   d.count,
+			Errors:  d.errors,
+			TotalNs: d.totalNs,
+			Buckets: buckets,
+		}
+	}
+	for k := errKind(0); k < errCount; k++ {
+		if errs[k] == 0 {
+			continue
+		}
+		if snap.Errors == nil {
+			snap.Errors = make(map[string]uint64)
+		}
+		snap.Errors[errNames[k]] = errs[k]
+	}
+	if c.trace != nil {
+		snap.Trace = c.trace.Cycles()
+		snap.TraceRecorded = c.trace.Recorded()
+	}
+	return snap
+}
+
+// WriteJSON writes the snapshot as indented JSON with a trailing
+// newline — the document cmd/experiments -metricsjson and
+// cmd/stashctl stats -json emit (schema: EXPERIMENTS.md).
+func (c *Collector) WriteJSON(w io.Writer) error {
+	out, err := json.MarshalIndent(c.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	_, err = w.Write(out)
+	return err
+}

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"sync"
+
+	"stashflash/internal/onfi"
+)
+
+// TraceRing is a bounded ring buffer of ONFI bus cycles — the flight
+// recorder for post-mortem debugging of backend divergence. It keeps the
+// last N cycles recorded and drops older ones; Cycles returns them
+// oldest-first. Safe for concurrent use: recording takes one short
+// mutex, and the collector attaches one ring to every bus it wraps, so
+// the ring observes the interleaved cycle stream of all traced devices.
+type TraceRing struct {
+	mu    sync.Mutex
+	buf   []onfi.Cycle
+	total uint64 // cycles ever recorded, including dropped ones
+}
+
+// NewTraceRing builds a ring holding the last n cycles (n >= 1).
+func NewTraceRing(n int) *TraceRing {
+	if n < 1 {
+		n = 1
+	}
+	return &TraceRing{buf: make([]onfi.Cycle, 0, n)}
+}
+
+// RecordCycle implements onfi.CycleRecorder.
+func (r *TraceRing) RecordCycle(cy onfi.Cycle) {
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, cy)
+	} else {
+		r.buf[r.total%uint64(cap(r.buf))] = cy
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Recorded reports how many cycles have ever been recorded (dropped
+// cycles included).
+func (r *TraceRing) Recorded() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Cycles returns a copy of the retained cycles, oldest first.
+func (r *TraceRing) Cycles() []onfi.Cycle {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]onfi.Cycle, len(r.buf))
+	if r.total <= uint64(cap(r.buf)) {
+		copy(out, r.buf)
+		return out
+	}
+	// The ring has wrapped: the oldest retained cycle sits at the next
+	// write position.
+	head := int(r.total % uint64(cap(r.buf)))
+	n := copy(out, r.buf[head:])
+	copy(out[n:], r.buf[:head])
+	return out
+}

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+
+	"stashflash/internal/onfi"
+)
+
+// TestTraceRingWraparound fills a small ring far past its capacity and
+// checks that exactly the last N cycles survive, oldest first, with the
+// total recorded count still accounting for the dropped ones.
+func TestTraceRingWraparound(t *testing.T) {
+	const cap, total = 8, 20
+	r := NewTraceRing(cap)
+	for i := 0; i < total; i++ {
+		r.RecordCycle(onfi.Cycle{Kind: onfi.CycleDataIn, N: i})
+	}
+	if got := r.Recorded(); got != total {
+		t.Errorf("Recorded() = %d, want %d", got, total)
+	}
+	cycles := r.Cycles()
+	if len(cycles) != cap {
+		t.Fatalf("retained %d cycles, want %d", len(cycles), cap)
+	}
+	for i, cy := range cycles {
+		if want := total - cap + i; cy.N != want {
+			t.Errorf("cycle %d: N = %d, want %d (oldest-first order)", i, cy.N, want)
+		}
+	}
+}
+
+// TestTraceRingPartialFill checks the pre-wrap path: fewer cycles than
+// capacity come back verbatim.
+func TestTraceRingPartialFill(t *testing.T) {
+	r := NewTraceRing(8)
+	for i := 0; i < 3; i++ {
+		r.RecordCycle(onfi.Cycle{Kind: onfi.CycleCmd, Op: byte(i)})
+	}
+	cycles := r.Cycles()
+	if len(cycles) != 3 {
+		t.Fatalf("retained %d cycles, want 3", len(cycles))
+	}
+	for i, cy := range cycles {
+		if cy.Op != byte(i) {
+			t.Errorf("cycle %d: op = %d, want %d", i, cy.Op, i)
+		}
+	}
+}
+
+// TestTraceRingConcurrent hammers the ring from several writers while a
+// reader snapshots mid-flight; run under -race. Every snapshot must be
+// internally consistent (bounded length, within recorded totals).
+func TestTraceRingConcurrent(t *testing.T) {
+	const writers, each = 4, 1000
+	r := NewTraceRing(32)
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			cycles := r.Cycles()
+			if len(cycles) > 32 {
+				t.Errorf("snapshot retained %d cycles, cap 32", len(cycles))
+				return
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				r.RecordCycle(onfi.Cycle{Kind: onfi.CycleDataOut, Col: w, N: i})
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(done)
+	if got := r.Recorded(); got != writers*each {
+		t.Errorf("Recorded() = %d, want %d", got, writers*each)
+	}
+	if got := len(r.Cycles()); got != 32 {
+		t.Errorf("retained %d cycles, want 32", got)
+	}
+}

@@ -105,6 +105,7 @@ type Bus struct {
 	readRef float64
 	featBuf []byte
 	feat    byte
+	rec     CycleRecorder // optional cycle trace sink (see trace.go)
 }
 
 // New attaches a bus to a chip. The read reference starts at the model's
@@ -138,6 +139,12 @@ func (b *Bus) ok() {
 
 // Cmd latches a command byte.
 func (b *Bus) Cmd(op byte) error {
+	err := b.cmd(op)
+	b.recordCmd(op)
+	return err
+}
+
+func (b *Bus) cmd(op byte) error {
 	switch op {
 	case CmdReset:
 		return b.reset()
@@ -187,6 +194,17 @@ func (b *Bus) beginAddr(s busState) {
 // Addr sends address cycles: two column bytes then three row bytes,
 // little-endian, the classic 5-cycle NAND addressing.
 func (b *Bus) Addr(bytes ...byte) error {
+	feature := b.state == stateFeatureAddr
+	err := b.addr(bytes...)
+	if feature {
+		b.recordAddr(int(b.feat), 0)
+	} else {
+		b.recordAddr(b.row, b.col)
+	}
+	return err
+}
+
+func (b *Bus) addr(bytes ...byte) error {
 	switch b.state {
 	case stateReadAddr, stateProgramAddr, stateEraseAddr, stateProbeAddr,
 		stateHealthAddr, stateCycleAddr, stateFineAddr:
@@ -246,6 +264,12 @@ func (b *Bus) Addr(bytes ...byte) error {
 // WriteData clocks data cycles into the page register (program path or
 // feature payload).
 func (b *Bus) WriteData(p []byte) error {
+	err := b.writeData(p)
+	b.recordData(CycleDataIn, len(p))
+	return err
+}
+
+func (b *Bus) writeData(p []byte) error {
 	switch b.state {
 	case stateProgramData:
 		b.dataBuf = append(b.dataBuf, p...)
@@ -290,6 +314,12 @@ func (b *Bus) WriteData(p []byte) error {
 // ReadData clocks n bytes out of the data register (after a read or probe
 // confirm, or a status latch).
 func (b *Bus) ReadData(n int) ([]byte, error) {
+	out, err := b.readData(n)
+	b.recordData(CycleDataOut, len(out))
+	return out, err
+}
+
+func (b *Bus) readData(n int) ([]byte, error) {
 	if b.state == stateStatus {
 		out := make([]byte, n)
 		for i := range out {

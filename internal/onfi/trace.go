@@ -1,0 +1,96 @@
+package onfi
+
+import "fmt"
+
+// Bus cycle tracing: an optional recorder observes every cycle the bus
+// executes — command latches, address phases, data transfers — together
+// with the status register after the cycle. This is the raw material for
+// the observability layer's flight recorder (internal/obs.TraceRing):
+// when a bus-driven run diverges from a direct-call run, the last N
+// cycles show exactly what the host put on the bus and what the device
+// answered.
+
+// CycleKind distinguishes the bus phases a Cycle can record.
+type CycleKind uint8
+
+const (
+	// CycleCmd is a command latch (Op holds the opcode).
+	CycleCmd CycleKind = iota
+	// CycleAddr is a completed address phase (Row/Col hold the address).
+	CycleAddr
+	// CycleDataIn is a host-to-device data transfer (N bytes).
+	CycleDataIn
+	// CycleDataOut is a device-to-host data transfer (N bytes).
+	CycleDataOut
+)
+
+// String names the cycle kind as it appears in JSON traces.
+func (k CycleKind) String() string {
+	switch k {
+	case CycleCmd:
+		return "cmd"
+	case CycleAddr:
+		return "addr"
+	case CycleDataIn:
+		return "data_in"
+	case CycleDataOut:
+		return "data_out"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// MarshalJSON renders the kind as its name, keeping traces readable.
+func (k CycleKind) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf("%q", k.String())), nil
+}
+
+// Cycle is one recorded bus cycle. Fields beyond Kind are populated per
+// kind: Op for command latches; Row and Col for address phases (Row is
+// the block-major row address, or the feature register for SET-FEATURE);
+// N for data transfers. Status always carries the status register after
+// the cycle, so a FAIL is attributable to the exact cycle that raised it.
+type Cycle struct {
+	Kind   CycleKind `json:"kind"`
+	Op     byte      `json:"op,omitempty"`
+	Row    int       `json:"row,omitempty"`
+	Col    int       `json:"col,omitempty"`
+	N      int       `json:"n,omitempty"`
+	Status byte      `json:"status"`
+}
+
+// CycleRecorder consumes recorded cycles. Implementations must tolerate
+// concurrent calls when several buses share one recorder; the bus itself
+// records synchronously on its (single) driving goroutine.
+type CycleRecorder interface {
+	RecordCycle(Cycle)
+}
+
+// SetRecorder attaches a cycle recorder to the bus (nil detaches). The
+// recorder observes every subsequent cycle, protocol errors included.
+func (b *Bus) SetRecorder(r CycleRecorder) { b.rec = r }
+
+// SetCycleRecorder attaches a cycle recorder to the adapter's bus (nil
+// detaches).
+func (d *Device) SetCycleRecorder(r CycleRecorder) { d.bus.SetRecorder(r) }
+
+// recordCmd traces a command latch after it executed.
+func (b *Bus) recordCmd(op byte) {
+	if b.rec != nil {
+		b.rec.RecordCycle(Cycle{Kind: CycleCmd, Op: op, Status: b.status})
+	}
+}
+
+// recordAddr traces a completed address phase.
+func (b *Bus) recordAddr(row, col int) {
+	if b.rec != nil {
+		b.rec.RecordCycle(Cycle{Kind: CycleAddr, Row: row, Col: col, Status: b.status})
+	}
+}
+
+// recordData traces a data transfer of n bytes in the given direction.
+func (b *Bus) recordData(kind CycleKind, n int) {
+	if b.rec != nil {
+		b.rec.RecordCycle(Cycle{Kind: kind, N: n, Status: b.status})
+	}
+}

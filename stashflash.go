@@ -30,6 +30,7 @@ import (
 
 	"stashflash/internal/core"
 	"stashflash/internal/nand"
+	"stashflash/internal/obs"
 	"stashflash/internal/onfi"
 	"stashflash/internal/stegfs"
 	"stashflash/internal/watermark"
@@ -155,6 +156,31 @@ func OpenVendorB(seed uint64) *Device {
 // type depends on how the Device was opened: a direct chip for Open, a
 // bus command adapter for OpenONFI.
 func (d *Device) Dev() nand.LabDevice { return d.dev }
+
+// Metrics aggregates per-operation counters, log-2 latency histograms,
+// typed-error tallies and per-block wear/read tallies across every
+// device wrapped with WithObservability. Safe for concurrent use; see
+// MetricsSnapshot for the exported view.
+type Metrics = obs.Collector
+
+// MetricsSnapshot is the JSON-exportable state of a Metrics collector
+// (the schema cmd/experiments -metricsjson emits; see EXPERIMENTS.md).
+type MetricsSnapshot = obs.Snapshot
+
+// NewMetrics builds a metrics collector. traceCycles > 0 additionally
+// retains the last traceCycles ONFI bus cycles of any wrapped bus-backed
+// device (OpenONFI) in the snapshot; 0 disables tracing.
+func NewMetrics(traceCycles int) *Metrics { return obs.NewCollector(traceCycles) }
+
+// WithObservability returns a view of the device whose every operation
+// records into m. The instrumented view is results-transparent — all
+// data, errors and state are identical to the unwrapped device — so it
+// can wrap any backend at any time; wear/latency observed through it
+// lands in m.Snapshot(). The original Device remains usable, but
+// operations issued through it bypass recording.
+func (d *Device) WithObservability(m *Metrics) *Device {
+	return &Device{dev: m.Wrap(d.dev)}
+}
 
 // Geometry returns the device layout.
 func (d *Device) Geometry() nand.Geometry { return d.dev.Geometry() }
