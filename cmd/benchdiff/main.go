@@ -1,18 +1,17 @@
 // Command benchdiff is the bench-regression gate: it compares a freshly
 // generated benchmark JSON (cmd/experiments -benchjson or -devbenchjson)
 // against the committed baseline and fails when the run got slower than
-// the configured tolerance. CI wires it as a non-blocking job (make
-// bench-check) so shared-runner noise never blocks a merge, while real
-// regressions still show up red at a glance.
+// the configured tolerance. CI wires it as a blocking job (make
+// bench-check), so a real regression shows up red and stops a merge.
 //
 // Usage:
 //
-//	benchdiff -baseline BENCH_parallel.json -fresh fresh.json [-tolerance 0.25]
+//	benchdiff -baseline BENCH_parallel.json -fresh fresh.json [-tolerance 0.15]
 //
-// The tolerance is a fractional slowdown budget: 0.25 allows the fresh
-// run to be up to 25% slower. The default comes from the
+// The tolerance is a fractional slowdown budget: 0.15 allows the fresh
+// run to be up to 15% slower. The default comes from the
 // STASHFLASH_BENCH_TOLERANCE environment variable when set (CI knob),
-// else 0.25. The gate fails when the suite total exceeds the budget, or
+// else 0.15. The gate fails when the suite total exceeds the budget, or
 // when any single experiment exceeds twice the budget (single-experiment
 // noise is larger than suite noise, so the per-experiment bar is looser);
 // experiments under 5ms in the baseline are reported but never fail the
@@ -124,7 +123,7 @@ func compare(baseline, fresh report, tol float64) (lines []string, failed bool) 
 }
 
 // defaultTolerance resolves the budget: $STASHFLASH_BENCH_TOLERANCE when
-// parseable, else 0.25.
+// parseable, else 0.15.
 func defaultTolerance() float64 {
 	if v := os.Getenv("STASHFLASH_BENCH_TOLERANCE"); v != "" {
 		if f, err := strconv.ParseFloat(v, 64); err == nil && f > 0 {
@@ -132,7 +131,7 @@ func defaultTolerance() float64 {
 		}
 		fmt.Fprintf(os.Stderr, "benchdiff: ignoring unparseable STASHFLASH_BENCH_TOLERANCE=%q\n", v)
 	}
-	return 0.25
+	return 0.15
 }
 
 func load(path string) (report, error) {
@@ -150,7 +149,7 @@ func load(path string) (report, error) {
 func main() {
 	baselinePath := flag.String("baseline", "", "committed benchmark JSON (required)")
 	freshPath := flag.String("fresh", "", "freshly generated benchmark JSON (required)")
-	tolerance := flag.Float64("tolerance", defaultTolerance(), "fractional slowdown budget (0.25 = 25% slower allowed; default from STASHFLASH_BENCH_TOLERANCE)")
+	tolerance := flag.Float64("tolerance", defaultTolerance(), "fractional slowdown budget (0.15 = 15% slower allowed; default from STASHFLASH_BENCH_TOLERANCE)")
 	flag.Parse()
 	if *baselinePath == "" || *freshPath == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -baseline and -fresh are required")

@@ -132,15 +132,15 @@ func TestCompareDeviceSchema(t *testing.T) {
 
 func TestDefaultTolerance(t *testing.T) {
 	t.Setenv("STASHFLASH_BENCH_TOLERANCE", "")
-	if got := defaultTolerance(); got != 0.25 {
-		t.Errorf("defaultTolerance() = %v, want 0.25", got)
+	if got := defaultTolerance(); got != 0.15 {
+		t.Errorf("defaultTolerance() = %v, want 0.15", got)
 	}
 	t.Setenv("STASHFLASH_BENCH_TOLERANCE", "0.5")
 	if got := defaultTolerance(); got != 0.5 {
 		t.Errorf("defaultTolerance() with env 0.5 = %v", got)
 	}
 	t.Setenv("STASHFLASH_BENCH_TOLERANCE", "bogus")
-	if got := defaultTolerance(); got != 0.25 {
-		t.Errorf("defaultTolerance() with bogus env = %v, want 0.25", got)
+	if got := defaultTolerance(); got != 0.15 {
+		t.Errorf("defaultTolerance() with bogus env = %v, want 0.15", got)
 	}
 }

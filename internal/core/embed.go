@@ -12,10 +12,19 @@ import (
 // voltage manipulation loop, with no cryptography or ECC. The experiment
 // harness drives it directly to measure raw hidden BER (paper Figs 6/7);
 // Hider wraps it with the full Algorithm 1 pipeline.
+// Like the nand.Device it drives, an Embedder is not safe for concurrent
+// use: the hot-path methods reuse owned scratch buffers (page reads, cell
+// candidate and pending lists) so steady-state embedding and decoding
+// allocate nothing.
 type Embedder struct {
 	dev       nand.VendorDevice
 	cfg       Config
 	locateKey []byte
+
+	raw     []byte // page-read scratch
+	cand    []int  // candidate cell indices scratch
+	sel     []int  // keyed selection scratch
+	pending []int  // pulse / fine-program cell list scratch
 }
 
 // NewEmbedder builds an embedder for a device under cfg, selecting cells
@@ -25,10 +34,14 @@ func NewEmbedder(dev nand.VendorDevice, locateKey []byte, cfg Config) (*Embedder
 	if err := cfg.Validate(dev.Model()); err != nil {
 		return nil, err
 	}
+	g := dev.Geometry()
 	return &Embedder{
 		dev:       dev,
 		cfg:       cfg,
 		locateKey: append([]byte(nil), locateKey...),
+		raw:       make([]byte, g.PageBytes),
+		cand:      make([]int, 0, g.CellsPerPage()),
+		pending:   make([]int, 0, cfg.HiddenCellsPerPage),
 	}, nil
 }
 
@@ -54,29 +67,47 @@ func (e *Embedder) pageIndex(a nand.PageAddr) uint64 {
 // non-programmed ('1') public bits are candidates: PP "is too coarse to
 // reliably make fine-grained changes to programmed cells" (§6.2).
 func (e *Embedder) Plan(a nand.PageAddr, image []byte, nBits int) (*PagePlan, error) {
+	p := &PagePlan{}
+	if err := e.PlanTo(p, a, image, nBits); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// PlanTo is Plan into a caller-owned PagePlan, reusing p.Cells' backing
+// array across calls. Experiments that hold several plans live at once
+// keep distinct PagePlan values (or use Plan); the steady-state hide and
+// reveal paths reuse one.
+func (e *Embedder) PlanTo(p *PagePlan, a nand.PageAddr, image []byte, nBits int) error {
 	g := e.dev.Geometry()
 	if len(image) != g.PageBytes {
-		return nil, fmt.Errorf("core: image is %d bytes, page holds %d", len(image), g.PageBytes)
+		return fmt.Errorf("core: image is %d bytes, page holds %d", len(image), g.PageBytes)
 	}
 	if nBits > e.cfg.HiddenCellsPerPage {
-		return nil, fmt.Errorf("core: %d bits exceed configured budget %d", nBits, e.cfg.HiddenCellsPerPage)
+		return fmt.Errorf("core: %d bits exceed configured budget %d", nBits, e.cfg.HiddenCellsPerPage)
 	}
-	candidates := make([]int, 0, g.CellsPerPage()/2+g.CellsPerPage()/16)
+	candidates := e.cand[:0]
 	for i := 0; i < g.CellsPerPage(); i++ {
 		if imageBit(image, i) == 1 {
 			candidates = append(candidates, i)
 		}
 	}
+	e.cand = candidates
 	if len(candidates) < nBits {
-		return nil, fmt.Errorf("core: page %v has only %d non-programmed bits, need %d", a, len(candidates), nBits)
+		return fmt.Errorf("core: page %v has only %d non-programmed bits, need %d", a, len(candidates), nBits)
 	}
 	stream := prng.PageStream(e.locateKey, e.pageIndex(a), "vt-hi/select")
-	sel := stream.SelectKSparse(len(candidates), nBits)
-	cells := make([]int, nBits)
-	for j, s := range sel {
-		cells[j] = candidates[s]
+	e.sel = stream.SelectKSparseInto(e.sel, len(candidates), nBits)
+	sel := e.sel
+	if cap(p.Cells) < nBits {
+		p.Cells = make([]int, nBits)
 	}
-	return &PagePlan{Addr: a, Cells: cells}, nil
+	p.Cells = p.Cells[:nBits]
+	for j, s := range sel {
+		p.Cells[j] = candidates[s]
+	}
+	p.Addr = a
+	return nil
 }
 
 // encodeTarget returns the voltage level hidden-'0' cells must reach on
@@ -109,16 +140,16 @@ func (e *Embedder) ProgramStep(p *PagePlan, bits []uint8) (pulsed int, err error
 	if err != nil {
 		return 0, err
 	}
-	raw, err := e.dev.ReadPageRef(p.Addr, target+e.cfg.EmbedGuard)
-	if err != nil {
+	if err := nand.ReadPageRefInto(e.dev, p.Addr, target+e.cfg.EmbedGuard, e.raw); err != nil {
 		return 0, err
 	}
-	var pending []int
+	pending := e.pending[:0]
 	for j, cell := range p.Cells {
-		if bits[j] == 0 && imageBit(raw, cell) == 1 { // still below Vth
+		if bits[j] == 0 && imageBit(e.raw, cell) == 1 { // still below Vth
 			pending = append(pending, cell)
 		}
 	}
+	e.pending = pending
 	if len(pending) == 0 {
 		return 0, nil
 	}
@@ -181,12 +212,13 @@ func (e *Embedder) FineEmbed(p *PagePlan, bits []uint8) error {
 	if len(bits) != len(p.Cells) {
 		return fmt.Errorf("core: %d bits for %d planned cells", len(bits), len(p.Cells))
 	}
-	var zeros []int
+	zeros := e.pending[:0]
 	for j, cell := range p.Cells {
 		if bits[j] == 0 {
 			zeros = append(zeros, cell)
 		}
 	}
+	e.pending = zeros
 	if len(zeros) == 0 {
 		return nil
 	}
@@ -248,19 +280,31 @@ func (e *Embedder) ReadBits(p *PagePlan) ([]uint8, error) {
 // firmware uses when the nominal reference fails to decode (read disturb
 // pushes erased cells up; retention pulls programmed cells down).
 func (e *Embedder) ReadBitsAt(p *PagePlan, refDelta float64) ([]uint8, error) {
-	ref, err := e.DecodeRef(p.Addr)
-	if err != nil {
-		return nil, err
-	}
-	raw, err := e.dev.ReadPageRef(p.Addr, ref+refDelta)
-	if err != nil {
-		return nil, err
-	}
 	bits := make([]uint8, len(p.Cells))
-	for j, cell := range p.Cells {
-		bits[j] = imageBit(raw, cell)
+	if err := e.ReadBitsInto(p, refDelta, bits); err != nil {
+		return nil, err
 	}
 	return bits, nil
+}
+
+// ReadBitsInto is ReadBitsAt into a caller-owned bit buffer of exactly
+// len(p.Cells) entries; the page read lands in embedder-owned scratch, so
+// the steady-state reveal path allocates nothing.
+func (e *Embedder) ReadBitsInto(p *PagePlan, refDelta float64, bits []uint8) error {
+	if len(bits) != len(p.Cells) {
+		return fmt.Errorf("core: %d-entry bit buffer for %d planned cells", len(bits), len(p.Cells))
+	}
+	ref, err := e.DecodeRef(p.Addr)
+	if err != nil {
+		return err
+	}
+	if err := nand.ReadPageRefInto(e.dev, p.Addr, ref+refDelta, e.raw); err != nil {
+		return err
+	}
+	for j, cell := range p.Cells {
+		bits[j] = imageBit(e.raw, cell)
+	}
+	return nil
 }
 
 // imageBit extracts cell i's bit from page bytes (MSB first).

@@ -15,16 +15,28 @@ import (
 // One Hider serves both roles of §5.1 — the normal user path (WritePage /
 // ReadPublic, no key material needed to read) and the hiding user path
 // (Hide / Reveal, driven by the master secret).
+// Like the nand.Device it drives, a Hider is not safe for concurrent use:
+// the hot-path methods (WritePage, Hide, Reveal, ReadPublic) reuse owned
+// scratch — a cached sealer, page-image and codeword buffers, and one
+// PagePlan — so the steady state allocates only what it must return.
 type Hider struct {
-	dev  nand.VendorDevice
-	emb  *Embedder
-	cfg  Config
-	keys seal.Keys
-	pub  *PublicLayout
-	bch  *ecc.BCH
+	dev    nand.VendorDevice
+	emb    *Embedder
+	cfg    Config
+	keys   seal.Keys
+	sealer *seal.Sealer
+	pub    *PublicLayout
+	bch    *ecc.BCH
 
 	codewordBits int
 	payloadBytes int
+
+	imgBuf  []byte  // page image scratch (write path and read/recover path)
+	padBuf  []byte  // padded/encrypted payload scratch
+	cwBuf   []uint8 // codeword bit scratch (build path)
+	bitsBuf []uint8 // codeword bit scratch (verify/reveal read path)
+	msgBits []uint8 // payload bit scratch
+	plan    PagePlan
 }
 
 // ErrHiddenUnrecoverable reports that a hidden payload exceeded the hidden
@@ -57,15 +69,22 @@ func NewHider(dev nand.VendorDevice, master []byte, cfg Config) (*Hider, error) 
 	if payloadBytes < 1 {
 		return nil, fmt.Errorf("core: configuration leaves no hidden payload capacity")
 	}
+	cwBits := payloadBytes*8 + parity
 	return &Hider{
 		dev:          dev,
 		emb:          emb,
 		cfg:          cfg,
 		keys:         keys,
+		sealer:       seal.NewSealer(keys.Encrypt),
 		pub:          pub,
 		bch:          bch,
-		codewordBits: payloadBytes*8 + parity,
+		codewordBits: cwBits,
 		payloadBytes: payloadBytes,
+		imgBuf:       make([]byte, dev.Geometry().PageBytes),
+		padBuf:       make([]byte, payloadBytes),
+		cwBuf:        make([]uint8, cwBits),
+		bitsBuf:      make([]uint8, cwBits),
+		msgBits:      make([]uint8, payloadBytes*8),
 	}, nil
 }
 
@@ -87,11 +106,10 @@ func (h *Hider) Embedder() *Embedder { return h.emb }
 // WritePage stores public data (exactly PublicDataBytes long) to an erased
 // page through the public ECC layout.
 func (h *Hider) WritePage(a nand.PageAddr, public []byte) error {
-	image, err := h.pub.Encode(public)
-	if err != nil {
+	if err := h.pub.EncodeInto(h.imgBuf, public); err != nil {
 		return err
 	}
-	return h.dev.ProgramPage(a, image)
+	return h.dev.ProgramPage(a, h.imgBuf)
 }
 
 // ReadPublic reads a page's public data, correcting raw bit errors through
@@ -99,24 +117,22 @@ func (h *Hider) WritePage(a nand.PageAddr, public []byte) error {
 // reads untouched (§5.3, "public data can be read with no awareness of
 // hidden data or private key").
 func (h *Hider) ReadPublic(a nand.PageAddr) (data []byte, corrected int, err error) {
-	raw, err := h.dev.ReadPage(a)
-	if err != nil {
+	if err := nand.ReadPageInto(h.dev, a, h.imgBuf); err != nil {
 		return nil, 0, err
 	}
-	return h.pub.Decode(raw)
+	return h.pub.Decode(h.imgBuf)
 }
 
 // recoverImage reads a page and reconstructs its exact as-programmed image
 // via the public ECC, which makes hidden cell selection reproducible.
 func (h *Hider) recoverImage(a nand.PageAddr) ([]byte, error) {
-	raw, err := h.dev.ReadPage(a)
-	if err != nil {
+	if err := nand.ReadPageInto(h.dev, a, h.imgBuf); err != nil {
 		return nil, err
 	}
-	if _, _, err := h.pub.Decode(raw); err != nil {
+	if _, err := h.pub.Correct(h.imgBuf); err != nil {
 		return nil, err
 	}
-	return raw, nil // Decode corrected the image in place
+	return h.imgBuf, nil // Correct repaired the image in place
 }
 
 // HideStats reports what an embedding cost.
@@ -157,10 +173,13 @@ func (h *Hider) buildCodeword(a nand.PageAddr, hidden []byte, epoch uint64) ([]u
 	if len(hidden) > h.payloadBytes {
 		return nil, fmt.Errorf("core: hidden payload %d bytes exceeds page capacity %d", len(hidden), h.payloadBytes)
 	}
-	padded := make([]byte, h.payloadBytes)
-	copy(padded, hidden)
-	ct := seal.EncryptPage(h.keys.Encrypt, h.emb.pageIndex(a), epoch, padded)
-	return h.bch.Encode(ecc.BytesToBits(ct)), nil
+	n := copy(h.padBuf, hidden)
+	for i := n; i < len(h.padBuf); i++ {
+		h.padBuf[i] = 0
+	}
+	h.sealer.EncryptPageInto(h.padBuf, h.emb.pageIndex(a), epoch, h.padBuf)
+	ecc.BytesToBitsInto(h.msgBits, h.padBuf)
+	return h.bch.EncodeTo(h.cwBuf, h.msgBits), nil
 }
 
 // Hide embeds a hidden payload (up to HiddenPayloadBytes) into an
@@ -175,8 +194,8 @@ func (h *Hider) Hide(a nand.PageAddr, hidden []byte, epoch uint64) (HideStats, e
 	if err != nil {
 		return HideStats{}, err
 	}
-	plan, err := h.emb.Plan(a, image, len(cw))
-	if err != nil {
+	plan := &h.plan
+	if err := h.emb.PlanTo(plan, a, image, len(cw)); err != nil {
 		return HideStats{}, err
 	}
 	if h.cfg.Vendor {
@@ -222,8 +241,8 @@ func (h *Hider) Hide(a nand.PageAddr, hidden []byte, epoch uint64) (HideStats, e
 // verifyEmbed re-reads the plan's cells once and checks they BCH-decode to
 // exactly the embedded codeword.
 func (h *Hider) verifyEmbed(plan *PagePlan, cw []uint8) (bool, error) {
-	bits, err := h.emb.ReadBits(plan)
-	if err != nil {
+	bits := h.bitsBuf[:len(plan.Cells)]
+	if err := h.emb.ReadBitsInto(plan, 0, bits); err != nil {
 		return false, err
 	}
 	if _, err := h.bch.Decode(bits); err != nil {
@@ -274,15 +293,15 @@ func (h *Hider) Reveal(a nand.PageAddr, n int, epoch uint64) ([]byte, RevealStat
 	if n > h.payloadBytes {
 		return nil, st, fmt.Errorf("core: requested %d bytes, page capacity is %d", n, h.payloadBytes)
 	}
-	raw, err := h.dev.ReadPage(a)
-	if err != nil {
+	if err := nand.ReadPageInto(h.dev, a, h.imgBuf); err != nil {
 		return nil, st, err
 	}
-	if _, st.CorrectedPublic, err = h.pub.Decode(raw); err != nil {
+	var err error
+	if st.CorrectedPublic, err = h.pub.Correct(h.imgBuf); err != nil {
 		return nil, st, err
 	}
-	plan, err := h.emb.Plan(a, raw, h.codewordBits)
-	if err != nil {
+	plan := &h.plan
+	if err := h.emb.PlanTo(plan, a, h.imgBuf, h.codewordBits); err != nil {
 		return nil, st, err
 	}
 	// Pristine devices get exactly one read at the nominal reference;
@@ -297,8 +316,8 @@ func (h *Hider) Reveal(a nand.PageAddr, n int, epoch uint64) ([]byte, RevealStat
 		if i > 0 {
 			st.Rereads++
 		}
-		bits, err := h.emb.ReadBitsAt(plan, d)
-		if err != nil {
+		bits := h.bitsBuf[:h.codewordBits]
+		if err := h.emb.ReadBitsInto(plan, d, bits); err != nil {
 			return nil, st, err
 		}
 		corrected, err := h.bch.Decode(bits)
@@ -307,9 +326,11 @@ func (h *Hider) Reveal(a nand.PageAddr, n int, epoch uint64) ([]byte, RevealStat
 			continue
 		}
 		st.CorrectedHidden = corrected
-		ct := ecc.BitsToBytes(bits[:h.payloadBytes*8])
-		pt := seal.EncryptPage(h.keys.Encrypt, h.emb.pageIndex(a), epoch, ct)
-		return pt[:n], st, nil
+		ecc.BitsToBytesInto(h.padBuf, bits[:h.payloadBytes*8])
+		h.sealer.EncryptPageInto(h.padBuf, h.emb.pageIndex(a), epoch, h.padBuf)
+		out := make([]byte, n)
+		copy(out, h.padBuf[:n])
+		return out, st, nil
 	}
 	return nil, st, fmt.Errorf("%w: %v", ErrHiddenUnrecoverable, lastErr)
 }

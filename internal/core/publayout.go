@@ -77,19 +77,34 @@ func (pl *PublicLayout) PageBytes() int { return pl.pageBytes }
 
 // Encode expands user data (exactly DataBytes long) into the page image.
 func (pl *PublicLayout) Encode(data []byte) ([]byte, error) {
-	if len(data) != pl.dataBytes {
-		return nil, fmt.Errorf("core: public data is %d bytes, layout holds %d", len(data), pl.dataBytes)
-	}
-	if pl.t == 0 {
-		return append([]byte(nil), data...), nil
-	}
-	image := make([]byte, 0, pl.pageBytes)
-	off := 0
-	for _, ch := range pl.chunks {
-		image = append(image, pl.rs.Encode(data[off:off+ch.data])...)
-		off += ch.data
+	image := make([]byte, pl.pageBytes)
+	if err := pl.EncodeInto(image, data); err != nil {
+		return nil, err
 	}
 	return image, nil
+}
+
+// EncodeInto is Encode into a caller-owned image buffer of exactly
+// PageBytes; it performs no allocations. dst must not alias data.
+func (pl *PublicLayout) EncodeInto(dst, data []byte) error {
+	if len(data) != pl.dataBytes {
+		return fmt.Errorf("core: public data is %d bytes, layout holds %d", len(data), pl.dataBytes)
+	}
+	if len(dst) != pl.pageBytes {
+		return fmt.Errorf("core: image buffer is %d bytes, want %d", len(dst), pl.pageBytes)
+	}
+	if pl.t == 0 {
+		copy(dst, data)
+		return nil
+	}
+	parity := pl.rs.ParitySymbols()
+	off, ioff := 0, 0
+	for _, ch := range pl.chunks {
+		pl.rs.EncodeTo(dst[ioff:ioff+ch.data+parity], data[off:off+ch.data])
+		off += ch.data
+		ioff += ch.data + parity
+	}
+	return nil
 }
 
 // Decode corrects a raw page image in place and returns the user data
@@ -97,24 +112,43 @@ func (pl *PublicLayout) Encode(data []byte) ([]byte, error) {
 // uncorrectable. The corrected image slice aliases the input, which after
 // a successful decode equals the exact as-programmed image.
 func (pl *PublicLayout) Decode(image []byte) (data []byte, corrected int, err error) {
-	if len(image) != pl.pageBytes {
-		return nil, 0, fmt.Errorf("core: image is %d bytes, want %d", len(image), pl.pageBytes)
+	corrected, err = pl.Correct(image)
+	if err != nil {
+		return nil, corrected, err
 	}
 	if pl.t == 0 {
-		return image, 0, nil
+		return image, corrected, nil
 	}
 	parity := pl.rs.ParitySymbols()
 	data = make([]byte, 0, pl.dataBytes)
 	off := 0
-	for i, ch := range pl.chunks {
-		cw := image[off : off+ch.data+parity]
-		n, err := pl.rs.Decode(cw)
-		if err != nil {
-			return nil, corrected, fmt.Errorf("%w: chunk %d: %v", ErrPublicUncorrectable, i, err)
-		}
-		corrected += n
-		data = append(data, cw[:ch.data]...)
+	for _, ch := range pl.chunks {
+		data = append(data, image[off:off+ch.data]...)
 		off += ch.data + parity
 	}
 	return data, corrected, nil
+}
+
+// Correct repairs a raw page image in place without materialising the
+// user-data view, returning the number of corrected symbols. It performs
+// no allocations: the selection path only needs the exact as-programmed
+// image, not the gathered data bytes.
+func (pl *PublicLayout) Correct(image []byte) (corrected int, err error) {
+	if len(image) != pl.pageBytes {
+		return 0, fmt.Errorf("core: image is %d bytes, want %d", len(image), pl.pageBytes)
+	}
+	if pl.t == 0 {
+		return 0, nil
+	}
+	parity := pl.rs.ParitySymbols()
+	off := 0
+	for i, ch := range pl.chunks {
+		n, err := pl.rs.Decode(image[off : off+ch.data+parity])
+		if err != nil {
+			return corrected, fmt.Errorf("%w: chunk %d: %v", ErrPublicUncorrectable, i, err)
+		}
+		corrected += n
+		off += ch.data + parity
+	}
+	return corrected, nil
 }

@@ -1,0 +1,228 @@
+package ecc
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// The perf campaign pins zero steady-state allocations on the codec hot
+// paths: once a codec has warmed its scratch, Encode/Decode must not touch
+// the heap. These tests are the contract; the benchmarks below report the
+// same numbers per op so regressions show up in bench diffs too.
+
+func eccTestWord(t testing.TB, c *BCH, msgLen int, flips int) []byte {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(42, uint64(msgLen)))
+	data := make([]byte, msgLen)
+	for i := range data {
+		data[i] = uint8(rng.IntN(2))
+	}
+	word := c.Encode(data)
+	for _, i := range rng.Perm(len(word))[:flips] {
+		word[i] ^= 1
+	}
+	return word
+}
+
+func TestBCHZeroAllocSteadyState(t *testing.T) {
+	c := NewBCH(9, 4)
+	data := make([]byte, 256)
+	rng := rand.New(rand.NewPCG(7, 7))
+	for i := range data {
+		data[i] = uint8(rng.IntN(2))
+	}
+	dst := make([]byte, len(data)+c.ParityBits())
+	// Warm-up sizes every internal scratch buffer.
+	c.EncodeTo(dst, data)
+	if _, err := c.Decode(dst); err != nil {
+		t.Fatalf("warm-up decode: %v", err)
+	}
+
+	if n := testing.AllocsPerRun(50, func() { c.EncodeTo(dst, data) }); n != 0 {
+		t.Errorf("EncodeTo allocates %.1f objects/op, want 0", n)
+	}
+	word := eccTestWord(t, c, 256, 3)
+	orig := append([]byte(nil), word...)
+	if n := testing.AllocsPerRun(50, func() {
+		copy(word, orig)
+		if _, err := c.Decode(word); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+	}); n != 0 {
+		t.Errorf("Decode allocates %.1f objects/op, want 0", n)
+	}
+}
+
+func TestRSZeroAllocSteadyState(t *testing.T) {
+	c := NewRS(4)
+	rng := rand.New(rand.NewPCG(9, 9))
+	data := make([]byte, 64)
+	for i := range data {
+		data[i] = byte(rng.IntN(256))
+	}
+	dst := make([]byte, len(data)+c.ParitySymbols())
+	c.EncodeTo(dst, data)
+	word := append([]byte(nil), dst...)
+	word[3] ^= 0x5a
+	word[40] ^= 0x11
+	orig := append([]byte(nil), word...)
+	if _, err := c.Decode(word); err != nil {
+		t.Fatalf("warm-up decode: %v", err)
+	}
+
+	if n := testing.AllocsPerRun(50, func() { c.EncodeTo(dst, data) }); n != 0 {
+		t.Errorf("EncodeTo allocates %.1f objects/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(50, func() {
+		copy(word, orig)
+		if _, err := c.Decode(word); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+	}); n != 0 {
+		t.Errorf("Decode allocates %.1f objects/op, want 0", n)
+	}
+}
+
+func TestRSDecodeErasuresZeroAllocSteadyState(t *testing.T) {
+	c := NewRS(4)
+	rng := rand.New(rand.NewPCG(11, 11))
+	data := make([]byte, 64)
+	for i := range data {
+		data[i] = byte(rng.IntN(256))
+	}
+	clean := c.Encode(data)
+	erasures := []int{2, 17, 33, 50, 60}
+	word := append([]byte(nil), clean...)
+	if err := c.DecodeErasures(word, erasures); err != nil {
+		t.Fatalf("warm-up erasure decode: %v", err)
+	}
+	if n := testing.AllocsPerRun(50, func() {
+		copy(word, clean)
+		for _, p := range erasures {
+			word[p] ^= 0xff
+		}
+		if err := c.DecodeErasures(word, erasures); err != nil {
+			t.Fatalf("erasure decode: %v", err)
+		}
+	}); n != 0 {
+		t.Errorf("DecodeErasures allocates %.1f objects/op, want 0", n)
+	}
+}
+
+func TestInterleaverToZeroAlloc(t *testing.T) {
+	il := NewInterleaver(8)
+	bits := make([]uint8, 2048)
+	for i := range bits {
+		bits[i] = uint8(i % 2)
+	}
+	dst := make([]uint8, len(bits))
+	back := make([]uint8, len(bits))
+	if n := testing.AllocsPerRun(50, func() {
+		il.InterleaveTo(dst, bits)
+		il.DeinterleaveTo(back, dst)
+	}); n != 0 {
+		t.Errorf("InterleaveTo+DeinterleaveTo allocates %.1f objects/op, want 0", n)
+	}
+	for i := range bits {
+		if back[i] != bits[i] {
+			t.Fatalf("round trip mismatch at %d", i)
+		}
+	}
+}
+
+func TestInterleaveToMatchesInterleave(t *testing.T) {
+	for _, depth := range []int{1, 3, 8} {
+		il := NewInterleaver(depth)
+		for _, n := range []int{0, 1, 17, 256} {
+			bits := make([]uint8, n)
+			for i := range bits {
+				bits[i] = uint8((i * 7) % 2)
+			}
+			dst := make([]uint8, n)
+			got := il.InterleaveTo(dst, bits)
+			want := il.Interleave(bits)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("depth=%d n=%d: InterleaveTo differs at %d", depth, n, i)
+				}
+			}
+			gotBack := il.DeinterleaveTo(make([]uint8, n), got)
+			for i := range bits {
+				if gotBack[i] != bits[i] {
+					t.Fatalf("depth=%d n=%d: DeinterleaveTo not inverse at %d", depth, n, i)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkBCHEncode(b *testing.B) {
+	c := NewBCH(9, 4)
+	data := make([]byte, 256)
+	for i := range data {
+		data[i] = uint8(i % 2)
+	}
+	dst := make([]byte, len(data)+c.ParityBits())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.EncodeTo(dst, data)
+	}
+}
+
+func BenchmarkBCHDecode(b *testing.B) {
+	c := NewBCH(9, 4)
+	word := eccTestWord(b, c, 256, 3)
+	orig := append([]byte(nil), word...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(word, orig)
+		if _, err := c.Decode(word); err != nil {
+			b.Fatalf("decode: %v", err)
+		}
+	}
+}
+
+func BenchmarkRSDecode(b *testing.B) {
+	c := NewRS(4)
+	data := make([]byte, 128)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	clean := c.Encode(data)
+	word := append([]byte(nil), clean...)
+	word[5] ^= 0x21
+	word[77] ^= 0x84
+	orig := append([]byte(nil), word...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(word, orig)
+		if _, err := c.Decode(word); err != nil {
+			b.Fatalf("decode: %v", err)
+		}
+	}
+}
+
+func BenchmarkRSDecodeErasures(b *testing.B) {
+	c := NewRS(4)
+	data := make([]byte, 128)
+	for i := range data {
+		data[i] = byte(i * 13)
+	}
+	clean := c.Encode(data)
+	erasures := []int{4, 19, 66, 90, 101, 120}
+	word := append([]byte(nil), clean...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(word, clean)
+		for _, p := range erasures {
+			word[p] ^= 0xff
+		}
+		if err := c.DecodeErasures(word, erasures); err != nil {
+			b.Fatalf("erasure decode: %v", err)
+		}
+	}
+}

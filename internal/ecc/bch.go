@@ -10,14 +10,36 @@ import (
 // directly by Encode/Decode: missing leading data bits are treated as
 // zeros, which is how NAND controllers fit BCH to page and spare sizes.
 //
-// Bits are represented one-per-byte (values 0 or 1); hidden payloads are a
-// few hundred bits per page, so clarity beats packing here.
+// Bits cross the API one-per-byte (values 0 or 1) because hidden payloads
+// are a few hundred bits per page and every caller already works in that
+// representation. Internally the hot paths are word-packed: Encode runs
+// the LFSR division over a []uint64 remainder register with a 256-entry
+// byte-stepping table (the classic CRC construction, generalised to the
+// multi-word parity registers real BCH codes need — StandardConfig's
+// m=9/t=8 code already has 72 parity bits), and Decode's syndrome and
+// Chien loops walk exponents incrementally so the inner loops carry no
+// division or modulo at all.
+//
+// A BCH codec owns reusable scratch (the register, syndromes, and the
+// Berlekamp–Massey work polynomials), so Decode and EncodeTo perform no
+// steady-state allocations. Like a nand.Device, a codec is therefore not
+// safe for concurrent use; distinct codecs share nothing.
 type BCH struct {
 	f   *Field
 	t   int     // design error-correction capability
 	n   int     // natural codeword length
 	k   int     // natural data length
 	gen []uint8 // generator polynomial coefficients, gen[i] = coeff of x^i
+
+	r        int      // parity bits, len(gen)-1
+	regWords int      // 64-bit words in the remainder register
+	topMask  uint64   // mask keeping the top register word to r bits
+	genWords []uint64 // gen[0..r-1] packed, bit i of word i/64
+	encTab   []uint64 // byte-step table, 256 entries of regWords words; nil when r < 8
+
+	reg  []uint64 // encode remainder scratch
+	synd []int    // decode syndrome scratch, 2t entries
+	bm   bmScratch
 }
 
 // ErrUncorrectable is returned when a received word holds more errors than
@@ -35,7 +57,79 @@ func NewBCH(m, t int) *BCH {
 	if r >= n {
 		panic(fmt.Sprintf("ecc: BCH(m=%d, t=%d) has no data bits", m, t))
 	}
-	return &BCH{f: f, t: t, n: n, k: n - r, gen: gen}
+	c := &BCH{f: f, t: t, n: n, k: n - r, gen: gen, r: r}
+	c.regWords = (r + 63) / 64
+	if rem := r & 63; rem == 0 {
+		c.topMask = ^uint64(0)
+	} else {
+		c.topMask = (uint64(1) << uint(rem)) - 1
+	}
+	c.genWords = make([]uint64, c.regWords)
+	for i := 0; i < r; i++ {
+		if gen[i] != 0 {
+			c.genWords[i>>6] |= 1 << uint(i&63)
+		}
+	}
+	c.reg = make([]uint64, c.regWords)
+	c.synd = make([]int, 2*t)
+	if r >= 8 {
+		c.encTab = c.buildEncTab()
+	}
+	return c
+}
+
+// buildEncTab precomputes, for every input byte value, the register delta
+// of eight bitwise LFSR steps — the multi-word generalisation of a
+// MSB-first CRC table.
+func (c *BCH) buildEncTab() []uint64 {
+	tab := make([]uint64, 256*c.regWords)
+	tmp := make([]uint64, c.regWords)
+	for v := 0; v < 256; v++ {
+		for i := range tmp {
+			tmp[i] = 0
+		}
+		// Register starts as v placed in the top 8 bits (v's bit k at
+		// polynomial position r-8+k), then absorbs 8 zero input bits.
+		for k := 0; k < 8; k++ {
+			if v&(1<<uint(k)) != 0 {
+				pos := c.r - 8 + k
+				tmp[pos>>6] |= 1 << uint(pos&63)
+			}
+		}
+		for s := 0; s < 8; s++ {
+			c.regStep(tmp, 0)
+		}
+		copy(tab[v*c.regWords:(v+1)*c.regWords], tmp)
+	}
+	return tab
+}
+
+// regStep advances the packed LFSR register by one input bit.
+func (c *BCH) regStep(reg []uint64, bit uint8) {
+	top := c.r - 1
+	fb := bit ^ (uint8(reg[top>>6]>>uint(top&63)) & 1)
+	for w := len(reg) - 1; w > 0; w-- {
+		reg[w] = reg[w]<<1 | reg[w-1]>>63
+	}
+	reg[0] <<= 1
+	reg[len(reg)-1] &= c.topMask
+	if fb != 0 {
+		for w := range reg {
+			reg[w] ^= c.genWords[w]
+		}
+	}
+}
+
+// regTopByte extracts the top 8 register bits (positions r-8..r-1).
+func (c *BCH) regTopByte(reg []uint64) byte {
+	lo := c.r - 8
+	w := lo >> 6
+	sh := uint(lo & 63)
+	v := reg[w] >> sh
+	if sh > 56 && w+1 < len(reg) {
+		v |= reg[w+1] << (64 - sh)
+	}
+	return byte(v)
 }
 
 // bchGenerator computes g(x) = lcm of minimal polynomials of alpha^1..alpha^2t.
@@ -91,34 +185,61 @@ func (c *BCH) ParityBits() int { return c.n - c.k }
 // value up to K() (shortened code). It panics if data is too long or holds
 // non-bit values.
 func (c *BCH) Encode(data []uint8) []uint8 {
+	return c.EncodeTo(make([]uint8, len(data)+c.r), data)
+}
+
+// EncodeTo is Encode into a caller-owned buffer: dst must hold at least
+// len(data)+ParityBits() entries and must not alias data. It returns
+// dst[:len(data)+ParityBits()] and performs no allocations.
+func (c *BCH) EncodeTo(dst, data []uint8) []uint8 {
 	if len(data) > c.k {
 		panic(fmt.Sprintf("ecc: BCH data length %d exceeds k=%d", len(data), c.k))
 	}
-	r := c.n - c.k
-	// LFSR division: feed data bits in, remainder accumulates in reg.
-	// reg[i] corresponds to coefficient of x^i.
-	reg := make([]uint8, r)
-	for _, bit := range data {
-		if bit > 1 {
-			panic("ecc: BCH data must be 0/1 bits")
-		}
-		fb := bit ^ reg[r-1]
-		copy(reg[1:], reg[:r-1])
-		reg[0] = 0
-		if fb != 0 {
-			for i := 0; i < r; i++ {
-				if c.gen[i] != 0 {
-					reg[i] ^= fb
+	if len(dst) < len(data)+c.r {
+		panic(fmt.Sprintf("ecc: BCH EncodeTo dst holds %d entries, need %d", len(dst), len(data)+c.r))
+	}
+	reg := c.reg
+	for i := range reg {
+		reg[i] = 0
+	}
+	i := 0
+	if c.encTab != nil {
+		// Byte-at-a-time LFSR: fold 8 data bits per table lookup.
+		for ; i+8 <= len(data); i += 8 {
+			var bb byte
+			for k := 0; k < 8; k++ {
+				bit := data[i+k]
+				if bit > 1 {
+					panic("ecc: BCH data must be 0/1 bits")
 				}
+				bb = bb<<1 | bit
+			}
+			top := int(c.regTopByte(reg) ^ bb)
+			for w := len(reg) - 1; w > 0; w-- {
+				reg[w] = reg[w]<<8 | reg[w-1]>>56
+			}
+			reg[0] <<= 8
+			reg[len(reg)-1] &= c.topMask
+			ent := c.encTab[top*c.regWords : (top+1)*c.regWords]
+			for w := range reg {
+				reg[w] ^= ent[w]
 			}
 		}
 	}
-	out := make([]uint8, len(data)+r)
+	for ; i < len(data); i++ {
+		bit := data[i]
+		if bit > 1 {
+			panic("ecc: BCH data must be 0/1 bits")
+		}
+		c.regStep(reg, bit)
+	}
+	out := dst[:len(data)+c.r]
 	copy(out, data)
 	// Parity out in high-to-low coefficient order to match the codeword
 	// polynomial layout used by Decode.
-	for i := 0; i < r; i++ {
-		out[len(data)+i] = reg[r-1-i]
+	for p := 0; p < c.r; p++ {
+		b := c.r - 1 - p
+		out[len(data)+p] = uint8(reg[b>>6]>>uint(b&63)) & 1
 	}
 	return out
 }
@@ -129,144 +250,161 @@ func (c *BCH) Encode(data []uint8) []uint8 {
 // capability. recv = dataBits || parityBits with the same shortening as at
 // encode time.
 func (c *BCH) Decode(recv []uint8) (int, error) {
-	r := c.n - c.k
-	if len(recv) < r {
-		return 0, fmt.Errorf("ecc: BCH received word too short: %d < %d parity bits", len(recv), r)
+	if len(recv) < c.r {
+		return 0, fmt.Errorf("ecc: BCH received word too short: %d < %d parity bits", len(recv), c.r)
 	}
-	// Position i in recv corresponds to codeword polynomial exponent
-	// n-1-s-i where s is the shortening amount.
-	s := c.n - len(recv)
-	synd := make([]int, 2*c.t)
-	allZero := true
-	for j := 1; j <= 2*c.t; j++ {
-		v := 0
-		for i, bit := range recv {
-			if bit != 0 {
-				e := c.n - 1 - s - i
-				v ^= c.f.Exp(j * e % c.f.N())
-			}
-		}
-		synd[j-1] = v
-		if v != 0 {
-			allZero = false
-		}
-	}
-	if allZero {
+	if !c.syndromes(recv, c.synd) {
 		return 0, nil
 	}
 
-	lambda, errCount := berlekampMassey(c.f, synd)
+	lambda, errCount := berlekampMassey(c.f, c.synd, &c.bm)
 	if lambda == nil || errCount > c.t {
 		return 0, ErrUncorrectable
 	}
 
-	// Chien search over the real (non-shortened) positions.
-	corrected := 0
-	for i := range recv {
-		e := c.n - 1 - s - i
-		// Candidate error locator root: x = alpha^{-e}.
-		x := c.f.Exp((c.f.N() - e%c.f.N()) % c.f.N())
-		if c.f.PolyEval(lambda, x) == 0 {
-			recv[i] ^= 1
-			corrected++
-		}
-	}
+	// Chien search over the real (non-shortened) positions. Position i
+	// corresponds to codeword exponent e = len(recv)-1-i; the candidate
+	// locator root alpha^{-e} walks the exponent circle one step per
+	// position, so no modulo appears in the loop.
+	corrected := c.chienFlip(recv, lambda)
 	if corrected != errCount {
 		// Some roots fell in the shortened region or the locator was
 		// inconsistent: more errors than t.
 		// Roll back our speculative flips to leave recv as received.
-		for i := range recv {
-			e := c.n - 1 - s - i
-			x := c.f.Exp((c.f.N() - e%c.f.N()) % c.f.N())
-			if c.f.PolyEval(lambda, x) == 0 {
-				recv[i] ^= 1
-			}
-		}
+		c.chienFlip(recv, lambda)
 		return 0, ErrUncorrectable
 	}
-	// Verify: recompute a couple of syndromes to catch miscorrection. On
-	// failure roll the speculative flips back so recv is left as received
-	// (the same contract as the Chien-mismatch path above).
-	for j := 1; j <= 2*c.t; j++ {
-		v := 0
-		for i, bit := range recv {
-			if bit != 0 {
-				e := c.n - 1 - s - i
-				v ^= c.f.Exp(j * e % c.f.N())
-			}
-		}
-		if v != 0 {
-			for i := range recv {
-				e := c.n - 1 - s - i
-				x := c.f.Exp((c.f.N() - e%c.f.N()) % c.f.N())
-				if c.f.PolyEval(lambda, x) == 0 {
-					recv[i] ^= 1
-				}
-			}
-			return 0, ErrUncorrectable
-		}
+	// Verify: recompute the syndromes to catch miscorrection. On failure
+	// roll the speculative flips back so recv is left as received (the
+	// same contract as the Chien-mismatch path above).
+	if c.syndromes(recv, c.synd) {
+		c.chienFlip(recv, lambda)
+		return 0, ErrUncorrectable
 	}
 	return corrected, nil
+}
+
+// syndromes fills synd with the 2t syndromes of recv and reports whether
+// any is non-zero. Position i carries codeword exponent e = len(recv)-1-i
+// (shortening folds into the leading zeros), so for syndrome j the term
+// exponent j*e mod n decreases by j per position — one subtraction with
+// wraparound instead of a multiply+mod per set bit.
+func (c *BCH) syndromes(recv []uint8, synd []int) bool {
+	nonzero := false
+	e0 := len(recv) - 1
+	for j := 1; j <= 2*c.t; j++ {
+		p := (j * e0) % c.n
+		v := 0
+		for _, bit := range recv {
+			if bit != 0 {
+				v ^= int(c.f.exp[p])
+			}
+			p -= j
+			if p < 0 {
+				p += c.n
+			}
+		}
+		synd[j-1] = v
+		if v != 0 {
+			nonzero = true
+		}
+	}
+	return nonzero
+}
+
+// chienFlip flips every position whose locator root matches and returns
+// the flip count. Running it twice restores recv exactly, which is how
+// Decode rolls back speculative corrections.
+func (c *BCH) chienFlip(recv []uint8, lambda []int) int {
+	e0 := len(recv) - 1
+	u := (c.n - e0%c.n) % c.n // exponent of alpha^{-e} at position 0
+	count := 0
+	for i := range recv {
+		if c.f.PolyEval(lambda, int(c.f.exp[u])) == 0 {
+			recv[i] ^= 1
+			count++
+		}
+		u++
+		if u == c.n {
+			u = 0
+		}
+	}
+	return count
+}
+
+// bmScratch holds the three Berlekamp–Massey work polynomials. The
+// algorithm rotates the backing arrays among lambda/b/tmp roles, so a
+// codec-owned scratch makes repeated decodes allocation-free.
+type bmScratch struct {
+	lambda, b, tmp []int
+}
+
+func (sc *bmScratch) ensure(n int) {
+	if cap(sc.lambda) < n {
+		sc.lambda = make([]int, n)
+		sc.b = make([]int, n)
+		sc.tmp = make([]int, n)
+	}
 }
 
 // berlekampMassey runs the Berlekamp–Massey algorithm over field f on the
 // syndrome sequence and returns the error-locator polynomial (lambda[i] =
 // coeff of x^i, lambda[0] = 1) and its degree L. It returns (nil, 0) when
 // the locator degree disagrees with the polynomial (detected failure).
-func berlekampMassey(f *Field, synd []int) ([]int, int) {
-	lambda := []int{1}
-	b := []int{1}
+// The returned slice aliases sc and is valid until the next call with the
+// same scratch.
+func berlekampMassey(f *Field, synd []int, sc *bmScratch) ([]int, int) {
+	sc.ensure(len(synd) + 2)
+	la, ba, ta := sc.lambda, sc.b, sc.tmp
+	la[0], ba[0] = 1, 1
+	ll, lb := 1, 1 // live lengths of la and ba
 	L := 0
 	mShift := 1
 	bDelta := 1
 	for n := 0; n < len(synd); n++ {
 		// Discrepancy.
 		d := synd[n]
-		for i := 1; i <= L && i < len(lambda); i++ {
-			d ^= f.Mul(lambda[i], synd[n-i])
+		for i := 1; i <= L && i < ll; i++ {
+			d ^= f.Mul(la[i], synd[n-i])
 		}
 		if d == 0 {
 			mShift++
 			continue
 		}
+		// ta = la - scale * x^mShift * ba (characteristic 2: XOR).
+		scale := f.Div(d, bDelta)
+		nl := ll
+		if v := lb + mShift; v > nl {
+			nl = v
+		}
+		copy(ta[:ll], la[:ll])
+		for i := ll; i < nl; i++ {
+			ta[i] = 0
+		}
+		for i := 0; i < lb; i++ {
+			if ba[i] != 0 {
+				ta[i+mShift] ^= f.Mul(scale, ba[i])
+			}
+		}
 		if 2*L <= n {
-			tPoly := append([]int(nil), lambda...)
-			lambda = polySubScaledShift(f, lambda, b, f.Div(d, bDelta), mShift)
+			la, ba, ta = ta, la, ba
+			lb = ll
+			ll = nl
 			L = n + 1 - L
-			b = tPoly
 			bDelta = d
 			mShift = 1
 		} else {
-			lambda = polySubScaledShift(f, lambda, b, f.Div(d, bDelta), mShift)
+			la, ta = ta, la
+			ll = nl
 			mShift++
 		}
 	}
 	// Trim and validate degree.
-	for len(lambda) > 1 && lambda[len(lambda)-1] == 0 {
-		lambda = lambda[:len(lambda)-1]
+	for ll > 1 && la[ll-1] == 0 {
+		ll--
 	}
-	if len(lambda)-1 != L {
+	if ll-1 != L {
 		return nil, 0
 	}
-	return lambda, L
-}
-
-// polySubScaledShift returns a(x) - scale * x^shift * b(x) (characteristic
-// 2, so subtraction is XOR).
-func polySubScaledShift(f *Field, a, b []int, scale, shift int) []int {
-	out := make([]int, max(len(a), len(b)+shift))
-	copy(out, a)
-	for i, bi := range b {
-		if bi != 0 {
-			out[i+shift] ^= f.Mul(scale, bi)
-		}
-	}
-	return out
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
+	return la[:ll], L
 }

@@ -8,11 +8,26 @@ package ecc
 // BytesToBits expands b into one bit per output byte, MSB first within each
 // input byte.
 func BytesToBits(b []byte) []uint8 {
-	out := make([]uint8, len(b)*8)
+	return BytesToBitsInto(make([]uint8, len(b)*8), b)
+}
+
+// BytesToBitsInto is BytesToBits into a caller-owned buffer: dst must hold
+// at least len(b)*8 entries. It returns dst[:len(b)*8] and performs no
+// allocations.
+func BytesToBitsInto(dst []uint8, b []byte) []uint8 {
+	if len(dst) < len(b)*8 {
+		panic("ecc: BytesToBitsInto dst too short")
+	}
+	out := dst[:len(b)*8]
 	for i, x := range b {
-		for j := 0; j < 8; j++ {
-			out[i*8+j] = (x >> uint(7-j)) & 1
-		}
+		out[i*8+0] = (x >> 7) & 1
+		out[i*8+1] = (x >> 6) & 1
+		out[i*8+2] = (x >> 5) & 1
+		out[i*8+3] = (x >> 4) & 1
+		out[i*8+4] = (x >> 3) & 1
+		out[i*8+5] = (x >> 2) & 1
+		out[i*8+6] = (x >> 1) & 1
+		out[i*8+7] = x & 1
 	}
 	return out
 }
@@ -20,7 +35,21 @@ func BytesToBits(b []byte) []uint8 {
 // BitsToBytes packs bits (one per byte, MSB first) into bytes. Trailing
 // bits that do not fill a byte are packed into the final byte's high bits.
 func BitsToBytes(bits []uint8) []byte {
-	out := make([]byte, (len(bits)+7)/8)
+	return BitsToBytesInto(make([]byte, (len(bits)+7)/8), bits)
+}
+
+// BitsToBytesInto is BitsToBytes into a caller-owned buffer: dst must hold
+// at least (len(bits)+7)/8 bytes, which are overwritten in full. It
+// returns the packed prefix of dst and performs no allocations.
+func BitsToBytesInto(dst []byte, bits []uint8) []byte {
+	n := (len(bits) + 7) / 8
+	if len(dst) < n {
+		panic("ecc: BitsToBytesInto dst too short")
+	}
+	out := dst[:n]
+	for i := range out {
+		out[i] = 0
+	}
 	for i, b := range bits {
 		if b != 0 {
 			out[i/8] |= 1 << uint(7-i%8)
@@ -63,17 +92,30 @@ func NewInterleaver(depth int) *Interleaver {
 
 // Interleave reorders bits; the result has the same length.
 func (il *Interleaver) Interleave(bits []uint8) []uint8 {
+	return il.InterleaveTo(make([]uint8, len(bits)), bits)
+}
+
+// InterleaveTo is Interleave into a caller-owned buffer: dst must hold at
+// least len(bits) entries and must not alias bits. It returns
+// dst[:len(bits)] and performs no allocations.
+func (il *Interleaver) InterleaveTo(dst, bits []uint8) []uint8 {
+	if len(dst) < len(bits) {
+		panic("ecc: InterleaveTo dst too short")
+	}
+	out := dst[:len(bits)]
 	if il.depth == 1 || len(bits) == 0 {
-		return append([]uint8(nil), bits...)
+		copy(out, bits)
+		return out
 	}
 	n := len(bits)
 	width := (n + il.depth - 1) / il.depth
-	out := make([]uint8, 0, n)
+	j := 0
 	for c := 0; c < width; c++ {
 		for r := 0; r < il.depth; r++ {
 			i := r*width + c
 			if i < n {
-				out = append(out, bits[i])
+				out[j] = bits[i]
+				j++
 			}
 		}
 	}
@@ -82,12 +124,22 @@ func (il *Interleaver) Interleave(bits []uint8) []uint8 {
 
 // Deinterleave inverts Interleave.
 func (il *Interleaver) Deinterleave(bits []uint8) []uint8 {
+	return il.DeinterleaveTo(make([]uint8, len(bits)), bits)
+}
+
+// DeinterleaveTo is Deinterleave into a caller-owned buffer with the same
+// contract as InterleaveTo.
+func (il *Interleaver) DeinterleaveTo(dst, bits []uint8) []uint8 {
+	if len(dst) < len(bits) {
+		panic("ecc: DeinterleaveTo dst too short")
+	}
+	out := dst[:len(bits)]
 	if il.depth == 1 || len(bits) == 0 {
-		return append([]uint8(nil), bits...)
+		copy(out, bits)
+		return out
 	}
 	n := len(bits)
 	width := (n + il.depth - 1) / il.depth
-	out := make([]uint8, n)
 	j := 0
 	for c := 0; c < width; c++ {
 		for r := 0; r < il.depth; r++ {

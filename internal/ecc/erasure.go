@@ -22,110 +22,101 @@ func (c *RS) DecodeErasures(recv []byte, erasures []int) error {
 	if len(erasures) > r {
 		return fmt.Errorf("ecc: %d erasures exceed %d parity symbols", len(erasures), r)
 	}
-	s := c.n - len(recv)
-	seen := map[int]bool{}
-	for _, pos := range erasures {
+	for i, pos := range erasures {
 		if pos < 0 || pos >= len(recv) {
 			return fmt.Errorf("ecc: erasure position %d out of range", pos)
 		}
-		if seen[pos] {
-			return fmt.Errorf("ecc: duplicate erasure position %d", pos)
+		// Erasure lists are at most 2t long, so a quadratic scan beats a
+		// map both in time and in allocations.
+		for _, prev := range erasures[:i] {
+			if prev == pos {
+				return fmt.Errorf("ecc: duplicate erasure position %d", pos)
+			}
 		}
-		seen[pos] = true
 		// Zero the erased symbol so it contributes nothing; the solved
 		// magnitude then replaces it outright.
 		recv[pos] = 0
 	}
 
-	// Syndromes of the zeroed word.
-	synd := make([]int, r)
-	for j := 1; j <= r; j++ {
-		v := 0
-		for i, sym := range recv {
-			if sym != 0 {
-				e := c.n - 1 - s - i
-				v ^= c.f.Mul(int(sym), c.f.Exp(j*e%c.f.N()))
-			}
-		}
-		synd[j-1] = v
-	}
+	// Syndromes of the zeroed word (into the codec's syndrome scratch).
+	c.syndromes(recv)
 
 	// Solve sum_i Y_i * X_i^j = S_j for the magnitudes Y_i, where
 	// X_i = alpha^(position exponent). Vandermonde system, Gaussian
-	// elimination over GF(256).
+	// elimination over GF(256). The system lives in codec scratch: one
+	// flat backing array plus row headers so pivoting swaps headers only.
 	e := len(erasures)
-	locs := make([]int, e)
+	stride := e + 1
+	if cap(c.locs) < e {
+		c.locs = make([]int, r)
+		c.mat = make([]int, r*(r+1))
+		c.rows = make([][]int, r)
+	}
+	locs := c.locs[:e]
+	e0 := len(recv) - 1
 	for i, pos := range erasures {
-		locs[i] = c.f.Exp((c.n - 1 - s - pos) % c.f.N())
+		locs[i] = c.f.Exp(e0 - pos)
 	}
-	// Build augmented matrix: e equations suffice (take the first e
-	// syndromes); using more would over-determine consistently, but e
-	// keeps elimination minimal.
-	mat := make([][]int, e)
+	// e equations suffice (take the first e syndromes); using more would
+	// over-determine consistently, but e keeps elimination minimal. Row j
+	// holds X_i^(j+1), built incrementally from row j-1.
+	rows := c.rows[:e]
 	for j := 0; j < e; j++ {
-		row := make([]int, e+1)
-		for i := 0; i < e; i++ {
-			row[i] = c.f.Pow(locs[i], j+1)
-		}
-		row[e] = synd[j]
-		mat[j] = row
+		rows[j] = c.mat[j*stride : (j+1)*stride]
 	}
-	mags, err := c.solve(mat, e)
-	if err != nil {
+	for i := 0; i < e; i++ {
+		rows[0][i] = locs[i]
+	}
+	for j := 1; j < e; j++ {
+		for i := 0; i < e; i++ {
+			rows[j][i] = c.f.Mul(rows[j-1][i], locs[i])
+		}
+	}
+	for j := 0; j < e; j++ {
+		rows[j][e] = c.synd[j]
+	}
+	if err := c.solve(rows, e); err != nil {
 		return err
 	}
 	for i, pos := range erasures {
-		recv[pos] = byte(mags[i])
+		recv[pos] = byte(rows[i][e])
 	}
 	// Verify against the full syndrome set.
-	for j := 1; j <= r; j++ {
-		v := 0
-		for i, sym := range recv {
-			if sym != 0 {
-				ex := c.n - 1 - s - i
-				v ^= c.f.Mul(int(sym), c.f.Exp(j*ex%c.f.N()))
-			}
-		}
-		if v != 0 {
-			return ErrUncorrectable
-		}
+	if c.syndromes(recv) {
+		return ErrUncorrectable
 	}
 	return nil
 }
 
 // solve runs Gaussian elimination on an e x (e+1) augmented matrix over
-// the field and returns the solution vector.
-func (c *RS) solve(mat [][]int, e int) ([]int, error) {
+// the field, leaving the solution vector in rows[i][e].
+func (c *RS) solve(rows [][]int, e int) error {
 	for col := 0; col < e; col++ {
 		// Find a pivot.
 		pivot := -1
 		for row := col; row < e; row++ {
-			if mat[row][col] != 0 {
+			if rows[row][col] != 0 {
 				pivot = row
 				break
 			}
 		}
 		if pivot < 0 {
-			return nil, ErrUncorrectable
+			return ErrUncorrectable
 		}
-		mat[col], mat[pivot] = mat[pivot], mat[col]
-		inv := c.f.Inv(mat[col][col])
+		rows[col], rows[pivot] = rows[pivot], rows[col]
+		inv := c.f.Inv(rows[col][col])
 		for k := col; k <= e; k++ {
-			mat[col][k] = c.f.Mul(mat[col][k], inv)
+			rows[col][k] = c.f.Mul(rows[col][k], inv)
 		}
 		for row := 0; row < e; row++ {
-			if row == col || mat[row][col] == 0 {
+			if row == col || rows[row][col] == 0 {
 				continue
 			}
-			factor := mat[row][col]
+			factor := rows[row][col]
 			for k := col; k <= e; k++ {
-				mat[row][k] ^= c.f.Mul(factor, mat[col][k])
+				rows[row][k] ^= c.f.Mul(factor, rows[col][k])
 			}
 		}
 	}
-	out := make([]int, e)
-	for i := 0; i < e; i++ {
-		out[i] = mat[i][e]
-	}
-	return out, nil
+	return nil
 }

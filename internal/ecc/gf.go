@@ -72,8 +72,16 @@ func (f *Field) M() int { return f.m }
 // codeword length over this field).
 func (f *Field) N() int { return f.n }
 
-// Exp returns alpha^i for any non-negative i.
-func (f *Field) Exp(i int) int { return int(f.exp[i%f.n]) }
+// Exp returns alpha^i for any integer i, reducing the exponent mod n.
+// Negative exponents are valid (alpha^-i = alpha^(n-i)); Go's % keeps the
+// sign of the dividend, so the remainder is normalized before indexing.
+func (f *Field) Exp(i int) int {
+	i %= f.n
+	if i < 0 {
+		i += f.n
+	}
+	return int(f.exp[i])
+}
 
 // Log returns the discrete log of x. It panics on x == 0, which has no log;
 // callers must guard, as every zero-divide here is an algorithm bug.

@@ -36,6 +36,24 @@ func TestFieldExpLogInverse(t *testing.T) {
 	}
 }
 
+// Regression: Exp used to index exp[i%n] directly, and Go's % keeps the
+// dividend's sign, so any negative exponent panicked with an out-of-range
+// index. Negative exponents are legitimate (alpha^-i = alpha^(n-i)) and
+// appear wherever inverse roots are walked.
+func TestFieldExpNegative(t *testing.T) {
+	f := NewField(8)
+	for _, i := range []int{-1, -7, -f.N(), -f.N() - 3, -10 * f.N()} {
+		got := f.Exp(i)
+		want := f.Inv(f.Exp(-i))
+		if got != want {
+			t.Fatalf("Exp(%d) = %d, want inverse of Exp(%d) = %d", i, got, -i, want)
+		}
+	}
+	if got := f.Exp(-f.N()); got != 1 {
+		t.Fatalf("Exp(-n) = %d, want 1", got)
+	}
+}
+
 func TestFieldAxioms(t *testing.T) {
 	f := NewField(9)
 	rng := rand.New(rand.NewPCG(1, 1))

@@ -13,12 +13,31 @@ import (
 // bursty errors that program interference induces in adjacent cells.
 //
 // Shortened use (messages shorter than K symbols) is supported directly.
+//
+// A codec owns reusable decode scratch (syndromes, evaluator, locator work
+// polynomials, the erasure system), so Decode, DecodeErasures and EncodeTo
+// perform no steady-state allocations. Like a nand.Device, a codec is
+// therefore not safe for concurrent use; distinct codecs share nothing.
 type RS struct {
 	f   *Field
 	t   int   // correctable symbol errors
 	n   int   // natural codeword length, 255
 	k   int   // natural data length, 255 - 2t
 	gen []int // generator polynomial, gen[i] = coeff of x^i, monic
+
+	reg    []int // encode LFSR scratch, 2t entries
+	synd   []int // syndrome scratch, 2t entries
+	omega  []int // error-evaluator scratch, 2t entries
+	deriv  []int // formal-derivative scratch
+	fixIdx []int // pending correction positions
+	fixVal []int // pending correction magnitudes
+	bm     bmScratch
+
+	// Erasure-decoding scratch: locator points plus the flat augmented
+	// Vandermonde system and its row headers (see DecodeErasures).
+	locs []int
+	mat  []int
+	rows [][]int
 }
 
 // ErrRSTooLong is returned/panicked when a message exceeds code capacity.
@@ -41,7 +60,16 @@ func NewRS(t int) *RS {
 		}
 		gen = ng
 	}
-	return &RS{f: f, t: t, n: 255, k: 255 - 2*t, gen: gen}
+	r := 2 * t
+	return &RS{
+		f: f, t: t, n: 255, k: 255 - r, gen: gen,
+		reg:    make([]int, r),
+		synd:   make([]int, r),
+		omega:  make([]int, r),
+		deriv:  make([]int, r),
+		fixIdx: make([]int, 0, t),
+		fixVal: make([]int, 0, t),
+	}
 }
 
 // N returns the natural codeword length in symbols (255).
@@ -59,11 +87,25 @@ func (c *RS) ParitySymbols() int { return 2 * c.t }
 // Encode returns data followed by 2t parity symbols. len(data) may be at
 // most K() (shortened code). It panics if the message is too long.
 func (c *RS) Encode(data []byte) []byte {
+	return c.EncodeTo(make([]byte, len(data)+2*c.t), data)
+}
+
+// EncodeTo is Encode into a caller-owned buffer: dst must hold at least
+// len(data)+ParitySymbols() bytes and may alias data only if they share
+// the same start. It returns dst[:len(data)+ParitySymbols()] and performs
+// no allocations.
+func (c *RS) EncodeTo(dst, data []byte) []byte {
 	if len(data) > c.k {
 		panic(ErrRSTooLong)
 	}
 	r := 2 * c.t
-	reg := make([]int, r)
+	if len(dst) < len(data)+r {
+		panic(fmt.Sprintf("ecc: RS EncodeTo dst holds %d bytes, need %d", len(dst), len(data)+r))
+	}
+	reg := c.reg
+	for i := range reg {
+		reg[i] = 0
+	}
 	for _, d := range data {
 		fb := int(d) ^ reg[r-1]
 		copy(reg[1:], reg[:r-1])
@@ -74,12 +116,41 @@ func (c *RS) Encode(data []byte) []byte {
 			}
 		}
 	}
-	out := make([]byte, len(data)+r)
+	out := dst[:len(data)+r]
 	copy(out, data)
 	for i := 0; i < r; i++ {
 		out[len(data)+i] = byte(reg[r-1-i])
 	}
 	return out
+}
+
+// syndromes fills c.synd with the 2t syndromes of recv and reports whether
+// any is non-zero. Position i carries codeword exponent e = len(recv)-1-i,
+// so for syndrome j the term exponent j*e mod n decreases by j per
+// position — an incremental walk with no multiply or modulo in the loop.
+func (c *RS) syndromes(recv []byte) bool {
+	nonzero := false
+	e0 := len(recv) - 1
+	f := c.f
+	for j := 1; j <= 2*c.t; j++ {
+		p := (j * e0) % c.n
+		v := 0
+		for _, sym := range recv {
+			if sym != 0 {
+				// Mul(sym, alpha^p) via one doubled-exp lookup.
+				v ^= int(f.exp[int(f.log[sym])+p])
+			}
+			p -= j
+			if p < 0 {
+				p += c.n
+			}
+		}
+		c.synd[j-1] = v
+		if v != 0 {
+			nonzero = true
+		}
+	}
+	return nonzero
 }
 
 // Decode corrects up to T() symbol errors in recv in place and returns the
@@ -89,48 +160,57 @@ func (c *RS) Decode(recv []byte) (int, error) {
 	if len(recv) < r {
 		return 0, fmt.Errorf("ecc: RS received word too short: %d < %d parity symbols", len(recv), r)
 	}
-	s := c.n - len(recv) // shortening amount
-	synd := make([]int, r)
-	allZero := true
-	for j := 1; j <= r; j++ {
-		v := 0
-		for i, sym := range recv {
-			if sym != 0 {
-				e := c.n - 1 - s - i
-				v ^= c.f.Mul(int(sym), c.f.Exp(j*e%c.f.N()))
-			}
-		}
-		synd[j-1] = v
-		if v != 0 {
-			allZero = false
-		}
-	}
-	if allZero {
+	if !c.syndromes(recv) {
 		return 0, nil
 	}
 
-	lambda, errCount := berlekampMassey(c.f, synd)
+	lambda, errCount := berlekampMassey(c.f, c.synd, &c.bm)
 	if lambda == nil || errCount > c.t {
 		return 0, ErrUncorrectable
 	}
 
-	// Error evaluator Omega(x) = [S(x) * Lambda(x)] mod x^2t.
-	sPoly := make([]int, r)
-	copy(sPoly, synd)
-	omega := c.f.PolyMul(sPoly, lambda)
-	if len(omega) > r {
-		omega = omega[:r]
+	// Error evaluator Omega(x) = [S(x) * Lambda(x)] mod x^2t, into scratch.
+	omega := c.omega[:r]
+	for i := range omega {
+		omega[i] = 0
+	}
+	for a, sa := range c.synd {
+		if sa == 0 {
+			continue
+		}
+		for b, lb := range lambda {
+			if i := a + b; i < r && lb != 0 {
+				omega[i] ^= c.f.Mul(sa, lb)
+			}
+		}
 	}
 
-	// Chien search + Forney on real positions.
-	type fix struct {
-		idx int
-		val int
+	// Formal derivative of Lambda over characteristic 2: odd-degree terms
+	// drop a degree, even-degree terms vanish.
+	deriv := c.deriv[:len(lambda)-1]
+	for i := range deriv {
+		deriv[i] = 0
 	}
-	var fixes []fix
+	for i := 1; i < len(lambda); i += 2 {
+		deriv[i-1] = lambda[i]
+	}
+	if len(deriv) == 0 {
+		deriv = c.deriv[:1]
+		deriv[0] = 0
+	}
+
+	// Chien search + Forney on real positions; the candidate root
+	// exponent walks the circle one step per position.
+	e0 := len(recv) - 1
+	u := (c.n - e0%c.n) % c.n
+	fixIdx := c.fixIdx[:0]
+	fixVal := c.fixVal[:0]
 	for i := range recv {
-		e := c.n - 1 - s - i
-		xInv := c.f.Exp((c.f.N() - e%c.f.N()) % c.f.N()) // alpha^{-e}
+		xInv := int(c.f.exp[u]) // alpha^{-e}
+		u++
+		if u == c.n {
+			u = 0
+		}
 		if c.f.PolyEval(lambda, xInv) != 0 {
 			continue
 		}
@@ -139,47 +219,26 @@ func (c *RS) Decode(recv []byte) (int, error) {
 		// characteristic 2 the minus sign vanishes and no extra X_k
 		// factor appears.
 		num := c.f.PolyEval(omega, xInv)
-		den := c.f.PolyEval(polyFormalDeriv(lambda), xInv)
+		den := c.f.PolyEval(deriv, xInv)
 		if den == 0 {
 			return 0, ErrUncorrectable
 		}
-		fixes = append(fixes, fix{i, c.f.Div(num, den)})
+		fixIdx = append(fixIdx, i)
+		fixVal = append(fixVal, c.f.Div(num, den))
 	}
-	if len(fixes) != errCount {
+	c.fixIdx, c.fixVal = fixIdx, fixVal
+	if len(fixIdx) != errCount {
 		return 0, ErrUncorrectable
 	}
-	for _, fx := range fixes {
-		recv[fx.idx] ^= byte(fx.val)
+	for i, idx := range fixIdx {
+		recv[idx] ^= byte(fixVal[i])
 	}
-	// Verify.
-	for j := 1; j <= r; j++ {
-		v := 0
-		for i, sym := range recv {
-			if sym != 0 {
-				e := c.n - 1 - s - i
-				v ^= c.f.Mul(int(sym), c.f.Exp(j*e%c.f.N()))
-			}
+	// Verify; roll back on residual syndromes so recv is left as received.
+	if c.syndromes(recv) {
+		for i, idx := range fixIdx {
+			recv[idx] ^= byte(fixVal[i])
 		}
-		if v != 0 {
-			// Roll back.
-			for _, fx := range fixes {
-				recv[fx.idx] ^= byte(fx.val)
-			}
-			return 0, ErrUncorrectable
-		}
+		return 0, ErrUncorrectable
 	}
-	return len(fixes), nil
-}
-
-// polyFormalDeriv returns the formal derivative of p over characteristic-2
-// fields: odd-degree terms drop a degree, even-degree terms vanish.
-func polyFormalDeriv(p []int) []int {
-	if len(p) <= 1 {
-		return []int{0}
-	}
-	out := make([]int, len(p)-1)
-	for i := 1; i < len(p); i += 2 {
-		out[i-1] = p[i]
-	}
-	return out
+	return len(fixIdx), nil
 }

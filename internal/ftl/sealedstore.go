@@ -12,6 +12,11 @@ import (
 // naturally. This is the one shared implementation of the plumbing that
 // ftl consumers and stegfs each used to hand-roll over a concrete chip;
 // it is defined against nand.Device, so it works over any backend.
+// A store built with NewSealedStore carries a cached key schedule and a
+// reusable seal buffer, so steady-state writes expand no AES keys and
+// allocate nothing; like the device underneath, such a store is then not
+// safe for concurrent use. A plain struct literal still works and falls
+// back to per-call sealing.
 type SealedStore struct {
 	// Dev supplies page geometry and per-block PEC for the seal nonce.
 	Dev nand.Device
@@ -19,6 +24,21 @@ type SealedStore struct {
 	Inner PageStore
 	// Key is the encryption key (e.g. the public volume's NU credential).
 	Key []byte
+
+	sealer *seal.Sealer
+	buf    []byte
+}
+
+// NewSealedStore builds a sealed store with the AES key schedule expanded
+// once and a write buffer sized to the inner store's payload.
+func NewSealedStore(dev nand.Device, inner PageStore, key []byte) SealedStore {
+	return SealedStore{
+		Dev:    dev,
+		Inner:  inner,
+		Key:    key,
+		sealer: seal.NewSealer(key),
+		buf:    make([]byte, inner.DataBytes()),
+	}
 }
 
 // DataBytes returns the inner store's payload size.
@@ -26,9 +46,12 @@ func (s SealedStore) DataBytes() int { return s.Inner.DataBytes() }
 
 // WritePage seals the payload to its location and writes it through.
 func (s SealedStore) WritePage(a nand.PageAddr, data []byte) error {
-	ct := seal.EncryptPage(s.Key, nand.PageIndex(s.Dev.Geometry(), a),
-		uint64(s.Dev.PEC(a.Block)), data)
-	return s.Inner.WritePage(a, ct)
+	page, epoch := nand.PageIndex(s.Dev.Geometry(), a), uint64(s.Dev.PEC(a.Block))
+	if s.sealer != nil && len(data) <= len(s.buf) {
+		s.sealer.EncryptPageInto(s.buf, page, epoch, data)
+		return s.Inner.WritePage(a, s.buf[:len(data)])
+	}
+	return s.Inner.WritePage(a, seal.EncryptPage(s.Key, page, epoch, data))
 }
 
 // ReadPage reads through the inner store and unseals (the seal is an
@@ -38,6 +61,10 @@ func (s SealedStore) ReadPage(a nand.PageAddr) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return seal.EncryptPage(s.Key, nand.PageIndex(s.Dev.Geometry(), a),
-		uint64(s.Dev.PEC(a.Block)), ct), nil
+	page, epoch := nand.PageIndex(s.Dev.Geometry(), a), uint64(s.Dev.PEC(a.Block))
+	if s.sealer != nil {
+		s.sealer.EncryptPageInto(ct, page, epoch, ct) // ct is ours: unseal in place
+		return ct, nil
+	}
+	return seal.EncryptPage(s.Key, page, epoch, ct), nil
 }

@@ -1,0 +1,177 @@
+package nand
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+)
+
+// The batch surface's contract is bit-identical equivalence with the
+// single-op loops it replaces: same results, same chip noise-stream
+// consumption, same ledger. Two same-seed chips driven through the two
+// surfaces must stay indistinguishable.
+
+func batchTestChips(t *testing.T) (*Chip, *Chip) {
+	t.Helper()
+	m := TestModel()
+	return NewChip(m, 77), NewChip(m, 77)
+}
+
+func TestProgramReadPagesMatchSingleOps(t *testing.T) {
+	single, batch := batchTestChips(t)
+	g := single.Geometry()
+	rng := rand.New(rand.NewPCG(1, 2))
+	data := make([]byte, 4*g.PageBytes)
+	for i := range data {
+		data[i] = byte(rng.IntN(256))
+	}
+	start := PageAddr{Block: 1, Page: 2}
+
+	for p := 0; p < 4; p++ {
+		a := PageAddr{Block: start.Block, Page: start.Page + p}
+		if err := single.ProgramPage(a, data[p*g.PageBytes:(p+1)*g.PageBytes]); err != nil {
+			t.Fatalf("single program: %v", err)
+		}
+	}
+	if n, err := batch.ProgramPages(start, data); err != nil || n != 4 {
+		t.Fatalf("ProgramPages = %d, %v", n, err)
+	}
+
+	got := make([]byte, 4*g.PageBytes)
+	if n, err := batch.ReadPages(start, 4, got); err != nil || n != 4 {
+		t.Fatalf("ReadPages = %d, %v", n, err)
+	}
+	for p := 0; p < 4; p++ {
+		a := PageAddr{Block: start.Block, Page: start.Page + p}
+		want, err := single.ReadPage(a)
+		if err != nil {
+			t.Fatalf("single read: %v", err)
+		}
+		if !bytes.Equal(want, got[p*g.PageBytes:(p+1)*g.PageBytes]) {
+			t.Fatalf("page %d differs between batch and single read", p)
+		}
+	}
+
+	// Probes must agree too (and with each other across surfaces).
+	lv := make([]uint8, 4*g.CellsPerPage())
+	if n, err := batch.ProbeVoltages(start, 4, lv); err != nil || n != 4 {
+		t.Fatalf("ProbeVoltages = %d, %v", n, err)
+	}
+	for p := 0; p < 4; p++ {
+		a := PageAddr{Block: start.Block, Page: start.Page + p}
+		want, err := single.ProbePage(a)
+		if err != nil {
+			t.Fatalf("single probe: %v", err)
+		}
+		if !bytes.Equal(want, lv[p*g.CellsPerPage():(p+1)*g.CellsPerPage()]) {
+			t.Fatalf("probe page %d differs between batch and single", p)
+		}
+	}
+
+	if single.Ledger() != batch.Ledger() {
+		t.Fatalf("ledgers diverge: single %+v batch %+v", single.Ledger(), batch.Ledger())
+	}
+}
+
+func TestPartialProgramPatternMatchesCellList(t *testing.T) {
+	single, batch := batchTestChips(t)
+	g := single.Geometry()
+	a := PageAddr{Block: 0, Page: 3}
+
+	// A sparse ascending cell selection and its pattern encoding (0-bit
+	// selects the cell, the PROGRAM data convention).
+	rng := rand.New(rand.NewPCG(5, 6))
+	cells := []int{}
+	pattern := make([]byte, g.PageBytes)
+	for i := range pattern {
+		pattern[i] = 0xFF
+	}
+	for i := 0; i < g.CellsPerPage(); i++ {
+		if rng.Float64() < 0.1 {
+			cells = append(cells, i)
+			pattern[i/8] &^= 1 << (7 - uint(i%8))
+		}
+	}
+
+	for pulse := 0; pulse < 3; pulse++ {
+		if err := single.PartialProgram(a, cells); err != nil {
+			t.Fatalf("PartialProgram: %v", err)
+		}
+		if err := batch.PartialProgramPattern(a, pattern); err != nil {
+			t.Fatalf("PartialProgramPattern: %v", err)
+		}
+	}
+
+	want, err := single.ProbePage(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := batch.ProbePage(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatal("pattern-driven pulses diverge from cell-list pulses")
+	}
+	if single.Ledger() != batch.Ledger() {
+		t.Fatalf("ledgers diverge: single %+v batch %+v", single.Ledger(), batch.Ledger())
+	}
+}
+
+func TestReadPageRefIntoMatchesReadPageRef(t *testing.T) {
+	single, batch := batchTestChips(t)
+	g := single.Geometry()
+	a := PageAddr{Block: 2, Page: 0}
+	img := make([]byte, g.PageBytes)
+	for i := range img {
+		img[i] = byte(i * 37)
+	}
+	if err := single.ProgramPage(a, img); err != nil {
+		t.Fatal(err)
+	}
+	if err := batch.ProgramPage(a, img); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, g.PageBytes)
+	for _, ref := range []float64{10, 40, 120, 200} {
+		want, err := single.ReadPageRef(a, ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := batch.ReadPageRefInto(a, ref, out); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, out) {
+			t.Fatalf("ReadPageRefInto differs at ref %v", ref)
+		}
+	}
+}
+
+func TestBatchOpsStopAtFirstError(t *testing.T) {
+	c := NewChip(TestModel(), 3)
+	g := c.Geometry()
+	// Page 2 pre-programmed: a 3-page batch starting at page 0 must stop
+	// after completing pages 0 and 1.
+	blocker := PageAddr{Block: 0, Page: 2}
+	img := bytes.Repeat([]byte{0xA5}, g.PageBytes)
+	if err := c.ProgramPage(blocker, img); err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{0x3C}, 3*g.PageBytes)
+	n, err := c.ProgramPages(PageAddr{Block: 0, Page: 0}, data)
+	if err == nil {
+		t.Fatal("expected program-before-erase failure")
+	}
+	if n != 2 {
+		t.Fatalf("ProgramPages completed %d pages before error, want 2", n)
+	}
+	// Out-of-range page mid-group: reads complete up to the boundary.
+	out := make([]byte, 3*g.PageBytes)
+	n, err = c.ReadPages(PageAddr{Block: 0, Page: g.PagesPerBlock - 2}, 3, out)
+	if err == nil {
+		t.Fatal("expected page-range failure")
+	}
+	if n != 2 {
+		t.Fatalf("ReadPages completed %d pages before error, want 2", n)
+	}
+}

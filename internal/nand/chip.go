@@ -391,18 +391,38 @@ func (c *Chip) ReadPage(a PageAddr) ([]byte, error) {
 	return c.ReadPageRef(a, c.model.ReadRef)
 }
 
+// ReadPageInto is ReadPage into a caller-owned buffer of exactly PageBytes
+// bytes, which is overwritten in full. It performs no allocations.
+func (c *Chip) ReadPageInto(a PageAddr, out []byte) error {
+	return c.ReadPageRefInto(a, c.model.ReadRef, out)
+}
+
 // ReadPageRef reads the page comparing each cell against an arbitrary
 // reference threshold voltage. This models the vendor-specific command
 // that "shifts the reference threshold voltage for reading" which VT-HI
 // uses to extract hidden bits with a single, non-destructive read (§1, §5.3).
 func (c *Chip) ReadPageRef(a PageAddr, ref float64) ([]byte, error) {
-	if err := c.model.check(a); err != nil {
+	out := make([]byte, c.model.PageBytes)
+	if err := c.ReadPageRefInto(a, ref, out); err != nil {
 		return nil, err
+	}
+	return out, nil
+}
+
+// ReadPageRefInto is ReadPageRef into a caller-owned buffer of exactly
+// PageBytes bytes, which is overwritten in full. The sense pass is
+// vectorised: one output byte is assembled per eight cells, replacing the
+// original per-bit read-modify-write walk.
+func (c *Chip) ReadPageRefInto(a PageAddr, ref float64, out []byte) error {
+	if err := c.model.check(a); err != nil {
+		return err
+	}
+	if len(out) != c.model.PageBytes {
+		return fmt.Errorf("%w: got %d bytes, page holds %d", ErrBadDataLength, len(out), c.model.PageBytes)
 	}
 	if err := c.powerCheck(); err != nil {
-		return nil, err
+		return err
 	}
-	out := make([]byte, c.model.PageBytes)
 	bs := c.blockRef(a.Block)
 	if bs.pages[a.Page] == nil && bs.pendingInterf[a.Page] == 0 && ref > c.maxErasedLikely() {
 		// Fast path: untouched erased page reads as all '1' at any
@@ -412,18 +432,88 @@ func (c *Chip) ReadPageRef(a PageAddr, ref float64) ([]byte, error) {
 		}
 		c.recordRead()
 		c.applyReadDisturb(a)
-		return out, nil
+		return nil
 	}
 	ps := c.pageRef(a)
 	rf := float32(ref)
-	for i, v := range ps.v {
-		if v < rf {
-			out[i/8] |= 1 << uint(7-i%8)
+	v := ps.v
+	// CellsPerPage is always a multiple of 8 (PageBytes*8), so the page
+	// divides exactly into byte groups.
+	for base := 0; base < len(v); base += 8 {
+		g := v[base : base+8 : base+8]
+		var b byte
+		if g[0] < rf {
+			b |= 1 << 7
 		}
+		if g[1] < rf {
+			b |= 1 << 6
+		}
+		if g[2] < rf {
+			b |= 1 << 5
+		}
+		if g[3] < rf {
+			b |= 1 << 4
+		}
+		if g[4] < rf {
+			b |= 1 << 3
+		}
+		if g[5] < rf {
+			b |= 1 << 2
+		}
+		if g[6] < rf {
+			b |= 1 << 1
+		}
+		if g[7] < rf {
+			b |= 1
+		}
+		out[base>>3] = b
 	}
 	c.recordRead()
 	c.applyReadDisturb(a)
-	return out, nil
+	return nil
+}
+
+// ReadPages reads count consecutive pages starting at start into out
+// (count*PageBytes bytes) at the default public reference, stopping at the
+// first failing page. It returns the number of pages fully read; on error,
+// out holds valid data for exactly that many leading pages. The pages are
+// sensed in ascending order through the same per-page path as ReadPage, so
+// results and chip state evolution are bit-identical to a ReadPage loop.
+func (c *Chip) ReadPages(start PageAddr, count int, out []byte) (int, error) {
+	if count < 0 {
+		return 0, fmt.Errorf("%w: page count %d", ErrNegativeCount, count)
+	}
+	pb := c.model.PageBytes
+	if len(out) < count*pb {
+		return 0, fmt.Errorf("%w: got %d bytes, %d pages need %d", ErrBadDataLength, len(out), count, count*pb)
+	}
+	for p := 0; p < count; p++ {
+		a := PageAddr{Block: start.Block, Page: start.Page + p}
+		if err := c.ReadPageInto(a, out[p*pb:(p+1)*pb]); err != nil {
+			return p, err
+		}
+	}
+	return count, nil
+}
+
+// ProgramPages programs consecutive pages starting at start with data
+// (a whole number of page images), stopping at the first failing page. It
+// returns the number of pages fully programmed. Pages are programmed in
+// ascending order through the same path as ProgramPage, so interference
+// and noise draws are bit-identical to a ProgramPage loop.
+func (c *Chip) ProgramPages(start PageAddr, data []byte) (int, error) {
+	pb := c.model.PageBytes
+	if len(data)%pb != 0 {
+		return 0, fmt.Errorf("%w: got %d bytes, not a multiple of page size %d", ErrBadDataLength, len(data), pb)
+	}
+	count := len(data) / pb
+	for p := 0; p < count; p++ {
+		a := PageAddr{Block: start.Block, Page: start.Page + p}
+		if err := c.ProgramPage(a, data[p*pb:(p+1)*pb]); err != nil {
+			return p, err
+		}
+	}
+	return count, nil
 }
 
 // maxErasedLikely bounds the erased distribution for the fast read path.
@@ -500,14 +590,27 @@ func (c *Chip) FineProgram(a PageAddr, cells []int, target float64) error {
 // exposes (negative voltage is not measurable; paper §4 footnote). This is
 // the adversary's strongest tool and the basis of chip characterisation.
 func (c *Chip) ProbePage(a PageAddr) ([]uint8, error) {
-	if err := c.model.check(a); err != nil {
+	out := make([]uint8, c.model.CellsPerPage())
+	if err := c.ProbePageInto(a, out); err != nil {
 		return nil, err
+	}
+	return out, nil
+}
+
+// ProbePageInto is ProbePage into a caller-owned buffer of exactly
+// CellsPerPage bytes, which is overwritten in full. It performs no
+// allocations.
+func (c *Chip) ProbePageInto(a PageAddr, out []uint8) error {
+	if err := c.model.check(a); err != nil {
+		return err
+	}
+	if len(out) != c.model.CellsPerPage() {
+		return fmt.Errorf("%w: got %d levels, page has %d cells", ErrBadDataLength, len(out), c.model.CellsPerPage())
 	}
 	if err := c.powerCheck(); err != nil {
-		return nil, err
+		return err
 	}
 	ps := c.pageRef(a)
-	out := make([]uint8, len(ps.v))
 	for i, v := range ps.v {
 		q := int(v + 0.5)
 		if q < 0 {
@@ -518,7 +621,29 @@ func (c *Chip) ProbePage(a PageAddr) ([]uint8, error) {
 		out[i] = uint8(q)
 	}
 	c.recordProbe()
-	return out, nil
+	return nil
+}
+
+// ProbeVoltages probes count consecutive pages starting at start into out
+// (count*CellsPerPage levels), stopping at the first failing page. It
+// returns the number of pages fully probed; on error, out holds valid
+// levels for exactly that many leading pages. The quantisation matches
+// ProbePage exactly.
+func (c *Chip) ProbeVoltages(start PageAddr, count int, out []uint8) (int, error) {
+	if count < 0 {
+		return 0, fmt.Errorf("%w: page count %d", ErrNegativeCount, count)
+	}
+	cp := c.model.CellsPerPage()
+	if len(out) < count*cp {
+		return 0, fmt.Errorf("%w: got %d levels, %d pages need %d", ErrBadDataLength, len(out), count, count*cp)
+	}
+	for p := 0; p < count; p++ {
+		a := PageAddr{Block: start.Block, Page: start.Page + p}
+		if err := c.ProbePageInto(a, out[p*cp:(p+1)*cp]); err != nil {
+			return p, err
+		}
+	}
+	return count, nil
 }
 
 // PartialProgram applies one partial-programming pulse — a PROGRAM command
@@ -548,31 +673,94 @@ func (c *Chip) PartialProgram(a PageAddr, cells []int) error {
 	}
 	ps := c.pageRef(a)
 	bs := c.blockRef(a.Block)
-	m := &c.model
 	stress := bs.stress[a.Page]
-	stepSigma := m.PPStepSigma * (1 + m.PPNoisePerK*float64(bs.pec)/1000)
-	maxStep := 3 * m.PPStepMean // one aborted program moves bounded charge
+	stepSigma, maxStep := c.ppNoise(bs)
 	for _, i := range cells {
 		if i < 0 || i >= len(ps.v) {
 			return fmt.Errorf("nand: cell %d out of range [0,%d)", i, len(ps.v))
 		}
-		step := m.PPStepMean + c.rng.NormFloat64()*stepSigma
-		if step <= 0 {
-			continue
-		}
-		g := float64(ps.gain[i])
-		if stress != nil {
-			g /= 1 + m.StressSlowdown*float64(stress[i])
-		}
-		eff := step * g
-		if eff > maxStep {
-			eff = maxStep
-		}
-		ps.v[i] += float32(eff)
+		c.ppPulse(ps, stress, stepSigma, maxStep, i)
 	}
 	c.disturbNeighbors(a)
 	c.recordPP()
 	return nil
+}
+
+// PartialProgramPattern is PartialProgram driven by a full page pattern
+// instead of a cell list: every cell whose pattern bit is 0 receives one
+// pulse (the PROGRAM data convention — 0 drives charge). Cells are pulsed
+// in ascending order, so the noise draws are bit-identical to
+// PartialProgram with the equivalent ascending cell list. This is the
+// zero-alloc entry the ONFI bus uses: the latched data register IS the
+// pattern, so no intermediate cell list need be built.
+func (c *Chip) PartialProgramPattern(a PageAddr, pattern []byte) error {
+	if err := c.model.check(a); err != nil {
+		return err
+	}
+	if len(pattern) != c.model.PageBytes {
+		return fmt.Errorf("%w: got %d pattern bytes, page holds %d", ErrBadDataLength, len(pattern), c.model.PageBytes)
+	}
+	if c.faults != nil {
+		// Same fault-draw order as PartialProgram: armed-power-loss gate,
+		// grown-bad check, transient pulse FAIL.
+		if err := c.faults.ppGate(); err != nil {
+			return fmt.Errorf("%w: partial program %v truncated", err, a)
+		}
+		if err := c.badCheck(a.Block); err != nil {
+			return err
+		}
+		if c.faults.drawPPFail() {
+			c.recordPP()
+			return fmt.Errorf("%w: pulse at %v", ErrProgramFailed, a)
+		}
+	}
+	ps := c.pageRef(a)
+	bs := c.blockRef(a.Block)
+	stress := bs.stress[a.Page]
+	stepSigma, maxStep := c.ppNoise(bs)
+	for base := 0; base < len(pattern); base++ {
+		pb := pattern[base]
+		if pb == 0xFF {
+			continue // no cells selected in this byte
+		}
+		for k := 0; k < 8; k++ {
+			if pb&(1<<uint(7-k)) == 0 {
+				c.ppPulse(ps, stress, stepSigma, maxStep, base*8+k)
+			}
+		}
+	}
+	c.disturbNeighbors(a)
+	c.recordPP()
+	return nil
+}
+
+// ppNoise returns the wear-scaled pulse noise parameters for a block.
+func (c *Chip) ppNoise(bs *blockState) (stepSigma, maxStep float64) {
+	m := &c.model
+	stepSigma = m.PPStepSigma * (1 + m.PPNoisePerK*float64(bs.pec)/1000)
+	maxStep = 3 * m.PPStepMean // one aborted program moves bounded charge
+	return stepSigma, maxStep
+}
+
+// ppPulse applies one partial-programming charge increment to cell i. The
+// step is drawn for every selected cell — even when the draw comes out
+// non-positive and moves no charge — so batched and list-based callers
+// consume the chip's noise stream identically.
+func (c *Chip) ppPulse(ps *pageState, stress []uint16, stepSigma, maxStep float64, i int) {
+	m := &c.model
+	step := m.PPStepMean + c.rng.NormFloat64()*stepSigma
+	if step <= 0 {
+		return
+	}
+	g := float64(ps.gain[i])
+	if stress != nil {
+		g /= 1 + m.StressSlowdown*float64(stress[i])
+	}
+	eff := step * g
+	if eff > maxStep {
+		eff = maxStep
+	}
+	ps.v[i] += float32(eff)
 }
 
 // disturbNeighbors models the collateral damage of one PP pulse: a sparse

@@ -92,6 +92,138 @@ type VendorDevice interface {
 	NeighborPrograms(a PageAddr) (int, error)
 }
 
+// BatchDevice is the optional page-granular batch surface of the perf
+// campaign: zero-alloc Into variants that fill caller-owned buffers, and
+// multi-page group operations that let a backend amortise per-operation
+// overhead (the ONFI backend maps page groups onto multi-plane and cached
+// command cycles; the chip walks cells in one vectorised pass).
+//
+// Semantics are pinned to the unbatched surface: a batch op must produce
+// bit-identical results and state evolution to the equivalent loop of
+// single-page calls, in ascending page order. Group operations stop at the
+// first failing page and return how many pages completed before it;
+// output buffers hold valid data for exactly those leading pages.
+//
+// Backends are free not to implement this; use the package-level
+// ReadPageInto/ReadPages/ProgramPages/ProbeVoltages helpers, which fall
+// back to single-op loops over any Device.
+type BatchDevice interface {
+	// ReadPageInto reads a page at the default public reference into a
+	// caller-owned buffer of exactly PageBytes bytes.
+	ReadPageInto(a PageAddr, out []byte) error
+	// ReadPageRefInto reads a page at an arbitrary reference into a
+	// caller-owned buffer of exactly PageBytes bytes.
+	ReadPageRefInto(a PageAddr, ref float64, out []byte) error
+	// ProbePageInto probes per-cell voltages into a caller-owned buffer
+	// of exactly CellsPerPage levels.
+	ProbePageInto(a PageAddr, out []uint8) error
+	// ReadPages reads count consecutive pages into out (count*PageBytes
+	// bytes) and returns the number of pages fully read.
+	ReadPages(start PageAddr, count int, out []byte) (int, error)
+	// ProgramPages programs consecutive pages from data (a whole number
+	// of page images) and returns the number fully programmed.
+	ProgramPages(start PageAddr, data []byte) (int, error)
+	// ProbeVoltages probes count consecutive pages into out
+	// (count*CellsPerPage levels) and returns the number fully probed.
+	ProbeVoltages(start PageAddr, count int, out []uint8) (int, error)
+}
+
+// ReadPageInto reads a page into out through the batch surface when the
+// backend provides one, falling back to ReadPage plus a copy.
+func ReadPageInto(d Device, a PageAddr, out []byte) error {
+	if bd, ok := d.(BatchDevice); ok {
+		return bd.ReadPageInto(a, out)
+	}
+	p, err := d.ReadPage(a)
+	if err != nil {
+		return err
+	}
+	copy(out, p)
+	return nil
+}
+
+// ReadPageRefInto reads a page at ref into out through the batch surface
+// when available, falling back to ReadPageRef plus a copy.
+func ReadPageRefInto(d VendorDevice, a PageAddr, ref float64, out []byte) error {
+	if bd, ok := d.(BatchDevice); ok {
+		return bd.ReadPageRefInto(a, ref, out)
+	}
+	p, err := d.ReadPageRef(a, ref)
+	if err != nil {
+		return err
+	}
+	copy(out, p)
+	return nil
+}
+
+// ProbePageInto probes a page into out through the batch surface when
+// available, falling back to ProbePage plus a copy.
+func ProbePageInto(d VendorDevice, a PageAddr, out []uint8) error {
+	if bd, ok := d.(BatchDevice); ok {
+		return bd.ProbePageInto(a, out)
+	}
+	p, err := d.ProbePage(a)
+	if err != nil {
+		return err
+	}
+	copy(out, p)
+	return nil
+}
+
+// ReadPages reads count consecutive pages starting at start into out,
+// preferring the backend's batch surface and otherwise looping ReadPage.
+func ReadPages(d Device, start PageAddr, count int, out []byte) (int, error) {
+	if bd, ok := d.(BatchDevice); ok {
+		return bd.ReadPages(start, count, out)
+	}
+	pb := d.Geometry().PageBytes
+	for p := 0; p < count; p++ {
+		a := PageAddr{Block: start.Block, Page: start.Page + p}
+		img, err := d.ReadPage(a)
+		if err != nil {
+			return p, err
+		}
+		copy(out[p*pb:(p+1)*pb], img)
+	}
+	return count, nil
+}
+
+// ProgramPages programs consecutive page images starting at start,
+// preferring the backend's batch surface and otherwise looping
+// ProgramPage.
+func ProgramPages(d Device, start PageAddr, data []byte) (int, error) {
+	if bd, ok := d.(BatchDevice); ok {
+		return bd.ProgramPages(start, data)
+	}
+	pb := d.Geometry().PageBytes
+	count := len(data) / pb
+	for p := 0; p < count; p++ {
+		a := PageAddr{Block: start.Block, Page: start.Page + p}
+		if err := d.ProgramPage(a, data[p*pb:(p+1)*pb]); err != nil {
+			return p, err
+		}
+	}
+	return count, nil
+}
+
+// ProbeVoltages probes count consecutive pages starting at start into out,
+// preferring the backend's batch surface and otherwise looping ProbePage.
+func ProbeVoltages(d VendorDevice, start PageAddr, count int, out []uint8) (int, error) {
+	if bd, ok := d.(BatchDevice); ok {
+		return bd.ProbeVoltages(start, count, out)
+	}
+	cp := d.Geometry().CellsPerPage()
+	for p := 0; p < count; p++ {
+		a := PageAddr{Block: start.Block, Page: start.Page + p}
+		lv, err := d.ProbePage(a)
+		if err != nil {
+			return p, err
+		}
+		copy(out[p*cp:(p+1)*cp], lv)
+	}
+	return count, nil
+}
+
 // FaultInjector is the testbed control plane for deterministic fault
 // injection (see faults.go). It is not a bus command set: attaching a
 // plan configures the simulated silicon itself.
@@ -166,4 +298,5 @@ func PageIndex(g Geometry, a PageAddr) uint64 {
 var (
 	_ VendorDevice = (*Chip)(nil)
 	_ LabDevice    = (*Chip)(nil)
+	_ BatchDevice  = (*Chip)(nil)
 )

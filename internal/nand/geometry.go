@@ -65,6 +65,12 @@ type PageAddr struct {
 // String renders the address for diagnostics.
 func (a PageAddr) String() string { return fmt.Sprintf("block %d page %d", a.Block, a.Page) }
 
+// Check validates a page address against the geometry, with the same
+// errors the chip's own command surface returns. Host adapters use it for
+// firmware-side validation so bus backends fail identically to direct
+// chip calls.
+func (g Geometry) Check(a PageAddr) error { return g.check(a) }
+
 // check validates a page address against the geometry.
 func (g Geometry) check(a PageAddr) error {
 	if a.Block < 0 || a.Block >= g.Blocks {

@@ -122,6 +122,90 @@ func (d *Device) PartialProgram(a nand.PageAddr, cells []int) error {
 	return err
 }
 
+// --- nand.BatchDevice (page-granular fast paths) --------------------------
+
+// Batch forwarding goes through the nand package helpers, so a backend
+// with a native batch surface (the chip, the ONFI bus adapter) keeps its
+// fast path and any other backend falls back to the single-op loop.
+// Either way the collector sees the same records a loop of single ops
+// would have produced: one observation per page, with the measured batch
+// duration split evenly across the pages touched.
+var _ nand.BatchDevice = (*Device)(nil)
+
+// observeBatch records one batched operation as per-page observations.
+// n pages completed; if err is non-nil it is recorded against the page
+// after the completed prefix (the page the batch failed on).
+func (d *Device) observeBatch(op Op, start nand.PageAddr, n int, t0 time.Time, err error) {
+	if n == 0 && err == nil {
+		return
+	}
+	pages := n
+	if err != nil {
+		pages++
+	}
+	per := time.Since(t0) / time.Duration(pages)
+	for p := 0; p < n; p++ {
+		page := start.Page + p
+		retry := d.failed && d.failedOp == op && d.failedBlock == start.Block && d.failedPage == page
+		d.sh.record(op, start.Block, 0, per, retry, nil)
+		d.failed = false
+	}
+	if err != nil {
+		page := start.Page + n
+		retry := d.failed && d.failedOp == op && d.failedBlock == start.Block && d.failedPage == page
+		d.sh.record(op, start.Block, 0, per, retry, err)
+		d.failed, d.failedOp, d.failedBlock, d.failedPage = true, op, start.Block, page
+	}
+}
+
+// ReadPageInto forwards a default-reference read into a caller buffer.
+func (d *Device) ReadPageInto(a nand.PageAddr, out []byte) error {
+	start := time.Now()
+	err := nand.ReadPageInto(d.inner, a, out)
+	d.observe(OpRead, a.Block, a.Page, 0, start, err)
+	return err
+}
+
+// ReadPageRefInto forwards a shifted-reference read into a caller buffer.
+func (d *Device) ReadPageRefInto(a nand.PageAddr, ref float64, out []byte) error {
+	start := time.Now()
+	err := nand.ReadPageRefInto(d.inner, a, ref, out)
+	d.observe(OpReadRef, a.Block, a.Page, 0, start, err)
+	return err
+}
+
+// ProbePageInto forwards a per-cell probe into a caller buffer.
+func (d *Device) ProbePageInto(a nand.PageAddr, out []uint8) error {
+	start := time.Now()
+	err := nand.ProbePageInto(d.inner, a, out)
+	d.observe(OpProbe, a.Block, a.Page, 0, start, err)
+	return err
+}
+
+// ReadPages forwards a batched sequential read.
+func (d *Device) ReadPages(start nand.PageAddr, count int, out []byte) (int, error) {
+	t0 := time.Now()
+	n, err := nand.ReadPages(d.inner, start, count, out)
+	d.observeBatch(OpRead, start, n, t0, err)
+	return n, err
+}
+
+// ProgramPages forwards a batched multi-page program.
+func (d *Device) ProgramPages(start nand.PageAddr, data []byte) (int, error) {
+	t0 := time.Now()
+	n, err := nand.ProgramPages(d.inner, start, data)
+	d.observeBatch(OpProgram, start, n, t0, err)
+	return n, err
+}
+
+// ProbeVoltages forwards a batched per-cell probe.
+func (d *Device) ProbeVoltages(start nand.PageAddr, count int, out []uint8) (int, error) {
+	t0 := time.Now()
+	n, err := nand.ProbeVoltages(d.inner, start, count, out)
+	d.observeBatch(OpProbe, start, n, t0, err)
+	return n, err
+}
+
 // --- nand.VendorDevice ----------------------------------------------------
 
 // ReadPageRef forwards a shifted-reference read.

@@ -1,0 +1,167 @@
+package onfi
+
+import (
+	"bytes"
+	"errors"
+	"math/rand/v2"
+	"testing"
+
+	"stashflash/internal/nand"
+)
+
+// The batch surface of the bus adapter must be bit-identical to direct
+// chip calls: multi-plane staging, cached sequential reads and the
+// batched vendor probe change only the cycle count, never the results or
+// the chip's state evolution.
+
+func TestDeviceBatchMatchesDirect(t *testing.T) {
+	direct, dev := twin(21)
+	g := direct.Geometry()
+	rng := rand.New(rand.NewPCG(21, 21))
+	start := nand.PageAddr{Block: 1, Page: 1}
+	const group = 4
+	data := make([]byte, group*g.PageBytes)
+	for i := range data {
+		data[i] = byte(rng.IntN(256))
+	}
+
+	// Direct chip: batched program/read/probe (already proven identical
+	// to single ops in internal/nand). Bus device: the multi-plane /
+	// cached / batched opcode paths.
+	if n, err := direct.ProgramPages(start, data); err != nil || n != group {
+		t.Fatalf("direct ProgramPages = %d, %v", n, err)
+	}
+	if n, err := dev.ProgramPages(start, data); err != nil || n != group {
+		t.Fatalf("bus ProgramPages = %d, %v", n, err)
+	}
+
+	wantPages := make([]byte, group*g.PageBytes)
+	gotPages := make([]byte, group*g.PageBytes)
+	if n, err := direct.ReadPages(start, group, wantPages); err != nil || n != group {
+		t.Fatalf("direct ReadPages = %d, %v", n, err)
+	}
+	if n, err := dev.ReadPages(start, group, gotPages); err != nil || n != group {
+		t.Fatalf("bus ReadPages = %d, %v", n, err)
+	}
+	if !bytes.Equal(wantPages, gotPages) {
+		t.Fatal("cached sequential reads diverge from direct batched reads")
+	}
+
+	wantLv := make([]uint8, group*g.CellsPerPage())
+	gotLv := make([]uint8, group*g.CellsPerPage())
+	if n, err := direct.ProbeVoltages(start, group, wantLv); err != nil || n != group {
+		t.Fatalf("direct ProbeVoltages = %d, %v", n, err)
+	}
+	if n, err := dev.ProbeVoltages(start, group, gotLv); err != nil || n != group {
+		t.Fatalf("bus ProbeVoltages = %d, %v", n, err)
+	}
+	if !bytes.Equal(wantLv, gotLv) {
+		t.Fatal("batched vendor probe diverges from direct batched probe")
+	}
+
+	// Into variants at a shifted reference.
+	a := nand.PageAddr{Block: start.Block, Page: start.Page + 1}
+	want, err := direct.ReadPageRef(a, 37.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, g.PageBytes)
+	if err := dev.ReadPageRefInto(a, 37.5, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatal("ReadPageRefInto diverges from direct ReadPageRef")
+	}
+
+	if direct.Ledger() != dev.Ledger() {
+		t.Fatalf("ledgers diverge: direct %+v bus %+v", direct.Ledger(), dev.Ledger())
+	}
+}
+
+func TestDeviceBatchRangeClamp(t *testing.T) {
+	_, dev := twin(5)
+	g := dev.Geometry()
+	// A group that runs off the end of the block completes the valid
+	// prefix and surfaces the chip-style range error, like the chip's own
+	// batched surface.
+	start := nand.PageAddr{Block: 0, Page: g.PagesPerBlock - 2}
+	data := bytes.Repeat([]byte{0x5A}, 3*g.PageBytes)
+	n, err := dev.ProgramPages(start, data)
+	if err == nil || n != 2 {
+		t.Fatalf("ProgramPages over block end = %d, %v; want 2 pages and a range error", n, err)
+	}
+	out := make([]byte, 3*g.PageBytes)
+	n, err = dev.ReadPages(start, 3, out)
+	if err == nil || n != 2 {
+		t.Fatalf("ReadPages over block end = %d, %v; want 2 pages and a range error", n, err)
+	}
+	lv := make([]uint8, 3*g.CellsPerPage())
+	n, err = dev.ProbeVoltages(start, 3, lv)
+	if err == nil || n != 2 {
+		t.Fatalf("ProbeVoltages over block end = %d, %v; want 2 pages and a range error", n, err)
+	}
+	// NeighborPrograms sees the batch-programmed pages (bitmap stays
+	// exact through the multi-plane path).
+	nbr, err := dev.NeighborPrograms(nand.PageAddr{Block: 0, Page: g.PagesPerBlock - 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nbr != 1 {
+		t.Fatalf("NeighborPrograms = %d, want 1 (page above was batch-programmed)", nbr)
+	}
+}
+
+func TestBusCachedReadProtocol(t *testing.T) {
+	chip := nand.NewChip(nand.TestModel(), 9)
+	bus := New(chip)
+	g := chip.Geometry()
+	// Cached read without a prior completed read is a protocol error.
+	if err := bus.Cmd(CmdReadCache); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("cached read cold = %v, want protocol error", err)
+	}
+	// Read the last page of block 0, then a cached read must refuse to
+	// cross into block 1.
+	last := nand.PageAddr{Block: 0, Page: g.PagesPerBlock - 1}
+	if _, err := bus.ReadPage(last); err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.Cmd(CmdReadCache); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("cached read across block = %v, want protocol error", err)
+	}
+}
+
+func TestBusProgramPlaneProtocol(t *testing.T) {
+	chip := nand.NewChip(nand.TestModel(), 11)
+	bus := New(chip)
+	// Staging without a latched program page is a protocol error.
+	if err := bus.Cmd(CmdProgramPlane); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("plane stage cold = %v, want protocol error", err)
+	}
+	// A reset drops staged pages: nothing must land on the chip.
+	g := chip.Geometry()
+	img := bytes.Repeat([]byte{0x00}, g.PageBytes)
+	if err := bus.Cmd(CmdProgram); err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.Addr(addrCycles(g, nand.PageAddr{Block: 0, Page: 0})...); err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.WriteData(img); err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.Cmd(CmdProgramPlane); err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.Cmd(CmdReset); err != nil {
+		t.Fatal(err)
+	}
+	got, err := bus.ReadPage(nand.PageAddr{Block: 0, Page: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range got {
+		if b != 0xFF {
+			t.Fatalf("byte %d = %#02x after aborted staged program, want erased 0xFF", i, b)
+		}
+	}
+}

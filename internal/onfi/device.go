@@ -51,6 +51,7 @@ type Device struct {
 var (
 	_ nand.VendorDevice = (*Device)(nil)
 	_ nand.LabDevice    = (*Device)(nil)
+	_ nand.BatchDevice  = (*Device)(nil)
 )
 
 // NewDevice attaches a bus-backed device adapter to a chip. The chip
@@ -172,6 +173,131 @@ func (d *Device) ReadPage(a nand.PageAddr) ([]byte, error) {
 // PartialProgram delivers one PP pulse using only PROGRAM + RESET (§1).
 func (d *Device) PartialProgram(a nand.PageAddr, cells []int) error {
 	return d.bus.PartialProgram(a, cells)
+}
+
+// --- nand.BatchDevice (grouped command cycles) ----------------------------
+//
+// The batch surface is where the extended command set pays off on the bus
+// backend: page groups ride multi-plane program staging, cached sequential
+// reads and the batched vendor probe, so a group costs one command/address
+// sequence instead of one per page. Results stay bit-identical to the
+// single-op loops (the chip executes pages in the same ascending order);
+// only the cycle count changes.
+
+// batchRange clamps a page group to the block boundary the way the chip
+// does: the valid prefix proceeds, and the first out-of-range page yields
+// the chip's own range error.
+func (d *Device) batchRange(start nand.PageAddr, count int) (valid int, err error) {
+	g := d.chip.Geometry()
+	if count < 0 {
+		return 0, fmt.Errorf("%w: page count %d", nand.ErrNegativeCount, count)
+	}
+	for p := 0; p < count; p++ {
+		a := nand.PageAddr{Block: start.Block, Page: start.Page + p}
+		if err := g.Check(a); err != nil {
+			return p, err
+		}
+	}
+	return count, nil
+}
+
+// ReadPageInto reads a page at the default reference directly into a
+// caller-owned buffer (host DMA on the data-out cycles).
+func (d *Device) ReadPageInto(a nand.PageAddr, out []byte) error {
+	return d.ReadPageRefInto(a, d.defRef, out)
+}
+
+// ReadPageRefInto reads against an arbitrary reference into a caller-owned
+// buffer: SET-FEATURE (skipped when the register already holds the value)
+// plus a DMA read transaction.
+func (d *Device) ReadPageRefInto(a nand.PageAddr, ref float64, out []byte) error {
+	if err := d.setRef(ref); err != nil {
+		return err
+	}
+	return d.bus.ReadPageInto(a, out)
+}
+
+// ReadPages reads count consecutive pages into out using one full READ
+// sequence plus cached sequential reads (CmdReadCache) for the rest of
+// the group.
+func (d *Device) ReadPages(start nand.PageAddr, count int, out []byte) (int, error) {
+	pb := d.chip.Geometry().PageBytes
+	if len(out) < count*pb {
+		return 0, fmt.Errorf("%w: got %d bytes, %d pages need %d", nand.ErrBadDataLength, len(out), count, count*pb)
+	}
+	if err := d.setRef(d.defRef); err != nil {
+		return 0, err
+	}
+	valid, rangeErr := d.batchRange(start, count)
+	n, err := d.bus.ReadPagesInto(start, valid, out[:valid*pb])
+	if err != nil {
+		return n, err
+	}
+	return n, rangeErr
+}
+
+// ProgramPages programs count consecutive pages as one multi-plane group
+// (CmdProgramPlane staging plus a single flush). The program bitmap is
+// kept exact: completed pages are marked, and a program status FAIL marks
+// the failing page too, matching ProgramPage semantics.
+func (d *Device) ProgramPages(start nand.PageAddr, data []byte) (int, error) {
+	g := d.chip.Geometry()
+	pb := g.PageBytes
+	if len(data)%pb != 0 {
+		return 0, fmt.Errorf("%w: got %d bytes, not a multiple of page size %d", nand.ErrBadDataLength, len(data), pb)
+	}
+	count := len(data) / pb
+	valid, rangeErr := d.batchRange(start, count)
+	n, err := d.bus.ProgramPages(start, data[:valid*pb])
+	if start.Block >= 0 && start.Block < g.Blocks && n+boolInt(err != nil && errors.Is(err, nand.ErrProgramFailed)) > 0 {
+		prog := d.progRef(start.Block)
+		for p := 0; p < n; p++ {
+			prog[start.Page+p] = true
+		}
+		if err != nil && errors.Is(err, nand.ErrProgramFailed) && start.Page+n < len(prog) {
+			prog[start.Page+n] = true
+		}
+	}
+	if err != nil {
+		return n, err
+	}
+	return n, rangeErr
+}
+
+// ProbePageInto probes one page into a caller-owned buffer via the
+// batched vendor opcode.
+func (d *Device) ProbePageInto(a nand.PageAddr, out []uint8) error {
+	cp := d.chip.Geometry().CellsPerPage()
+	if len(out) != cp {
+		return fmt.Errorf("%w: got %d levels, page has %d cells", nand.ErrBadDataLength, len(out), cp)
+	}
+	if err := d.chip.Geometry().Check(a); err != nil {
+		return err
+	}
+	_, err := d.bus.ProbeVoltagesInto(a, 1, out)
+	return err
+}
+
+// ProbeVoltages probes count consecutive pages into out with one batched
+// vendor probe transaction per block-bounded group.
+func (d *Device) ProbeVoltages(start nand.PageAddr, count int, out []uint8) (int, error) {
+	cp := d.chip.Geometry().CellsPerPage()
+	if len(out) < count*cp {
+		return 0, fmt.Errorf("%w: got %d levels, %d pages need %d", nand.ErrBadDataLength, len(out), count, count*cp)
+	}
+	valid, rangeErr := d.batchRange(start, count)
+	n, err := d.bus.ProbeVoltagesInto(start, valid, out[:valid*cp])
+	if err != nil {
+		return n, err
+	}
+	return n, rangeErr
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // --- nand.VendorDevice (§6.2 vendor commands) ----------------------------

@@ -27,8 +27,10 @@ import (
 const (
 	CmdRead           = 0x00 // begin read: address cycles follow
 	CmdReadConfirm    = 0x30 // execute read into the data register
+	CmdReadCache      = 0x31 // cached sequential read: next page, no address
 	CmdProgram        = 0x80 // begin program: address + data cycles follow
-	CmdProgramConfirm = 0x10 // execute the program
+	CmdProgramConfirm = 0x10 // execute the program (flushes any staged queue)
+	CmdProgramPlane   = 0x11 // stage the latched page for a multi-plane group
 	CmdErase          = 0x60 // begin erase: row address follows
 	CmdEraseConfirm   = 0xD0 // execute the erase
 	CmdStatus         = 0x70 // latch the status register for reading
@@ -38,6 +40,14 @@ const (
 	CmdVendorHealth   = 0xCB // vendor: per-block health report (PEC + bad mark)
 	CmdVendorCycle    = 0xCC // vendor: tester-rig wear fast-forward on a block
 	CmdVendorFine     = 0xCD // vendor: controller-grade fine program (§6.2)
+	// CmdVendorProbeBatch streams the per-cell characterisation of a run
+	// of consecutive pages in one transaction: 5 address cycles select the
+	// first page, a 4-byte little-endian payload gives the page count, and
+	// the data register then holds count*CellsPerPage levels. One command
+	// cycle amortised over a whole block is what makes bus-driven
+	// characterisation sweeps competitive with direct rig access (the
+	// multi-plane/cache command-set rationale of Cai et al., §IV).
+	CmdVendorProbeBatch = 0xCE
 )
 
 // Feature addresses for CmdSetFeature.
@@ -81,6 +91,8 @@ const (
 	stateCycleData
 	stateFineAddr
 	stateFineData
+	stateProbeBatchAddr
+	stateProbeBatchData
 )
 
 // Errors surfaced by the bus.
@@ -106,6 +118,38 @@ type Bus struct {
 	featBuf []byte
 	feat    byte
 	rec     CycleRecorder // optional cycle trace sink (see trace.go)
+
+	// wbuf backs the data-in register for write-path transactions
+	// (program, fine, cycle, batch-probe count). Read-path transactions
+	// never touch it: their data register aliases chip-fresh or
+	// caller-owned memory, so reusing wbuf there would corrupt results a
+	// host still holds.
+	wbuf []byte
+	// pendingDst, when non-nil, is a caller-owned page buffer the next
+	// read confirm senses into directly (host DMA) instead of allocating.
+	pendingDst []byte
+	// Cached sequential read bookkeeping: the row of the last completed
+	// READ, valid until any non-read-cache command.
+	lastReadRow int
+	readValid   bool
+	// Multi-plane program queue: pages staged by CmdProgramPlane, flushed
+	// in order by the final CmdProgramConfirm. Slot buffers are reused
+	// across groups.
+	progQueue []progSlot
+	queued    int
+	groupDone int // pages completed by the last program confirm
+	// probeBuf backs the data register of a batch probe.
+	probeBuf []uint8
+	// cellScratch backs the cell lists rebuilt from fine-program patterns.
+	cellScratch []int
+	// ppPattern backs the pattern built by the PartialProgram wrapper.
+	ppPattern []byte
+}
+
+// progSlot is one staged page of a multi-plane program group.
+type progSlot struct {
+	row  int
+	data []byte
 }
 
 // New attaches a bus to a chip. The read reference starts at the model's
@@ -152,19 +196,29 @@ func (b *Bus) cmd(op byte) error {
 		b.state = stateStatus
 		return nil
 	}
+	if op != CmdReadCache && op != CmdReadConfirm {
+		// Any other array command ends a cached sequential read run.
+		b.readValid = false
+	}
 	switch op {
 	case CmdRead:
 		b.beginAddr(stateReadAddr)
 	case CmdReadConfirm:
 		return b.execRead()
+	case CmdReadCache:
+		return b.execReadCache()
 	case CmdProgram:
 		b.beginAddr(stateProgramAddr)
 	case CmdProgramConfirm:
 		return b.execProgram()
+	case CmdProgramPlane:
+		return b.stageProgram()
 	case CmdErase:
 		b.beginAddr(stateEraseAddr)
 	case CmdEraseConfirm:
 		return b.execErase()
+	case CmdVendorProbeBatch:
+		b.beginAddr(stateProbeBatchAddr)
 	case CmdSetFeature:
 		b.state = stateFeatureAddr
 		b.featBuf = b.featBuf[:0]
@@ -207,7 +261,7 @@ func (b *Bus) Addr(bytes ...byte) error {
 func (b *Bus) addr(bytes ...byte) error {
 	switch b.state {
 	case stateReadAddr, stateProgramAddr, stateEraseAddr, stateProbeAddr,
-		stateHealthAddr, stateCycleAddr, stateFineAddr:
+		stateHealthAddr, stateCycleAddr, stateFineAddr, stateProbeBatchAddr:
 	case stateFeatureAddr:
 		if len(bytes) != 1 {
 			b.fail()
@@ -245,7 +299,7 @@ func (b *Bus) addr(bytes ...byte) error {
 		b.state = stateReadData // awaiting CmdReadConfirm
 	case stateProgramAddr:
 		b.state = stateProgramData
-		b.dataBuf = b.dataBuf[:0]
+		b.dataBuf = b.wbuf[:0] // data-in register: reuse the write buffer
 	case stateProbeAddr:
 		b.state = stateProbeData // awaiting data out
 		return b.execProbe()
@@ -253,10 +307,13 @@ func (b *Bus) addr(bytes ...byte) error {
 		return b.execHealth()
 	case stateCycleAddr:
 		b.state = stateCycleData
-		b.dataBuf = b.dataBuf[:0]
+		b.dataBuf = b.wbuf[:0]
 	case stateFineAddr:
 		b.state = stateFineData
-		b.dataBuf = b.dataBuf[:0]
+		b.dataBuf = b.wbuf[:0]
+	case stateProbeBatchAddr:
+		b.state = stateProbeBatchData // awaiting the 4-byte page count
+		b.dataBuf = b.wbuf[:0]
 	}
 	return nil
 }
@@ -292,6 +349,16 @@ func (b *Bus) writeData(p []byte) error {
 		}
 		if len(b.dataBuf) == 4 {
 			return b.execCycle()
+		}
+		return nil
+	case stateProbeBatchData:
+		b.dataBuf = append(b.dataBuf, p...)
+		if len(b.dataBuf) > 4 {
+			b.fail()
+			return fmt.Errorf("%w: batch probe count is a 4-byte payload", ErrProtocol)
+		}
+		if len(b.dataBuf) == 4 {
+			return b.execProbeBatch()
 		}
 		return nil
 	case stateFineData:
@@ -351,44 +418,152 @@ func (b *Bus) execRead() error {
 		b.fail()
 		return err
 	}
-	data, err := b.chip.ReadPageRef(a, b.readRef)
-	if err != nil {
-		b.fail()
-		return err
+	return b.senseRow(a)
+}
+
+// senseRow performs the array read for the current row, filling the data
+// register. With a pendingDst attached (host DMA) the sense lands directly
+// in the caller's buffer with no allocation; otherwise the register is a
+// fresh chip slice, since hosts may hold ReadData results indefinitely.
+// A completed sense arms the cached sequential read path.
+func (b *Bus) senseRow(a nand.PageAddr) error {
+	if b.pendingDst != nil && b.col == 0 {
+		if err := b.chip.ReadPageRefInto(a, b.readRef, b.pendingDst); err != nil {
+			b.fail()
+			return err
+		}
+		b.dataBuf = b.pendingDst
+	} else {
+		data, err := b.chip.ReadPageRef(a, b.readRef)
+		if err != nil {
+			b.fail()
+			return err
+		}
+		if b.col > len(data) {
+			b.fail()
+			return ErrAddress
+		}
+		b.dataBuf = data[b.col:]
 	}
-	if b.col > len(data) {
-		b.fail()
-		return ErrAddress
-	}
-	b.dataBuf = data[b.col:]
 	b.dataOff = 0
 	b.status = StatusReady
 	b.state = stateIdle
+	b.lastReadRow = b.row
+	b.readValid = true
 	return nil
 }
 
-func (b *Bus) execProgram() error {
-	if b.state != stateProgramData {
+// execReadCache services CmdReadCache: read the page following the last
+// completed READ in the same block, with no new address cycles. This is
+// the cached sequential read of the extended command set (Cai et al.,
+// §IV): the page register pipelines while the host clocks data, so a
+// block sweep costs one full command/address sequence plus one cycle per
+// page. Crossing a block boundary is a protocol error — real cache reads
+// do not carry across blocks.
+func (b *Bus) execReadCache() error {
+	if !b.readValid || b.state != stateIdle {
 		b.fail()
-		return fmt.Errorf("%w: program confirm without program setup", ErrProtocol)
+		return fmt.Errorf("%w: cached read without a completed read", ErrProtocol)
 	}
+	g := b.chip.Geometry()
+	next := b.lastReadRow + 1
+	if next%g.PagesPerBlock == 0 {
+		b.fail()
+		return fmt.Errorf("%w: cached read across block boundary", ErrProtocol)
+	}
+	b.row = next
+	b.rowSet = true
+	b.col = 0
+	b.colSet = true
 	a, err := b.rowToAddr()
 	if err != nil {
 		b.fail()
 		return err
 	}
+	return b.senseRow(a)
+}
+
+// stageProgram services CmdProgramPlane: instead of executing, the latched
+// page joins the multi-plane program queue and the bus returns ready for
+// the next CmdProgram sequence. The final CmdProgramConfirm flushes the
+// whole group in staging order. This is the multi-plane program of the
+// extended command set (Cai et al., §IV): one confirm amortised over a
+// group of pages.
+func (b *Bus) stageProgram() error {
 	g := b.chip.Geometry()
-	if b.col != 0 || len(b.dataBuf) != g.PageBytes {
+	if b.state != stateProgramData || !b.rowSet || b.col != 0 || len(b.dataBuf) != g.PageBytes {
 		b.fail()
-		return fmt.Errorf("%w: full-page program requires column 0 and %d data bytes", ErrProtocol, g.PageBytes)
+		return fmt.Errorf("%w: plane stage requires a fully latched program page", ErrProtocol)
 	}
-	if err := b.chip.ProgramPage(a, b.dataBuf); err != nil {
-		b.fail()
-		return err
+	if b.queued < len(b.progQueue) {
+		s := &b.progQueue[b.queued]
+		s.row = b.row
+		s.data = append(s.data[:0], b.dataBuf...)
+	} else {
+		b.progQueue = append(b.progQueue, progSlot{
+			row:  b.row,
+			data: append([]byte(nil), b.dataBuf...),
+		})
 	}
+	b.queued++
+	b.wbuf = b.dataBuf[:0]
+	b.dataBuf = nil
 	b.ok()
 	return nil
 }
+
+func (b *Bus) execProgram() error {
+	if b.state != stateProgramData {
+		b.queued = 0
+		b.fail()
+		return fmt.Errorf("%w: program confirm without program setup", ErrProtocol)
+	}
+	a, err := b.rowToAddr()
+	if err != nil {
+		b.queued = 0
+		b.fail()
+		return err
+	}
+	g := b.chip.Geometry()
+	if b.col != 0 || len(b.dataBuf) != g.PageBytes {
+		b.queued = 0
+		b.fail()
+		return fmt.Errorf("%w: full-page program requires column 0 and %d data bytes", ErrProtocol, g.PageBytes)
+	}
+	// Flush staged multi-plane pages in order, then the current page. The
+	// first failure stops the group; groupDone reports how many pages
+	// completed before it, so firmware can keep its bitmaps exact.
+	b.groupDone = 0
+	queued := b.queued
+	b.queued = 0
+	for i := 0; i < queued; i++ {
+		s := &b.progQueue[i]
+		qa := nand.PageAddr{Block: s.row / g.PagesPerBlock, Page: s.row % g.PagesPerBlock}
+		if err := b.chip.ProgramPage(qa, s.data); err != nil {
+			b.wbuf = b.dataBuf[:0]
+			b.dataBuf = nil
+			b.fail()
+			return err
+		}
+		b.groupDone++
+	}
+	if err := b.chip.ProgramPage(a, b.dataBuf); err != nil {
+		b.wbuf = b.dataBuf[:0]
+		b.dataBuf = nil
+		b.fail()
+		return err
+	}
+	b.groupDone++
+	b.wbuf = b.dataBuf[:0]
+	b.dataBuf = nil
+	b.ok()
+	return nil
+}
+
+// GroupCompleted reports how many pages the last CmdProgramConfirm flush
+// fully programmed (staged pages plus the final one), for firmware-side
+// bookkeeping after a mid-group failure.
+func (b *Bus) GroupCompleted() int { return b.groupDone }
 
 func (b *Bus) execErase() error {
 	if b.state != stateEraseAddr || !b.rowSet {
@@ -415,29 +590,52 @@ func (b *Bus) execErase() error {
 // pattern drives toward '0' receive exactly one coarse charge pulse
 // instead of the full incremental-step sequence.
 func (b *Bus) reset() error {
+	b.queued = 0 // an abort drops any staged multi-plane pages
+	b.readValid = false
 	if b.state == stateProgramData && b.rowSet && len(b.dataBuf) == b.chip.Geometry().PageBytes {
 		a, err := b.rowToAddr()
 		if err != nil {
 			b.fail()
 			return err
 		}
-		var cells []int
-		for i := 0; i < b.chip.Geometry().CellsPerPage(); i++ {
-			if (b.dataBuf[i/8]>>(7-uint(i%8)))&1 == 0 {
-				cells = append(cells, i)
-			}
-		}
-		if len(cells) > 0 {
-			if err := b.chip.PartialProgram(a, cells); err != nil {
+		// The latched data register IS the pulse pattern: hand it to the
+		// chip in one pass instead of expanding a cell list. An all-ones
+		// pattern selects no cells and, as before, touches nothing.
+		if anyZeroBit(b.dataBuf) {
+			if err := b.chip.PartialProgramPattern(a, b.dataBuf); err != nil {
 				b.fail()
 				return err
 			}
 		}
 	}
+	if b.inWriteDataPhase() {
+		b.wbuf = b.dataBuf[:0]
+	}
 	b.dataBuf = nil
 	b.dataOff = 0
 	b.ok()
 	return nil
+}
+
+// inWriteDataPhase reports whether the data register currently belongs to
+// a write-path transaction (and so is safe to recycle into wbuf). Read
+// paths latch chip-fresh or caller-owned slices that must not be reused.
+func (b *Bus) inWriteDataPhase() bool {
+	switch b.state {
+	case stateProgramData, stateCycleData, stateFineData, stateProbeBatchData:
+		return true
+	}
+	return false
+}
+
+// anyZeroBit reports whether the pattern selects at least one cell.
+func anyZeroBit(pattern []byte) bool {
+	for _, p := range pattern {
+		if p != 0xFF {
+			return true
+		}
+	}
+	return false
 }
 
 // featLen returns the payload size of a feature register. Unknown
@@ -506,6 +704,7 @@ func (b *Bus) execCycle() error {
 	}
 	n := int(uint32(b.dataBuf[0]) | uint32(b.dataBuf[1])<<8 |
 		uint32(b.dataBuf[2])<<16 | uint32(b.dataBuf[3])<<24)
+	b.wbuf = b.dataBuf[:0]
 	b.dataBuf = nil
 	if err := b.chip.CycleBlock(a.Block, n); err != nil {
 		b.fail()
@@ -538,12 +737,14 @@ func (b *Bus) execFine() error {
 		bits |= uint64(b.dataBuf[g.PageBytes+i]) << (8 * i)
 	}
 	target := math.Float64frombits(bits)
-	var cells []int
+	cells := b.cellScratch[:0]
 	for i := 0; i < g.CellsPerPage(); i++ {
 		if (pattern[i/8]>>(7-uint(i%8)))&1 == 0 {
 			cells = append(cells, i)
 		}
 	}
+	b.cellScratch = cells
+	b.wbuf = b.dataBuf[:0]
 	b.dataBuf = nil
 	if len(cells) > 0 {
 		if err := b.chip.FineProgram(a, cells, target); err != nil {
@@ -569,6 +770,43 @@ func (b *Bus) execProbe() error {
 	b.dataBuf = levels
 	b.dataOff = 0
 	b.status = StatusReady
+	return nil
+}
+
+// execProbeBatch services CmdVendorProbeBatch: the latched 4-byte payload
+// is the page count, and the data register fills with count*CellsPerPage
+// levels probed from consecutive pages in ascending order (bit-identical
+// to a ProbePage loop). The register is bus-owned scratch valid until the
+// next command — hosts must copy before issuing anything else, the usual
+// data-register lifetime on real parts.
+func (b *Bus) execProbeBatch() error {
+	a, err := b.rowToAddr()
+	if err != nil {
+		b.fail()
+		return err
+	}
+	count := int(uint32(b.dataBuf[0]) | uint32(b.dataBuf[1])<<8 |
+		uint32(b.dataBuf[2])<<16 | uint32(b.dataBuf[3])<<24)
+	b.wbuf = b.dataBuf[:0]
+	b.dataBuf = nil
+	g := b.chip.Geometry()
+	if count < 1 || a.Page+count > g.PagesPerBlock {
+		b.fail()
+		return fmt.Errorf("%w: batch probe of %d pages from page %d", ErrAddress, count, a.Page)
+	}
+	need := count * g.CellsPerPage()
+	if cap(b.probeBuf) < need {
+		b.probeBuf = make([]uint8, need)
+	}
+	out := b.probeBuf[:need]
+	if _, err := b.chip.ProbeVoltages(a, count, out); err != nil {
+		b.fail()
+		return err
+	}
+	b.dataBuf = out
+	b.dataOff = 0
+	b.status = StatusReady
+	b.state = stateIdle
 	return nil
 }
 
@@ -625,13 +863,133 @@ func (b *Bus) EraseBlock(block int) error {
 	return b.Cmd(CmdEraseConfirm)
 }
 
+// ReadPageInto performs a full read transaction at the current read
+// reference, sensing directly into the caller-owned page buffer (host
+// DMA). Cycle-for-cycle it matches ReadPage — command, address, confirm,
+// data out — but allocates nothing.
+func (b *Bus) ReadPageInto(a nand.PageAddr, out []byte) error {
+	g := b.chip.Geometry()
+	if len(out) != g.PageBytes {
+		return fmt.Errorf("%w: read buffer holds %d bytes, page holds %d", ErrProtocol, len(out), g.PageBytes)
+	}
+	b.pendingDst = out
+	defer func() { b.pendingDst = nil }()
+	if err := b.Cmd(CmdRead); err != nil {
+		return err
+	}
+	if err := b.Addr(addrCycles(g, a)...); err != nil {
+		return err
+	}
+	if err := b.Cmd(CmdReadConfirm); err != nil {
+		return err
+	}
+	b.recordData(CycleDataOut, len(out))
+	return nil
+}
+
+// ReadPagesInto reads count consecutive pages into out (count*PageBytes
+// bytes): one full command/address sequence for the first page, then one
+// cached sequential read (CmdReadCache) per following page. It returns
+// the number of pages fully read; out holds valid data for exactly those
+// leading pages.
+func (b *Bus) ReadPagesInto(a nand.PageAddr, count int, out []byte) (int, error) {
+	g := b.chip.Geometry()
+	pb := g.PageBytes
+	if len(out) < count*pb {
+		return 0, fmt.Errorf("%w: read buffer holds %d bytes, %d pages need %d", ErrProtocol, len(out), count, count*pb)
+	}
+	if count < 1 {
+		return 0, nil
+	}
+	if err := b.ReadPageInto(a, out[:pb]); err != nil {
+		return 0, err
+	}
+	defer func() { b.pendingDst = nil }()
+	for p := 1; p < count; p++ {
+		b.pendingDst = out[p*pb : (p+1)*pb]
+		if err := b.Cmd(CmdReadCache); err != nil {
+			return p, err
+		}
+		b.recordData(CycleDataOut, pb)
+	}
+	return count, nil
+}
+
+// ProgramPages programs count consecutive pages from data as one
+// multi-plane group: every page but the last is staged with
+// CmdProgramPlane, and the final CmdProgramConfirm flushes the group in
+// order. It returns the number of pages fully programmed (via
+// GroupCompleted on failure).
+func (b *Bus) ProgramPages(a nand.PageAddr, data []byte) (int, error) {
+	g := b.chip.Geometry()
+	pb := g.PageBytes
+	if len(data)%pb != 0 {
+		return 0, fmt.Errorf("%w: group data is %d bytes, not a multiple of page size %d", ErrProtocol, len(data), pb)
+	}
+	count := len(data) / pb
+	b.groupDone = 0
+	for p := 0; p < count; p++ {
+		if err := b.Cmd(CmdProgram); err != nil {
+			return b.groupDone, err
+		}
+		pa := nand.PageAddr{Block: a.Block, Page: a.Page + p}
+		if err := b.Addr(addrCycles(g, pa)...); err != nil {
+			return b.groupDone, err
+		}
+		if err := b.WriteData(data[p*pb : (p+1)*pb]); err != nil {
+			return b.groupDone, err
+		}
+		op := byte(CmdProgramPlane)
+		if p == count-1 {
+			op = CmdProgramConfirm
+		}
+		if err := b.Cmd(op); err != nil {
+			return b.groupDone, err
+		}
+	}
+	return b.groupDone, nil
+}
+
+// ProbeVoltagesInto probes count consecutive pages via the batched vendor
+// opcode, copying the streamed levels into the caller-owned buffer. The
+// whole run costs one command cycle plus the data transfer.
+func (b *Bus) ProbeVoltagesInto(a nand.PageAddr, count int, out []uint8) (int, error) {
+	g := b.chip.Geometry()
+	cp := g.CellsPerPage()
+	if len(out) < count*cp {
+		return 0, fmt.Errorf("%w: probe buffer holds %d levels, %d pages need %d", ErrProtocol, len(out), count, count*cp)
+	}
+	if count < 1 {
+		return 0, nil
+	}
+	if err := b.Cmd(CmdVendorProbeBatch); err != nil {
+		return 0, err
+	}
+	if err := b.Addr(addrCycles(g, a)...); err != nil {
+		return 0, err
+	}
+	u := uint32(count)
+	if err := b.WriteData([]byte{byte(u), byte(u >> 8), byte(u >> 16), byte(u >> 24)}); err != nil {
+		return 0, err
+	}
+	levels, err := b.ReadData(count * cp)
+	if err != nil {
+		return 0, err
+	}
+	copy(out[:count*cp], levels)
+	return count, nil
+}
+
 // PartialProgram delivers one PP pulse to the listed cells using ONLY the
 // standard PROGRAM + RESET idiom (§1): the data pattern drives the chosen
 // cells toward '0' and the reset aborts the operation after a single
 // charge step.
 func (b *Bus) PartialProgram(a nand.PageAddr, cells []int) error {
 	g := b.chip.Geometry()
-	pattern := make([]byte, g.PageBytes)
+	if cap(b.ppPattern) < g.PageBytes {
+		b.ppPattern = make([]byte, g.PageBytes)
+	}
+	pattern := b.ppPattern[:g.PageBytes]
 	for i := range pattern {
 		pattern[i] = 0xFF
 	}

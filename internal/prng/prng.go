@@ -12,6 +12,7 @@ import (
 	"crypto/hmac"
 	"crypto/sha256"
 	"encoding/binary"
+	"hash"
 )
 
 // Stream is a deterministic byte stream derived from a secret key and a
@@ -24,6 +25,13 @@ type Stream struct {
 	domain  []byte
 	buf     []byte
 	off     int
+
+	// mac is the HMAC instance reused across refills (hmac.Reset restores
+	// the keyed initial state, so reuse is bit-identical to a fresh
+	// hmac.New per block); ctr is counter-encoding scratch. Both exist so
+	// long selection draws do not allocate per 32-byte block.
+	mac hash.Hash
+	ctr [8]byte
 }
 
 // NewStream creates a stream bound to key and domain. The key is copied.
@@ -44,13 +52,16 @@ func PageStream(key []byte, page uint64, purpose string) *Stream {
 }
 
 func (s *Stream) refill() {
-	h := hmac.New(sha256.New, s.key)
-	h.Write(s.domain)
-	var cb [8]byte
-	binary.BigEndian.PutUint64(cb[:], s.counter)
-	h.Write(cb[:])
+	if s.mac == nil {
+		s.mac = hmac.New(sha256.New, s.key)
+	} else {
+		s.mac.Reset()
+	}
+	s.mac.Write(s.domain)
+	binary.BigEndian.PutUint64(s.ctr[:], s.counter)
+	s.mac.Write(s.ctr[:])
 	s.counter++
-	s.buf = h.Sum(s.buf[:0])
+	s.buf = s.mac.Sum(s.buf[:0])
 	s.off = 0
 }
 
@@ -129,17 +140,37 @@ func (s *Stream) SelectKSparse(n, k int) []int {
 	if k < 0 || n < 0 || k > n {
 		panic("prng: SelectKSparse bounds")
 	}
-	seen := make(map[int]struct{}, k)
-	out := make([]int, 0, k)
+	return s.SelectKSparseInto(make([]int, 0, k), n, k)
+}
+
+// SelectKSparseInto is SelectKSparse into a caller-owned buffer whose
+// backing array is reused (dst may be nil). The stream draw sequence is
+// identical to SelectKSparse — duplicates are redrawn — with the sorted
+// result maintained by binary-search insertion instead of a scratch map,
+// so steady-state callers allocate nothing.
+func (s *Stream) SelectKSparseInto(dst []int, n, k int) []int {
+	if k < 0 || n < 0 || k > n {
+		panic("prng: SelectKSparse bounds")
+	}
+	out := dst[:0]
 	for len(out) < k {
 		v := s.Intn(n)
-		if _, dup := seen[v]; dup {
-			continue
+		lo, hi := 0, len(out)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if out[mid] < v {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
 		}
-		seen[v] = struct{}{}
-		out = append(out, v)
+		if lo < len(out) && out[lo] == v {
+			continue // duplicate draw, same redraw as the map-based path
+		}
+		out = append(out, 0)
+		copy(out[lo+1:], out[lo:])
+		out[lo] = v
 	}
-	insertionSort(out)
 	return out
 }
 

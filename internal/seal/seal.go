@@ -67,23 +67,68 @@ func hkdfExpand(prk, info []byte, n int) []byte {
 	return out[:n]
 }
 
+// Sealer encrypts hidden payloads under one encryption subkey with the
+// AES key schedule expanded once at construction, so per-page sealing on
+// the hide/reveal hot path costs no key setup and no allocations. The
+// counter and keystream scratch live in the struct; like a nand.Device, a
+// Sealer is not safe for concurrent use.
+type Sealer struct {
+	block cipher.Block
+	ctr   [aes.BlockSize]byte
+	ks    [aes.BlockSize]byte
+}
+
+// NewSealer builds a sealer for an AES key (16, 24 or 32 bytes; the
+// derived Keys.Encrypt is 32). It panics on a bad key length, a
+// programming error.
+func NewSealer(key []byte) *Sealer {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		panic("seal: " + err.Error())
+	}
+	return &Sealer{block: block}
+}
+
+// EncryptPageInto encrypts (or, being CTR, decrypts) data into dst, which
+// must hold at least len(data) bytes and may alias data for in-place use.
+// The stream is bit-identical to EncryptPage under the same key: AES-CTR
+// with the (page, epoch) IV, counter incremented big-endian per block.
+func (s *Sealer) EncryptPageInto(dst []byte, page, epoch uint64, data []byte) {
+	if len(dst) < len(data) {
+		panic("seal: EncryptPageInto dst shorter than data")
+	}
+	binary.BigEndian.PutUint64(s.ctr[0:8], page)
+	binary.BigEndian.PutUint64(s.ctr[8:16], epoch)
+	for off := 0; off < len(data); off += aes.BlockSize {
+		s.block.Encrypt(s.ks[:], s.ctr[:])
+		n := len(data) - off
+		if n > aes.BlockSize {
+			n = aes.BlockSize
+		}
+		for i := 0; i < n; i++ {
+			dst[off+i] = data[off+i] ^ s.ks[i]
+		}
+		for i := aes.BlockSize - 1; i >= 0; i-- {
+			s.ctr[i]++
+			if s.ctr[i] != 0 {
+				break
+			}
+		}
+	}
+}
+
 // EncryptPage encrypts (or, being CTR, decrypts) a hidden payload bound to
 // a specific flash page and embedding epoch. The IV is derived from
 // (page, epoch): hidden data never stores a nonce — every hidden bit is
 // precious — so uniqueness comes from never re-embedding a different
 // payload at the same (page, epoch). The FTL layer bumps the epoch each
 // time a payload migrates (§5.1's re-embedding on data movement).
+//
+// It expands the key schedule on every call; steady-state callers should
+// hold a Sealer and use EncryptPageInto.
 func EncryptPage(key []byte, page, epoch uint64, data []byte) []byte {
-	block, err := aes.NewCipher(key)
-	if err != nil {
-		// Only possible with a wrong key length: a programming error.
-		panic("seal: " + err.Error())
-	}
-	var iv [aes.BlockSize]byte
-	binary.BigEndian.PutUint64(iv[0:8], page)
-	binary.BigEndian.PutUint64(iv[8:16], epoch)
 	out := make([]byte, len(data))
-	cipher.NewCTR(block, iv[:]).XORKeyStream(out, data)
+	NewSealer(key).EncryptPageInto(out, page, epoch, data)
 	return out
 }
 

@@ -150,11 +150,7 @@ func Create(dev nand.VendorDevice, masterKey, publicKey []byte, cfg Config) (*Vo
 	}
 	// Public sectors flow hider -> public ECC, sealed to their physical
 	// location by the shared ftl.SealedStore plumbing.
-	store := ftl.SealedStore{
-		Dev:   dev,
-		Inner: core.PublicStore{H: hider},
-		Key:   seal.DeriveKeys(publicKey).Encrypt,
-	}
+	store := ftl.NewSealedStore(dev, core.PublicStore{H: hider}, seal.DeriveKeys(publicKey).Encrypt)
 	hook := migrationHook{v: v}
 	f, err := ftl.New(dev, store, cfg.FTL, hook)
 	if err != nil {

@@ -9,6 +9,7 @@ package tester
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand/v2"
 	"time"
 
@@ -47,12 +48,19 @@ func (t *Tester) RandomPage() []byte {
 // comparison. The block must be erased.
 func (t *Tester) ProgramRandomBlock(block int) ([][]byte, error) {
 	g := t.dev.Geometry()
+	// Generate every image first (host-side RNG order is part of the
+	// harness contract), then push the whole block as one batched program
+	// so a bus-attached chip sees multi-plane command cycles.
+	flat := make([]byte, g.PagesPerBlock*g.PageBytes)
+	for i := range flat {
+		flat[i] = byte(t.rng.IntN(256))
+	}
 	pages := make([][]byte, g.PagesPerBlock)
-	for p := 0; p < g.PagesPerBlock; p++ {
-		pages[p] = t.RandomPage()
-		if err := t.dev.ProgramPage(nand.PageAddr{Block: block, Page: p}, pages[p]); err != nil {
-			return nil, fmt.Errorf("tester: programming block %d page %d: %w", block, p, err)
-		}
+	for p := range pages {
+		pages[p] = flat[p*g.PageBytes : (p+1)*g.PageBytes : (p+1)*g.PageBytes]
+	}
+	if n, err := nand.ProgramPages(t.dev, nand.PageAddr{Block: block}, flat); err != nil {
+		return nil, fmt.Errorf("tester: programming block %d page %d: %w", block, n, err)
 	}
 	return pages, nil
 }
@@ -109,11 +117,11 @@ func (t *Tester) BlockDistribution(block int) (erased, programmed *stats.Histogr
 	erased = NewVoltageHistogram()
 	programmed = NewVoltageHistogram()
 	g := t.dev.Geometry()
-	for p := 0; p < g.PagesPerBlock; p++ {
-		if err := t.accumulatePage(nand.PageAddr{Block: block, Page: p}, erased, programmed); err != nil {
-			return nil, nil, err
-		}
+	levels := make([]uint8, g.CellsPerBlock())
+	if _, err := nand.ProbeVoltages(t.dev, nand.PageAddr{Block: block}, g.PagesPerBlock, levels); err != nil {
+		return nil, nil, err
 	}
+	t.accumulateLevels(levels, erased, programmed)
 	return erased, programmed, nil
 }
 
@@ -122,6 +130,11 @@ func (t *Tester) accumulatePage(a nand.PageAddr, erased, programmed *stats.Histo
 	if err != nil {
 		return err
 	}
+	t.accumulateLevels(levels, erased, programmed)
+	return nil
+}
+
+func (t *Tester) accumulateLevels(levels []uint8, erased, programmed *stats.Histogram) {
 	ref := uint8(t.dev.Model().ReadRef)
 	for _, v := range levels {
 		if v < ref {
@@ -130,7 +143,6 @@ func (t *Tester) accumulatePage(a nand.PageAddr, erased, programmed *stats.Histo
 			programmed.Add(float64(v))
 		}
 	}
-	return nil
 }
 
 // BERResult reports a bit error measurement.
@@ -151,15 +163,17 @@ func (r BERResult) BER() float64 {
 // compares against the expected page images.
 func (t *Tester) MeasureBlockBER(block int, expect [][]byte) (BERResult, error) {
 	var res BERResult
+	g := t.dev.Geometry()
+	got := make([]byte, len(expect)*g.PageBytes)
+	if _, err := nand.ReadPages(t.dev, nand.PageAddr{Block: block}, len(expect), got); err != nil {
+		return res, err
+	}
 	for p, want := range expect {
-		got, err := t.dev.ReadPage(nand.PageAddr{Block: block, Page: p})
-		if err != nil {
-			return res, err
+		page := got[p*g.PageBytes : (p+1)*g.PageBytes]
+		for i := range page {
+			res.Errors += bits.OnesCount8(page[i] ^ want[i])
 		}
-		for i := range got {
-			res.Errors += popcount8(got[i] ^ want[i])
-		}
-		res.Bits += len(got) * 8
+		res.Bits += len(page) * 8
 	}
 	return res, nil
 }
@@ -172,12 +186,3 @@ func (t *Tester) Bake(d time.Duration) {
 
 // Ledger returns the chip's accumulated operation costs.
 func (t *Tester) Ledger() nand.Ledger { return t.dev.Ledger() }
-
-func popcount8(b byte) int {
-	n := 0
-	for b != 0 {
-		n += int(b & 1)
-		b >>= 1
-	}
-	return n
-}
