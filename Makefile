@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race fuzz-smoke lint-layering ci bench bench-parallel bench-device bench-check
+.PHONY: build test vet race fuzz-smoke lint-layering ci bench bench-parallel bench-device bench-retention bench-check
 
 build:
 	$(GO) build ./...
@@ -76,6 +76,12 @@ bench-parallel:
 bench-device:
 	$(GO) run ./cmd/experiments -devbenchjson BENCH_device.json all
 
+# Regenerate BENCH_retention.json: fixed aging scenarios over the lazy
+# virtual-clock retention engine vs the eager reference walk (identical
+# results; the speedup column is what the lazy engine buys).
+bench-retention:
+	$(GO) run ./cmd/experiments -retbenchjson BENCH_retention.json
+
 # Bench-regression gate: regenerate both benchmark documents into
 # untracked temp files and diff them against the committed baselines with
 # cmd/benchdiff. Fails when the fresh run is slower than the tolerance
@@ -86,3 +92,5 @@ bench-check:
 	$(GO) run ./cmd/benchdiff -baseline BENCH_parallel.json -fresh .bench_fresh_parallel.json
 	$(GO) run ./cmd/experiments -devbenchjson .bench_fresh_device.json all
 	$(GO) run ./cmd/benchdiff -baseline BENCH_device.json -fresh .bench_fresh_device.json
+	$(GO) run ./cmd/experiments -retbenchjson .bench_fresh_retention.json
+	$(GO) run ./cmd/benchdiff -baseline BENCH_retention.json -fresh .bench_fresh_retention.json

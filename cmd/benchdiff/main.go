@@ -15,8 +15,9 @@
 // when any single experiment exceeds twice the budget (single-experiment
 // noise is larger than suite noise, so the per-experiment bar is looser);
 // experiments under 5ms in the baseline are reported but never fail the
-// gate. Both the parallel schema (workersN_ms) and the device schema
-// (onfi_ms/direct_ms) are understood.
+// gate. The parallel schema (workersN_ms), the device schema
+// (onfi_ms/direct_ms) and the retention schema (lazy_ms/eager_ms, from
+// cmd/experiments -retbenchjson) are all understood.
 package main
 
 import (
@@ -35,16 +36,21 @@ type entry struct {
 	WorkersNMs float64 `json:"workersN_ms"`
 	DirectMs   float64 `json:"direct_ms"`
 	ONFIMs     float64 `json:"onfi_ms"`
+	LazyMs     float64 `json:"lazy_ms"`
 }
 
 // headlineMs returns the wall-clock number the gate compares: the
-// parallel run at full fan-out, or the ONFI-backend run for the device
-// schema (the slower, more fragile column).
+// parallel run at full fan-out, the ONFI-backend run for the device
+// schema (the slower, more fragile column), or the lazy-engine run for
+// the retention schema (the column whose speed the engine exists for).
 func (e entry) headlineMs() float64 {
 	if e.WorkersNMs > 0 {
 		return e.WorkersNMs
 	}
-	return e.ONFIMs
+	if e.ONFIMs > 0 {
+		return e.ONFIMs
+	}
+	return e.LazyMs
 }
 
 // report is the subset of both benchmark documents the gate reads.
@@ -53,6 +59,7 @@ type report struct {
 	Experiments []entry `json:"experiments"`
 	TotalNMs    float64 `json:"total_workersN_ms"`
 	TotalONFIMs float64 `json:"total_onfi_ms"`
+	TotalLazyMs float64 `json:"total_lazy_ms"`
 }
 
 func (r report) totalMs() float64 {
@@ -61,6 +68,9 @@ func (r report) totalMs() float64 {
 	}
 	if r.TotalONFIMs > 0 {
 		return r.TotalONFIMs
+	}
+	if r.TotalLazyMs > 0 {
+		return r.TotalLazyMs
 	}
 	var t float64
 	for _, e := range r.Experiments {

@@ -130,6 +130,30 @@ func TestCompareDeviceSchema(t *testing.T) {
 	}
 }
 
+func TestCompareRetentionSchema(t *testing.T) {
+	base := report{
+		Experiments: []entry{
+			{ID: "sweep10y", LazyMs: 80},
+			{ID: "bake12mo", LazyMs: 0.01},
+		},
+		TotalLazyMs: 80,
+	}
+	fresh := report{
+		Experiments: []entry{
+			{ID: "sweep10y", LazyMs: 200},
+			{ID: "bake12mo", LazyMs: 0.01},
+		},
+		TotalLazyMs: 200,
+	}
+	lines, failed := compare(base, fresh, 0.25)
+	if !failed {
+		t.Fatalf("2.5x lazy-engine slowdown passed:\n%s", strings.Join(lines, "\n"))
+	}
+	if !hasLine(lines, "below 5ms floor") {
+		t.Errorf("sub-floor retention entry should not be gated:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
 func TestDefaultTolerance(t *testing.T) {
 	t.Setenv("STASHFLASH_BENCH_TOLERANCE", "")
 	if got := defaultTolerance(); got != 0.15 {

@@ -9,6 +9,7 @@
 //	experiments [-scale ci|paper] fig6 fig10 tbl1 ...
 //	experiments -benchjson BENCH_parallel.json all
 //	experiments -devbenchjson BENCH_device.json all
+//	experiments -retbenchjson BENCH_retention.json
 //	experiments -metricsjson metrics.json [-trace 256 -backend onfi] all
 //	experiments -debug-addr localhost:6060 -scale paper all
 //
@@ -21,7 +22,10 @@
 // -benchjson additionally times each experiment at workers=1 and at the
 // selected worker count and writes the comparison as JSON; -devbenchjson
 // times each experiment at backend=direct and backend=onfi and writes
-// the per-backend cost comparison.
+// the per-backend cost comparison; -retbenchjson times fixed retention
+// aging scenarios over the lazy virtual-clock engine and the eager
+// reference walk (it takes no experiment ids — the scenarios are built
+// in, see retbench.go).
 //
 // -metricsjson wraps every work unit's device in the observability
 // decorator (internal/obs) and writes the aggregated per-operation
@@ -75,6 +79,7 @@ func main() {
 	backend := flag.String("backend", "", "device backend: direct (default) or onfi (bus command adapter)")
 	benchJSON := flag.String("benchjson", "", "time each experiment at workers=1 vs -workers and write the comparison to this JSON file")
 	devBenchJSON := flag.String("devbenchjson", "", "time each experiment at backend=direct vs backend=onfi and write the comparison to this JSON file")
+	retBenchJSON := flag.String("retbenchjson", "", "time the fixed retention aging scenarios over the lazy vs eager engine and write the comparison to this JSON file (takes no experiment ids)")
 	metricsJSON := flag.String("metricsjson", "", "record per-operation device metrics across the run and write the snapshot to this JSON file (schema: EXPERIMENTS.md)")
 	traceCycles := flag.Int("trace", 0, "with -metricsjson: keep the last N ONFI bus cycles in the snapshot (needs -backend onfi)")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and expvar debug endpoints on this address for the duration of the run (e.g. localhost:6060)")
@@ -121,6 +126,16 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "experiments: debug server on http://%s/debug/\n", ln.Addr())
+	}
+
+	// The retention bench runs fixed scenarios, not experiment entries,
+	// so it is resolved before the ids-required check.
+	if *retBenchJSON != "" {
+		if err := runRetentionBench(*retBenchJSON, scale.Seed); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	ids := flag.Args()

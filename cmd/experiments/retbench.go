@@ -1,0 +1,193 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"runtime"
+	"time"
+
+	"stashflash/internal/nand"
+)
+
+// Retention-engine benchmark (-retbenchjson): times aging scenarios over
+// the lazy virtual-clock retention engine against the eager reference
+// walk (nand/retention.go). The two engines are bit-identical by
+// construction, so the columns measure pure engine cost: an O(1) clock
+// bump plus on-demand decay folds versus an immediate walk of every live
+// page at each bake. The document feeds the same benchdiff gate as
+// BENCH_parallel.json / BENCH_device.json.
+
+// retBenchEntry is one scenario's lazy-vs-eager wall-clock comparison.
+type retBenchEntry struct {
+	ID      string  `json:"id"`
+	LazyMs  float64 `json:"lazy_ms"`
+	EagerMs float64 `json:"eager_ms"`
+	Speedup float64 `json:"speedup"`
+}
+
+// retBenchReport is the BENCH_retention.json document.
+type retBenchReport struct {
+	Scale        string          `json:"scale"`
+	Seed         uint64          `json:"seed"`
+	NumCPU       int             `json:"num_cpu"`
+	GoMaxProcs   int             `json:"gomaxprocs"`
+	Pages        int             `json:"programmed_pages"`
+	Experiments  []retBenchEntry `json:"experiments"`
+	TotalLazyMs  float64         `json:"total_lazy_ms"`
+	TotalEagerMs float64         `json:"total_eager_ms"`
+	Speedup      float64         `json:"speedup"`
+}
+
+// retBenchPages is the live-state size of every scenario: this many
+// programmed pages of block 0 on a full-geometry vendor-A chip, at
+// mid-life wear so the leak rate is realistic.
+const retBenchPages = 64
+
+// retBenchChip builds one scenario substrate in the requested engine
+// mode. Build cost is outside every timed region.
+func retBenchChip(seed uint64, eager bool) (nand.LabDevice, error) {
+	chip := nand.NewChip(nand.ModelA(), seed)
+	chip.SetEagerRetention(eager)
+	var dev nand.LabDevice = chip
+	if err := dev.CycleBlock(0, 2000); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewPCG(seed, 0x9E3779B97F4A7C15))
+	data := make([]byte, dev.Geometry().PageBytes)
+	for p := 0; p < retBenchPages; p++ {
+		for i := range data {
+			data[i] = byte(rng.Uint64())
+		}
+		if err := dev.ProgramPage(nand.PageAddr{Block: 0, Page: p}, data); err != nil {
+			return nil, err
+		}
+	}
+	return dev, nil
+}
+
+// retBenchScenarios are the timed workloads. Each receives a freshly
+// built substrate; the virtual clock always stays far below the
+// time.Duration horizon.
+var retBenchScenarios = []struct {
+	id   string
+	desc string
+	run  func(dev nand.LabDevice) error
+}{
+	{
+		id:   "bake12mo",
+		desc: "20 bakes totalling 12 months, no senses in between",
+		run: func(dev nand.LabDevice) error {
+			for i := 0; i < 20; i++ {
+				dev.AdvanceRetention(12 * nand.RetentionMonth / 20)
+			}
+			return nil
+		},
+	},
+	{
+		id:   "sense12mo",
+		desc: "one 12-month bake, then probe every programmed page (the deferred decay is paid here)",
+		run: func(dev nand.LabDevice) error {
+			dev.AdvanceRetention(12 * nand.RetentionMonth)
+			for p := 0; p < retBenchPages; p++ {
+				if _, err := dev.ProbePage(nand.PageAddr{Block: 0, Page: p}); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	},
+	{
+		id:   "sweep10y",
+		desc: "10 annual bakes, sampling 8 of the programmed pages after each",
+		run: func(dev nand.LabDevice) error {
+			for y := 0; y < 10; y++ {
+				dev.AdvanceRetention(12 * nand.RetentionMonth)
+				for p := 0; p < 8; p++ {
+					a := nand.PageAddr{Block: 0, Page: p}
+					if _, err := dev.ProbePage(a); err != nil {
+						return err
+					}
+					if _, err := dev.ReadPage(a); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		},
+	},
+}
+
+// runRetentionBench times every scenario in both engine modes and writes
+// the BENCH_retention.json comparison. Scenarios run on full-geometry
+// chips regardless of -scale; only the seed is taken from the run scale.
+func runRetentionBench(path string, seed uint64) error {
+	rep := retBenchReport{
+		Scale:      "modelA-full",
+		Seed:       seed,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Pages:      retBenchPages,
+	}
+	// Best-of-3 with a clean heap before each timed region: a scenario
+	// mutates the virtual clock, so every repetition gets a fresh
+	// substrate, and the minimum discards runs a GC pause landed in.
+	timeRun := func(id string, run func(nand.LabDevice) error, eager bool) (float64, error) {
+		best := 0.0
+		for rep := 0; rep < 3; rep++ {
+			dev, err := retBenchChip(seed, eager)
+			if err != nil {
+				return 0, fmt.Errorf("%s: building substrate: %w", id, err)
+			}
+			runtime.GC()
+			start := time.Now()
+			if err := run(dev); err != nil {
+				return 0, fmt.Errorf("%s (eager=%v): %w", id, eager, err)
+			}
+			ms := float64(time.Since(start).Microseconds()) / 1e3
+			if rep == 0 || ms < best {
+				best = ms
+			}
+		}
+		return best, nil
+	}
+	for _, sc := range retBenchScenarios {
+		lazyMs, err := timeRun(sc.id, sc.run, false)
+		if err != nil {
+			return err
+		}
+		eagerMs, err := timeRun(sc.id, sc.run, true)
+		if err != nil {
+			return err
+		}
+		// A lazy pass can finish under timer resolution; clamp the
+		// denominator so the ratio stays finite (and JSON-encodable).
+		den := lazyMs
+		if den < 0.001 {
+			den = 0.001
+		}
+		entry := retBenchEntry{ID: sc.id, LazyMs: lazyMs, EagerMs: eagerMs, Speedup: eagerMs / den}
+		rep.Experiments = append(rep.Experiments, entry)
+		rep.TotalLazyMs += lazyMs
+		rep.TotalEagerMs += eagerMs
+		fmt.Fprintf(os.Stderr, "%-10s lazy %10.3fms  eager %10.3fms  %.0fx  (%s)\n",
+			sc.id, lazyMs, eagerMs, entry.Speedup, sc.desc)
+	}
+	if den := rep.TotalLazyMs; den >= 0.001 {
+		rep.Speedup = rep.TotalEagerMs / den
+	} else {
+		rep.Speedup = rep.TotalEagerMs / 0.001
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "total: lazy %.3fms, eager %.3fms (%.0fx); wrote %s\n",
+		rep.TotalLazyMs, rep.TotalEagerMs, rep.Speedup, path)
+	return nil
+}

@@ -67,6 +67,13 @@ type Scale struct {
 	// results-transparent: Results are a function of Seed alone, never
 	// of Metrics (see obs_test.go).
 	Metrics *obs.Collector
+	// EagerRetention switches every work unit's chip sample to the eager
+	// reference retention engine: AdvanceRetention walks all live pages
+	// immediately instead of deferring decay to the next sense. The two
+	// engines are bit-identical by construction (nand/retention.go), so
+	// Results are a function of Seed alone, never of EagerRetention —
+	// the knob exists for equivalence tests and benchmark baselines.
+	EagerRetention bool
 }
 
 // CIScale keeps every experiment under a few tens of seconds.

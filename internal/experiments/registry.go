@@ -39,6 +39,7 @@ var registry = []Entry{
 	{"sumstat", "§7 closing analysis (SVM on BER/mean/std)", SummaryStats},
 	{"fig10page", "§7 page-level SVM", PageLevel},
 	{"faults", "fault-injected recovery (extension)", Faults},
+	{"retyears", "multi-year retention sweep (extension)", RetentionYears},
 }
 
 // All returns every registered experiment, ordered by ID registration.

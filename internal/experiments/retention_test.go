@@ -1,0 +1,40 @@
+package experiments
+
+import "testing"
+
+// TestRetentionYearsEquivalence proves the multi-year retention sweep is
+// indifferent to every engine knob that must never be an input: worker
+// fan-out, device transport, and — the point of this experiment — the
+// lazy-vs-eager retention engine. A decade of virtual aging rendered
+// through deferred decay folds must be byte-identical to the eager
+// reference walk.
+func TestRetentionYearsEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment in -short mode")
+	}
+	run := func(name string, mutate func(*Scale)) string {
+		s := tinyScale()
+		mutate(&s)
+		r, err := RetentionYears(s)
+		if err != nil {
+			t.Fatalf("retyears %s: %v", name, err)
+		}
+		return renderText(t, r)
+	}
+	base := run("direct/1/lazy", func(s *Scale) { s.Workers = 1 })
+	for _, c := range []struct {
+		name   string
+		mutate func(*Scale)
+	}{
+		{"direct/8/lazy", func(s *Scale) { s.Workers = 8 }},
+		{"onfi/1/lazy", func(s *Scale) { s.Backend = "onfi"; s.Workers = 1 }},
+		{"onfi/8/lazy", func(s *Scale) { s.Backend = "onfi"; s.Workers = 8 }},
+		{"direct/1/eager", func(s *Scale) { s.Workers = 1; s.EagerRetention = true }},
+		{"onfi/8/eager", func(s *Scale) { s.Backend = "onfi"; s.Workers = 8; s.EagerRetention = true }},
+	} {
+		if got := run(c.name, c.mutate); got != base {
+			t.Errorf("%s differs from direct/1/lazy\n--- direct/1/lazy ---\n%s\n--- %s ---\n%s",
+				c.name, base, c.name, got)
+		}
+	}
+}

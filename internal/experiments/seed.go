@@ -59,9 +59,13 @@ func (s Scale) rng(domain string, path ...uint64) *rand.Rand {
 func (s Scale) tester(m nand.Model, domain string, path ...uint64) *tester.Tester {
 	chipSeed, _ := s.subSeed(domain+"/chip", path...)
 	hostSeed, _ := s.subSeed(domain+"/host", path...)
-	var dev nand.LabDevice = nand.NewChip(m, chipSeed)
+	chip := nand.NewChip(m, chipSeed)
+	// The eager reference engine is results-transparent (bit-identical
+	// to the lazy default; see retention_test.go here and in nand).
+	chip.SetEagerRetention(s.EagerRetention)
+	var dev nand.LabDevice = chip
 	if s.Backend == "onfi" {
-		dev = onfi.NewDevice(dev.(*nand.Chip))
+		dev = onfi.NewDevice(chip)
 	}
 	if s.Metrics != nil {
 		// The observability decorator forwards every operation verbatim;

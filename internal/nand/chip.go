@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"time"
 )
 
 // Chip is one simulated NAND flash package. All methods are deterministic
@@ -31,6 +32,7 @@ type Chip struct {
 	ledger     Ledger
 	faults     *FaultPlan   // nil = pristine device (see faults.go)
 	bad        map[int]bool // grown bad blocks
+	retEager   bool         // eager retention reference walk (see retention.go)
 }
 
 type blockState struct {
@@ -46,13 +48,26 @@ type blockState struct {
 	// channel). Unlike voltages it models permanent oxide damage, so it
 	// survives erases. Allocated lazily per page.
 	stress [][]uint16
+	// live counts materialised pages, so a fully-erased block costs O(1)
+	// in the eager retention walk.
+	live int
 }
 
 type pageState struct {
-	v          []float32 // per-cell voltage, normalized units
+	v          []float32 // per-cell stored charge, normalized units (decay folded up to retDone)
 	gain       []float32 // per-cell charge gain (programming speed)
 	pageOffset float64
 	programmed bool
+
+	// Lazy retention bookkeeping (see retention.go). retStart anchors the
+	// decay curve; retDone is the virtual time already folded into v; view
+	// caches the decayed levels at viewDone, viewPinned marking a view
+	// that has fully settled at the leak floor.
+	retStart   time.Duration
+	retDone    time.Duration
+	view       []float32
+	viewDone   time.Duration
+	viewPinned bool
 }
 
 // Errors returned by chip operations. Program-before-erase is the classic
@@ -93,8 +108,9 @@ func (c *Chip) Geometry() Geometry { return c.model.Geometry }
 // Ledger returns a snapshot of the accumulated operation costs.
 func (c *Chip) Ledger() Ledger { return c.ledger }
 
-// ResetLedger zeroes the operation cost accounting.
-func (c *Chip) ResetLedger() { c.ledger = Ledger{} }
+// ResetLedger zeroes the operation cost accounting. The virtual retention
+// clock is physical age, not a cost, so it survives the reset.
+func (c *Chip) ResetLedger() { c.ledger = Ledger{VirtualClock: c.ledger.VirtualClock} }
 
 // PEC returns the program/erase cycle count of a block.
 func (c *Chip) PEC(block int) int {
@@ -178,6 +194,11 @@ func (c *Chip) pageRef(a PageAddr) *pageState {
 		bs.pendingInterf[a.Page] = 0
 	}
 
+	// The page's decay curve is anchored at its materialisation time.
+	ps.retStart = c.ledger.VirtualClock
+	ps.retDone = ps.retStart
+	ps.viewDone = viewStale
+	bs.live++
 	bs.pages[a.Page] = ps
 	return ps
 }
@@ -214,13 +235,16 @@ func (c *Chip) EraseBlock(block int) error {
 	if c.faults != nil {
 		if c.faults.drawEraseFail() {
 			// The failed erase still stresses the oxide: PEC advances but
-			// voltages stay put and the block is grown bad.
+			// voltages stay put and the block is grown bad. The PEC change
+			// shifts the leak rate, so pending decay settles first.
+			c.settleBlockWear(block, bs)
 			bs.pec++
 			c.markBad(block)
 			c.recordErase()
 			return fmt.Errorf("%w: block %d", ErrEraseFailed, block)
 		}
 		if d := c.faults.deathPEC(block, c.model.RatedPEC); d > 0 && bs.pec+1 >= d {
+			c.settleBlockWear(block, bs)
 			bs.pec++
 			c.faults.stats.WornOut++
 			c.markBad(block)
@@ -234,6 +258,7 @@ func (c *Chip) EraseBlock(block int) error {
 		bs.pages[i] = nil
 		bs.pendingInterf[i] = 0
 	}
+	bs.live = 0
 	c.recordErase()
 	return nil
 }
@@ -263,6 +288,9 @@ func (c *Chip) CycleBlock(block, n int) error {
 	bs := c.blockRef(block)
 	if c.faults != nil {
 		if d := c.faults.deathPEC(block, c.model.RatedPEC); d > 0 && bs.pec+n >= d {
+			// Voltages stay in place while PEC jumps: settle pending decay
+			// on the old leak rate first (see settleBlockWear).
+			c.settleBlockWear(block, bs)
 			bs.pec = d
 			c.faults.stats.WornOut++
 			c.markBad(block)
@@ -276,6 +304,7 @@ func (c *Chip) CycleBlock(block, n int) error {
 		bs.pages[i] = nil
 		bs.pendingInterf[i] = 0
 	}
+	bs.live = 0
 	c.recordErase()
 	return nil
 }
@@ -295,6 +324,7 @@ func (c *Chip) DropBlockState(block int) error {
 		bs.pages[i] = nil
 		bs.pendingInterf[i] = 0
 	}
+	bs.live = 0
 	return nil
 }
 
@@ -320,6 +350,7 @@ func (c *Chip) ProgramPage(a PageAddr, data []byte) error {
 		return fmt.Errorf("%w: %v", ErrPageProgrammed, a)
 	}
 	bs := c.blockRef(a.Block)
+	c.settleForWrite(a, bs, ps)
 	m := &c.model
 	base := m.ProgramTarget + c.chipOffset + bs.blockOffset + ps.pageOffset + c.progWearShift(bs)
 	sigma := (m.ProgramSigma + m.WearSigmaProgPerK*float64(bs.pec)/1000) * c.progMult
@@ -373,6 +404,7 @@ func (c *Chip) interfereNeighbors(a PageAddr) {
 			bs.pendingInterf[np]++
 			continue
 		}
+		c.settleForWrite(PageAddr{Block: a.Block, Page: np}, bs, ns)
 		for i := range ns.v {
 			if ns.v[i] < float32(m.InterfCutoff) { // low-charge cells couple
 				d := m.InterfMean + c.rng.NormFloat64()*m.InterfSigma
@@ -436,7 +468,7 @@ func (c *Chip) ReadPageRefInto(a PageAddr, ref float64, out []byte) error {
 	}
 	ps := c.pageRef(a)
 	rf := float32(ref)
-	v := ps.v
+	v := c.senseView(a, bs, ps)
 	// CellsPerPage is always a multiple of 8 (PageBytes*8), so the page
 	// divides exactly into byte groups.
 	for base := 0; base < len(v); base += 8 {
@@ -571,6 +603,7 @@ func (c *Chip) FineProgram(a PageAddr, cells []int, target float64) error {
 		return fmt.Errorf("%w: %v (fine program)", ErrProgramFailed, a)
 	}
 	ps := c.pageRef(a)
+	c.settleForWrite(a, c.blockRef(a.Block), ps)
 	m := &c.model
 	for _, i := range cells {
 		if i < 0 || i >= len(ps.v) {
@@ -610,8 +643,9 @@ func (c *Chip) ProbePageInto(a PageAddr, out []uint8) error {
 	if err := c.powerCheck(); err != nil {
 		return err
 	}
+	bs := c.blockRef(a.Block)
 	ps := c.pageRef(a)
-	for i, v := range ps.v {
+	for i, v := range c.senseView(a, bs, ps) {
 		q := int(v + 0.5)
 		if q < 0 {
 			q = 0
@@ -673,6 +707,7 @@ func (c *Chip) PartialProgram(a PageAddr, cells []int) error {
 	}
 	ps := c.pageRef(a)
 	bs := c.blockRef(a.Block)
+	c.settleForWrite(a, bs, ps)
 	stress := bs.stress[a.Page]
 	stepSigma, maxStep := c.ppNoise(bs)
 	for _, i := range cells {
@@ -716,6 +751,7 @@ func (c *Chip) PartialProgramPattern(a PageAddr, pattern []byte) error {
 	}
 	ps := c.pageRef(a)
 	bs := c.blockRef(a.Block)
+	c.settleForWrite(a, bs, ps)
 	stress := bs.stress[a.Page]
 	stepSigma, maxStep := c.ppNoise(bs)
 	for base := 0; base < len(pattern); base++ {
@@ -783,6 +819,7 @@ func (c *Chip) disturbNeighbors(a PageAddr) {
 		if ns == nil {
 			continue // erased, unmaterialised: regenerates fresh anyway
 		}
+		c.settleForWrite(PageAddr{Block: a.Block, Page: np}, bs, ns)
 		for k := 0; k < nVictims; k++ {
 			i := c.rng.IntN(cells)
 			if ns.v[i] >= float32(m.InterfCutoff) {
@@ -840,6 +877,9 @@ func (c *Chip) StressCycleBlock(block int, cellsPerPage [][]int) error {
 		c.recordProgram()
 	}
 	// The erase that completes the cycle: voltages reset, wear advances.
+	// The PEC change shifts the leak rate while materialised voltages may
+	// survive (wear-out death below), so pending decay settles first.
+	c.settleBlockWear(block, bs)
 	bs.pec++
 	if c.faults != nil {
 		if d := c.faults.deathPEC(block, c.model.RatedPEC); d > 0 && bs.pec >= d {
@@ -854,6 +894,7 @@ func (c *Chip) StressCycleBlock(block int, cellsPerPage [][]int) error {
 		bs.pages[i] = nil
 		bs.pendingInterf[i] = 0
 	}
+	bs.live = 0
 	c.recordErase()
 	return nil
 }

@@ -242,7 +242,10 @@ type StressDevice interface {
 }
 
 // RetentionDevice fast-forwards charge leakage (the bake oven standing in
-// for the paper's retention experiments, Fig 11).
+// for the paper's retention experiments, Fig 11). Implementations
+// advance a virtual clock; the chip applies the accumulated decay lazily
+// at the next sense of each page (see retention.go), so a bake itself is
+// O(1) regardless of how much state is live.
 type RetentionDevice interface {
 	AdvanceRetention(d time.Duration)
 }

@@ -125,7 +125,7 @@ func NewFaultPlan(cfg FaultConfig) *FaultPlan {
 	if cfg.ReadDisturbMean <= 0 {
 		cfg.ReadDisturbMean = 2
 	}
-	a, b := faultSubSeed(cfg.Seed, "nand/faults/ops")
+	a, b := streamSeed(cfg.Seed, "nand/faults/ops")
 	return &FaultPlan{
 		cfg:     cfg,
 		rng:     rand.New(rand.NewPCG(a, b)),
@@ -156,9 +156,11 @@ func (p *FaultPlan) ArmPowerLossAfterPP(k int) {
 // PowerLost reports whether an injected power loss is currently latched.
 func (p *FaultPlan) PowerLost() bool { return p.powerLost }
 
-// faultSubSeed mirrors the experiment engine's SHA-256 partitioned-stream
-// derivation so fault streams compose with experiment seed partitioning.
-func faultSubSeed(seed uint64, domain string, path ...uint64) (uint64, uint64) {
+// streamSeed mirrors the experiment engine's SHA-256 partitioned-stream
+// derivation so chip-internal streams (fault draws, per-block death
+// points, retention leak jitter) compose with experiment seed
+// partitioning and stay independent of operation order.
+func streamSeed(seed uint64, domain string, path ...uint64) (uint64, uint64) {
 	h := sha256.New()
 	var b [8]byte
 	binary.BigEndian.PutUint64(b[:], seed)
@@ -181,7 +183,7 @@ func (p *FaultPlan) deathPEC(block, ratedPEC int) int {
 	}
 	d := 0
 	if p.cfg.BadBlockFrac > 0 {
-		a, b := faultSubSeed(p.cfg.Seed, "nand/faults/badblock", uint64(block))
+		a, b := streamSeed(p.cfg.Seed, "nand/faults/badblock", uint64(block))
 		r := rand.New(rand.NewPCG(a, b))
 		if r.Float64() < p.cfg.BadBlockFrac {
 			if ratedPEC < 1 {
@@ -318,6 +320,9 @@ func (c *Chip) applyReadDisturb(a PageAddr) {
 		return
 	}
 	ps := c.pageRef(a)
+	// The disturb bump mutates stored charge, so pending decay folds in
+	// first — like every other mutating path.
+	c.settleForWrite(a, c.blockRef(a.Block), ps)
 	cutoff := float32(c.model.InterfCutoff)
 	frng := c.faults.rng
 	for k := 0; k < c.faults.cfg.ReadDisturbCells; k++ {

@@ -21,6 +21,12 @@ type Ledger struct {
 	Time time.Duration `json:"time_ns"`
 	// EnergyUJ is the summed nominal energy in microjoules.
 	EnergyUJ float64 `json:"energy_uj"`
+
+	// VirtualClock is the chip's accumulated power-off retention age —
+	// the ledger-owned virtual time the lazy retention engine decays
+	// against (see retention.go). Unlike the cost fields it is physical
+	// state: AdvanceRetention adds to it and Chip.ResetLedger preserves it.
+	VirtualClock time.Duration `json:"virtual_clock_ns"`
 }
 
 // Add accumulates another ledger into this one.
@@ -32,6 +38,7 @@ func (l *Ledger) Add(o Ledger) {
 	l.Probes += o.Probes
 	l.Time += o.Time
 	l.EnergyUJ += o.EnergyUJ
+	l.VirtualClock += o.VirtualClock
 }
 
 // Sub returns the difference l - o; use to meter a region of work:
@@ -48,6 +55,7 @@ func (l Ledger) Sub(o Ledger) Ledger {
 		Probes:          l.Probes - o.Probes,
 		Time:            l.Time - o.Time,
 		EnergyUJ:        l.EnergyUJ - o.EnergyUJ,
+		VirtualClock:    l.VirtualClock - o.VirtualClock,
 	}
 }
 

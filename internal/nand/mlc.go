@@ -24,6 +24,7 @@ func (c *Chip) ProgramPageMLC(a PageAddr, lower, upper []byte) error {
 		return fmt.Errorf("%w: %v", ErrPageProgrammed, a)
 	}
 	bs := c.blockRef(a.Block)
+	c.settleForWrite(a, bs, ps)
 	m := &c.model
 	off := c.chipOffset + bs.blockOffset + ps.pageOffset + c.wearShift(bs)
 	for i := range ps.v {
@@ -68,11 +69,12 @@ func (c *Chip) ReadPageMLC(a PageAddr) (lower, upper []byte, err error) {
 	if err := c.model.check(a); err != nil {
 		return nil, nil, err
 	}
+	bs := c.blockRef(a.Block)
 	ps := c.pageRef(a)
 	refs := c.model.MLCRefs()
 	lower = make([]byte, c.model.PageBytes)
 	upper = make([]byte, c.model.PageBytes)
-	for i, vf := range ps.v {
+	for i, vf := range c.senseView(a, bs, ps) {
 		v := float64(vf)
 		var lo, hi byte
 		switch {

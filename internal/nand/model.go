@@ -142,15 +142,22 @@ type Model struct {
 
 	// Retention loss is modelled as a charge drop of roughly constant
 	// magnitude (dominated by detrapping of a fixed damaged-charge
-	// population, so nearly independent of the stored level):
+	// population, so nearly independent of the stored level). The drop is
+	// a cumulative saturating curve over the page's charge life, anchored
+	// when the page materialises (or its wear level changes in place):
 	//
-	//	drop = LeakScale * (1 - exp(-(LeakRateBase + LeakRatePEC2*(PEC/1000)^2) * months))
+	//	D(t) = LeakScale * (1 - exp(-(LeakRateBase + LeakRatePEC2*(PEC/1000)^2) * months(t)))
 	//
-	// The quadratic PEC term is the "cells with higher PEC accumulate
-	// trapped charge and become more sensitive to leakage" of §8; the
-	// constant magnitude is what makes hidden data (parked just above
-	// its threshold) degrade much faster than public data (38+ levels of
-	// margin), reproducing Fig 11's 6.3x vs 2.3x split.
+	// with t measured on the chip's virtual retention clock from the
+	// anchor; a bake from t0 to t1 costs each cell (D(t1)-D(t0)) scaled
+	// by its jittered leak factor, clamped at LeakFloor. The cumulative
+	// form composes exactly over the virtual clock, which is what the
+	// lazy retention engine (retention.go) relies on. The quadratic PEC
+	// term is the "cells with higher PEC accumulate trapped charge and
+	// become more sensitive to leakage" of §8; the constant magnitude is
+	// what makes hidden data (parked just above its threshold) degrade
+	// much faster than public data (38+ levels of margin), reproducing
+	// Fig 11's 6.3x vs 2.3x split.
 	LeakRateBase float64
 	LeakRatePEC2 float64
 	LeakScale    float64

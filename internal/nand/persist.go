@@ -4,6 +4,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"time"
 )
 
 // Chip persistence: a device image captures the full analog state
@@ -47,6 +48,13 @@ type pageImage struct {
 	Gain       []float32
 	PageOffset float64
 	Programmed bool
+	// Lazy-retention epoch record (see retention.go): the decay-curve
+	// anchor and the virtual time already folded into V. The virtual
+	// clock itself rides in the Ledger. Gob tolerates their absence, so
+	// pre-retention-engine images load with both at zero — consistent
+	// with their zero virtual clock.
+	RetStart time.Duration
+	RetDone  time.Duration
 }
 
 // Save serialises the chip's full state to w.
@@ -90,6 +98,8 @@ func (c *Chip) Save(w io.Writer) error {
 				Gain:       ps.gain,
 				PageOffset: ps.pageOffset,
 				Programmed: ps.programmed,
+				RetStart:   ps.retStart,
+				RetDone:    ps.retDone,
 			})
 		}
 		for p, st := range bs.stress {
@@ -160,7 +170,11 @@ func Load(r io.Reader) (*Chip, error) {
 				gain:       pi.Gain,
 				pageOffset: pi.PageOffset,
 				programmed: pi.Programmed,
+				retStart:   pi.RetStart,
+				retDone:    pi.RetDone,
+				viewDone:   viewStale,
 			}
+			bs.live++
 		}
 		for p, st := range bi.Stress {
 			if p >= 0 && p < img.Model.PagesPerBlock {

@@ -8,6 +8,50 @@ import (
 // RetentionMonth is the nominal month the retention model is calibrated in.
 const RetentionMonth = 30 * 24 * time.Hour
 
+// Lazy virtual-clock retention engine.
+//
+// The paper emulates months of retention by baking chips in an oven (§8);
+// the simulator's equivalent used to walk every materialised cell on each
+// AdvanceRetention, so experiment cost scaled as O(cells × bakes) and
+// years-long aging studies were out of reach. Retention is now lazy:
+//
+//   - AdvanceRetention is an O(1) bump of a ledger-owned virtual clock
+//     (Ledger.VirtualClock — physical age, preserved across ResetLedger).
+//   - Each materialised page carries a decay anchor: retStart is the
+//     virtual time its current charge life began (materialisation, or the
+//     last wear event that changed the block's leak rate), retDone the
+//     virtual time already folded into its stored voltages.
+//   - The decay law is cumulative and closed-form. With
+//     rate = LeakRateBase + LeakRatePEC2·(PEC/1000)² and months measured
+//     from retStart,
+//
+//     D(t) = LeakScale · (1 − e^(−rate·months(t)))
+//
+//     a cell's level at virtual time t is
+//     max(LeakFloor, v − f_i·(D(t) − D(retDone))) for cells above the
+//     floor, where f_i = max(0, 1 + N_i·LeakJitter) is a per-cell leak
+//     factor. Cells at or below the floor are pinned and never touched.
+//
+// Senses (read/probe, including the batched paths) evaluate the decayed
+// levels through senseView, a cached pure function of the stored charge
+// and the clock; mutating operations first fold pending decay into the
+// stored voltages via settleForWrite and then move charge. Because the
+// fold points are a pure function of the operation sequence — never of
+// how many bakes happened in between — N small bakes are bit-identical
+// to one big bake, and the lazy engine is bit-identical to the eager
+// reference walk (SetEagerRetention), which merely precomputes the same
+// views at bake time.
+//
+// The per-cell jitter N_i comes from SHA-256 seed-partitioned streams
+// keyed by (chip seed, block, page, erase epoch) and expanded per cell by
+// a splitmix64 mix — the same partitioned-stream scheme FaultPlan and the
+// experiment engine use. Retention consumes nothing from the chip's
+// operation-order PRNG, which is what makes laziness order-independent.
+
+// viewStale marks a page's cached decayed view as invalid. The virtual
+// clock is non-negative and strictly increasing, so it can never collide.
+const viewStale = time.Duration(-1)
+
 // AdvanceRetention ages the chip by d of power-off retention time: charge
 // stored in every materialised cell relaxes toward the leak floor. The
 // leak rate grows quadratically with block wear — "cells with higher PEC
@@ -16,43 +60,187 @@ const RetentionMonth = 30 * 24 * time.Hour
 // threshold with no engineered guard band, degrade faster than public
 // data (Fig 11).
 //
-// The paper emulates months of retention by baking chips in an oven; this
-// method is the simulator's equivalent of that accelerated-aging step.
+// The bake itself is O(1): it advances the ledger's virtual clock and
+// defers the decay arithmetic to the next sense of each page. In the
+// eager reference mode (SetEagerRetention) the decayed views of all
+// materialised pages are precomputed here instead; fully-erased blocks
+// and floor-pinned pages are skipped in O(1).
 func (c *Chip) AdvanceRetention(d time.Duration) {
 	if d <= 0 {
 		return
 	}
-	months := float64(d) / float64(RetentionMonth)
-	m := &c.model
-	for _, bs := range c.blocks {
-		if bs == nil {
+	c.ledger.VirtualClock += d
+	if !c.retEager {
+		return
+	}
+	for b, bs := range c.blocks {
+		if bs == nil || bs.live == 0 {
 			continue
 		}
-		pecK := float64(bs.pec) / 1000
-		rate := m.LeakRateBase + m.LeakRatePEC2*pecK*pecK
-		drop := m.LeakScale * (1 - math.Exp(-rate*months))
-		for _, ps := range bs.pages {
-			if ps == nil {
-				continue
-			}
-			floor := float32(m.LeakFloor)
-			for i, v := range ps.v {
-				if v <= floor {
-					continue
-				}
-				// Per-cell jitter: leakage is itself a noisy process;
-				// without it retention loss would be a clean
-				// deterministic shift, which real chips do not show.
-				d := drop * (1 + c.rng.NormFloat64()*m.LeakJitter)
-				if d < 0 {
-					d = 0
-				}
-				nv := v - float32(d)
-				if nv < floor {
-					nv = floor
-				}
-				ps.v[i] = nv
+		for p, ps := range bs.pages {
+			if ps != nil {
+				c.senseView(PageAddr{Block: b, Page: p}, bs, ps)
 			}
 		}
+	}
+}
+
+// SetEagerRetention toggles the eager reference walk: when enabled,
+// AdvanceRetention materialises the decayed view of every live page at
+// bake time instead of deferring to the next sense. Results are
+// bit-identical either way — the lazy engine is a pure memoisation of the
+// same closed-form decay — so the flag exists for the equivalence suite
+// and for benchmarking the walk the lazy engine replaced. The flag is
+// not persisted by Save.
+func (c *Chip) SetEagerRetention(eager bool) { c.retEager = eager }
+
+// cumDrop is the cumulative mean charge drop D(dt) a page accumulates
+// over dt of retention since its decay anchor, at the given wear level.
+func (c *Chip) cumDrop(pec int, dt time.Duration) float64 {
+	if dt <= 0 {
+		return 0
+	}
+	m := &c.model
+	pecK := float64(pec) / 1000
+	rate := m.LeakRateBase + m.LeakRatePEC2*pecK*pecK
+	months := float64(dt) / float64(RetentionMonth)
+	return m.LeakScale * (1 - math.Exp(-rate*months))
+}
+
+// retJitterBase derives the SHA-256 partitioned jitter stream for one
+// (block, page, erase epoch). Keying by epoch gives every charge life a
+// fresh, order-independent jitter pattern.
+func (c *Chip) retJitterBase(block, page int, epoch uint64) uint64 {
+	a, b := streamSeed(c.seed, "nand/retention/jitter", uint64(block), uint64(page), epoch)
+	return a + b
+}
+
+// retJitter expands a page's jitter stream to cell i's normal deviate:
+// a splitmix64 mix of (stream, cell) split into three 21-bit uniforms
+// whose Irwin–Hall sum approximates N(0,1), bounded in (−3, 3). Leakage
+// jitter is a noisy-process spread, not an adversarial distribution, so
+// the bounded approximation is calibration-equivalent to the Gaussian it
+// replaces — and being a pure function of position, it lets floor-pinned
+// cells skip their draws entirely.
+func retJitter(base, i uint64) float64 {
+	x := base + i*0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	const m = 1 << 21
+	u := float64(x&(m-1)) + float64((x>>21)&(m-1)) + float64((x>>42)&(m-1))
+	return (u/m - 1.5) * 2
+}
+
+// settleForWrite folds all decay pending up to the virtual clock into a
+// page's stored voltages and invalidates the cached view. Every mutating
+// operation calls it before moving charge, so mutations always act on the
+// decayed ("current") levels and the fold points are a pure function of
+// the operation sequence — the property that makes lazy and eager
+// retention bit-identical.
+func (c *Chip) settleForWrite(a PageAddr, bs *blockState, ps *pageState) {
+	clock := c.ledger.VirtualClock
+	if ps.retDone >= clock {
+		return
+	}
+	d0 := c.cumDrop(bs.pec, ps.retDone-ps.retStart)
+	d1 := c.cumDrop(bs.pec, clock-ps.retStart)
+	ps.retDone = clock
+	ps.viewDone = viewStale
+	ps.viewPinned = false
+	delta := d1 - d0
+	if delta <= 0 {
+		return
+	}
+	m := &c.model
+	floor := float32(m.LeakFloor)
+	base := c.retJitterBase(a.Block, a.Page, bs.epoch)
+	jit := m.LeakJitter
+	for i, v := range ps.v {
+		if v <= floor {
+			continue // pinned: no decay, no jitter draw
+		}
+		f := 1 + retJitter(base, uint64(i))*jit
+		if f < 0 {
+			f = 0
+		}
+		nv := v - float32(f*delta)
+		if nv < floor {
+			nv = floor
+		}
+		ps.v[i] = nv
+	}
+}
+
+// senseView returns the page's cell levels as they stand at the virtual
+// clock: the stored charge minus any decay not yet folded in. The decayed
+// view is a pure function of (stored charge, anchor, clock), cached per
+// page and recomputed only when the clock has moved — repeated senses
+// after one bake cost a single cell walk, and pages whose view has fully
+// pinned at the leak floor cost O(1) per bake even under the eager
+// reference walk. The view must be treated as read-only; mutating paths
+// go through settleForWrite instead.
+func (c *Chip) senseView(a PageAddr, bs *blockState, ps *pageState) []float32 {
+	clock := c.ledger.VirtualClock
+	if ps.retDone >= clock {
+		return ps.v
+	}
+	if ps.view != nil && (ps.viewDone == clock || ps.viewPinned) {
+		ps.viewDone = clock
+		return ps.view
+	}
+	d0 := c.cumDrop(bs.pec, ps.retDone-ps.retStart)
+	d1 := c.cumDrop(bs.pec, clock-ps.retStart)
+	delta := d1 - d0
+	if delta <= 0 {
+		return ps.v
+	}
+	if ps.view == nil {
+		ps.view = make([]float32, len(ps.v))
+	}
+	m := &c.model
+	floor := float32(m.LeakFloor)
+	base := c.retJitterBase(a.Block, a.Page, bs.epoch)
+	jit := m.LeakJitter
+	pinned := true
+	view := ps.view
+	for i, v := range ps.v {
+		if v <= floor {
+			view[i] = v
+			continue
+		}
+		f := 1 + retJitter(base, uint64(i))*jit
+		if f < 0 {
+			f = 0
+		}
+		nv := v - float32(f*delta)
+		if nv < floor {
+			nv = floor
+		} else if nv > floor {
+			pinned = false
+		}
+		view[i] = nv
+	}
+	ps.viewDone = clock
+	ps.viewPinned = pinned
+	return view
+}
+
+// settleBlockWear folds pending decay into every materialised page of a
+// block and re-anchors their decay curves at the current virtual clock.
+// Wear events that change a block's PEC while voltages stay in place
+// (erase status FAIL, wear-out death, stress cycles) change the leak
+// rate: folding first banks the decay already suffered on the old curve,
+// re-anchoring starts the remaining life on the new one.
+func (c *Chip) settleBlockWear(block int, bs *blockState) {
+	clock := c.ledger.VirtualClock
+	for p, ps := range bs.pages {
+		if ps == nil {
+			continue
+		}
+		c.settleForWrite(PageAddr{Block: block, Page: p}, bs, ps)
+		ps.retStart = clock
 	}
 }

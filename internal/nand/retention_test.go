@@ -1,0 +1,417 @@
+package nand
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"testing"
+	"time"
+)
+
+// The lazy retention engine's contract (retention.go): AdvanceRetention
+// only moves the virtual clock, decay is applied on demand, and nothing
+// observable may differ from the eager reference walk. These tests pin
+// that contract bit-for-bit.
+
+// retScript drives one chip through a medley of retention-relevant
+// operations — programs, partial programs, MLC, fine programs, reads,
+// probes, erases, stress cycles — interleaved with bakes, and returns a
+// transcript of every observable output (read/probe bytes, error
+// strings, ledger). Two chips are behaviourally identical iff their
+// transcripts match.
+func retScript(c *Chip, withFaults bool) []byte {
+	var tr bytes.Buffer
+	note := func(err error) {
+		if err != nil {
+			fmt.Fprintf(&tr, "err:%v\n", err)
+		}
+	}
+	if withFaults {
+		c.SetFaultPlan(NewFaultPlan(FaultConfig{
+			Seed:            99,
+			EraseFailProb:   0.25,
+			ProgramFailProb: 0.05,
+			PPFailProb:      0.05,
+			ReadDisturbProb: 0.3,
+			BadBlockFrac:    0.2,
+		}))
+	}
+	g := c.Geometry()
+	rng := rand.New(rand.NewPCG(11, 22))
+	page := func(b, p int) PageAddr { return PageAddr{Block: b, Page: p} }
+	sense := func(a PageAddr) {
+		if lv, err := c.ProbePage(a); err == nil {
+			tr.Write(lv)
+		} else {
+			note(err)
+		}
+		if d, err := c.ReadPage(a); err == nil {
+			tr.Write(d)
+		} else {
+			note(err)
+		}
+	}
+	note(c.CycleBlock(1, 1500))
+	note(c.CycleBlock(2, 3000))
+	for b := 0; b < 3; b++ {
+		for p := 0; p < 3; p++ {
+			note(c.ProgramPage(page(b, p), randPageData(rng, g.PageBytes)))
+		}
+	}
+	c.AdvanceRetention(4 * RetentionMonth)
+	sense(page(0, 0))
+	sense(page(2, 2))
+	// Partial programming on top of decayed cells, plus neighbour disturb.
+	cells := []int{0, 7, 31, 100, 101, g.CellsPerPage() - 1}
+	for k := 0; k < 3; k++ {
+		note(c.PartialProgram(page(1, 4), cells))
+	}
+	c.AdvanceRetention(9 * RetentionMonth)
+	note(c.FineProgram(page(0, 4), cells, 120))
+	sense(page(1, 4))
+	sense(page(1, 3)) // disturb victim neighbour
+	// Erases and re-programs roll the epoch (fresh jitter streams); under
+	// faults some of these fail in place, changing PEC while voltages stay.
+	for b := 0; b < 3; b++ {
+		note(c.EraseBlock(b))
+	}
+	c.AdvanceRetention(2 * RetentionMonth)
+	for b := 0; b < 3; b++ {
+		note(c.ProgramPage(page(b, 1), randPageData(rng, g.PageBytes)))
+	}
+	note(c.ProgramPageMLC(page(3, 0), randPageData(rng, g.PageBytes), randPageData(rng, g.PageBytes)))
+	c.AdvanceRetention(30 * RetentionMonth)
+	if lo, hi, err := c.ReadPageMLC(page(3, 0)); err == nil {
+		tr.Write(lo)
+		tr.Write(hi)
+	} else {
+		note(err)
+	}
+	note(c.StressCycleBlock(4, [][]int{cells}))
+	note(c.ProgramPage(page(4, 0), randPageData(rng, g.PageBytes)))
+	c.AdvanceRetention(6 * RetentionMonth)
+	// Final sweep over everything materialised.
+	for b := 0; b < 5; b++ {
+		for p := 0; p < g.PagesPerBlock; p++ {
+			sense(page(b, p))
+		}
+	}
+	fmt.Fprintf(&tr, "ledger:%+v\n", c.Ledger())
+	return tr.Bytes()
+}
+
+// TestLazyEagerBitIdentical is the nand-level equivalence suite: the lazy
+// engine and the eager reference walk must produce bit-identical
+// transcripts over an operation medley, with and without fault injection.
+func TestLazyEagerBitIdentical(t *testing.T) {
+	for _, withFaults := range []bool{false, true} {
+		name := "pristine"
+		if withFaults {
+			name = "faults"
+		}
+		t.Run(name, func(t *testing.T) {
+			lazy := NewChip(TestModel(), 42)
+			eager := NewChip(TestModel(), 42)
+			eager.SetEagerRetention(true)
+			lt := retScript(lazy, withFaults)
+			et := retScript(eager, withFaults)
+			if !bytes.Equal(lt, et) {
+				t.Fatalf("lazy and eager transcripts differ (%d vs %d bytes)", len(lt), len(et))
+			}
+			if withFaults && lazy.FaultPlan().Stats() != eager.FaultPlan().Stats() {
+				t.Fatalf("fault stats diverged: %+v vs %+v",
+					lazy.FaultPlan().Stats(), eager.FaultPlan().Stats())
+			}
+		})
+	}
+}
+
+// TestBakeComposition is the property test that N small bakes compose to
+// one big bake exactly — including when senses happen between the small
+// bakes, since senses never perturb stored charge.
+func TestBakeComposition(t *testing.T) {
+	total := 60 * RetentionMonth
+	build := func(seed uint64) (*Chip, []PageAddr) {
+		c := NewChip(TestModel(), seed)
+		if err := c.CycleBlock(1, 2200); err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewPCG(seed, 5))
+		addrs := []PageAddr{{Block: 0, Page: 0}, {Block: 1, Page: 2}, {Block: 1, Page: 3}}
+		for _, a := range addrs {
+			if err := c.ProgramPage(a, randPageData(rng, c.Geometry().PageBytes)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return c, addrs
+	}
+	for seed := uint64(50); seed < 53; seed++ {
+		one, addrs := build(seed)
+		one.AdvanceRetention(total)
+
+		many, _ := build(seed)
+		parts := rand.New(rand.NewPCG(seed, 6))
+		left := total
+		for left > 0 {
+			d := time.Duration(parts.Int64N(int64(20 * RetentionMonth)))
+			if d > left || d == 0 {
+				d = left
+			}
+			many.AdvanceRetention(d)
+			left -= d
+			// Interleaved senses must not change where the decay lands.
+			if _, err := many.ProbePage(addrs[0]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if oc, mc := one.Ledger().VirtualClock, many.Ledger().VirtualClock; oc != mc {
+			t.Fatalf("seed %d: virtual clocks diverged: %v vs %v", seed, oc, mc)
+		}
+		for _, a := range addrs {
+			po, _ := one.ProbePage(a)
+			pm, _ := many.ProbePage(a)
+			if !bytes.Equal(po, pm) {
+				t.Fatalf("seed %d: %v probes differ between one big and N small bakes", seed, a)
+			}
+			ro, _ := one.ReadPage(a)
+			rm, _ := many.ReadPage(a)
+			if !bytes.Equal(ro, rm) {
+				t.Fatalf("seed %d: %v reads differ between one big and N small bakes", seed, a)
+			}
+		}
+	}
+}
+
+// TestRetentionPersistRoundTrip pins the satellite requirement: a chip
+// baked with decay still pending must save, reload, and sense identically
+// — including decay that lands only after the reload.
+func TestRetentionPersistRoundTrip(t *testing.T) {
+	c := NewChip(TestModel(), 77)
+	if err := c.CycleBlock(0, 1800); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(7, 7))
+	a := PageAddr{Block: 0, Page: 1}
+	if err := c.ProgramPage(a, randPageData(rng, c.Geometry().PageBytes)); err != nil {
+		t.Fatal(err)
+	}
+	c.AdvanceRetention(8 * RetentionMonth) // pending: nothing sensed since
+
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := r.Ledger(), c.Ledger(); got != want {
+		t.Fatalf("ledger changed across reload: %+v vs %+v", got, want)
+	}
+	pc, _ := c.ProbePage(a)
+	pr, _ := r.ProbePage(a)
+	if !bytes.Equal(pc, pr) {
+		t.Fatal("reloaded chip senses pending decay differently")
+	}
+	// Age both further: the persisted epoch records must keep composing.
+	c.AdvanceRetention(16 * RetentionMonth)
+	r.AdvanceRetention(16 * RetentionMonth)
+	pc, _ = c.ProbePage(a)
+	pr, _ = r.ProbePage(a)
+	if !bytes.Equal(pc, pr) {
+		t.Fatal("post-reload aging diverged from the original chip")
+	}
+	dc, _ := c.ReadPage(a)
+	dr, _ := r.ReadPage(a)
+	if !bytes.Equal(dc, dr) {
+		t.Fatal("post-reload reads diverged from the original chip")
+	}
+}
+
+// TestRetentionCrashConsistency checks that pending lazy decay survives
+// the FaultPlan power-loss path: a chip that loses power mid-operation
+// after a bake must, once power-cycled, sense exactly like a twin that
+// never saw the loss.
+func TestRetentionCrashConsistency(t *testing.T) {
+	build := func() *Chip {
+		c := NewChip(TestModel(), 31)
+		c.SetFaultPlan(NewFaultPlan(FaultConfig{Seed: 13}))
+		rng := rand.New(rand.NewPCG(3, 1))
+		if err := c.ProgramPage(PageAddr{Block: 0, Page: 0}, randPageData(rng, c.Geometry().PageBytes)); err != nil {
+			t.Fatal(err)
+		}
+		c.AdvanceRetention(18 * RetentionMonth) // decay pending at the crash
+		return c
+	}
+	crashed := build()
+	crashed.FaultPlan().ArmPowerLossAfterPP(0)
+	a := PageAddr{Block: 0, Page: 0}
+	if err := crashed.PartialProgram(a, []int{1, 2, 3}); err == nil {
+		t.Fatal("armed power loss did not fire")
+	}
+	if _, err := crashed.ReadPage(a); err == nil {
+		t.Fatal("reads must fail while power is lost")
+	}
+	crashed.PowerCycle()
+
+	twin := build()
+	for _, c := range []*Chip{crashed, twin} {
+		if got := c.Ledger().VirtualClock; got != 18*RetentionMonth {
+			t.Fatalf("virtual clock %v, want %v", got, 18*RetentionMonth)
+		}
+	}
+	pc, err := crashed.ProbePage(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, _ := twin.ProbePage(a)
+	if !bytes.Equal(pc, pt) {
+		t.Fatal("pending decay did not survive the power-loss path")
+	}
+}
+
+// TestResetLedgerPreservesVirtualClock: the clock is physics, not
+// accounting.
+func TestResetLedgerPreservesVirtualClock(t *testing.T) {
+	c := NewChip(TestModel(), 5)
+	c.AdvanceRetention(7 * RetentionMonth)
+	if _, err := c.ReadPage(PageAddr{}); err != nil {
+		t.Fatal(err)
+	}
+	c.ResetLedger()
+	l := c.Ledger()
+	if l.Reads != 0 {
+		t.Fatal("reset did not clear op counts")
+	}
+	if l.VirtualClock != 7*RetentionMonth {
+		t.Fatalf("reset dropped the virtual clock: %v", l.VirtualClock)
+	}
+	// And the age still decays state after the reset.
+	diff := Ledger{VirtualClock: 9 * RetentionMonth}
+	l.Add(diff)
+	if l.VirtualClock != 16*RetentionMonth {
+		t.Fatal("Ledger.Add ignores the virtual clock")
+	}
+	if l.Sub(diff).VirtualClock != 7*RetentionMonth {
+		t.Fatal("Ledger.Sub ignores the virtual clock")
+	}
+}
+
+// TestRetentionJitterShape guards the position-keyed jitter stream: mean
+// ~0, unit-ish variance, strictly bounded (the clamp to a non-negative
+// leak factor depends on the bound).
+func TestRetentionJitterShape(t *testing.T) {
+	const n = 200000
+	base := uint64(0x1234abcd)
+	var sum, sq float64
+	for i := uint64(0); i < n; i++ {
+		j := retJitter(base, i)
+		if j <= -3 || j >= 3 {
+			t.Fatalf("jitter %f outside (-3,3)", j)
+		}
+		sum += j
+		sq += j * j
+	}
+	mean := sum / n
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("jitter mean %f, want ~0", mean)
+	}
+	if sd := math.Sqrt(sq/n - mean*mean); sd < 0.9 || sd > 1.1 {
+		t.Errorf("jitter sd %f, want ~1", sd)
+	}
+}
+
+// BenchmarkBake measures AdvanceRetention on the full-geometry ModelA
+// chip with a realistic working set materialised: the lazy engine is an
+// O(1) clock bump, the eager reference walk pays for every live cell.
+// The acceptance bar for the lazy engine is >=100x on a 12-month bake.
+func BenchmarkBake(b *testing.B) {
+	const pages = 8
+	build := func(b *testing.B, eager bool) *Chip {
+		b.Helper()
+		c := NewChip(ModelA(), 1)
+		c.SetEagerRetention(eager)
+		rng := rand.New(rand.NewPCG(1, 2))
+		for p := 0; p < pages; p++ {
+			if err := c.ProgramPage(PageAddr{Block: 0, Page: p}, randPageData(rng, c.Geometry().PageBytes)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return c
+	}
+	// rewind puts the chip back at virtual age zero with the bake's decay
+	// un-folded, so every iteration times the same fresh 12-month bake
+	// instead of marching the clock toward saturation (and, after ~300
+	// years, int64 overflow). The in-package reach is what keeps the
+	// timed region honest; its cost is a handful of field writes.
+	rewind := func(c *Chip) {
+		c.ledger.VirtualClock = 0
+		for _, ps := range c.blocks[0].pages {
+			if ps != nil {
+				ps.retDone, ps.viewDone, ps.viewPinned = 0, viewStale, false
+			}
+		}
+	}
+	b.Run("lazy", func(b *testing.B) {
+		c := build(b, false)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rewind(c)
+			c.AdvanceRetention(12 * RetentionMonth)
+		}
+	})
+	b.Run("eager", func(b *testing.B) {
+		c := build(b, true)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rewind(c)
+			c.AdvanceRetention(12 * RetentionMonth)
+		}
+	})
+}
+
+// BenchmarkBakeEagerFloorPinned shows the eager reference walk no longer
+// pays for floor-pinned cells: once a page's decayed view has fully
+// settled at LeakFloor, each further bake costs O(1) for that page,
+// versus a full cell walk while cells are still live.
+func BenchmarkBakeEagerFloorPinned(b *testing.B) {
+	model := func() Model {
+		m := TestModel()
+		m.LeakScale = 300 // deep enough that every cell reaches the floor
+		m.LeakJitter = 0
+		return m
+	}
+	build := func(b *testing.B) *Chip {
+		b.Helper()
+		c := NewChip(model(), 9)
+		c.SetEagerRetention(true)
+		for p := 0; p < c.Geometry().PagesPerBlock; p++ {
+			if _, err := c.ProbePage(PageAddr{Block: 0, Page: p}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return c
+	}
+	// Second-granularity bakes keep the clock far from both decay
+	// saturation and int64 overflow at any iteration count.
+	b.Run("live", func(b *testing.B) {
+		c := build(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.AdvanceRetention(time.Second)
+		}
+	})
+	b.Run("pinned", func(b *testing.B) {
+		c := build(b)
+		c.AdvanceRetention(3000 * RetentionMonth) // saturate: all cells at floor
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.AdvanceRetention(time.Second)
+		}
+	})
+}

@@ -269,9 +269,14 @@ func (d *Device) StressCells(a nand.PageAddr, cells []int, n int) error {
 	return err
 }
 
-// AdvanceRetention forwards the retention bake without recording (the
-// bake oven is not a device command).
-func (d *Device) AdvanceRetention(t time.Duration) { d.inner.AdvanceRetention(t) }
+// AdvanceRetention forwards the retention bake and records it: wall
+// latency (O(1) under the lazy retention engine — see nand/retention.go),
+// the virtual time advanced, and the backend's virtual clock afterwards.
+func (d *Device) AdvanceRetention(t time.Duration) {
+	start := time.Now()
+	d.inner.AdvanceRetention(t)
+	d.sh.recordRetention(time.Since(start), t, d.inner.Ledger().VirtualClock)
+}
 
 // Ledger forwards the backend's cost accounting.
 func (d *Device) Ledger() nand.Ledger { return d.inner.Ledger() }

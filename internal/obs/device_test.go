@@ -193,3 +193,43 @@ func TestWrapAttachesTrace(t *testing.T) {
 		t.Errorf("snapshot trace: recorded %d retained %d, want 4/4", snap.TraceRecorded, len(snap.Trace))
 	}
 }
+
+// TestRetentionRecording checks that AdvanceRetention is recorded as an
+// operation, totals the virtual time advanced, and surfaces the backend
+// virtual clock as a max gauge.
+func TestRetentionRecording(t *testing.T) {
+	c := NewCollector(0)
+	d := c.Wrap(tinyChip(7))
+
+	d.AdvanceRetention(3 * nand.RetentionMonth)
+	d.AdvanceRetention(2 * nand.RetentionMonth)
+	d.AdvanceRetention(0) // no-op bake: counted, advances nothing
+
+	snap := c.Snapshot()
+	op, ok := snap.Ops["retention"]
+	if !ok {
+		t.Fatalf("snapshot missing retention op: %v", snap.Ops)
+	}
+	if op.Count != 3 {
+		t.Fatalf("retention count = %d, want 3", op.Count)
+	}
+	want := uint64(5 * nand.RetentionMonth)
+	if snap.RetentionAdvancedNs != want {
+		t.Fatalf("RetentionAdvancedNs = %d, want %d", snap.RetentionAdvancedNs, want)
+	}
+	if snap.VirtualClockNs != want {
+		t.Fatalf("VirtualClockNs = %d, want %d", snap.VirtualClockNs, want)
+	}
+
+	// A second device on the same chip sees the same clock; the gauge is
+	// a max, not a sum.
+	d2 := c.Wrap(d.Inner())
+	d2.AdvanceRetention(nand.RetentionMonth)
+	snap = c.Snapshot()
+	if got := snap.VirtualClockNs; got != uint64(6*nand.RetentionMonth) {
+		t.Fatalf("VirtualClockNs after second device = %d, want %d", got, uint64(6*nand.RetentionMonth))
+	}
+	if got := snap.RetentionAdvancedNs; got != uint64(6*nand.RetentionMonth) {
+		t.Fatalf("RetentionAdvancedNs after second device = %d, want %d", got, uint64(6*nand.RetentionMonth))
+	}
+}

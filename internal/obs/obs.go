@@ -54,21 +54,25 @@ const (
 	OpFine
 	// OpStress is StressCycleBlock / StressCells (PT-HI bulk stress).
 	OpStress
+	// OpRetention is AdvanceRetention (virtual-clock bake; O(1) wall
+	// time under the lazy retention engine, see nand/retention.go).
+	OpRetention
 
 	opCount
 )
 
 // opNames are the JSON/expvar keys of the operation counters.
 var opNames = [opCount]string{
-	OpRead:    "read",
-	OpReadRef: "read_ref",
-	OpProgram: "program",
-	OpPartial: "partial_program",
-	OpErase:   "erase",
-	OpCycle:   "cycle",
-	OpProbe:   "probe",
-	OpFine:    "fine_program",
-	OpStress:  "stress",
+	OpRead:      "read",
+	OpReadRef:   "read_ref",
+	OpProgram:   "program",
+	OpPartial:   "partial_program",
+	OpErase:     "erase",
+	OpCycle:     "cycle",
+	OpProbe:     "probe",
+	OpFine:      "fine_program",
+	OpStress:    "stress",
+	OpRetention: "retention",
 }
 
 // String names the operation as it appears in snapshots.
@@ -185,6 +189,12 @@ type shard struct {
 	// largest block index seen.
 	blockWear  []uint64
 	blockReads []uint64
+	// retentionNs totals the virtual time pushed through
+	// AdvanceRetention; virtualClockNs is the largest backend virtual
+	// clock seen at a bake (a gauge — every shard of one chip observes
+	// the same monotone clock, so the max is the chip's virtual age).
+	retentionNs    uint64
+	virtualClockNs uint64
 }
 
 // grow extends a tally slice to cover index b.
@@ -254,6 +264,24 @@ func (s *shard) record(op Op, block int, wear uint64, d time.Duration, retry boo
 				s.blockWear[block] += wear
 			}
 		}
+	}
+	s.mu.Unlock()
+}
+
+// recordRetention tallies one AdvanceRetention call: wall latency,
+// virtual time advanced, and the backend's virtual clock afterwards
+// (folded in as a max gauge — bakes only move the clock forward).
+func (s *shard) recordRetention(wall, advanced, clock time.Duration) {
+	s.mu.Lock()
+	od := &s.ops[OpRetention]
+	od.count++
+	od.totalNs += uint64(wall)
+	od.buckets[bucketOf(wall)]++
+	if advanced > 0 {
+		s.retentionNs += uint64(advanced)
+	}
+	if clock > 0 && uint64(clock) > s.virtualClockNs {
+		s.virtualClockNs = uint64(clock)
 	}
 	s.mu.Unlock()
 }

@@ -41,6 +41,12 @@ type Snapshot struct {
 	// the read-disturb exposure tally.
 	BlockWear  []uint64 `json:"block_wear,omitempty"`
 	BlockReads []uint64 `json:"block_reads,omitempty"`
+	// RetentionAdvancedNs is the total virtual time pushed through
+	// AdvanceRetention across all wrapped devices; VirtualClockNs is the
+	// largest backend virtual clock observed at a bake — the chip's
+	// virtual age (shards of one chip all see the same monotone clock).
+	RetentionAdvancedNs uint64 `json:"retention_advanced_ns,omitempty"`
+	VirtualClockNs      uint64 `json:"virtual_clock_ns,omitempty"`
 	// TraceRecorded / Trace carry the bus-cycle flight recorder when
 	// tracing is enabled: total cycles ever recorded, and the retained
 	// tail, oldest first.
@@ -65,6 +71,7 @@ func (c *Collector) Snapshot() Snapshot {
 	var errs [errCount]uint64
 	var retries uint64
 	var wear, reads []uint64
+	var retNs, clockNs uint64
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
@@ -83,15 +90,21 @@ func (c *Collector) Snapshot() Snapshot {
 		retries += s.retries
 		wear = addInto(wear, s.blockWear)
 		reads = addInto(reads, s.blockReads)
+		retNs += s.retentionNs
+		if s.virtualClockNs > clockNs {
+			clockNs = s.virtualClockNs
+		}
 		s.mu.Unlock()
 	}
 
 	snap := Snapshot{
-		Devices:    c.devices.Load(),
-		Ops:        make(map[string]OpSnapshot, opCount),
-		Retries:    retries,
-		BlockWear:  wear,
-		BlockReads: reads,
+		Devices:             c.devices.Load(),
+		Ops:                 make(map[string]OpSnapshot, opCount),
+		Retries:             retries,
+		BlockWear:           wear,
+		BlockReads:          reads,
+		RetentionAdvancedNs: retNs,
+		VirtualClockNs:      clockNs,
 	}
 	for o := Op(0); o < opCount; o++ {
 		d := &ops[o]

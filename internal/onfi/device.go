@@ -373,7 +373,9 @@ func (d *Device) StressCells(a nand.PageAddr, cells []int, n int) error {
 	return d.chip.StressCells(a, cells, n)
 }
 
-// AdvanceRetention forwards the retention bake.
+// AdvanceRetention forwards the retention bake. The bake is a lazy
+// virtual-clock bump on the chip (no array traffic), so nothing crosses
+// the bus — matching real hardware, where oven time is not a command.
 func (d *Device) AdvanceRetention(t time.Duration) { d.chip.AdvanceRetention(t) }
 
 // Ledger returns the chip's operation cost accounting.

@@ -179,7 +179,10 @@ func (t *Tester) MeasureBlockBER(block int, expect [][]byte) (BERResult, error) 
 }
 
 // Bake emulates d of power-off retention, the simulator's equivalent of
-// the paper's accelerated oven aging (§8 Reliability).
+// the paper's accelerated oven aging (§8 Reliability). Under the lazy
+// retention engine it is an O(1) virtual-clock bump — the decay is
+// applied at the next sense of each page (nand/retention.go) — so baking
+// a chip for years costs nothing until the data is actually read.
 func (t *Tester) Bake(d time.Duration) {
 	t.dev.AdvanceRetention(d)
 }
