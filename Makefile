@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race fuzz-smoke lint-layering ci bench bench-parallel bench-device bench-retention bench-check
+.PHONY: build test vet race fuzz-smoke lint-layering ci test-fleet bench bench-parallel bench-device bench-retention bench-check
 
 build:
 	$(GO) build ./...
@@ -59,8 +59,29 @@ lint-layering:
 		exit 1; \
 	fi
 	@echo "debug-import confinement: ok"
+	@bad=$$(for f in $$(grep -rl --include='*.go' '^[[:space:]]*go ' . \
+		--exclude-dir=related --exclude-dir=.git \
+		--exclude='*_test.go' \
+		| grep -v '^\./internal/fleet/'); do \
+		grep -ql '"stashflash/internal/nand"' $$f && echo $$f; \
+	done; true); \
+	if [ -n "$$bad" ]; then \
+		echo "lint-layering: only internal/fleet may start goroutines in files that import internal/nand"; \
+		echo "(a nand.Device is single-goroutine by contract; route device work through the fleet's per-chip queues):"; \
+		echo "$$bad"; \
+		exit 1; \
+	fi
+	@echo "goroutine-ownership confinement: ok"
 
 ci: build vet lint-layering test race fuzz-smoke
+
+# Fleet + stashd suite on its own: the equivalence wall, the degradation
+# ladder and the concurrent-tenant soak, plain then under the race
+# detector. STASHFLASH_SOAK_SECONDS stretches the soak (default 2s);
+# e.g. `STASHFLASH_SOAK_SECONDS=60 make test-fleet` for a long shakeout.
+test-fleet:
+	$(GO) test ./internal/fleet ./cmd/stashd
+	$(GO) test -race ./internal/fleet ./cmd/stashd
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .

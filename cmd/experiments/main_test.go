@@ -1,0 +1,151 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"stashflash/internal/experiments"
+	"stashflash/internal/nand"
+	"stashflash/internal/obs"
+)
+
+// capEntry returns the cheapest experiment (pure capacity arithmetic, no
+// device churn) so the bench plumbing tests run in milliseconds.
+func capEntry(t *testing.T) []experiments.Entry {
+	t.Helper()
+	e, err := experiments.Lookup("cap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []experiments.Entry{e}
+}
+
+// readJSON loads a written report back as a generic document.
+func readJSON(t *testing.T, path string) map[string]any {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, raw)
+	}
+	return doc
+}
+
+// expEntry extracts experiments[0] from a bench document.
+func expEntry(t *testing.T, doc map[string]any) map[string]any {
+	t.Helper()
+	exps, ok := doc["experiments"].([]any)
+	if !ok || len(exps) != 1 {
+		t.Fatalf("experiments array malformed: %v", doc["experiments"])
+	}
+	return exps[0].(map[string]any)
+}
+
+func TestRunBenchWritesComparisonDocument(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	scale := experiments.CIScale()
+	scale.Workers = 2
+	if err := runBench(path, scale, "ci", capEntry(t)); err != nil {
+		t.Fatal(err)
+	}
+	doc := readJSON(t, path)
+	if doc["scale"] != "ci" || doc["workers"].(float64) != 2 {
+		t.Fatalf("scale/workers not plumbed: %v", doc)
+	}
+	e := expEntry(t, doc)
+	if e["id"] != "cap" {
+		t.Fatalf("experiment id = %v", e["id"])
+	}
+	for _, k := range []string{"workers1_ms", "workersN_ms", "speedup"} {
+		if _, ok := e[k].(float64); !ok {
+			t.Errorf("entry key %q missing: %v", k, e)
+		}
+	}
+	for _, k := range []string{"seed", "num_cpu", "gomaxprocs", "total_workers1_ms", "total_workersN_ms"} {
+		if _, ok := doc[k].(float64); !ok {
+			t.Errorf("report key %q missing", k)
+		}
+	}
+}
+
+func TestRunDeviceBenchWritesComparisonDocument(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "devbench.json")
+	if err := runDeviceBench(path, experiments.CIScale(), "ci", capEntry(t)); err != nil {
+		t.Fatal(err)
+	}
+	doc := readJSON(t, path)
+	e := expEntry(t, doc)
+	if e["id"] != "cap" {
+		t.Fatalf("experiment id = %v", e["id"])
+	}
+	for _, k := range []string{"direct_ms", "onfi_ms", "overhead"} {
+		if _, ok := e[k].(float64); !ok {
+			t.Errorf("entry key %q missing: %v", k, e)
+		}
+	}
+	for _, k := range []string{"total_direct_ms", "total_onfi_ms", "overhead"} {
+		if _, ok := doc[k].(float64); !ok {
+			t.Errorf("report key %q missing", k)
+		}
+	}
+}
+
+func TestRunRetentionBenchWritesComparisonDocument(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ages full-geometry chips; skipped in -short mode")
+	}
+	defer func(old int) { retBenchReps = old }(retBenchReps)
+	retBenchReps = 1
+
+	path := filepath.Join(t.TempDir(), "retbench.json")
+	if err := runRetentionBench(path, 99); err != nil {
+		t.Fatal(err)
+	}
+	doc := readJSON(t, path)
+	if doc["seed"].(float64) != 99 || doc["programmed_pages"].(float64) == 0 {
+		t.Fatalf("seed/pages not plumbed: %v", doc)
+	}
+	exps, ok := doc["experiments"].([]any)
+	if !ok || len(exps) == 0 {
+		t.Fatalf("no scenarios in report: %v", doc["experiments"])
+	}
+	for _, raw := range exps {
+		e := raw.(map[string]any)
+		for _, k := range []string{"id", "lazy_ms", "eager_ms", "speedup"} {
+			if _, ok := e[k]; !ok {
+				t.Errorf("scenario key %q missing: %v", k, e)
+			}
+		}
+	}
+	if doc["total_eager_ms"].(float64) <= 0 {
+		t.Fatalf("eager total implausible: %v", doc["total_eager_ms"])
+	}
+}
+
+func TestWriteMetricsSnapshotDocument(t *testing.T) {
+	c := obs.NewCollector(0)
+	dev := c.Wrap(nand.NewChip(nand.TestModel(), 1))
+	if err := dev.EraseBlock(0); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	writeMetrics(path, c)
+	doc := readJSON(t, path)
+	if doc["schema"] != obs.SnapshotSchema {
+		t.Fatalf("metrics schema = %v, want %q", doc["schema"], obs.SnapshotSchema)
+	}
+	if ops, ok := doc["ops"].(map[string]any); !ok || ops["erase"] == nil {
+		t.Fatalf("recorded erase missing from snapshot: %v", doc["ops"])
+	}
+
+	// The nil-collector and empty-path forms must both be no-ops (main
+	// calls writeMetrics unconditionally at the end of a run).
+	writeMetrics("", c)
+	writeMetrics(filepath.Join(t.TempDir(), "untouched.json"), nil)
+}

@@ -45,6 +45,10 @@ type retBenchReport struct {
 // mid-life wear so the leak rate is realistic.
 const retBenchPages = 64
 
+// retBenchReps is the best-of repetition count per timed scenario. A
+// variable so the flag-plumbing tests can drop it to 1.
+var retBenchReps = 3
+
 // retBenchChip builds one scenario substrate in the requested engine
 // mode. Build cost is outside every timed region.
 func retBenchChip(seed uint64, eager bool) (nand.LabDevice, error) {
@@ -130,12 +134,12 @@ func runRetentionBench(path string, seed uint64) error {
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Pages:      retBenchPages,
 	}
-	// Best-of-3 with a clean heap before each timed region: a scenario
-	// mutates the virtual clock, so every repetition gets a fresh
+	// Best-of-retBenchReps with a clean heap before each timed region: a
+	// scenario mutates the virtual clock, so every repetition gets a fresh
 	// substrate, and the minimum discards runs a GC pause landed in.
 	timeRun := func(id string, run func(nand.LabDevice) error, eager bool) (float64, error) {
 		best := 0.0
-		for rep := 0; rep < 3; rep++ {
+		for rep := 0; rep < retBenchReps; rep++ {
 			dev, err := retBenchChip(seed, eager)
 			if err != nil {
 				return 0, fmt.Errorf("%s: building substrate: %w", id, err)

@@ -412,10 +412,16 @@ func cmdProbe(args []string) error {
 	return nil
 }
 
+// statsSchema identifies the stats -json document shape; bumped on
+// incompatible changes so scrapers can reject documents they do not
+// understand instead of misparsing them.
+const statsSchema = "stashflash-stashctl-stats/v1"
+
 // statsDoc is the JSON document "stats -json" emits: device inventory,
 // the ledger persisted in the image (cumulative across invocations), and
 // the observability snapshot of this invocation's operations.
 type statsDoc struct {
+	Schema    string       `json:"schema"`
 	Model     string       `json:"model"`
 	Blocks    int          `json:"blocks"`
 	Pages     int          `json:"pages_per_block"`
@@ -450,6 +456,7 @@ func cmdStats(args []string) error {
 	}
 	if *asJSON {
 		doc := statsDoc{
+			Schema:    statsSchema,
 			Model:     m.Name,
 			Blocks:    m.Blocks,
 			Pages:     m.PagesPerBlock,

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -59,6 +60,20 @@ func TestCLIEndToEnd(t *testing.T) {
 	out = run(true, "stats", "-image", img)
 	if !strings.Contains(out, "geometry") {
 		t.Fatalf("stats output malformed: %s", out)
+	}
+
+	// The JSON stats document must self-identify its schema so scrapers
+	// can detect incompatible shape changes.
+	out = run(true, "stats", "-image", img, "-json")
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("stats -json is not valid JSON: %v\n%s", err, out)
+	}
+	if doc["schema"] != statsSchema {
+		t.Fatalf("stats -json schema = %v, want %q", doc["schema"], statsSchema)
+	}
+	if inner, ok := doc["metrics"].(map[string]any); !ok || inner["schema"] == nil {
+		t.Fatalf("embedded metrics snapshot lost its schema: %v", doc["metrics"])
 	}
 
 	run(true, "erase", "-image", img, "-block", "0")

@@ -1,0 +1,117 @@
+// Command stashd serves steganographic volumes over a sharded fleet of
+// simulated NAND chips: the "service" face of the repository, sized for
+// tens to hundreds of chips behind one HTTP JSON API.
+//
+// Usage:
+//
+//	stashd [-addr :8080] [-chips 16] [-spares 2] [-model a|b]
+//	       [-blocks 20 -pages 8 -pagebytes 2040] [-seed 1]
+//	       [-backend direct|onfi] [-hidden-sectors N]
+//	       [-program-fail P -erase-fail P -badblock-frac F -dead-blocks N]
+//	       [-debug-addr :6060]
+//
+// API (JSON bodies; see DESIGN.md §15 for the full table):
+//
+//	GET  /v1/health  fleet/shard health
+//	GET  /v1/stats   versioned stats document with per-chip metrics
+//	POST /v1/mount   {"tenant","key"} provision/reopen a hidden volume
+//	POST /v1/hide    {"tenant","key","sector","data"} store a payload
+//	POST /v1/reveal  {"tenant","key","sector"} read a payload back
+//
+// Like server.go, this file imports nand (models, fault templates) and
+// therefore must not start goroutines; serving lives in run.go.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"stashflash/internal/fleet"
+	"stashflash/internal/nand"
+	"stashflash/internal/obs"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "HTTP listen address")
+		chips     = flag.Int("chips", 16, "number of primary chips (one shard each)")
+		spares    = flag.Int("spares", 2, "standby chips for degraded shards")
+		model     = flag.String("model", "a", "chip model: a or b")
+		blocks    = flag.Int("blocks", 20, "blocks per chip")
+		pages     = flag.Int("pages", 8, "pages per block")
+		pageBytes = flag.Int("pagebytes", 2040, "bytes per page")
+		seed      = flag.Uint64("seed", 1, "fleet seed (chips derive per-chip streams)")
+		backend   = flag.String("backend", "direct", "device backend: direct or onfi")
+		hidden    = flag.Int("hidden-sectors", 0, "hidden sectors per volume (0 = geometry default)")
+
+		programFail  = flag.Float64("program-fail", 0, "per-op program status-FAIL probability")
+		eraseFail    = flag.Float64("erase-fail", 0, "per-op erase status-FAIL probability")
+		badBlockFrac = flag.Float64("badblock-frac", 0, "fraction of blocks that wear out early")
+		deadBlocks   = flag.Int("dead-blocks", 0, "grown-bad-block retirement limit (0 default, <0 never)")
+
+		debugAddr = flag.String("debug-addr", "", "debug server (pprof, expvar, /debug/metrics); empty = off")
+	)
+	flag.Parse()
+
+	cfg, metrics, err := buildConfig(*chips, *spares, *model, *blocks, *pages, *pageBytes,
+		*seed, *backend, *programFail, *eraseFail, *badBlockFrac, *deadBlocks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stashd:", err)
+		os.Exit(2)
+	}
+	f, err := fleet.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stashd:", err)
+		os.Exit(2)
+	}
+	if *debugAddr != "" {
+		lis, err := obs.ServeDebug(*debugAddr, nil)
+		if err != nil {
+			log.Fatalf("stashd: debug server: %v", err)
+		}
+		log.Printf("stashd: debug server on %s", lis.Addr())
+	}
+	srv := newServer(f, metrics, *hidden)
+	if err := run(*addr, srv); err != nil {
+		log.Fatalf("stashd: %v", err)
+	}
+}
+
+// buildConfig assembles the fleet configuration plus its per-chip metric
+// label set from the command line.
+func buildConfig(chips, spares int, model string, blocks, pages, pageBytes int,
+	seed uint64, backend string, programFail, eraseFail, badBlockFrac float64,
+	deadBlocks int) (fleet.Config, *obs.LabelSet, error) {
+
+	var m nand.Model
+	switch model {
+	case "a":
+		m = nand.ModelA()
+	case "b":
+		m = nand.ModelB()
+	default:
+		return fleet.Config{}, nil, fmt.Errorf("unknown model %q (a or b)", model)
+	}
+	m = m.ScaleGeometry(blocks, pages, pageBytes)
+
+	cfg := fleet.Config{
+		Shards:         chips,
+		Spares:         spares,
+		Model:          m,
+		Seed:           seed,
+		Backend:        backend,
+		DeadBlockLimit: deadBlocks,
+	}
+	if programFail > 0 || eraseFail > 0 || badBlockFrac > 0 {
+		cfg.Faults = &nand.FaultConfig{
+			ProgramFailProb: programFail,
+			EraseFailProb:   eraseFail,
+			BadBlockFrac:    badBlockFrac,
+		}
+	}
+	metrics := obs.NewLabelSet(obs.ChipLabels(cfg.ChipCount())...)
+	cfg.Metrics = metrics
+	return cfg, metrics, nil
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestBuildConfig(t *testing.T) {
+	cfg, metrics, err := buildConfig(16, 2, "a", 20, 8, 2040, 7, "onfi", 0.01, 0.02, 0.1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Shards != 16 || cfg.Spares != 2 || cfg.ChipCount() != 18 {
+		t.Fatalf("fleet sizing: %+v", cfg)
+	}
+	if cfg.Model.Blocks != 20 || cfg.Model.PagesPerBlock != 8 || cfg.Model.PageBytes != 2040 {
+		t.Fatalf("geometry not scaled: %+v", cfg.Model.Geometry)
+	}
+	if cfg.Backend != "onfi" || cfg.Seed != 7 || cfg.DeadBlockLimit != 3 {
+		t.Fatalf("knobs not plumbed: %+v", cfg)
+	}
+	if cfg.Faults == nil || cfg.Faults.ProgramFailProb != 0.01 ||
+		cfg.Faults.EraseFailProb != 0.02 || cfg.Faults.BadBlockFrac != 0.1 {
+		t.Fatalf("fault template not plumbed: %+v", cfg.Faults)
+	}
+	if metrics == nil || metrics.Len() != 18 || cfg.Metrics != metrics {
+		t.Fatalf("metrics label set not wired: %v", metrics)
+	}
+
+	// Fault-free flags must leave Faults nil so chips skip the plan
+	// entirely (a zero-prob plan is equivalent but wasteful).
+	cfg, _, err = buildConfig(2, 0, "b", 8, 4, 512, 1, "direct", 0, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Faults != nil {
+		t.Fatalf("fault-free config still carries a template: %+v", cfg.Faults)
+	}
+	if cfg.Model.Name == "" {
+		t.Fatal("model B lost its name")
+	}
+
+	if _, _, err := buildConfig(2, 0, "z", 8, 4, 512, 1, "direct", 0, 0, 0, 0); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}

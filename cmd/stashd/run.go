@@ -1,0 +1,48 @@
+// stashd's serving loop. This file owns the process's non-device
+// goroutines (HTTP serving, signal handling) and deliberately does not
+// import internal/nand: the layering lint allows goroutines next to
+// device handles only inside internal/fleet, and everything here talks
+// to chips purely through the fleet façade.
+package main
+
+import (
+	"context"
+	"errors"
+	"log"
+	"net"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// run serves the API on addr until SIGINT/SIGTERM, then drains in-flight
+// requests and closes the fleet. It returns when shutdown completes.
+func run(addr string, s *server) error {
+	defer s.close()
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: s.routes()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(lis) }()
+	log.Printf("stashd: serving on %s (%d shards, %d spares)",
+		lis.Addr(), s.f.Shards(), s.f.SparesLeft())
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("stashd: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,472 @@
+// stashd's HTTP layer. This file touches nand.Device handles inside
+// fleet closures and therefore — per the goroutine-ownership rule the
+// layering lint enforces — must never start a goroutine itself: every
+// device-touching closure runs on the owning chip's queue goroutine
+// inside internal/fleet, and the HTTP serving goroutines live in run.go,
+// which does not import nand.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"stashflash/internal/fleet"
+	"stashflash/internal/nand"
+	"stashflash/internal/obs"
+	"stashflash/internal/stegfs"
+)
+
+// statsSchema versions the /v1/stats document; bump on incompatible
+// shape changes so scrapers fail loudly instead of misparsing.
+const statsSchema = "stashflash-stashd-stats/v1"
+
+// errStaleVolume reports a volume whose chip was retired between the
+// tenant's mount and this request: the cached stegfs.Volume wraps the
+// dead chip's device and must not be driven from the replacement chip's
+// goroutine. The tenant re-mounts to provision on the spare.
+var errStaleVolume = errors.New("stashd: tenant volume belongs to a retired chip; re-mount required")
+
+// tenant is one keyed hidden volume on its own dedicated shard. A
+// stegfs.Create formats the whole chip, so tenants never share silicon:
+// the shard is allocated at first mount and stays with the tenant for
+// the life of the process (remaps replace the chip, not the shard).
+type tenant struct {
+	name     string
+	shard    int
+	chip     int // chip the volume was created on; guards against stale use
+	keyHash  [32]byte
+	vol      *stegfs.Volume
+	mounting bool // a (re)mount is formatting the shard right now
+	// hiddenCap and hiddenSB cache the volume's capacity numbers so the
+	// handler goroutine never calls Volume methods (the volume lives on
+	// the chip goroutine).
+	hiddenCap int
+	hiddenSB  int
+	// lens remembers each written sector's payload length so reveal can
+	// return the exact bytes (hidden sectors are stored padded). It is a
+	// session cache: after a re-mount, reveal returns full padded sectors.
+	lens map[int]int
+}
+
+// server multiplexes tenants onto the fleet. Handlers never touch a
+// device directly: all device work is submitted to the owning shard.
+type server struct {
+	f             *fleet.Fleet
+	metrics       *obs.LabelSet
+	hiddenSectors int
+	start         time.Time
+
+	mu      sync.Mutex
+	tenants map[string]*tenant
+}
+
+func newServer(f *fleet.Fleet, metrics *obs.LabelSet, hiddenSectors int) *server {
+	return &server{
+		f:             f,
+		metrics:       metrics,
+		hiddenSectors: hiddenSectors,
+		start:         time.Now(),
+		tenants:       make(map[string]*tenant),
+	}
+}
+
+// close releases the fleet (and with it every chip goroutine).
+func (s *server) close() { s.f.Close() }
+
+// deriveKey expands a tenant's API key into an independent 32-byte
+// volume key per domain (master, public cover).
+func deriveKey(domain, name, key string) []byte {
+	sum := sha256.Sum256([]byte("stashd/" + domain + "/" + name + "\x00" + key))
+	return sum[:]
+}
+
+func (s *server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/health", s.handleHealth)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/mount", s.handleMount)
+	mux.HandleFunc("POST /v1/hide", s.handleHide)
+	mux.HandleFunc("POST /v1/reveal", s.handleReveal)
+	return mux
+}
+
+// apiError is the uniform error document: kind is machine-matchable,
+// error is for humans.
+type apiError struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, kind string, err error) {
+	writeJSON(w, code, apiError{Error: err.Error(), Kind: kind})
+}
+
+// writeOpErr maps a device-path error onto the API's typed vocabulary.
+// Degradation is a 503 the client recovers from by re-mounting (spare
+// available) or not at all (fleet exhausted) — never a silent wrong read.
+func writeOpErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, fleet.ErrFleetExhausted):
+		writeErr(w, http.StatusServiceUnavailable, "fleet_exhausted", err)
+	case errors.Is(err, fleet.ErrShardDegraded), errors.Is(err, errStaleVolume):
+		writeErr(w, http.StatusServiceUnavailable, "shard_degraded", err)
+	case errors.Is(err, fleet.ErrClosed):
+		writeErr(w, http.StatusServiceUnavailable, "shutting_down", err)
+	case errors.Is(err, stegfs.ErrHiddenInvalid):
+		writeErr(w, http.StatusNotFound, "no_data", err)
+	case errors.Is(err, stegfs.ErrHiddenRange), errors.Is(err, stegfs.ErrSectorReserved):
+		writeErr(w, http.StatusBadRequest, "bad_sector", err)
+	default:
+		writeErr(w, http.StatusInternalServerError, "internal", err)
+	}
+}
+
+type authedRequest struct {
+	Tenant string `json:"tenant"`
+	Key    string `json:"key"`
+	Sector int    `json:"sector,omitempty"`
+	Data   string `json:"data,omitempty"` // base64 payload (hide only)
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, into *authedRequest) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	if into.Tenant == "" {
+		return errors.New("missing tenant name")
+	}
+	if into.Key == "" {
+		return errors.New("missing tenant key")
+	}
+	return nil
+}
+
+// volumeHandle is a consistent snapshot of a tenant's mounted volume:
+// the volume pointer plus the chip it was created on, taken under the
+// server lock so a concurrent re-mount cannot tear it.
+type volumeHandle struct {
+	t    *tenant
+	vol  *stegfs.Volume
+	chip int
+}
+
+type mountResponse struct {
+	Tenant            string `json:"tenant"`
+	Shard             int    `json:"shard"`
+	Chip              int    `json:"chip"`
+	HiddenCapacity    int    `json:"hidden_capacity"`
+	HiddenSectorBytes int    `json:"hidden_sector_bytes"`
+	Remounted         bool   `json:"remounted"`
+}
+
+func (s *server) handleMount(w http.ResponseWriter, r *http.Request) {
+	var req authedRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad_request", err)
+		return
+	}
+	s.mu.Lock()
+	t, exists := s.tenants[req.Tenant]
+	if exists && t.keyHash != sha256.Sum256([]byte(req.Key)) {
+		s.mu.Unlock()
+		writeErr(w, http.StatusForbidden, "wrong_key", errors.New("stashd: wrong key for tenant"))
+		return
+	}
+	if t != nil {
+		if t.mounting {
+			s.mu.Unlock()
+			writeErr(w, http.StatusConflict, "mount_in_progress",
+				errors.New("stashd: a mount for this tenant is already running"))
+			return
+		}
+		if t.vol != nil {
+			// Reuse the mounted volume only while its chip still backs
+			// the shard; a remap since mount means the volume (and its
+			// payloads) died with the old chip.
+			if cur, err := s.f.ShardChip(t.shard); err == nil && cur == t.chip {
+				resp := mountResponse{
+					Tenant: t.name, Shard: t.shard, Chip: t.chip,
+					HiddenCapacity: t.hiddenCap, HiddenSectorBytes: t.hiddenSB,
+					Remounted: true,
+				}
+				s.mu.Unlock()
+				writeJSON(w, http.StatusOK, resp)
+				return
+			}
+			t.vol, t.lens = nil, nil
+		}
+		t.mounting = true
+	} else {
+		// New tenant: reserve the lowest free shard. The reservation is
+		// the tenant record itself, so racing mounts of other tenants
+		// pick other shards.
+		used := make(map[int]bool, len(s.tenants))
+		for _, tt := range s.tenants {
+			used[tt.shard] = true
+		}
+		shard := -1
+		for i := 0; i < s.f.Shards(); i++ {
+			if !used[i] {
+				shard = i
+				break
+			}
+		}
+		if shard < 0 {
+			s.mu.Unlock()
+			writeErr(w, http.StatusConflict, "no_capacity",
+				fmt.Errorf("stashd: all %d shards are allocated", s.f.Shards()))
+			return
+		}
+		t = &tenant{
+			name:     req.Tenant,
+			shard:    shard,
+			keyHash:  sha256.Sum256([]byte(req.Key)),
+			mounting: true,
+		}
+		s.tenants[req.Tenant] = t
+	}
+	shard := t.shard
+	isNew := !exists
+	s.mu.Unlock()
+
+	cfg := stegfs.DefaultConfig(s.f.Geometry())
+	if s.hiddenSectors > 0 {
+		cfg.HiddenSectors = s.hiddenSectors
+	}
+	master := deriveKey("master", req.Tenant, req.Key)
+	public := deriveKey("public", req.Tenant, req.Key)
+	var (
+		vol           *stegfs.Volume
+		onChip        int
+		capSec, secSB int
+	)
+	err := s.f.ExecOn(shard, func(chip int, dev nand.LabDevice) error {
+		v, cerr := stegfs.Create(dev, master, public, cfg)
+		if cerr != nil {
+			return cerr
+		}
+		vol, onChip = v, chip
+		capSec, secSB = v.HiddenCapacity(), v.HiddenSectorBytes()
+		return nil
+	})
+	s.mu.Lock()
+	t.mounting = false
+	if err != nil {
+		// A brand-new tenant whose format failed releases its shard; an
+		// established tenant keeps it (its payloads may still be live).
+		if isNew && s.tenants[req.Tenant] == t {
+			delete(s.tenants, req.Tenant)
+		}
+		s.mu.Unlock()
+		writeOpErr(w, err)
+		return
+	}
+	t.chip = onChip
+	t.vol = vol
+	t.hiddenCap, t.hiddenSB = capSec, secSB
+	t.lens = make(map[int]int)
+	resp := mountResponse{
+		Tenant: t.name, Shard: t.shard, Chip: t.chip,
+		HiddenCapacity: t.hiddenCap, HiddenSectorBytes: t.hiddenSB,
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// authedVolume resolves and authenticates the tenant for a data-path
+// request and snapshots its volume handle, writing the error response
+// itself when it returns nil.
+func (s *server) authedVolume(w http.ResponseWriter, req *authedRequest) *volumeHandle {
+	s.mu.Lock()
+	t, ok := s.tenants[req.Tenant]
+	if !ok {
+		s.mu.Unlock()
+		writeErr(w, http.StatusNotFound, "unknown_tenant",
+			fmt.Errorf("stashd: tenant %q not mounted", req.Tenant))
+		return nil
+	}
+	if t.keyHash != sha256.Sum256([]byte(req.Key)) {
+		s.mu.Unlock()
+		writeErr(w, http.StatusForbidden, "wrong_key", errors.New("stashd: wrong key for tenant"))
+		return nil
+	}
+	if t.mounting {
+		s.mu.Unlock()
+		writeErr(w, http.StatusConflict, "mount_in_progress",
+			errors.New("stashd: a mount for this tenant is already running"))
+		return nil
+	}
+	if t.vol == nil {
+		s.mu.Unlock()
+		writeErr(w, http.StatusServiceUnavailable, "shard_degraded", errStaleVolume)
+		return nil
+	}
+	h := &volumeHandle{t: t, vol: t.vol, chip: t.chip}
+	s.mu.Unlock()
+	return h
+}
+
+// execVolume runs fn against the snapshotted volume on the owning chip's
+// goroutine, refusing to touch a volume whose chip was retired. On a
+// degradation (or staleness) verdict the tenant's volume is dropped so
+// the next mount re-provisions on the replacement chip.
+func (s *server) execVolume(h *volumeHandle, fn func(v *stegfs.Volume) error) error {
+	err := s.f.ExecOn(h.t.shard, func(execChip int, _ nand.LabDevice) error {
+		if execChip != h.chip {
+			return errStaleVolume
+		}
+		return fn(h.vol)
+	})
+	if err != nil && (errors.Is(err, fleet.ErrShardDegraded) || errors.Is(err, errStaleVolume)) {
+		s.mu.Lock()
+		if h.t.vol == h.vol {
+			h.t.vol, h.t.lens = nil, nil
+		}
+		s.mu.Unlock()
+	}
+	return err
+}
+
+func (s *server) handleHide(w http.ResponseWriter, r *http.Request) {
+	var req authedRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad_request", err)
+		return
+	}
+	payload, err := base64.StdEncoding.DecodeString(req.Data)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad_request", fmt.Errorf("data is not base64: %w", err))
+		return
+	}
+	h := s.authedVolume(w, &req)
+	if h == nil {
+		return
+	}
+	err = s.execVolume(h, func(v *stegfs.Volume) error {
+		if len(payload) > v.HiddenSectorBytes() {
+			return stegfs.ErrHiddenRange
+		}
+		if werr := v.HiddenWrite(req.Sector, payload); werr != nil {
+			return werr
+		}
+		return v.Sync()
+	})
+	if err != nil {
+		writeOpErr(w, err)
+		return
+	}
+	s.mu.Lock()
+	if h.t.vol == h.vol && h.t.lens != nil {
+		h.t.lens[req.Sector] = len(payload)
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"tenant": h.t.name, "sector": req.Sector, "bytes": len(payload),
+	})
+}
+
+func (s *server) handleReveal(w http.ResponseWriter, r *http.Request) {
+	var req authedRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad_request", err)
+		return
+	}
+	h := s.authedVolume(w, &req)
+	if h == nil {
+		return
+	}
+	var payload []byte
+	err := s.execVolume(h, func(v *stegfs.Volume) error {
+		data, rerr := v.HiddenRead(req.Sector)
+		if rerr != nil {
+			return rerr
+		}
+		payload = data
+		return nil
+	})
+	if err != nil {
+		writeOpErr(w, err)
+		return
+	}
+	s.mu.Lock()
+	if h.t.vol == h.vol {
+		if n, ok := h.t.lens[req.Sector]; ok && n <= len(payload) {
+			payload = payload[:n]
+		}
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"tenant": h.t.name, "sector": req.Sector,
+		"data": base64.StdEncoding.EncodeToString(payload),
+	})
+}
+
+type healthResponse struct {
+	Status        string              `json:"status"`
+	UptimeSeconds float64             `json:"uptime_seconds"`
+	Shards        []fleet.ShardStatus `json:"shards"`
+	SparesLeft    int                 `json:"spares_left"`
+	Tenants       int                 `json:"tenants"`
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	st := s.f.Status()
+	status := "ok"
+	for _, row := range st {
+		if row.Chip < 0 {
+			status = "degraded"
+		}
+	}
+	s.mu.Lock()
+	n := len(s.tenants)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status:        status,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Shards:        st,
+		SparesLeft:    s.f.SparesLeft(),
+		Tenants:       n,
+	})
+}
+
+type statsResponse struct {
+	Schema        string                  `json:"schema"`
+	UptimeSeconds float64                 `json:"uptime_seconds"`
+	Tenants       int                     `json:"tenants"`
+	SparesLeft    int                     `json:"spares_left"`
+	Shards        []fleet.ShardStatus     `json:"shards"`
+	Chips         map[string]obs.Snapshot `json:"chips,omitempty"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	n := len(s.tenants)
+	s.mu.Unlock()
+	resp := statsResponse{
+		Schema:        statsSchema,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Tenants:       n,
+		SparesLeft:    s.f.SparesLeft(),
+		Shards:        s.f.Status(),
+	}
+	if s.metrics != nil {
+		resp.Chips = s.metrics.Snapshots()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

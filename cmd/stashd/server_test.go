@@ -1,0 +1,381 @@
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"stashflash/internal/fleet"
+	"stashflash/internal/nand"
+	"stashflash/internal/obs"
+)
+
+// testGeometry mirrors the stegfs test geometry: small enough that a
+// mount (full-device format) is fast, large enough for real hidden
+// capacity.
+func testFleetConfig(shards, spares int, faults *nand.FaultConfig) (fleet.Config, *obs.LabelSet) {
+	metrics := obs.NewLabelSet(obs.ChipLabels(shards + spares)...)
+	return fleet.Config{
+		Shards:  shards,
+		Spares:  spares,
+		Model:   nand.ModelA().ScaleGeometry(20, 8, 2040),
+		Seed:    42,
+		Faults:  faults,
+		Metrics: metrics,
+	}, metrics
+}
+
+func newTestServer(t *testing.T, shards, spares int, faults *nand.FaultConfig) (*server, http.Handler) {
+	t.Helper()
+	cfg, metrics := testFleetConfig(shards, spares, faults)
+	f, err := fleet.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(f, metrics, 0)
+	t.Cleanup(s.close)
+	return s, s.routes()
+}
+
+// call drives one request through the handler with no real sockets and
+// decodes the JSON response.
+func call(t *testing.T, h http.Handler, method, path string, body any) (int, map[string]any) {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(raw)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var doc map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("%s %s: response is not JSON: %v\n%s", method, path, err, rec.Body.String())
+	}
+	return rec.Code, doc
+}
+
+func mountReq(tenant, key string) map[string]any {
+	return map[string]any{"tenant": tenant, "key": key}
+}
+
+func hideReq(tenant, key string, sector int, payload []byte) map[string]any {
+	return map[string]any{
+		"tenant": tenant, "key": key, "sector": sector,
+		"data": base64.StdEncoding.EncodeToString(payload),
+	}
+}
+
+func revealReq(tenant, key string, sector int) map[string]any {
+	return map[string]any{"tenant": tenant, "key": key, "sector": sector}
+}
+
+// kindOf extracts the typed error kind from an error document.
+func kindOf(doc map[string]any) string {
+	k, _ := doc["kind"].(string)
+	return k
+}
+
+func TestMountHideRevealRoundTrip(t *testing.T) {
+	_, h := newTestServer(t, 2, 0, nil)
+
+	code, doc := call(t, h, "POST", "/v1/mount", mountReq("alice", "k1"))
+	if code != http.StatusOK {
+		t.Fatalf("mount: %d %v", code, doc)
+	}
+	if doc["shard"].(float64) != 0 || doc["remounted"].(bool) {
+		t.Fatalf("first mount doc: %v", doc)
+	}
+	secBytes := int(doc["hidden_sector_bytes"].(float64))
+	if secBytes <= 0 || int(doc["hidden_capacity"].(float64)) < 2 {
+		t.Fatalf("implausible capacity doc: %v", doc)
+	}
+
+	payload := []byte("dawn. microfilm")
+	if code, doc = call(t, h, "POST", "/v1/hide", hideReq("alice", "k1", 1, payload)); code != http.StatusOK {
+		t.Fatalf("hide: %d %v", code, doc)
+	}
+	code, doc = call(t, h, "POST", "/v1/reveal", revealReq("alice", "k1", 1))
+	if code != http.StatusOK {
+		t.Fatalf("reveal: %d %v", code, doc)
+	}
+	got, err := base64.StdEncoding.DecodeString(doc["data"].(string))
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("reveal returned %q, want %q (err=%v)", got, payload, err)
+	}
+
+	// Re-mount with the same key reuses the volume and the payload survives.
+	if code, doc = call(t, h, "POST", "/v1/mount", mountReq("alice", "k1")); code != http.StatusOK || !doc["remounted"].(bool) {
+		t.Fatalf("re-mount: %d %v", code, doc)
+	}
+	code, doc = call(t, h, "POST", "/v1/reveal", revealReq("alice", "k1", 1))
+	got, _ = base64.StdEncoding.DecodeString(doc["data"].(string))
+	if code != http.StatusOK || !bytes.Equal(got, payload) {
+		t.Fatalf("payload lost across re-mount: %d %q", code, got)
+	}
+
+	// A second tenant lands on the next shard with its own silicon.
+	if code, doc = call(t, h, "POST", "/v1/mount", mountReq("bob", "k2")); code != http.StatusOK || doc["shard"].(float64) != 1 {
+		t.Fatalf("bob mount: %d %v", code, doc)
+	}
+}
+
+func TestTypedAPIErrors(t *testing.T) {
+	_, h := newTestServer(t, 1, 0, nil)
+	if code, doc := call(t, h, "POST", "/v1/mount", mountReq("alice", "k1")); code != http.StatusOK {
+		t.Fatalf("mount: %d %v", code, doc)
+	}
+
+	for _, tc := range []struct {
+		name string
+		path string
+		body map[string]any
+		code int
+		kind string
+	}{
+		{"wrong key", "/v1/reveal", revealReq("alice", "WRONG", 1), http.StatusForbidden, "wrong_key"},
+		{"wrong key mount", "/v1/mount", mountReq("alice", "WRONG"), http.StatusForbidden, "wrong_key"},
+		{"unknown tenant", "/v1/reveal", revealReq("mallory", "k", 1), http.StatusNotFound, "unknown_tenant"},
+		{"no data yet", "/v1/reveal", revealReq("alice", "k1", 2), http.StatusNotFound, "no_data"},
+		{"reserved sector", "/v1/hide", hideReq("alice", "k1", 0, []byte("x")), http.StatusBadRequest, "bad_sector"},
+		{"sector out of range", "/v1/hide", hideReq("alice", "k1", 1<<20, []byte("x")), http.StatusBadRequest, "bad_sector"},
+		{"missing key", "/v1/hide", map[string]any{"tenant": "alice"}, http.StatusBadRequest, "bad_request"},
+		{"bad base64", "/v1/hide", map[string]any{"tenant": "alice", "key": "k1", "sector": 1, "data": "@@"}, http.StatusBadRequest, "bad_request"},
+		{"second tenant no capacity", "/v1/mount", mountReq("bob", "k2"), http.StatusConflict, "no_capacity"},
+	} {
+		code, doc := call(t, h, "POST", tc.path, tc.body)
+		if code != tc.code || kindOf(doc) != tc.kind {
+			t.Errorf("%s: got %d/%s, want %d/%s (%v)", tc.name, code, kindOf(doc), tc.code, tc.kind, doc)
+		}
+	}
+}
+
+func TestHealthAndStatsDocuments(t *testing.T) {
+	_, h := newTestServer(t, 2, 1, nil)
+	if code, doc := call(t, h, "POST", "/v1/mount", mountReq("alice", "k1")); code != http.StatusOK {
+		t.Fatalf("mount: %d %v", code, doc)
+	}
+
+	if code, doc := call(t, h, "POST", "/v1/hide", hideReq("alice", "k1", 1, []byte("stats fodder"))); code != http.StatusOK {
+		t.Fatalf("hide: %d %v", code, doc)
+	}
+
+	code, doc := call(t, h, "GET", "/v1/health", nil)
+	if code != http.StatusOK || doc["status"] != "ok" {
+		t.Fatalf("health: %d %v", code, doc)
+	}
+	if doc["spares_left"].(float64) != 1 || doc["tenants"].(float64) != 1 {
+		t.Fatalf("health counters: %v", doc)
+	}
+	if len(doc["shards"].([]any)) != 2 {
+		t.Fatalf("health shards: %v", doc["shards"])
+	}
+
+	code, doc = call(t, h, "GET", "/v1/stats", nil)
+	if code != http.StatusOK {
+		t.Fatalf("stats: %d %v", code, doc)
+	}
+	if doc["schema"] != statsSchema {
+		t.Fatalf("stats schema = %v, want %q", doc["schema"], statsSchema)
+	}
+	chips, ok := doc["chips"].(map[string]any)
+	if !ok || len(chips) != 3 {
+		t.Fatalf("stats chips: %v", doc["chips"])
+	}
+	// The mounted tenant's hide landed on chip 0: its per-chip metrics
+	// recorded programs, while the idle spare stayed silent.
+	chip0 := chips["chip0"].(map[string]any)
+	if chip0["schema"] != obs.SnapshotSchema {
+		t.Fatalf("per-chip snapshot schema = %v", chip0["schema"])
+	}
+	if ops := chip0["ops"].(map[string]any); ops["program"] == nil {
+		t.Fatalf("chip0 recorded no programs after a format: %v", ops)
+	}
+	if ops, ok := chips["chip2"].(map[string]any)["ops"].(map[string]any); ok {
+		if _, loaded := ops["program"]; loaded {
+			t.Fatalf("idle spare chip2 recorded programs")
+		}
+	}
+}
+
+// soakSeconds resolves the soak duration: 2s keeps CI fast, and the
+// STASHFLASH_SOAK_SECONDS knob stretches the same test for long local
+// shakeouts.
+func soakSeconds(t *testing.T) time.Duration {
+	if v := os.Getenv("STASHFLASH_SOAK_SECONDS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad STASHFLASH_SOAK_SECONDS=%q", v)
+		}
+		return time.Duration(n) * time.Second
+	}
+	return 2 * time.Second
+}
+
+// TestConcurrentTenantSoak is the -race soak of the acceptance criteria:
+// concurrent tenants hammer mount/hide/reveal through the handler (no
+// real sockets) while other goroutines poll stats and health, and every
+// revealed payload must be exactly the last hidden one.
+func TestConcurrentTenantSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short mode")
+	}
+	const tenants = 6
+	_, h := newTestServer(t, tenants, 1, nil)
+	deadline := time.Now().Add(soakSeconds(t))
+
+	// payloadFor derives the deterministic payload of (tenant, sector,
+	// generation) so readers can verify bytes without sharing state.
+	// Hidden sectors are small (payloads ride voltage margins), so sizes
+	// sweep 1..18 bytes.
+	payloadFor := func(tenant, sector, gen int) []byte {
+		sum := sha256.Sum256([]byte(fmt.Sprintf("soak/%d/%d/%d", tenant, sector, gen)))
+		return sum[:1+(tenant+sector*7+gen)%18]
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, tenants+2)
+	for i := 0; i < tenants; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name, key := fmt.Sprintf("tenant%d", i), fmt.Sprintf("key%d", i)
+			if code, doc := call(t, h, "POST", "/v1/mount", mountReq(name, key)); code != http.StatusOK {
+				errc <- fmt.Errorf("tenant %d mount: %d %v", i, code, doc)
+				return
+			}
+			for gen := 0; time.Now().Before(deadline); gen++ {
+				sector := 1 + gen%3
+				want := payloadFor(i, sector, gen)
+				if code, doc := call(t, h, "POST", "/v1/hide", hideReq(name, key, sector, want)); code != http.StatusOK {
+					errc <- fmt.Errorf("tenant %d hide gen %d: %d %v", i, gen, code, doc)
+					return
+				}
+				code, doc := call(t, h, "POST", "/v1/reveal", revealReq(name, key, sector))
+				if code != http.StatusOK {
+					errc <- fmt.Errorf("tenant %d reveal gen %d: %d %v", i, gen, code, doc)
+					return
+				}
+				got, err := base64.StdEncoding.DecodeString(doc["data"].(string))
+				if err != nil || !bytes.Equal(got, want) {
+					errc <- fmt.Errorf("tenant %d gen %d: revealed %d bytes != hidden %d bytes", i, gen, len(got), len(want))
+					return
+				}
+			}
+		}(i)
+	}
+	// Observability hammer: stats and health must stay consistent JSON
+	// under full data-path load.
+	for _, path := range []string{"/v1/stats", "/v1/health"} {
+		wg.Add(1)
+		go func(path string) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				if code, doc := call(t, h, "GET", path, nil); code != http.StatusOK {
+					errc <- fmt.Errorf("%s under load: %d %v", path, code, doc)
+					return
+				}
+			}
+		}(path)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// TestDegradationThroughAPI walks a chip death end to end at the HTTP
+// surface: a latched power loss mid-hide must come back as a typed 503
+// (never a wrong read), and a re-mount must land the tenant on the spare
+// chip with full service restored.
+func TestDegradationThroughAPI(t *testing.T) {
+	// A practically-zero fault probability attaches a plan (for the
+	// power-loss trigger) without spontaneous faults.
+	s, h := newTestServer(t, 2, 1, &nand.FaultConfig{BadBlockFrac: 1e-15})
+
+	if code, doc := call(t, h, "POST", "/v1/mount", mountReq("alice", "k1")); code != http.StatusOK {
+		t.Fatalf("mount: %d %v", code, doc)
+	}
+	payload := []byte("pre-death payload")
+	if code, doc := call(t, h, "POST", "/v1/hide", hideReq("alice", "k1", 1, payload)); code != http.StatusOK {
+		t.Fatalf("hide: %d %v", code, doc)
+	}
+
+	// Latch a power loss on alice's chip: the next partial-program pulse
+	// kills it mid-operation.
+	if err := s.f.Exec(0, func(dev nand.LabDevice) error {
+		nand.PlanOf(dev).ArmPowerLossAfterPP(0)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	code, doc := call(t, h, "POST", "/v1/hide", hideReq("alice", "k1", 2, []byte("doomed")))
+	if code != http.StatusServiceUnavailable || kindOf(doc) != "shard_degraded" {
+		t.Fatalf("hide on dying chip: %d %s %v", code, kindOf(doc), doc)
+	}
+
+	// Until the re-mount, data-path requests stay a typed 503.
+	code, doc = call(t, h, "POST", "/v1/reveal", revealReq("alice", "k1", 1))
+	if code != http.StatusServiceUnavailable || kindOf(doc) != "shard_degraded" {
+		t.Fatalf("reveal after death: %d %v", code, doc)
+	}
+	if code, doc = call(t, h, "GET", "/v1/health", nil); doc["spares_left"].(float64) != 0 {
+		t.Fatalf("spare not consumed: %d %v", code, doc)
+	}
+
+	// Re-mount provisions on the spare (chip index 2 behind shard 0) —
+	// the old payloads died with the old chip, fresh ones round-trip.
+	code, doc = call(t, h, "POST", "/v1/mount", mountReq("alice", "k1"))
+	if code != http.StatusOK || doc["remounted"].(bool) || doc["chip"].(float64) != 2 || doc["shard"].(float64) != 0 {
+		t.Fatalf("re-mount after death: %d %v", code, doc)
+	}
+	fresh := []byte("post-remap payload")
+	if code, doc = call(t, h, "POST", "/v1/hide", hideReq("alice", "k1", 1, fresh)); code != http.StatusOK {
+		t.Fatalf("hide on spare: %d %v", code, doc)
+	}
+	code, doc = call(t, h, "POST", "/v1/reveal", revealReq("alice", "k1", 1))
+	got, _ := base64.StdEncoding.DecodeString(doc["data"].(string))
+	if code != http.StatusOK || !bytes.Equal(got, fresh) {
+		t.Fatalf("round trip on spare: %d %q", code, got)
+	}
+
+	// A tenant on the healthy shard is untouched throughout.
+	if code, doc = call(t, h, "POST", "/v1/mount", mountReq("bob", "k2")); code != http.StatusOK || doc["shard"].(float64) != 1 {
+		t.Fatalf("bob mount: %d %v", code, doc)
+	}
+
+	// Kill the spare too: with no spares left the shard is out of
+	// service and every request reports fleet_exhausted.
+	if err := s.f.Exec(0, func(dev nand.LabDevice) error {
+		nand.PlanOf(dev).ArmPowerLossAfterPP(0)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if code, doc = call(t, h, "POST", "/v1/hide", hideReq("alice", "k1", 1, []byte("doomed again"))); code != http.StatusServiceUnavailable {
+		t.Fatalf("hide on dying spare: %d %v", code, doc)
+	}
+	code, doc = call(t, h, "POST", "/v1/mount", mountReq("alice", "k1"))
+	if code != http.StatusServiceUnavailable || kindOf(doc) != "fleet_exhausted" {
+		t.Fatalf("mount on exhausted shard: %d %s", code, kindOf(doc))
+	}
+	if code, doc = call(t, h, "GET", "/v1/health", nil); doc["status"] != "degraded" {
+		t.Fatalf("health after exhaustion: %d %v", code, doc)
+	}
+}

@@ -1,0 +1,42 @@
+package stashflash
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestExamplesBuild compiles every example program so documentation code
+// cannot rot silently: an API change that breaks an example breaks the
+// build wall, not a future reader.
+func TestExamplesBuild(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go tool; skipped in -short mode")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dirs []string
+	for _, e := range entries {
+		if e.IsDir() {
+			dirs = append(dirs, e.Name())
+		}
+	}
+	if len(dirs) < 5 {
+		t.Fatalf("expected at least 5 example programs, found %v", dirs)
+	}
+	for _, dir := range dirs {
+		dir := dir
+		t.Run(dir, func(t *testing.T) {
+			t.Parallel()
+			out := filepath.Join(t.TempDir(), dir)
+			cmd := exec.Command("go", "build", "-o", out, "./examples/"+dir)
+			cmd.Env = os.Environ()
+			if msg, err := cmd.CombinedOutput(); err != nil {
+				t.Fatalf("example %s does not build: %v\n%s", dir, err, msg)
+			}
+		})
+	}
+}

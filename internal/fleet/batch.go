@@ -1,0 +1,58 @@
+package fleet
+
+import "stashflash/internal/nand"
+
+// Batched façade operations: each call crosses the shard's queue exactly
+// once and lands on the backend's BatchDevice fast path when it has one
+// (the chip's vectorised cell walks, the ONFI adapter's multi-plane and
+// cached command cycles), falling back to per-page loops otherwise via
+// the nand package helpers. Group semantics mirror nand.BatchDevice:
+// stop at the first failing page, report how many pages completed, and
+// return valid data for exactly those leading pages.
+
+// ReadPages reads count consecutive pages of one shard starting at
+// start. It returns the pages fully read (done*PageBytes bytes of data)
+// and the first error, if any.
+func (f *Fleet) ReadPages(shard int, start nand.PageAddr, count int) (data []byte, done int, err error) {
+	execErr := f.Exec(shard, func(dev nand.LabDevice) error {
+		pb := dev.Geometry().PageBytes
+		buf := make([]byte, count*pb)
+		n, rerr := nand.ReadPages(dev, start, count, buf)
+		data, done = buf[:n*pb], n
+		return rerr
+	})
+	return data, done, execErr
+}
+
+// ProgramPages programs consecutive page images (a whole number of
+// PageBytes pages) on one shard and returns how many pages fully
+// programmed before the first error.
+func (f *Fleet) ProgramPages(shard int, start nand.PageAddr, data []byte) (done int, err error) {
+	execErr := f.Exec(shard, func(dev nand.LabDevice) error {
+		n, perr := nand.ProgramPages(dev, start, data)
+		done = n
+		return perr
+	})
+	return done, execErr
+}
+
+// ProbeVoltages probes per-cell voltage levels for count consecutive
+// pages of one shard. It returns the pages fully probed (done *
+// CellsPerPage levels) and the first error, if any.
+func (f *Fleet) ProbeVoltages(shard int, start nand.PageAddr, count int) (levels []uint8, done int, err error) {
+	execErr := f.Exec(shard, func(dev nand.LabDevice) error {
+		cp := dev.Geometry().CellsPerPage()
+		buf := make([]uint8, count*cp)
+		n, perr := nand.ProbeVoltages(dev, start, count, buf)
+		levels, done = buf[:n*cp], n
+		return perr
+	})
+	return levels, done, execErr
+}
+
+// EraseBlock erases one block of one shard.
+func (f *Fleet) EraseBlock(shard, block int) error {
+	return f.Exec(shard, func(dev nand.LabDevice) error {
+		return dev.EraseBlock(block)
+	})
+}

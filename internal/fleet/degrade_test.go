@@ -1,0 +1,182 @@
+package fleet
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"stashflash/internal/nand"
+)
+
+// armPowerLoss latches a power loss on the shard's current chip: the
+// next partial-programming pulse kills the package. The arming runs on
+// the chip's own goroutine (plans are single-goroutine like their chip).
+func armPowerLoss(t *testing.T, f *Fleet, shard int) {
+	t.Helper()
+	if err := f.Exec(shard, func(dev nand.LabDevice) error {
+		plan := nand.PlanOf(dev)
+		if plan == nil {
+			t.Error("no fault plan attached")
+			return nil
+		}
+		plan.ArmPowerLossAfterPP(0)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// killShard drives one partial-programming pulse into an armed shard and
+// returns the degradation error.
+func killShard(f *Fleet, shard int) error {
+	return f.Exec(shard, func(dev nand.LabDevice) error {
+		return dev.PartialProgram(nand.PageAddr{Block: 0, Page: 0}, []int{0})
+	})
+}
+
+// TestChipDeathRemapsToSpare walks the full degradation ladder on one
+// shard — healthy chip, latched power loss, remap to the spare, second
+// death, out of service — checking the exact-payload-or-typed-error
+// contract at every rung while a sibling shard keeps its data intact.
+func TestChipDeathRemapsToSpare(t *testing.T) {
+	// A practically-zero fault probability so a plan is attached (giving
+	// the test ArmPowerLossAfterPP) without any spontaneous fault firing.
+	faults := nand.FaultConfig{BadBlockFrac: 1e-15}
+	f := newTestFleet(t, Config{Shards: 2, Spares: 1, Model: testModel(), Seed: 21, Faults: &faults})
+	g := f.Geometry()
+
+	// Seed both shards with known payloads.
+	payload := make([]byte, g.PageBytes)
+	for i := range payload {
+		payload[i] = byte(i*7 + 1)
+	}
+	for s := 0; s < 2; s++ {
+		if err := f.EraseBlock(s, 3); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.ProgramPages(s, nand.PageAddr{Block: 3, Page: 0}, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Kill shard 1's chip. The observing operation must report the typed
+	// degradation error joined with the device error.
+	armPowerLoss(t, f, 1)
+	err := killShard(f, 1)
+	if !errors.Is(err, ErrShardDegraded) {
+		t.Fatalf("chip death returned %v, want ErrShardDegraded", err)
+	}
+	if errors.Is(err, ErrFleetExhausted) {
+		t.Fatalf("spare was available yet error reports exhaustion: %v", err)
+	}
+	if !errors.Is(err, nand.ErrPowerLoss) {
+		t.Fatalf("underlying device error not joined: %v", err)
+	}
+
+	// The shard is remapped to the spare (chip index Shards) and the
+	// spare pool is drained by one.
+	if chip, err := f.ShardChip(1); err != nil || chip != 2 {
+		t.Fatalf("ShardChip(1) = %d, %v; want spare chip 2", chip, err)
+	}
+	if f.SparesLeft() != 0 {
+		t.Fatalf("SparesLeft = %d after one remap", f.SparesLeft())
+	}
+	st := f.Status()
+	if !st[1].Degraded || st[1].Remaps != 1 || st[1].Chip != 2 || st[1].DeadError == "" {
+		t.Fatalf("shard 1 status after remap: %+v", st[1])
+	}
+	if st[0].Degraded || st[0].Remaps != 0 || st[0].Chip != 0 {
+		t.Fatalf("healthy shard 0 status disturbed: %+v", st[0])
+	}
+
+	// The sibling shard's payload is untouched, bit for bit.
+	got, done, err := f.ReadPages(0, nand.PageAddr{Block: 3, Page: 0}, 1)
+	if err != nil || done != 1 || !bytes.Equal(got, payload) {
+		t.Fatalf("healthy shard payload after sibling death: done=%d err=%v equal=%v",
+			done, err, bytes.Equal(got, payload))
+	}
+
+	// The remapped shard serves fresh payloads on its spare chip — the
+	// old payloads died with the old chip; the fresh ones read back exact.
+	if err := f.EraseBlock(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ProgramPages(1, nand.PageAddr{Block: 3, Page: 0}, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, done, err = f.ReadPages(1, nand.PageAddr{Block: 3, Page: 0}, 1)
+	if err != nil || done != 1 || !bytes.Equal(got, payload) {
+		t.Fatalf("remapped shard round trip: done=%d err=%v equal=%v", done, err, bytes.Equal(got, payload))
+	}
+
+	// Kill the spare too: no spares remain, so the shard goes out of
+	// service with both typed errors joined.
+	armPowerLoss(t, f, 1)
+	err = killShard(f, 1)
+	if !errors.Is(err, ErrShardDegraded) || !errors.Is(err, ErrFleetExhausted) {
+		t.Fatalf("second death returned %v, want ErrShardDegraded+ErrFleetExhausted", err)
+	}
+	if chip, _ := f.ShardChip(1); chip != -1 {
+		t.Fatalf("out-of-service shard still mapped to chip %d", chip)
+	}
+	// Every later operation reports exhaustion — never a read of stale or
+	// garbage data.
+	if _, _, err := f.ReadPages(1, nand.PageAddr{Block: 3, Page: 0}, 1); !errors.Is(err, ErrFleetExhausted) {
+		t.Fatalf("op on out-of-service shard returned %v, want ErrFleetExhausted", err)
+	}
+	// The untouched shard still works.
+	if got, _, err := f.ReadPages(0, nand.PageAddr{Block: 3, Page: 0}, 1); err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("healthy shard broken after fleet exhaustion: %v", err)
+	}
+}
+
+// TestWearOutDeathCrossesDeadBlockLimit exercises the second death
+// route: grown bad blocks accumulating past DeadBlockLimit. With every
+// erase failing, the second distinct failed block must retire the chip.
+func TestWearOutDeathCrossesDeadBlockLimit(t *testing.T) {
+	faults := nand.FaultConfig{EraseFailProb: 1}
+	f := newTestFleet(t, Config{
+		Shards: 1, Spares: 0, Model: testModel(), Seed: 33,
+		Faults: &faults, DeadBlockLimit: 2,
+	})
+	var degradedAt int
+	for b := 0; b < 4; b++ {
+		err := f.EraseBlock(0, b)
+		if err == nil {
+			t.Fatalf("erase %d succeeded under EraseFailProb=1", b)
+		}
+		if errors.Is(err, ErrShardDegraded) {
+			if !errors.Is(err, ErrFleetExhausted) || !errors.Is(err, nand.ErrEraseFailed) {
+				t.Fatalf("degradation error missing joined causes: %v", err)
+			}
+			degradedAt = b
+			break
+		}
+		if !errors.Is(err, nand.ErrEraseFailed) {
+			t.Fatalf("erase %d: %v, want plain ErrEraseFailed below the limit", b, err)
+		}
+	}
+	if degradedAt != 1 {
+		t.Fatalf("chip retired after erase %d, want the second grown bad block", degradedAt)
+	}
+}
+
+// TestNegativeDeadBlockLimitDisablesRetirement pins the opt-out: chips
+// soldier on returning per-operation errors, and the shard never
+// degrades no matter how much wear accumulates.
+func TestNegativeDeadBlockLimitDisablesRetirement(t *testing.T) {
+	faults := nand.FaultConfig{EraseFailProb: 1}
+	f := newTestFleet(t, Config{
+		Shards: 1, Model: testModel(), Seed: 34,
+		Faults: &faults, DeadBlockLimit: -1,
+	})
+	for b := 0; b < 8; b++ {
+		err := f.EraseBlock(0, b)
+		if !errors.Is(err, nand.ErrEraseFailed) || errors.Is(err, ErrShardDegraded) {
+			t.Fatalf("erase %d: %v, want bare ErrEraseFailed forever", b, err)
+		}
+	}
+	if st := f.Status(); st[0].Degraded || st[0].Chip != 0 {
+		t.Fatalf("retirement fired despite negative limit: %+v", st[0])
+	}
+}

@@ -1,0 +1,175 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"math/rand/v2"
+	"testing"
+
+	"stashflash/internal/nand"
+	"stashflash/internal/parallel"
+)
+
+// Fleet-vs-sequential equivalence: a shard's operation stream applied
+// through the fleet — at any submitter fan-out — must be bit-identical
+// to the same stream applied to the standalone reference device
+// Config.Device builds. Every sensed byte (reads, batch reads, voltage
+// probes) folds into a per-shard SHA-256 transcript digest; digest
+// equality across {sequential, workers=1, workers=4, workers=16} is the
+// bit-identity proof the acceptance criteria pin.
+
+// equivRounds is the number of workload rounds per shard.
+const equivRounds = 5
+
+// shardStream derives the shard's private workload PRNG — the same
+// partitioned-stream recipe the fleet itself uses for chip seeds, under
+// a test-owned domain so the two never collide.
+func shardStream(seed uint64, shard int) *rand.Rand {
+	a, b := nand.StreamSeed(seed, "fleet/equivtest", uint64(shard))
+	return rand.New(rand.NewPCG(a, b))
+}
+
+// runEquivRound applies one deterministic round of mixed operations to
+// dev, folding every observable output into h. The rng must be the
+// shard's private stream: both the reference walk and the fleet walk
+// consume it in the same order, so any divergence in device state shows
+// up as a digest mismatch.
+func runEquivRound(dev nand.LabDevice, rng *rand.Rand, round int, h hash.Hash) error {
+	g := dev.Geometry()
+	b := round % g.Blocks
+	if err := dev.EraseBlock(b); err != nil {
+		return fmt.Errorf("round %d erase: %w", round, err)
+	}
+	// Two full-page programs with stream-derived data.
+	data := make([]byte, g.PageBytes)
+	for p := 0; p < 2 && p < g.PagesPerBlock; p++ {
+		for i := range data {
+			data[i] = byte(rng.Uint64())
+		}
+		if err := dev.ProgramPage(nand.PageAddr{Block: b, Page: p}, data); err != nil {
+			return fmt.Errorf("round %d program page %d: %w", round, p, err)
+		}
+	}
+	// Batch read-back through the BatchDevice fast path.
+	buf := make([]byte, 2*g.PageBytes)
+	if _, err := nand.ReadPages(dev, nand.PageAddr{Block: b, Page: 0}, 2, buf); err != nil {
+		return fmt.Errorf("round %d batch read: %w", round, err)
+	}
+	h.Write(buf)
+	// Voltage probe of the first programmed page.
+	levels, err := dev.ProbePage(nand.PageAddr{Block: b, Page: 0})
+	if err != nil {
+		return fmt.Errorf("round %d probe: %w", round, err)
+	}
+	h.Write(levels)
+	// A partial-programming pulse on the last page (erased: the pulse
+	// nudges analog state the next probe must reproduce exactly).
+	last := nand.PageAddr{Block: b, Page: g.PagesPerBlock - 1}
+	cells := []int{3, 17, 64, 200, 511}
+	if err := dev.PartialProgram(last, cells); err != nil {
+		return fmt.Errorf("round %d partial program: %w", round, err)
+	}
+	levels, err = dev.ProbePage(last)
+	if err != nil {
+		return fmt.Errorf("round %d post-PP probe: %w", round, err)
+	}
+	h.Write(levels)
+	return nil
+}
+
+// sequentialDigests drives each shard's reference device on the calling
+// goroutine and returns the per-shard transcript digests.
+func sequentialDigests(t *testing.T, cfg Config) []string {
+	t.Helper()
+	out := make([]string, cfg.Shards)
+	for s := 0; s < cfg.Shards; s++ {
+		dev := cfg.Device(s)
+		rng := shardStream(cfg.Seed, s)
+		h := sha256.New()
+		for r := 0; r < equivRounds; r++ {
+			if err := runEquivRound(dev, rng, r, h); err != nil {
+				t.Fatalf("reference shard %d: %v", s, err)
+			}
+		}
+		out[s] = hex.EncodeToString(h.Sum(nil))
+	}
+	return out
+}
+
+// fleetDigests drives the same per-shard streams through a fresh fleet,
+// submitting from `workers` goroutines (one shard per work unit, each
+// round a separate queue crossing so the command queue really is
+// exercised between operations).
+func fleetDigests(t *testing.T, cfg Config, workers int) []string {
+	t.Helper()
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	out := make([]string, cfg.Shards)
+	err = parallel.ForEach(workers, cfg.Shards, func(s int) error {
+		rng := shardStream(cfg.Seed, s)
+		h := sha256.New()
+		for r := 0; r < equivRounds; r++ {
+			r := r
+			if err := f.Exec(s, func(dev nand.LabDevice) error {
+				return runEquivRound(dev, rng, r, h)
+			}); err != nil {
+				return err
+			}
+		}
+		out[s] = hex.EncodeToString(h.Sum(nil))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestFleetBitIdenticalToSequential is the acceptance-criteria suite: a
+// 24-chip sharded run must be bit-identical to the sequential
+// single-chip reference at submitter worker counts 1, 4 and 16, over
+// both device backends.
+func TestFleetBitIdenticalToSequential(t *testing.T) {
+	for _, backend := range []string{"direct", "onfi"} {
+		t.Run(backend, func(t *testing.T) {
+			cfg := Config{
+				Shards:  24,
+				Spares:  2,
+				Model:   nand.ModelA().ScaleGeometry(8, 4, 512),
+				Seed:    0xF1EE7,
+				Backend: backend,
+			}
+			want := sequentialDigests(t, cfg)
+			for _, workers := range []int{1, 4, 16} {
+				got := fleetDigests(t, cfg, workers)
+				for s := range want {
+					if got[s] != want[s] {
+						t.Fatalf("backend=%s workers=%d: shard %d transcript %s != sequential reference %s",
+							backend, workers, s, got[s], want[s])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFleetDigestsVaryAcrossShardsAndSeeds guards the equivalence suite
+// itself against vacuous passes: distinct shards (distinct physical
+// samples) and distinct fleet seeds must produce distinct transcripts.
+func TestFleetDigestsVaryAcrossShardsAndSeeds(t *testing.T) {
+	cfg := Config{Shards: 2, Model: nand.ModelA().ScaleGeometry(8, 4, 512), Seed: 11}
+	a := sequentialDigests(t, cfg)
+	if a[0] == a[1] {
+		t.Error("two shards produced identical transcripts")
+	}
+	cfg.Seed = 12
+	b := sequentialDigests(t, cfg)
+	if a[0] == b[0] {
+		t.Error("two fleet seeds produced identical transcripts")
+	}
+}

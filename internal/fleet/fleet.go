@@ -1,0 +1,474 @@
+// Package fleet shards an array of simulated NAND packages — tens to
+// hundreds of nand.LabDevice chips — behind one façade, the device-side
+// substrate of the stashd service (cmd/stashd) and the "millions of
+// users" road named in ROADMAP item 1.
+//
+// Three contracts shape the design:
+//
+//   - Concurrency. A nand.Device is single-goroutine by contract, so the
+//     fleet gives every chip a private command queue drained by exactly
+//     one goroutine. Callers submit closures with Exec/ExecOn; the
+//     closure runs on the owning goroutine, so arbitrary device work
+//     (including whole stegfs volume operations) stays within the
+//     contract no matter how many HTTP handlers call in concurrently.
+//     Distinct chips share no mutable state, so the per-chip queues give
+//     fleet-wide parallelism for free.
+//
+//   - Determinism. Chip i's physical sample seed and fault stream derive
+//     from (Config.Seed, i) with the repository's SHA-256
+//     partitioned-stream recipe (nand.StreamSeed — the same scheme as
+//     internal/parallel seed partitioning and nand.FaultPlan). Per-shard
+//     operation order is submission order (one FIFO queue per chip), and
+//     cross-shard operations touch disjoint state, so a fleet run is
+//     bit-identical to driving each chip sequentially in isolation — at
+//     any number of submitting goroutines. Config.Device builds the
+//     standalone reference device the equivalence suite compares against.
+//
+//   - Degradation. Chips die under a nand.FaultPlan (wear-out, latched
+//     power loss). A dying chip is retired and its shard remapped to a
+//     spare when one remains; the observing operation — and every later
+//     operation that raced it — returns a typed error joining
+//     ErrShardDegraded (payloads on the dead chip are lost, callers must
+//     re-provision) with the underlying device error. With no spares
+//     left the shard goes out of service and returns ErrFleetExhausted.
+//     Never silent corruption: an operation either ran to completion on
+//     one healthy chip or reports a typed error.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"stashflash/internal/nand"
+	"stashflash/internal/obs"
+	"stashflash/internal/onfi"
+)
+
+// Typed errors of the fleet façade; match with errors.Is.
+var (
+	// ErrShardRange reports a shard index outside [0, Config.Shards).
+	ErrShardRange = errors.New("fleet: shard out of range")
+	// ErrClosed reports an operation submitted after Close.
+	ErrClosed = errors.New("fleet: fleet closed")
+	// ErrShardDegraded reports that the shard's chip died: the operation
+	// did not complete (or completed on a chip that is now retired), and
+	// any payloads stored on the dead chip are lost. If a spare was
+	// available the shard is already remapped and later operations run on
+	// the fresh chip.
+	ErrShardDegraded = errors.New("fleet: shard degraded (chip died; its payloads are lost)")
+	// ErrFleetExhausted reports a shard out of service: its chip died and
+	// no spare chips remain.
+	ErrFleetExhausted = errors.New("fleet: shard out of service (no spare chips left)")
+)
+
+// Config sizes and seeds a fleet. The zero value is not usable; Shards
+// and Model must be set.
+type Config struct {
+	// Shards is the number of logical shards, each initially mapped to
+	// its own primary chip (chip indices 0..Shards-1).
+	Shards int
+	// Spares is the number of standby chips (indices Shards..) a degraded
+	// shard can be remapped onto.
+	Spares int
+	// Model parameterises every chip in the fleet.
+	Model nand.Model
+	// Seed roots the fleet's seed partition: chip i's sample seed derives
+	// from (Seed, "fleet/chip", i) and its fault stream from
+	// (Seed, "fleet/faults", i), so fleets with the same Seed are
+	// bit-identical chip for chip.
+	Seed uint64
+	// Backend selects how operations reach the simulated silicon: "" or
+	// "direct" issues simulator calls, "onfi" drives every operation
+	// through the bus-level command adapter (bit-identical by
+	// construction; see internal/onfi).
+	Backend string
+	// Faults, when non-nil and non-zero, attaches a per-chip FaultPlan
+	// built from this template with the chip's derived fault seed (the
+	// template's own Seed field is ignored).
+	Faults *nand.FaultConfig
+	// DeadBlockLimit is the grown-bad-block count at which a chip that
+	// just failed an operation is declared dead and retired. 0 selects
+	// the default max(1, Blocks/8); negative disables retirement (chips
+	// soldier on returning per-operation errors). A latched power loss
+	// always retires the chip regardless of the limit.
+	DeadBlockLimit int
+	// QueueDepth is the per-chip command queue buffering (default 8).
+	QueueDepth int
+	// Metrics, when non-nil, wraps chip i's device with the collector at
+	// label index i (obs.LabelSet), keeping per-chip/per-shard metrics
+	// separable. Must have at least ChipCount collectors.
+	Metrics *obs.LabelSet
+}
+
+// ChipCount is the total number of chips the fleet owns.
+func (c Config) ChipCount() int { return c.Shards + c.Spares }
+
+// deadLimit resolves the effective retirement threshold.
+func (c Config) deadLimit() int {
+	switch {
+	case c.DeadBlockLimit < 0:
+		return -1
+	case c.DeadBlockLimit > 0:
+		return c.DeadBlockLimit
+	default:
+		if l := c.Model.Blocks / 8; l > 1 {
+			return l
+		}
+		return 1
+	}
+}
+
+// Device builds chip i exactly as New does — same derived sample seed,
+// same derived fault plan, same backend adapter — but standalone and
+// unwrapped. This is the sequential reference the fleet equivalence
+// suite drives: a shard's operation stream applied to Device(chip) on
+// one goroutine must be bit-identical to the same stream through the
+// fleet at any submitter fan-out.
+func (c Config) Device(i int) nand.LabDevice {
+	chipSeed, _ := nand.StreamSeed(c.Seed, "fleet/chip", uint64(i))
+	chip := nand.NewChip(c.Model, chipSeed)
+	if c.Faults != nil && !c.Faults.Zero() {
+		fc := *c.Faults
+		fc.Seed, _ = nand.StreamSeed(c.Seed, "fleet/faults", uint64(i))
+		chip.SetFaultPlan(nand.NewFaultPlan(fc))
+	}
+	var dev nand.LabDevice = chip
+	if c.Backend == "onfi" {
+		dev = onfi.NewDevice(chip)
+	}
+	return dev
+}
+
+// validate rejects unusable configurations before any goroutine starts.
+func (c Config) validate() error {
+	if c.Shards < 1 {
+		return fmt.Errorf("fleet: need at least 1 shard, got %d", c.Shards)
+	}
+	if c.Spares < 0 {
+		return fmt.Errorf("fleet: negative spare count %d", c.Spares)
+	}
+	if err := c.Model.Geometry.Validate(); err != nil {
+		return fmt.Errorf("fleet: %w", err)
+	}
+	switch c.Backend {
+	case "", "direct", "onfi":
+	default:
+		return fmt.Errorf("fleet: unknown backend %q (direct, onfi)", c.Backend)
+	}
+	if c.Metrics != nil && c.Metrics.Len() < c.ChipCount() {
+		return fmt.Errorf("fleet: metrics label set has %d collectors for %d chips",
+			c.Metrics.Len(), c.ChipCount())
+	}
+	return nil
+}
+
+// request is one unit of work submitted to a chip queue.
+type request struct {
+	fn   func(chip int, dev nand.LabDevice) error
+	resp chan response
+}
+
+// response reports a request's outcome plus the worker's verdict on
+// whether its chip should be retired (decided on the worker goroutine —
+// the only goroutine allowed to inspect device state).
+type response struct {
+	err  error
+	dead bool
+}
+
+// chipWorker owns one chip: its device handle and the single goroutine
+// that drains its queue.
+type chipWorker struct {
+	idx       int
+	dev       nand.LabDevice
+	reqs      chan request
+	deadLimit int
+}
+
+// run drains the queue until it is closed. Each request's closure
+// executes here, on the chip's one goroutine.
+func (w *chipWorker) run() {
+	for req := range w.reqs {
+		err := w.exec(req.fn)
+		req.resp <- response{err: err, dead: err != nil && w.chipDead(err)}
+	}
+}
+
+// exec runs one closure, converting a panic into an error: one bad
+// request must not take down the queue goroutine (and with it every
+// tenant mapped to this chip).
+func (w *chipWorker) exec(fn func(int, nand.LabDevice) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("fleet: request on chip %d panicked: %v", w.idx, r)
+		}
+	}()
+	return fn(w.idx, w.dev)
+}
+
+// chipDead decides whether the chip behind a failed operation should be
+// retired: a latched power loss took the package offline, or wear grew
+// enough bad blocks to cross the retirement limit. Transient error
+// classes (range checks, bad lengths) never retire a chip.
+func (w *chipWorker) chipDead(opErr error) bool {
+	if errors.Is(opErr, nand.ErrPowerLoss) {
+		return true
+	}
+	if w.deadLimit < 0 {
+		return false
+	}
+	if !errors.Is(opErr, nand.ErrBadBlock) &&
+		!errors.Is(opErr, nand.ErrEraseFailed) &&
+		!errors.Is(opErr, nand.ErrProgramFailed) {
+		return false
+	}
+	if fi, ok := w.dev.(nand.FaultInjector); ok {
+		return len(fi.GrownBadBlocks()) >= w.deadLimit
+	}
+	return false
+}
+
+// shardState is the mutable routing entry of one logical shard.
+type shardState struct {
+	chip     int // current chip index; -1 = out of service
+	degraded bool
+	remaps   int
+	deadErr  error // device error that retired the most recent chip
+}
+
+// Fleet is the sharded multi-chip façade. All exported methods are safe
+// for concurrent use from any number of goroutines.
+type Fleet struct {
+	cfg     Config
+	workers []*chipWorker
+	wg      sync.WaitGroup
+
+	mu       sync.Mutex
+	shards   []shardState
+	spares   []int
+	closed   bool
+	inflight sync.WaitGroup
+}
+
+// New builds the fleet and starts one queue goroutine per chip
+// (primaries and spares alike — a spare's goroutine idles until a remap
+// routes work to it). Callers must Close the fleet to join those
+// goroutines.
+func New(cfg Config) (*Fleet, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	depth := cfg.QueueDepth
+	if depth <= 0 {
+		depth = 8
+	}
+	f := &Fleet{
+		cfg:     cfg,
+		workers: make([]*chipWorker, cfg.ChipCount()),
+		shards:  make([]shardState, cfg.Shards),
+	}
+	limit := cfg.deadLimit()
+	for i := range f.workers {
+		dev := cfg.Device(i)
+		if cfg.Metrics != nil {
+			dev = cfg.Metrics.At(i).Wrap(dev)
+		}
+		f.workers[i] = &chipWorker{
+			idx:       i,
+			dev:       dev,
+			reqs:      make(chan request, depth),
+			deadLimit: limit,
+		}
+	}
+	for s := range f.shards {
+		f.shards[s].chip = s
+	}
+	for i := cfg.Shards; i < cfg.ChipCount(); i++ {
+		f.spares = append(f.spares, i)
+	}
+	for _, w := range f.workers {
+		f.wg.Add(1)
+		go func(w *chipWorker) {
+			defer f.wg.Done()
+			w.run()
+		}(w)
+	}
+	return f, nil
+}
+
+// Shards returns the logical shard count.
+func (f *Fleet) Shards() int { return f.cfg.Shards }
+
+// Geometry returns the per-chip layout (all chips share the model).
+func (f *Fleet) Geometry() nand.Geometry { return f.cfg.Model.Geometry }
+
+// SparesLeft reports how many standby chips remain unassigned.
+func (f *Fleet) SparesLeft() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.spares)
+}
+
+// ShardChip returns the chip index currently backing a shard (-1 when
+// the shard is out of service), or an error for an invalid shard.
+func (f *Fleet) ShardChip(shard int) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if shard < 0 || shard >= len(f.shards) {
+		return -1, fmt.Errorf("fleet: shard %d: %w", shard, ErrShardRange)
+	}
+	return f.shards[shard].chip, nil
+}
+
+// acquire resolves a shard to its current worker and registers the
+// caller as in-flight (so Close drains cleanly). Must be balanced with
+// inflight.Done.
+func (f *Fleet) acquire(shard int) (*chipWorker, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if shard < 0 || shard >= len(f.shards) {
+		return nil, fmt.Errorf("fleet: shard %d: %w", shard, ErrShardRange)
+	}
+	if f.closed {
+		return nil, ErrClosed
+	}
+	st := &f.shards[shard]
+	if st.chip < 0 {
+		return nil, fmt.Errorf("fleet: shard %d (last chip error: %v): %w",
+			shard, st.deadErr, ErrFleetExhausted)
+	}
+	f.inflight.Add(1)
+	return f.workers[st.chip], nil
+}
+
+// retire handles a chip death observed by an operation on shard: the
+// first observer remaps the shard to a spare (or takes it out of
+// service); racing observers see the shard already moved off the dead
+// chip and just report the degradation. The returned error joins
+// ErrShardDegraded (and ErrFleetExhausted when no spare was left) with
+// the underlying device error, so errors.Is works on all of them.
+func (f *Fleet) retire(shard, chip int, opErr error) error {
+	f.mu.Lock()
+	st := &f.shards[shard]
+	if st.chip == chip {
+		st.degraded = true
+		st.deadErr = opErr
+		if len(f.spares) > 0 {
+			st.chip = f.spares[0]
+			f.spares = f.spares[1:]
+			st.remaps++
+		} else {
+			st.chip = -1
+		}
+	}
+	outOfService := st.chip < 0
+	f.mu.Unlock()
+	if outOfService {
+		return fmt.Errorf("fleet: shard %d: chip %d died with no spare left: %w",
+			shard, chip, errors.Join(ErrShardDegraded, ErrFleetExhausted, opErr))
+	}
+	return fmt.Errorf("fleet: shard %d: chip %d died, shard remapped to a spare: %w",
+		shard, chip, errors.Join(ErrShardDegraded, opErr))
+}
+
+// ExecOn runs fn against the shard's current chip, on that chip's own
+// queue goroutine, and returns fn's error (wrapped with degradation
+// context if the operation killed the chip). fn receives the executing
+// chip's index so callers that cache per-chip state can detect a remap
+// that raced their submission: stashd compares it against the chip a
+// tenant's volume was created on and refuses to touch a stale volume —
+// the device it wraps belongs to a retired chip whose goroutine may
+// still be draining older requests.
+//
+// fn must confine the device to the call (no goroutines, no stashing the
+// handle); everything else — single ops, batch ops, whole volume
+// transactions — is fair game and runs without interleaving.
+func (f *Fleet) ExecOn(shard int, fn func(chip int, dev nand.LabDevice) error) error {
+	w, err := f.acquire(shard)
+	if err != nil {
+		return err
+	}
+	defer f.inflight.Done()
+	req := request{fn: fn, resp: make(chan response, 1)}
+	w.reqs <- req
+	resp := <-req.resp
+	if resp.dead {
+		return f.retire(shard, w.idx, resp.err)
+	}
+	return resp.err
+}
+
+// Exec is ExecOn for callers that do not track chip identity.
+func (f *Fleet) Exec(shard int, fn func(dev nand.LabDevice) error) error {
+	return f.ExecOn(shard, func(_ int, dev nand.LabDevice) error { return fn(dev) })
+}
+
+// Close drains in-flight operations, stops every chip goroutine and
+// waits for them to exit. Subsequent operations return ErrClosed. Close
+// is idempotent.
+func (f *Fleet) Close() {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.closed = true
+	f.mu.Unlock()
+	f.inflight.Wait()
+	for _, w := range f.workers {
+		close(w.reqs)
+	}
+	f.wg.Wait()
+}
+
+// ShardStatus is one shard's routing and health view.
+type ShardStatus struct {
+	Shard int `json:"shard"`
+	// Chip is the chip index currently backing the shard; -1 when the
+	// shard is out of service.
+	Chip int `json:"chip"`
+	// Degraded reports that the shard lost at least one chip (payloads
+	// stored before the remap are gone).
+	Degraded bool `json:"degraded,omitempty"`
+	// Remaps counts spare assignments.
+	Remaps int `json:"remaps,omitempty"`
+	// DeadError is the device error that retired the most recent chip.
+	DeadError string `json:"dead_error,omitempty"`
+	// BadBlocks and MaxPEC summarise the current chip's wear (zero when
+	// the shard is out of service).
+	BadBlocks int `json:"bad_blocks,omitempty"`
+	MaxPEC    int `json:"max_pec,omitempty"`
+}
+
+// Status reports every shard's routing entry plus current-chip wear
+// gathered on the owning goroutines. A shard that degrades while the
+// walk is in progress is reported from its routing entry alone.
+func (f *Fleet) Status() []ShardStatus {
+	out := make([]ShardStatus, f.cfg.Shards)
+	for s := range out {
+		f.mu.Lock()
+		st := f.shards[s]
+		f.mu.Unlock()
+		row := ShardStatus{Shard: s, Chip: st.chip, Degraded: st.degraded, Remaps: st.remaps}
+		if st.deadErr != nil {
+			row.DeadError = st.deadErr.Error()
+		}
+		if st.chip >= 0 {
+			_ = f.Exec(s, func(dev nand.LabDevice) error {
+				if fi, ok := dev.(nand.FaultInjector); ok {
+					row.BadBlocks = len(fi.GrownBadBlocks())
+				}
+				g := dev.Geometry()
+				for b := 0; b < g.Blocks; b++ {
+					if p := dev.PEC(b); p > row.MaxPEC {
+						row.MaxPEC = p
+					}
+				}
+				return nil
+			})
+		}
+		out[s] = row
+	}
+	return out
+}

@@ -1,0 +1,214 @@
+package fleet
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"stashflash/internal/nand"
+	"stashflash/internal/obs"
+)
+
+// testModel is the small per-chip geometry the fleet tests churn through.
+func testModel() nand.Model {
+	return nand.ModelA().ScaleGeometry(8, 4, 512)
+}
+
+func newTestFleet(t *testing.T, cfg Config) *Fleet {
+	t.Helper()
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Close)
+	return f
+}
+
+func TestConfigValidation(t *testing.T) {
+	m := testModel()
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"zero shards", Config{Shards: 0, Model: m}},
+		{"negative spares", Config{Shards: 1, Spares: -1, Model: m}},
+		{"bad backend", Config{Shards: 1, Model: m, Backend: "scsi"}},
+		{"bad geometry", Config{Shards: 1}},
+		{"short label set", Config{Shards: 2, Spares: 1, Model: m, Metrics: obs.NewLabelSet(obs.ChipLabels(2)...)}},
+	} {
+		if _, err := New(tc.cfg); err == nil {
+			t.Errorf("%s: New accepted invalid config", tc.name)
+		}
+	}
+}
+
+func TestExecRoutesEachShardToItsOwnChip(t *testing.T) {
+	f := newTestFleet(t, Config{Shards: 4, Model: testModel(), Seed: 7})
+	for s := 0; s < 4; s++ {
+		var chip int
+		if err := f.ExecOn(s, func(c int, _ nand.LabDevice) error { chip = c; return nil }); err != nil {
+			t.Fatal(err)
+		}
+		if chip != s {
+			t.Errorf("shard %d initially routed to chip %d", s, chip)
+		}
+	}
+}
+
+func TestShardRangeAndClose(t *testing.T) {
+	f := newTestFleet(t, Config{Shards: 2, Model: testModel(), Seed: 1})
+	if err := f.Exec(-1, func(nand.LabDevice) error { return nil }); !errors.Is(err, ErrShardRange) {
+		t.Errorf("shard -1: got %v, want ErrShardRange", err)
+	}
+	if err := f.Exec(2, func(nand.LabDevice) error { return nil }); !errors.Is(err, ErrShardRange) {
+		t.Errorf("shard 2: got %v, want ErrShardRange", err)
+	}
+	f.Close()
+	f.Close() // idempotent
+	if err := f.Exec(0, func(nand.LabDevice) error { return nil }); !errors.Is(err, ErrClosed) {
+		t.Errorf("after Close: got %v, want ErrClosed", err)
+	}
+}
+
+// TestExecPanicBecomesError pins the long-running-service property: a
+// panicking request is the submitter's error, not the death of the chip
+// goroutine (or the process) every other tenant depends on.
+func TestExecPanicBecomesError(t *testing.T) {
+	f := newTestFleet(t, Config{Shards: 1, Model: testModel(), Seed: 1})
+	err := f.Exec(0, func(nand.LabDevice) error { panic("request bug") })
+	if err == nil || !strings.Contains(err.Error(), "request bug") {
+		t.Fatalf("panic did not surface as error: %v", err)
+	}
+	// The chip goroutine must still be alive and serving.
+	if err := f.Exec(0, func(dev nand.LabDevice) error { return dev.EraseBlock(0) }); err != nil {
+		t.Fatalf("chip dead after panicking request: %v", err)
+	}
+}
+
+func TestBatchFacadeRoundTrip(t *testing.T) {
+	f := newTestFleet(t, Config{Shards: 2, Model: testModel(), Seed: 3})
+	g := f.Geometry()
+	data := make([]byte, 2*g.PageBytes)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	start := nand.PageAddr{Block: 1, Page: 0}
+	if err := f.EraseBlock(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	done, err := f.ProgramPages(0, start, data)
+	if err != nil || done != 2 {
+		t.Fatalf("ProgramPages: done=%d err=%v", done, err)
+	}
+	got, done, err := f.ReadPages(0, start, 2)
+	if err != nil || done != 2 {
+		t.Fatalf("ReadPages: done=%d err=%v", done, err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("batch read-back mismatched programmed data")
+	}
+	levels, done, err := f.ProbeVoltages(0, start, 2)
+	if err != nil || done != 2 {
+		t.Fatalf("ProbeVoltages: done=%d err=%v", done, err)
+	}
+	if len(levels) != 2*g.CellsPerPage() {
+		t.Fatalf("probe returned %d levels", len(levels))
+	}
+	// The sibling shard's chip is a distinct physical sample: same
+	// programming, different analog voltages.
+	if err := f.EraseBlock(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ProgramPages(1, start, data); err != nil {
+		t.Fatal(err)
+	}
+	levels2, _, err := f.ProbeVoltages(1, start, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(levels, levels2) {
+		t.Error("distinct shards produced identical analog voltages (seed partition broken?)")
+	}
+}
+
+// TestConcurrentSubmittersOneShard drives one shard from many goroutines
+// at once: the queue must serialise them (no device-contract violation —
+// run under -race) and every operation must land.
+func TestConcurrentSubmittersOneShard(t *testing.T) {
+	f := newTestFleet(t, Config{Shards: 1, Model: testModel(), Seed: 5})
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for k := 0; k < 10; k++ {
+				errs[i] = f.Exec(0, func(dev nand.LabDevice) error {
+					if err := dev.EraseBlock(i % 8); err != nil {
+						return err
+					}
+					_, err := dev.ReadPage(nand.PageAddr{Block: i % 8, Page: 0})
+					return err
+				})
+				if errs[i] != nil {
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", i, err)
+		}
+	}
+}
+
+func TestMetricsLabelsSeparatePerChip(t *testing.T) {
+	set := obs.NewLabelSet(obs.ChipLabels(3)...)
+	f := newTestFleet(t, Config{Shards: 2, Spares: 1, Model: testModel(), Seed: 9, Metrics: set})
+	if err := f.EraseBlock(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.EraseBlock(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.EraseBlock(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	snaps := set.Snapshots()
+	if got := snaps["chip0"].Ops["erase"].Count; got != 1 {
+		t.Errorf("chip0 erases = %d, want 1", got)
+	}
+	if got := snaps["chip1"].Ops["erase"].Count; got != 2 {
+		t.Errorf("chip1 erases = %d, want 2", got)
+	}
+	if got := snaps["chip2"].Ops["erase"].Count; got != 0 {
+		t.Errorf("idle spare recorded %d erases", got)
+	}
+}
+
+func TestStatusHealthyFleet(t *testing.T) {
+	f := newTestFleet(t, Config{Shards: 3, Spares: 1, Model: testModel(), Seed: 2})
+	if err := f.Exec(1, func(dev nand.LabDevice) error { return dev.CycleBlock(0, 5) }); err != nil {
+		t.Fatal(err)
+	}
+	st := f.Status()
+	if len(st) != 3 {
+		t.Fatalf("Status returned %d shards", len(st))
+	}
+	for s, row := range st {
+		if row.Shard != s || row.Chip != s || row.Degraded || row.Remaps != 0 {
+			t.Errorf("shard %d status unexpectedly %+v", s, row)
+		}
+	}
+	if st[1].MaxPEC < 5 {
+		t.Errorf("shard 1 MaxPEC = %d after 5 cycles", st[1].MaxPEC)
+	}
+	if f.SparesLeft() != 1 {
+		t.Errorf("SparesLeft = %d, want 1", f.SparesLeft())
+	}
+}

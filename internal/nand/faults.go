@@ -156,6 +156,18 @@ func (p *FaultPlan) ArmPowerLossAfterPP(k int) {
 // PowerLost reports whether an injected power loss is currently latched.
 func (p *FaultPlan) PowerLost() bool { return p.powerLost }
 
+// StreamSeed derives two independent 64-bit seed words from (seed,
+// domain, index path) with the repository's SHA-256 partitioned-stream
+// recipe — the derivation the chip's internal streams (fault draws,
+// per-block death points, retention leak jitter) and the experiment
+// engine both use. Distinct (domain, path) pairs yield computationally
+// independent streams under the same root seed, so higher layers
+// (internal/fleet mints per-chip sample and fault seeds this way) compose
+// with everything below without collision bookkeeping.
+func StreamSeed(seed uint64, domain string, path ...uint64) (uint64, uint64) {
+	return streamSeed(seed, domain, path...)
+}
+
 // streamSeed mirrors the experiment engine's SHA-256 partitioned-stream
 // derivation so chip-internal streams (fault draws, per-block death
 // points, retention leak jitter) compose with experiment seed

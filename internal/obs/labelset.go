@@ -1,0 +1,61 @@
+package obs
+
+import "fmt"
+
+// LabelSet is a fixed family of independently aggregated collectors, one
+// per label. It exists for the fleet layer (internal/fleet): a sharded
+// multi-chip array binds one collector to each chip so per-shard metrics
+// stay separable in stashd's stats output, while each chip's recording
+// path remains the ordinary single-Collector fast path — a LabelSet adds
+// no locking of its own and is safe for concurrent use exactly as its
+// member collectors are.
+type LabelSet struct {
+	labels []string
+	cs     []*Collector
+}
+
+// NewLabelSet builds one zero-trace collector per label. Labels should be
+// unique; Snapshots keys the output map by them.
+func NewLabelSet(labels ...string) *LabelSet {
+	s := &LabelSet{labels: append([]string(nil), labels...)}
+	s.cs = make([]*Collector, len(s.labels))
+	for i := range s.cs {
+		s.cs[i] = NewCollector(0)
+	}
+	return s
+}
+
+// ChipLabels generates the conventional fleet label family: "chip0" ..
+// "chipN-1". The fleet assigns them by chip index, so a label follows the
+// physical package, not the logical shard — after a shard remap, the
+// dead chip's counters stay frozen under its own label and the spare
+// accumulates under its label (the shard→chip map in ShardStatus joins
+// the two views).
+func ChipLabels(n int) []string {
+	labels := make([]string, n)
+	for i := range labels {
+		labels[i] = fmt.Sprintf("chip%d", i)
+	}
+	return labels
+}
+
+// Len returns the number of labels.
+func (s *LabelSet) Len() int { return len(s.cs) }
+
+// Labels returns the label family in index order.
+func (s *LabelSet) Labels() []string { return append([]string(nil), s.labels...) }
+
+// At returns the collector bound to label index i.
+func (s *LabelSet) At(i int) *Collector { return s.cs[i] }
+
+// Snapshots merges every member collector and returns the per-label
+// views. Each snapshot is internally consistent per shard exactly as
+// Collector.Snapshot documents; across labels the map is a momentary
+// merge.
+func (s *LabelSet) Snapshots() map[string]Snapshot {
+	out := make(map[string]Snapshot, len(s.cs))
+	for i, c := range s.cs {
+		out[s.labels[i]] = c.Snapshot()
+	}
+	return out
+}

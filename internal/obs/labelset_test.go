@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"stashflash/internal/nand"
+)
+
+// TestSnapshotCarriesSchema is the regression pin for the schema/version
+// field: every exported snapshot document must self-identify its shape so
+// benchdiff-style consumers can detect incompatible changes instead of
+// misparsing them.
+func TestSnapshotCarriesSchema(t *testing.T) {
+	c := NewCollector(0)
+	snap := c.Snapshot()
+	if snap.Schema != SnapshotSchema {
+		t.Fatalf("Snapshot().Schema = %q, want %q", snap.Schema, SnapshotSchema)
+	}
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("WriteJSON output is not valid JSON: %v", err)
+	}
+	if got, ok := doc["schema"].(string); !ok || got != SnapshotSchema {
+		t.Fatalf("JSON schema field = %v, want %q", doc["schema"], SnapshotSchema)
+	}
+	if !strings.HasPrefix(SnapshotSchema, "stashflash-metrics/") {
+		t.Fatalf("SnapshotSchema %q lost its namespace prefix", SnapshotSchema)
+	}
+}
+
+func TestLabelSetKeepsCollectorsSeparate(t *testing.T) {
+	set := NewLabelSet(ChipLabels(3)...)
+	if set.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", set.Len())
+	}
+
+	m := nand.ModelA().ScaleGeometry(4, 4, 1024)
+	// Drive chip 0 through label 0 and chip 2 through label 2; label 1
+	// stays idle.
+	for _, i := range []int{0, 2} {
+		dev := set.At(i).Wrap(nand.NewChip(m, uint64(i)+1))
+		data := make([]byte, m.PageBytes)
+		for p := 0; p < i+1; p++ {
+			if err := dev.ProgramPage(nand.PageAddr{Block: 0, Page: p}, data); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := dev.EraseBlock(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	snaps := set.Snapshots()
+	if len(snaps) != 3 {
+		t.Fatalf("Snapshots returned %d labels, want 3", len(snaps))
+	}
+	if got := snaps["chip0"].Ops["program"].Count; got != 1 {
+		t.Errorf("chip0 programs = %d, want 1", got)
+	}
+	if got := snaps["chip2"].Ops["program"].Count; got != 3 {
+		t.Errorf("chip2 programs = %d, want 3", got)
+	}
+	if got := snaps["chip1"].Ops["program"].Count; got != 0 {
+		t.Errorf("idle chip1 recorded %d programs", got)
+	}
+	for label, s := range snaps {
+		if s.Schema != SnapshotSchema {
+			t.Errorf("label %s snapshot schema = %q", label, s.Schema)
+		}
+	}
+}
+
+func TestChipLabels(t *testing.T) {
+	labels := ChipLabels(2)
+	if len(labels) != 2 || labels[0] != "chip0" || labels[1] != "chip1" {
+		t.Fatalf("ChipLabels(2) = %v", labels)
+	}
+	set := NewLabelSet(labels...)
+	if got := set.Labels(); len(got) != 2 || got[1] != "chip1" {
+		t.Fatalf("Labels() = %v", got)
+	}
+}

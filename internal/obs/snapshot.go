@@ -18,11 +18,20 @@ type OpSnapshot struct {
 	Buckets []uint64 `json:"latency_log2_ns,omitempty"`
 }
 
+// SnapshotSchema identifies the snapshot document shape. Consumers that
+// diff or aggregate snapshots across tool versions (benchdiff-style
+// pipelines scraping -metricsjson or stashctl stats -json) should reject
+// documents whose schema string they do not recognise; the value is
+// bumped whenever a field changes meaning or layout incompatibly.
+const SnapshotSchema = "stashflash-metrics/v1"
+
 // Snapshot is the JSON-exportable state of a Collector at one moment.
 // Per-shard consistency is exact (a shard's counters move under one
 // lock, so an op's bucket sum always equals its count); cross-shard the
 // snapshot is a momentary merge.
 type Snapshot struct {
+	// Schema is the document shape identifier, always SnapshotSchema.
+	Schema string `json:"schema"`
 	// Devices is the number of devices wrapped since the collector was
 	// created.
 	Devices uint64 `json:"devices_wrapped"`
@@ -98,6 +107,7 @@ func (c *Collector) Snapshot() Snapshot {
 	}
 
 	snap := Snapshot{
+		Schema:              SnapshotSchema,
 		Devices:             c.devices.Load(),
 		Ops:                 make(map[string]OpSnapshot, opCount),
 		Retries:             retries,

@@ -51,6 +51,12 @@ func DefaultWorkers() int {
 // ran and failed, wrapped with its index. Units not yet started when a
 // failure is observed are skipped, so (only) on the error path the set of
 // executed units may depend on scheduling.
+//
+// A unit that panics is reported as that unit's error rather than
+// crashing the pool: a panic escaping into a pool goroutine would take
+// the whole process down with no indication of which unit died, and
+// would leave sibling workers unjoined. The panic value and the unit
+// index are preserved in the error text.
 func ForEach(workers, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
@@ -60,7 +66,7 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := runUnit(fn, i); err != nil {
 				return fmt.Errorf("parallel: unit %d: %w", i, err)
 			}
 		}
@@ -86,7 +92,7 @@ func ForEach(workers, n int, fn func(i int) error) error {
 				if failed.Load() {
 					continue // drain remaining indices without running them
 				}
-				if err := fn(i); err != nil {
+				if err := runUnit(fn, i); err != nil {
 					errs[i] = err
 					failed.Store(true)
 				}
@@ -100,6 +106,17 @@ func ForEach(workers, n int, fn func(i int) error) error {
 		}
 	}
 	return nil
+}
+
+// runUnit runs one unit, converting a panic into an error so the pool
+// always joins and the failure carries the unit's identity.
+func runUnit(fn func(i int) error, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("unit panicked: %v", r)
+		}
+	}()
+	return fn(i)
 }
 
 // Map runs fn over indices 0..n-1 with at most workers goroutines and

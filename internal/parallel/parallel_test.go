@@ -3,6 +3,7 @@ package parallel
 import (
 	"errors"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 )
@@ -36,6 +37,75 @@ func TestForEachZeroAndNegative(t *testing.T) {
 	}
 	if !ran {
 		t.Error("workers=0 must still run serially")
+	}
+}
+
+func TestForEachZeroUnitsNeverCallsFn(t *testing.T) {
+	for _, workers := range []int{0, 1, 8} {
+		err := ForEach(workers, 0, func(int) error {
+			t.Fatalf("workers=%d: fn called with zero units", workers)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+	}
+}
+
+// TestForEachMoreWorkersThanUnits pins the fan-out clamp: a pool wider
+// than the work still runs every unit exactly once and joins cleanly.
+func TestForEachMoreWorkersThanUnits(t *testing.T) {
+	for _, tc := range []struct{ workers, n int }{{4, 1}, {16, 3}, {64, 5}} {
+		hits := make([]int32, tc.n)
+		err := ForEach(tc.workers, tc.n, func(i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d n=%d: %v", tc.workers, tc.n, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d n=%d: index %d ran %d times", tc.workers, tc.n, i, h)
+			}
+		}
+	}
+}
+
+// TestForEachPanicSurfacesAsError is the satellite contract: a panicking
+// unit must come back as that unit's error — the pool joins, siblings
+// finish, the process survives. Before panic recovery was added, the
+// parallel path crashed the whole test binary here.
+func TestForEachPanicSurfacesAsError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := ForEach(workers, 20, func(i int) error {
+			if i == 7 {
+				panic("unit 7 exploded")
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: panicking unit did not surface as error", workers)
+		}
+		if !strings.Contains(err.Error(), "unit 7") || !strings.Contains(err.Error(), "exploded") {
+			t.Fatalf("workers=%d: error %q names neither the unit nor the panic value", workers, err)
+		}
+	}
+}
+
+// TestMapPanicDiscardsResults mirrors the Map error contract for panics.
+func TestMapPanicDiscardsResults(t *testing.T) {
+	out, err := Map(4, 10, func(i int) (int, error) {
+		if i == 2 {
+			panic("map unit died")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("expected error from panicking unit")
+	}
+	if out != nil {
+		t.Fatal("results must be discarded when a unit panics")
 	}
 }
 

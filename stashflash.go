@@ -29,6 +29,7 @@ import (
 	"fmt"
 
 	"stashflash/internal/core"
+	"stashflash/internal/fleet"
 	"stashflash/internal/nand"
 	"stashflash/internal/obs"
 	"stashflash/internal/onfi"
@@ -216,6 +217,35 @@ func (d *Device) CreateVolume(masterKey, publicKey []byte, hiddenSectors int) (*
 	}
 	return stegfs.Create(d.dev, masterKey, publicKey, cfg)
 }
+
+// Fleet is a sharded array of simulated chips behind one façade: every
+// chip gets a private command-queue goroutine (honouring the device
+// single-goroutine contract), per-chip streams derive deterministically
+// from one seed, and chips that die under fault injection degrade to
+// typed errors with spare remapping — never silent corruption. It is the
+// device substrate of the stashd service (cmd/stashd).
+type Fleet = fleet.Fleet
+
+// FleetConfig sizes and seeds a Fleet.
+type FleetConfig = fleet.Config
+
+// ShardStatus is one fleet shard's routing and health view.
+type ShardStatus = fleet.ShardStatus
+
+// Typed fleet errors; match with errors.Is.
+var (
+	// ErrShardDegraded reports that a shard's chip died; payloads stored
+	// on it are lost and (when a spare was free) the shard now runs on a
+	// fresh chip.
+	ErrShardDegraded = fleet.ErrShardDegraded
+	// ErrFleetExhausted reports a shard out of service: its chip died
+	// with no spare chips left.
+	ErrFleetExhausted = fleet.ErrFleetExhausted
+)
+
+// NewFleet builds a sharded chip fleet and starts its per-chip
+// goroutines; callers must Close it.
+func NewFleet(cfg FleetConfig) (*Fleet, error) { return fleet.New(cfg) }
 
 // CapacityReport summarises hidden capacity for a configuration on the
 // full-size vendor part.

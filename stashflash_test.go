@@ -159,3 +159,40 @@ func TestFacadeModels(t *testing.T) {
 		t.Error("scaled open geometry wrong")
 	}
 }
+
+func TestFacadeFleet(t *testing.T) {
+	f, err := NewFleet(FleetConfig{
+		Shards: 3,
+		Spares: 1,
+		Model:  VendorA().ScaleGeometry(8, 4, 512),
+		Seed:   7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if f.Shards() != 3 || f.SparesLeft() != 1 {
+		t.Fatalf("fleet sizing: shards=%d spares=%d", f.Shards(), f.SparesLeft())
+	}
+	data := make([]byte, f.Geometry().PageBytes)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := f.EraseBlock(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ProgramPages(2, PageAddr{Block: 0, Page: 0}, data); err != nil {
+		t.Fatal(err)
+	}
+	got, done, err := f.ReadPages(2, PageAddr{Block: 0, Page: 0}, 1)
+	if err != nil || done != 1 || !bytes.Equal(got, data) {
+		t.Fatalf("fleet round trip: done=%d err=%v", done, err)
+	}
+	var st []ShardStatus = f.Status()
+	if len(st) != 3 || st[2].Degraded {
+		t.Fatalf("status: %+v", st)
+	}
+	if ErrShardDegraded == nil || ErrFleetExhausted == nil {
+		t.Fatal("typed fleet errors not exported")
+	}
+}
