@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race fuzz-smoke lint-layering ci test-fleet bench bench-parallel bench-device bench-retention bench-check
+.PHONY: build test vet race fuzz-smoke lint-layering ci test-fleet bench bench-parallel bench-device bench-retention bench-schemes bench-check
 
 build:
 	$(GO) build ./...
@@ -72,6 +72,29 @@ lint-layering:
 		exit 1; \
 	fi
 	@echo "goroutine-ownership confinement: ok"
+	@bad=$$(grep -rn --include='*.go' 'nand\.VendorDevice' . \
+		--exclude-dir=related --exclude-dir=.git \
+		--exclude='*_test.go' \
+		| grep -v ':[0-9]*:[[:space:]]*//' \
+		| grep -v '^\./internal/nand/' | grep -v '^\./internal/onfi/' \
+		| grep -v '^\./internal/obs/' | grep -v '^\./internal/pthi/' \
+		| grep -v '^\./internal/core/vthi/' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "lint-layering: nand.VendorDevice is confined to the device adapters (nand, onfi, obs), the pthi baseline and internal/core/vthi"; \
+		echo "(everything else consumes nand.Device through the core.Scheme seam, so WOM-class schemes keep working on unmodified hardware):"; \
+		echo "$$bad"; \
+		exit 1; \
+	fi
+	@echo "vendor-device confinement: ok"
+	@bad=$$(grep -rln --include='*.go' '"stashflash/internal/wom"' . \
+		--exclude-dir=related --exclude-dir=.git \
+		| grep -v '^\./internal/wom/' | grep -v '^\./internal/core/' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "lint-layering: the WOM code tables are scheme internals — only scheme packages under internal/core may import stashflash/internal/wom:"; \
+		echo "$$bad"; \
+		exit 1; \
+	fi
+	@echo "wom-import confinement: ok"
 
 ci: build vet lint-layering test race fuzz-smoke
 
@@ -103,6 +126,11 @@ bench-device:
 bench-retention:
 	$(GO) run ./cmd/experiments -retbenchjson BENCH_retention.json
 
+# Regenerate BENCH_schemes.json: per-scheme hide/reveal/post-hoc wall
+# clock on full-geometry chips (the scheme hot-path gate).
+bench-schemes:
+	$(GO) run ./cmd/experiments -schemesbenchjson BENCH_schemes.json
+
 # Bench-regression gate: regenerate both benchmark documents into
 # untracked temp files and diff them against the committed baselines with
 # cmd/benchdiff. Fails when the fresh run is slower than the tolerance
@@ -115,3 +143,5 @@ bench-check:
 	$(GO) run ./cmd/benchdiff -baseline BENCH_device.json -fresh .bench_fresh_device.json
 	$(GO) run ./cmd/experiments -retbenchjson .bench_fresh_retention.json
 	$(GO) run ./cmd/benchdiff -baseline BENCH_retention.json -fresh .bench_fresh_retention.json
+	$(GO) run ./cmd/experiments -schemesbenchjson .bench_fresh_schemes.json
+	$(GO) run ./cmd/benchdiff -baseline BENCH_schemes.json -fresh .bench_fresh_schemes.json

@@ -154,6 +154,40 @@ func TestCompareRetentionSchema(t *testing.T) {
 	}
 }
 
+func TestCompareSchemeSchema(t *testing.T) {
+	base := report{
+		Experiments: []entry{
+			{ID: "vthi/hide", SchemeMs: 100},
+			{ID: "womftl/hide", SchemeMs: 50},
+		},
+		TotalSchemeMs: 150,
+	}
+	fresh := report{
+		Experiments: []entry{
+			{ID: "vthi/hide", SchemeMs: 105},
+			{ID: "womftl/hide", SchemeMs: 55},
+		},
+		TotalSchemeMs: 160,
+	}
+	lines, failed := compare(base, fresh, 0.25)
+	if failed {
+		t.Fatalf("mild scheme-schema slowdown failed:\n%s", strings.Join(lines, "\n"))
+	}
+	if !hasLine(lines, "105.0ms") {
+		t.Errorf("scheme schema scheme_ms column not used:\n%s", strings.Join(lines, "\n"))
+	}
+	slow := report{
+		Experiments: []entry{
+			{ID: "vthi/hide", SchemeMs: 300},
+			{ID: "womftl/hide", SchemeMs: 55},
+		},
+		TotalSchemeMs: 355,
+	}
+	if _, failed := compare(base, slow, 0.25); !failed {
+		t.Error("3x scheme hot-path slowdown passed the gate")
+	}
+}
+
 func TestDefaultTolerance(t *testing.T) {
 	t.Setenv("STASHFLASH_BENCH_TOLERANCE", "")
 	if got := defaultTolerance(); got != 0.15 {

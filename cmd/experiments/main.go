@@ -10,6 +10,7 @@
 //	experiments -benchjson BENCH_parallel.json all
 //	experiments -devbenchjson BENCH_device.json all
 //	experiments -retbenchjson BENCH_retention.json
+//	experiments -schemesbenchjson BENCH_schemes.json
 //	experiments -metricsjson metrics.json [-trace 256 -backend onfi] all
 //	experiments -debug-addr localhost:6060 -scale paper all
 //
@@ -25,7 +26,9 @@
 // the per-backend cost comparison; -retbenchjson times fixed retention
 // aging scenarios over the lazy virtual-clock engine and the eager
 // reference walk (it takes no experiment ids — the scenarios are built
-// in, see retbench.go).
+// in, see retbench.go); -schemesbenchjson times every bake-off scheme's
+// hide/reveal/post-hoc operations on full-geometry chips (also no
+// experiment ids, see schemesbench.go).
 //
 // -metricsjson wraps every work unit's device in the observability
 // decorator (internal/obs) and writes the aggregated per-operation
@@ -80,6 +83,7 @@ func main() {
 	benchJSON := flag.String("benchjson", "", "time each experiment at workers=1 vs -workers and write the comparison to this JSON file")
 	devBenchJSON := flag.String("devbenchjson", "", "time each experiment at backend=direct vs backend=onfi and write the comparison to this JSON file")
 	retBenchJSON := flag.String("retbenchjson", "", "time the fixed retention aging scenarios over the lazy vs eager engine and write the comparison to this JSON file (takes no experiment ids)")
+	schemesBenchJSON := flag.String("schemesbenchjson", "", "time each hiding scheme's hide/reveal/post-hoc operations on full-geometry chips and write the measurements to this JSON file (takes no experiment ids)")
 	metricsJSON := flag.String("metricsjson", "", "record per-operation device metrics across the run and write the snapshot to this JSON file (schema: EXPERIMENTS.md)")
 	traceCycles := flag.Int("trace", 0, "with -metricsjson: keep the last N ONFI bus cycles in the snapshot (needs -backend onfi)")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and expvar debug endpoints on this address for the duration of the run (e.g. localhost:6060)")
@@ -128,10 +132,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: debug server on http://%s/debug/\n", ln.Addr())
 	}
 
-	// The retention bench runs fixed scenarios, not experiment entries,
-	// so it is resolved before the ids-required check.
+	// The retention and scheme benches run fixed scenarios, not experiment
+	// entries, so they are resolved before the ids-required check.
 	if *retBenchJSON != "" {
 		if err := runRetentionBench(*retBenchJSON, scale.Seed); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *schemesBenchJSON != "" {
+		if err := runSchemesBench(*schemesBenchJSON, scale.Seed); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}

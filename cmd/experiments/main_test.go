@@ -127,6 +127,44 @@ func TestRunRetentionBenchWritesComparisonDocument(t *testing.T) {
 	}
 }
 
+func TestRunSchemesBenchWritesDocument(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives full-geometry chips; skipped in -short mode")
+	}
+	defer func(old int) { schemesBenchReps = old }(schemesBenchReps)
+	schemesBenchReps = 1
+
+	path := filepath.Join(t.TempDir(), "schemesbench.json")
+	if err := runSchemesBench(path, 7); err != nil {
+		t.Fatal(err)
+	}
+	doc := readJSON(t, path)
+	if doc["seed"].(float64) != 7 || doc["blocks"].(float64) == 0 {
+		t.Fatalf("seed/blocks not plumbed: %v", doc)
+	}
+	exps, ok := doc["experiments"].([]any)
+	if !ok || len(exps) != 3*len(schemesBenchNames) {
+		t.Fatalf("want %d scenario entries, got %v", 3*len(schemesBenchNames), doc["experiments"])
+	}
+	seen := map[string]bool{}
+	for _, raw := range exps {
+		e := raw.(map[string]any)
+		id, _ := e["id"].(string)
+		seen[id] = true
+		if ms, ok := e["scheme_ms"].(float64); !ok || ms < 0 {
+			t.Errorf("scenario %q scheme_ms malformed: %v", id, e)
+		}
+	}
+	for _, want := range []string{"vthi/hide", "vthi/reveal", "vthi/posthoc", "womftl/hide", "womftl/reveal", "womftl/posthoc"} {
+		if !seen[want] {
+			t.Errorf("scenario %q missing from report (have %v)", want, seen)
+		}
+	}
+	if doc["total_scheme_ms"].(float64) <= 0 {
+		t.Fatalf("total implausible: %v", doc["total_scheme_ms"])
+	}
+}
+
 func TestWriteMetricsSnapshotDocument(t *testing.T) {
 	c := obs.NewCollector(0)
 	dev := c.Wrap(nand.NewChip(nand.TestModel(), 1))

@@ -8,8 +8,8 @@
 //	stashctl init   -image dev.img [-model a|b] [-blocks 64 -pages 16 -pagebytes 4512] [-seed 1]
 //	stashctl write  -image dev.img -block B -page P (-msg "text" | -rand)
 //	stashctl read   -image dev.img -block B -page P [-n len]
-//	stashctl hide   -image dev.img -key SECRET -block B -page P -msg "text" [-config robust|standard|enhanced]
-//	stashctl reveal -image dev.img -key SECRET -block B -page P -n len [-config robust|standard|enhanced]
+//	stashctl hide   -image dev.img -key SECRET -block B -page P -msg "text" [-scheme vthi|womftl|...] [-config robust|standard|enhanced]
+//	stashctl reveal -image dev.img -key SECRET -block B -page P -n len [-scheme vthi|womftl|...] [-config robust|standard|enhanced]
 //	stashctl erase  -image dev.img -block B
 //	stashctl probe  -image dev.img -block B -page P
 //	stashctl stats  -image dev.img [-json] [-debug-addr localhost:6060]
@@ -19,6 +19,11 @@
 // persisted operation ledger, and the per-operation metrics snapshot of
 // this invocation as one JSON document. "stats -debug-addr" serves
 // net/http/pprof and expvar until interrupted.
+//
+// Hiding commands select their backend with -scheme (any registered
+// core.Scheme name; the legacy -config flag maps onto the matching vthi
+// entry). When -key is omitted the secret is prompted for on the
+// controlling terminal with echo disabled.
 package main
 
 import (
@@ -29,9 +34,15 @@ import (
 	"math/rand/v2"
 	"os"
 	"os/signal"
+	"strings"
 
 	"stashflash/internal/core"
 	"stashflash/internal/nand"
+
+	// Register the hiding schemes the -scheme flag can name.
+	_ "stashflash/internal/core/vthi"
+	_ "stashflash/internal/core/womftl"
+
 	"stashflash/internal/obs"
 	"stashflash/internal/stats"
 )
@@ -128,18 +139,6 @@ func saveChip(path string, c imageSaver) error {
 	return os.Rename(tmp, path)
 }
 
-func configByName(name string) (core.Config, error) {
-	switch name {
-	case "standard":
-		return core.StandardConfig(), nil
-	case "enhanced":
-		return core.EnhancedConfig(), nil
-	case "robust", "":
-		return core.RobustConfig(), nil
-	}
-	return core.Config{}, fmt.Errorf("unknown config %q (standard, enhanced, robust)", name)
-}
-
 func cmdInit(args []string) error {
 	fs := flag.NewFlagSet("init", flag.ExitOnError)
 	image := fs.String("image", "", "device image path (required)")
@@ -178,18 +177,20 @@ type pageIOFlags struct {
 	block  *int
 	page   *int
 	key    *string
+	scheme *string
 	config *string
 }
 
 func pageFlags(fs *flag.FlagSet, withKey bool) pageIOFlags {
 	p := pageIOFlags{
-		image: fs.String("image", "", "device image path (required)"),
-		block: fs.Int("block", 0, "block number"),
-		page:  fs.Int("page", 0, "page number"),
+		image:  fs.String("image", "", "device image path (required)"),
+		block:  fs.Int("block", 0, "block number"),
+		page:   fs.Int("page", 0, "page number"),
+		scheme: fs.String("scheme", "", "hiding scheme (default vthi; one of "+strings.Join(core.SchemeNames(), ", ")+")"),
 	}
 	if withKey {
-		p.key = fs.String("key", "", "hiding master secret (required)")
-		p.config = fs.String("config", "robust", "VT-HI config: standard, enhanced, robust")
+		p.key = fs.String("key", "", "hiding master secret (prompted without echo when omitted)")
+		p.config = fs.String("config", "robust", "VT-HI config: standard, enhanced, robust (legacy alias for -scheme vthi-<config>)")
 	}
 	return p
 }
@@ -199,24 +200,53 @@ func (p pageIOFlags) validate(withKey bool) error {
 		return fmt.Errorf("-image is required")
 	}
 	if withKey && *p.key == "" {
-		return fmt.Errorf("-key is required")
+		pass, err := readPassphrase("hiding master secret: ")
+		if err != nil {
+			return fmt.Errorf("reading passphrase: %w", err)
+		}
+		if pass == "" {
+			return fmt.Errorf("-key is required (or enter a passphrase at the prompt)")
+		}
+		*p.key = pass
 	}
 	return nil
+}
+
+// schemeName resolves the -scheme/-config pair: an explicit -scheme wins;
+// otherwise the legacy -config name maps onto its vthi registry entry.
+func (p pageIOFlags) schemeName() string {
+	if p.scheme != nil && *p.scheme != "" {
+		return *p.scheme
+	}
+	if p.config != nil {
+		switch *p.config {
+		case "", "robust":
+			return "vthi"
+		default:
+			return "vthi-" + *p.config
+		}
+	}
+	return "vthi"
+}
+
+// newScheme builds the selected hiding scheme over a device.
+func (p pageIOFlags) newScheme(dev nand.Device, master []byte) (core.Scheme, error) {
+	info, err := core.SchemeByName(p.schemeName())
+	if err != nil {
+		return nil, err
+	}
+	return info.New(dev, master)
 }
 
 func (p pageIOFlags) addr() nand.PageAddr {
 	return nand.PageAddr{Block: *p.block, Page: *p.page}
 }
 
-// publicHider builds the layout-only pipeline for public I/O over any
-// vendor-capable device. The master key is irrelevant for public
-// operations; any value yields the same public layout.
-func publicHider(dev nand.VendorDevice, cfgName string) (*core.Hider, error) {
-	cfg, err := configByName(cfgName)
-	if err != nil {
-		return nil, err
-	}
-	return core.NewHider(dev, []byte("public"), cfg)
+// publicScheme builds the layout-only pipeline for public I/O over any
+// device the selected scheme supports. The master key is irrelevant for
+// public operations; any value yields the same public layout.
+func (p pageIOFlags) publicScheme(dev nand.Device) (core.Scheme, error) {
+	return p.newScheme(dev, []byte("public"))
 }
 
 func cmdWrite(args []string) error {
@@ -233,7 +263,7 @@ func cmdWrite(args []string) error {
 	if err != nil {
 		return err
 	}
-	h, err := publicHider(dev, "robust")
+	h, err := p.publicScheme(dev)
 	if err != nil {
 		return err
 	}
@@ -268,7 +298,7 @@ func cmdRead(args []string) error {
 	if err != nil {
 		return err
 	}
-	h, err := publicHider(dev, "robust")
+	h, err := p.publicScheme(dev)
 	if err != nil {
 		return err
 	}
@@ -299,11 +329,7 @@ func cmdHide(args []string) error {
 	if err != nil {
 		return err
 	}
-	cfg, err := configByName(*p.config)
-	if err != nil {
-		return err
-	}
-	h, err := core.NewHider(dev, []byte(*p.key), cfg)
+	h, err := p.newScheme(dev, []byte(*p.key))
 	if err != nil {
 		return err
 	}
@@ -337,11 +363,7 @@ func cmdReveal(args []string) error {
 	if err != nil {
 		return err
 	}
-	cfg, err := configByName(*p.config)
-	if err != nil {
-		return err
-	}
-	h, err := core.NewHider(dev, []byte(*p.key), cfg)
+	h, err := p.newScheme(dev, []byte(*p.key))
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,52 @@
+//go:build linux
+
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+	"syscall"
+	"unsafe"
+)
+
+// readPassphrase prompts on stderr and reads one line from stdin with
+// terminal echo disabled, so the secret never appears on screen or in
+// scrollback. When stdin is not a terminal (piped or scripted input) it
+// falls back to a plain line read with no prompt state to restore.
+func readPassphrase(prompt string) (string, error) {
+	fd := int(os.Stdin.Fd())
+	var saved syscall.Termios
+	if err := ioctlTermios(fd, syscall.TCGETS, &saved); err != nil {
+		return readLine()
+	}
+	noEcho := saved
+	noEcho.Lflag &^= syscall.ECHO
+	noEcho.Lflag |= syscall.ICANON | syscall.ISIG
+	fmt.Fprint(os.Stderr, prompt)
+	if err := ioctlTermios(fd, syscall.TCSETS, &noEcho); err != nil {
+		return "", fmt.Errorf("disabling terminal echo: %w", err)
+	}
+	defer func() {
+		ioctlTermios(fd, syscall.TCSETS, &saved)
+		fmt.Fprintln(os.Stderr)
+	}()
+	return readLine()
+}
+
+func readLine() (string, error) {
+	line, err := bufio.NewReader(os.Stdin).ReadString('\n')
+	if err != nil && line == "" {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+func ioctlTermios(fd int, req uintptr, t *syscall.Termios) error {
+	_, _, errno := syscall.Syscall(syscall.SYS_IOCTL, uintptr(fd), req, uintptr(unsafe.Pointer(t)))
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}

@@ -16,10 +16,15 @@ import (
 	"sync"
 	"time"
 
+	"stashflash/internal/core"
 	"stashflash/internal/fleet"
 	"stashflash/internal/nand"
 	"stashflash/internal/obs"
 	"stashflash/internal/stegfs"
+
+	// Register the hiding schemes mount requests can name.
+	_ "stashflash/internal/core/vthi"
+	_ "stashflash/internal/core/womftl"
 )
 
 // statsSchema versions the /v1/stats document; bump on incompatible
@@ -40,6 +45,7 @@ type tenant struct {
 	name     string
 	shard    int
 	chip     int // chip the volume was created on; guards against stale use
+	scheme   string
 	keyHash  [32]byte
 	vol      *stegfs.Volume
 	mounting bool // a (re)mount is formatting the shard right now
@@ -138,6 +144,7 @@ func writeOpErr(w http.ResponseWriter, err error) {
 type authedRequest struct {
 	Tenant string `json:"tenant"`
 	Key    string `json:"key"`
+	Scheme string `json:"scheme,omitempty"` // hiding scheme for mount (default vthi)
 	Sector int    `json:"sector,omitempty"`
 	Data   string `json:"data,omitempty"` // base64 payload (hide only)
 }
@@ -170,6 +177,7 @@ type mountResponse struct {
 	Tenant            string `json:"tenant"`
 	Shard             int    `json:"shard"`
 	Chip              int    `json:"chip"`
+	Scheme            string `json:"scheme"`
 	HiddenCapacity    int    `json:"hidden_capacity"`
 	HiddenSectorBytes int    `json:"hidden_sector_bytes"`
 	Remounted         bool   `json:"remounted"`
@@ -179,6 +187,15 @@ func (s *server) handleMount(w http.ResponseWriter, r *http.Request) {
 	var req authedRequest
 	if err := decodeBody(w, r, &req); err != nil {
 		writeErr(w, http.StatusBadRequest, "bad_request", err)
+		return
+	}
+	schemeName := req.Scheme
+	if schemeName == "" {
+		schemeName = "vthi"
+	}
+	schemeInfo, err := core.SchemeByName(schemeName)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "unknown_scheme", err)
 		return
 	}
 	s.mu.Lock()
@@ -195,13 +212,14 @@ func (s *server) handleMount(w http.ResponseWriter, r *http.Request) {
 				errors.New("stashd: a mount for this tenant is already running"))
 			return
 		}
-		if t.vol != nil {
+		if t.vol != nil && t.scheme == schemeName {
 			// Reuse the mounted volume only while its chip still backs
 			// the shard; a remap since mount means the volume (and its
-			// payloads) died with the old chip.
+			// payloads) died with the old chip. A mount naming a different
+			// scheme falls through to a fresh format instead.
 			if cur, err := s.f.ShardChip(t.shard); err == nil && cur == t.chip {
 				resp := mountResponse{
-					Tenant: t.name, Shard: t.shard, Chip: t.chip,
+					Tenant: t.name, Shard: t.shard, Chip: t.chip, Scheme: t.scheme,
 					HiddenCapacity: t.hiddenCap, HiddenSectorBytes: t.hiddenSB,
 					Remounted: true,
 				}
@@ -209,6 +227,8 @@ func (s *server) handleMount(w http.ResponseWriter, r *http.Request) {
 				writeJSON(w, http.StatusOK, resp)
 				return
 			}
+		}
+		if t.vol != nil {
 			t.vol, t.lens = nil, nil
 		}
 		t.mounting = true
@@ -246,6 +266,7 @@ func (s *server) handleMount(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 
 	cfg := stegfs.DefaultConfig(s.f.Geometry())
+	cfg.Scheme = schemeInfo.New
 	if s.hiddenSectors > 0 {
 		cfg.HiddenSectors = s.hiddenSectors
 	}
@@ -256,7 +277,7 @@ func (s *server) handleMount(w http.ResponseWriter, r *http.Request) {
 		onChip        int
 		capSec, secSB int
 	)
-	err := s.f.ExecOn(shard, func(chip int, dev nand.LabDevice) error {
+	err = s.f.ExecOn(shard, func(chip int, dev nand.LabDevice) error {
 		v, cerr := stegfs.Create(dev, master, public, cfg)
 		if cerr != nil {
 			return cerr
@@ -279,10 +300,11 @@ func (s *server) handleMount(w http.ResponseWriter, r *http.Request) {
 	}
 	t.chip = onChip
 	t.vol = vol
+	t.scheme = schemeName
 	t.hiddenCap, t.hiddenSB = capSec, secSB
 	t.lens = make(map[int]int)
 	resp := mountResponse{
-		Tenant: t.name, Shard: t.shard, Chip: t.chip,
+		Tenant: t.name, Shard: t.shard, Chip: t.chip, Scheme: t.scheme,
 		HiddenCapacity: t.hiddenCap, HiddenSectorBytes: t.hiddenSB,
 	}
 	s.mu.Unlock()

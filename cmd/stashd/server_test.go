@@ -379,3 +379,50 @@ func TestDegradationThroughAPI(t *testing.T) {
 		t.Fatalf("health after exhaustion: %d %v", code, doc)
 	}
 }
+
+// TestMountSchemeSelection covers the scheme field of mount requests: a
+// named scheme formats with that backend and round-trips payloads, the
+// default reports vthi, and an unregistered name is a typed 400.
+func TestMountSchemeSelection(t *testing.T) {
+	_, h := newTestServer(t, 2, 0, nil)
+
+	code, doc := call(t, h, "POST", "/v1/mount",
+		map[string]any{"tenant": "alice", "key": "k1", "scheme": "womftl"})
+	if code != http.StatusOK || doc["scheme"].(string) != "womftl" {
+		t.Fatalf("womftl mount: %d %v", code, doc)
+	}
+	payload := []byte("generation channel")
+	if code, doc = call(t, h, "POST", "/v1/hide", hideReq("alice", "k1", 1, payload)); code != http.StatusOK {
+		t.Fatalf("hide on womftl volume: %d %v", code, doc)
+	}
+	code, doc = call(t, h, "POST", "/v1/reveal", revealReq("alice", "k1", 1))
+	got, err := base64.StdEncoding.DecodeString(doc["data"].(string))
+	if code != http.StatusOK || err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("reveal on womftl volume: %d %q (err=%v)", code, got, err)
+	}
+
+	// Re-mounting with the same scheme reuses the volume; naming a
+	// different scheme reformats the shard instead.
+	if code, doc = call(t, h, "POST", "/v1/mount",
+		map[string]any{"tenant": "alice", "key": "k1", "scheme": "womftl"}); code != http.StatusOK || !doc["remounted"].(bool) {
+		t.Fatalf("womftl re-mount: %d %v", code, doc)
+	}
+	if code, doc = call(t, h, "POST", "/v1/mount", mountReq("alice", "k1")); code != http.StatusOK || doc["remounted"].(bool) || doc["scheme"].(string) != "vthi" {
+		t.Fatalf("scheme-switch mount: %d %v", code, doc)
+	}
+
+	// Default mounts report the vthi scheme.
+	if code, doc = call(t, h, "POST", "/v1/mount", mountReq("bob", "k2")); code != http.StatusOK || doc["scheme"].(string) != "vthi" {
+		t.Fatalf("default mount: %d %v", code, doc)
+	}
+
+	// Unknown scheme: typed 400, no tenant state created.
+	code, doc = call(t, h, "POST", "/v1/mount",
+		map[string]any{"tenant": "carol", "key": "k3", "scheme": "nope"})
+	if code != http.StatusBadRequest || kindOf(doc) != "unknown_scheme" {
+		t.Fatalf("unknown scheme: %d %v", code, doc)
+	}
+	if code, doc = call(t, h, "POST", "/v1/reveal", revealReq("carol", "k3", 1)); kindOf(doc) != "unknown_tenant" {
+		t.Fatalf("failed mount leaked tenant state: %d %v", code, doc)
+	}
+}

@@ -1,25 +1,22 @@
 package core
 
-import (
-	"stashflash/internal/ecc"
-	"stashflash/internal/nand"
-)
-
-// CapacityReport quantifies a configuration's hidden storage yield on a
-// chip model, reproducing the arithmetic of paper §6.3/§8: raw selected
-// cells, payload after hidden ECC, per-block and whole-device capacity,
-// and the fraction of device bits devoted to hidden data (the paper quotes
-// ~0.02% for the prototype and ~0.2% with firmware support).
+// CapacityReport quantifies a scheme configuration's hidden storage yield
+// on a chip model: raw selected cells (or code units), payload after
+// hidden ECC, per-block and whole-device capacity, and the fraction of
+// device bits devoted to hidden data. Every scheme package exposes its
+// own PlanCapacity returning this shared shape, so the cross-scheme
+// bake-off can tabulate capacities side by side.
 type CapacityReport struct {
 	Config string
 
-	// CellsPerPage is the hidden cell budget per hidden-carrying page.
+	// CellsPerPage is the hidden cell budget per hidden-carrying page
+	// (for WOM-coded schemes: the cells of the selected code triples).
 	CellsPerPage int
-	// ECCParityBits is the per-page hidden BCH parity overhead.
+	// ECCParityBits is the per-page hidden ECC parity overhead.
 	ECCParityBits int
 	// PayloadBitsPerPage is the usable hidden payload per page.
 	PayloadBitsPerPage int
-	// ECCOverheadFraction is parity / cells.
+	// ECCOverheadFraction is parity / hidden code bits.
 	ECCOverheadFraction float64
 
 	// PagesPerBlock counts hidden-carrying pages per block under the
@@ -32,34 +29,4 @@ type CapacityReport struct {
 	DevicePayloadBytes int64
 	// FractionOfDeviceBits is hidden payload bits over raw device bits.
 	FractionOfDeviceBits float64
-}
-
-// PlanCapacity computes the capacity report for cfg on model m.
-func PlanCapacity(m nand.Model, cfg Config) (CapacityReport, error) {
-	if err := cfg.Validate(m); err != nil {
-		return CapacityReport{}, err
-	}
-	deg := bchDegree(cfg.HiddenCellsPerPage)
-	bch := ecc.NewBCH(deg, cfg.BCHT)
-	parity := bch.ParityBits()
-	payloadBits := (cfg.HiddenCellsPerPage - parity) / 8 * 8
-
-	stride := cfg.PageInterval + 1
-	hiddenPages := (m.PagesPerBlock + cfg.PageInterval) / stride
-	blockBits := hiddenPages * payloadBits
-
-	deviceBits := int64(blockBits) * int64(m.Blocks)
-	rawBits := m.TotalBytes() * 8
-
-	return CapacityReport{
-		Config:               cfg.Name,
-		CellsPerPage:         cfg.HiddenCellsPerPage,
-		ECCParityBits:        parity,
-		PayloadBitsPerPage:   payloadBits,
-		ECCOverheadFraction:  float64(parity) / float64(cfg.HiddenCellsPerPage),
-		PagesPerBlock:        hiddenPages,
-		PayloadBitsPerBlock:  blockBits,
-		DevicePayloadBytes:   deviceBits / 8,
-		FractionOfDeviceBits: float64(deviceBits) / float64(rawBits),
-	}, nil
 }

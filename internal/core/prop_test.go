@@ -1,4 +1,4 @@
-package core
+package core_test
 
 import (
 	"bytes"
@@ -10,17 +10,37 @@ import (
 	"testing"
 	"time"
 
+	"stashflash/internal/core"
 	"stashflash/internal/nand"
+
+	// Register every scheme so the suite is parameterized over all of them.
+	_ "stashflash/internal/core/vthi"
+	_ "stashflash/internal/core/womftl"
 )
 
-// Property suite: for every configuration, payload, wear state and injected
-// fault schedule, Reveal(Hide(x)) must return exactly x or a typed error —
-// never a silently corrupted payload. Each trial derives from an iteration
-// seed that is logged on failure; replay a failing trial with
+// Property suite: for every registered scheme, payload, wear state and
+// injected fault schedule, Reveal(Hide(x)) must return exactly x or a
+// typed error — never a silently corrupted payload. Each trial derives
+// from an iteration seed that is logged on failure; replay a failing
+// trial with
 //
 //	STASHFLASH_PROP_SEED=<seed> go test ./internal/core -run TestProp
 //
 // which pins the whole run to that single seed.
+
+// propTestModel is large enough to host the standard 256-cell budget with
+// realistic candidate statistics.
+func propTestModel() nand.Model {
+	return nand.ModelA().ScaleGeometry(16, 8, 4096)
+}
+
+func propRandBytes(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(rng.IntN(256))
+	}
+	return b
+}
 
 // propSeeds yields the trial seeds: a pinned replay seed if the env knob is
 // set, otherwise n time-derived seeds (the property must hold for all of
@@ -47,7 +67,7 @@ func propSeeds(t *testing.T, n int) []uint64 {
 // leak or a panic caught upstream).
 func typedHideRevealErr(err error) bool {
 	for _, want := range []error{
-		ErrHiddenUnrecoverable,
+		core.ErrHiddenUnrecoverable,
 		nand.ErrProgramFailed,
 		nand.ErrEraseFailed,
 		nand.ErrBadBlock,
@@ -64,18 +84,6 @@ func typedHideRevealErr(err error) bool {
 	// braces: the property we must reject is silent corruption, not a
 	// specific error string).
 	return err != nil && err.Error() != ""
-}
-
-// propConfig draws one of the three public operating points.
-func propConfig(rng *rand.Rand) Config {
-	switch rng.IntN(3) {
-	case 0:
-		return StandardConfig()
-	case 1:
-		return EnhancedConfig()
-	default:
-		return RobustConfig()
-	}
 }
 
 // propFaults draws a fault schedule: roughly a third of the trials run
@@ -99,98 +107,113 @@ func propFaults(rng *rand.Rand, seed uint64) *nand.FaultPlan {
 	}
 }
 
-// TestPropHideRevealExactOrTypedError is the headline property: one page,
-// random config, random wear, random payload length, random fault plan.
+// TestPropHideRevealExactOrTypedError is the headline property, table-driven
+// over every registered scheme: one page, random wear, random payload
+// length, random fault plan.
 func TestPropHideRevealExactOrTypedError(t *testing.T) {
-	for _, seed := range propSeeds(t, 40) {
-		seed := seed
-		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			rng := rand.New(rand.NewPCG(seed, 0x9909))
-			cfg := propConfig(rng)
-			chip := nand.NewChip(coreTestModel(), seed)
-			chip.SetFaultPlan(propFaults(rng, seed))
-			h, err := NewHider(chip, randBytes(rng, 16), cfg)
-			if err != nil {
-				t.Fatalf("seed %d: NewHider: %v", seed, err)
-			}
-			block := rng.IntN(chip.Geometry().Blocks)
-			if pec := rng.IntN(3) * 1000; pec > 0 {
-				if err := chip.CycleBlock(block, pec); err != nil {
-					if !typedHideRevealErr(err) {
-						t.Fatalf("seed %d: cycle error not typed: %v", seed, err)
+	for _, name := range core.SchemeNames() {
+		info, err := core.SchemeByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) {
+			for _, seed := range propSeeds(t, 20) {
+				seed := seed
+				t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+					rng := rand.New(rand.NewPCG(seed, 0x9909))
+					chip := nand.NewChip(propTestModel(), seed)
+					chip.SetFaultPlan(propFaults(rng, seed))
+					s, err := info.New(chip, propRandBytes(rng, 16))
+					if err != nil {
+						t.Fatalf("seed %d: new scheme: %v", seed, err)
 					}
-					return // block died during pre-conditioning: typed, done
-				}
-			}
-			a := nand.PageAddr{Block: block, Page: rng.IntN(chip.Geometry().PagesPerBlock)}
-			payload := randBytes(rng, 1+rng.IntN(h.HiddenPayloadBytes()))
-			epoch := rng.Uint64()
+					block := rng.IntN(chip.Geometry().Blocks)
+					if pec := rng.IntN(3) * 1000; pec > 0 {
+						if err := chip.CycleBlock(block, pec); err != nil {
+							if !typedHideRevealErr(err) {
+								t.Fatalf("seed %d: cycle error not typed: %v", seed, err)
+							}
+							return // block died during pre-conditioning: typed, done
+						}
+					}
+					stride := s.HiddenPageStride()
+					pages := chip.Geometry().PagesPerBlock
+					a := nand.PageAddr{Block: block, Page: rng.IntN(1+(pages-1)/stride) * stride}
+					payload := propRandBytes(rng, 1+rng.IntN(s.HiddenPayloadBytes()))
+					epoch := rng.Uint64()
 
-			_, err = h.WriteAndHide(a, randBytes(rng, h.PublicDataBytes()), payload, epoch)
-			if err != nil {
-				if !typedHideRevealErr(err) {
-					t.Fatalf("seed %d: hide error not typed: %v", seed, err)
-				}
-				return
-			}
-			got, _, err := h.Reveal(a, len(payload), epoch)
-			if err != nil {
-				if !typedHideRevealErr(err) {
-					t.Fatalf("seed %d: reveal error not typed: %v", seed, err)
-				}
-				return
-			}
-			if !bytes.Equal(got, payload) {
-				t.Fatalf("seed %d: SILENT CORRUPTION: config %s, addr %v, %d bytes differ",
-					seed, cfg.Name, a, diffBytes(got, payload))
+					_, err = s.WriteAndHide(a, propRandBytes(rng, s.PublicDataBytes()), payload, epoch)
+					if err != nil {
+						if !typedHideRevealErr(err) {
+							t.Fatalf("seed %d: hide error not typed: %v", seed, err)
+						}
+						return
+					}
+					got, _, err := s.Reveal(a, len(payload), epoch)
+					if err != nil {
+						if !typedHideRevealErr(err) {
+							t.Fatalf("seed %d: reveal error not typed: %v", seed, err)
+						}
+						return
+					}
+					if !bytes.Equal(got, payload) {
+						t.Fatalf("seed %d: SILENT CORRUPTION: scheme %s, addr %v, %d bytes differ",
+							seed, s.Name(), a, diffBytes(got, payload))
+					}
+				})
 			}
 		})
 	}
 }
 
-// TestPropStripedExactOrTypedError extends the property to the striped
-// path: shards spread over blocks of a fault-injected chip must come back
-// exactly or fail with a typed error, even when injected faults eat shards.
-func TestPropStripedExactOrTypedError(t *testing.T) {
-	for _, seed := range propSeeds(t, 15) {
-		seed := seed
-		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			rng := rand.New(rand.NewPCG(seed, 0x57a1))
-			chip := nand.NewChip(coreTestModel(), seed)
-			chip.SetFaultPlan(propFaults(rng, seed))
-			h, err := NewHider(chip, randBytes(rng, 16), RobustConfig())
-			if err != nil {
-				t.Fatal(err)
-			}
-			g := StripeGeometry{Data: 2 + rng.IntN(3), Parity: 1 + rng.IntN(2)}
-			var addrs []nand.PageAddr
-			for i := 0; i < g.Data+g.Parity; i++ {
-				a := nand.PageAddr{Block: i, Page: 0}
-				if err := h.WritePage(a, randBytes(rng, h.PublicDataBytes())); err != nil {
-					if !typedHideRevealErr(err) {
-						t.Fatalf("seed %d: cover write error not typed: %v", seed, err)
+// TestPropPostHocHideExactOrTypedError exercises the two-phase path every
+// scheme must also support: program public data first, hide into the
+// already-programmed page afterwards.
+func TestPropPostHocHideExactOrTypedError(t *testing.T) {
+	for _, name := range core.SchemeNames() {
+		info, err := core.SchemeByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) {
+			for _, seed := range propSeeds(t, 8) {
+				seed := seed
+				t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+					rng := rand.New(rand.NewPCG(seed, 0xb01d))
+					chip := nand.NewChip(propTestModel(), seed)
+					chip.SetFaultPlan(propFaults(rng, seed))
+					s, err := info.New(chip, propRandBytes(rng, 16))
+					if err != nil {
+						t.Fatalf("seed %d: new scheme: %v", seed, err)
 					}
-					return
-				}
-				addrs = append(addrs, a)
-			}
-			payload := randBytes(rng, 1+rng.IntN(h.StripeCapacity(g)))
-			if err := h.HideStriped(g, addrs, payload, 0); err != nil {
-				if !typedHideRevealErr(err) {
-					t.Fatalf("seed %d: striped hide error not typed: %v", seed, err)
-				}
-				return
-			}
-			got, _, err := h.RevealStriped(g, addrs, len(payload), 0)
-			if err != nil {
-				if !typedHideRevealErr(err) {
-					t.Fatalf("seed %d: striped reveal error not typed: %v", seed, err)
-				}
-				return
-			}
-			if !bytes.Equal(got, payload) {
-				t.Fatalf("seed %d: SILENT CORRUPTION on striped path: %d bytes differ",
-					seed, diffBytes(got, payload))
+					a := nand.PageAddr{Block: rng.IntN(chip.Geometry().Blocks), Page: 0}
+					payload := propRandBytes(rng, 1+rng.IntN(s.HiddenPayloadBytes()))
+					epoch := rng.Uint64()
+
+					if err := s.WritePage(a, propRandBytes(rng, s.PublicDataBytes())); err != nil {
+						if !typedHideRevealErr(err) {
+							t.Fatalf("seed %d: cover write error not typed: %v", seed, err)
+						}
+						return
+					}
+					if _, err := s.Hide(a, payload, epoch); err != nil {
+						if !typedHideRevealErr(err) {
+							t.Fatalf("seed %d: hide error not typed: %v", seed, err)
+						}
+						return
+					}
+					got, _, err := s.Reveal(a, len(payload), epoch)
+					if err != nil {
+						if !typedHideRevealErr(err) {
+							t.Fatalf("seed %d: reveal error not typed: %v", seed, err)
+						}
+						return
+					}
+					if !bytes.Equal(got, payload) {
+						t.Fatalf("seed %d: SILENT CORRUPTION: scheme %s, addr %v, %d bytes differ",
+							seed, s.Name(), a, diffBytes(got, payload))
+					}
+				})
 			}
 		})
 	}

@@ -1,0 +1,160 @@
+// Package core defines the hiding-scheme seam: the Scheme interface every
+// deniability backend implements, the shared stats and error vocabulary,
+// the scheme registry, and the building blocks (public ECC layout,
+// capacity reporting, page-store adapter) schemes share. Concrete schemes
+// live in subpackages — core/vthi is the paper's voltage-threshold hiding
+// (the default), core/womftl the PEARL-style WOM-coded FTL backend — and
+// register themselves here at init time, so consumers select backends by
+// name without importing scheme internals.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"stashflash/internal/nand"
+)
+
+// ErrHiddenUnrecoverable reports that a hidden payload exceeded the hidden
+// ECC correction capability (or could not be embedded verifiably) and
+// could not be recovered exactly. Callers treat it as "try a fresh cover
+// page", never as data.
+var ErrHiddenUnrecoverable = errors.New("core: hidden payload unrecoverable")
+
+// ErrUnknownScheme reports a scheme name absent from the registry.
+var ErrUnknownScheme = errors.New("core: unknown hiding scheme")
+
+// HideStats reports what an embedding cost.
+type HideStats struct {
+	// Steps is the number of partial-programming (or program) rounds the
+	// embedding took.
+	Steps int
+	// Cells is the number of physical cells the embedding touched — the
+	// scheme's write amplification numerator.
+	Cells int
+	// Retries counts whole-embedding restarts under fault plans.
+	Retries int
+	// FaultsAbsorbed counts transient device faults retried through.
+	FaultsAbsorbed int
+}
+
+// RevealStats reports what a decode observed.
+type RevealStats struct {
+	// CorrectedHidden is the number of hidden-codeword bit errors the
+	// hidden ECC fixed.
+	CorrectedHidden int
+	// CorrectedPublic is the number of public ECC symbol corrections
+	// performed while recovering the as-programmed image.
+	CorrectedPublic int
+	// Rereads counts extra read passes (e.g. reference-shift retries).
+	Rereads int
+}
+
+// Scheme is one deniability backend over a flash device: it owns a page's
+// public payload encoding and can hide/reveal a sealed hidden payload in
+// the same physical page. Implementations are bound to one device and one
+// master key at construction and are not safe for concurrent use (the
+// device underneath is single-goroutine by contract).
+//
+// The error contract is the repo-wide one: Reveal returns the exact hidden
+// payload or a typed error (ErrHiddenUnrecoverable, a nand.* fault), never
+// silently corrupted data.
+type Scheme interface {
+	// Name returns the registry name of this scheme instance.
+	Name() string
+	// PublicDataBytes is the public payload per page (after public ECC).
+	PublicDataBytes() int
+	// HiddenPayloadBytes is the hidden payload per hidden-capable page.
+	HiddenPayloadBytes() int
+	// HiddenPageStride is the page-index stride between hidden-capable
+	// pages (1 = every page may carry hidden data).
+	HiddenPageStride() int
+	// HiddenBlockCapacity is the hidden payload bytes one block can hold.
+	HiddenBlockCapacity() int
+	// CorrectionBudget is the hidden ECC's correctable-bit budget per
+	// page; mount-time recovery replays payloads that needed more than
+	// half of it.
+	CorrectionBudget() int
+
+	// WritePage encodes and programs a page of public data.
+	WritePage(a nand.PageAddr, public []byte) error
+	// ReadPublic decodes a page's public data, reporting ECC corrections.
+	ReadPublic(a nand.PageAddr) (data []byte, corrected int, err error)
+	// Hide embeds a hidden payload into an already-programmed page.
+	Hide(a nand.PageAddr, hidden []byte, epoch uint64) (HideStats, error)
+	// Reveal extracts n hidden payload bytes from a page.
+	Reveal(a nand.PageAddr, n int, epoch uint64) ([]byte, RevealStats, error)
+	// WriteAndHide programs public data and embeds a hidden payload in
+	// one flow (schemes may fold both into a single program operation).
+	WriteAndHide(a nand.PageAddr, public, hidden []byte, epoch uint64) (HideStats, error)
+}
+
+// DeviceCaps names the device capabilities a scheme needs beyond the
+// baseline nand.Device command set.
+type DeviceCaps struct {
+	// Vendor is true when the scheme needs nand.VendorDevice commands
+	// (reference-shifted reads, fine programming). A scheme without it
+	// runs on any standards-compliant device.
+	Vendor bool
+}
+
+// SchemeFactory builds a scheme instance over a device with a master key.
+// Factories for vendor-dependent schemes type-assert the device and fail
+// with a descriptive error when the capability is missing.
+type SchemeFactory func(dev nand.Device, master []byte) (Scheme, error)
+
+// SchemeInfo describes one registered scheme.
+type SchemeInfo struct {
+	Name        string
+	Description string
+	Caps        DeviceCaps
+	New         SchemeFactory
+}
+
+var schemeRegistry = map[string]SchemeInfo{}
+
+// RegisterScheme adds a scheme to the registry; scheme subpackages call it
+// from init. Registering a duplicate name panics — it is a wiring bug.
+func RegisterScheme(info SchemeInfo) {
+	if info.Name == "" || info.New == nil {
+		panic("core: RegisterScheme needs a name and a factory")
+	}
+	if _, dup := schemeRegistry[info.Name]; dup {
+		panic(fmt.Sprintf("core: scheme %q registered twice", info.Name))
+	}
+	schemeRegistry[info.Name] = info
+}
+
+// SchemeByName looks a registered scheme up, wrapping ErrUnknownScheme
+// (with the known names) when absent.
+func SchemeByName(name string) (SchemeInfo, error) {
+	info, ok := schemeRegistry[name]
+	if !ok {
+		return SchemeInfo{}, fmt.Errorf("%w: %q (known: %v)", ErrUnknownScheme, name, SchemeNames())
+	}
+	return info, nil
+}
+
+// SchemeNames lists the registered scheme names, sorted.
+func SchemeNames() []string {
+	names := make([]string, 0, len(schemeRegistry))
+	for name := range schemeRegistry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// BCHDegree returns the minimal GF(2^m) extension degree covering an
+// n-bit hidden codeword — shared by schemes sizing their hidden ECC.
+func BCHDegree(n int) int {
+	m := 1
+	for (1 << m) <= n {
+		m++
+	}
+	if m < 3 {
+		m = 3
+	}
+	return m
+}

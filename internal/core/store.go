@@ -2,23 +2,23 @@ package core
 
 import "stashflash/internal/nand"
 
-// PublicStore adapts a Hider's public path to the page-store shape the
+// PublicStore adapts a scheme's public path to the page-store shape the
 // FTL consumes (DataBytes/WritePage/ReadPage): sector payloads flow
-// through the public ECC layout, and read-side symbol corrections are
+// through the scheme's public encoding, and read-side corrections are
 // absorbed silently. It satisfies ftl.PageStore structurally, without an
 // import in either direction.
-type PublicStore struct{ H *Hider }
+type PublicStore struct{ S Scheme }
 
-// DataBytes returns the public payload per page under the hider's layout.
-func (s PublicStore) DataBytes() int { return s.H.PublicDataBytes() }
+// DataBytes returns the public payload per page under the scheme's layout.
+func (s PublicStore) DataBytes() int { return s.S.PublicDataBytes() }
 
-// WritePage stores a sector through the public ECC layout.
+// WritePage stores a sector through the scheme's public encoding.
 func (s PublicStore) WritePage(a nand.PageAddr, data []byte) error {
-	return s.H.WritePage(a, data)
+	return s.S.WritePage(a, data)
 }
 
 // ReadPage retrieves a sector, correcting raw bit errors via public ECC.
 func (s PublicStore) ReadPage(a nand.PageAddr) ([]byte, error) {
-	data, _, err := s.H.ReadPublic(a)
+	data, _, err := s.S.ReadPublic(a)
 	return data, err
 }

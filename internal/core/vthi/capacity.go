@@ -1,0 +1,36 @@
+package vthi
+
+import (
+	"stashflash/internal/ecc"
+	"stashflash/internal/nand"
+)
+
+// PlanCapacity computes the capacity report for cfg on model m.
+func PlanCapacity(m nand.Model, cfg Config) (CapacityReport, error) {
+	if err := cfg.Validate(m); err != nil {
+		return CapacityReport{}, err
+	}
+	deg := bchDegree(cfg.HiddenCellsPerPage)
+	bch := ecc.NewBCH(deg, cfg.BCHT)
+	parity := bch.ParityBits()
+	payloadBits := (cfg.HiddenCellsPerPage - parity) / 8 * 8
+
+	stride := cfg.PageInterval + 1
+	hiddenPages := (m.PagesPerBlock + cfg.PageInterval) / stride
+	blockBits := hiddenPages * payloadBits
+
+	deviceBits := int64(blockBits) * int64(m.Blocks)
+	rawBits := m.TotalBytes() * 8
+
+	return CapacityReport{
+		Config:               cfg.Name,
+		CellsPerPage:         cfg.HiddenCellsPerPage,
+		ECCParityBits:        parity,
+		PayloadBitsPerPage:   payloadBits,
+		ECCOverheadFraction:  float64(parity) / float64(cfg.HiddenCellsPerPage),
+		PagesPerBlock:        hiddenPages,
+		PayloadBitsPerBlock:  blockBits,
+		DevicePayloadBytes:   deviceBits / 8,
+		FractionOfDeviceBits: float64(deviceBits) / float64(rawBits),
+	}, nil
+}

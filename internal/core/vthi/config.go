@@ -15,7 +15,7 @@
 // Decoding is one read at the shifted reference threshold plus ECC/decrypt
 // — non-destructive and repeatable, the property that gives VT-HI its 50x
 // decode advantage over PT-HI (§8).
-package core
+package vthi
 
 import (
 	"fmt"
@@ -157,46 +157,36 @@ func RobustConfig() Config {
 // Validate checks the configuration against a chip model.
 func (c Config) Validate(m nand.Model) error {
 	if c.VthHidden <= 0 || c.VthHidden >= m.ReadRef {
-		return fmt.Errorf("core: VthHidden %.1f must lie inside the erased state (0, %.0f)", c.VthHidden, m.ReadRef)
+		return fmt.Errorf("vthi: VthHidden %.1f must lie inside the erased state (0, %.0f)", c.VthHidden, m.ReadRef)
 	}
 	if c.HiddenCellsPerPage < 8 {
-		return fmt.Errorf("core: HiddenCellsPerPage %d too small", c.HiddenCellsPerPage)
+		return fmt.Errorf("vthi: HiddenCellsPerPage %d too small", c.HiddenCellsPerPage)
 	}
 	if c.HiddenCellsPerPage > m.CellsPerPage()/4 {
-		return fmt.Errorf("core: HiddenCellsPerPage %d exceeds a quarter of the page's %d cells; selection would visibly distort the voltage distribution",
+		return fmt.Errorf("vthi: HiddenCellsPerPage %d exceeds a quarter of the page's %d cells; selection would visibly distort the voltage distribution",
 			c.HiddenCellsPerPage, m.CellsPerPage())
 	}
 	if c.MaxPPSteps < 1 {
-		return fmt.Errorf("core: MaxPPSteps must be >= 1")
+		return fmt.Errorf("vthi: MaxPPSteps must be >= 1")
 	}
 	if c.PageInterval < 0 {
-		return fmt.Errorf("core: PageInterval must be >= 0")
+		return fmt.Errorf("vthi: PageInterval must be >= 0")
 	}
 	if c.BCHT < 1 {
-		return fmt.Errorf("core: BCHT must be >= 1")
+		return fmt.Errorf("vthi: BCHT must be >= 1")
 	}
 	if c.PublicRST < 0 || c.PublicRST > 64 {
-		return fmt.Errorf("core: PublicRST %d out of range", c.PublicRST)
+		return fmt.Errorf("vthi: PublicRST %d out of range", c.PublicRST)
 	}
 	if c.Vendor && c.FinePark <= 0 {
-		return fmt.Errorf("core: vendor mode requires a positive FinePark")
+		return fmt.Errorf("vthi: vendor mode requires a positive FinePark")
 	}
 	if c.EmbedGuard < 0 {
-		return fmt.Errorf("core: EmbedGuard must be >= 0")
+		return fmt.Errorf("vthi: EmbedGuard must be >= 0")
 	}
 	if c.InterferenceComp && c.VthHidden <= 2*m.InterfMean {
-		return fmt.Errorf("core: compensated threshold would go non-positive on uninterfered pages (VthHidden %.1f <= 2x InterfMean %.1f)",
+		return fmt.Errorf("vthi: compensated threshold would go non-positive on uninterfered pages (VthHidden %.1f <= 2x InterfMean %.1f)",
 			c.VthHidden, m.InterfMean)
 	}
 	return nil
-}
-
-// bchDegree returns the BCH field degree whose natural length covers n
-// codeword bits.
-func bchDegree(n int) int {
-	m := 3
-	for (1<<m)-1 < n {
-		m++
-	}
-	return m
 }

@@ -1,4 +1,4 @@
-package core
+package vthi
 
 import (
 	"errors"
@@ -81,10 +81,10 @@ func (e *Embedder) Plan(a nand.PageAddr, image []byte, nBits int) (*PagePlan, er
 func (e *Embedder) PlanTo(p *PagePlan, a nand.PageAddr, image []byte, nBits int) error {
 	g := e.dev.Geometry()
 	if len(image) != g.PageBytes {
-		return fmt.Errorf("core: image is %d bytes, page holds %d", len(image), g.PageBytes)
+		return fmt.Errorf("vthi: image is %d bytes, page holds %d", len(image), g.PageBytes)
 	}
 	if nBits > e.cfg.HiddenCellsPerPage {
-		return fmt.Errorf("core: %d bits exceed configured budget %d", nBits, e.cfg.HiddenCellsPerPage)
+		return fmt.Errorf("vthi: %d bits exceed configured budget %d", nBits, e.cfg.HiddenCellsPerPage)
 	}
 	candidates := e.cand[:0]
 	for i := 0; i < g.CellsPerPage(); i++ {
@@ -94,7 +94,7 @@ func (e *Embedder) PlanTo(p *PagePlan, a nand.PageAddr, image []byte, nBits int)
 	}
 	e.cand = candidates
 	if len(candidates) < nBits {
-		return fmt.Errorf("core: page %v has only %d non-programmed bits, need %d", a, len(candidates), nBits)
+		return fmt.Errorf("vthi: page %v has only %d non-programmed bits, need %d", a, len(candidates), nBits)
 	}
 	stream := prng.PageStream(e.locateKey, e.pageIndex(a), "vt-hi/select")
 	e.sel = stream.SelectKSparseInto(e.sel, len(candidates), nBits)
@@ -134,7 +134,7 @@ func (e *Embedder) encodeTarget(a nand.PageAddr) (float64, error) {
 // encode converged and no command was issued beyond the verify read.
 func (e *Embedder) ProgramStep(p *PagePlan, bits []uint8) (pulsed int, err error) {
 	if len(bits) != len(p.Cells) {
-		return 0, fmt.Errorf("core: %d bits for %d planned cells", len(bits), len(p.Cells))
+		return 0, fmt.Errorf("vthi: %d bits for %d planned cells", len(bits), len(p.Cells))
 	}
 	target, err := e.encodeTarget(p.Addr)
 	if err != nil {
@@ -207,10 +207,10 @@ func (e *Embedder) EmbedResilient(p *PagePlan, bits []uint8, maxSteps, maxFaults
 // programmed, so the natural levels are still below Vth.
 func (e *Embedder) FineEmbed(p *PagePlan, bits []uint8) error {
 	if !e.cfg.Vendor {
-		return fmt.Errorf("core: FineEmbed requires a vendor-mode configuration")
+		return fmt.Errorf("vthi: FineEmbed requires a vendor-mode configuration")
 	}
 	if len(bits) != len(p.Cells) {
-		return fmt.Errorf("core: %d bits for %d planned cells", len(bits), len(p.Cells))
+		return fmt.Errorf("vthi: %d bits for %d planned cells", len(bits), len(p.Cells))
 	}
 	zeros := e.pending[:0]
 	for j, cell := range p.Cells {
@@ -292,7 +292,7 @@ func (e *Embedder) ReadBitsAt(p *PagePlan, refDelta float64) ([]uint8, error) {
 // the steady-state reveal path allocates nothing.
 func (e *Embedder) ReadBitsInto(p *PagePlan, refDelta float64, bits []uint8) error {
 	if len(bits) != len(p.Cells) {
-		return fmt.Errorf("core: %d-entry bit buffer for %d planned cells", len(bits), len(p.Cells))
+		return fmt.Errorf("vthi: %d-entry bit buffer for %d planned cells", len(bits), len(p.Cells))
 	}
 	ref, err := e.DecodeRef(p.Addr)
 	if err != nil {

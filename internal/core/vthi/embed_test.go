@@ -1,4 +1,4 @@
-package core
+package vthi
 
 import (
 	"math/rand/v2"

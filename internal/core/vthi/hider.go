@@ -1,7 +1,6 @@
-package core
+package vthi
 
 import (
-	"errors"
 	"fmt"
 
 	"stashflash/internal/ecc"
@@ -39,10 +38,6 @@ type Hider struct {
 	plan    PagePlan
 }
 
-// ErrHiddenUnrecoverable reports that a hidden payload exceeded the hidden
-// ECC's correction capability.
-var ErrHiddenUnrecoverable = errors.New("core: hidden payload unrecoverable")
-
 // NewHider builds a VT-HI pipeline on a device with the given master
 // secret and configuration. Any nand.VendorDevice backend works: the
 // direct simulator chip or the ONFI bus adapter (see internal/onfi).
@@ -63,11 +58,11 @@ func NewHider(dev nand.VendorDevice, master []byte, cfg Config) (*Hider, error) 
 	bch := ecc.NewBCH(m, cfg.BCHT)
 	parity := bch.ParityBits()
 	if parity >= cfg.HiddenCellsPerPage {
-		return nil, fmt.Errorf("core: hidden ECC parity (%d bits) consumes the whole %d-cell budget", parity, cfg.HiddenCellsPerPage)
+		return nil, fmt.Errorf("vthi: hidden ECC parity (%d bits) consumes the whole %d-cell budget", parity, cfg.HiddenCellsPerPage)
 	}
 	payloadBytes := (cfg.HiddenCellsPerPage - parity) / 8
 	if payloadBytes < 1 {
-		return nil, fmt.Errorf("core: configuration leaves no hidden payload capacity")
+		return nil, fmt.Errorf("vthi: configuration leaves no hidden payload capacity")
 	}
 	cwBits := payloadBytes*8 + parity
 	return &Hider{
@@ -135,22 +130,6 @@ func (h *Hider) recoverImage(a nand.PageAddr) ([]byte, error) {
 	return h.imgBuf, nil // Correct repaired the image in place
 }
 
-// HideStats reports what an embedding cost.
-type HideStats struct {
-	// Steps is the number of PP passes Algorithm 1's loop used (summed
-	// across retries on a fault-injected device).
-	Steps int
-	// Cells is the number of cells selected (payload + hidden ECC bits).
-	Cells int
-	// Retries is the number of full embed re-runs after a failed
-	// post-embed verification. Always zero on a pristine device.
-	Retries int
-	// FaultsAbsorbed is the number of transient partial-program status
-	// FAILs the embed loop recovered from. Always zero on a pristine
-	// device.
-	FaultsAbsorbed int
-}
-
 // Fault-injected resilience budgets: how many embed+verify rounds one
 // Hide may run, and how many transient pulse FAILs one round may absorb.
 const (
@@ -171,7 +150,7 @@ func (h *Hider) faultAware() bool {
 // buildCodeword encrypts and ECC-expands a hidden payload for a page.
 func (h *Hider) buildCodeword(a nand.PageAddr, hidden []byte, epoch uint64) ([]uint8, error) {
 	if len(hidden) > h.payloadBytes {
-		return nil, fmt.Errorf("core: hidden payload %d bytes exceeds page capacity %d", len(hidden), h.payloadBytes)
+		return nil, fmt.Errorf("vthi: hidden payload %d bytes exceeds page capacity %d", len(hidden), h.payloadBytes)
 	}
 	n := copy(h.padBuf, hidden)
 	for i := n; i < len(h.padBuf); i++ {
@@ -266,19 +245,6 @@ func (h *Hider) WriteAndHide(a nand.PageAddr, public, hidden []byte, epoch uint6
 	return h.Hide(a, hidden, epoch)
 }
 
-// RevealStats reports what a decode observed.
-type RevealStats struct {
-	// CorrectedHidden is the number of hidden bit errors the BCH code
-	// repaired.
-	CorrectedHidden int
-	// CorrectedPublic is the number of public symbols repaired while
-	// reconstructing the page image for cell selection.
-	CorrectedPublic int
-	// Rereads is the number of extra read-retry attempts at nudged
-	// reference thresholds. Always zero on a pristine device.
-	Rereads int
-}
-
 // readRetryDeltas is the reference-nudge schedule a fault-injected reveal
 // walks when the nominal read fails to decode: positive nudges recover
 // disturb-bumped erased cells, negative ones retention-drooped programmed
@@ -291,7 +257,7 @@ var readRetryDeltas = []float64{0, 1.5, -1.5, 3, -3}
 func (h *Hider) Reveal(a nand.PageAddr, n int, epoch uint64) ([]byte, RevealStats, error) {
 	var st RevealStats
 	if n > h.payloadBytes {
-		return nil, st, fmt.Errorf("core: requested %d bytes, page capacity is %d", n, h.payloadBytes)
+		return nil, st, fmt.Errorf("vthi: requested %d bytes, page capacity is %d", n, h.payloadBytes)
 	}
 	if err := nand.ReadPageInto(h.dev, a, h.imgBuf); err != nil {
 		return nil, st, err

@@ -1,0 +1,83 @@
+// Scheme-seam glue: vthi re-exports the shared hiding vocabulary from
+// internal/core and registers its configurations in the core scheme
+// registry, so consumers that used to import the concrete VT-HI types can
+// keep their symbol names while the seam stays in core.
+package vthi
+
+import (
+	"fmt"
+
+	"stashflash/internal/core"
+	"stashflash/internal/nand"
+)
+
+// Shared vocabulary, re-exported so vthi callers read naturally.
+type (
+	HideStats      = core.HideStats
+	RevealStats    = core.RevealStats
+	PublicLayout   = core.PublicLayout
+	CapacityReport = core.CapacityReport
+)
+
+// Shared errors, re-exported (same values: errors.Is matches across).
+var (
+	ErrHiddenUnrecoverable = core.ErrHiddenUnrecoverable
+	ErrPublicUncorrectable = core.ErrPublicUncorrectable
+)
+
+// NewPublicLayout builds the shared chunked-RS public page layout.
+func NewPublicLayout(pageBytes, t int) (*PublicLayout, error) {
+	return core.NewPublicLayout(pageBytes, t)
+}
+
+// bchDegree returns the BCH field degree whose natural length covers n
+// codeword bits (shared helper; see core.BCHDegree).
+func bchDegree(n int) int { return core.BCHDegree(n) }
+
+// New builds a VT-HI scheme over any device, asserting the vendor command
+// set (reference-shifted reads, fine programming) the scheme requires.
+// Callers holding a nand.VendorDevice can use NewHider directly.
+func New(dev nand.Device, master []byte, cfg Config) (*Hider, error) {
+	vdev, ok := dev.(nand.VendorDevice)
+	if !ok {
+		return nil, fmt.Errorf("vthi: device %T lacks the vendor command set (reference-shifted reads) VT-HI requires", dev)
+	}
+	return NewHider(vdev, master, cfg)
+}
+
+// Name returns the scheme name of this instance's configuration.
+func (h *Hider) Name() string { return "vthi-" + h.cfg.Name }
+
+// CorrectionBudget returns the hidden BCH code's correctable-bit budget.
+func (h *Hider) CorrectionBudget() int { return h.cfg.BCHT }
+
+var _ core.Scheme = (*Hider)(nil)
+
+// Factory returns a core.SchemeFactory pinned to cfg — the hook stegfs
+// and the service layer use to mount VT-HI volumes with a chosen config.
+func Factory(cfg Config) core.SchemeFactory {
+	return func(dev nand.Device, master []byte) (core.Scheme, error) {
+		return New(dev, master, cfg)
+	}
+}
+
+func init() {
+	core.RegisterScheme(core.SchemeInfo{
+		Name:        "vthi",
+		Description: "voltage-threshold hiding, robust config (paper VT-HI; default)",
+		Caps:        core.DeviceCaps{Vendor: true},
+		New:         Factory(RobustConfig()),
+	})
+	core.RegisterScheme(core.SchemeInfo{
+		Name:        "vthi-standard",
+		Description: "voltage-threshold hiding, paper standard config",
+		Caps:        core.DeviceCaps{Vendor: true},
+		New:         Factory(StandardConfig()),
+	})
+	core.RegisterScheme(core.SchemeInfo{
+		Name:        "vthi-enhanced",
+		Description: "voltage-threshold hiding, vendor fine-programming config",
+		Caps:        core.DeviceCaps{Vendor: true},
+		New:         Factory(EnhancedConfig()),
+	})
+}

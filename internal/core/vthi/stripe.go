@@ -1,4 +1,4 @@
-package core
+package vthi
 
 import (
 	"fmt"
@@ -26,14 +26,14 @@ type StripeGeometry struct {
 // Validate checks the stripe shape.
 func (g StripeGeometry) Validate() error {
 	if g.Data < 1 || g.Parity < 1 {
-		return fmt.Errorf("core: stripe needs at least 1 data and 1 parity shard, got %d+%d", g.Data, g.Parity)
+		return fmt.Errorf("vthi: stripe needs at least 1 data and 1 parity shard, got %d+%d", g.Data, g.Parity)
 	}
 	if g.Data+g.Parity > 255 {
-		return fmt.Errorf("core: stripe of %d shards exceeds the RS symbol space", g.Data+g.Parity)
+		return fmt.Errorf("vthi: stripe of %d shards exceeds the RS symbol space", g.Data+g.Parity)
 	}
 	if g.Parity%2 != 0 {
 		// RS(t) provides 2t parity symbols; keep shapes realisable.
-		return fmt.Errorf("core: parity shard count must be even, got %d", g.Parity)
+		return fmt.Errorf("vthi: parity shard count must be even, got %d", g.Parity)
 	}
 	return nil
 }
@@ -52,11 +52,11 @@ func (h *Hider) HideStriped(g StripeGeometry, addrs []nand.PageAddr, payload []b
 		return err
 	}
 	if len(addrs) != g.Data+g.Parity {
-		return fmt.Errorf("core: stripe wants %d pages, got %d", g.Data+g.Parity, len(addrs))
+		return fmt.Errorf("vthi: stripe wants %d pages, got %d", g.Data+g.Parity, len(addrs))
 	}
 	shardLen := h.HiddenPayloadBytes()
 	if len(payload) > g.Data*shardLen {
-		return fmt.Errorf("core: payload %d bytes exceeds stripe capacity %d", len(payload), g.Data*shardLen)
+		return fmt.Errorf("vthi: payload %d bytes exceeds stripe capacity %d", len(payload), g.Data*shardLen)
 	}
 	// Build shards: zero-padded data shards, then column-wise RS parity.
 	shards := make([][]byte, g.Data+g.Parity)
@@ -87,7 +87,7 @@ func (h *Hider) HideStriped(g StripeGeometry, addrs []nand.PageAddr, payload []b
 	}
 	for i, a := range addrs {
 		if _, err := h.Hide(a, shards[i], epoch); err != nil {
-			return fmt.Errorf("core: hiding stripe shard %d at %v: %w", i, a, err)
+			return fmt.Errorf("vthi: hiding stripe shard %d at %v: %w", i, a, err)
 		}
 	}
 	return nil
@@ -108,11 +108,11 @@ func (h *Hider) RevealStriped(g StripeGeometry, addrs []nand.PageAddr, n int, ep
 		return nil, rep, err
 	}
 	if len(addrs) != g.Data+g.Parity {
-		return nil, rep, fmt.Errorf("core: stripe wants %d pages, got %d", g.Data+g.Parity, len(addrs))
+		return nil, rep, fmt.Errorf("vthi: stripe wants %d pages, got %d", g.Data+g.Parity, len(addrs))
 	}
 	shardLen := h.HiddenPayloadBytes()
 	if n > g.Data*shardLen {
-		return nil, rep, fmt.Errorf("core: requested %d bytes, stripe carries %d", n, g.Data*shardLen)
+		return nil, rep, fmt.Errorf("vthi: requested %d bytes, stripe carries %d", n, g.Data*shardLen)
 	}
 	shards := make([][]byte, len(addrs))
 	for i, a := range addrs {
@@ -124,7 +124,7 @@ func (h *Hider) RevealStriped(g StripeGeometry, addrs []nand.PageAddr, n int, ep
 		shards[i] = shard
 	}
 	if len(rep.FailedShards) > g.Parity {
-		return nil, rep, fmt.Errorf("core: %d stripe shards failed, parity covers %d: %w",
+		return nil, rep, fmt.Errorf("vthi: %d stripe shards failed, parity covers %d: %w",
 			len(rep.FailedShards), g.Parity, ErrHiddenUnrecoverable)
 	}
 	if len(rep.FailedShards) > 0 {
@@ -138,7 +138,7 @@ func (h *Hider) RevealStriped(g StripeGeometry, addrs []nand.PageAddr, n int, ep
 				cw[i] = shards[i][j]
 			}
 			if err := rs.DecodeErasures(cw, rep.FailedShards); err != nil {
-				return nil, rep, fmt.Errorf("core: stripe column %d: %w", j, err)
+				return nil, rep, fmt.Errorf("vthi: stripe column %d: %w", j, err)
 			}
 			for _, i := range rep.FailedShards {
 				shards[i][j] = cw[i]

@@ -1,0 +1,559 @@
+// Package womftl implements a PEARL-style FTL hiding scheme (arXiv
+// 2009.02011): hidden bits ride the write choices of a two-generation WOM
+// code over ordinary page programs. Public data is encoded two bits per
+// three cells (internal/wom); a keyed selection of triples carries one
+// hidden bit each in its generation choice — generation 1 for '1',
+// generation 2 for '0' — which public reads cannot see (both generations
+// decode to the same public value) but a key holder recovers exactly.
+//
+// Unlike VT-HI the scheme needs no vendor commands: every operation is
+// ReadPage / ProgramPage / PartialProgram from the baseline nand.Device
+// set, so it runs on any standards-compliant backend (including the ONFI
+// bus adapter). The costs move instead: public capacity drops to 2/3 of
+// raw (before ECC), and a post-hoc Hide must drive selected cells across
+// the public read reference with partial-program pulses — a slow,
+// write-amplifying walk whose voltage placement is also what an SVM
+// attacker can see. WriteAndHide folds the generation choice into the
+// initial program, which is voltage-exact and undetectable; the schemes
+// experiment quantifies both sides against VT-HI.
+package womftl
+
+import (
+	"fmt"
+
+	"stashflash/internal/core"
+	"stashflash/internal/ecc"
+	"stashflash/internal/nand"
+	"stashflash/internal/prng"
+	"stashflash/internal/seal"
+	"stashflash/internal/wom"
+)
+
+// Config parameterises the scheme.
+type Config struct {
+	// Name labels the configuration (and the scheme instance).
+	Name string
+	// HiddenTriplesPerPage is the hidden codeword length in WOM triples
+	// (one hidden bit each, including ECC parity).
+	HiddenTriplesPerPage int
+	// BCHT is the hidden BCH correction strength in bits.
+	BCHT int
+	// PublicRST is the public Reed–Solomon symbol correction strength
+	// applied to the logical (pre-WOM) page image.
+	PublicRST int
+	// PageInterval spaces hidden-carrying pages (0 = every page; the WOM
+	// channel does not disturb public margins, so 0 is the default).
+	PageInterval int
+	// MaxUpgradePulses bounds the partial-program rounds one post-hoc
+	// Hide may spend driving upgrade cells across the read reference.
+	// Cell programming gain is log-normally spread, so the slowest cells
+	// dominate; leftover stragglers are absorbed by the hidden ECC.
+	MaxUpgradePulses int
+	// OvershootPulses adds margin pulses after an upgrade cell first
+	// reads programmed, protecting the generation bit against disturb
+	// and retention droop.
+	OvershootPulses int
+}
+
+// DefaultConfig mirrors the VT-HI standard hidden budget (256 code bits,
+// t=8 BCH) on the WOM channel.
+func DefaultConfig() Config {
+	return Config{
+		Name:                 "womftl",
+		HiddenTriplesPerPage: 256,
+		BCHT:                 8,
+		PublicRST:            4,
+		PageInterval:         0,
+		MaxUpgradePulses:     96,
+		OvershootPulses:      3,
+	}
+}
+
+// usableTriples returns how many WOM triples a page of pageBytes offers:
+// floor(cells/3) floored to a multiple of 4 so the logical image is a
+// whole number of bytes (4 triples = 8 public bits).
+func usableTriples(pageBytes int) int {
+	t := pageBytes * 8 / wom.CellsPerTriple
+	return t - t%4
+}
+
+// Validate checks cfg against a chip model's geometry.
+func (c Config) Validate(m nand.Model) error {
+	usable := usableTriples(m.PageBytes)
+	if c.HiddenTriplesPerPage < 16 {
+		return fmt.Errorf("womftl: need at least 16 hidden triples, got %d", c.HiddenTriplesPerPage)
+	}
+	if c.HiddenTriplesPerPage > usable {
+		return fmt.Errorf("womftl: %d hidden triples exceed the %d usable triples of a %d-byte page",
+			c.HiddenTriplesPerPage, usable, m.PageBytes)
+	}
+	if c.PageInterval < 0 {
+		return fmt.Errorf("womftl: PageInterval must be >= 0")
+	}
+	if c.MaxUpgradePulses < 8 {
+		return fmt.Errorf("womftl: MaxUpgradePulses %d is too small to cross the read reference", c.MaxUpgradePulses)
+	}
+	if c.OvershootPulses < 0 {
+		return fmt.Errorf("womftl: OvershootPulses must be >= 0")
+	}
+	return nil
+}
+
+// Scheme is one mounted womftl instance. Like the device underneath it is
+// not safe for concurrent use: the hot paths reuse owned scratch buffers.
+type Scheme struct {
+	dev    nand.Device
+	cfg    Config
+	keys   seal.Keys
+	sealer *seal.Sealer
+	pub    *core.PublicLayout
+	bch    *ecc.BCH
+
+	usable       int // WOM triples per page
+	logicalBytes int // logical image bytes (usable triples * 2 bits)
+	codewordBits int
+	payloadBytes int
+
+	physBuf []byte  // physical page image scratch
+	logBuf  []byte  // logical image scratch
+	padBuf  []byte  // padded/encrypted payload scratch
+	cwBuf   []uint8 // codeword bit scratch (build path)
+	bitsBuf []uint8 // codeword bit scratch (reveal path)
+	msgBits []uint8 // payload bit scratch
+	selBuf  []int   // selected triple indices
+	pending []int   // upgrade cells still below the reference
+	cellBuf []int   // all upgrade cells of the current hide
+}
+
+// New builds a womftl scheme over any nand.Device with the given master
+// secret and configuration.
+func New(dev nand.Device, master []byte, cfg Config) (*Scheme, error) {
+	m := dev.Model()
+	if err := cfg.Validate(m); err != nil {
+		return nil, err
+	}
+	usable := usableTriples(m.PageBytes)
+	logicalBytes := usable * wom.BitsPerTriple / 8
+	pub, err := core.NewPublicLayout(logicalBytes, cfg.PublicRST)
+	if err != nil {
+		return nil, err
+	}
+	bch := ecc.NewBCH(core.BCHDegree(cfg.HiddenTriplesPerPage), cfg.BCHT)
+	parity := bch.ParityBits()
+	if parity >= cfg.HiddenTriplesPerPage {
+		return nil, fmt.Errorf("womftl: hidden ECC parity (%d bits) consumes the whole %d-triple budget", parity, cfg.HiddenTriplesPerPage)
+	}
+	payloadBytes := (cfg.HiddenTriplesPerPage - parity) / 8
+	if payloadBytes < 1 {
+		return nil, fmt.Errorf("womftl: configuration leaves no hidden payload capacity")
+	}
+	cwBits := payloadBytes*8 + parity
+	keys := seal.DeriveKeys(master)
+	return &Scheme{
+		dev:          dev,
+		cfg:          cfg,
+		keys:         keys,
+		sealer:       seal.NewSealer(keys.Encrypt),
+		pub:          pub,
+		bch:          bch,
+		usable:       usable,
+		logicalBytes: logicalBytes,
+		codewordBits: cwBits,
+		payloadBytes: payloadBytes,
+		physBuf:      make([]byte, m.PageBytes),
+		logBuf:       make([]byte, logicalBytes),
+		padBuf:       make([]byte, payloadBytes),
+		cwBuf:        make([]uint8, cwBits),
+		bitsBuf:      make([]uint8, cwBits),
+		msgBits:      make([]uint8, payloadBytes*8),
+		selBuf:       make([]int, cwBits),
+		pending:      make([]int, 0, 3*cwBits),
+		cellBuf:      make([]int, 0, 3*cwBits),
+	}, nil
+}
+
+// Config returns the scheme's configuration.
+func (s *Scheme) Config() Config { return s.cfg }
+
+// Name returns the scheme's registry name.
+func (s *Scheme) Name() string { return s.cfg.Name }
+
+// PublicDataBytes returns the public payload per page: the WOM-coded
+// logical image minus public ECC parity.
+func (s *Scheme) PublicDataBytes() int { return s.pub.DataBytes() }
+
+// HiddenPayloadBytes returns the hidden payload per hidden-capable page.
+func (s *Scheme) HiddenPayloadBytes() int { return s.payloadBytes }
+
+// HiddenPageStride returns the stride between hidden-capable pages.
+func (s *Scheme) HiddenPageStride() int { return s.cfg.PageInterval + 1 }
+
+// HiddenBlockCapacity returns one block's hidden payload bytes.
+func (s *Scheme) HiddenBlockCapacity() int {
+	pages := (s.dev.Geometry().PagesPerBlock + s.cfg.PageInterval) / s.HiddenPageStride()
+	return pages * s.payloadBytes
+}
+
+// CorrectionBudget returns the hidden BCH correction budget per page.
+func (s *Scheme) CorrectionBudget() int { return s.cfg.BCHT }
+
+// pageIndex flattens a page address for seal nonces and selection keys.
+func (s *Scheme) pageIndex(a nand.PageAddr) uint64 {
+	return nand.PageIndex(s.dev.Geometry(), a)
+}
+
+// faultAware reports whether the device carries an active fault plan;
+// reveal read-retries are gated on it so pristine devices keep
+// bit-identical behaviour and ledger costs.
+func (s *Scheme) faultAware() bool {
+	p := nand.PlanOf(s.dev)
+	return p != nil && !p.Config().Zero()
+}
+
+// logicalValue extracts triple t's two public bits from a logical image.
+func logicalValue(img []byte, t int) uint8 {
+	return (img[t/4] >> (6 - 2*uint(t%4))) & 0b11
+}
+
+// setLogicalValue writes triple t's two public bits into a logical image
+// (the target bits must be zero, as after clearing the byte).
+func setLogicalValue(img []byte, t int, v uint8) {
+	img[t/4] |= (v & 0b11) << (6 - 2*uint(t%4))
+}
+
+// physBit reads cell i of a physical image (1 = erased, 0 = programmed).
+func physBit(img []byte, i int) uint8 {
+	return (img[i/8] >> uint(7-i%8)) & 1
+}
+
+// clearPhysBit marks cell i programmed in a physical image.
+func clearPhysBit(img []byte, i int) {
+	img[i/8] &^= 1 << uint(7-i%8)
+}
+
+// tripleMask assembles triple t's programmed-cell mask from a physical
+// image (wom bit i = cell 3t+i).
+func tripleMask(img []byte, t int) uint8 {
+	base := t * wom.CellsPerTriple
+	var mask uint8
+	for i := 0; i < wom.CellsPerTriple; i++ {
+		if physBit(img, base+i) == 0 {
+			mask |= 1 << uint(i)
+		}
+	}
+	return mask
+}
+
+// encodeImage expands a logical image into the all-gen-1 physical page
+// image in s.physBuf (trailing cells beyond the usable triples stay
+// erased).
+func (s *Scheme) encodeImage(logical []byte) {
+	for i := range s.physBuf {
+		s.physBuf[i] = 0xFF
+	}
+	for t := 0; t < s.usable; t++ {
+		mask := wom.ProgrammedSet(logicalValue(logical, t), wom.Gen1)
+		base := t * wom.CellsPerTriple
+		for i := 0; i < wom.CellsPerTriple; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				clearPhysBit(s.physBuf, base+i)
+			}
+		}
+	}
+}
+
+// decodeImage reduces the physical image in s.physBuf to the logical
+// image in s.logBuf, dropping generation information.
+func (s *Scheme) decodeImage() {
+	for i := range s.logBuf {
+		s.logBuf[i] = 0
+	}
+	for t := 0; t < s.usable; t++ {
+		v, _ := wom.Decode(tripleMask(s.physBuf, t))
+		setLogicalValue(s.logBuf, t, v)
+	}
+}
+
+// WritePage stores public data (exactly PublicDataBytes long) to an
+// erased page: RS-encode the logical image, expand to generation-1 WOM
+// patterns, one ProgramPage.
+func (s *Scheme) WritePage(a nand.PageAddr, public []byte) error {
+	if err := s.pub.EncodeInto(s.logBuf, public); err != nil {
+		return err
+	}
+	s.encodeImage(s.logBuf)
+	return s.dev.ProgramPage(a, s.physBuf)
+}
+
+// ReadPublic reads a page's public data: sense, WOM-decode each triple
+// (any generation), correct through the public RS layout. No key material
+// is involved, and hidden generation choices are invisible here.
+func (s *Scheme) ReadPublic(a nand.PageAddr) (data []byte, corrected int, err error) {
+	if err := nand.ReadPageInto(s.dev, a, s.physBuf); err != nil {
+		return nil, 0, err
+	}
+	s.decodeImage()
+	return s.pub.Decode(s.logBuf)
+}
+
+// buildCodeword encrypts and ECC-expands a hidden payload for a page.
+func (s *Scheme) buildCodeword(a nand.PageAddr, hidden []byte, epoch uint64) ([]uint8, error) {
+	if len(hidden) > s.payloadBytes {
+		return nil, fmt.Errorf("womftl: hidden payload %d bytes exceeds page capacity %d", len(hidden), s.payloadBytes)
+	}
+	n := copy(s.padBuf, hidden)
+	for i := n; i < len(s.padBuf); i++ {
+		s.padBuf[i] = 0
+	}
+	s.sealer.EncryptPageInto(s.padBuf, s.pageIndex(a), epoch, s.padBuf)
+	ecc.BytesToBitsInto(s.msgBits, s.padBuf)
+	return s.bch.EncodeTo(s.cwBuf, s.msgBits), nil
+}
+
+// selectTriples fills s.selBuf with the key-derived ascending triple
+// selection for a page. Unlike VT-HI the selection is independent of page
+// content: every triple carries a generation bit regardless of its value.
+func (s *Scheme) selectTriples(a nand.PageAddr) []int {
+	return prng.PageStream(s.keys.Locate, s.pageIndex(a), "womftl/select").
+		SelectKSparseInto(s.selBuf, s.usable, s.codewordBits)
+}
+
+// hideFaultBudget bounds the transient partial-program status FAILs one
+// Hide may absorb on a fault-injected device.
+const hideFaultBudget = 8
+
+// Hide embeds a hidden payload (up to HiddenPayloadBytes) into an
+// already-programmed page by upgrading the selected '0'-bit triples to
+// generation 2: partial-program pulses drive the upgrade cells across the
+// public read reference, plus overshoot margin. This is the vendor-free
+// but slow and voltage-visible path; WriteAndHide is the exact one.
+func (s *Scheme) Hide(a nand.PageAddr, hidden []byte, epoch uint64) (core.HideStats, error) {
+	var st core.HideStats
+	cw, err := s.buildCodeword(a, hidden, epoch)
+	if err != nil {
+		return st, err
+	}
+	sel := s.selectTriples(a)
+	if err := nand.ReadPageInto(s.dev, a, s.physBuf); err != nil {
+		return st, err
+	}
+	// Classify the selected triples and collect the upgrade cells. A
+	// triple that must stay generation 1 (hidden '1') but already reads
+	// generation 2 cannot be downgraded — the page carries conflicting
+	// state (e.g. a previous embedding) and the caller must remap to a
+	// fresh cover page.
+	cells := s.cellBuf[:0]
+	for j, t := range sel {
+		v, g := wom.Decode(tripleMask(s.physBuf, t))
+		if cw[j] == 1 {
+			if g != wom.Gen1 {
+				return st, fmt.Errorf("%w: triple %d of %v already upgraded", core.ErrHiddenUnrecoverable, t, a)
+			}
+			continue
+		}
+		if g == wom.Gen2 {
+			continue // already encodes '0'
+		}
+		up := wom.UpgradeSet(v)
+		base := t * wom.CellsPerTriple
+		for i := 0; i < wom.CellsPerTriple; i++ {
+			if up&(1<<uint(i)) != 0 {
+				cells = append(cells, base+i)
+			}
+		}
+	}
+	s.cellBuf = cells
+	st.Cells = len(cells)
+	if len(cells) == 0 {
+		return st, nil
+	}
+	// Pulse rounds: partial-program every cell still reading erased,
+	// re-sense, repeat. Cell gain is log-normally spread, so stragglers
+	// are expected; whatever the pulse budget leaves short is handed to
+	// the hidden ECC, within half its correction budget.
+	pending := append(s.pending[:0], cells...)
+	budget := hideFaultBudget
+	for round := 0; round < s.cfg.MaxUpgradePulses && len(pending) > 0; round++ {
+		if err := s.pulse(a, pending, &budget, &st); err != nil {
+			return st, err
+		}
+		st.Steps++
+		if err := nand.ReadPageInto(s.dev, a, s.physBuf); err != nil {
+			return st, err
+		}
+		next := pending[:0]
+		for _, c := range pending {
+			if physBit(s.physBuf, c) == 1 {
+				next = append(next, c)
+			}
+		}
+		pending = next
+	}
+	s.pending = pending[:0]
+	if len(pending) > 0 {
+		// Stragglers flip their triples' generation bits; stay well inside
+		// the BCH budget or hand the page back for a remap.
+		if len(pending) > s.cfg.BCHT/2 {
+			return st, fmt.Errorf("%w: %d upgrade cells below the read reference after %d pulse rounds at %v",
+				core.ErrHiddenUnrecoverable, len(pending), s.cfg.MaxUpgradePulses, a)
+		}
+	}
+	// Overshoot margin for every upgrade cell that crossed.
+	crossed := cells[:0]
+	for _, c := range cells {
+		if physBit(s.physBuf, c) == 0 {
+			crossed = append(crossed, c)
+		}
+	}
+	for k := 0; k < s.cfg.OvershootPulses && len(crossed) > 0; k++ {
+		if err := s.pulse(a, crossed, &budget, &st); err != nil {
+			return st, err
+		}
+		st.Steps++
+	}
+	s.cellBuf = cells[:0]
+	return st, nil
+}
+
+// pulse issues one partial-program round, absorbing transient status
+// FAILs on fault-injected devices up to the hide budget (a FAIL that grew
+// the block bad is final).
+func (s *Scheme) pulse(a nand.PageAddr, cells []int, budget *int, st *core.HideStats) error {
+	for {
+		err := s.dev.PartialProgram(a, cells)
+		if err == nil {
+			return nil
+		}
+		if s.dev.IsBadBlock(a.Block) || *budget <= 0 {
+			return err
+		}
+		*budget--
+		st.FaultsAbsorbed++
+	}
+}
+
+// WriteAndHide programs public data with the hidden generation choices
+// folded into the initial page program: selected '0'-bit triples are
+// written directly as generation 2. One ProgramPage, voltage-exact cell
+// placement — on-flash distributions are identical to a page written
+// without hidden data.
+func (s *Scheme) WriteAndHide(a nand.PageAddr, public, hidden []byte, epoch uint64) (core.HideStats, error) {
+	var st core.HideStats
+	cw, err := s.buildCodeword(a, hidden, epoch)
+	if err != nil {
+		return st, err
+	}
+	sel := s.selectTriples(a)
+	if err := s.pub.EncodeInto(s.logBuf, public); err != nil {
+		return st, err
+	}
+	s.encodeImage(s.logBuf)
+	for j, t := range sel {
+		if cw[j] != 0 {
+			continue
+		}
+		v := logicalValue(s.logBuf, t)
+		mask := wom.ProgrammedSet(v, wom.Gen2)
+		base := t * wom.CellsPerTriple
+		for i := 0; i < wom.CellsPerTriple; i++ {
+			if mask&(1<<uint(i)) != 0 && physBit(s.physBuf, base+i) == 1 {
+				clearPhysBit(s.physBuf, base+i)
+				st.Cells++
+			}
+		}
+	}
+	st.Steps = 1
+	return st, s.dev.ProgramPage(a, s.physBuf)
+}
+
+// revealRetries is how many extra full-page re-reads a fault-injected
+// reveal may take when the nominal sense fails to decode.
+const revealRetries = 2
+
+// Reveal extracts n hidden bytes from a page: one plain read, generation
+// bits off the selected triples, BCH correction, decryption. No vendor
+// commands and no cell is altered.
+func (s *Scheme) Reveal(a nand.PageAddr, n int, epoch uint64) ([]byte, core.RevealStats, error) {
+	var st core.RevealStats
+	if n > s.payloadBytes {
+		return nil, st, fmt.Errorf("womftl: requested %d bytes, page capacity is %d", n, s.payloadBytes)
+	}
+	sel := s.selectTriples(a)
+	attempts := 1
+	if s.faultAware() {
+		attempts += revealRetries
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			st.Rereads++
+		}
+		if err := nand.ReadPageInto(s.dev, a, s.physBuf); err != nil {
+			return nil, st, err
+		}
+		bits := s.bitsBuf[:s.codewordBits]
+		for j, t := range sel {
+			_, g := wom.Decode(tripleMask(s.physBuf, t))
+			if g == wom.Gen1 {
+				bits[j] = 1
+			} else {
+				bits[j] = 0
+			}
+		}
+		corrected, err := s.bch.Decode(bits)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		st.CorrectedHidden = corrected
+		ecc.BitsToBytesInto(s.padBuf, bits[:s.payloadBytes*8])
+		s.sealer.EncryptPageInto(s.padBuf, s.pageIndex(a), epoch, s.padBuf)
+		out := make([]byte, n)
+		copy(out, s.padBuf[:n])
+		return out, st, nil
+	}
+	return nil, st, fmt.Errorf("%w: %v", core.ErrHiddenUnrecoverable, lastErr)
+}
+
+var _ core.Scheme = (*Scheme)(nil)
+
+// PlanCapacity computes the capacity report for cfg on model m, in the
+// shared cross-scheme shape.
+func PlanCapacity(m nand.Model, cfg Config) (core.CapacityReport, error) {
+	if err := cfg.Validate(m); err != nil {
+		return core.CapacityReport{}, err
+	}
+	bch := ecc.NewBCH(core.BCHDegree(cfg.HiddenTriplesPerPage), cfg.BCHT)
+	parity := bch.ParityBits()
+	payloadBits := (cfg.HiddenTriplesPerPage - parity) / 8 * 8
+
+	stride := cfg.PageInterval + 1
+	hiddenPages := (m.PagesPerBlock + cfg.PageInterval) / stride
+	blockBits := hiddenPages * payloadBits
+
+	deviceBits := int64(blockBits) * int64(m.Blocks)
+	rawBits := m.TotalBytes() * 8
+
+	return core.CapacityReport{
+		Config:               cfg.Name,
+		CellsPerPage:         cfg.HiddenTriplesPerPage * wom.CellsPerTriple,
+		ECCParityBits:        parity,
+		PayloadBitsPerPage:   payloadBits,
+		ECCOverheadFraction:  float64(parity) / float64(cfg.HiddenTriplesPerPage),
+		PagesPerBlock:        hiddenPages,
+		PayloadBitsPerBlock:  blockBits,
+		DevicePayloadBytes:   deviceBits / 8,
+		FractionOfDeviceBits: float64(deviceBits) / float64(rawBits),
+	}, nil
+}
+
+func init() {
+	core.RegisterScheme(core.SchemeInfo{
+		Name:        "womftl",
+		Description: "PEARL-style WOM-code generation hiding at the FTL, no vendor commands",
+		Caps:        core.DeviceCaps{},
+		New: func(dev nand.Device, master []byte) (core.Scheme, error) {
+			return New(dev, master, DefaultConfig())
+		},
+	})
+}

@@ -1,0 +1,298 @@
+package womftl
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"stashflash/internal/core"
+	"stashflash/internal/nand"
+	"stashflash/internal/onfi"
+)
+
+// deviceOnly strips a chip down to the baseline nand.Device surface: a
+// compile-time and runtime proof that womftl needs no vendor commands.
+type deviceOnly struct{ c *nand.Chip }
+
+func (d deviceOnly) Geometry() nand.Geometry                       { return d.c.Geometry() }
+func (d deviceOnly) Model() nand.Model                             { return d.c.Model() }
+func (d deviceOnly) PEC(block int) int                             { return d.c.PEC(block) }
+func (d deviceOnly) IsBadBlock(block int) bool                     { return d.c.IsBadBlock(block) }
+func (d deviceOnly) EraseBlock(block int) error                    { return d.c.EraseBlock(block) }
+func (d deviceOnly) CycleBlock(block, n int) error                 { return d.c.CycleBlock(block, n) }
+func (d deviceOnly) ProgramPage(a nand.PageAddr, p []byte) error   { return d.c.ProgramPage(a, p) }
+func (d deviceOnly) ReadPage(a nand.PageAddr) ([]byte, error)      { return d.c.ReadPage(a) }
+func (d deviceOnly) PartialProgram(a nand.PageAddr, c []int) error { return d.c.PartialProgram(a, c) }
+
+var _ nand.Device = deviceOnly{}
+
+// backends enumerates the device stacks every round-trip test runs over:
+// the direct chip, the ONFI bus adapter, and the stripped Device-only
+// wrapper. All three must agree bit-exactly.
+func backends(seed uint64) map[string]nand.Device {
+	return map[string]nand.Device{
+		"direct":      nand.NewChip(nand.TestModel(), seed),
+		"onfi":        onfi.NewDevice(nand.NewChip(nand.TestModel(), seed)),
+		"device-only": deviceOnly{nand.NewChip(nand.TestModel(), seed)},
+	}
+}
+
+func testRandBytes(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(rng.IntN(256))
+	}
+	return b
+}
+
+// TestWriteAndHideRoundTrip checks the single-program path on every
+// backend: public data reads back exactly, the hidden payload reveals
+// bit-exact, and all backends produce identical bytes.
+func TestWriteAndHideRoundTrip(t *testing.T) {
+	var refHidden, refPublic []byte
+	for _, name := range []string{"direct", "onfi", "device-only"} {
+		dev := backends(42)[name]
+		t.Run(name, func(t *testing.T) {
+			s, err := New(dev, []byte("master secret"), DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewPCG(7, 7))
+			public := testRandBytes(rng, s.PublicDataBytes())
+			hidden := testRandBytes(rng, s.HiddenPayloadBytes())
+			a := nand.PageAddr{Block: 3, Page: 2}
+
+			st, err := s.WriteAndHide(a, public, hidden, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Steps != 1 {
+				t.Errorf("WriteAndHide took %d steps, want 1 (single program)", st.Steps)
+			}
+			gotPub, _, err := s.ReadPublic(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(gotPub, public) {
+				t.Fatal("public data corrupted by hidden embedding")
+			}
+			gotHid, _, err := s.Reveal(a, len(hidden), 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(gotHid, hidden) {
+				t.Fatal("hidden payload did not round-trip")
+			}
+			if refHidden == nil {
+				refHidden, refPublic = gotHid, gotPub
+			} else if !bytes.Equal(gotHid, refHidden) || !bytes.Equal(gotPub, refPublic) {
+				t.Fatal("backend diverged from direct-chip reference bytes")
+			}
+		})
+	}
+}
+
+// TestPostHocHideRoundTrip checks the two-phase path on every backend:
+// write public data first, upgrade triples afterwards with partial-program
+// pulses, then verify both channels.
+func TestPostHocHideRoundTrip(t *testing.T) {
+	for name, dev := range backends(99) {
+		t.Run(name, func(t *testing.T) {
+			s, err := New(dev, []byte("master secret"), DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewPCG(11, 13))
+			public := testRandBytes(rng, s.PublicDataBytes())
+			hidden := testRandBytes(rng, s.HiddenPayloadBytes())
+			a := nand.PageAddr{Block: 1, Page: 0}
+
+			if err := s.WritePage(a, public); err != nil {
+				t.Fatal(err)
+			}
+			st, err := s.Hide(a, hidden, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Steps == 0 || st.Cells == 0 {
+				t.Errorf("post-hoc hide reported no work: %+v", st)
+			}
+			gotPub, _, err := s.ReadPublic(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(gotPub, public) {
+				t.Fatal("public data corrupted by post-hoc hide")
+			}
+			gotHid, _, err := s.Reveal(a, len(hidden), 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(gotHid, hidden) {
+				t.Fatal("hidden payload did not round-trip after post-hoc hide")
+			}
+		})
+	}
+}
+
+// TestRoundTripUnderFaultPlan drives both hide paths on fault-injected
+// chips: every outcome must be the exact payload or a typed error.
+func TestRoundTripUnderFaultPlan(t *testing.T) {
+	typed := func(err error) bool {
+		return errors.Is(err, core.ErrHiddenUnrecoverable) ||
+			errors.Is(err, nand.ErrProgramFailed) ||
+			errors.Is(err, nand.ErrBadBlock) ||
+			errors.Is(err, nand.ErrPageProgrammed)
+	}
+	for seed := uint64(0); seed < 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			chip := nand.NewChip(nand.TestModel(), seed)
+			chip.SetFaultPlan(nand.NewFaultPlan(nand.FaultConfig{
+				Seed:            seed,
+				ProgramFailProb: 0.02,
+				PPFailProb:      0.02,
+				BadBlockFrac:    0.05,
+				ReadDisturbProb: 0.2,
+			}))
+			s, err := New(chip, []byte("master secret"), DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewPCG(seed, 3))
+			public := testRandBytes(rng, s.PublicDataBytes())
+			hidden := testRandBytes(rng, s.HiddenPayloadBytes())
+			a := nand.PageAddr{Block: int(seed) % chip.Geometry().Blocks, Page: 1}
+
+			if err := s.WritePage(a, public); err != nil {
+				if !typed(err) {
+					t.Fatalf("cover write error not typed: %v", err)
+				}
+				return
+			}
+			if _, err := s.Hide(a, hidden, seed); err != nil {
+				if !typed(err) {
+					t.Fatalf("hide error not typed: %v", err)
+				}
+				return
+			}
+			got, _, err := s.Reveal(a, len(hidden), seed)
+			if err != nil {
+				if !typed(err) {
+					t.Fatalf("reveal error not typed: %v", err)
+				}
+				return
+			}
+			if !bytes.Equal(got, hidden) {
+				t.Fatal("SILENT CORRUPTION under fault plan")
+			}
+		})
+	}
+}
+
+// TestPublicReadBlindToHidden writes the same public data with and without
+// a hidden payload on twin chips: public reads must be byte-identical, the
+// generation channel invisible to anyone without the key.
+func TestPublicReadBlindToHidden(t *testing.T) {
+	plain := nand.NewChip(nand.TestModel(), 7)
+	laden := nand.NewChip(nand.TestModel(), 7)
+	sPlain, err := New(plain, []byte("master secret"), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sLaden, err := New(laden, []byte("master secret"), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(1, 2))
+	public := testRandBytes(rng, sPlain.PublicDataBytes())
+	hidden := testRandBytes(rng, sLaden.HiddenPayloadBytes())
+	a := nand.PageAddr{Block: 0, Page: 0}
+
+	if err := sPlain.WritePage(a, public); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sLaden.WriteAndHide(a, public, hidden, 0); err != nil {
+		t.Fatal(err)
+	}
+	p1, _, err := sPlain.ReadPublic(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _, err := sLaden.ReadPublic(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p1, p2) {
+		t.Fatal("hidden payload changed the public read")
+	}
+}
+
+// TestWrongKeyOrEpochFails checks a reveal under the wrong key or epoch
+// never silently returns the payload.
+func TestWrongKeyOrEpochFails(t *testing.T) {
+	chip := nand.NewChip(nand.TestModel(), 21)
+	s, err := New(chip, []byte("right key"), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(4, 4))
+	public := testRandBytes(rng, s.PublicDataBytes())
+	hidden := testRandBytes(rng, s.HiddenPayloadBytes())
+	a := nand.PageAddr{Block: 2, Page: 3}
+	if _, err := s.WriteAndHide(a, public, hidden, 9); err != nil {
+		t.Fatal(err)
+	}
+
+	if got, _, err := s.Reveal(a, len(hidden), 10); err == nil && bytes.Equal(got, hidden) {
+		t.Fatal("wrong epoch revealed the payload")
+	}
+	other, err := New(chip, []byte("wrong key"), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _, err := other.Reveal(a, len(hidden), 9); err == nil && bytes.Equal(got, hidden) {
+		t.Fatal("wrong key revealed the payload")
+	}
+}
+
+// TestPlanCapacity sanity-checks the shared capacity report shape.
+func TestPlanCapacity(t *testing.T) {
+	rep, err := PlanCapacity(nand.TestModel(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PayloadBitsPerPage <= 0 || rep.DevicePayloadBytes <= 0 {
+		t.Fatalf("degenerate capacity report: %+v", rep)
+	}
+	if rep.ECCOverheadFraction <= 0 || rep.ECCOverheadFraction >= 1 {
+		t.Fatalf("ECC overhead fraction out of range: %v", rep.ECCOverheadFraction)
+	}
+	s, err := New(nand.NewChip(nand.TestModel(), 1), []byte("k"), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.HiddenPayloadBytes() * 8; got != rep.PayloadBitsPerPage {
+		t.Fatalf("scheme payload %d bits != report %d", got, rep.PayloadBitsPerPage)
+	}
+}
+
+// TestRegistered checks the scheme registry entry and its declared caps.
+func TestRegistered(t *testing.T) {
+	info, err := core.SchemeByName("womftl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Caps.Vendor {
+		t.Fatal("womftl must not require vendor device capabilities")
+	}
+	s, err := info.New(deviceOnly{nand.NewChip(nand.TestModel(), 5)}, []byte("k"))
+	if err != nil {
+		t.Fatalf("factory rejected a Device-only backend: %v", err)
+	}
+	if s.Name() != "womftl" {
+		t.Fatalf("scheme name = %q", s.Name())
+	}
+}

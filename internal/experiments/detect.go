@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 
-	"stashflash/internal/core"
+	"stashflash/internal/core/vthi"
 	"stashflash/internal/nand"
 	"stashflash/internal/parallel"
 	"stashflash/internal/stats"
@@ -75,10 +75,10 @@ func blockFeatures(ts *tester.Tester, block, pec int, rng *rand.Rand, hide hideF
 // standardHide embeds random raw bits with the paper's standard
 // configuration on every hidden page of a freshly programmed block.
 func standardHide(key []byte) hideFn {
-	cfg := core.StandardConfig()
+	cfg := vthi.StandardConfig()
 	return func(ts *tester.Tester, block int, rng *rand.Rand) error {
 		bits := paperDensityBits(ts.Device().Model(), cfg.HiddenCellsPerPage)
-		emb, err := core.NewEmbedder(ts.Device(), key, rawConfig(bits, cfg.PageInterval, cfg.MaxPPSteps))
+		emb, err := vthi.NewEmbedder(ts.Device(), key, rawConfig(bits, cfg.PageInterval, cfg.MaxPPSteps))
 		if err != nil {
 			return err
 		}
@@ -97,8 +97,8 @@ func standardHide(key []byte) hideFn {
 
 // enhancedConfigFor clamps the enhanced configuration's 2560-cell budget
 // to what a (possibly scaled-down) page can host.
-func enhancedConfigFor(m nand.Model) core.Config {
-	cfg := core.EnhancedConfig()
+func enhancedConfigFor(m nand.Model) vthi.Config {
+	cfg := vthi.EnhancedConfig()
 	cfg.HiddenCellsPerPage = paperDensityBits(m, cfg.HiddenCellsPerPage)
 	// Scale the hidden ECC with the cell budget: strength covers the ~2%
 	// operating BER plus slack, as the full-size configuration does.
@@ -110,7 +110,7 @@ func enhancedConfigFor(m nand.Model) core.Config {
 // pages are written and hidden-into in one pass while the block fills.
 func enhancedHide(key []byte) hideFn {
 	return func(ts *tester.Tester, block int, rng *rand.Rand) error {
-		h, err := core.NewHider(ts.Device(), key, enhancedConfigFor(ts.Device().Model()))
+		h, err := vthi.NewHider(ts.Device(), key, enhancedConfigFor(ts.Device().Model()))
 		if err != nil {
 			return err
 		}
@@ -143,7 +143,7 @@ func enhancedHide(key []byte) hideFn {
 // hidden bits.
 func enhancedNormal(key []byte) hideFn {
 	return func(ts *tester.Tester, block int, rng *rand.Rand) error {
-		h, err := core.NewHider(ts.Device(), key, enhancedConfigFor(ts.Device().Model()))
+		h, err := vthi.NewHider(ts.Device(), key, enhancedConfigFor(ts.Device().Model()))
 		if err != nil {
 			return err
 		}

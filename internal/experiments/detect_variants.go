@@ -3,7 +3,7 @@ package experiments
 import (
 	"fmt"
 
-	"stashflash/internal/core"
+	"stashflash/internal/core/vthi"
 	"stashflash/internal/nand"
 	"stashflash/internal/parallel"
 	"stashflash/internal/svm"
@@ -23,7 +23,7 @@ import (
 // per-state mean and standard deviation plus the public bit error count
 // the adversary actually observes — the corrected-symbol counts reported
 // by the page ECC on read (an attacker has no ground-truth originals).
-func summaryFeatures(ts *tester.Tester, h *core.Hider, block int) ([]float64, error) {
+func summaryFeatures(ts *tester.Tester, h *vthi.Hider, block int) ([]float64, error) {
 	e, p, err := ts.BlockDistribution(block)
 	if err != nil {
 		return nil, err
@@ -82,7 +82,7 @@ func heldOutAccuracies(s Scale, pecs []int, outs []labelledFeatures) ([]float64,
 func SummaryStats(s Scale) (*Result, error) {
 	r := &Result{ID: "sumstat", Title: "SVM on summary statistics (BER, mean, std) — §7 closing analysis"}
 	key := []byte("sumstat-key")
-	cfg := core.StandardConfig()
+	cfg := vthi.StandardConfig()
 
 	tbl := Table{
 		Title:   "held-out-chip accuracy at matched PEC (%)",
@@ -98,7 +98,7 @@ func SummaryStats(s Scale) (*Result, error) {
 		ts := s.tester(s.modelA(), "sumstat", uint64(pi), uint64(c))
 		rng := s.rng("sumstat/data", uint64(pi), uint64(c))
 		dev := ts.Device()
-		h, err := core.NewHider(dev, key, cfg)
+		h, err := vthi.NewHider(dev, key, cfg)
 		if err != nil {
 			return lf, err
 		}
@@ -124,7 +124,7 @@ func SummaryStats(s Scale) (*Result, error) {
 				for _, pg := range hiddenPages(dev.Geometry().PagesPerBlock, cfg.PageInterval) {
 					// Use a density-scaled raw embed so the hidden load
 					// matches the other detectability experiments.
-					raw, err := core.NewEmbedder(dev, key, rawConfig(bits, cfg.PageInterval, cfg.MaxPPSteps))
+					raw, err := vthi.NewEmbedder(dev, key, rawConfig(bits, cfg.PageInterval, cfg.MaxPPSteps))
 					if err != nil {
 						return lf, err
 					}
@@ -181,7 +181,7 @@ func SummaryStats(s Scale) (*Result, error) {
 func PageLevel(s Scale) (*Result, error) {
 	r := &Result{ID: "fig10page", Title: "SVM detectability at page level (§7)"}
 	key := []byte("page-key")
-	cfg := core.StandardConfig()
+	cfg := vthi.StandardConfig()
 
 	tbl := Table{
 		Title:   "held-out-chip page classification accuracy at matched PEC (%)",
@@ -220,7 +220,7 @@ func PageLevel(s Scale) (*Result, error) {
 			}
 			hp := hiddenPages(dev.Geometry().PagesPerBlock, cfg.PageInterval)
 			if hidden {
-				emb, err := core.NewEmbedder(dev, key, rawConfig(bits, cfg.PageInterval, cfg.MaxPPSteps))
+				emb, err := vthi.NewEmbedder(dev, key, rawConfig(bits, cfg.PageInterval, cfg.MaxPPSteps))
 				if err != nil {
 					return lf, err
 				}

@@ -75,6 +75,34 @@ func TestFaultsDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestSchemesDeterministicAcrossWorkers pins the cross-scheme bake-off to
+// the engine invariant: every unit — a (scheme, replicate) chip, a fault
+// plan, an SVM chip sample — draws from a stream partitioned under the
+// "schemes" domain, so a serial run and a workers=8 fan-out must render
+// byte-identically, and neither scheme may report silent corruption.
+func TestSchemesDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment in -short mode")
+	}
+	run := func(workers int) string {
+		s := tinyScale()
+		s.Workers = workers
+		r, err := Schemes(s)
+		if err != nil {
+			t.Fatalf("schemes workers=%d: %v", workers, err)
+		}
+		return renderText(t, r)
+	}
+	serial := run(1)
+	fanned := run(8)
+	if serial != fanned {
+		t.Errorf("schemes: workers=1 and workers=8 rendered differently\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", serial, fanned)
+	}
+	if strings.Contains(serial, "WARNING") {
+		t.Errorf("schemes reported silent corruption:\n%s", serial)
+	}
+}
+
 // TestExperimentsDeterministicAcrossWorkers sweeps a representative slice
 // of the parallel experiments — chip-sample fan-out (fig2, fig9), flat
 // (combo x replicate) fan-out (fig7, fig8, relia, vendor2), the paired

@@ -26,7 +26,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig1", "fig2", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "tbl1",
 		"thru", "energy", "wear", "cap", "relia", "vendor2", "pubber",
-		"snapshot", "sumstat", "fig10page", "faults", "retyears",
+		"snapshot", "sumstat", "fig10page", "faults", "retyears", "schemes",
 	}
 	for _, id := range want {
 		if _, err := Lookup(id); err != nil {

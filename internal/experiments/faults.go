@@ -3,7 +3,7 @@ package experiments
 import (
 	"fmt"
 
-	"stashflash/internal/core"
+	"stashflash/internal/core/vthi"
 	"stashflash/internal/nand"
 	"stashflash/internal/parallel"
 )
@@ -24,7 +24,7 @@ import (
 func Faults(s Scale) (*Result, error) {
 	r := &Result{ID: "faults", Title: "hidden-data integrity vs injected fault rate"}
 	key := []byte("faults-key")
-	cfg := core.RobustConfig()
+	cfg := vthi.RobustConfig()
 	rates := []float64{0, 0.002, 0.01, 0.05}
 
 	// One unit = (rate, replicate chip): it owns its device, its fault plan
@@ -51,7 +51,7 @@ func Faults(s Scale) (*Result, error) {
 			BadBlockFrac:    rate,
 			ReadDisturbProb: 10 * rate,
 		}))
-		h, err := core.NewHider(dev, key, cfg)
+		h, err := vthi.NewHider(dev, key, cfg)
 		if err != nil {
 			return o, err
 		}

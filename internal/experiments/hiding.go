@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 
-	"stashflash/internal/core"
+	"stashflash/internal/core/vthi"
 	"stashflash/internal/nand"
 	"stashflash/internal/parallel"
 	"stashflash/internal/stats"
@@ -14,8 +14,8 @@ import (
 // rawConfig builds the paper-faithful embedding configuration used by the
 // BER sweeps: absolute Vth 34, no ECC involvement (raw bits), hidden pages
 // at the given interval.
-func rawConfig(bits, interval, maxSteps int) core.Config {
-	cfg := core.StandardConfig()
+func rawConfig(bits, interval, maxSteps int) vthi.Config {
+	cfg := vthi.StandardConfig()
 	cfg.HiddenCellsPerPage = bits
 	cfg.PageInterval = interval
 	cfg.MaxPPSteps = maxSteps
@@ -33,13 +33,13 @@ func hiddenPages(pagesPerBlock, interval int) []int {
 
 // pageEmbedding tracks one page's raw embedding for BER measurement.
 type pageEmbedding struct {
-	plan *core.PagePlan
+	plan *vthi.PagePlan
 	bits []uint8
 }
 
 // embedBlockRaw programs a block with random data and prepares raw-bit
 // embeddings on its hidden pages (without running any PP steps yet).
-func embedBlockRaw(ts *tester.Tester, emb *core.Embedder, block int, rng *rand.Rand, bits, interval int) ([]pageEmbedding, error) {
+func embedBlockRaw(ts *tester.Tester, emb *vthi.Embedder, block int, rng *rand.Rand, bits, interval int) ([]pageEmbedding, error) {
 	images, err := ts.ProgramRandomBlock(block)
 	if err != nil {
 		return nil, err
@@ -58,7 +58,7 @@ func embedBlockRaw(ts *tester.Tester, emb *core.Embedder, block int, rng *rand.R
 
 // measureRawBER reads back every embedding and returns the aggregate raw
 // hidden BER.
-func measureRawBER(emb *core.Embedder, embs []pageEmbedding) (float64, error) {
+func measureRawBER(emb *vthi.Embedder, embs []pageEmbedding) (float64, error) {
 	errs, total := 0, 0
 	for _, pe := range embs {
 		got, err := emb.ReadBits(pe.plan)
@@ -81,7 +81,7 @@ func measureRawBER(emb *core.Embedder, embs []pageEmbedding) (float64, error) {
 func berStepsOneRep(s Scale, domain string, combo uint64, rep, interval, bits, maxSteps int) ([]float64, error) {
 	ts := s.tester(s.modelA(), domain, combo, uint64(rep))
 	rng := s.rng(domain+"/bits", combo, uint64(rep))
-	emb, err := core.NewEmbedder(ts.Device(), []byte(domain+"-key"), rawConfig(bits, interval, maxSteps))
+	emb, err := vthi.NewEmbedder(ts.Device(), []byte(domain+"-key"), rawConfig(bits, interval, maxSteps))
 	if err != nil {
 		return nil, err
 	}
@@ -142,8 +142,8 @@ func Fig5(s Scale) (*Result, error) {
 	r := &Result{ID: "fig5", Title: "hidden-bit encoding inside the erased-state distribution"}
 	ts := s.tester(s.modelA(), "fig5")
 	rng := s.rng("fig5/bits")
-	cfg := core.StandardConfig()
-	emb, err := core.NewEmbedder(ts.Device(), []byte("fig5-key"), rawConfig(cfg.HiddenCellsPerPage, cfg.PageInterval, cfg.MaxPPSteps))
+	cfg := vthi.StandardConfig()
+	emb, err := vthi.NewEmbedder(ts.Device(), []byte("fig5-key"), rawConfig(cfg.HiddenCellsPerPage, cfg.PageInterval, cfg.MaxPPSteps))
 	if err != nil {
 		return nil, err
 	}
@@ -311,7 +311,7 @@ func Fig8(s Scale) (*Result, error) {
 				return nil, err
 			}
 		} else {
-			emb, err := core.NewEmbedder(ts.Device(), []byte("fig8-key"), rawConfig(bits, 1, 10))
+			emb, err := vthi.NewEmbedder(ts.Device(), []byte("fig8-key"), rawConfig(bits, 1, 10))
 			if err != nil {
 				return nil, err
 			}
@@ -366,7 +366,7 @@ func Fig9(s Scale) (*Result, error) {
 		Title:   "two-sample KS distances (hide-induced vs natural block-to-block)",
 		Columns: []string{"chip", "KS erased (same block, pre vs post hide)", "KS erased (two normal blocks)", "KS programmed (pre vs post hide)"},
 	}
-	cfg := core.StandardConfig()
+	cfg := vthi.StandardConfig()
 	// One unit per chip sample: all three blocks of a sample live on the
 	// same (single-threaded) chip, so the fan-out is strictly across chips.
 	type chipOut struct {
@@ -387,7 +387,7 @@ func Fig9(s Scale) (*Result, error) {
 		if _, err := ts.ProgramRandomBlock(2); err != nil {
 			return chipOut{}, err
 		}
-		emb, err := core.NewEmbedder(ts.Device(), []byte("fig9-key"), rawConfig(bits, cfg.PageInterval, cfg.MaxPPSteps))
+		emb, err := vthi.NewEmbedder(ts.Device(), []byte("fig9-key"), rawConfig(bits, cfg.PageInterval, cfg.MaxPPSteps))
 		if err != nil {
 			return chipOut{}, err
 		}

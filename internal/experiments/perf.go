@@ -5,7 +5,7 @@ import (
 	"math/rand/v2"
 	"time"
 
-	"stashflash/internal/core"
+	"stashflash/internal/core/vthi"
 	"stashflash/internal/nand"
 	"stashflash/internal/parallel"
 	"stashflash/internal/pthi"
@@ -14,8 +14,8 @@ import (
 
 // hideFullBlock programs a block with random data and embeds raw bits on
 // every hidden page; it returns the embeddings for later BER measurement.
-func hideFullBlock(ts *tester.Tester, rng *rand.Rand, block int, cfg core.Config) (*core.Embedder, []pageEmbedding, error) {
-	emb, err := core.NewEmbedder(ts.Device(), []byte("perf-key"), cfg)
+func hideFullBlock(ts *tester.Tester, rng *rand.Rand, block int, cfg vthi.Config) (*vthi.Embedder, []pageEmbedding, error) {
+	emb, err := vthi.NewEmbedder(ts.Device(), []byte("perf-key"), cfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -41,7 +41,7 @@ func Fig11(s Scale) (*Result, error) {
 		Columns: []string{"data", "PEC", "1 day", "1 month", "4 months", "raw BER t0"},
 	}
 	durations := []time.Duration{24 * time.Hour, nand.RetentionMonth, 4 * nand.RetentionMonth}
-	cfg := core.StandardConfig()
+	cfg := vthi.StandardConfig()
 	pecs := []int{0, 1000, 2000}
 	// Each PEC point bakes its own chip sample through the full retention
 	// timeline, so the three points are independent units.
@@ -55,7 +55,7 @@ func Fig11(s Scale) (*Result, error) {
 		rng := s.rng("fig11/bits", uint64(pi))
 		// Hidden blocks.
 		var embss [][]pageEmbedding
-		var embes []*core.Embedder
+		var embes []*vthi.Embedder
 		for b := 0; b < s.ReplicateBlocks; b++ {
 			if err := ts.CycleTo(b, pec); err != nil {
 				return pecOut{}, err
@@ -170,7 +170,7 @@ func ratioOr1(num, den float64) float64 {
 // ~0.011 at other PEC — low and not wear-bound).
 func Reliability(s Scale) (*Result, error) {
 	r := &Result{ID: "relia", Title: "hidden BER vs encode-time PEC"}
-	cfg := core.StandardConfig()
+	cfg := vthi.StandardConfig()
 	tbl := Table{Title: "hidden BER by PEC", Columns: []string{"PEC", "hidden BER"}}
 	series := Series{Name: "hidden BER"}
 	pecs := []int{0, 1000, 2000, 3000}
@@ -220,13 +220,13 @@ func Throughput(s Scale) (*Result, error) {
 
 	// --- VT-HI ---
 	ts := s.tester(s.modelA(), "thru")
-	cfg := core.StandardConfig()
+	cfg := vthi.StandardConfig()
 	rcfg := rawConfig(cfg.HiddenCellsPerPage, cfg.PageInterval, cfg.MaxPPSteps)
 	images, err := ts.ProgramRandomBlock(0)
 	if err != nil {
 		return nil, err
 	}
-	emb, err := core.NewEmbedder(ts.Device(), []byte("thru"), rcfg)
+	emb, err := vthi.NewEmbedder(ts.Device(), []byte("thru"), rcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -312,7 +312,7 @@ func Energy(s Scale) (*Result, error) {
 	r := &Result{ID: "energy", Title: "energy per hidden page, VT-HI vs PT-HI"}
 	rng := s.rng("energy/bits")
 	ts := s.tester(s.modelA(), "energy")
-	cfg := core.StandardConfig()
+	cfg := vthi.StandardConfig()
 	g := ts.Device().Geometry()
 
 	before := ts.Ledger()
@@ -359,13 +359,13 @@ func Wear(s Scale) (*Result, error) {
 	r := &Result{ID: "wear", Title: "wear amplification of hiding, VT-HI vs PT-HI"}
 	rng := s.rng("wear/bits")
 	ts := s.tester(s.modelA(), "wear")
-	cfg := core.StandardConfig()
+	cfg := vthi.StandardConfig()
 	rcfg := rawConfig(cfg.HiddenCellsPerPage, cfg.PageInterval, cfg.MaxPPSteps)
 	images, err := ts.ProgramRandomBlock(0)
 	if err != nil {
 		return nil, err
 	}
-	emb, err := core.NewEmbedder(ts.Device(), []byte("wear"), rcfg)
+	emb, err := vthi.NewEmbedder(ts.Device(), []byte("wear"), rcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -419,8 +419,8 @@ func Capacity(s Scale) (*Result, error) {
 			"bits/block", "device bytes", "% of device bits"},
 	}
 	var stdBits int
-	for _, cfg := range []core.Config{core.StandardConfig(), core.EnhancedConfig()} {
-		rep, err := core.PlanCapacity(m, cfg)
+	for _, cfg := range []vthi.Config{vthi.StandardConfig(), vthi.EnhancedConfig()} {
+		rep, err := vthi.PlanCapacity(m, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -439,7 +439,7 @@ func Capacity(s Scale) (*Result, error) {
 		"pt-hi (paper)", "-", "-", fmt.Sprint(ptPerPage), fmt.Sprint(ptPerPage * 64 / 5), "-", "-",
 	})
 	r.Tables = append(r.Tables, tbl)
-	enh, err := core.PlanCapacity(m, core.EnhancedConfig())
+	enh, err := vthi.PlanCapacity(m, vthi.EnhancedConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -454,7 +454,7 @@ func Capacity(s Scale) (*Result, error) {
 // hidden BER.
 func Vendor2(s Scale) (*Result, error) {
 	r := &Result{ID: "vendor2", Title: "applicability on a second vendor model"}
-	cfg := core.StandardConfig()
+	cfg := vthi.StandardConfig()
 	tbl := Table{Title: "hidden BER per chip model (fresh chips)", Columns: []string{"model", "hidden BER"}}
 	models := []struct {
 		name  string
@@ -494,7 +494,7 @@ func Vendor2(s Scale) (*Result, error) {
 // the damage.
 func PublicInterference(s Scale) (*Result, error) {
 	r := &Result{ID: "pubber", Title: "public data BER vs hidden page interval"}
-	cfg := core.StandardConfig()
+	cfg := vthi.StandardConfig()
 	blocks := 4 * s.ReplicateBlocks // public BER is tiny; widen the sample
 	// Conditions: the unhidden baseline plus each hide interval. The chip,
 	// data and bit streams are keyed by replicate only — NOT by condition —
@@ -514,7 +514,7 @@ func PublicInterference(s Scale) (*Result, error) {
 			return tester.BERResult{}, err
 		}
 		if hide {
-			emb, err := core.NewEmbedder(ts.Device(), []byte("pubber"), rawConfig(cfg.HiddenCellsPerPage, interval, cfg.MaxPPSteps))
+			emb, err := vthi.NewEmbedder(ts.Device(), []byte("pubber"), rawConfig(cfg.HiddenCellsPerPage, interval, cfg.MaxPPSteps))
 			if err != nil {
 				return tester.BERResult{}, err
 			}
@@ -577,7 +577,7 @@ func Table1(s Scale) (*Result, error) {
 	rng := s.rng("tbl1/bits")
 	ts := s.tester(s.modelA(), "tbl1")
 	g := ts.Device().Geometry()
-	cfg := core.StandardConfig()
+	cfg := vthi.StandardConfig()
 
 	// VT-HI numbers.
 	before := ts.Ledger()

@@ -40,6 +40,7 @@ var registry = []Entry{
 	{"fig10page", "§7 page-level SVM", PageLevel},
 	{"faults", "fault-injected recovery (extension)", Faults},
 	{"retyears", "multi-year retention sweep (extension)", RetentionYears},
+	{"schemes", "cross-scheme bake-off (extension)", Schemes},
 }
 
 // All returns every registered experiment, ordered by ID registration.

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"time"
 
-	"stashflash/internal/core"
+	"stashflash/internal/core/vthi"
 	"stashflash/internal/nand"
 	"stashflash/internal/parallel"
 )
@@ -30,7 +30,7 @@ func RetentionYears(s Scale) (*Result, error) {
 		60 * nand.RetentionMonth,
 		120 * nand.RetentionMonth,
 	}
-	cfg := core.StandardConfig()
+	cfg := vthi.StandardConfig()
 	pecs := []int{0, 1500, 3000}
 	// As in Fig11, each PEC point bakes its own chip sample through the
 	// whole timeline, so the points are independent work units.
@@ -44,7 +44,7 @@ func RetentionYears(s Scale) (*Result, error) {
 		rng := s.rng("retyears/bits", uint64(pi))
 		// Hidden blocks.
 		var embss [][]pageEmbedding
-		var embes []*core.Embedder
+		var embes []*vthi.Embedder
 		for b := 0; b < s.ReplicateBlocks; b++ {
 			if err := ts.CycleTo(b, pec); err != nil {
 				return pecOut{}, err

@@ -1,0 +1,458 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+
+	"stashflash/internal/core"
+	"stashflash/internal/core/vthi"
+	"stashflash/internal/core/womftl"
+	"stashflash/internal/nand"
+	"stashflash/internal/parallel"
+	"stashflash/internal/svm"
+	"stashflash/internal/tester"
+)
+
+// Schemes runs the cross-scheme bake-off: every hiding backend behind the
+// core.Scheme seam is driven through the same harness — clean round-trips
+// with ledger-cost accounting, fault-injected recovery, the §7 SVM
+// detectability attack, and capacity planning — and the results are
+// tabulated side by side. VT-HI (the paper's vendor-command scheme, robust
+// operating point) is compared against WOM-FTL (PEARL-style generation
+// coding over ordinary page programs, arXiv:2009.02011).
+//
+// The experiment is the reason the seam exists: every number below is
+// produced by scheme-agnostic code (tester.HideBlock/RevealBlock, the
+// shared SVM feature pipeline), so adding a scheme to the registry adds a
+// row here with no new measurement code.
+
+// schemeSpec names one bake-off contestant: its factory over the seam and
+// its capacity planner.
+type schemeSpec struct {
+	name     string
+	vendor   bool
+	factory  core.SchemeFactory
+	capacity func(m nand.Model) (core.CapacityReport, error)
+}
+
+func bakeoffSchemes() []schemeSpec {
+	return []schemeSpec{
+		{
+			name:    "vthi-robust",
+			vendor:  true,
+			factory: vthi.Factory(vthi.RobustConfig()),
+			capacity: func(m nand.Model) (core.CapacityReport, error) {
+				return vthi.PlanCapacity(m, vthi.RobustConfig())
+			},
+		},
+		{
+			name:   "womftl",
+			vendor: false,
+			factory: func(dev nand.Device, master []byte) (core.Scheme, error) {
+				return womftl.New(dev, master, womftl.DefaultConfig())
+			},
+			capacity: func(m nand.Model) (core.CapacityReport, error) {
+				return womftl.PlanCapacity(m, womftl.DefaultConfig())
+			},
+		},
+	}
+}
+
+// embedMode selects how schemeBlockWriter fills a block.
+type embedMode int
+
+const (
+	// modeNormal writes every page through the scheme's public pipeline
+	// with no hidden payload — the adversary's negative class.
+	modeNormal embedMode = iota
+	// modeInline hides with WriteAndHide while the block fills (the
+	// shipping path for both schemes).
+	modeInline
+	// modePostHoc programs first and embeds afterwards (Hide), the
+	// partial-program upgrade path whose voltage placement an adversary
+	// might see.
+	modePostHoc
+)
+
+// typedSchemeErr reports whether err is one of the seam's typed hiding
+// outcomes — a visible, contractual loss (the caller remaps to a fresh
+// cover page, as stegfs does), never silent corruption.
+func typedSchemeErr(err error) bool {
+	return errors.Is(err, core.ErrHiddenUnrecoverable) ||
+		errors.Is(err, core.ErrPublicUncorrectable) ||
+		errors.Is(err, nand.ErrProgramFailed) ||
+		errors.Is(err, nand.ErrEraseFailed) ||
+		errors.Is(err, nand.ErrBadBlock) ||
+		errors.Is(err, nand.ErrPageProgrammed)
+}
+
+// schemeBlockWriter adapts a registered scheme to the SVM harness's
+// hideFn shape: it fills one block page by page, embedding (or not)
+// according to mode. Non-carrying pages under the scheme's stride get a
+// plain public write, exactly as a filesystem would leave them. Typed
+// embedding failures keep the block in its class: the attempted
+// embedding's pulse activity is on the flash either way, which is
+// exactly what the adversary gets to inspect.
+func schemeBlockWriter(f core.SchemeFactory, key []byte, mode embedMode) hideFn {
+	return func(ts *tester.Tester, block int, rng *rand.Rand) error {
+		sc, err := f(ts.Device(), key)
+		if err != nil {
+			return err
+		}
+		g := ts.Device().Geometry()
+		stride := sc.HiddenPageStride()
+		for p := 0; p < g.PagesPerBlock; p++ {
+			a := nand.PageAddr{Block: block, Page: p}
+			pub := make([]byte, sc.PublicDataBytes())
+			for i := range pub {
+				pub[i] = byte(rng.IntN(256))
+			}
+			if mode == modeNormal || p%stride != 0 {
+				if err := sc.WritePage(a, pub); err != nil {
+					return err
+				}
+				continue
+			}
+			sec := make([]byte, sc.HiddenPayloadBytes())
+			for i := range sec {
+				sec[i] = byte(rng.IntN(256))
+			}
+			switch mode {
+			case modeInline:
+				if _, err := sc.WriteAndHide(a, pub, sec, 0); err != nil && !typedSchemeErr(err) {
+					return err
+				}
+			case modePostHoc:
+				if err := sc.WritePage(a, pub); err != nil {
+					return err
+				}
+				if _, err := sc.Hide(a, sec, 0); err != nil && !typedSchemeErr(err) {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+}
+
+// Schemes is the registered bake-off entry point.
+func Schemes(s Scale) (*Result, error) {
+	r := &Result{ID: "schemes", Title: "cross-scheme bake-off: VT-HI vs WOM-FTL"}
+	key := []byte("schemes-key")
+	specs := bakeoffSchemes()
+	reps := s.ReplicateBlocks
+
+	// Phase 1 — round-trip and fault units. One unit = (scheme, replicate
+	// chip): it owns its device, fault plan and data streams, all
+	// partitioned from (Seed, "schemes", unit path), so the fan-out is
+	// bit-identical for every worker count.
+	type unitOut struct {
+		pages, exact         int
+		payloadBytes         int
+		hide                 core.HideStats
+		reveal               core.RevealStats
+		hideCost, revealCost nand.Ledger
+
+		fHides, fHideErrs   int
+		fExact, fRevealErrs int
+		fSilent             int
+		fAbsorbed, fRetries int
+	}
+	outs, err := parallel.Map(s.workers(), len(specs)*reps, func(u int) (unitOut, error) {
+		si, rep := u/reps, u%reps
+		var o unitOut
+		ts := s.tester(s.modelA(), "schemes", uint64(si), uint64(rep))
+		dev := ts.Device()
+		sc, err := specs[si].factory(dev, key)
+		if err != nil {
+			return o, err
+		}
+
+		// Clean round-trip over one lightly worn block, ledger-costed
+		// separately for the hide and reveal directions.
+		const cleanBlock = 0
+		if err := ts.CycleTo(cleanBlock, 100); err != nil {
+			return o, err
+		}
+		epoch := uint64(dev.PEC(cleanBlock))
+		before := ts.Ledger()
+		payloads, hst, err := ts.HideBlock(sc, cleanBlock, epoch)
+		o.hideCost = ts.Ledger().Sub(before)
+		o.hide = hst
+		if err != nil && !typedSchemeErr(err) {
+			return o, fmt.Errorf("clean hide (%s): %w", specs[si].name, err)
+		}
+		// A typed hide failure truncates HideBlock: payloads covers only
+		// the pages hidden before it, and the reveal below stops at the
+		// partially embedded page — compare exactly the hidden prefix.
+		before = ts.Ledger()
+		got, rst, err := ts.RevealBlock(sc, cleanBlock, sc.HiddenPayloadBytes(), epoch)
+		o.revealCost = ts.Ledger().Sub(before)
+		o.reveal = rst
+		if err != nil && !typedSchemeErr(err) {
+			return o, fmt.Errorf("clean reveal (%s): %w", specs[si].name, err)
+		}
+		o.pages = len(payloads)
+		for i := range payloads {
+			o.payloadBytes += len(payloads[i])
+			if i < len(got) && string(got[i]) == string(payloads[i]) {
+				o.exact++
+			}
+		}
+
+		// Faulted round-trips: attach a live plan, then classify every
+		// payload outcome as exact, typed loss, or (forbidden) silent
+		// corruption — the integrity contract both schemes must meet.
+		planSeed, _ := s.subSeed("schemes/plan", uint64(si), uint64(rep))
+		dev.SetFaultPlan(nand.NewFaultPlan(nand.FaultConfig{
+			Seed:            planSeed,
+			ProgramFailProb: 0.01,
+			PPFailProb:      0.01,
+			EraseFailProb:   0.01,
+			BadBlockFrac:    0.02,
+			ReadDisturbProb: 0.1,
+		}))
+		rng := s.rng("schemes/fault-data", uint64(si), uint64(rep))
+		g := dev.Geometry()
+		stride := sc.HiddenPageStride()
+		for b := 1; b <= 2; b++ {
+			if err := ts.CycleTo(b, 200); err != nil {
+				continue // worn out before use: a typed, visible loss
+			}
+			type hid struct {
+				page   int
+				secret []byte
+			}
+			var hids []hid
+			for p := 0; p < g.PagesPerBlock; p += stride {
+				a := nand.PageAddr{Block: b, Page: p}
+				pub := make([]byte, sc.PublicDataBytes())
+				for i := range pub {
+					pub[i] = byte(rng.IntN(256))
+				}
+				sec := make([]byte, sc.HiddenPayloadBytes())
+				for i := range sec {
+					sec[i] = byte(rng.IntN(256))
+				}
+				o.fHides++
+				st, err := sc.WriteAndHide(a, pub, sec, 0)
+				o.fAbsorbed += st.FaultsAbsorbed
+				o.fRetries += st.Retries
+				if err != nil {
+					o.fHideErrs++ // typed loss at hide time: acceptable
+					continue
+				}
+				hids = append(hids, hid{p, sec})
+			}
+			for _, hd := range hids {
+				got, _, err := sc.Reveal(nand.PageAddr{Block: b, Page: hd.page}, len(hd.secret), 0)
+				switch {
+				case err != nil:
+					o.fRevealErrs++ // typed loss at reveal time: acceptable
+				case string(got) == string(hd.secret):
+					o.fExact++
+				default:
+					o.fSilent++ // the one outcome the seam contract forbids
+				}
+			}
+		}
+		return o, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2 — the §7 SVM attack at matched wear (PEC 0 vs PEC 0, the
+	// paper's headline security cell), run per embedding path. Feature
+	// collection parallelises across chip samples; each sample's device is
+	// owned by one worker.
+	type detectSpec struct {
+		name         string
+		hide, normal hideFn
+	}
+	var detects []detectSpec
+	for _, sp := range specs {
+		detects = append(detects, detectSpec{
+			name:   sp.name + " inline",
+			hide:   schemeBlockWriter(sp.factory, key, modeInline),
+			normal: schemeBlockWriter(sp.factory, key, modeNormal),
+		})
+		detects = append(detects, detectSpec{
+			name:   sp.name + " post-hoc",
+			hide:   schemeBlockWriter(sp.factory, key, modePostHoc),
+			normal: schemeBlockWriter(sp.factory, key, modeNormal),
+		})
+	}
+	accs := make([]float64, len(detects))
+	for di, d := range detects {
+		type classFeats struct{ hidden, normal [][]float64 }
+		need := 2 * s.BlocksPerClass
+		chipFeats, err := parallel.Map(s.workers(), s.ChipSamples, func(c int) (classFeats, error) {
+			var cf classFeats
+			ts := s.tester(s.modelA(), "schemes/svm/"+d.name, uint64(c))
+			if g := ts.Device().Geometry().Blocks; need > g {
+				return cf, fmt.Errorf("experiments: scale provides %d blocks/chip, bake-off needs %d", g, need)
+			}
+			block := 0
+			for ki, fn := range []hideFn{d.hide, d.normal} {
+				rng := s.rng("schemes/svm-class/"+d.name, uint64(c), uint64(ki))
+				for i := 0; i < s.BlocksPerClass; i++ {
+					f, err := blockFeatures(ts, block, 0, rng, fn)
+					if err != nil {
+						return cf, err
+					}
+					block++
+					if ki == 0 {
+						cf.hidden = append(cf.hidden, f)
+					} else {
+						cf.normal = append(cf.normal, f)
+					}
+				}
+			}
+			return cf, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var trX, teX [][]float64
+		var trY, teY []int
+		for c := 0; c < s.ChipSamples; c++ {
+			add := func(feats [][]float64, label int) {
+				for _, f := range feats {
+					if c == s.ChipSamples-1 {
+						teX = append(teX, f)
+						teY = append(teY, label)
+					} else {
+						trX = append(trX, f)
+						trY = append(trY, label)
+					}
+				}
+			}
+			add(chipFeats[c].hidden, 1)
+			add(chipFeats[c].normal, -1)
+		}
+		best := svm.GridSearch(trX, trY, svm.DefaultGrid(), 3, s.Seed)
+		scaler := svm.FitScaler(trX)
+		model := svm.Train(scaler.Apply(trX), trY, best.Params)
+		accs[di] = model.Accuracy(scaler.Apply(teX), teY)
+	}
+
+	// Tabulation. Headline comparison first, then fault detail, the attack
+	// matrix, and the capacity plan.
+	head := Table{
+		Title: "clean-device round-trip and cost per scheme",
+		Columns: []string{"scheme", "vendor cmds", "hidden B/page", "stride",
+			"pages", "exact", "WA cells/bit", "hide ms/KiB", "reveal ms/KiB", "hide uJ/KiB"},
+	}
+	fault := Table{
+		Title: "recovery under injected faults (p=0.01, disturb 0.1)",
+		Columns: []string{"scheme", "hides", "hide err", "recovered",
+			"reveal err", "silent", "absorbed", "retries"},
+	}
+	var recovery, hideCostSeries Series
+	recovery.Name = "faulted exact recovery fraction"
+	hideCostSeries.Name = "hide cost ms per hidden KiB"
+	totalSilent := 0
+	for si, sp := range specs {
+		var a unitOut
+		for rep := 0; rep < reps; rep++ {
+			o := outs[si*reps+rep]
+			a.pages += o.pages
+			a.exact += o.exact
+			a.payloadBytes += o.payloadBytes
+			a.hide.Steps += o.hide.Steps
+			a.hide.Cells += o.hide.Cells
+			a.hide.Retries += o.hide.Retries
+			a.hide.FaultsAbsorbed += o.hide.FaultsAbsorbed
+			a.reveal.CorrectedHidden += o.reveal.CorrectedHidden
+			a.reveal.Rereads += o.reveal.Rereads
+			a.hideCost.Add(o.hideCost)
+			a.revealCost.Add(o.revealCost)
+			a.fHides += o.fHides
+			a.fHideErrs += o.fHideErrs
+			a.fExact += o.fExact
+			a.fRevealErrs += o.fRevealErrs
+			a.fSilent += o.fSilent
+			a.fAbsorbed += o.fAbsorbed
+			a.fRetries += o.fRetries
+		}
+		totalSilent += a.fSilent
+		kib := float64(a.payloadBytes) / 1024
+		hideMsPerKiB := float64(a.hideCost.Time.Microseconds()) / 1000 / kib
+		revealMsPerKiB := float64(a.revealCost.Time.Microseconds()) / 1000 / kib
+		sc, err := sp.factory(nand.NewChip(s.modelA(), 0), key)
+		if err != nil {
+			return nil, err
+		}
+		head.Rows = append(head.Rows, []string{
+			sp.name,
+			fmt.Sprint(sp.vendor),
+			fmt.Sprint(sc.HiddenPayloadBytes()),
+			fmt.Sprint(sc.HiddenPageStride()),
+			fmt.Sprint(a.pages),
+			fmt.Sprint(a.exact),
+			f3(float64(a.hide.Cells) / float64(a.payloadBytes*8)),
+			f3(hideMsPerKiB),
+			f3(revealMsPerKiB),
+			f3(a.hideCost.EnergyUJ / kib),
+		})
+		den := maxInt(a.fHides, 1)
+		fault.Rows = append(fault.Rows, []string{
+			sp.name,
+			fmt.Sprint(a.fHides), fmt.Sprint(a.fHideErrs),
+			fmt.Sprint(a.fExact), fmt.Sprint(a.fRevealErrs),
+			fmt.Sprint(a.fSilent),
+			fmt.Sprint(a.fAbsorbed), fmt.Sprint(a.fRetries),
+		})
+		recovery.X = append(recovery.X, float64(si))
+		recovery.Y = append(recovery.Y, float64(a.fExact)/float64(den))
+		hideCostSeries.X = append(hideCostSeries.X, float64(si))
+		hideCostSeries.Y = append(hideCostSeries.Y, hideMsPerKiB)
+	}
+
+	attack := Table{
+		Title:   "SVM detectability at matched wear (PEC 0, held-out chip)",
+		Columns: []string{"scheme / path", "accuracy (%)"},
+	}
+	var attackSeries Series
+	attackSeries.Name = "SVM matched-PEC accuracy %"
+	for di, d := range detects {
+		attack.Rows = append(attack.Rows, []string{d.name, fmt.Sprintf("%.0f", accs[di]*100)})
+		attackSeries.X = append(attackSeries.X, float64(di))
+		attackSeries.Y = append(attackSeries.Y, accs[di]*100)
+	}
+
+	capTbl := Table{
+		Title: "capacity plan (model A at this scale)",
+		Columns: []string{"scheme", "cells/page", "parity bits", "payload bits/page",
+			"ECC overhead", "payload bits/block", "device payload", "device fraction"},
+	}
+	for _, sp := range specs {
+		rep, err := sp.capacity(s.modelA())
+		if err != nil {
+			return nil, err
+		}
+		capTbl.Rows = append(capTbl.Rows, []string{
+			sp.name,
+			fmt.Sprint(rep.CellsPerPage),
+			fmt.Sprint(rep.ECCParityBits),
+			fmt.Sprint(rep.PayloadBitsPerPage),
+			pct(rep.ECCOverheadFraction),
+			fmt.Sprint(rep.PayloadBitsPerBlock),
+			fmt.Sprintf("%d B", rep.DevicePayloadBytes),
+			fmt.Sprintf("%.4f%%", rep.FractionOfDeviceBits*100),
+		})
+	}
+
+	r.Tables = append(r.Tables, head, fault, attack, capTbl)
+	r.Series = append(r.Series, recovery, hideCostSeries, attackSeries)
+	if totalSilent == 0 {
+		r.AddNote("no silent corruption from either scheme under injected faults: exact reveal or typed error, per the seam contract")
+	} else {
+		r.AddNote("WARNING: %d silent corruptions — a scheme violates the seam's integrity contract", totalSilent)
+	}
+	r.AddNote("womftl needs no vendor commands: hidden bits ride the WOM generation choice of ordinary page programs")
+	r.AddNote("inline (WriteAndHide) paths should sit near 50%% accuracy; post-hoc upgrade pulses are the voltage-visible path")
+	return r, nil
+}

@@ -3,7 +3,7 @@ package experiments
 import (
 	"fmt"
 
-	"stashflash/internal/core"
+	"stashflash/internal/core/vthi"
 	"stashflash/internal/nand"
 )
 
@@ -19,7 +19,7 @@ func Snapshot(s Scale) (*Result, error) {
 	ts := s.tester(s.modelA(), "snapshot")
 	dev := ts.Device()
 	rng := s.rng("snapshot/bits")
-	cfg := core.StandardConfig()
+	cfg := vthi.StandardConfig()
 	bits := paperDensityBits(dev.Model(), cfg.HiddenCellsPerPage)
 
 	images, err := ts.ProgramRandomBlock(0)
@@ -56,7 +56,7 @@ func Snapshot(s Scale) (*Result, error) {
 	}
 
 	// Case 1: hide between snapshots, public data untouched.
-	emb, err := core.NewEmbedder(dev, []byte("snapshot-key"), rawConfig(bits, cfg.PageInterval, cfg.MaxPPSteps))
+	emb, err := vthi.NewEmbedder(dev, []byte("snapshot-key"), rawConfig(bits, cfg.PageInterval, cfg.MaxPPSteps))
 	if err != nil {
 		return nil, err
 	}

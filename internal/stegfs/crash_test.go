@@ -7,6 +7,8 @@ import (
 	"math/rand/v2"
 	"testing"
 
+	"stashflash/internal/core"
+	"stashflash/internal/core/womftl"
 	"stashflash/internal/nand"
 )
 
@@ -20,14 +22,29 @@ import (
 // power loss, so the only fault in each trial is the one truncation under
 // test and every outcome is deterministic.
 
-// newCrashVolume builds a volume on a chip with a zero-probability fault
-// plan attached, returning all three handles.
-func newCrashVolume(t *testing.T, seed uint64) (*Volume, *nand.Chip, *nand.FaultPlan) {
+// crashSchemes enumerates the hiding backends the crash suite runs over:
+// one table row per registered scheme family (a nil factory mounts the
+// default VT-HI robust configuration).
+var crashSchemes = []struct {
+	name    string
+	factory core.SchemeFactory
+}{
+	{"vthi", nil},
+	{"womftl", func(dev nand.Device, master []byte) (core.Scheme, error) {
+		return womftl.New(dev, master, womftl.DefaultConfig())
+	}},
+}
+
+// newCrashVolume builds a volume for one scheme on a chip with a
+// zero-probability fault plan attached, returning all three handles.
+func newCrashVolume(t *testing.T, seed uint64, factory core.SchemeFactory) (*Volume, *nand.Chip, *nand.FaultPlan) {
 	t.Helper()
 	chip := nand.NewChip(nand.ModelA().ScaleGeometry(20, 8, 2040), seed)
 	plan := nand.NewFaultPlan(nand.FaultConfig{Seed: seed})
 	chip.SetFaultPlan(plan)
-	v, err := Create(chip, []byte("hidden-master"), []byte("public-master"), DefaultConfig(chip.Geometry()))
+	cfg := DefaultConfig(chip.Geometry())
+	cfg.Scheme = factory
+	v, err := Create(chip, []byte("hidden-master"), []byte("public-master"), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,121 +65,124 @@ func newCrashVolume(t *testing.T, seed uint64) (*Volume, *nand.Chip, *nand.Fault
 //     a garbled in-between would be silent corruption.
 func TestCrashConsistencyPowerLoss(t *testing.T) {
 	master := []byte("hidden-master")
-	for k := 1; k <= 10; k++ {
-		k := k
-		t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
-			v, chip, plan := newCrashVolume(t, uint64(100+k))
-			rng := rand.New(rand.NewPCG(uint64(k), 0xc4a5))
+	for _, sc := range crashSchemes {
+		sc := sc
+		for k := 1; k <= 10; k++ {
+			k := k
+			t.Run(fmt.Sprintf("%s/k=%d", sc.name, k), func(t *testing.T) {
+				v, chip, plan := newCrashVolume(t, uint64(100+k), sc.factory)
+				rng := rand.New(rand.NewPCG(uint64(k), 0xc4a5))
 
-			// Public state that must survive every crash below.
-			pubWant := map[int][]byte{}
-			for _, lba := range []int{0, 7, 13} {
-				data := randSector(rng, v.PublicSectorBytes())
-				pubWant[lba] = data
-				if err := v.PublicWrite(lba, data); err != nil {
+				// Public state that must survive every crash below.
+				pubWant := map[int][]byte{}
+				for _, lba := range []int{0, 7, 13} {
+					data := randSector(rng, v.PublicSectorBytes())
+					pubWant[lba] = data
+					if err := v.PublicWrite(lba, data); err != nil {
+						t.Fatal(err)
+					}
+				}
+				checkPublic := func(when string) {
+					t.Helper()
+					for lba, want := range pubWant {
+						got, err := v.PublicRead(lba)
+						if err != nil {
+							t.Fatalf("%s: public lba %d: %v", when, lba, err)
+						}
+						if !bytes.Equal(got, want) {
+							t.Fatalf("%s: public lba %d corrupted", when, lba)
+						}
+					}
+				}
+
+				// Pre-existing hidden state, synced into the superblock.
+				oldPayload := randSector(rng, v.HiddenSectorBytes())
+				if err := v.HiddenWrite(1, oldPayload); err != nil {
 					t.Fatal(err)
 				}
-			}
-			checkPublic := func(when string) {
-				t.Helper()
-				for lba, want := range pubWant {
-					got, err := v.PublicRead(lba)
-					if err != nil {
-						t.Fatalf("%s: public lba %d: %v", when, lba, err)
+				if err := v.Sync(); err != nil {
+					t.Fatal(err)
+				}
+
+				// --- Sub-case 1: fresh write truncated after k pulses. ---
+				fresh := randSector(rng, v.HiddenSectorBytes())
+				plan.ArmPowerLossAfterPP(k)
+				werr := v.HiddenWrite(2, fresh)
+				if werr != nil {
+					if !errors.Is(werr, nand.ErrPowerLoss) {
+						t.Fatalf("truncated fresh write: want ErrPowerLoss, got %v", werr)
 					}
-					if !bytes.Equal(got, want) {
-						t.Fatalf("%s: public lba %d corrupted", when, lba)
+					// The device is dead until the power cycle: public I/O
+					// fails too, it must not serve stale data.
+					if _, err := v.PublicRead(0); !errors.Is(err, nand.ErrPowerLoss) {
+						t.Fatalf("public read during outage: %v", err)
 					}
 				}
-			}
-
-			// Pre-existing hidden state, synced into the superblock.
-			oldPayload := randSector(rng, v.HiddenSectorBytes())
-			if err := v.HiddenWrite(1, oldPayload); err != nil {
-				t.Fatal(err)
-			}
-			if err := v.Sync(); err != nil {
-				t.Fatal(err)
-			}
-
-			// --- Sub-case 1: fresh write truncated after k pulses. ---
-			fresh := randSector(rng, v.HiddenSectorBytes())
-			plan.ArmPowerLossAfterPP(k)
-			werr := v.HiddenWrite(2, fresh)
-			if werr != nil {
-				if !errors.Is(werr, nand.ErrPowerLoss) {
-					t.Fatalf("truncated fresh write: want ErrPowerLoss, got %v", werr)
+				chip.PowerCycle()
+				if err := v.Remount(master); err != nil {
+					t.Fatalf("remount after fresh-write crash: %v", err)
 				}
-				// The device is dead until the power cycle: public I/O
-				// fails too, it must not serve stale data.
-				if _, err := v.PublicRead(0); !errors.Is(err, nand.ErrPowerLoss) {
-					t.Fatalf("public read during outage: %v", err)
+				checkPublic("after fresh-write crash")
+				got, err := v.HiddenRead(1)
+				if err != nil || !bytes.Equal(got, oldPayload) {
+					t.Fatalf("untouched hidden sector after crash: err=%v", err)
 				}
-			}
-			chip.PowerCycle()
-			if err := v.Remount(master); err != nil {
-				t.Fatalf("remount after fresh-write crash: %v", err)
-			}
-			checkPublic("after fresh-write crash")
-			got, err := v.HiddenRead(1)
-			if err != nil || !bytes.Equal(got, oldPayload) {
-				t.Fatalf("untouched hidden sector after crash: err=%v", err)
-			}
-			// The fresh write never reached the superblock, so regardless
-			// of how far the embedding got it must be cleanly absent.
-			if _, err := v.HiddenRead(2); !errors.Is(err, ErrHiddenInvalid) {
-				t.Fatalf("unsynced fresh write after crash: want ErrHiddenInvalid, got %v", err)
-			}
+				// The fresh write never reached the superblock, so regardless
+				// of how far the embedding got it must be cleanly absent.
+				if _, err := v.HiddenRead(2); !errors.Is(err, ErrHiddenInvalid) {
+					t.Fatalf("unsynced fresh write after crash: want ErrHiddenInvalid, got %v", err)
+				}
 
-			// --- Sub-case 2: overwrite of a valid sector truncated. ---
-			newPayload := randSector(rng, v.HiddenSectorBytes())
-			plan.ArmPowerLossAfterPP(k)
-			werr = v.HiddenWrite(1, newPayload)
-			if werr != nil && !errors.Is(werr, nand.ErrPowerLoss) {
-				t.Fatalf("truncated overwrite: want ErrPowerLoss, got %v", werr)
-			}
-			chip.PowerCycle()
-			if err := v.Remount(master); err != nil {
-				t.Fatalf("remount after overwrite crash: %v", err)
-			}
-			checkPublic("after overwrite crash")
-			rep := v.LastRecovery()
-			got, err = v.HiddenRead(1)
-			switch {
-			case err == nil:
-				// Revealed: must be exactly the new payload. The cover was
-				// rewritten before the truncated embedding, so the old
-				// payload is gone; anything but the new bytes is garble.
-				if !bytes.Equal(got, newPayload) {
-					if bytes.Equal(got, oldPayload) {
-						t.Fatal("overwrite crash revealed the stale payload")
+				// --- Sub-case 2: overwrite of a valid sector truncated. ---
+				newPayload := randSector(rng, v.HiddenSectorBytes())
+				plan.ArmPowerLossAfterPP(k)
+				werr = v.HiddenWrite(1, newPayload)
+				if werr != nil && !errors.Is(werr, nand.ErrPowerLoss) {
+					t.Fatalf("truncated overwrite: want ErrPowerLoss, got %v", werr)
+				}
+				chip.PowerCycle()
+				if err := v.Remount(master); err != nil {
+					t.Fatalf("remount after overwrite crash: %v", err)
+				}
+				checkPublic("after overwrite crash")
+				rep := v.LastRecovery()
+				got, err = v.HiddenRead(1)
+				switch {
+				case err == nil:
+					// Revealed: must be exactly the new payload. The cover was
+					// rewritten before the truncated embedding, so the old
+					// payload is gone; anything but the new bytes is garble.
+					if !bytes.Equal(got, newPayload) {
+						if bytes.Equal(got, oldPayload) {
+							t.Fatal("overwrite crash revealed the stale payload")
+						}
+						t.Fatal("overwrite crash revealed a garbled payload")
 					}
-					t.Fatal("overwrite crash revealed a garbled payload")
+				case errors.Is(err, ErrHiddenInvalid):
+					// Scrubbed: acceptable only for a write that actually died,
+					// and the recovery report must own the decision.
+					if werr == nil {
+						t.Fatal("completed overwrite was scrubbed on remount")
+					}
+					found := false
+					for _, h := range rep.Scrubbed {
+						found = found || h == 1
+					}
+					if !found {
+						t.Fatalf("sector absent but not in scrub report %v", rep.Scrubbed)
+					}
+				default:
+					t.Fatalf("hidden read after overwrite crash: %v", err)
 				}
-			case errors.Is(err, ErrHiddenInvalid):
-				// Scrubbed: acceptable only for a write that actually died,
-				// and the recovery report must own the decision.
-				if werr == nil {
-					t.Fatal("completed overwrite was scrubbed on remount")
-				}
-				found := false
-				for _, h := range rep.Scrubbed {
-					found = found || h == 1
-				}
-				if !found {
-					t.Fatalf("sector absent but not in scrub report %v", rep.Scrubbed)
-				}
-			default:
-				t.Fatalf("hidden read after overwrite crash: %v", err)
-			}
 
-			// The trials above rely on the anchors staying put: garbage
-			// collection re-embedding payloads mid-crash would make the
-			// outcome depend on GC timing rather than on k.
-			if n := v.FTLStats().GCCopies; n != 0 {
-				t.Fatalf("workload triggered %d GC copies; volume sized wrong for this test", n)
-			}
-		})
+				// The trials above rely on the anchors staying put: garbage
+				// collection re-embedding payloads mid-crash would make the
+				// outcome depend on GC timing rather than on k.
+				if n := v.FTLStats().GCCopies; n != 0 {
+					t.Fatalf("workload triggered %d GC copies; volume sized wrong for this test", n)
+				}
+			})
+		}
 	}
 }
 
@@ -176,43 +196,45 @@ func TestCrashConsistencyPowerLoss(t *testing.T) {
 // enough errors that the pass rightly left it alone.
 func TestCrashRecoveryReplaysDegradedHide(t *testing.T) {
 	master := []byte("hidden-master")
-	for k := 1; k <= 10; k++ {
-		v, chip, plan := newCrashVolume(t, uint64(300+k))
-		rng := rand.New(rand.NewPCG(uint64(k), 0xd007))
-		payload := randSector(rng, v.HiddenSectorBytes())
-		if err := v.HiddenWrite(1, payload); err != nil {
-			t.Fatal(err)
-		}
-		if err := v.Sync(); err != nil {
-			t.Fatal(err)
-		}
-		plan.ArmPowerLossAfterPP(k)
-		_ = v.HiddenWrite(1, randSector(rng, v.HiddenSectorBytes()))
-		chip.PowerCycle()
-		if err := v.Remount(master); err != nil {
-			t.Fatalf("k=%d: remount: %v", k, err)
-		}
-		rep := v.LastRecovery()
-		if rep.Checked == 0 {
-			t.Fatalf("k=%d: recovery pass checked nothing", k)
-		}
-		if len(rep.Replayed) > 0 {
-			// A replayed sector must now reveal with a pristine margin:
-			// re-reading it immediately needs (near) zero correction.
-			got, err := v.HiddenRead(1)
-			if err != nil || got == nil {
-				t.Fatalf("k=%d: replayed sector unreadable: %v", k, err)
+	for _, sc := range crashSchemes {
+		for k := 1; k <= 10; k++ {
+			v, chip, plan := newCrashVolume(t, uint64(300+k), sc.factory)
+			rng := rand.New(rand.NewPCG(uint64(k), 0xd007))
+			payload := randSector(rng, v.HiddenSectorBytes())
+			if err := v.HiddenWrite(1, payload); err != nil {
+				t.Fatal(err)
 			}
-		}
-		// Whatever the pass decided, a second remount must be a no-op:
-		// recovery converges in one pass.
-		if err := v.Remount(master); err != nil {
-			t.Fatalf("k=%d: second remount: %v", k, err)
-		}
-		rep2 := v.LastRecovery()
-		if len(rep2.Replayed) != 0 || len(rep2.Scrubbed) != 0 {
-			t.Fatalf("k=%d: recovery did not converge: second pass replayed %v scrubbed %v",
-				k, rep2.Replayed, rep2.Scrubbed)
+			if err := v.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			plan.ArmPowerLossAfterPP(k)
+			_ = v.HiddenWrite(1, randSector(rng, v.HiddenSectorBytes()))
+			chip.PowerCycle()
+			if err := v.Remount(master); err != nil {
+				t.Fatalf("k=%d: remount: %v", k, err)
+			}
+			rep := v.LastRecovery()
+			if rep.Checked == 0 {
+				t.Fatalf("k=%d: recovery pass checked nothing", k)
+			}
+			if len(rep.Replayed) > 0 {
+				// A replayed sector must now reveal with a pristine margin:
+				// re-reading it immediately needs (near) zero correction.
+				got, err := v.HiddenRead(1)
+				if err != nil || got == nil {
+					t.Fatalf("k=%d: replayed sector unreadable: %v", k, err)
+				}
+			}
+			// Whatever the pass decided, a second remount must be a no-op:
+			// recovery converges in one pass.
+			if err := v.Remount(master); err != nil {
+				t.Fatalf("k=%d: second remount: %v", k, err)
+			}
+			rep2 := v.LastRecovery()
+			if len(rep2.Replayed) != 0 || len(rep2.Scrubbed) != 0 {
+				t.Fatalf("k=%d: recovery did not converge: second pass replayed %v scrubbed %v",
+					k, rep2.Replayed, rep2.Scrubbed)
+			}
 		}
 	}
 }

@@ -36,6 +36,7 @@ import (
 	"fmt"
 
 	"stashflash/internal/core"
+	"stashflash/internal/core/vthi"
 	"stashflash/internal/ftl"
 	"stashflash/internal/nand"
 	"stashflash/internal/prng"
@@ -47,8 +48,10 @@ type Config struct {
 	// HiddenSectors is the number of hidden sectors (including the
 	// superblock at sector 0).
 	HiddenSectors int
-	// Hiding is the VT-HI configuration for the payload embeddings.
-	Hiding core.Config
+	// Scheme builds the hiding backend for the payload embeddings; any
+	// registered core.Scheme works (core.SchemeByName(name).New). Nil
+	// means the default VT-HI robust configuration.
+	Scheme core.SchemeFactory
 	// FTL tunes the public volume's translation layer.
 	FTL ftl.Config
 }
@@ -57,7 +60,7 @@ type Config struct {
 func DefaultConfig(g nand.Geometry) Config {
 	return Config{
 		HiddenSectors: 16,
-		Hiding:        core.RobustConfig(),
+		Scheme:        vthi.Factory(vthi.RobustConfig()),
 		FTL:           ftl.DefaultConfig(g),
 	}
 }
@@ -79,9 +82,9 @@ const (
 
 // Volume is a mounted steganographic device. Not safe for concurrent use.
 type Volume struct {
-	dev     nand.VendorDevice
+	dev     nand.Device
 	ftl     *ftl.FTL
-	hider   *core.Hider
+	scheme  core.Scheme
 	keys    seal.Keys
 	cfg     Config
 	anchors []int       // hidden sector -> public LBA
@@ -115,11 +118,11 @@ func (m migrationHook) PageMoved(lba int, src, dst nand.PageAddr) error {
 	if !ok || !v.valid[h] {
 		return nil
 	}
-	payload, _, err := v.hider.Reveal(src, v.HiddenSectorBytes(), v.epoch(src))
+	payload, _, err := v.scheme.Reveal(src, v.HiddenSectorBytes(), v.epoch(src))
 	if err != nil {
 		return fmt.Errorf("stegfs: rescuing hidden sector %d during GC: %w", h, err)
 	}
-	if _, err := v.hider.Hide(dst, payload, v.epoch(dst)); err != nil {
+	if _, err := v.scheme.Hide(dst, payload, v.epoch(dst)); err != nil {
 		return fmt.Errorf("stegfs: re-embedding hidden sector %d: %w", h, err)
 	}
 	return nil
@@ -127,30 +130,34 @@ func (m migrationHook) PageMoved(lba int, src, dst nand.PageAddr) error {
 
 // Create formats a fresh device as a steganographic volume. masterKey
 // protects the hidden volume; publicKey encrypts the public volume (the
-// NU's ordinary disk-encryption credential). Any nand.VendorDevice
-// backend works, including the ONFI bus adapter.
-func Create(dev nand.VendorDevice, masterKey, publicKey []byte, cfg Config) (*Volume, error) {
+// NU's ordinary disk-encryption credential). Any nand.Device backend the
+// configured scheme supports works, including the ONFI bus adapter; the
+// default VT-HI scheme additionally needs the vendor command set.
+func Create(dev nand.Device, masterKey, publicKey []byte, cfg Config) (*Volume, error) {
 	if cfg.HiddenSectors < 2 {
 		return nil, fmt.Errorf("stegfs: need at least 2 hidden sectors (superblock + data), got %d", cfg.HiddenSectors)
 	}
-	hider, err := core.NewHider(dev, masterKey, cfg.Hiding)
+	if cfg.Scheme == nil {
+		cfg.Scheme = vthi.Factory(vthi.RobustConfig())
+	}
+	scheme, err := cfg.Scheme(dev, masterKey)
 	if err != nil {
 		return nil, err
 	}
 	keys := seal.DeriveKeys(masterKey)
 	v := &Volume{
-		dev:   dev,
-		hider: hider,
-		keys:  keys,
-		cfg:   cfg,
-		valid: make([]bool, cfg.HiddenSectors),
+		dev:    dev,
+		scheme: scheme,
+		keys:   keys,
+		cfg:    cfg,
+		valid:  make([]bool, cfg.HiddenSectors),
 	}
 	if max := v.maxHiddenSectors(); cfg.HiddenSectors > max {
 		return nil, fmt.Errorf("stegfs: %d hidden sectors exceed superblock bitmap capacity %d", cfg.HiddenSectors, max)
 	}
-	// Public sectors flow hider -> public ECC, sealed to their physical
+	// Public sectors flow scheme -> public ECC, sealed to their physical
 	// location by the shared ftl.SealedStore plumbing.
-	store := ftl.NewSealedStore(dev, core.PublicStore{H: hider}, seal.DeriveKeys(publicKey).Encrypt)
+	store := ftl.NewSealedStore(dev, core.PublicStore{S: scheme}, seal.DeriveKeys(publicKey).Encrypt)
 	hook := migrationHook{v: v}
 	f, err := ftl.New(dev, store, cfg.FTL, hook)
 	if err != nil {
@@ -166,7 +173,7 @@ func Create(dev nand.VendorDevice, masterKey, publicKey []byte, cfg Config) (*Vo
 
 // maxHiddenSectors bounds the bitmap the superblock payload can hold.
 func (v *Volume) maxHiddenSectors() int {
-	return (v.hider.HiddenPayloadBytes() - superHdrLen) * 8
+	return (v.scheme.HiddenPayloadBytes() - superHdrLen) * 8
 }
 
 // deriveAnchors computes the hidden-sector -> public-LBA map from the key.
@@ -190,7 +197,7 @@ func (v *Volume) PublicSectorBytes() int { return v.ftl.SectorBytes() }
 func (v *Volume) HiddenCapacity() int { return v.cfg.HiddenSectors - 1 }
 
 // HiddenSectorBytes returns the hidden sector size.
-func (v *Volume) HiddenSectorBytes() int { return v.hider.HiddenPayloadBytes() }
+func (v *Volume) HiddenSectorBytes() int { return v.scheme.HiddenPayloadBytes() }
 
 // epoch binds an embedding to its physical page generation: the block's
 // current PEC. It is derivable at read time with no stored state and can
@@ -225,7 +232,7 @@ func (v *Volume) PublicWrite(lba int, data []byte) error {
 			if err != nil {
 				return err
 			}
-			_, herr := v.hider.Hide(addr, carry, v.epoch(addr))
+			_, herr := v.scheme.Hide(addr, carry, v.epoch(addr))
 			if herr == nil {
 				return nil
 			}
@@ -259,7 +266,7 @@ func (v *Volume) hiddenReadAt(lba int) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	payload, _, err := v.hider.Reveal(addr, v.HiddenSectorBytes(), v.epoch(addr))
+	payload, _, err := v.scheme.Reveal(addr, v.HiddenSectorBytes(), v.epoch(addr))
 	return payload, err
 }
 
@@ -288,7 +295,7 @@ func (v *Volume) hiddenWriteAt(h, lba int, payload []byte) error {
 		if err != nil {
 			return err
 		}
-		_, herr := v.hider.Hide(addr, payload, v.epoch(addr))
+		_, herr := v.scheme.Hide(addr, payload, v.epoch(addr))
 		if herr == nil {
 			v.valid[h] = true
 			v.dirty = true
@@ -425,18 +432,18 @@ func parseSuperblock(payload, macKey []byte, nSectors int) ([]bool, error) {
 	return valid, nil
 }
 
-// Remount re-derives all hidden-volume state (hider, anchors, validity)
+// Remount re-derives all hidden-volume state (scheme, anchors, validity)
 // from the master key and the superblock — demonstrating that the hidden
 // volume needs no plaintext metadata — then runs the mount-time recovery
 // pass (see recoverMounted). It fails with ErrBadSuperblock if the key is
 // wrong or the superblock was never synced, leaving the volume unchanged.
 func (v *Volume) Remount(masterKey []byte) error {
-	hider, err := core.NewHider(v.dev, masterKey, v.cfg.Hiding)
+	scheme, err := v.cfg.Scheme(v.dev, masterKey)
 	if err != nil {
 		return err
 	}
 	probe := *v
-	probe.hider = hider
+	probe.scheme = scheme
 	probe.keys = seal.DeriveKeys(masterKey)
 	probe.deriveAnchors()
 	payload, err := probe.hiddenReadAt(probe.anchors[superSector])
@@ -448,7 +455,7 @@ func (v *Volume) Remount(masterKey []byte) error {
 		return err
 	}
 	copy(v.valid, valid)
-	v.hider = probe.hider
+	v.scheme = probe.scheme
 	v.keys = probe.keys
 	v.anchors = probe.anchors
 	v.anchorH = probe.anchorH
@@ -482,7 +489,7 @@ func (v *Volume) LastRecovery() RecoveryReport { return v.lastRecovery }
 // half-alive.
 func (v *Volume) recoverMounted() error {
 	rep := RecoveryReport{}
-	replayAt := v.cfg.Hiding.BCHT / 2
+	replayAt := v.scheme.CorrectionBudget() / 2
 	for h := firstUserSec; h < v.cfg.HiddenSectors; h++ {
 		if !v.valid[h] {
 			continue
@@ -498,7 +505,7 @@ func (v *Volume) recoverMounted() error {
 			scrub()
 			continue
 		}
-		payload, st, err := v.hider.Reveal(addr, v.HiddenSectorBytes(), v.epoch(addr))
+		payload, st, err := v.scheme.Reveal(addr, v.HiddenSectorBytes(), v.epoch(addr))
 		if err != nil {
 			scrub()
 			continue

@@ -1,0 +1,71 @@
+package tester
+
+import (
+	"fmt"
+
+	"stashflash/internal/core"
+	"stashflash/internal/nand"
+)
+
+// Scheme-driven procedures: the harness analogue of handing the lab tester
+// a firmware image. These consume the core.Scheme seam only, so the same
+// sequences run unchanged over every registered hiding backend — the
+// cross-scheme bake-off is built on them.
+
+// randBytes generates n bytes from the tester's host-side RNG.
+func (t *Tester) randBytes(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(t.rng.IntN(256))
+	}
+	return b
+}
+
+// HideBlock drives a scheme across every hidden-capable page of an erased
+// block: fresh pseudorandom public covers carrying fresh pseudorandom
+// hidden payloads through WriteAndHide. It returns the hidden payloads in
+// page order (for a later RevealBlock comparison) and the summed hide
+// stats — the scheme's write-amplification numerators.
+func (t *Tester) HideBlock(s core.Scheme, block int, epoch uint64) ([][]byte, core.HideStats, error) {
+	g := t.dev.Geometry()
+	stride := s.HiddenPageStride()
+	var agg core.HideStats
+	var payloads [][]byte
+	for p := 0; p < g.PagesPerBlock; p += stride {
+		a := nand.PageAddr{Block: block, Page: p}
+		hidden := t.randBytes(s.HiddenPayloadBytes())
+		st, err := s.WriteAndHide(a, t.randBytes(s.PublicDataBytes()), hidden, epoch)
+		agg.Steps += st.Steps
+		agg.Cells += st.Cells
+		agg.Retries += st.Retries
+		agg.FaultsAbsorbed += st.FaultsAbsorbed
+		if err != nil {
+			return payloads, agg, fmt.Errorf("tester: hiding into %v: %w", a, err)
+		}
+		payloads = append(payloads, hidden)
+	}
+	return payloads, agg, nil
+}
+
+// RevealBlock reads back every hidden payload of a block written by
+// HideBlock, returning the payloads in page order and the summed reveal
+// stats. Errors carry the failing page; partial results up to it are
+// returned.
+func (t *Tester) RevealBlock(s core.Scheme, block, n int, epoch uint64) ([][]byte, core.RevealStats, error) {
+	g := t.dev.Geometry()
+	stride := s.HiddenPageStride()
+	var agg core.RevealStats
+	var payloads [][]byte
+	for p := 0; p < g.PagesPerBlock; p += stride {
+		a := nand.PageAddr{Block: block, Page: p}
+		got, st, err := s.Reveal(a, n, epoch)
+		agg.CorrectedHidden += st.CorrectedHidden
+		agg.CorrectedPublic += st.CorrectedPublic
+		agg.Rereads += st.Rereads
+		if err != nil {
+			return payloads, agg, fmt.Errorf("tester: revealing %v: %w", a, err)
+		}
+		payloads = append(payloads, got)
+	}
+	return payloads, agg, nil
+}

@@ -19,7 +19,7 @@ import (
 	"errors"
 	"fmt"
 
-	"stashflash/internal/core"
+	"stashflash/internal/core/vthi"
 	"stashflash/internal/nand"
 	"stashflash/internal/seal"
 )
@@ -46,23 +46,24 @@ var (
 // DefaultConfig returns the recommended hiding configuration for
 // watermarking: the robust operating point with a slightly larger cell
 // budget so a record plus a 32-bit-or-better tag fits in one page.
-func DefaultConfig() core.Config {
-	cfg := core.RobustConfig()
+func DefaultConfig() vthi.Config {
+	cfg := vthi.RobustConfig()
 	cfg.HiddenCellsPerPage = 384
 	return cfg
 }
 
 // Marker embeds and verifies provenance records on one device.
 type Marker struct {
-	hider  *core.Hider
+	hider  *vthi.Hider
 	macKey []byte
 	tagLen int
 }
 
-// New builds a Marker from the authority's master secret. Any
-// nand.VendorDevice backend works.
-func New(dev nand.VendorDevice, master []byte, cfg core.Config) (*Marker, error) {
-	h, err := core.NewHider(dev, master, cfg)
+// New builds a Marker from the authority's master secret. Any nand.Device
+// backend with the vendor command set works; the capability is asserted at
+// construction.
+func New(dev nand.Device, master []byte, cfg vthi.Config) (*Marker, error) {
+	h, err := vthi.New(dev, master, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -79,7 +80,7 @@ func New(dev nand.VendorDevice, master []byte, cfg core.Config) (*Marker, error)
 
 // Hider exposes the underlying VT-HI pipeline (for callers that also
 // manage the public data on the marked pages).
-func (m *Marker) Hider() *core.Hider { return m.hider }
+func (m *Marker) Hider() *vthi.Hider { return m.hider }
 
 // encode serialises a record with its truncated tag bound to the page.
 func (m *Marker) encode(a nand.PageAddr, r Record) []byte {

@@ -4,7 +4,7 @@ import (
 	"math/rand/v2"
 	"testing"
 
-	"stashflash/internal/core"
+	"stashflash/internal/core/vthi"
 	"stashflash/internal/nand"
 )
 
@@ -129,7 +129,7 @@ func TestEraseDestroysMark(t *testing.T) {
 
 func TestTooSmallCapacityRejected(t *testing.T) {
 	chip := nand.NewChip(nand.ModelA().ScaleGeometry(8, 8, 4096), 7)
-	cfg := core.StandardConfig()
+	cfg := vthi.StandardConfig()
 	cfg.HiddenCellsPerPage = 160 // BCH(8,8): 64 parity -> 12 payload bytes < record+tag
 	cfg.BCHT = 8
 	if _, err := New(chip, []byte("k"), cfg); err == nil {

@@ -1,0 +1,83 @@
+// Package wom implements the two-generation write-once-memory code the
+// PEARL-style FTL hiding scheme (core/womftl) rides on: 2 public bits per
+// 3 NAND cells, writable twice without an erase. The code is a
+// nested-generation variant of the classic Rivest–Shamir 2-write WOM
+// code, chosen so every value's first-generation cell set is a strict
+// subset of its second-generation set — upgrading a triple to the same
+// public value only ever programs additional cells, which is the only
+// state change NAND permits without an erase.
+//
+// The deniability channel is the generation choice itself: both
+// generations of a value decode to the same public bits, so whether a
+// triple was written "fresh" (generation 1) or "upgraded" (generation 2)
+// is invisible to a public read yet carries one hidden bit per selected
+// triple for a key holder (PEARL, arXiv:2009.02011).
+//
+// Cell convention follows NAND data bits: 1 = erased, 0 = programmed.
+//
+//	value  gen-1 programmed set   gen-2 programmed set
+//	 00           {}                   {0,1,2}
+//	 01           {0}                  {0,1}
+//	 10           {1}                  {1,2}
+//	 11           {2}                  {0,2}
+//
+// All eight patterns are distinct, so decoding recovers both the value
+// and the generation: programmed weight 0/1 is generation 1, weight 2/3
+// generation 2.
+//
+// Only hiding-scheme packages (internal/core/...) may import this
+// package; the layering lint enforces it.
+package wom
+
+// CellsPerTriple is the code's block length in cells.
+const CellsPerTriple = 3
+
+// BitsPerTriple is the public payload of one triple.
+const BitsPerTriple = 2
+
+// Generations a triple can be in.
+const (
+	Gen1 = 1
+	Gen2 = 2
+)
+
+// gen1Sets[v] and gen2Sets[v] are the programmed-cell masks (bit i set =
+// cell i programmed) for value v at each generation. gen1Sets[v] is a
+// subset of gen2Sets[v] for every v — the monotonicity that makes the
+// upgrade a pure additive program.
+var (
+	gen1Sets = [4]uint8{0b000, 0b001, 0b010, 0b100}
+	gen2Sets = [4]uint8{0b111, 0b011, 0b110, 0b101}
+)
+
+// decodeTab maps a 3-bit programmed mask to (value, generation).
+var decodeTab = [8]struct{ value, gen uint8 }{}
+
+func init() {
+	for v := uint8(0); v < 4; v++ {
+		decodeTab[gen1Sets[v]] = struct{ value, gen uint8 }{v, Gen1}
+		decodeTab[gen2Sets[v]] = struct{ value, gen uint8 }{v, Gen2}
+	}
+}
+
+// Decode maps a triple's programmed-cell mask (bit i set = cell i
+// programmed) to its public value and generation. Every mask is a valid
+// codeword, so Decode is total.
+func Decode(programmedMask uint8) (value, gen uint8) {
+	e := decodeTab[programmedMask&0b111]
+	return e.value, e.gen
+}
+
+// ProgrammedSet returns the programmed-cell mask encoding value at gen.
+func ProgrammedSet(value, gen uint8) uint8 {
+	if gen == Gen2 {
+		return gen2Sets[value&0b11]
+	}
+	return gen1Sets[value&0b11]
+}
+
+// UpgradeSet returns the mask of cells to program to move value's triple
+// from generation 1 to generation 2 (the set difference gen2 \ gen1).
+func UpgradeSet(value uint8) uint8 {
+	return gen2Sets[value&0b11] &^ gen1Sets[value&0b11]
+}

@@ -1,0 +1,64 @@
+package wom
+
+import "testing"
+
+// TestCodewordsDistinct checks every (value, generation) pair maps to a
+// unique programmed-cell mask, so decoding recovers both.
+func TestCodewordsDistinct(t *testing.T) {
+	seen := map[uint8]string{}
+	for v := uint8(0); v < 4; v++ {
+		for _, g := range []uint8{Gen1, Gen2} {
+			m := ProgrammedSet(v, g)
+			if prev, dup := seen[m]; dup {
+				t.Fatalf("mask %03b encodes both %s and (v=%d,g=%d)", m, prev, v, g)
+			}
+			seen[m] = string(rune('0'+v)) + "g" + string(rune('0'+g))
+		}
+	}
+	if len(seen) != 8 {
+		t.Fatalf("expected all 8 masks used, got %d", len(seen))
+	}
+}
+
+// TestDecodeInvertsEncode checks Decode is the exact inverse of
+// ProgrammedSet over the whole code.
+func TestDecodeInvertsEncode(t *testing.T) {
+	for v := uint8(0); v < 4; v++ {
+		for _, g := range []uint8{Gen1, Gen2} {
+			gotV, gotG := Decode(ProgrammedSet(v, g))
+			if gotV != v || gotG != g {
+				t.Fatalf("Decode(ProgrammedSet(%d,%d)) = (%d,%d)", v, g, gotV, gotG)
+			}
+		}
+	}
+}
+
+// TestUpgradeIsMonotone checks the NAND-critical property: a same-value
+// generation upgrade only ever programs additional cells (gen1 set is a
+// strict subset of gen2 set), and UpgradeSet is exactly the difference.
+func TestUpgradeIsMonotone(t *testing.T) {
+	for v := uint8(0); v < 4; v++ {
+		g1, g2 := ProgrammedSet(v, Gen1), ProgrammedSet(v, Gen2)
+		if g1&^g2 != 0 {
+			t.Fatalf("value %d: gen1 mask %03b not a subset of gen2 mask %03b", v, g1, g2)
+		}
+		if up := UpgradeSet(v); up != g2&^g1 {
+			t.Fatalf("value %d: UpgradeSet %03b != gen2\\gen1 %03b", v, up, g2&^g1)
+		}
+		if g1 == g2 {
+			t.Fatalf("value %d: generations indistinguishable (mask %03b)", v, g1)
+		}
+	}
+}
+
+// TestDecodeTotal checks every 3-bit mask decodes without panicking and
+// re-encodes to itself — the code has no invalid words, so a public read
+// never faces an undecodable triple.
+func TestDecodeTotal(t *testing.T) {
+	for m := uint8(0); m < 8; m++ {
+		v, g := Decode(m)
+		if back := ProgrammedSet(v, g); back != m {
+			t.Fatalf("mask %03b decodes to (v=%d,g=%d) which re-encodes to %03b", m, v, g, back)
+		}
+	}
+}

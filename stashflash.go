@@ -28,7 +28,7 @@ package stashflash
 import (
 	"fmt"
 
-	"stashflash/internal/core"
+	"stashflash/internal/core/vthi"
 	"stashflash/internal/fleet"
 	"stashflash/internal/nand"
 	"stashflash/internal/obs"
@@ -44,12 +44,12 @@ type PageAddr = nand.PageAddr
 type Model = nand.Model
 
 // Hider is the VT-HI pipeline bound to one device and master secret.
-type Hider = core.Hider
+type Hider = vthi.Hider
 
 // HideStats and RevealStats report embedding/extraction costs.
 type (
-	HideStats   = core.HideStats
-	RevealStats = core.RevealStats
+	HideStats   = vthi.HideStats
+	RevealStats = vthi.RevealStats
 )
 
 // Volume is a steganographic hidden volume (§9.2 basic design).
@@ -58,7 +58,7 @@ type Volume = stegfs.Volume
 // StripeGeometry shapes RAID-like hiding across pages (§8): a payload
 // split over Data shards plus Parity recoverable page losses. Used with
 // Hider.HideStriped / Hider.RevealStriped.
-type StripeGeometry = core.StripeGeometry
+type StripeGeometry = vthi.StripeGeometry
 
 // Marker embeds and verifies provenance watermarks (§9.1).
 type Marker = watermark.Marker
@@ -81,16 +81,16 @@ const (
 	Robust
 )
 
-func (k ConfigKind) config() (core.Config, error) {
+func (k ConfigKind) config() (vthi.Config, error) {
 	switch k {
 	case Standard:
-		return core.StandardConfig(), nil
+		return vthi.StandardConfig(), nil
 	case Enhanced:
-		return core.EnhancedConfig(), nil
+		return vthi.EnhancedConfig(), nil
 	case Robust:
-		return core.RobustConfig(), nil
+		return vthi.RobustConfig(), nil
 	default:
-		return core.Config{}, fmt.Errorf("stashflash: unknown config kind %d", int(k))
+		return vthi.Config{}, fmt.Errorf("stashflash: unknown config kind %d", int(k))
 	}
 }
 
@@ -198,7 +198,7 @@ func (d *Device) NewHider(master []byte, kind ConfigKind) (*Hider, error) {
 	if err != nil {
 		return nil, err
 	}
-	return core.NewHider(d.dev, master, cfg)
+	return vthi.NewHider(d.dev, master, cfg)
 }
 
 // NewMarker builds a watermarking authority on the device (§9.1).
@@ -249,7 +249,7 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) { return fleet.New(cfg) }
 
 // CapacityReport summarises hidden capacity for a configuration on the
 // full-size vendor part.
-type CapacityReport = core.CapacityReport
+type CapacityReport = vthi.CapacityReport
 
 // PlanCapacity reports hidden capacity for an operating point on a model.
 func PlanCapacity(m Model, kind ConfigKind) (CapacityReport, error) {
@@ -257,5 +257,5 @@ func PlanCapacity(m Model, kind ConfigKind) (CapacityReport, error) {
 	if err != nil {
 		return CapacityReport{}, err
 	}
-	return core.PlanCapacity(m, cfg)
+	return vthi.PlanCapacity(m, cfg)
 }
