@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race fuzz-smoke lint-layering ci test-fleet bench bench-parallel bench-device bench-retention bench-schemes bench-check
+.PHONY: build test vet race fuzz-smoke lint-layering ci test-fleet bench bench-parallel bench-device bench-retention bench-schemes bench-fleet bench-check
 
 build:
 	$(GO) build ./...
@@ -18,11 +18,14 @@ race:
 
 # Brief fuzz runs from the committed seed corpora (testdata/fuzz). Each
 # target gets a few seconds — enough to catch regressions on the decode
-# and mount paths without turning CI into a fuzzing campaign.
+# and mount paths without turning CI into a fuzzing campaign. The deep
+# CI lane stretches each target: `make fuzz-smoke FUZZTIME=60s`.
+FUZZTIME ?= 10s
+
 fuzz-smoke:
-	$(GO) test ./internal/ecc -run '^$$' -fuzz '^FuzzBCHDecode$$' -fuzztime 10s
-	$(GO) test ./internal/ecc -run '^$$' -fuzz '^FuzzRSDecode$$' -fuzztime 10s
-	$(GO) test ./internal/stegfs -run '^$$' -fuzz '^FuzzSuperblockParse$$' -fuzztime 10s
+	$(GO) test ./internal/ecc -run '^$$' -fuzz '^FuzzBCHDecode$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/ecc -run '^$$' -fuzz '^FuzzRSDecode$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/stegfs -run '^$$' -fuzz '^FuzzSuperblockParse$$' -fuzztime $(FUZZTIME)
 
 # Layering gate: outside the device packages (internal/nand defines the
 # interfaces, internal/onfi adapts the bus) and test files, no function
@@ -72,6 +75,16 @@ lint-layering:
 		exit 1; \
 	fi
 	@echo "goroutine-ownership confinement: ok"
+	@bad=$$(grep -rln --include='*.go' '^[[:space:]]*go ' ./cmd/stashd \
+		--exclude='*_test.go' \
+		| grep -v '^\./cmd/stashd/run\.go$$' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "lint-layering: inside cmd/stashd only run.go (the server lifecycle) may start goroutines"; \
+		echo "(handlers and persistence stay synchronous; concurrency lives behind the fleet's coalescer queues):"; \
+		echo "$$bad"; \
+		exit 1; \
+	fi
+	@echo "stashd goroutine confinement: ok"
 	@bad=$$(grep -rn --include='*.go' 'nand\.VendorDevice' . \
 		--exclude-dir=related --exclude-dir=.git \
 		--exclude='*_test.go' \
@@ -131,6 +144,13 @@ bench-retention:
 bench-schemes:
 	$(GO) run ./cmd/experiments -schemesbenchjson BENCH_schemes.json
 
+# Regenerate BENCH_fleet.json: the multi-tenant fleet read path, batched
+# vs unbatched, at fan-outs 1/4/16 — plus the measured batching win
+# (ops per queue crossing at the top fan-out) the baseline's win_floor
+# makes benchdiff enforce.
+bench-fleet:
+	$(GO) run ./cmd/experiments -fleetbenchjson BENCH_fleet.json
+
 # Bench-regression gate: regenerate both benchmark documents into
 # untracked temp files and diff them against the committed baselines with
 # cmd/benchdiff. Fails when the fresh run is slower than the tolerance
@@ -145,3 +165,5 @@ bench-check:
 	$(GO) run ./cmd/benchdiff -baseline BENCH_retention.json -fresh .bench_fresh_retention.json
 	$(GO) run ./cmd/experiments -schemesbenchjson .bench_fresh_schemes.json
 	$(GO) run ./cmd/benchdiff -baseline BENCH_schemes.json -fresh .bench_fresh_schemes.json
+	$(GO) run ./cmd/experiments -fleetbenchjson .bench_fresh_fleet.json
+	$(GO) run ./cmd/benchdiff -baseline BENCH_fleet.json -fresh .bench_fresh_fleet.json

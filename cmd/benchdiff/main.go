@@ -17,8 +17,15 @@
 // experiments under 5ms in the baseline are reported but never fail the
 // gate. The parallel schema (workersN_ms), the device schema
 // (onfi_ms/direct_ms), the retention schema (lazy_ms/eager_ms, from
-// cmd/experiments -retbenchjson) and the scheme schema (scheme_ms, from
-// cmd/experiments -schemesbenchjson) are all understood.
+// cmd/experiments -retbenchjson), the scheme schema (scheme_ms, from
+// cmd/experiments -schemesbenchjson) and the fleet schema (fleet_ms,
+// from cmd/experiments -fleetbenchjson) are all understood.
+//
+// The fleet schema additionally carries a win gate: the baseline's
+// win_floor is the minimum multi-tenant batching win (measured ops per
+// queue crossing, batched over unbatched, at the largest fan-out) a
+// fresh run must reproduce in its max_fan_win — a coalescer that stops
+// merging fails the gate no matter how the wall-clock entries look.
 package main
 
 import (
@@ -39,6 +46,7 @@ type entry struct {
 	ONFIMs     float64 `json:"onfi_ms"`
 	LazyMs     float64 `json:"lazy_ms"`
 	SchemeMs   float64 `json:"scheme_ms"`
+	FleetMs    float64 `json:"fleet_ms"`
 }
 
 // headlineMs returns the wall-clock number the gate compares: the
@@ -56,7 +64,10 @@ func (e entry) headlineMs() float64 {
 	if e.LazyMs > 0 {
 		return e.LazyMs
 	}
-	return e.SchemeMs
+	if e.SchemeMs > 0 {
+		return e.SchemeMs
+	}
+	return e.FleetMs
 }
 
 // report is the subset of both benchmark documents the gate reads.
@@ -67,6 +78,13 @@ type report struct {
 	TotalONFIMs   float64 `json:"total_onfi_ms"`
 	TotalLazyMs   float64 `json:"total_lazy_ms"`
 	TotalSchemeMs float64 `json:"total_scheme_ms"`
+	TotalFleetMs  float64 `json:"total_fleet_ms"`
+
+	// Fleet-schema win gate: WinFloor is set in the committed baseline,
+	// MaxFanWin is what a run measured (see cmd/experiments
+	// -fleetbenchjson for the metric's definition).
+	WinFloor  float64 `json:"win_floor"`
+	MaxFanWin float64 `json:"max_fan_win"`
 }
 
 func (r report) totalMs() float64 {
@@ -81,6 +99,9 @@ func (r report) totalMs() float64 {
 	}
 	if r.TotalSchemeMs > 0 {
 		return r.TotalSchemeMs
+	}
+	if r.TotalFleetMs > 0 {
+		return r.TotalFleetMs
 	}
 	var t float64
 	for _, e := range r.Experiments {
@@ -128,6 +149,14 @@ func compare(baseline, fresh report, tol float64) (lines []string, failed bool) 
 	for id := range base {
 		failed = true
 		lines = append(lines, fmt.Sprintf("%-10s FAIL: present in baseline but missing from fresh run", id))
+	}
+	if baseline.WinFloor > 0 {
+		verdict := "ok"
+		if fresh.MaxFanWin < baseline.WinFloor {
+			failed = true
+			verdict = "FAIL: below the baseline win floor"
+		}
+		lines = append(lines, fmt.Sprintf("%-10s %8.2fx floor -> %7.2fx measured %s", "WIN", baseline.WinFloor, fresh.MaxFanWin, verdict))
 	}
 	bt, ft := baseline.totalMs(), fresh.totalMs()
 	if bt > 0 {

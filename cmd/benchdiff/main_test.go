@@ -188,6 +188,74 @@ func TestCompareSchemeSchema(t *testing.T) {
 	}
 }
 
+func TestCompareFleetSchema(t *testing.T) {
+	base := report{
+		Experiments: []entry{
+			{ID: "fanout16/unbatched", FleetMs: 80},
+			{ID: "fanout16/batched", FleetMs: 40},
+		},
+		TotalFleetMs: 120,
+		WinFloor:     2.0,
+		MaxFanWin:    15.0,
+	}
+	fresh := report{
+		Experiments: []entry{
+			{ID: "fanout16/unbatched", FleetMs: 85},
+			{ID: "fanout16/batched", FleetMs: 42},
+		},
+		TotalFleetMs: 127,
+		MaxFanWin:    14.5,
+	}
+	lines, failed := compare(base, fresh, 0.25)
+	if failed {
+		t.Fatalf("mild fleet-schema slowdown failed:\n%s", strings.Join(lines, "\n"))
+	}
+	if !hasLine(lines, "85.0ms") {
+		t.Errorf("fleet schema fleet_ms column not used:\n%s", strings.Join(lines, "\n"))
+	}
+	if !hasLine(lines, "WIN") {
+		t.Errorf("win gate not reported:\n%s", strings.Join(lines, "\n"))
+	}
+	slow := report{
+		Experiments: []entry{
+			{ID: "fanout16/unbatched", FleetMs: 250},
+			{ID: "fanout16/batched", FleetMs: 42},
+		},
+		TotalFleetMs: 292,
+		MaxFanWin:    14.5,
+	}
+	if _, failed := compare(base, slow, 0.25); !failed {
+		t.Error("3x fleet hot-path slowdown passed the gate")
+	}
+}
+
+// TestCompareFleetWinFloor: a coalescer that stops merging fails the
+// gate through the win floor even when every wall-clock entry improves.
+func TestCompareFleetWinFloor(t *testing.T) {
+	base := report{
+		Experiments:  []entry{{ID: "fanout16/batched", FleetMs: 40}},
+		TotalFleetMs: 40,
+		WinFloor:     2.0,
+		MaxFanWin:    15.0,
+	}
+	broken := report{
+		Experiments:  []entry{{ID: "fanout16/batched", FleetMs: 38}},
+		TotalFleetMs: 38,
+		MaxFanWin:    1.0,
+	}
+	lines, failed := compare(base, broken, 0.25)
+	if !failed {
+		t.Fatalf("win collapse passed the gate:\n%s", strings.Join(lines, "\n"))
+	}
+	if !hasLine(lines, "below the baseline win floor") {
+		t.Errorf("missing win-floor verdict:\n%s", strings.Join(lines, "\n"))
+	}
+	// A baseline without a win floor (the other schemas) never gates wins.
+	if _, failed := compare(report{Experiments: base.Experiments, TotalFleetMs: 40}, broken, 0.25); failed {
+		t.Error("win gate fired without a baseline win floor")
+	}
+}
+
 func TestDefaultTolerance(t *testing.T) {
 	t.Setenv("STASHFLASH_BENCH_TOLERANCE", "")
 	if got := defaultTolerance(); got != 0.15 {

@@ -1,0 +1,212 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"stashflash/internal/fleet"
+	"stashflash/internal/nand"
+	"stashflash/internal/obs"
+	"stashflash/internal/parallel"
+)
+
+// Fleet benchmark (-fleetbenchjson): drives the multi-tenant read path
+// of the sharded fleet with cross-tenant batching on and off, at
+// fan-outs of 1, 4 and 16 concurrent tenants per shard. The chips are
+// tiny on purpose: with almost no silicon work per operation the
+// workload isolates the per-operation queue-crossing overhead that the
+// coalescer exists to amortise — the regime a many-tenant stashd under
+// load lives in.
+//
+// Two things feed the benchdiff gate:
+//
+//   - The wall-clock entries (fleet_ms per fan-out and mode) are
+//     regression-gated against the committed baseline with the usual
+//     tolerance, like every other BENCH_*.json.
+//   - max_fan_win is the multi-tenant batching win at the largest
+//     fan-out: measured operations per queue crossing, batched over
+//     unbatched, from the fleet's own counters. Unbatched, every
+//     operation is its own crossing (the ratio's denominator is 1 by
+//     construction, but it is measured, not assumed); batched, the
+//     coalescer merges concurrent tenants into shared crossings. This
+//     is the amortisation factor that the multi-plane/cached ONFI
+//     command set of Cai et al. converts into device-level parallelism,
+//     and — in the style of the repo's §8 throughput arithmetic — it is
+//     the enforceable throughput win: schedule noise moves wall-clock
+//     numbers by double-digit percents on a loaded host, while a broken
+//     coalescer collapses this ratio to 1.0 no matter the host.
+//     benchdiff fails a fresh run whose max_fan_win is below the
+//     baseline's win_floor.
+type fleetBenchEntry struct {
+	ID      string  `json:"id"`
+	FleetMs float64 `json:"fleet_ms"`
+}
+
+// fleetBenchReport is the BENCH_fleet.json document.
+type fleetBenchReport struct {
+	Scale        string            `json:"scale"`
+	Seed         uint64            `json:"seed"`
+	NumCPU       int               `json:"num_cpu"`
+	GoMaxProcs   int               `json:"gomaxprocs"`
+	Shards       int               `json:"shards"`
+	Rounds       int               `json:"rounds"`
+	WinMetric    string            `json:"win_metric"`
+	WinFloor     float64           `json:"win_floor"`
+	MaxFanWin    float64           `json:"max_fan_win"`
+	Experiments  []fleetBenchEntry `json:"experiments"`
+	TotalFleetMs float64           `json:"total_fleet_ms"`
+}
+
+const (
+	// fleetBenchShards is the fleet width under test.
+	fleetBenchShards = 4
+	// fleetBenchRounds is how many reads each tenant submits per timed run.
+	fleetBenchRounds = 1000
+	// fleetBenchWinFloor is the minimum batched-over-unbatched
+	// ops-per-crossing ratio at the largest fan-out the committed
+	// baseline demands of fresh runs.
+	fleetBenchWinFloor = 2.0
+	// fleetBenchWinMetric documents how max_fan_win is computed.
+	fleetBenchWinMetric = "ops per queue crossing, batched/unbatched, at the largest fan-out"
+)
+
+// fleetBenchFanouts are the tenants-per-shard levels.
+var fleetBenchFanouts = []int{1, 4, 16}
+
+// fleetBenchReps is the best-of repetition count per timed scenario. A
+// variable so the flag-plumbing tests can drop it to 1 (and the deep CI
+// lane can raise it).
+var fleetBenchReps = 5
+
+// fleetBenchConfig is the fleet shape under test: tiny pages so the
+// queue crossing, not the sense, is the dominant per-operation cost.
+func fleetBenchConfig(seed uint64, batching *fleet.Batching, stats *obs.FleetStats) fleet.Config {
+	return fleet.Config{
+		Shards:   fleetBenchShards,
+		Model:    nand.ModelA().ScaleGeometry(8, 4, 16),
+		Seed:     seed,
+		Batching: batching,
+		Stats:    stats,
+	}
+}
+
+// fleetBenchSetup programs every block so the timed reads walk real
+// data. Setup cost is outside every timed region.
+func fleetBenchSetup(f *fleet.Fleet) error {
+	g := f.Geometry()
+	data := make([]byte, 2*g.PageBytes)
+	for i := range data {
+		data[i] = byte(i*7 + 3)
+	}
+	return parallel.ForEach(fleetBenchShards, fleetBenchShards, func(s int) error {
+		for b := 0; b < g.Blocks; b++ {
+			if err := f.EraseBlock(s, b); err != nil {
+				return err
+			}
+			if _, err := f.ProgramPages(s, nand.PageAddr{Block: b}, data); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// fleetBenchRun times one fan level: fan tenants per shard, each
+// submitting fleetBenchRounds single-page reads into a reused buffer.
+// Reads are pure, so the fleet's state is identical before and after
+// and repetitions compose.
+func fleetBenchRun(f *fleet.Fleet, fan int) (float64, error) {
+	g := f.Geometry()
+	units := fan * fleetBenchShards
+	runtime.GC()
+	start := time.Now()
+	err := parallel.ForEach(units, units, func(u int) error {
+		shard := u % fleetBenchShards
+		buf := make([]byte, g.PageBytes)
+		for r := 0; r < fleetBenchRounds; r++ {
+			a := nand.PageAddr{Block: (u + r) % g.Blocks, Page: r % 2}
+			if _, rerr := f.ReadPagesInto(shard, a, 1, buf); rerr != nil {
+				return rerr
+			}
+		}
+		return nil
+	})
+	return float64(time.Since(start).Microseconds()) / 1e3, err
+}
+
+// runFleetBench times every (fan-out, mode) scenario and writes the
+// BENCH_fleet.json document.
+func runFleetBench(path string, seed uint64) error {
+	rep := fleetBenchReport{
+		Scale:      "fleet-tiny",
+		Seed:       seed,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Shards:     fleetBenchShards,
+		Rounds:     fleetBenchRounds,
+		WinMetric:  fleetBenchWinMetric,
+		WinFloor:   fleetBenchWinFloor,
+	}
+	maxFan := fleetBenchFanouts[len(fleetBenchFanouts)-1]
+	best := map[string]float64{}
+	opsPerCrossing := map[string]float64{}
+	modes := []struct {
+		name     string
+		batching *fleet.Batching
+	}{
+		{"unbatched", nil},
+		{"batched", &fleet.Batching{MaxOps: 32}},
+	}
+	for _, mode := range modes {
+		stats := &obs.FleetStats{}
+		f, err := fleet.New(fleetBenchConfig(seed, mode.batching, stats))
+		if err != nil {
+			return err
+		}
+		if err := fleetBenchSetup(f); err != nil {
+			f.Close()
+			return fmt.Errorf("fleet bench setup (%s): %w", mode.name, err)
+		}
+		for _, fan := range fleetBenchFanouts {
+			id := fmt.Sprintf("fanout%d/%s", fan, mode.name)
+			before := stats.Snapshot()
+			for r := 0; r < fleetBenchReps; r++ {
+				ms, err := fleetBenchRun(f, fan)
+				if err != nil {
+					f.Close()
+					return fmt.Errorf("%s: %w", id, err)
+				}
+				if r == 0 || ms < best[id] {
+					best[id] = ms
+				}
+			}
+			after := stats.Snapshot()
+			ops := after.OpsExecuted - before.OpsExecuted
+			crossings := after.QueueCrossings - before.QueueCrossings
+			if crossings > 0 {
+				opsPerCrossing[id] = float64(ops) / float64(crossings)
+			}
+			rep.Experiments = append(rep.Experiments, fleetBenchEntry{ID: id, FleetMs: best[id]})
+			rep.TotalFleetMs += best[id]
+			fmt.Fprintf(os.Stderr, "%-20s %10.3fms   %6.2f ops/crossing\n", id, best[id], opsPerCrossing[id])
+		}
+		f.Close()
+	}
+	if u := opsPerCrossing[fmt.Sprintf("fanout%d/unbatched", maxFan)]; u > 0 {
+		rep.MaxFanWin = opsPerCrossing[fmt.Sprintf("fanout%d/batched", maxFan)] / u
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "total: %.3fms; batching win at fanout%d: %.2fx ops/crossing (floor %.2fx); wrote %s\n",
+		rep.TotalFleetMs, maxFan, rep.MaxFanWin, rep.WinFloor, path)
+	return nil
+}

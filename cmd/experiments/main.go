@@ -84,6 +84,8 @@ func main() {
 	devBenchJSON := flag.String("devbenchjson", "", "time each experiment at backend=direct vs backend=onfi and write the comparison to this JSON file")
 	retBenchJSON := flag.String("retbenchjson", "", "time the fixed retention aging scenarios over the lazy vs eager engine and write the comparison to this JSON file (takes no experiment ids)")
 	schemesBenchJSON := flag.String("schemesbenchjson", "", "time each hiding scheme's hide/reveal/post-hoc operations on full-geometry chips and write the measurements to this JSON file (takes no experiment ids)")
+	fleetBenchJSON := flag.String("fleetbenchjson", "", "time the fleet's multi-tenant read path batched vs unbatched at fan-outs 1/4/16 and write the measurements to this JSON file (takes no experiment ids)")
+	benchReps := flag.Int("reps", 0, "override the best-of repetition count of the fixed-scenario benches (0 keeps each bench's default; the deep CI lane uses 10)")
 	metricsJSON := flag.String("metricsjson", "", "record per-operation device metrics across the run and write the snapshot to this JSON file (schema: EXPERIMENTS.md)")
 	traceCycles := flag.Int("trace", 0, "with -metricsjson: keep the last N ONFI bus cycles in the snapshot (needs -backend onfi)")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and expvar debug endpoints on this address for the duration of the run (e.g. localhost:6060)")
@@ -132,8 +134,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: debug server on http://%s/debug/\n", ln.Addr())
 	}
 
-	// The retention and scheme benches run fixed scenarios, not experiment
-	// entries, so they are resolved before the ids-required check.
+	// The retention, scheme and fleet benches run fixed scenarios, not
+	// experiment entries, so they are resolved before the ids-required
+	// check.
+	if *benchReps > 0 {
+		retBenchReps, schemesBenchReps, fleetBenchReps = *benchReps, *benchReps, *benchReps
+	}
 	if *retBenchJSON != "" {
 		if err := runRetentionBench(*retBenchJSON, scale.Seed); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -143,6 +149,13 @@ func main() {
 	}
 	if *schemesBenchJSON != "" {
 		if err := runSchemesBench(*schemesBenchJSON, scale.Seed); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *fleetBenchJSON != "" {
+		if err := runFleetBench(*fleetBenchJSON, scale.Seed); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}

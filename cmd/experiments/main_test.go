@@ -165,6 +165,53 @@ func TestRunSchemesBenchWritesDocument(t *testing.T) {
 	}
 }
 
+func TestRunFleetBenchWritesDocument(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives a multi-tenant fleet; skipped in -short mode")
+	}
+	defer func(old int) { fleetBenchReps = old }(fleetBenchReps)
+	fleetBenchReps = 1
+
+	path := filepath.Join(t.TempDir(), "fleetbench.json")
+	if err := runFleetBench(path, 11); err != nil {
+		t.Fatal(err)
+	}
+	doc := readJSON(t, path)
+	if doc["seed"].(float64) != 11 || doc["shards"].(float64) != fleetBenchShards {
+		t.Fatalf("seed/shards not plumbed: %v", doc)
+	}
+	if doc["win_floor"].(float64) != fleetBenchWinFloor {
+		t.Fatalf("win_floor not plumbed: %v", doc["win_floor"])
+	}
+	exps, ok := doc["experiments"].([]any)
+	if !ok || len(exps) != 2*len(fleetBenchFanouts) {
+		t.Fatalf("want %d scenario entries, got %v", 2*len(fleetBenchFanouts), doc["experiments"])
+	}
+	seen := map[string]bool{}
+	for _, raw := range exps {
+		e := raw.(map[string]any)
+		id, _ := e["id"].(string)
+		seen[id] = true
+		if ms, ok := e["fleet_ms"].(float64); !ok || ms < 0 {
+			t.Errorf("scenario %q fleet_ms malformed: %v", id, e)
+		}
+	}
+	for _, want := range []string{"fanout1/unbatched", "fanout4/unbatched", "fanout16/unbatched",
+		"fanout1/batched", "fanout4/batched", "fanout16/batched"} {
+		if !seen[want] {
+			t.Errorf("scenario %q missing from report (have %v)", want, seen)
+		}
+	}
+	if doc["total_fleet_ms"].(float64) <= 0 {
+		t.Fatalf("total implausible: %v", doc["total_fleet_ms"])
+	}
+	// The coalescer must actually merge at the top fan-out: the win the
+	// committed baseline's floor enforces has to reproduce here.
+	if win := doc["max_fan_win"].(float64); win < fleetBenchWinFloor {
+		t.Fatalf("max_fan_win %.2f below the %v floor", win, fleetBenchWinFloor)
+	}
+}
+
 func TestWriteMetricsSnapshotDocument(t *testing.T) {
 	c := obs.NewCollector(0)
 	dev := c.Wrap(nand.NewChip(nand.TestModel(), 1))

@@ -8,7 +8,15 @@
 //	       [-blocks 20 -pages 8 -pagebytes 2040] [-seed 1]
 //	       [-backend direct|onfi] [-hidden-sectors N]
 //	       [-program-fail P -erase-fail P -badblock-frac F -dead-blocks N]
+//	       [-max-inflight-shard N] [-max-inflight N]
+//	       [-batch-ops N -batch-window D] [-state DIR]
 //	       [-debug-addr :6060]
+//
+// With -state DIR, shutdown persists the fleet (chip images + routing)
+// and the tenant table (reservations and sealed volume snapshots — key
+// hashes only, never keys) into DIR, and startup restores from it when
+// present: tenants re-mount onto the same shards and pre-restart hides
+// survive.
 //
 // API (JSON bodies; see DESIGN.md §15 for the full table):
 //
@@ -51,6 +59,12 @@ func main() {
 		badBlockFrac = flag.Float64("badblock-frac", 0, "fraction of blocks that wear out early")
 		deadBlocks   = flag.Int("dead-blocks", 0, "grown-bad-block retirement limit (0 default, <0 never)")
 
+		maxInflightShard = flag.Int("max-inflight-shard", 64, "admission budget per shard (0 = unlimited)")
+		maxInflight      = flag.Int("max-inflight", 512, "admission budget fleet-wide (0 = unlimited)")
+		batchOps         = flag.Int("batch-ops", 0, "coalesce up to N fleet ops per chip-queue crossing (0 = off)")
+		batchWindow      = flag.Duration("batch-window", 0, "flush deadline for a part-filled batch (0 = immediate)")
+
+		stateDir  = flag.String("state", "", "restart-persistence directory; empty = volatile")
 		debugAddr = flag.String("debug-addr", "", "debug server (pprof, expvar, /debug/metrics); empty = off")
 	)
 	flag.Parse()
@@ -61,7 +75,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "stashd:", err)
 		os.Exit(2)
 	}
-	f, err := fleet.New(cfg)
+	fstats := &obs.FleetStats{}
+	cfg.Stats = fstats
+	cfg.MaxInflightShard = *maxInflightShard
+	cfg.MaxInflightFleet = *maxInflight
+	if *batchOps > 0 {
+		cfg.Batching = &fleet.Batching{MaxOps: *batchOps, Window: *batchWindow}
+	}
+	var f *fleet.Fleet
+	if *stateDir != "" && fleet.HasState(*stateDir) {
+		f, err = fleet.Restore(cfg, *stateDir)
+		if err == nil {
+			log.Printf("stashd: restored fleet state from %s", *stateDir)
+		}
+	} else {
+		f, err = fleet.New(cfg)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "stashd:", err)
 		os.Exit(2)
@@ -73,7 +102,10 @@ func main() {
 		}
 		log.Printf("stashd: debug server on %s", lis.Addr())
 	}
-	srv := newServer(f, metrics, *hidden)
+	srv := newServer(f, metrics, fstats, *hidden, *stateDir)
+	if err := srv.loadTenants(); err != nil {
+		log.Fatalf("stashd: %v", err)
+	}
 	if err := run(*addr, srv); err != nil {
 		log.Fatalf("stashd: %v", err)
 	}

@@ -1,0 +1,228 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"stashflash/internal/fleet"
+	"stashflash/internal/nand"
+	"stashflash/internal/obs"
+)
+
+// newBudgetedTestServer builds a server over a fleet with admission
+// budgets and fleet-wide stats wired, mirroring main.go's assembly.
+func newBudgetedTestServer(t *testing.T, shards, maxShard, maxFleet int) (*server, http.Handler, *obs.FleetStats) {
+	t.Helper()
+	cfg, metrics := testFleetConfig(shards, 0, nil)
+	fstats := &obs.FleetStats{}
+	cfg.Stats = fstats
+	cfg.MaxInflightShard = maxShard
+	cfg.MaxInflightFleet = maxFleet
+	f, err := fleet.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(f, metrics, fstats, 0, "")
+	t.Cleanup(s.close)
+	return s, s.routes(), fstats
+}
+
+// callRec is call with access to the response headers.
+func callRec(t *testing.T, h http.Handler, method, path string, body any) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(method, path, bytes.NewReader(raw))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var doc map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("%s %s: response is not JSON: %v\n%s", method, path, err, rec.Body.String())
+	}
+	return rec, doc
+}
+
+// blockShard parks a closure on the shard's chip goroutine while holding
+// one admitted slot, returning a release func. It unblocks the caller
+// only once the closure is running (the slot is genuinely held).
+func blockShard(t *testing.T, s *server, shard int) (release func()) {
+	t.Helper()
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = s.f.Exec(shard, func(nand.LabDevice) error {
+			close(entered)
+			<-gate
+			return nil
+		})
+	}()
+	<-entered
+	return func() {
+		close(gate)
+		wg.Wait()
+	}
+}
+
+// TestOverloadReturns429 drives the admission budget to exhaustion
+// through the HTTP surface: the overflow request is a typed 429 with a
+// Retry-After hint — returned immediately, never enqueued, never hung —
+// and the reject shows up in the stats document's fleet section and the
+// per-shard gauges. Releasing the budget restores service with no
+// residue.
+func TestOverloadReturns429(t *testing.T) {
+	s, h, fstats := newBudgetedTestServer(t, 1, 0, 1)
+
+	if code, doc := call(t, h, "POST", "/v1/mount", mountReq("alice", "k1")); code != http.StatusOK {
+		t.Fatalf("mount: %d %v", code, doc)
+	}
+	release := blockShard(t, s, 0)
+
+	rec, doc := callRec(t, h, "POST", "/v1/hide", hideReq("alice", "k1", 1, []byte("over budget")))
+	if rec.Code != http.StatusTooManyRequests || kindOf(doc) != "overloaded" {
+		t.Fatalf("hide over budget: %d %s %v", rec.Code, kindOf(doc), doc)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("429 without a Retry-After header")
+	}
+
+	// The stats document carries the admission counters.
+	_, sdoc := call(t, h, "GET", "/v1/stats", nil)
+	fdoc, ok := sdoc["fleet"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats document has no fleet section: %v", sdoc)
+	}
+	if fdoc["schema"] != obs.FleetStatsSchema {
+		t.Fatalf("fleet stats schema = %v, want %q", fdoc["schema"], obs.FleetStatsSchema)
+	}
+	if fdoc["admission_rejects"].(float64) < 1 || fdoc["inflight"].(float64) != 1 {
+		t.Fatalf("fleet stats after reject: %v", fdoc)
+	}
+	shard0 := sdoc["shards"].([]any)[0].(map[string]any)
+	if shard0["admission_rejects"].(float64) < 1 {
+		t.Fatalf("shard gauge missed the reject: %v", shard0)
+	}
+
+	release()
+	if got := fstats.Snapshot().Inflight; got != 0 {
+		t.Fatalf("inflight after release: %d, want 0", got)
+	}
+	if code, doc := call(t, h, "POST", "/v1/hide", hideReq("alice", "k1", 1, []byte("after backoff"))); code != http.StatusOK {
+		t.Fatalf("hide after release: %d %v", code, doc)
+	}
+}
+
+// TestPerShardBudgetIsolatesTenants: one tenant saturating its shard's
+// budget must not consume another tenant's admission capacity.
+func TestPerShardBudgetIsolatesTenants(t *testing.T) {
+	s, h, _ := newBudgetedTestServer(t, 2, 1, 0)
+	for _, m := range []map[string]any{mountReq("alice", "k1"), mountReq("bob", "k2")} {
+		if code, doc := call(t, h, "POST", "/v1/mount", m); code != http.StatusOK {
+			t.Fatalf("mount: %d %v", code, doc)
+		}
+	}
+	release := blockShard(t, s, 0)
+	defer release()
+
+	if rec, doc := callRec(t, h, "POST", "/v1/hide", hideReq("alice", "k1", 1, []byte("x"))); rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("saturated shard: %d %v", rec.Code, doc)
+	}
+	if code, doc := call(t, h, "POST", "/v1/hide", hideReq("bob", "k2", 1, []byte("unaffected"))); code != http.StatusOK {
+		t.Fatalf("bob behind his own budget: %d %v", code, doc)
+	}
+}
+
+// TestGracefulShutdownDrainsInflight pins run()'s shutdown ordering over
+// real sockets: a request already admitted to a chip queue completes
+// with its real answer — never shutting_down, never a dropped
+// connection — before Shutdown returns and the fleet closes.
+func TestGracefulShutdownDrainsInflight(t *testing.T) {
+	cfg, metrics := testFleetConfig(1, 0, nil)
+	fstats := &obs.FleetStats{}
+	cfg.Stats = fstats
+	f, err := fleet.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(f, metrics, fstats, 0, "")
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: s.routes()}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- hs.Serve(lis) }()
+	base := "http://" + lis.Addr().String()
+
+	post := func(path string, body map[string]any) (int, map[string]any, error) {
+		raw, _ := json.Marshal(body)
+		resp, err := http.Post(base+path, "application/json", bytes.NewReader(raw))
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		var doc map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			return 0, nil, err
+		}
+		return resp.StatusCode, doc, nil
+	}
+	if code, doc, err := post("/v1/mount", mountReq("alice", "k1")); err != nil || code != http.StatusOK {
+		t.Fatalf("mount: %d %v (err=%v)", code, doc, err)
+	}
+
+	// Park the chip goroutine so the next hide is pinned in flight.
+	release := blockShard(t, s, 0)
+	type result struct {
+		code int
+		kind string
+		err  error
+	}
+	resc := make(chan result, 1)
+	go func() {
+		code, doc, err := post("/v1/hide", hideReq("alice", "k1", 1, []byte("drain me")))
+		resc <- result{code: code, kind: kindOf(doc), err: err}
+	}()
+	// The hide is admitted once fleet inflight reaches 2 (the parked
+	// closure plus the hide itself).
+	for deadline := time.Now().Add(10 * time.Second); fstats.Snapshot().Inflight < 2; {
+		if time.Now().After(deadline) {
+			t.Fatal("hide never reached the chip queue")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	shutDone := make(chan error, 1)
+	go func() { shutDone <- hs.Shutdown(context.Background()) }()
+	select {
+	case err := <-shutDone:
+		t.Fatalf("shutdown completed with a request in flight (err=%v)", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	release()
+	if err := <-shutDone; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	res := <-resc
+	if res.err != nil {
+		t.Fatalf("in-flight hide dropped during shutdown: %v", res.err)
+	}
+	if res.code != http.StatusOK {
+		t.Fatalf("in-flight hide answered %d/%s during shutdown, want 200", res.code, res.kind)
+	}
+	<-serveDone
+	// Only now — listener drained — does run() close the fleet.
+	s.close()
+}

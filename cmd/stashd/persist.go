@@ -1,0 +1,185 @@
+// stashd's restart persistence: the tenant table rides alongside the
+// fleet state so a restarted service puts every tenant back on the shard
+// it reserved, and a re-mount with the same key reopens the same volume
+// (pre-restart hides intact) instead of reformatting.
+//
+// What is saved per tenant: the shard reservation, the chip the volume
+// lives on, the scheme name, the SHA-256 hash of the API key, the cached
+// capacity numbers, the reveal-trim length cache, and the volume's FTL
+// snapshot. What is NEVER saved: the key itself, or anything derived
+// from it that could open the volume — a restarted stashd holds sealed
+// state it cannot read until the tenant presents the key again, exactly
+// the deniability posture the rest of the stack keeps.
+//
+// Like server.go, this file runs device work only inside fleet closures
+// and must not start goroutines (layering lint).
+package main
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"stashflash/internal/fleet"
+	"stashflash/internal/ftl"
+	"stashflash/internal/nand"
+)
+
+// tenantTableSchema versions tenants.gob; a mismatch refuses the load
+// rather than misinterpreting an old layout.
+const tenantTableSchema = "stashflash-stashd-tenants/v1"
+
+// savedVolume is the reopenable half of a persisted tenant: the FTL map
+// snapshot plus the reveal-trim cache, held until the tenant's next
+// mount proves the key.
+type savedVolume struct {
+	ftl  ftl.State
+	lens map[int]int
+}
+
+// savedTenant is one row of the persisted tenant table.
+type savedTenant struct {
+	Name      string
+	Shard     int
+	Chip      int
+	Scheme    string
+	KeyHash   [32]byte
+	HiddenCap int
+	HiddenSB  int
+	Lens      map[int]int
+	FTL       *ftl.State // nil: the tenant held only a reservation (no live volume)
+}
+
+// tenantTable is the tenants.gob document.
+type tenantTable struct {
+	Schema  string
+	Tenants []savedTenant
+}
+
+func tenantTablePath(dir string) string { return filepath.Join(dir, "tenants.gob") }
+
+// persist writes the tenant table and then the fleet state into
+// s.stateDir. Call only after the HTTP listener has drained and before
+// close: each live volume is synced and snapshotted on its own chip
+// goroutine, then the chips are imaged, so the two halves agree.
+func (s *server) persist() error {
+	if s.stateDir == "" {
+		return nil
+	}
+	s.mu.Lock()
+	tenants := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		tenants = append(tenants, t)
+	}
+	s.mu.Unlock()
+	sort.Slice(tenants, func(i, j int) bool { return tenants[i].name < tenants[j].name })
+
+	table := tenantTable{Schema: tenantTableSchema}
+	for _, t := range tenants {
+		s.mu.Lock()
+		row := savedTenant{
+			Name: t.name, Shard: t.shard, Chip: t.chip, Scheme: t.scheme,
+			KeyHash: t.keyHash, HiddenCap: t.hiddenCap, HiddenSB: t.hiddenSB,
+		}
+		vol, chip, saved := t.vol, t.chip, t.saved
+		lens := make(map[int]int, len(t.lens))
+		for sec, n := range t.lens {
+			lens[sec] = n
+		}
+		s.mu.Unlock()
+		switch {
+		case vol != nil:
+			var st ftl.State
+			err := s.f.ExecOn(t.shard, func(execChip int, _ nand.LabDevice) error {
+				if execChip != chip {
+					return errStaleVolume
+				}
+				if serr := vol.Sync(); serr != nil {
+					return serr
+				}
+				st = vol.FTLState()
+				return nil
+			})
+			switch {
+			case err == nil:
+				row.FTL, row.Lens = &st, lens
+			case errors.Is(err, fleet.ErrShardDegraded), errors.Is(err, errStaleVolume),
+				errors.Is(err, fleet.ErrFleetExhausted):
+				// The volume died with its chip; persist the reservation only.
+			default:
+				return fmt.Errorf("stashd: snapshotting tenant %q: %w", t.name, err)
+			}
+		case saved != nil:
+			// The tenant never re-mounted since the last restore: carry the
+			// unspent snapshot forward untouched.
+			st := saved.ftl
+			row.FTL, row.Lens = &st, saved.lens
+		}
+		table.Tenants = append(table.Tenants, row)
+	}
+
+	if err := os.MkdirAll(s.stateDir, 0o755); err != nil {
+		return err
+	}
+	path := tenantTablePath(s.stateDir)
+	tmp, err := os.CreateTemp(s.stateDir, ".tmp-tenants-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := gob.NewEncoder(tmp).Encode(table); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return s.f.Save(s.stateDir)
+}
+
+// loadTenants populates the tenant table from s.stateDir. Volumes stay
+// unmounted (no keys are stored); each tenant's snapshot waits on its
+// saved field until the tenant mounts again. A missing table is an empty
+// one — a fresh state directory starts clean.
+func (s *server) loadTenants() error {
+	if s.stateDir == "" {
+		return nil
+	}
+	file, err := os.Open(tenantTablePath(s.stateDir))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer file.Close()
+	var table tenantTable
+	if err := gob.NewDecoder(file).Decode(&table); err != nil {
+		return fmt.Errorf("stashd: parsing tenant table: %w", err)
+	}
+	if table.Schema != tenantTableSchema {
+		return fmt.Errorf("stashd: tenant table schema %q, want %q", table.Schema, tenantTableSchema)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, row := range table.Tenants {
+		if row.Shard < 0 || row.Shard >= s.f.Shards() {
+			return fmt.Errorf("stashd: tenant %q on shard %d outside the fleet", row.Name, row.Shard)
+		}
+		t := &tenant{
+			name: row.Name, shard: row.Shard, chip: row.Chip, scheme: row.Scheme,
+			keyHash: row.KeyHash, hiddenCap: row.HiddenCap, hiddenSB: row.HiddenSB,
+		}
+		if row.FTL != nil {
+			t.saved = &savedVolume{ftl: *row.FTL, lens: row.Lens}
+		}
+		s.tenants[row.Name] = t
+	}
+	return nil
+}

@@ -1,0 +1,229 @@
+package main
+
+import (
+	"bytes"
+	"encoding/base64"
+	"net/http"
+	"testing"
+
+	"stashflash/internal/fleet"
+	"stashflash/internal/nand"
+)
+
+// newPersistentTestServer is newTestServer with a state directory: the
+// first call formats a fresh fleet, later calls restore from dir (the
+// "restart").
+func newPersistentTestServer(t *testing.T, shards, spares int, faults *nand.FaultConfig, dir string) (*server, http.Handler) {
+	t.Helper()
+	cfg, metrics := testFleetConfig(shards, spares, faults)
+	var (
+		f   *fleet.Fleet
+		err error
+	)
+	if fleet.HasState(dir) {
+		f, err = fleet.Restore(cfg, dir)
+	} else {
+		f, err = fleet.New(cfg)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(f, metrics, nil, 0, dir)
+	if err := s.loadTenants(); err != nil {
+		t.Fatal(err)
+	}
+	return s, s.routes()
+}
+
+// shutdownPersist mimics run()'s ordering: snapshot after the (test-)
+// traffic has drained, then close the fleet.
+func shutdownPersist(t *testing.T, s *server) {
+	t.Helper()
+	if err := s.persist(); err != nil {
+		t.Fatalf("persist: %v", err)
+	}
+	s.close()
+}
+
+// TestRestartRemountsTenants is the acceptance round trip: tenants mount
+// and hide, the service persists and "restarts", and each tenant's next
+// mount lands on the same shard with every pre-restart hide revealable —
+// while before that mount (no key on the server) the volume stays sealed.
+func TestRestartRemountsTenants(t *testing.T) {
+	dir := t.TempDir()
+	s, h := newPersistentTestServer(t, 2, 0, nil, dir)
+
+	alicePay := []byte("alice survives")
+	bobPay := []byte("bob too")
+	if code, doc := call(t, h, "POST", "/v1/mount", mountReq("alice", "k1")); code != http.StatusOK || doc["shard"].(float64) != 0 {
+		t.Fatalf("alice mount: %d %v", code, doc)
+	}
+	if code, doc := call(t, h, "POST", "/v1/mount",
+		map[string]any{"tenant": "bob", "key": "k2", "scheme": "womftl"}); code != http.StatusOK || doc["shard"].(float64) != 1 {
+		t.Fatalf("bob mount: %d %v", code, doc)
+	}
+	if code, doc := call(t, h, "POST", "/v1/hide", hideReq("alice", "k1", 1, alicePay)); code != http.StatusOK {
+		t.Fatalf("alice hide: %d %v", code, doc)
+	}
+	if code, doc := call(t, h, "POST", "/v1/hide", hideReq("bob", "k2", 2, bobPay)); code != http.StatusOK {
+		t.Fatalf("bob hide: %d %v", code, doc)
+	}
+	shutdownPersist(t, s)
+
+	// Restart. The tenant table is back but every volume is sealed: the
+	// server holds key hashes and an unreadable snapshot, nothing more.
+	s2, h2 := newPersistentTestServer(t, 2, 0, nil, dir)
+	defer s2.close()
+	if code, doc := call(t, h2, "POST", "/v1/reveal", revealReq("alice", "k1", 1)); code != http.StatusServiceUnavailable || kindOf(doc) != "shard_degraded" {
+		t.Fatalf("reveal before re-mount: %d %v", code, doc)
+	}
+	if code, doc := call(t, h2, "POST", "/v1/mount", mountReq("alice", "WRONG")); code != http.StatusForbidden || kindOf(doc) != "wrong_key" {
+		t.Fatalf("mount with wrong key after restart: %d %v", code, doc)
+	}
+
+	// The real key reopens the volume on the same shard.
+	code, doc := call(t, h2, "POST", "/v1/mount", mountReq("alice", "k1"))
+	if code != http.StatusOK || doc["shard"].(float64) != 0 || !doc["remounted"].(bool) {
+		t.Fatalf("alice re-mount after restart: %d %v", code, doc)
+	}
+	code, doc = call(t, h2, "POST", "/v1/reveal", revealReq("alice", "k1", 1))
+	got, err := base64.StdEncoding.DecodeString(doc["data"].(string))
+	if code != http.StatusOK || err != nil || !bytes.Equal(got, alicePay) {
+		t.Fatalf("alice pre-restart hide: %d %q (err=%v)", code, got, err)
+	}
+	// Scheme follows the tenant across the restart.
+	code, doc = call(t, h2, "POST", "/v1/mount",
+		map[string]any{"tenant": "bob", "key": "k2", "scheme": "womftl"})
+	if code != http.StatusOK || doc["shard"].(float64) != 1 || !doc["remounted"].(bool) || doc["scheme"].(string) != "womftl" {
+		t.Fatalf("bob re-mount after restart: %d %v", code, doc)
+	}
+	code, doc = call(t, h2, "POST", "/v1/reveal", revealReq("bob", "k2", 2))
+	got, _ = base64.StdEncoding.DecodeString(doc["data"].(string))
+	if code != http.StatusOK || !bytes.Equal(got, bobPay) {
+		t.Fatalf("bob pre-restart hide: %d %q", code, got)
+	}
+
+	// The reopened volume stays writable and a new tenant still fits the
+	// untouched capacity math.
+	fresh := []byte("post-restart hide")
+	if code, doc := call(t, h2, "POST", "/v1/hide", hideReq("alice", "k1", 3, fresh)); code != http.StatusOK {
+		t.Fatalf("post-restart hide: %d %v", code, doc)
+	}
+	code, doc = call(t, h2, "POST", "/v1/reveal", revealReq("alice", "k1", 3))
+	got, _ = base64.StdEncoding.DecodeString(doc["data"].(string))
+	if code != http.StatusOK || !bytes.Equal(got, fresh) {
+		t.Fatalf("post-restart round trip: %d %q", code, got)
+	}
+}
+
+// TestRestartSurvivesSecondRestart: a tenant that never re-mounts keeps
+// its snapshot across ANOTHER persist/restart cycle (the unspent
+// snapshot is carried forward, not dropped).
+func TestRestartSurvivesSecondRestart(t *testing.T) {
+	dir := t.TempDir()
+	s, h := newPersistentTestServer(t, 1, 0, nil, dir)
+	payload := []byte("twice restarted")
+	if code, doc := call(t, h, "POST", "/v1/mount", mountReq("alice", "k1")); code != http.StatusOK {
+		t.Fatalf("mount: %d %v", code, doc)
+	}
+	if code, doc := call(t, h, "POST", "/v1/hide", hideReq("alice", "k1", 1, payload)); code != http.StatusOK {
+		t.Fatalf("hide: %d %v", code, doc)
+	}
+	shutdownPersist(t, s)
+
+	s2, _ := newPersistentTestServer(t, 1, 0, nil, dir)
+	shutdownPersist(t, s2) // alice never presented her key
+
+	s3, h3 := newPersistentTestServer(t, 1, 0, nil, dir)
+	defer s3.close()
+	if code, doc := call(t, h3, "POST", "/v1/mount", mountReq("alice", "k1")); code != http.StatusOK || !doc["remounted"].(bool) {
+		t.Fatalf("mount after two restarts: %d %v", code, doc)
+	}
+	code, doc := call(t, h3, "POST", "/v1/reveal", revealReq("alice", "k1", 1))
+	got, _ := base64.StdEncoding.DecodeString(doc["data"].(string))
+	if code != http.StatusOK || !bytes.Equal(got, payload) {
+		t.Fatalf("hide after two restarts: %d %q", code, got)
+	}
+}
+
+// TestRestartAfterRemapRejectsStaleSnapshot: the shard remaps to a spare
+// AFTER the snapshot was taken (here: after the restart restores it).
+// The snapshot describes the dead chip, so the tenant's mount must NOT
+// reopen it — a fresh format on the replacement chip is the truth, and
+// the pre-restart sector is typed gone, never a wrong read.
+func TestRestartAfterRemapRejectsStaleSnapshot(t *testing.T) {
+	faults := &nand.FaultConfig{BadBlockFrac: 1e-15}
+	dir := t.TempDir()
+	s, h := newPersistentTestServer(t, 1, 1, faults, dir)
+	if code, doc := call(t, h, "POST", "/v1/mount", mountReq("alice", "k1")); code != http.StatusOK {
+		t.Fatalf("mount: %d %v", code, doc)
+	}
+	if code, doc := call(t, h, "POST", "/v1/hide", hideReq("alice", "k1", 1, []byte("on chip 0"))); code != http.StatusOK {
+		t.Fatalf("hide: %d %v", code, doc)
+	}
+	shutdownPersist(t, s)
+
+	s2, h2 := newPersistentTestServer(t, 1, 1, faults, dir)
+	defer s2.close()
+	// Kill chip 0: the shard remaps to the spare while alice's snapshot
+	// still names chip 0.
+	if err := s2.f.Exec(0, func(dev nand.LabDevice) error {
+		nand.PlanOf(dev).ArmPowerLossAfterPP(0)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.f.Exec(0, func(dev nand.LabDevice) error {
+		return dev.PartialProgram(nand.PageAddr{Block: 0, Page: 0}, []int{0})
+	}); err == nil {
+		t.Fatal("expected the armed power loss to kill chip 0")
+	}
+	code, doc := call(t, h2, "POST", "/v1/mount", mountReq("alice", "k1"))
+	if code != http.StatusOK || doc["remounted"].(bool) || doc["chip"].(float64) != 1 {
+		t.Fatalf("mount after remap: want fresh format on the spare, got %d %v", code, doc)
+	}
+	if code, doc = call(t, h2, "POST", "/v1/reveal", revealReq("alice", "k1", 1)); code != http.StatusNotFound || kindOf(doc) != "no_data" {
+		t.Fatalf("stale sector after remap: %d %v", code, doc)
+	}
+}
+
+// TestRemapThenRestartKeepsStaleRejection: the chip dies BEFORE the
+// snapshot — the persisted row is a bare reservation. After restart the
+// data path stays a typed 503 until the tenant re-mounts, and the
+// re-mount formats fresh on the replacement chip.
+func TestRemapThenRestartKeepsStaleRejection(t *testing.T) {
+	faults := &nand.FaultConfig{BadBlockFrac: 1e-15}
+	dir := t.TempDir()
+	s, h := newPersistentTestServer(t, 1, 1, faults, dir)
+	if code, doc := call(t, h, "POST", "/v1/mount", mountReq("alice", "k1")); code != http.StatusOK {
+		t.Fatalf("mount: %d %v", code, doc)
+	}
+	if code, doc := call(t, h, "POST", "/v1/hide", hideReq("alice", "k1", 1, []byte("doomed"))); code != http.StatusOK {
+		t.Fatalf("hide: %d %v", code, doc)
+	}
+	if err := s.f.Exec(0, func(dev nand.LabDevice) error {
+		nand.PlanOf(dev).ArmPowerLossAfterPP(0)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if code, doc := call(t, h, "POST", "/v1/hide", hideReq("alice", "k1", 2, []byte("trigger"))); code != http.StatusServiceUnavailable {
+		t.Fatalf("hide on dying chip: %d %v", code, doc)
+	}
+	shutdownPersist(t, s)
+
+	s2, h2 := newPersistentTestServer(t, 1, 1, faults, dir)
+	defer s2.close()
+	// The reservation survived, the volume did not: data path is typed
+	// unavailable, and the re-mount provisions fresh on the spare.
+	if code, doc := call(t, h2, "POST", "/v1/reveal", revealReq("alice", "k1", 1)); code != http.StatusServiceUnavailable || kindOf(doc) != "shard_degraded" {
+		t.Fatalf("reveal after remap+restart: %d %v", code, doc)
+	}
+	code, doc := call(t, h2, "POST", "/v1/mount", mountReq("alice", "k1"))
+	if code != http.StatusOK || doc["remounted"].(bool) || doc["chip"].(float64) != 1 {
+		t.Fatalf("mount after remap+restart: %d %v", code, doc)
+	}
+	if code, doc = call(t, h2, "POST", "/v1/reveal", revealReq("alice", "k1", 1)); code != http.StatusNotFound {
+		t.Fatalf("dead chip's sector after fresh format: %d %v", code, doc)
+	}
+}

@@ -8,6 +8,7 @@ package main
 import (
 	"context"
 	"errors"
+	"fmt"
 	"log"
 	"net"
 	"net/http"
@@ -43,6 +44,12 @@ func run(addr string, s *server) error {
 	defer cancel()
 	if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
+	}
+	// The listener has drained: every in-flight request completed, so the
+	// tenant table and chip state are quiescent — the one moment a
+	// consistent restart snapshot can be cut.
+	if err := s.persist(); err != nil {
+		return fmt.Errorf("persisting state: %w", err)
 	}
 	return nil
 }

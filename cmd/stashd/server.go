@@ -58,6 +58,11 @@ type tenant struct {
 	// return the exact bytes (hidden sectors are stored padded). It is a
 	// session cache: after a re-mount, reveal returns full padded sectors.
 	lens map[int]int
+	// saved carries a restart-persisted volume snapshot (FTL map + lens
+	// cache) until the tenant presents its key again: the next mount
+	// reopens the volume from it instead of formatting, as long as the
+	// shard still routes to the chip the snapshot was taken on.
+	saved *savedVolume
 }
 
 // server multiplexes tenants onto the fleet. Handlers never touch a
@@ -65,18 +70,22 @@ type tenant struct {
 type server struct {
 	f             *fleet.Fleet
 	metrics       *obs.LabelSet
+	fstats        *obs.FleetStats
 	hiddenSectors int
+	stateDir      string // "" = no restart persistence
 	start         time.Time
 
 	mu      sync.Mutex
 	tenants map[string]*tenant
 }
 
-func newServer(f *fleet.Fleet, metrics *obs.LabelSet, hiddenSectors int) *server {
+func newServer(f *fleet.Fleet, metrics *obs.LabelSet, fstats *obs.FleetStats, hiddenSectors int, stateDir string) *server {
 	return &server{
 		f:             f,
 		metrics:       metrics,
+		fstats:        fstats,
 		hiddenSectors: hiddenSectors,
+		stateDir:      stateDir,
 		start:         time.Now(),
 		tenants:       make(map[string]*tenant),
 	}
@@ -132,6 +141,11 @@ func writeOpErr(w http.ResponseWriter, err error) {
 		writeErr(w, http.StatusServiceUnavailable, "shard_degraded", err)
 	case errors.Is(err, fleet.ErrClosed):
 		writeErr(w, http.StatusServiceUnavailable, "shutting_down", err)
+	case errors.Is(err, fleet.ErrOverloaded):
+		// Admission control said no: the inflight budget is spent. The
+		// client backs off and retries — nothing was enqueued or dropped.
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests, "overloaded", err)
 	case errors.Is(err, stegfs.ErrHiddenInvalid):
 		writeErr(w, http.StatusNotFound, "no_data", err)
 	case errors.Is(err, stegfs.ErrHiddenRange), errors.Is(err, stegfs.ErrSectorReserved):
@@ -263,6 +277,16 @@ func (s *server) handleMount(w http.ResponseWriter, r *http.Request) {
 	}
 	shard := t.shard
 	isNew := !exists
+	// A restart-persisted snapshot reopens the volume instead of
+	// formatting — but only with the scheme it was saved under and only
+	// while the shard still routes to the chip it was saved on (checked
+	// inside the closure; a remap while the service was down means the
+	// snapshot describes dead silicon and a fresh format is the truth).
+	reopen := t.saved
+	wantChip := t.chip
+	if reopen != nil && t.scheme != schemeName {
+		reopen = nil
+	}
 	s.mu.Unlock()
 
 	cfg := stegfs.DefaultConfig(s.f.Geometry())
@@ -276,9 +300,19 @@ func (s *server) handleMount(w http.ResponseWriter, r *http.Request) {
 		vol           *stegfs.Volume
 		onChip        int
 		capSec, secSB int
+		reopened      bool
 	)
 	err = s.f.ExecOn(shard, func(chip int, dev nand.LabDevice) error {
-		v, cerr := stegfs.Create(dev, master, public, cfg)
+		var (
+			v    *stegfs.Volume
+			cerr error
+		)
+		if reopen != nil && chip == wantChip {
+			v, cerr = stegfs.Open(dev, master, public, cfg, reopen.ftl)
+			reopened = cerr == nil
+		} else {
+			v, cerr = stegfs.Create(dev, master, public, cfg)
+		}
 		if cerr != nil {
 			return cerr
 		}
@@ -303,9 +337,19 @@ func (s *server) handleMount(w http.ResponseWriter, r *http.Request) {
 	t.scheme = schemeName
 	t.hiddenCap, t.hiddenSB = capSec, secSB
 	t.lens = make(map[int]int)
+	if reopened {
+		for sec, n := range reopen.lens {
+			t.lens[sec] = n
+		}
+	}
+	// Whatever happened — reopened, chip moved, scheme changed — the
+	// snapshot is spent: the volume now live (or freshly formatted) is
+	// the authority.
+	t.saved = nil
 	resp := mountResponse{
 		Tenant: t.name, Shard: t.shard, Chip: t.chip, Scheme: t.scheme,
 		HiddenCapacity: t.hiddenCap, HiddenSectorBytes: t.hiddenSB,
+		Remounted: reopened,
 	}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, resp)
@@ -473,6 +517,7 @@ type statsResponse struct {
 	Tenants       int                     `json:"tenants"`
 	SparesLeft    int                     `json:"spares_left"`
 	Shards        []fleet.ShardStatus     `json:"shards"`
+	Fleet         *obs.FleetSnapshot      `json:"fleet,omitempty"`
 	Chips         map[string]obs.Snapshot `json:"chips,omitempty"`
 }
 
@@ -486,6 +531,10 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Tenants:       n,
 		SparesLeft:    s.f.SparesLeft(),
 		Shards:        s.f.Status(),
+	}
+	if s.fstats != nil {
+		snap := s.fstats.Snapshot()
+		resp.Fleet = &snap
 	}
 	if s.metrics != nil {
 		resp.Chips = s.metrics.Snapshots()

@@ -41,7 +41,7 @@ func newTestServer(t *testing.T, shards, spares int, faults *nand.FaultConfig) (
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := newServer(f, metrics, 0)
+	s := newServer(f, metrics, nil, 0, "")
 	t.Cleanup(s.close)
 	return s, s.routes()
 }

@@ -112,7 +112,7 @@ func TestExperimentsDeterministicAcrossWorkers(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment sweep in -short mode")
 	}
-	ids := []string{"fig2", "fig7", "fig8", "fig9", "relia", "pubber", "vendor2", "sumstat", "faults"}
+	ids := []string{"fig2", "fig7", "fig8", "fig9", "relia", "pubber", "vendor2", "sumstat", "faults", "fleetload"}
 	for _, id := range ids {
 		id := id
 		t.Run(id, func(t *testing.T) {

@@ -27,6 +27,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig10", "fig11", "fig12", "tbl1",
 		"thru", "energy", "wear", "cap", "relia", "vendor2", "pubber",
 		"snapshot", "sumstat", "fig10page", "faults", "retyears", "schemes",
+		"fleetload",
 	}
 	for _, id := range want {
 		if _, err := Lookup(id); err != nil {

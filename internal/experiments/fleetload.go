@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"stashflash/internal/fleet"
+	"stashflash/internal/nand"
+	"stashflash/internal/parallel"
+)
+
+// fleetload: the cross-tenant batching equivalence experiment. F
+// concurrent read-only tenants per shard (F = 1, 4, 16) walk a shared
+// multi-chip fleet twice — once with per-shard coalescing enabled, once
+// without — and every tenant's transcript digest must equal the digest
+// the standalone reference device produces for that tenant's walk. The
+// result is the service-layer face of the determinism argument in
+// internal/fleet/coalesce.go: coalescing changes only how operations
+// cross the chip queue, never what the chip computes.
+//
+// The geometry is deliberately tiny and fixed: the experiment's content
+// is concurrency (fan-out levels, batched vs unbatched), not cell
+// statistics, so Scale contributes only the seed and the backend.
+// Fan-out is likewise experiment content, so the submitter count is the
+// fan level itself, never Scale.Workers — which keeps the rendered
+// Result bit-identical across worker settings.
+
+const (
+	flShards = 4  // fleet width: enough shards to interleave, cheap to format
+	flRounds = 5  // reads+probes per tenant transcript
+	flMaxFan = 16 // highest tenants-per-shard level
+)
+
+// flFanouts are the tenants-per-shard levels the experiment sweeps.
+var flFanouts = []int{1, 4, 16}
+
+// flOps is the device-or-fleet walk surface, mirroring the façade the
+// coalescer equivalence tests drive.
+type flOps struct {
+	geom    nand.Geometry
+	erase   func(block int) error
+	program func(start nand.PageAddr, data []byte) (int, error)
+	read    func(start nand.PageAddr, pages int) ([]byte, int, error)
+	probe   func(start nand.PageAddr, pages int) ([]uint8, int, error)
+}
+
+func flDeviceOps(dev nand.LabDevice) flOps {
+	g := dev.Geometry()
+	return flOps{
+		geom:    g,
+		erase:   dev.EraseBlock,
+		program: func(start nand.PageAddr, data []byte) (int, error) { return nand.ProgramPages(dev, start, data) },
+		read: func(start nand.PageAddr, pages int) ([]byte, int, error) {
+			out := make([]byte, pages*g.PageBytes)
+			n, err := nand.ReadPages(dev, start, pages, out)
+			return out, n, err
+		},
+		probe: func(start nand.PageAddr, pages int) ([]uint8, int, error) {
+			out := make([]uint8, pages*g.CellsPerPage())
+			n, err := nand.ProbeVoltages(dev, start, pages, out)
+			return out, n, err
+		},
+	}
+}
+
+func flFleetOps(f *fleet.Fleet, shard int) flOps {
+	return flOps{
+		geom:    f.Geometry(),
+		erase:   func(block int) error { return f.EraseBlock(shard, block) },
+		program: func(start nand.PageAddr, data []byte) (int, error) { return f.ProgramPages(shard, start, data) },
+		read: func(start nand.PageAddr, pages int) ([]byte, int, error) {
+			return f.ReadPages(shard, start, pages)
+		},
+		probe: func(start nand.PageAddr, pages int) ([]uint8, int, error) {
+			return f.ProbeVoltages(shard, start, pages)
+		},
+	}
+}
+
+// flConfig is the fleet shape under test; the chip seed derives from the
+// run seed so reference devices and fleet chips are the same silicon.
+func (s Scale) flConfig(batching *fleet.Batching) fleet.Config {
+	seed, _ := s.subSeed("fleetload/fleet")
+	return fleet.Config{
+		Shards:   flShards,
+		Model:    nand.ModelA().ScaleGeometry(8, 4, 512),
+		Seed:     seed,
+		Backend:  s.Backend,
+		Batching: batching,
+	}
+}
+
+// flSetup programs every block of a shard with stream-derived data: the
+// deterministic state the read-only tenants walk.
+func flSetup(ops flOps, s Scale, shard int) error {
+	rng := s.rng("fleetload/shard", uint64(shard))
+	g := ops.geom
+	data := make([]byte, 2*g.PageBytes)
+	for b := 0; b < g.Blocks; b++ {
+		if err := ops.erase(b); err != nil {
+			return err
+		}
+		for i := range data {
+			data[i] = byte(rng.Uint64())
+		}
+		if _, err := ops.program(nand.PageAddr{Block: b, Page: 0}, data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flTenantDigest is one tenant's read-only transcript: a page walk that
+// is a function of the tenant index alone. Reads and probes never mutate
+// chip state, so the digest is independent of how concurrent tenants
+// interleave — the property that makes per-tenant comparison against a
+// sequential reference sound at every fan-out.
+func flTenantDigest(ops flOps, tenant int) (string, error) {
+	g := ops.geom
+	h := sha256.New()
+	for r := 0; r < flRounds; r++ {
+		b := (tenant + 3*r) % g.Blocks
+		data, _, err := ops.read(nand.PageAddr{Block: b, Page: 0}, 2)
+		if err != nil {
+			return "", fmt.Errorf("tenant %d round %d read: %w", tenant, r, err)
+		}
+		h.Write(data)
+		levels, _, err := ops.probe(nand.PageAddr{Block: b, Page: tenant % 2}, 1)
+		if err != nil {
+			return "", fmt.Errorf("tenant %d round %d probe: %w", tenant, r, err)
+		}
+		h.Write(levels)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// FleetLoad regenerates the cross-tenant batching equivalence table.
+func FleetLoad(s Scale) (*Result, error) {
+	res := &Result{
+		ID:    "fleetload",
+		Title: "cross-tenant batching: coalesced fleet vs sequential reference",
+	}
+
+	// Reference: each shard's silicon driven directly and sequentially —
+	// per-shard setup, then each tenant's walk in turn.
+	refCfg := s.flConfig(nil)
+	want := make([][]string, flShards)
+	fp := sha256.New()
+	for sh := 0; sh < flShards; sh++ {
+		ops := flDeviceOps(refCfg.Device(sh))
+		if err := flSetup(ops, s, sh); err != nil {
+			return nil, fmt.Errorf("fleetload: reference shard %d setup: %w", sh, err)
+		}
+		want[sh] = make([]string, flMaxFan)
+		for tn := 0; tn < flMaxFan; tn++ {
+			d, err := flTenantDigest(ops, tn)
+			if err != nil {
+				return nil, fmt.Errorf("fleetload: reference shard %d: %w", sh, err)
+			}
+			want[sh][tn] = d
+			fp.Write([]byte(d))
+		}
+	}
+
+	// Both fleets: the unbatched baseline and the coalescing one.
+	modes := []struct {
+		name     string
+		batching *fleet.Batching
+	}{
+		{"unbatched", nil},
+		{"batched", &fleet.Batching{MaxOps: flMaxFan}},
+	}
+	verdicts := make(map[string]map[int]string, len(modes))
+	for _, mode := range modes {
+		f, err := fleet.New(s.flConfig(mode.batching))
+		if err != nil {
+			return nil, fmt.Errorf("fleetload: %s fleet: %w", mode.name, err)
+		}
+		err = parallel.ForEach(flShards, flShards, func(sh int) error {
+			return flSetup(flFleetOps(f, sh), s, sh)
+		})
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("fleetload: %s fleet setup: %w", mode.name, err)
+		}
+		verdicts[mode.name] = make(map[int]string, len(flFanouts))
+		for _, fan := range flFanouts {
+			units := fan * flShards
+			got := make([]string, units)
+			err := parallel.ForEach(units, units, func(u int) error {
+				shard, tenant := u%flShards, u/flShards
+				d, derr := flTenantDigest(flFleetOps(f, shard), tenant)
+				got[u] = d
+				return derr
+			})
+			if err != nil {
+				f.Close()
+				return nil, fmt.Errorf("fleetload: %s fan=%d: %w", mode.name, fan, err)
+			}
+			for u := range got {
+				shard, tenant := u%flShards, u/flShards
+				if got[u] != want[shard][tenant] {
+					f.Close()
+					return nil, fmt.Errorf("fleetload: %s fan=%d: shard %d tenant %d transcript %s != reference %s",
+						mode.name, fan, shard, tenant, got[u], want[shard][tenant])
+				}
+			}
+			verdicts[mode.name][fan] = "match"
+		}
+		f.Close()
+	}
+
+	rows := make([][]string, 0, len(flFanouts))
+	for _, fan := range flFanouts {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", fan),
+			fmt.Sprintf("%d", fan*flShards),
+			fmt.Sprintf("%d", flRounds),
+			verdicts["unbatched"][fan],
+			verdicts["batched"][fan],
+		})
+	}
+	res.Tables = append(res.Tables, Table{
+		Title:   "per-tenant transcript digests vs sequential reference",
+		Columns: []string{"tenants/shard", "tenants", "rounds/tenant", "unbatched", "batched"},
+		Rows:    rows,
+	})
+	res.AddNote("%d shards of %v silicon; every tenant transcript SHA-256-matches the reference at every fan-out",
+		flShards, refCfg.Model.Geometry)
+	res.AddNote("reference transcript fingerprint %s", hex.EncodeToString(fp.Sum(nil))[:16])
+	return res, nil
+}

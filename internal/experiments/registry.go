@@ -41,6 +41,7 @@ var registry = []Entry{
 	{"faults", "fault-injected recovery (extension)", Faults},
 	{"retyears", "multi-year retention sweep (extension)", RetentionYears},
 	{"schemes", "cross-scheme bake-off (extension)", Schemes},
+	{"fleetload", "cross-tenant batching equivalence (extension)", FleetLoad},
 }
 
 // All returns every registered experiment, ordered by ID registration.

@@ -2,8 +2,10 @@ package fleet
 
 import "stashflash/internal/nand"
 
-// Batched façade operations: each call crosses the shard's queue exactly
-// once and lands on the backend's BatchDevice fast path when it has one
+// Batched façade operations: each call crosses the shard's queue at most
+// once — with Config.Batching set, concurrent façade calls to one shard
+// coalesce into a shared crossing (see coalesce.go) — and lands on the
+// backend's BatchDevice fast path when it has one
 // (the chip's vectorised cell walks, the ONFI adapter's multi-plane and
 // cached command cycles), falling back to per-page loops otherwise via
 // the nand package helpers. Group semantics mirror nand.BatchDevice:
@@ -14,7 +16,7 @@ import "stashflash/internal/nand"
 // start. It returns the pages fully read (done*PageBytes bytes of data)
 // and the first error, if any.
 func (f *Fleet) ReadPages(shard int, start nand.PageAddr, count int) (data []byte, done int, err error) {
-	execErr := f.Exec(shard, func(dev nand.LabDevice) error {
+	execErr := f.submit(shard, func(_ int, dev nand.LabDevice) error {
 		pb := dev.Geometry().PageBytes
 		buf := make([]byte, count*pb)
 		n, rerr := nand.ReadPages(dev, start, count, buf)
@@ -24,11 +26,23 @@ func (f *Fleet) ReadPages(shard int, start nand.PageAddr, count int) (data []byt
 	return data, done, execErr
 }
 
+// ReadPagesInto is ReadPages into a caller-supplied buffer (len at
+// least count*PageBytes), mirroring nand.ReadPages. Hot paths that read
+// in a loop use it to keep the per-operation fleet side allocation-free.
+func (f *Fleet) ReadPagesInto(shard int, start nand.PageAddr, count int, out []byte) (done int, err error) {
+	execErr := f.submit(shard, func(_ int, dev nand.LabDevice) error {
+		n, rerr := nand.ReadPages(dev, start, count, out)
+		done = n
+		return rerr
+	})
+	return done, execErr
+}
+
 // ProgramPages programs consecutive page images (a whole number of
 // PageBytes pages) on one shard and returns how many pages fully
 // programmed before the first error.
 func (f *Fleet) ProgramPages(shard int, start nand.PageAddr, data []byte) (done int, err error) {
-	execErr := f.Exec(shard, func(dev nand.LabDevice) error {
+	execErr := f.submit(shard, func(_ int, dev nand.LabDevice) error {
 		n, perr := nand.ProgramPages(dev, start, data)
 		done = n
 		return perr
@@ -40,7 +54,7 @@ func (f *Fleet) ProgramPages(shard int, start nand.PageAddr, data []byte) (done 
 // pages of one shard. It returns the pages fully probed (done *
 // CellsPerPage levels) and the first error, if any.
 func (f *Fleet) ProbeVoltages(shard int, start nand.PageAddr, count int) (levels []uint8, done int, err error) {
-	execErr := f.Exec(shard, func(dev nand.LabDevice) error {
+	execErr := f.submit(shard, func(_ int, dev nand.LabDevice) error {
 		cp := dev.Geometry().CellsPerPage()
 		buf := make([]uint8, count*cp)
 		n, perr := nand.ProbeVoltages(dev, start, count, buf)
@@ -52,7 +66,7 @@ func (f *Fleet) ProbeVoltages(shard int, start nand.PageAddr, count int) (levels
 
 // EraseBlock erases one block of one shard.
 func (f *Fleet) EraseBlock(shard, block int) error {
-	return f.Exec(shard, func(dev nand.LabDevice) error {
+	return f.submit(shard, func(_ int, dev nand.LabDevice) error {
 		return dev.EraseBlock(block)
 	})
 }

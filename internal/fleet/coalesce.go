@@ -1,0 +1,142 @@
+package fleet
+
+import (
+	"runtime"
+	"time"
+
+	"stashflash/internal/nand"
+)
+
+// Cross-tenant batching: with Config.Batching set, batch-façade
+// submissions do not cross the chip's request channel one by one.
+// Each submitter appends its operation to the chip worker's pending
+// queue (a mutex-guarded slice) and rings the worker's doorbell; the
+// worker pulls whole batches straight from that queue, MaxOps at a
+// time. While the worker executes batch k, the submitters woken by
+// batch k-1's responses append batch k+1 — group commit without a
+// leader: no submitter ever carries a flush duty, and under load the
+// worker never parks between batches.
+//
+// Determinism argument (the property equiv_test.go pins): a chip's
+// result stream is a function of the order its operations execute in,
+// and coalescing changes only how operations cross to the worker, never
+// their order — pending operations are appended under the worker mutex
+// and pulled FIFO, and the worker executes a batch front to back, so
+// the chip observes exactly the arrival order it would have observed
+// unbatched. Timing (the Window knob, scheduler interleavings) moves
+// batch boundaries, and batch boundaries are invisible to the chip.
+// Concurrent submitters to one shard race for arrival order either way;
+// any order the batched path can produce, the unbatched path can too.
+//
+// Liveness: submitters park only on their own buffered response
+// channel, and the worker never blocks delivering a response, so the
+// only parked state is the worker's idle select on (requests,
+// doorbell). The doorbell has one slot: after an append, either the
+// worker is awake (its next pull sees the operation) or the doorbell
+// holds a token that wakes it — an appended operation is never
+// stranded. Close interacts safely: admission registers the operation
+// in the fleet's inflight group before it is appended, so Close's
+// inflight.Wait cannot pass while a pending operation has not been
+// answered, and the request channels close only after that — the
+// worker's pending queue is provably empty by the time it sees the
+// closed channel and exits.
+
+// submit routes one batch-façade operation: through the worker's
+// pending queue when Config.Batching is set, else the plain ExecOn
+// path. The operation lands on the worker resolved at admission time —
+// exactly the worker a direct ExecOn would have used — so a remap that
+// races the submission plays out identically on both paths.
+func (f *Fleet) submit(shard int, fn func(chip int, dev nand.LabDevice) error) error {
+	if f.cfg.Batching == nil {
+		return f.ExecOn(shard, fn)
+	}
+	w, err := f.acquire(shard)
+	if err != nil {
+		return err
+	}
+	defer f.release(shard)
+	req := request{fn: fn, resp: respPool.Get().(chan response)}
+	w.cmu.Lock()
+	w.pending = append(w.pending, req)
+	w.cmu.Unlock()
+	select {
+	case w.bell <- struct{}{}:
+	default: // a wake-up is already on its way
+	}
+	resp := <-req.resp
+	respPool.Put(req.resp)
+	if resp.dead {
+		return f.retire(shard, resp.chip, resp.err)
+	}
+	return resp.err
+}
+
+// grab pulls the next batch off the worker's pending queue, MaxOps at
+// most, into the worker's reusable scratch buffer (safe: the previous
+// batch is fully processed before the next grab). Returns nil when
+// nothing is pending.
+func (w *chipWorker) grab() []request {
+	w.cmu.Lock()
+	n := len(w.pending)
+	if n == 0 {
+		w.cmu.Unlock()
+		return nil
+	}
+	if n > w.maxOps {
+		n = w.maxOps
+	}
+	batch := append(w.scratch[:0], w.pending[:n]...)
+	rest := copy(w.pending, w.pending[n:])
+	for i := rest; i < len(w.pending); i++ {
+		w.pending[i] = request{} // drop closure refs for the GC
+	}
+	w.pending = w.pending[:rest]
+	w.cmu.Unlock()
+	w.scratch = batch
+	return batch
+}
+
+// runCoalesced is the worker loop with batching on: pull batches from
+// the pending queue while they last, park on (requests, doorbell) when
+// idle. Direct-path submissions (Exec/ExecOn) still arrive on the
+// request channel; the non-blocking drain after every pulled batch
+// keeps them from starving behind sustained façade load.
+func (w *chipWorker) runCoalesced() {
+	for {
+		// The group-commit "wait for followers" beat, once per pull:
+		// the submitters readied by the previous batch's responses (or
+		// the one that just rang the doorbell — goready schedules it
+		// ahead of everything else) get a turn to append before the
+		// grab. Without the yield a woken worker races each submitter
+		// one-on-one and pulls nothing but singletons. An optional
+		// non-zero Window trades latency for occupancy by lingering
+		// outright; idle workers pay neither — they park in the select
+		// below.
+		if w.window > 0 {
+			time.Sleep(w.window)
+		} else {
+			runtime.Gosched()
+		}
+		batch := w.grab()
+		if batch == nil {
+			select {
+			case b, ok := <-w.reqs:
+				if !ok {
+					return
+				}
+				w.process(b)
+			case <-w.bell:
+			}
+			continue
+		}
+		w.process(batch)
+		select {
+		case b, ok := <-w.reqs:
+			if !ok {
+				return
+			}
+			w.process(b)
+		default:
+		}
+	}
+}

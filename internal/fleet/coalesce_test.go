@@ -1,0 +1,285 @@
+package fleet
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"stashflash/internal/nand"
+	"stashflash/internal/obs"
+)
+
+// pendingLen peeks at the pending queue of the worker currently
+// backing a shard (test-only; same package).
+func pendingLen(f *Fleet, shard int) int {
+	f.mu.Lock()
+	w := f.workers[f.shards[shard].chip]
+	f.mu.Unlock()
+	w.cmu.Lock()
+	defer w.cmu.Unlock()
+	return len(w.pending)
+}
+
+// waitFor polls cond until true or the deadline lapses.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// holdChipTurn blocks shard 0's chip goroutine inside an Exec closure
+// until the returned release func is called, so façade submissions made
+// meanwhile must pile up in the coalescer. The second returned func
+// waits for the Exec submitter to finish.
+func holdChipTurn(f *Fleet) (release, wait func()) {
+	hold := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = f.Exec(0, func(nand.LabDevice) error {
+			close(started)
+			<-hold
+			return nil
+		})
+	}()
+	<-started
+	return func() { close(hold) }, wg.Wait
+}
+
+// TestCoalescerMergesConcurrentSubmissions proves the coalescer really
+// merges: with the chip turn held by a blocked Exec closure and the
+// queue depth at 1, concurrent façade reads must accumulate in the
+// pending queue and later cross it together — fewer crossings than
+// operations, max batch occupancy well above 1 — while every read still
+// returns the right data.
+func TestCoalescerMergesConcurrentSubmissions(t *testing.T) {
+	stats := &obs.FleetStats{}
+	cfg := Config{
+		Shards:     1,
+		Model:      nand.ModelA().ScaleGeometry(4, 4, 256),
+		Seed:       7,
+		QueueDepth: 1,
+		Batching:   &Batching{MaxOps: 64},
+		Stats:      stats,
+	}
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g := f.Geometry()
+	want := make([]byte, 2*g.PageBytes)
+	for i := range want {
+		want[i] = byte(i * 7)
+	}
+	if err := f.EraseBlock(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ProgramPages(0, nand.PageAddr{Block: 0, Page: 0}, want); err != nil {
+		t.Fatal(err)
+	}
+	before := stats.Snapshot()
+
+	release, execWait := holdChipTurn(f)
+	const readers = 16
+	var wg sync.WaitGroup
+	results := make([][]byte, readers)
+	errs := make([]error, readers)
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], _, errs[i] = f.ReadPages(0, nand.PageAddr{Block: 0, Page: 0}, 2)
+		}(i)
+	}
+	// With the worker blocked inside the held Exec closure, nothing
+	// drains the pending queue, so the concurrent reads accumulate
+	// there. Once >= 8 are pending, the worker's next pull is
+	// guaranteed to be a batch of >= 8.
+	waitFor(t, "pending pile-up", func() bool { return pendingLen(f, 0) >= 8 })
+	release()
+	wg.Wait()
+	execWait()
+
+	for i := 0; i < readers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("reader %d: %v", i, errs[i])
+		}
+		if string(results[i]) != string(want) {
+			t.Fatalf("reader %d: wrong data", i)
+		}
+	}
+	after := stats.Snapshot()
+	ops := after.OpsExecuted - before.OpsExecuted
+	crossings := after.QueueCrossings - before.QueueCrossings
+	if ops != readers+1 {
+		t.Fatalf("ops executed: got %d, want %d", ops, readers+1)
+	}
+	if crossings >= ops {
+		t.Fatalf("no coalescing: %d crossings for %d ops", crossings, ops)
+	}
+	if after.MaxBatch < 8 {
+		t.Fatalf("max batch occupancy %d, want >= 8", after.MaxBatch)
+	}
+	t.Logf("coalesced %d ops into %d crossings (max batch %d)", ops, crossings, after.MaxBatch)
+}
+
+// TestCoalescerRespectsMaxOps caps a pile-up at MaxOps per crossing.
+func TestCoalescerRespectsMaxOps(t *testing.T) {
+	stats := &obs.FleetStats{}
+	cfg := Config{
+		Shards:     1,
+		Model:      nand.ModelA().ScaleGeometry(4, 4, 256),
+		Seed:       7,
+		QueueDepth: 1,
+		Batching:   &Batching{MaxOps: 4},
+		Stats:      stats,
+	}
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.EraseBlock(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	release, execWait := holdChipTurn(f)
+	const readers = 12
+	var wg sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _, _ = f.ReadPages(0, nand.PageAddr{Block: 0, Page: 0}, 1)
+		}()
+	}
+	waitFor(t, "pending pile-up", func() bool { return pendingLen(f, 0) >= 8 })
+	release()
+	wg.Wait()
+	execWait()
+	snap := stats.Snapshot()
+	if snap.MaxBatch > 4 {
+		t.Fatalf("batch occupancy %d exceeds MaxOps 4", snap.MaxBatch)
+	}
+	if snap.MaxBatch < 2 {
+		t.Fatalf("batch occupancy %d: expected at least one merged batch", snap.MaxBatch)
+	}
+}
+
+// TestAdmissionControlShardBudget: submissions beyond MaxInflightShard
+// fail fast with ErrOverloaded while the budgeted ones complete; the
+// rejects surface in the stats and the shard status.
+func TestAdmissionControlShardBudget(t *testing.T) {
+	stats := &obs.FleetStats{}
+	cfg := Config{
+		Shards:           1,
+		Model:            nand.ModelA().ScaleGeometry(4, 4, 256),
+		Seed:             7,
+		MaxInflightShard: 2,
+		Stats:            stats,
+	}
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	hold := make(chan struct{})
+	started := make(chan struct{}, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = f.Exec(0, func(nand.LabDevice) error {
+				started <- struct{}{}
+				<-hold
+				return nil
+			})
+		}()
+	}
+	// One closure runs, the other waits in the queue — both hold budget.
+	<-started
+	waitFor(t, "budget to fill", func() bool { return stats.Snapshot().Inflight >= 2 })
+	err = f.Exec(0, func(nand.LabDevice) error { return nil })
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("over-budget submission: got %v, want ErrOverloaded", err)
+	}
+	close(hold)
+	wg.Wait()
+	if err := f.Exec(0, func(nand.LabDevice) error { return nil }); err != nil {
+		t.Fatalf("post-drain submission: %v", err)
+	}
+	snap := stats.Snapshot()
+	if snap.AdmissionRejects != 1 {
+		t.Fatalf("admission rejects: got %d, want 1", snap.AdmissionRejects)
+	}
+	if snap.Inflight != 0 {
+		t.Fatalf("inflight gauge not drained: %d", snap.Inflight)
+	}
+	status := f.Status()
+	if status[0].AdmissionRejects != 1 {
+		t.Fatalf("shard status rejects: got %d, want 1", status[0].AdmissionRejects)
+	}
+}
+
+// TestAdmissionControlFleetBudget: the fleet-wide budget rejects across
+// shards even when each shard is under its own bound.
+func TestAdmissionControlFleetBudget(t *testing.T) {
+	cfg := Config{
+		Shards:           2,
+		Model:            nand.ModelA().ScaleGeometry(4, 4, 256),
+		Seed:             7,
+		MaxInflightFleet: 1,
+	}
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	release, wait := holdChipTurn(f)
+	if err := f.Exec(1, func(nand.LabDevice) error { return nil }); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("fleet budget: got %v, want ErrOverloaded", err)
+	}
+	release()
+	wait()
+	if err := f.Exec(1, func(nand.LabDevice) error { return nil }); err != nil {
+		t.Fatalf("post-drain: %v", err)
+	}
+}
+
+// TestCoalescedSubmissionsRespectBudget: the coalesced path shares the
+// same admission accounting as the direct path.
+func TestCoalescedSubmissionsRespectBudget(t *testing.T) {
+	cfg := Config{
+		Shards:           1,
+		Model:            nand.ModelA().ScaleGeometry(4, 4, 256),
+		Seed:             7,
+		Batching:         &Batching{},
+		MaxInflightShard: 1,
+	}
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	release, wait := holdChipTurn(f)
+	if _, _, err := f.ReadPages(0, nand.PageAddr{}, 1); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("coalesced over-budget read: got %v, want ErrOverloaded", err)
+	}
+	release()
+	wait()
+	if err := f.EraseBlock(0, 0); err != nil {
+		t.Fatalf("post-drain erase: %v", err)
+	}
+	if _, _, err := f.ReadPages(0, nand.PageAddr{}, 1); err != nil {
+		t.Fatalf("post-drain read: %v", err)
+	}
+}

@@ -173,3 +173,273 @@ func TestFleetDigestsVaryAcrossShardsAndSeeds(t *testing.T) {
 		t.Error("two fleet seeds produced identical transcripts")
 	}
 }
+
+// --- Batch-façade equivalence (PR 10) ---------------------------------
+//
+// The per-shard coalescer must leave the batch façade bit-identical to
+// both the unbatched fleet path and the sequential reference. Two suites
+// pin it: a mutating single-submitter-per-shard walk (erase/program/
+// read/probe through ReadPages/ProgramPages/ProbeVoltages), and a
+// concurrent read-only walk with many submitters per shard, where the
+// coalescer genuinely merges racing submissions and every submitter's
+// private transcript must still match the reference.
+
+// facadeOps abstracts the batch façade so the same round functions drive
+// a fleet shard and the standalone reference device.
+type facadeOps struct {
+	geom    nand.Geometry
+	erase   func(block int) error
+	program func(start nand.PageAddr, data []byte) (int, error)
+	read    func(start nand.PageAddr, count int) ([]byte, int, error)
+	probe   func(start nand.PageAddr, count int) ([]uint8, int, error)
+}
+
+// deviceFacadeOps adapts a standalone device via the nand batch helpers
+// (exactly the helpers the fleet façade itself uses).
+func deviceFacadeOps(dev nand.LabDevice) facadeOps {
+	g := dev.Geometry()
+	return facadeOps{
+		geom:  g,
+		erase: dev.EraseBlock,
+		program: func(start nand.PageAddr, data []byte) (int, error) {
+			return nand.ProgramPages(dev, start, data)
+		},
+		read: func(start nand.PageAddr, count int) ([]byte, int, error) {
+			buf := make([]byte, count*g.PageBytes)
+			n, err := nand.ReadPages(dev, start, count, buf)
+			return buf[:n*g.PageBytes], n, err
+		},
+		probe: func(start nand.PageAddr, count int) ([]uint8, int, error) {
+			buf := make([]uint8, count*g.CellsPerPage())
+			n, err := nand.ProbeVoltages(dev, start, count, buf)
+			return buf[:n*g.CellsPerPage()], n, err
+		},
+	}
+}
+
+// fleetFacadeOps adapts one fleet shard's batch façade.
+func fleetFacadeOps(f *Fleet, shard int) facadeOps {
+	return facadeOps{
+		geom:  f.Geometry(),
+		erase: func(block int) error { return f.EraseBlock(shard, block) },
+		program: func(start nand.PageAddr, data []byte) (int, error) {
+			return f.ProgramPages(shard, start, data)
+		},
+		read: func(start nand.PageAddr, count int) ([]byte, int, error) {
+			return f.ReadPages(shard, start, count)
+		},
+		probe: func(start nand.PageAddr, count int) ([]uint8, int, error) {
+			return f.ProbeVoltages(shard, start, count)
+		},
+	}
+}
+
+// runFacadeRound is the mutating per-shard round: erase, two programs
+// with stream-derived data, batch read-back and a voltage probe, every
+// observable folded into h.
+func runFacadeRound(ops facadeOps, rng *rand.Rand, round int, h hash.Hash) error {
+	g := ops.geom
+	b := round % g.Blocks
+	if err := ops.erase(b); err != nil {
+		return fmt.Errorf("round %d erase: %w", round, err)
+	}
+	pages := 2
+	if g.PagesPerBlock < pages {
+		pages = g.PagesPerBlock
+	}
+	data := make([]byte, pages*g.PageBytes)
+	for i := range data {
+		data[i] = byte(rng.Uint64())
+	}
+	if _, err := ops.program(nand.PageAddr{Block: b, Page: 0}, data); err != nil {
+		return fmt.Errorf("round %d program: %w", round, err)
+	}
+	got, _, err := ops.read(nand.PageAddr{Block: b, Page: 0}, pages)
+	if err != nil {
+		return fmt.Errorf("round %d read: %w", round, err)
+	}
+	h.Write(got)
+	levels, _, err := ops.probe(nand.PageAddr{Block: b, Page: 0}, pages)
+	if err != nil {
+		return fmt.Errorf("round %d probe: %w", round, err)
+	}
+	h.Write(levels)
+	return nil
+}
+
+// facadeDigest runs equivRounds of runFacadeRound and returns the
+// transcript digest.
+func facadeDigest(ops facadeOps, rng *rand.Rand) (string, error) {
+	h := sha256.New()
+	for r := 0; r < equivRounds; r++ {
+		if err := runFacadeRound(ops, rng, r, h); err != nil {
+			return "", err
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// TestFleetFacadeBitIdenticalToSequential drives the mutating façade
+// walk through the fleet — batched and unbatched, both backends, fan-outs
+// 1/4/16 — and requires every per-shard transcript to equal the
+// sequential reference.
+func TestFleetFacadeBitIdenticalToSequential(t *testing.T) {
+	for _, backend := range []string{"direct", "onfi"} {
+		for _, batching := range []*Batching{nil, {MaxOps: 8}} {
+			mode := "unbatched"
+			if batching != nil {
+				mode = "batched"
+			}
+			t.Run(backend+"/"+mode, func(t *testing.T) {
+				cfg := Config{
+					Shards:   12,
+					Spares:   1,
+					Model:    nand.ModelA().ScaleGeometry(8, 4, 512),
+					Seed:     0xBA7C4,
+					Backend:  backend,
+					Batching: batching,
+				}
+				want := make([]string, cfg.Shards)
+				for s := range want {
+					d, err := facadeDigest(deviceFacadeOps(cfg.Device(s)), shardStream(cfg.Seed, s))
+					if err != nil {
+						t.Fatalf("reference shard %d: %v", s, err)
+					}
+					want[s] = d
+				}
+				for _, workers := range []int{1, 4, 16} {
+					f, err := New(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got := make([]string, cfg.Shards)
+					ferr := parallel.ForEach(workers, cfg.Shards, func(s int) error {
+						d, err := facadeDigest(fleetFacadeOps(f, s), shardStream(cfg.Seed, s))
+						got[s] = d
+						return err
+					})
+					f.Close()
+					if ferr != nil {
+						t.Fatal(ferr)
+					}
+					for s := range want {
+						if got[s] != want[s] {
+							t.Fatalf("%s/%s workers=%d: shard %d transcript %s != reference %s",
+								backend, mode, workers, s, got[s], want[s])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// facadeSetup programs every block of a shard with stream-derived data
+// (the deterministic state the read-only tenants walk).
+func facadeSetup(ops facadeOps, rng *rand.Rand) error {
+	g := ops.geom
+	data := make([]byte, 2*g.PageBytes)
+	for b := 0; b < g.Blocks; b++ {
+		if err := ops.erase(b); err != nil {
+			return err
+		}
+		for i := range data {
+			data[i] = byte(rng.Uint64())
+		}
+		if _, err := ops.program(nand.PageAddr{Block: b, Page: 0}, data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// tenantReadDigest is one tenant's private read-only transcript: a
+// deterministic page walk (a function of the tenant index alone) whose
+// reads and probes fold into the tenant's own digest. Reads and probes
+// do not mutate chip state, so the digest is independent of how
+// concurrent tenants interleave — which is what lets many tenants share
+// a shard while each transcript stays comparable to the reference.
+func tenantReadDigest(ops facadeOps, tenant int) (string, error) {
+	g := ops.geom
+	h := sha256.New()
+	for r := 0; r < equivRounds; r++ {
+		b := (tenant + 3*r) % g.Blocks
+		data, _, err := ops.read(nand.PageAddr{Block: b, Page: 0}, 2)
+		if err != nil {
+			return "", fmt.Errorf("tenant %d round %d read: %w", tenant, r, err)
+		}
+		h.Write(data)
+		levels, _, err := ops.probe(nand.PageAddr{Block: b, Page: tenant % 2}, 1)
+		if err != nil {
+			return "", fmt.Errorf("tenant %d round %d probe: %w", tenant, r, err)
+		}
+		h.Write(levels)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// TestFleetCoalescedTenantsBitIdentical is the cross-tenant batching
+// proof: F concurrent tenants per shard (F = 1, 4, 16) hammer the batch
+// façade of a shared shard — so the coalescer really merges racing
+// submissions — and every tenant's transcript must equal the transcript
+// the standalone reference device produces for that tenant's walk.
+func TestFleetCoalescedTenantsBitIdentical(t *testing.T) {
+	for _, backend := range []string{"direct", "onfi"} {
+		t.Run(backend, func(t *testing.T) {
+			cfg := Config{
+				Shards:   4,
+				Model:    nand.ModelA().ScaleGeometry(8, 4, 512),
+				Seed:     0xC0A1E5CE,
+				Backend:  backend,
+				Batching: &Batching{MaxOps: 8},
+			}
+			const maxFan = 16
+			// Reference: per-shard device, deterministic setup, then each
+			// tenant's walk sequentially.
+			want := make([][]string, cfg.Shards)
+			for s := range want {
+				ops := deviceFacadeOps(cfg.Device(s))
+				if err := facadeSetup(ops, shardStream(cfg.Seed, s)); err != nil {
+					t.Fatalf("reference shard %d setup: %v", s, err)
+				}
+				want[s] = make([]string, maxFan)
+				for tn := 0; tn < maxFan; tn++ {
+					d, err := tenantReadDigest(ops, tn)
+					if err != nil {
+						t.Fatalf("reference shard %d: %v", s, err)
+					}
+					want[s][tn] = d
+				}
+			}
+			f, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			if err := parallel.ForEach(cfg.Shards, cfg.Shards, func(s int) error {
+				return facadeSetup(fleetFacadeOps(f, s), shardStream(cfg.Seed, s))
+			}); err != nil {
+				t.Fatal(err)
+			}
+			for _, fan := range []int{1, 4, 16} {
+				units := fan * cfg.Shards
+				got := make([]string, units)
+				if err := parallel.ForEach(units, units, func(u int) error {
+					shard, tenant := u%cfg.Shards, u/cfg.Shards
+					d, err := tenantReadDigest(fleetFacadeOps(f, shard), tenant)
+					got[u] = d
+					return err
+				}); err != nil {
+					t.Fatal(err)
+				}
+				for u := range got {
+					shard, tenant := u%cfg.Shards, u/cfg.Shards
+					if got[u] != want[shard][tenant] {
+						t.Fatalf("backend=%s fan=%d: shard %d tenant %d transcript %s != reference %s",
+							backend, fan, shard, tenant, got[u], want[shard][tenant])
+					}
+				}
+			}
+		})
+	}
+}

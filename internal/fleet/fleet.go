@@ -39,10 +39,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"stashflash/internal/nand"
 	"stashflash/internal/obs"
-	"stashflash/internal/onfi"
 )
 
 // Typed errors of the fleet façade; match with errors.Is.
@@ -60,6 +60,11 @@ var (
 	// ErrFleetExhausted reports a shard out of service: its chip died and
 	// no spare chips remain.
 	ErrFleetExhausted = errors.New("fleet: shard out of service (no spare chips left)")
+	// ErrOverloaded reports a submission refused by admission control: the
+	// per-shard or fleet-wide inflight budget is exhausted. The operation
+	// never reached a chip queue; retry after backing off. stashd maps it
+	// to HTTP 429.
+	ErrOverloaded = errors.New("fleet: overloaded (inflight budget exhausted)")
 )
 
 // Config sizes and seeds a fleet. The zero value is not usable; Shards
@@ -99,6 +104,48 @@ type Config struct {
 	// label index i (obs.LabelSet), keeping per-chip/per-shard metrics
 	// separable. Must have at least ChipCount collectors.
 	Metrics *obs.LabelSet
+	// Batching, when non-nil, opts the batch façade (ReadPages,
+	// ProgramPages, ProbeVoltages, EraseBlock) into the per-shard
+	// coalescer: concurrent submissions to the same shard merge into one
+	// queue crossing per chip turn. Exec/ExecOn are never coalesced (a
+	// closure may be a whole volume transaction; callers own its
+	// boundaries). See coalesce.go for the determinism argument.
+	Batching *Batching
+	// MaxInflightShard bounds concurrently admitted operations per shard;
+	// 0 means unlimited. Submissions over budget fail fast with
+	// ErrOverloaded instead of queueing without bound.
+	MaxInflightShard int
+	// MaxInflightFleet bounds concurrently admitted operations across the
+	// whole fleet; 0 means unlimited.
+	MaxInflightFleet int
+	// Stats, when non-nil, receives fleet-level scheduling counters:
+	// admissions/rejects, queue crossings and batch occupancy.
+	Stats *obs.FleetStats
+}
+
+// Batching parameterises the per-shard coalescer. The zero value is
+// usable: default batch bound, no artificial flush delay.
+type Batching struct {
+	// MaxOps bounds how many coalesced operations one queue crossing may
+	// carry (default 32). Larger batches amortise the crossing further but
+	// hold the chip turn longer.
+	MaxOps int
+	// Window is an optional flush deadline: a non-zero window makes the
+	// flusher linger that long before each grab so trickling submitters
+	// can pile up. Zero (the default) is pure group-commit — a batch is
+	// whatever accumulated while the previous one was in flight, which
+	// already coalesces under load and adds no idle latency. The window
+	// trades latency for occupancy; it never affects results (order is
+	// still arrival order).
+	Window time.Duration
+}
+
+// maxOps resolves the effective per-crossing bound.
+func (b *Batching) maxOps() int {
+	if b == nil || b.MaxOps <= 0 {
+		return 32
+	}
+	return b.MaxOps
 }
 
 // ChipCount is the total number of chips the fleet owns.
@@ -126,17 +173,7 @@ func (c Config) deadLimit() int {
 // one goroutine must be bit-identical to the same stream through the
 // fleet at any submitter fan-out.
 func (c Config) Device(i int) nand.LabDevice {
-	chipSeed, _ := nand.StreamSeed(c.Seed, "fleet/chip", uint64(i))
-	chip := nand.NewChip(c.Model, chipSeed)
-	if c.Faults != nil && !c.Faults.Zero() {
-		fc := *c.Faults
-		fc.Seed, _ = nand.StreamSeed(c.Seed, "fleet/faults", uint64(i))
-		chip.SetFaultPlan(nand.NewFaultPlan(fc))
-	}
-	var dev nand.LabDevice = chip
-	if c.Backend == "onfi" {
-		dev = onfi.NewDevice(chip)
-	}
+	dev, _ := buildChip(c, i)
 	return dev
 }
 
@@ -160,38 +197,84 @@ func (c Config) validate() error {
 		return fmt.Errorf("fleet: metrics label set has %d collectors for %d chips",
 			c.Metrics.Len(), c.ChipCount())
 	}
+	if c.MaxInflightShard < 0 || c.MaxInflightFleet < 0 {
+		return fmt.Errorf("fleet: negative inflight budget (shard %d, fleet %d)",
+			c.MaxInflightShard, c.MaxInflightFleet)
+	}
+	if c.Batching != nil && c.Batching.Window < 0 {
+		return fmt.Errorf("fleet: negative batching window %v", c.Batching.Window)
+	}
 	return nil
 }
 
-// request is one unit of work submitted to a chip queue.
+// request is one unit of work submitted to a chip queue. Its response
+// channel must be buffered (capacity 1) so the worker never blocks
+// delivering an outcome mid-batch.
 type request struct {
 	fn   func(chip int, dev nand.LabDevice) error
 	resp chan response
 }
 
+// respPool recycles response channels across submissions. Every request
+// receives exactly one response and the submitter always drains it, so a
+// channel is empty again by the time it goes back in the pool — this
+// keeps the per-operation hot path allocation-free on the fleet side.
+var respPool = sync.Pool{
+	New: func() any { return make(chan response, 1) },
+}
+
 // response reports a request's outcome plus the worker's verdict on
 // whether its chip should be retired (decided on the worker goroutine —
-// the only goroutine allowed to inspect device state).
+// the only goroutine allowed to inspect device state). chip identifies
+// the executing chip for submitters that did not resolve the worker
+// themselves (the coalesced path).
 type response struct {
+	chip int
 	err  error
 	dead bool
 }
 
 // chipWorker owns one chip: its device handle and the single goroutine
-// that drains its queue.
+// that drains its work. The request channel carries singleton batches
+// from the direct Exec/ExecOn path; with Config.Batching set, the
+// batch façade instead appends to the worker's pending queue and the
+// worker pulls whole batches from it (see coalesce.go) — either way
+// one batch is one chip turn.
 type chipWorker struct {
 	idx       int
 	dev       nand.LabDevice
-	reqs      chan request
+	saver     chipSaver // underlying chip's Save handle (persist.go)
+	reqs      chan []request
 	deadLimit int
+	stats     *obs.FleetStats
+
+	// Coalescer state (used only when batching is on; see coalesce.go).
+	cmu     sync.Mutex
+	pending []request
+	bell    chan struct{} // capacity 1: "pending is non-empty"
+	scratch []request     // reusable grab buffer (worker-owned)
+	maxOps  int
+	window  time.Duration
 }
 
-// run drains the queue until it is closed. Each request's closure
-// executes here, on the chip's one goroutine.
+// run drains work until the request channel is closed. Each request's
+// closure executes here, on the chip's one goroutine, in batch order.
 func (w *chipWorker) run() {
-	for req := range w.reqs {
+	if w.maxOps > 0 {
+		w.runCoalesced()
+		return
+	}
+	for batch := range w.reqs {
+		w.process(batch)
+	}
+}
+
+// process executes one batch front to back, answering every request.
+func (w *chipWorker) process(batch []request) {
+	w.stats.RecordBatch(len(batch))
+	for _, req := range batch {
 		err := w.exec(req.fn)
-		req.resp <- response{err: err, dead: err != nil && w.chipDead(err)}
+		req.resp <- response{chip: w.idx, err: err, dead: err != nil && w.chipDead(err)}
 	}
 }
 
@@ -235,6 +318,8 @@ type shardState struct {
 	degraded bool
 	remaps   int
 	deadErr  error // device error that retired the most recent chip
+	inflight int   // admitted, not yet completed operations
+	rejects  uint64
 }
 
 // Fleet is the sharded multi-chip façade. All exported methods are safe
@@ -243,12 +328,14 @@ type Fleet struct {
 	cfg     Config
 	workers []*chipWorker
 	wg      sync.WaitGroup
+	stats   *obs.FleetStats
 
-	mu       sync.Mutex
-	shards   []shardState
-	spares   []int
-	closed   bool
-	inflight sync.WaitGroup
+	mu        sync.Mutex
+	shards    []shardState
+	spares    []int
+	closed    bool
+	inflightN int // fleet-wide admitted count (mirror of stats gauge)
+	inflight  sync.WaitGroup
 }
 
 // New builds the fleet and starts one queue goroutine per chip
@@ -267,19 +354,28 @@ func New(cfg Config) (*Fleet, error) {
 		cfg:     cfg,
 		workers: make([]*chipWorker, cfg.ChipCount()),
 		shards:  make([]shardState, cfg.Shards),
+		stats:   cfg.Stats,
 	}
 	limit := cfg.deadLimit()
 	for i := range f.workers {
-		dev := cfg.Device(i)
+		dev, saver := buildChip(cfg, i)
 		if cfg.Metrics != nil {
 			dev = cfg.Metrics.At(i).Wrap(dev)
 		}
-		f.workers[i] = &chipWorker{
+		w := &chipWorker{
 			idx:       i,
 			dev:       dev,
-			reqs:      make(chan request, depth),
+			saver:     saver,
+			reqs:      make(chan []request, depth),
 			deadLimit: limit,
+			stats:     cfg.Stats,
 		}
+		if cfg.Batching != nil {
+			w.maxOps = cfg.Batching.maxOps()
+			w.window = cfg.Batching.Window
+			w.bell = make(chan struct{}, 1)
+		}
+		f.workers[i] = w
 	}
 	for s := range f.shards {
 		f.shards[s].chip = s
@@ -321,9 +417,10 @@ func (f *Fleet) ShardChip(shard int) (int, error) {
 	return f.shards[shard].chip, nil
 }
 
-// acquire resolves a shard to its current worker and registers the
-// caller as in-flight (so Close drains cleanly). Must be balanced with
-// inflight.Done.
+// acquire admits one operation on a shard — range check, closed check,
+// out-of-service check, then the inflight budgets — and resolves the
+// shard's current worker. On success the caller is registered in-flight
+// (so Close drains cleanly) and must balance with release(shard).
 func (f *Fleet) acquire(shard int) (*chipWorker, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -338,7 +435,49 @@ func (f *Fleet) acquire(shard int) (*chipWorker, error) {
 		return nil, fmt.Errorf("fleet: shard %d (last chip error: %v): %w",
 			shard, st.deadErr, ErrFleetExhausted)
 	}
+	if f.cfg.MaxInflightShard > 0 && st.inflight >= f.cfg.MaxInflightShard {
+		st.rejects++
+		f.stats.Reject()
+		return nil, fmt.Errorf("fleet: shard %d: %d operations in flight: %w",
+			shard, st.inflight, ErrOverloaded)
+	}
+	if f.cfg.MaxInflightFleet > 0 && f.inflightN >= f.cfg.MaxInflightFleet {
+		st.rejects++
+		f.stats.Reject()
+		return nil, fmt.Errorf("fleet: shard %d: %d operations in flight fleet-wide: %w",
+			shard, f.inflightN, ErrOverloaded)
+	}
+	st.inflight++
+	f.inflightN++
 	f.inflight.Add(1)
+	f.stats.Admit()
+	return f.workers[st.chip], nil
+}
+
+// release balances acquire: the operation completed (or was answered
+// with an error) and its budget slot is free again.
+func (f *Fleet) release(shard int) {
+	f.mu.Lock()
+	f.shards[shard].inflight--
+	f.inflightN--
+	f.mu.Unlock()
+	f.stats.Release()
+	f.inflight.Done()
+}
+
+// currentWorker re-resolves a shard's worker without admission — the
+// coalescer's flusher uses it for operations that were already admitted.
+// It deliberately ignores the closed flag: admitted work must still
+// reach a chip (Close waits on it), but a shard that went out of service
+// mid-flight fails the remaining operations typed.
+func (f *Fleet) currentWorker(shard int) (*chipWorker, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := &f.shards[shard]
+	if st.chip < 0 {
+		return nil, fmt.Errorf("fleet: shard %d (last chip error: %v): %w",
+			shard, st.deadErr, ErrFleetExhausted)
+	}
 	return f.workers[st.chip], nil
 }
 
@@ -389,10 +528,11 @@ func (f *Fleet) ExecOn(shard int, fn func(chip int, dev nand.LabDevice) error) e
 	if err != nil {
 		return err
 	}
-	defer f.inflight.Done()
-	req := request{fn: fn, resp: make(chan response, 1)}
-	w.reqs <- req
+	defer f.release(shard)
+	req := request{fn: fn, resp: respPool.Get().(chan response)}
+	w.reqs <- []request{req}
 	resp := <-req.resp
+	respPool.Put(req.resp)
 	if resp.dead {
 		return f.retire(shard, w.idx, resp.err)
 	}
@@ -435,6 +575,12 @@ type ShardStatus struct {
 	Remaps int `json:"remaps,omitempty"`
 	// DeadError is the device error that retired the most recent chip.
 	DeadError string `json:"dead_error,omitempty"`
+	// Inflight is the shard's admitted-but-not-completed operation count
+	// at snapshot time (the queue-depth gauge admission control bounds).
+	Inflight int `json:"inflight,omitempty"`
+	// AdmissionRejects counts submissions this shard refused with
+	// ErrOverloaded.
+	AdmissionRejects uint64 `json:"admission_rejects,omitempty"`
 	// BadBlocks and MaxPEC summarise the current chip's wear (zero when
 	// the shard is out of service).
 	BadBlocks int `json:"bad_blocks,omitempty"`
@@ -450,7 +596,10 @@ func (f *Fleet) Status() []ShardStatus {
 		f.mu.Lock()
 		st := f.shards[s]
 		f.mu.Unlock()
-		row := ShardStatus{Shard: s, Chip: st.chip, Degraded: st.degraded, Remaps: st.remaps}
+		row := ShardStatus{
+			Shard: s, Chip: st.chip, Degraded: st.degraded, Remaps: st.remaps,
+			Inflight: st.inflight, AdmissionRejects: st.rejects,
+		}
 		if st.deadErr != nil {
 			row.DeadError = st.deadErr.Error()
 		}

@@ -1,0 +1,284 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"stashflash/internal/nand"
+	"stashflash/internal/onfi"
+)
+
+// Fleet persistence: Save writes one image per live chip (the nand.Chip
+// gob format — analog cell state, wear, ledger, RNG position) plus a
+// routing manifest (shard→chip map, spare pool, degradation records) to
+// a directory; Restore rebuilds an equivalent fleet from it. What is NOT
+// preserved: a restored chip's fault plan restarts from its derived
+// stream's beginning (fault schedules are per-process, the same way a
+// power cycle resets a real testbed's injector), and retired chips are
+// rebuilt fresh since nothing routes to them. Chip images are written on
+// the owning queue goroutines, so Save composes with the concurrency
+// contract; for a consistent cut the caller must be quiescent (stashd
+// saves after its HTTP listener has drained, before Close).
+
+// manifestSchema versions fleet.json.
+const manifestSchema = "stashflash-fleet-state/v1"
+
+// chipSaver is the persistence capability of the direct chip backend.
+type chipSaver interface {
+	Save(w io.Writer) error
+}
+
+// buildChip constructs chip i exactly as Config.Device does and also
+// returns its persistence handle (the underlying chip object, which the
+// backend adapter may wrap but the saver still reaches).
+func buildChip(c Config, i int) (nand.LabDevice, chipSaver) {
+	chipSeed, _ := nand.StreamSeed(c.Seed, "fleet/chip", uint64(i))
+	chip := nand.NewChip(c.Model, chipSeed)
+	if c.Faults != nil && !c.Faults.Zero() {
+		fc := *c.Faults
+		fc.Seed, _ = nand.StreamSeed(c.Seed, "fleet/faults", uint64(i))
+		chip.SetFaultPlan(nand.NewFaultPlan(fc))
+	}
+	var dev nand.LabDevice = chip
+	if c.Backend == "onfi" {
+		dev = onfi.NewDevice(chip)
+	}
+	return dev, chip
+}
+
+// savedShard is one routing entry of the manifest.
+type savedShard struct {
+	Chip     int    `json:"chip"`
+	Degraded bool   `json:"degraded,omitempty"`
+	Remaps   int    `json:"remaps,omitempty"`
+	DeadErr  string `json:"dead_error,omitempty"`
+}
+
+// manifest is the fleet.json document. The config echo lets Restore
+// reject a directory saved by a differently-shaped fleet before touching
+// any chip image.
+type manifest struct {
+	Schema    string        `json:"schema"`
+	Shards    int           `json:"shards"`
+	Spares    int           `json:"spares"`
+	Seed      uint64        `json:"seed"`
+	Backend   string        `json:"backend"`
+	Geometry  nand.Geometry `json:"geometry"`
+	Routing   []savedShard  `json:"routing"`
+	SparePool []int         `json:"spare_pool"`
+}
+
+// chipImagePath names chip i's image inside the state directory.
+func chipImagePath(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("chip_%d.img", i))
+}
+
+// writeFileAtomic writes via a temp file + rename so a crash mid-save
+// never leaves a truncated file under the final name.
+func writeFileAtomic(path string, write func(io.Writer) error) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// execChip submits fn directly to chip i's queue goroutine, bypassing
+// shard routing (spares have no shard) and the admission budgets (a
+// save must not compete with tenant traffic for budget).
+func (f *Fleet) execChip(chip int, fn func(dev nand.LabDevice) error) error {
+	f.mu.Lock()
+	if chip < 0 || chip >= len(f.workers) {
+		f.mu.Unlock()
+		return fmt.Errorf("fleet: chip %d out of range", chip)
+	}
+	if f.closed {
+		f.mu.Unlock()
+		return ErrClosed
+	}
+	f.inflight.Add(1)
+	w := f.workers[chip]
+	f.mu.Unlock()
+	defer f.inflight.Done()
+	req := request{
+		fn:   func(_ int, dev nand.LabDevice) error { return fn(dev) },
+		resp: make(chan response, 1),
+	}
+	w.reqs <- []request{req}
+	resp := <-req.resp
+	return resp.err
+}
+
+// Save persists the fleet into dir (created if missing): the routing
+// manifest and one image per live chip (current shard chips plus the
+// spare pool). Retired chips are skipped. Call on a quiescent fleet for
+// a consistent cut.
+func (f *Fleet) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	m := manifest{
+		Schema:    manifestSchema,
+		Shards:    f.cfg.Shards,
+		Spares:    f.cfg.Spares,
+		Seed:      f.cfg.Seed,
+		Backend:   f.cfg.Backend,
+		Geometry:  f.cfg.Model.Geometry,
+		Routing:   make([]savedShard, len(f.shards)),
+		SparePool: append([]int(nil), f.spares...),
+	}
+	for s, st := range f.shards {
+		row := savedShard{Chip: st.chip, Degraded: st.degraded, Remaps: st.remaps}
+		if st.deadErr != nil {
+			row.DeadErr = st.deadErr.Error()
+		}
+		m.Routing[s] = row
+	}
+	f.mu.Unlock()
+	live := make([]int, 0, len(f.workers))
+	for _, row := range m.Routing {
+		if row.Chip >= 0 {
+			live = append(live, row.Chip)
+		}
+	}
+	live = append(live, m.SparePool...)
+	for _, i := range live {
+		w := f.workers[i]
+		if w.saver == nil {
+			return fmt.Errorf("fleet: chip %d: backend does not expose a persistence handle", i)
+		}
+		err := f.execChip(i, func(nand.LabDevice) error {
+			return writeFileAtomic(chipImagePath(dir, i), w.saver.Save)
+		})
+		if err != nil {
+			return fmt.Errorf("fleet: saving chip %d: %w", i, err)
+		}
+	}
+	return writeFileAtomic(filepath.Join(dir, "fleet.json"), func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(m)
+	})
+}
+
+// HasState reports whether dir holds a fleet manifest.
+func HasState(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, "fleet.json"))
+	return err == nil
+}
+
+// Restore rebuilds a fleet from a Save directory. cfg must describe the
+// same fleet shape (shards, spares, seed, backend, geometry) the
+// directory was saved from; scheduling knobs (queue depth, batching,
+// budgets, metrics) are free to differ. Live chips come back from their
+// images with wear, analog state and RNG position intact; the routing
+// table (including degraded shards and the remaining spare pool) is
+// restored as saved.
+func Restore(cfg Config, dir string) (*Fleet, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "fleet.json"))
+	if err != nil {
+		return nil, fmt.Errorf("fleet: reading manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("fleet: parsing manifest: %w", err)
+	}
+	if m.Schema != manifestSchema {
+		return nil, fmt.Errorf("fleet: manifest schema %q, want %q", m.Schema, manifestSchema)
+	}
+	if m.Shards != cfg.Shards || m.Spares != cfg.Spares || m.Seed != cfg.Seed ||
+		m.Backend != cfg.Backend || m.Geometry != cfg.Model.Geometry {
+		return nil, fmt.Errorf("fleet: manifest (shards=%d spares=%d seed=%d backend=%q %v) does not match config (shards=%d spares=%d seed=%d backend=%q %v)",
+			m.Shards, m.Spares, m.Seed, m.Backend, m.Geometry,
+			cfg.Shards, cfg.Spares, cfg.Seed, cfg.Backend, cfg.Model.Geometry)
+	}
+	if len(m.Routing) != cfg.Shards {
+		return nil, fmt.Errorf("fleet: manifest has %d routing entries for %d shards", len(m.Routing), cfg.Shards)
+	}
+	f, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	live := map[int]bool{}
+	for _, row := range m.Routing {
+		if row.Chip >= 0 {
+			live[row.Chip] = true
+		}
+	}
+	for _, i := range m.SparePool {
+		live[i] = true
+	}
+	for i := range live {
+		if i < 0 || i >= len(f.workers) {
+			f.Close()
+			return nil, fmt.Errorf("fleet: manifest references chip %d outside the fleet", i)
+		}
+		dev, saver, err := restoreChip(cfg, i, dir)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		if cfg.Metrics != nil {
+			dev = cfg.Metrics.At(i).Wrap(dev)
+		}
+		// The worker goroutine is already running but idle (nothing has
+		// been routed yet), and dev/saver are read only by it after this.
+		f.workers[i].dev = dev
+		f.workers[i].saver = saver
+	}
+	f.mu.Lock()
+	for s, row := range m.Routing {
+		st := &f.shards[s]
+		st.chip = row.Chip
+		st.degraded = row.Degraded
+		st.remaps = row.Remaps
+		if row.DeadErr != "" {
+			st.deadErr = errors.New(row.DeadErr)
+		}
+	}
+	f.spares = append([]int(nil), m.SparePool...)
+	f.mu.Unlock()
+	return f, nil
+}
+
+// restoreChip loads chip i's image and re-applies the derived fault plan
+// and backend adapter (locals only: the concrete chip type must not
+// appear in any signature outside the device packages).
+func restoreChip(cfg Config, i int, dir string) (nand.LabDevice, chipSaver, error) {
+	file, err := os.Open(chipImagePath(dir, i))
+	if err != nil {
+		return nil, nil, fmt.Errorf("fleet: chip %d image: %w", i, err)
+	}
+	defer file.Close()
+	chip, err := nand.Load(file)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fleet: chip %d image: %w", i, err)
+	}
+	if chip.Geometry() != cfg.Model.Geometry {
+		return nil, nil, fmt.Errorf("fleet: chip %d image geometry %v does not match %v",
+			i, chip.Geometry(), cfg.Model.Geometry)
+	}
+	if cfg.Faults != nil && !cfg.Faults.Zero() {
+		fc := *cfg.Faults
+		fc.Seed, _ = nand.StreamSeed(cfg.Seed, "fleet/faults", uint64(i))
+		chip.SetFaultPlan(nand.NewFaultPlan(fc))
+	}
+	var dev nand.LabDevice = chip
+	if cfg.Backend == "onfi" {
+		dev = onfi.NewDevice(chip)
+	}
+	return dev, chip, nil
+}

@@ -1,0 +1,177 @@
+package fleet
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"stashflash/internal/nand"
+)
+
+// TestFleetSaveRestoreRoundTrip: programmed data survives Save/Restore
+// bit-exact, and a restored chip's RNG position is intact — operations
+// after the restore are bit-identical to the same operations on a fleet
+// that never restarted.
+func TestFleetSaveRestoreRoundTrip(t *testing.T) {
+	for _, backend := range []string{"direct", "onfi"} {
+		t.Run(backend, func(t *testing.T) {
+			cfg := Config{Shards: 3, Spares: 1, Model: testModel(), Seed: 99, Backend: backend}
+			dir := t.TempDir()
+
+			f, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := f.Geometry()
+			payload := make([]byte, 2*g.PageBytes)
+			for i := range payload {
+				payload[i] = byte(i*3 + 1)
+			}
+			for s := 0; s < cfg.Shards; s++ {
+				if err := f.EraseBlock(s, 1); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := f.ProgramPages(s, nand.PageAddr{Block: 1, Page: 0}, payload); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := f.Save(dir); err != nil {
+				t.Fatal(err)
+			}
+			// The uninterrupted fleet continues: one more program per shard,
+			// then probe digest material.
+			contWant := make([][]byte, cfg.Shards)
+			for s := 0; s < cfg.Shards; s++ {
+				if _, err := f.ProgramPages(s, nand.PageAddr{Block: 1, Page: 2}, payload[:g.PageBytes]); err != nil {
+					t.Fatal(err)
+				}
+				levels, _, err := f.ProbeVoltages(s, nand.PageAddr{Block: 1, Page: 2}, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				contWant[s] = append([]byte(nil), levels...)
+			}
+			f.Close()
+
+			r, err := Restore(cfg, dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+			for s := 0; s < cfg.Shards; s++ {
+				data, _, err := r.ReadPages(s, nand.PageAddr{Block: 1, Page: 0}, 2)
+				if err != nil {
+					t.Fatalf("shard %d read after restore: %v", s, err)
+				}
+				if !bytes.Equal(data, payload) {
+					t.Fatalf("shard %d payload mismatched after restore", s)
+				}
+				// Replay the continuation: identical program noise requires the
+				// restored RNG stream position.
+				if _, err := r.ProgramPages(s, nand.PageAddr{Block: 1, Page: 2}, payload[:g.PageBytes]); err != nil {
+					t.Fatal(err)
+				}
+				levels, _, err := r.ProbeVoltages(s, nand.PageAddr{Block: 1, Page: 2}, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(levels, contWant[s]) {
+					t.Fatalf("shard %d: post-restore continuation diverged from uninterrupted fleet", s)
+				}
+			}
+		})
+	}
+}
+
+// TestFleetRestorePreservesRouting: a degraded fleet (one shard on a
+// spare, one out of service) restores with the same routing, the same
+// remaining spare pool, and typed exhaustion on the dead shard.
+func TestFleetRestorePreservesRouting(t *testing.T) {
+	faults := nand.FaultConfig{BadBlockFrac: 1e-15}
+	cfg := Config{Shards: 2, Spares: 1, Model: testModel(), Seed: 31, Faults: &faults}
+	dir := t.TempDir()
+
+	f := newTestFleet(t, cfg)
+	// Shard 0: kill the primary (remaps to the spare), then kill the
+	// spare (out of service).
+	armPowerLoss(t, f, 0)
+	if err := killShard(f, 0); !errors.Is(err, ErrShardDegraded) {
+		t.Fatalf("first kill: %v", err)
+	}
+	armPowerLoss(t, f, 0)
+	if err := killShard(f, 0); !errors.Is(err, ErrShardDegraded) {
+		t.Fatalf("second kill: %v", err)
+	}
+	// Shard 1 keeps a payload.
+	g := f.Geometry()
+	payload := make([]byte, g.PageBytes)
+	for i := range payload {
+		payload[i] = byte(i + 5)
+	}
+	if err := f.EraseBlock(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ProgramPages(1, nand.PageAddr{Block: 2, Page: 0}, payload); err != nil {
+		t.Fatal(err)
+	}
+	wantStatus := f.Status()
+	if err := f.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	r, err := Restore(cfg, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	gotStatus := r.Status()
+	for s := range wantStatus {
+		if gotStatus[s].Chip != wantStatus[s].Chip ||
+			gotStatus[s].Degraded != wantStatus[s].Degraded ||
+			gotStatus[s].Remaps != wantStatus[s].Remaps {
+			t.Fatalf("shard %d routing after restore: %+v != %+v", s, gotStatus[s], wantStatus[s])
+		}
+	}
+	if r.SparesLeft() != 0 {
+		t.Fatalf("spares left after restore: %d, want 0", r.SparesLeft())
+	}
+	if err := r.EraseBlock(0, 0); !errors.Is(err, ErrFleetExhausted) {
+		t.Fatalf("dead shard after restore: got %v, want ErrFleetExhausted", err)
+	}
+	data, _, err := r.ReadPages(1, nand.PageAddr{Block: 2, Page: 0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, payload) {
+		t.Fatal("surviving shard payload mismatched after restore")
+	}
+}
+
+// TestFleetRestoreRejectsMismatchedConfig: a state directory saved by
+// one fleet shape must not restore into another.
+func TestFleetRestoreRejectsMismatchedConfig(t *testing.T) {
+	cfg := Config{Shards: 2, Spares: 0, Model: testModel(), Seed: 7}
+	dir := t.TempDir()
+	f := newTestFleet(t, cfg)
+	if err := f.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	for _, bad := range []Config{
+		{Shards: 3, Spares: 0, Model: testModel(), Seed: 7},
+		{Shards: 2, Spares: 1, Model: testModel(), Seed: 7},
+		{Shards: 2, Spares: 0, Model: testModel(), Seed: 8},
+		{Shards: 2, Spares: 0, Model: testModel(), Seed: 7, Backend: "onfi"},
+	} {
+		if _, err := Restore(bad, dir); err == nil {
+			t.Fatalf("config %+v restored from mismatched state", bad)
+		}
+	}
+	if !HasState(dir) {
+		t.Fatal("HasState false on a saved directory")
+	}
+	if HasState(t.TempDir()) {
+		t.Fatal("HasState true on an empty directory")
+	}
+}

@@ -1,0 +1,104 @@
+package ftl
+
+import (
+	"fmt"
+
+	"stashflash/internal/nand"
+)
+
+// State is the FTL's complete mapping snapshot, exported so a host can
+// persist a volume's translation layer across process restarts (the
+// device's analog state is persisted separately by nand.Chip Save/Load;
+// the map alone is what New cannot reconstruct, since the FTL keeps it
+// in memory only). The snapshot is plain data — gob/JSON friendly — and
+// deep-copied both ways, so callers may hold it as long as they like.
+type State struct {
+	L2P          []nand.PageAddr
+	Mapped       []bool
+	P2L          [][]int
+	Valid        []int
+	Free         []int
+	Retired      []bool
+	RetiredCount int
+	Active       int
+	NextPg       int
+	GCActive     int
+	GCNextPg     int
+	Writes       int64
+	Copies       int64
+	GCRuns       int64
+	Erases       int64
+}
+
+// State snapshots the current mapping.
+func (f *FTL) State() State {
+	st := State{
+		L2P:          append([]nand.PageAddr(nil), f.l2p...),
+		Mapped:       append([]bool(nil), f.mapped...),
+		P2L:          make([][]int, len(f.p2l)),
+		Valid:        append([]int(nil), f.valid...),
+		Free:         append([]int(nil), f.free...),
+		Retired:      append([]bool(nil), f.retired...),
+		RetiredCount: f.retiredCount,
+		Active:       f.active,
+		NextPg:       f.nextPg,
+		GCActive:     f.gcActive,
+		GCNextPg:     f.gcNextPg,
+		Writes:       f.writes,
+		Copies:       f.copies,
+		GCRuns:       f.gcRuns,
+		Erases:       f.erases,
+	}
+	for b := range f.p2l {
+		st.P2L[b] = append([]int(nil), f.p2l[b]...)
+	}
+	return st
+}
+
+// SetState restores a snapshot taken from an FTL with the same geometry
+// and over-provisioning. It validates shapes against the receiver (built
+// by New over the restored device) and rejects mismatches typed.
+func (f *FTL) SetState(st State) error {
+	g := f.dev.Geometry()
+	if len(st.L2P) != len(f.l2p) || len(st.Mapped) != len(f.mapped) {
+		return fmt.Errorf("ftl: state capacity %d does not match %d logical sectors", len(st.L2P), len(f.l2p))
+	}
+	if len(st.P2L) != g.Blocks || len(st.Valid) != g.Blocks || len(st.Retired) != g.Blocks {
+		return fmt.Errorf("ftl: state block count does not match geometry (%d blocks)", g.Blocks)
+	}
+	for b := range st.P2L {
+		if len(st.P2L[b]) != g.PagesPerBlock {
+			return fmt.Errorf("ftl: state block %d has %d page slots, geometry has %d",
+				b, len(st.P2L[b]), g.PagesPerBlock)
+		}
+	}
+	for _, a := range st.L2P {
+		if err := g.Check(a); err != nil {
+			return fmt.Errorf("ftl: state mapping: %w", err)
+		}
+	}
+	for _, b := range st.Free {
+		if b < 0 || b >= g.Blocks {
+			return fmt.Errorf("ftl: state free block %d out of range", b)
+		}
+	}
+	f.l2p = append([]nand.PageAddr(nil), st.L2P...)
+	f.mapped = append([]bool(nil), st.Mapped...)
+	f.p2l = make([][]int, len(st.P2L))
+	for b := range st.P2L {
+		f.p2l[b] = append([]int(nil), st.P2L[b]...)
+	}
+	f.valid = append([]int(nil), st.Valid...)
+	f.free = append([]int(nil), st.Free...)
+	f.retired = append([]bool(nil), st.Retired...)
+	f.retiredCount = st.RetiredCount
+	f.active = st.Active
+	f.nextPg = st.NextPg
+	f.gcActive = st.GCActive
+	f.gcNextPg = st.GCNextPg
+	f.writes = st.Writes
+	f.copies = st.Copies
+	f.gcRuns = st.GCRuns
+	f.erases = st.Erases
+	return nil
+}

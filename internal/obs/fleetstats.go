@@ -1,0 +1,108 @@
+package obs
+
+import "sync/atomic"
+
+// FleetStatsSchema versions the JSON shape of FleetSnapshot. Bump on any
+// breaking change; consumers (stashd stats, dashboards) key on it.
+const FleetStatsSchema = "stashflash-fleet-stats/v1"
+
+// FleetStats aggregates fleet-level scheduling counters: admission
+// control outcomes, queue-crossing counts and batch occupancy of the
+// per-shard coalescer (internal/fleet). It is the fleet-wide complement
+// of the per-chip LabelSet collectors — those count device operations,
+// this counts how submissions reached the per-chip queues. All methods
+// are safe for concurrent use and are no-ops on a nil receiver, so the
+// fleet records unconditionally and callers opt in by supplying one.
+type FleetStats struct {
+	inflight  atomic.Int64
+	peak      atomic.Int64
+	admitted  atomic.Uint64
+	rejects   atomic.Uint64
+	crossings atomic.Uint64
+	ops       atomic.Uint64
+	maxBatch  atomic.Int64
+}
+
+// Admit records one submission passing admission control; balance with
+// Release when the operation completes.
+func (s *FleetStats) Admit() {
+	if s == nil {
+		return
+	}
+	s.admitted.Add(1)
+	cur := s.inflight.Add(1)
+	for {
+		p := s.peak.Load()
+		if cur <= p || s.peak.CompareAndSwap(p, cur) {
+			return
+		}
+	}
+}
+
+// Release records one admitted operation completing.
+func (s *FleetStats) Release() {
+	if s == nil {
+		return
+	}
+	s.inflight.Add(-1)
+}
+
+// Reject records one submission refused by an inflight budget
+// (ErrOverloaded).
+func (s *FleetStats) Reject() {
+	if s == nil {
+		return
+	}
+	s.rejects.Add(1)
+}
+
+// RecordBatch records one queue crossing that carried n operations (n=1
+// for the unbatched path, n>1 when the coalescer merged submissions).
+func (s *FleetStats) RecordBatch(n int) {
+	if s == nil || n <= 0 {
+		return
+	}
+	s.crossings.Add(1)
+	s.ops.Add(uint64(n))
+	for {
+		m := s.maxBatch.Load()
+		if int64(n) <= m || s.maxBatch.CompareAndSwap(m, int64(n)) {
+			return
+		}
+	}
+}
+
+// FleetSnapshot is the JSON view of a FleetStats. AvgBatch is the mean
+// coalesced occupancy per queue crossing (1.0 means batching never
+// merged anything).
+type FleetSnapshot struct {
+	Schema           string  `json:"schema"`
+	Inflight         int64   `json:"inflight"`
+	PeakInflight     int64   `json:"peak_inflight"`
+	Admitted         uint64  `json:"admitted"`
+	AdmissionRejects uint64  `json:"admission_rejects"`
+	QueueCrossings   uint64  `json:"queue_crossings"`
+	OpsExecuted      uint64  `json:"ops_executed"`
+	MaxBatch         int64   `json:"max_batch"`
+	AvgBatch         float64 `json:"avg_batch"`
+}
+
+// Snapshot returns a momentary merge of the counters (each field is
+// individually atomic; the set is not a consistent cut).
+func (s *FleetStats) Snapshot() FleetSnapshot {
+	out := FleetSnapshot{Schema: FleetStatsSchema}
+	if s == nil {
+		return out
+	}
+	out.Inflight = s.inflight.Load()
+	out.PeakInflight = s.peak.Load()
+	out.Admitted = s.admitted.Load()
+	out.AdmissionRejects = s.rejects.Load()
+	out.QueueCrossings = s.crossings.Load()
+	out.OpsExecuted = s.ops.Load()
+	out.MaxBatch = s.maxBatch.Load()
+	if out.QueueCrossings > 0 {
+		out.AvgBatch = float64(out.OpsExecuted) / float64(out.QueueCrossings)
+	}
+	return out
+}

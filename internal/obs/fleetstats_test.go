@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestFleetStatsCounters(t *testing.T) {
+	s := &FleetStats{}
+	s.Admit()
+	s.Admit()
+	s.Release()
+	s.Reject()
+	s.RecordBatch(1)
+	s.RecordBatch(7)
+	snap := s.Snapshot()
+	if snap.Schema != FleetStatsSchema {
+		t.Fatalf("schema %q", snap.Schema)
+	}
+	if snap.Inflight != 1 || snap.PeakInflight != 2 || snap.Admitted != 2 {
+		t.Fatalf("gauge wrong: %+v", snap)
+	}
+	if snap.AdmissionRejects != 1 {
+		t.Fatalf("rejects: %+v", snap)
+	}
+	if snap.QueueCrossings != 2 || snap.OpsExecuted != 8 || snap.MaxBatch != 7 {
+		t.Fatalf("batch counters: %+v", snap)
+	}
+	if snap.AvgBatch != 4.0 {
+		t.Fatalf("avg batch %v, want 4.0", snap.AvgBatch)
+	}
+}
+
+func TestFleetStatsNilSafe(t *testing.T) {
+	var s *FleetStats
+	s.Admit()
+	s.Release()
+	s.Reject()
+	s.RecordBatch(3)
+	snap := s.Snapshot()
+	if snap.Schema != FleetStatsSchema || snap.OpsExecuted != 0 {
+		t.Fatalf("nil snapshot: %+v", snap)
+	}
+}
+
+func TestFleetStatsConcurrent(t *testing.T) {
+	s := &FleetStats{}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				s.Admit()
+				s.RecordBatch(2)
+				s.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	snap := s.Snapshot()
+	if snap.Admitted != 8000 || snap.Inflight != 0 || snap.OpsExecuted != 16000 {
+		t.Fatalf("concurrent counters: %+v", snap)
+	}
+	if snap.PeakInflight < 1 || snap.PeakInflight > 8 {
+		t.Fatalf("peak inflight %d", snap.PeakInflight)
+	}
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,41 @@
+package stegfs
+
+import (
+	"stashflash/internal/ftl"
+	"stashflash/internal/nand"
+)
+
+// Volume persistence: a volume's durable state lives in two places — the
+// device's analog cell state (persisted by nand.Chip Save/Load) and the
+// FTL's logical-to-physical map, which ftl.New builds empty and the FTL
+// keeps in memory only. FTLState exports that map and Open rebuilds a
+// volume from a restored device plus the exported map, then proves the
+// master key against the on-flash superblock via Remount. Nothing else
+// needs saving: scheme, keys, anchors and the validity bitmap all
+// re-derive from the key and the flash contents.
+
+// FTLState snapshots the volume's translation layer for persistence.
+// Capture it only when the volume is quiescent and synced (Dirty()
+// false), or the snapshot may disagree with the flash.
+func (v *Volume) FTLState() ftl.State { return v.ftl.State() }
+
+// Open rebuilds a volume over a device whose flash already holds one:
+// same keys, same Config shape as the original Create, plus the FTL
+// snapshot taken at save time. A wrong master key fails with
+// ErrBadSuperblock exactly as Remount does; a snapshot that does not fit
+// the device geometry fails typed from ftl.SetState. The mount-time
+// recovery pass runs as part of the open, so a volume saved mid-hide
+// comes back fully revealed or cleanly absent, never half-alive.
+func Open(dev nand.Device, masterKey, publicKey []byte, cfg Config, st ftl.State) (*Volume, error) {
+	v, err := Create(dev, masterKey, publicKey, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := v.ftl.SetState(st); err != nil {
+		return nil, err
+	}
+	if err := v.Remount(masterKey); err != nil {
+		return nil, err
+	}
+	return v, nil
+}

@@ -1,0 +1,137 @@
+package stegfs
+
+import (
+	"bytes"
+	"errors"
+	"math/rand/v2"
+	"testing"
+
+	"stashflash/internal/nand"
+)
+
+// TestOpenAfterChipSaveLoad is the volume-persistence round trip: hide
+// and write, Sync, persist the chip image and the FTL snapshot, restore
+// both into a fresh process-worth of state via Open, and require every
+// public and hidden sector back bit-exact.
+func TestOpenAfterChipSaveLoad(t *testing.T) {
+	const seed = 77
+	master, public := []byte("hidden-master"), []byte("public-master")
+	chip := nand.NewChip(nand.ModelA().ScaleGeometry(20, 8, 2040), seed)
+	cfg := DefaultConfig(chip.Geometry())
+	v, err := Create(chip, master, public, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(3, 9))
+	pubWant := map[int][]byte{}
+	for _, lba := range []int{0, 5, 17, v.PublicCapacity() - 1} {
+		data := randSector(rng, v.PublicSectorBytes())
+		pubWant[lba] = data
+		if err := v.PublicWrite(lba, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hidWant := map[int][]byte{
+		1: []byte("pre-restart one"),
+		2: []byte("pre-restart two"),
+	}
+	for h, data := range hidWant {
+		if err := v.HiddenWrite(h, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := v.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	st := v.FTLState()
+	var img bytes.Buffer
+	if err := chip.Save(&img); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a fresh chip from the image, a fresh volume from Open.
+	chip2, err := nand.Load(bytes.NewReader(img.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := Open(chip2, master, public, cfg, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lba, want := range pubWant {
+		got, err := v2.PublicRead(lba)
+		if err != nil {
+			t.Fatalf("public lba %d after reopen: %v", lba, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("public lba %d mismatched after reopen", lba)
+		}
+	}
+	for h, want := range hidWant {
+		got, err := v2.HiddenRead(h)
+		if err != nil {
+			t.Fatalf("hidden sector %d after reopen: %v", h, err)
+		}
+		if !bytes.Equal(got[:len(want)], want) {
+			t.Fatalf("hidden sector %d mismatched after reopen", h)
+		}
+	}
+	// The reopened volume must stay writable: new hides and public writes
+	// land on the restored frontier without colliding with old mappings.
+	if err := v2.PublicWrite(5, randSector(rng, v2.PublicSectorBytes())); err != nil {
+		t.Fatalf("post-reopen public write: %v", err)
+	}
+	if err := v2.HiddenWrite(3, []byte("post-restart")); err != nil {
+		t.Fatalf("post-reopen hide: %v", err)
+	}
+	if err := v2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := v2.HiddenRead(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:len("post-restart")], []byte("post-restart")) {
+		t.Fatal("post-reopen hide mismatched")
+	}
+}
+
+// TestOpenWrongKeyFails: Open proves the key against the superblock.
+func TestOpenWrongKeyFails(t *testing.T) {
+	chip := nand.NewChip(nand.ModelA().ScaleGeometry(20, 8, 2040), 5)
+	cfg := DefaultConfig(chip.Geometry())
+	v, err := Create(chip, []byte("right"), []byte("pub"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.HiddenWrite(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	st := v.FTLState()
+	var img bytes.Buffer
+	if err := chip.Save(&img); err != nil {
+		t.Fatal(err)
+	}
+	chip2, err := nand.Load(bytes.NewReader(img.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(chip2, []byte("wrong"), []byte("pub"), cfg, st); !errors.Is(err, ErrBadSuperblock) {
+		t.Fatalf("wrong key: got %v, want ErrBadSuperblock", err)
+	}
+}
+
+// TestSetStateRejectsMismatchedGeometry: a snapshot from one geometry
+// must not restore into another.
+func TestSetStateRejectsMismatchedGeometry(t *testing.T) {
+	big := newVolume(t, 8)
+	st := big.FTLState()
+	small := nand.NewChip(nand.ModelA().ScaleGeometry(10, 8, 2040), 8)
+	cfg := DefaultConfig(small.Geometry())
+	if _, err := Open(small, []byte("hidden-master"), []byte("public-master"), cfg, st); err == nil {
+		t.Fatal("mismatched geometry snapshot restored without error")
+	}
+}

@@ -232,6 +232,20 @@ type FleetConfig = fleet.Config
 // ShardStatus is one fleet shard's routing and health view.
 type ShardStatus = fleet.ShardStatus
 
+// FleetBatching opts a Fleet's batch façade into the per-shard
+// coalescer: concurrent tenants' page operations merge into one queue
+// crossing per chip turn, bit-identical to the unbatched path (results
+// depend only on arrival order, which coalescing preserves).
+type FleetBatching = fleet.Batching
+
+// FleetStats receives fleet-level scheduling counters (admissions,
+// rejects, queue crossings, batch occupancy) when wired into
+// FleetConfig.Stats; FleetSnapshot is its atomic read.
+type (
+	FleetStats    = obs.FleetStats
+	FleetSnapshot = obs.FleetSnapshot
+)
+
 // Typed fleet errors; match with errors.Is.
 var (
 	// ErrShardDegraded reports that a shard's chip died; payloads stored
@@ -241,11 +255,22 @@ var (
 	// ErrFleetExhausted reports a shard out of service: its chip died
 	// with no spare chips left.
 	ErrFleetExhausted = fleet.ErrFleetExhausted
+	// ErrFleetOverloaded reports a submission refused by admission
+	// control (the per-shard or fleet-wide inflight budget was
+	// exhausted); back off and retry. stashd maps it to HTTP 429.
+	ErrFleetOverloaded = fleet.ErrOverloaded
 )
 
 // NewFleet builds a sharded chip fleet and starts its per-chip
 // goroutines; callers must Close it.
 func NewFleet(cfg FleetConfig) (*Fleet, error) { return fleet.New(cfg) }
+
+// RestoreFleet rebuilds a fleet from a directory written by Fleet.Save:
+// same chip images, same shard map, same derived seed streams.
+func RestoreFleet(cfg FleetConfig, dir string) (*Fleet, error) { return fleet.Restore(cfg, dir) }
+
+// HasFleetState reports whether dir holds a restorable fleet image.
+func HasFleetState(dir string) bool { return fleet.HasState(dir) }
 
 // CapacityReport summarises hidden capacity for a configuration on the
 // full-size vendor part.
